@@ -1,0 +1,142 @@
+// Experiment E9 (extension) — the fault-tolerance concern.
+//
+// The paper lists fault tolerance among the target non-functional concerns
+// but evaluates only performance and security. This ablation crashes two
+// of a farm's workers mid-run and compares three manager policies:
+//
+//   ft-rules   – fault_tolerance_rules(): crashes are observed as
+//                WorkerFailureBean and replaced one-for-one on the next
+//                control cycle (fast recovery);
+//   perf-only  – Fig. 5 rules alone: the crash surfaces only as a
+//                throughput-contract violation after the rate window turns
+//                over (slow recovery);
+//   none       – best-effort contract, no applicable rule: the farm limps
+//                on the survivors (no recovery).
+//
+// All modes must deliver every task exactly once (runtime-level recovery).
+
+#include <cstdio>
+
+#include "am/builtin_rules.hpp"
+#include "bench/args.hpp"
+#include "bench/common.hpp"
+#include "bs/behavioural_skeleton.hpp"
+
+using namespace bsk;
+
+namespace {
+
+struct Result {
+  double restore_s = -1.0;   ///< failure → worker capacity restored
+  double min_rate = 1e9;     ///< worst observed throughput after the crash
+  std::size_t final_workers = 0;
+  std::size_t processed = 0;
+  std::size_t add_events = 0;
+};
+
+enum class Mode { FtRules, PerfOnly, None };
+
+Result run(Mode mode) {
+  sim::Platform platform;
+  platform.add_machine("smp16", "local", 16);
+  sim::ResourceManager rm(platform);
+  support::EventLog log;
+
+  rt::FarmConfig fc;
+  fc.initial_workers = 4;
+  fc.rate_window = support::SimDuration(10.0);
+  am::ManagerConfig mc;
+  mc.period = support::SimDuration(2.0);
+  mc.max_workers = 8;
+  mc.warmup_s = 12.0;  // past the rate window: no spurious warmup growth
+  mc.action_cooldown_s = 4.0;
+
+  auto farm_bs = bs::make_farm_bs(
+      "farm", fc, [] { return std::make_unique<rt::SimComputeNode>(); }, mc,
+      &rm, {}, rt::Placement{&platform, 0}, &log);
+  if (mode == Mode::FtRules)
+    farm_bs->manager().load_rules(am::fault_tolerance_rules());
+
+  auto& farm = dynamic_cast<rt::Farm&>(farm_bs->runnable());
+  farm.start();
+  farm_bs->start_managers();
+  const am::Contract contract = mode == Mode::None
+                                    ? am::Contract::bestEffort()
+                                    : am::Contract::min_throughput(1.0);
+  farm_bs->manager().set_contract(contract);
+
+  // Demand 1.33 tasks/s of 3s work: 4 workers hold 1.33; after 2 crashes
+  // the survivors can only deliver ~0.67 < the 1.0 SLA.
+  std::jthread feeder([&farm] {
+    for (int i = 0; i < 160; ++i) {
+      if (!farm.input()->push(rt::Task::data(i, 3.0))) return;
+      support::Clock::sleep_for(support::SimDuration(0.75));
+    }
+    farm.input()->close();
+  });
+  std::jthread drainer([&farm] {
+    rt::Task t;
+    while (farm.output()->pop(t) == support::ChannelStatus::Ok) {
+    }
+  });
+
+  Result r;
+  support::Clock::sleep_for(support::SimDuration(40.0));
+  const std::size_t before = farm.worker_count();
+  const double fail_t = support::Clock::now();
+  farm.inject_worker_failure();
+  farm.inject_worker_failure();
+
+  // Time until the worker capacity is restored to its pre-crash level,
+  // tracking the throughput sag along the way.
+  while (support::Clock::now() - fail_t < 60.0) {
+    r.min_rate = std::min(r.min_rate, farm.metrics().departure_rate());
+    if (farm.worker_count() >= before) {
+      r.restore_s = support::Clock::now() - fail_t;
+      break;
+    }
+    support::Clock::sleep_for(support::SimDuration(0.5));
+  }
+  r.final_workers = farm.worker_count();
+
+  feeder.join();
+  farm.wait();
+  drainer.join();
+  farm_bs->stop_managers();
+  r.processed = farm.metrics().total_departures();
+  r.add_events = log.count("AM_farm", "addWorker");
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double scale = benchutil::arg_double(argc, argv, "--scale", 60.0);
+  support::ScopedClockScale clock(scale);
+
+  std::printf("== E9 (extension): worker-crash recovery — FT rules vs"
+              " perf-only vs none ==\n");
+  std::printf("2 of 4 workers crashed at t~45s; SLA 1.0 task/s; demand"
+              " 1.33/s of 3s tasks\n\n");
+  std::printf("%-10s %12s %10s %10s %10s %10s\n", "# mode", "restore[s]",
+              "min_rate", "workers", "addEvents", "processed");
+
+  const struct {
+    Mode mode;
+    const char* name;
+  } modes[] = {{Mode::FtRules, "ft-rules"},
+               {Mode::PerfOnly, "perf-only"},
+               {Mode::None, "none"}};
+  for (const auto& m : modes) {
+    const Result r = run(m.mode);
+    std::printf("%-10s %12.1f %10.2f %10zu %10zu %10zu\n", m.name,
+                r.restore_s, r.min_rate, r.final_workers, r.add_events,
+                r.processed);
+  }
+  std::printf("\n# expected shape: ft-rules restores capacity within one"
+              " control period (~2s); perf-only only after the throughput"
+              " window reveals the contract violation (>=10s, deeper rate"
+              " sag); none never (-1). processed = 160 in every mode"
+              " (exactly-once runtime recovery).\n");
+  return 0;
+}

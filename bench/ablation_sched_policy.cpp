@@ -1,0 +1,115 @@
+// Experiment E11 (ablation) — farm scheduling policy under skewed service
+// times.
+//
+// The paper's farm dispatches via a scheduler policy and compensates skew
+// with explicit BALANCE_LOAD actions. This ablation compares, on a
+// heavy-tailed (Pareto) workload:
+//
+// What matters under work-skew is *binding time*: with deep worker queues
+// every policy commits tasks early and one unlucky worker ends up with the
+// heavy tail; with shallow queues (capacity 2) dispatch happens near
+// execution time (capacity 1 = pure pull), and shortest-queue
+// (on-demand) approaches the ideal.
+// A count-based BALANCE_LOAD pass cannot help here — the queues are equal
+// in *length*, unequal in *work* — an honest limitation of the paper's
+// rebalancing actuator (it targets count imbalance after reconfiguration,
+// not service-time skew).
+
+#include <algorithm>
+#include <cstdio>
+#include <thread>
+
+#include "bench/args.hpp"
+#include "rt/farm.hpp"
+#include "sim/workload.hpp"
+#include "support/clock.hpp"
+
+using namespace bsk;
+
+namespace {
+
+struct Row {
+  double makespan = 0.0;
+  double peak_variance = 0.0;
+};
+
+Row run(rt::SchedPolicy policy, bool periodic_rebalance,
+        std::size_t queue_capacity, const std::vector<double>& work) {
+  rt::FarmConfig cfg;
+  cfg.initial_workers = 4;
+  cfg.policy = policy;
+  cfg.worker_queue_capacity = queue_capacity;
+  rt::Farm f("f", cfg, [] {
+    return std::make_unique<rt::LambdaNode>([](rt::Task t) {
+      support::Clock::sleep_for(support::SimDuration(t.work_s));
+      return std::optional<rt::Task>{std::move(t)};
+    });
+  });
+
+  const auto t0 = support::Clock::now();
+  f.start();
+  std::jthread drainer([&f] {
+    rt::Task t;
+    while (f.output()->pop(t) == support::ChannelStatus::Ok) {
+    }
+  });
+
+  Row r;
+  std::jthread balancer([&] {
+    while (!f.input()->closed() || f.running_workers() > 0) {
+      r.peak_variance = std::max(r.peak_variance, f.queue_variance());
+      if (periodic_rebalance) f.rebalance();
+      support::Clock::sleep_for(support::SimDuration(2.0));
+    }
+  });
+
+  for (std::size_t i = 0; i < work.size(); ++i)
+    f.input()->push(rt::Task::data(i, work[i]));
+  f.input()->close();
+  f.wait();
+  balancer.join();
+  r.makespan = support::Clock::now() - t0;
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double scale = benchutil::arg_double(argc, argv, "--scale", 100.0);
+  support::ScopedClockScale clock(scale);
+
+  // Heavy-tailed workload, identical for every policy.
+  sim::ParetoService pareto(0.2, 1.3, /*seed=*/17);
+  std::vector<double> work;
+  double total = 0.0;
+  for (int i = 0; i < 300; ++i) {
+    work.push_back(std::min(pareto.sample(0.0), 8.0));  // cap the tail
+    total += work.back();
+  }
+
+  std::printf("== E11: scheduling policy under heavy-tailed service times"
+              " ==\n");
+  std::printf("300 Pareto(0.2,1.3) tasks, total work %.1fs over 4 workers"
+              " (ideal makespan %.1fs)\n\n",
+              total, total / 4.0);
+  std::printf("%-24s %12s %14s\n", "# policy", "makespan[s]", "peak_qvar");
+
+  const std::size_t deep = work.size() + 8;
+  const Row rr_deep = run(rt::SchedPolicy::RoundRobin, false, deep, work);
+  std::printf("%-24s %12.1f %14.1f\n", "rr deep-queues", rr_deep.makespan,
+              rr_deep.peak_variance);
+  const Row rb_deep = run(rt::SchedPolicy::RoundRobin, true, deep, work);
+  std::printf("%-24s %12.1f %14.1f\n", "rr deep+rebalance",
+              rb_deep.makespan, rb_deep.peak_variance);
+  const Row rr_sh = run(rt::SchedPolicy::RoundRobin, false, 1, work);
+  std::printf("%-24s %12.1f %14.1f\n", "rr shallow-queues", rr_sh.makespan,
+              rr_sh.peak_variance);
+  const Row od_sh = run(rt::SchedPolicy::OnDemand, false, 1, work);
+  std::printf("%-24s %12.1f %14.1f\n", "on-demand shallow",
+              od_sh.makespan, od_sh.peak_variance);
+
+  std::printf("\n# expected shape: on-demand shallow ~= ideal < rr shallow"
+              " < rr deep ~= rr deep+rebalance (count-based rebalancing is"
+              " blind to work skew: equal lengths, unequal work).\n");
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Experiment E10 (ablation) — manager period & cooldown vs stability.
+//
+// The autonomic control loop reacts to rates measured over a sliding
+// window; when the loop runs much faster than the window turns over, it
+// keeps reacting to stale evidence and overshoots (extra workers recruited
+// for nothing). The damping cooldown after each action trades reaction
+// speed for stability. This DES ablation sweeps both knobs on a farm that
+// must grow from 10 to ~50 workers and reports: convergence time, worker
+// overshoot above what the load needs, and total reconfiguration actions.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "des/farm_model.hpp"
+
+using namespace bsk::des;
+
+namespace {
+
+struct Row {
+  double period, cooldown;
+  double converge;
+  std::size_t peak_workers;
+  std::uint64_t actions;
+};
+
+Row run(double period_s, double cooldown_s) {
+  Simulator sim;
+  DesFarmParams fp;
+  fp.service_s = 1.0;
+  fp.initial_workers = 10;
+  fp.max_workers = 256;
+  fp.window_s = 20.0;  // long window: more stale-evidence lag
+  DesFarm farm(sim, fp);
+
+  DesManagerParams mp;
+  mp.period_s = period_s;
+  mp.contract_lo = 45.0;  // needs ~50 workers at 50 tasks/s offered
+  mp.contract_hi = 60.0;
+  mp.max_workers = 256;
+  mp.add_per_step = 4;
+  mp.cooldown_s = cooldown_s;
+  mp.warmup_s = 10.0;
+  DesFarmManager mgr(sim, farm, mp);
+
+  DesSource src(sim, 50.0, 40000, [&farm] { farm.offer(); });
+  src.start();
+  mgr.start();
+  sim.run_until(600.0);
+  mgr.stop();
+
+  Row r{period_s, cooldown_s, mgr.converged_at(), 0, mgr.adds() + mgr.removes()};
+  for (const auto& [t, w] : farm.worker_history())
+    r.peak_workers = std::max(r.peak_workers, w);
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== E10: control period / cooldown vs stability (DES) ==\n");
+  std::printf("offered 50 tasks/s of 1s work; SLA [45,60]; ~50 workers"
+              " needed, rate window 20s\n\n");
+  std::printf("%10s %12s %12s %14s %10s %12s\n", "# period[s]", "cooldown[s]",
+              "converge[s]", "peak_workers", "overshoot", "actions");
+
+  const double periods[] = {1.0, 2.0, 5.0, 10.0};
+  const double cooldowns[] = {0.0, 5.0, 15.0};
+  for (double p : periods) {
+    for (double c : cooldowns) {
+      const Row r = run(p, c);
+      std::printf("%10.0f %12.0f %12.1f %14zu %10zu %12llu\n", r.period,
+                  r.cooldown, r.converge, r.peak_workers,
+                  r.peak_workers > 50 ? r.peak_workers - 50 : 0,
+                  static_cast<unsigned long long>(r.actions));
+    }
+  }
+
+  std::printf("\n# expected shape: short periods with no cooldown converge"
+              " fastest but overshoot hardest (stale-window reactions);"
+              " cooldown >= window tames the overshoot at the cost of"
+              " slower convergence.\n");
+  return 0;
+}

@@ -1,0 +1,33 @@
+#pragma once
+// Tiny flag parsing for the bench binaries: "--name value" pairs.
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace bsk::benchutil {
+
+inline const char* arg_raw(int argc, char** argv, const char* name) {
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
+  return nullptr;
+}
+
+inline double arg_double(int argc, char** argv, const char* name,
+                         double fallback) {
+  const char* v = arg_raw(argc, argv, name);
+  return v != nullptr ? std::atof(v) : fallback;
+}
+
+inline long arg_long(int argc, char** argv, const char* name, long fallback) {
+  const char* v = arg_raw(argc, argv, name);
+  return v != nullptr ? std::atol(v) : fallback;
+}
+
+inline bool arg_flag(int argc, char** argv, const char* name) {
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], name) == 0) return true;
+  return false;
+}
+
+}  // namespace bsk::benchutil

@@ -1,0 +1,89 @@
+#pragma once
+// Shared harness pieces for the experiment benches: a periodic sampler that
+// records time series on the virtual clock, and table printers producing
+// the rows/series the paper's figures plot.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdio>
+#include <mutex>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "support/clock.hpp"
+#include "support/event_log.hpp"
+
+namespace bsk::benchutil {
+
+/// One sampled row of a time series.
+struct Sample {
+  support::SimTime t = 0.0;
+  std::vector<double> values;
+};
+
+/// Polls a probe function every `period` simulated seconds on a background
+/// thread until stopped; collects rows.
+class Sampler {
+ public:
+  using Probe = std::function<std::vector<double>()>;
+
+  Sampler(support::SimDuration period, Probe probe)
+      : period_(period), probe_(std::move(probe)) {}
+
+  void start() {
+    thread_ = std::jthread([this](std::stop_token st) {
+      while (!st.stop_requested()) {
+        samples_.push_back({support::Clock::now(), probe_()});
+        std::mutex m;
+        std::condition_variable_any cv;
+        std::unique_lock lk(m);
+        cv.wait_for(lk, st, support::Clock::to_wall(period_),
+                    [] { return false; });
+      }
+    });
+  }
+
+  void stop() {
+    thread_.request_stop();
+    if (thread_.joinable()) thread_.join();
+  }
+
+  const std::vector<Sample>& samples() const { return samples_; }
+
+ private:
+  support::SimDuration period_;
+  Probe probe_;
+  std::vector<Sample> samples_;
+  std::jthread thread_;
+};
+
+/// Print a time-series table: "t  col1  col2 ..." with a header.
+inline void print_series(const std::string& title,
+                         const std::vector<std::string>& columns,
+                         const std::vector<Sample>& samples) {
+  std::printf("\n# %s\n#%10s", title.c_str(), "t[s]");
+  for (const auto& c : columns) std::printf("  %12s", c.c_str());
+  std::printf("\n");
+  for (const Sample& s : samples) {
+    std::printf("%11.1f", s.t);
+    for (double v : s.values) std::printf("  %12.3f", v);
+    std::printf("\n");
+  }
+}
+
+/// Print the event line of one manager (the paper's per-manager event
+/// graphs): "t  event  value  detail".
+inline void print_events(const std::string& title,
+                         const support::EventLog& log,
+                         const std::string& source) {
+  std::printf("\n# %s\n", title.c_str());
+  for (const auto& e : log.by_source(source)) {
+    std::printf("%11.1f  %-16s %8.3f", e.time, e.name.c_str(), e.value);
+    if (!e.detail.empty()) std::printf("  (%s)", e.detail.c_str());
+    std::printf("\n");
+  }
+}
+
+}  // namespace bsk::benchutil

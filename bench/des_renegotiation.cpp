@@ -1,0 +1,61 @@
+// Experiment E12 (extension) — dynamic contract renegotiation.
+//
+// The paper's P_spl splits a contract once and fixes the shares; Sec. 3.1
+// notes the general splitting problem is open. This ablation shows where
+// the static split breaks: heterogeneous groups (one at 1/4 speed) under
+// an equal share. The crippled group saturates below its share and,
+// because the dispatcher keeps feeding it equally, accumulates a backlog
+// that drains for thousands of seconds after the stream ends. The dynamic
+// variant periodically re-splits — a saturated group keeps only what it
+// delivers, the deficit (and the dispatch weights) move to the others.
+
+#include <cstdio>
+
+#include "des/hierarchy.hpp"
+
+using namespace bsk::des;
+
+namespace {
+
+void row(const char* label, bool renegotiate,
+         const std::vector<double>& speeds) {
+  HierConfig c;
+  c.groups = 4;
+  c.max_workers = 64;
+  c.arrival_rate = 40.0;
+  c.contract_lo = 36.0;
+  c.service_s = 1.0;
+  c.tasks = 40000;
+  c.group_speeds = speeds;
+  c.exponential_service = true;
+  c.renegotiate = renegotiate;
+  const HierResult r = run_hierarchy(c);
+  std::printf("%-28s %12.1f %12.1f %10.2f %8llu %10zu\n", label,
+              r.finished_at, r.converged_at, r.sla_fraction,
+              static_cast<unsigned long long>(r.renegotiations),
+              r.final_workers);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== E12: static vs renegotiated contract splitting (DES) ==\n");
+  std::printf("4 groups x 16 workers; offered 40 tasks/s of 1s work; "
+              "aggregate SLA >= 36/s; stream = 40000 tasks (1000s)\n\n");
+  std::printf("%-28s %12s %12s %10s %8s %10s\n", "# configuration",
+              "makespan[s]", "converge[s]", "sla_frac", "renegs", "workers");
+
+  row("homogeneous, static", false, {1, 1, 1, 1});
+  row("homogeneous, renegotiated", true, {1, 1, 1, 1});
+  row("one slow group, static", false, {1, 1, 1, 0.25});
+  row("one slow group, renegotiated", true, {1, 1, 1, 0.25});
+  row("two slow groups, static", false, {1, 1, 0.25, 0.25});
+  row("two slow groups, renegotiated", true, {1, 1, 0.25, 0.25});
+
+  std::printf("\n# expected shape: identical on homogeneous groups (nothing"
+              " to renegotiate); on heterogeneous groups the static split's"
+              " makespan balloons with the slow groups' backlog while the"
+              " renegotiated split stays near the 1000s stream length with"
+              " a high in-SLA fraction.\n");
+  return 0;
+}

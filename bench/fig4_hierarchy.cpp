@@ -1,0 +1,85 @@
+// Experiment E2 — the paper's Fig. 4.
+//
+// Hierarchical autonomic management of a three-stage pipeline
+// pipe(Producer, Farm(Filter), Consumer) under a 0.3–0.7 tasks/s
+// throughput-range SLA, with four managers: AM_A (pipeline/application),
+// AM_P (producer), AM_F (farm), AM_C (consumer).
+//
+// Prints the paper's four sub-graphs:
+//   1. events and actions in AM_A   (incRate / decRate / endStream)
+//   2. events and actions in AM_F   (contrLow / notEnough / raiseViol /
+//                                    addWorker / rebalance)
+//   3. input rate and farm throughput vs the contract stripe
+//   4. cores used over time
+//
+// Expected shape (paper): AM_F first raises notEnoughTasks violations
+// (input pressure too low) instead of acting; AM_A reacts with repeated
+// incRate contracts to AM_P; once pressure suffices AM_F adds workers
+// (twice, two at a time), possibly asking the producer to back off
+// (decRate) when pressure overshoots; at endStream AM_A stops reacting and
+// AM_F only rebalances queues.
+
+#include <cstdio>
+
+#include "bench/args.hpp"
+#include "bench/common.hpp"
+#include "bs/apps.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bsk;
+  const double scale = benchutil::arg_double(argc, argv, "--scale", 50.0);
+  support::ScopedClockScale clock(scale);
+
+  sim::Platform platform;
+  platform.add_machine("smp16", "local", 16, 1.0);
+  sim::ResourceManager rm(platform);
+  support::EventLog log;
+
+  bs::Fig4Params p;
+  p.tasks = static_cast<std::size_t>(
+      benchutil::arg_long(argc, argv, "--tasks", 80));
+  bs::Fig4App app(p, rm, log);
+
+  benchutil::Sampler sampler(
+      support::SimDuration(2.0), [&] {
+        return std::vector<double>{
+            app.producer_source().rate(),
+            app.farm().metrics().arrival_rate(),
+            app.farm().metrics().departure_rate(),
+            p.contract_lo,
+            p.contract_hi,
+            static_cast<double>(app.farm().worker_count()),
+            static_cast<double>(app.cores_in_use()),
+        };
+      });
+
+  std::printf("== Fig. 4: hierarchical AMs, contract %.1f-%.1f tasks/s ==\n",
+              p.contract_lo, p.contract_hi);
+  std::printf("tasks=%zu  producer_rate0=%.2f/s  filter_work=%.1fs  "
+              "initial_workers=%zu\n",
+              p.tasks, p.initial_rate, p.work_s, p.initial_workers);
+
+  app.start();
+  sampler.start();
+  app.wait();
+  sampler.stop();
+
+  benchutil::print_events("graph 1: AM_A (application manager) events", log,
+                          "AM_app");
+  benchutil::print_events("graph 2: AM_F (farm manager) events", log,
+                          "AM_farm");
+  benchutil::print_series(
+      "graph 3: producer rate / farm input / farm throughput vs contract",
+      {"prod_rate", "input_rate", "throughput", "c_lo", "c_hi", "workers",
+       "cores"},
+      sampler.samples());
+
+  std::printf("\n# summary: incRate=%zu decRate=%zu addWorker=%zu "
+              "raiseViol=%zu rebalance=%zu endStream=%zu processed=%zu\n",
+              log.count("AM_app", "incRate"), log.count("AM_app", "decRate"),
+              log.count("AM_farm", "addWorker"),
+              log.count("AM_farm", "raiseViol"),
+              log.count("AM_farm", "rebalance"),
+              log.count("AM_app", "endStream"), app.sink().received());
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Performance and security managers coordinating on a mixed grid — the
+// Sec. 3.2 scenario as a runnable example.
+//
+// A farm's home sits in a trusted cluster; the only spare cores are in
+// untrusted_ip_domain_A. Under performance pressure the perf manager must
+// recruit them. Its AddWorker intents pass through the GeneralManager's
+// two-phase protocol, where the security participant demands the new
+// worker's links be SSL-secured *before* any task reaches it — so the
+// security contract holds even while the performance contract is being
+// restored.
+
+#include <cstdio>
+
+#include "am/builtin_rules.hpp"
+#include "am/multiconcern.hpp"
+#include "bs/behavioural_skeleton.hpp"
+
+int main() {
+  using namespace bsk;
+  support::ScopedClockScale clock(60.0);
+
+  // 2 trusted cluster machines are fully occupied elsewhere — model this
+  // as a trusted home machine with one spare core plus untrusted capacity.
+  sim::Platform platform = sim::Platform::mixed_grid(0, 2, 4);
+  platform.add_domain(sim::Domain{"hq", true});
+  const sim::MachineId hq = platform.add_machine("hq0", "hq", 1);
+  sim::ResourceManager rm(platform);
+  support::EventLog log;
+
+  rt::FarmConfig fc;
+  fc.initial_workers = 1;
+  fc.rate_window = support::SimDuration(4.0);
+  am::ManagerConfig mc;
+  mc.period = support::SimDuration(1.0);
+  mc.max_workers = 6;
+  mc.warmup_s = 2.0;
+
+  auto farm_bs = bs::make_farm_bs(
+      "gridfarm", fc, [] { return std::make_unique<rt::SimComputeNode>(); },
+      mc, &rm, {}, rt::Placement{&platform, hq}, &log);
+
+  // The security manager: reactive rule (secure anything unsecured) plus a
+  // participant in the two-phase protocol (preventive).
+  am::AutonomicManager sec_am("AM_sec", farm_bs->abc(), mc, &log);
+  sec_am.load_rules(am::security_rules());
+  am::GeneralManager gm("GM", &log);
+  am::SecurityParticipant sec_part;
+  am::PerformanceParticipant perf_part(farm_bs->manager());
+  gm.register_participant(sec_part, 100);  // boolean concern: priority
+  gm.register_participant(perf_part, 10);
+  farm_bs->abc().set_commit_gate(gm.gate("AM_perf"));
+
+  auto& farm = dynamic_cast<rt::Farm&>(farm_bs->runnable());
+  farm.start();
+  farm_bs->manager().start();
+  sec_am.start();
+  farm_bs->manager().set_contract(am::Contract::min_throughput(1.5));
+  sec_am.set_contract(am::Contract::secure());
+
+  std::jthread feeder([&farm] {
+    for (int i = 0; i < 80; ++i) {
+      if (!farm.input()->push(rt::Task::data(i, 1.0))) return;
+      support::Clock::sleep_for(support::SimDuration(0.3));
+    }
+    farm.input()->close();
+  });
+  std::jthread drainer([&farm] {
+    rt::Task t;
+    while (farm.output()->pop(t) == support::ChannelStatus::Ok) {
+    }
+  });
+  feeder.join();
+  farm.wait();
+  drainer.join();
+  farm_bs->manager().stop();
+  sec_am.stop();
+
+  std::printf("workers spawned: %zu (max %zu)\n", farm.workers_spawned(),
+              mc.max_workers);
+  std::printf("GM intents: %zu, secure preparations: %zu, vetoes: %zu\n",
+              gm.requests_seen(), log.count("GM", "prepareSecure"),
+              gm.vetoes_issued());
+  std::printf("insecure messages over untrusted links: %llu  <- the point\n",
+              static_cast<unsigned long long>(farm.insecure_messages()));
+  std::printf("\nGM decision log:\n");
+  for (const auto& e : log.by_source("GM"))
+    std::printf("  t=%6.1fs  %-14s %s\n", e.time, e.name.c_str(),
+                e.detail.c_str());
+  return 0;
+}

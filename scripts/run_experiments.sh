@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Regenerate every experiment of DESIGN.md's per-experiment index.
+# Usage: scripts/run_experiments.sh [build-dir]
+set -euo pipefail
+
+BUILD="${1:-build}"
+
+cmake -B "$BUILD" -G Ninja
+cmake --build "$BUILD"
+ctest --test-dir "$BUILD" --output-on-failure
+
+for b in "$BUILD"/bench/*; do
+  [ -x "$b" ] || continue
+  echo
+  echo "===================================================================="
+  echo "== $(basename "$b")"
+  echo "===================================================================="
+  "$b"
+done

@@ -1,0 +1,183 @@
+#include "am/abc.hpp"
+
+#include <numeric>
+
+namespace bsk::am {
+
+// ------------------------------------------------------------------ helpers
+
+namespace {
+
+/// Metrics of an arbitrary runnable stage, or null when it has none.
+const rt::NodeMetrics* stage_metrics(const rt::Runnable& r) {
+  if (const auto* s = dynamic_cast<const rt::SeqStage*>(&r))
+    return &s->metrics();
+  if (const auto* f = dynamic_cast<const rt::Farm*>(&r)) return &f->metrics();
+  if (const auto* p = dynamic_cast<const rt::Pipeline*>(&r))
+    return p->stage_count() > 0 ? stage_metrics(p->stage(0)) : nullptr;
+  return nullptr;
+}
+
+/// Cores a running stage occupies: 1 per sequential stage, workers + 1
+/// (coordination) per farm, the sum for pipelines — matching the paper's
+/// "5 cores initially" accounting for producer + farm(2) + consumer.
+std::size_t stage_cores(const rt::Runnable& r) {
+  if (dynamic_cast<const rt::SeqStage*>(&r) != nullptr) return 1;
+  if (const auto* f = dynamic_cast<const rt::Farm*>(&r))
+    return f->running_workers() + 1;
+  if (const auto* p = dynamic_cast<const rt::Pipeline*>(&r)) {
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < p->stage_count(); ++i)
+      n += stage_cores(p->stage(i));
+    return n;
+  }
+  return 0;
+}
+
+/// True when a stage's input stream is exhausted: a finished source, or an
+/// emptied source that produced its full count.
+bool stage_stream_ended(rt::Runnable& r) {
+  if (auto* s = dynamic_cast<rt::SeqStage*>(&r)) {
+    if (s->finished()) return true;
+    if (const auto* src =
+            dynamic_cast<const rt::StreamSource*>(&s->node()))
+      return src->emitted() >= src->count();
+    return false;
+  }
+  if (auto* p = dynamic_cast<rt::Pipeline*>(&r))
+    return p->stage_count() > 0 && stage_stream_ended(p->stage(0));
+  return false;
+}
+
+}  // namespace
+
+/// Cores occupied by a runnable subtree (exposed for the benches' resource
+/// plots).
+std::size_t cores_in_use(const rt::Runnable& r) { return stage_cores(r); }
+
+// ------------------------------------------------------------------ FarmAbc
+
+FarmAbc::FarmAbc(rt::Farm& farm, sim::ResourceManager* rm,
+                 sim::RecruitConstraints recruit)
+    : farm_(farm), rm_(rm), recruit_(std::move(recruit)) {}
+
+Sensors FarmAbc::sense() {
+  Sensors s;
+  s.valid = !farm_.reconfiguring();
+  s.arrival_rate = farm_.metrics().arrival_rate();
+  s.departure_rate = farm_.metrics().departure_rate();
+  s.mean_service_s = farm_.metrics().mean_service_time();
+  s.nworkers = farm_.worker_count();
+  s.queue_variance = farm_.queue_variance();
+  const auto qs = farm_.queue_lengths();
+  s.queued = std::accumulate(qs.begin(), qs.end(), std::size_t{0});
+  s.unsecured_untrusted = farm_.has_unsecured_untrusted_links();
+  s.insecure_messages = farm_.insecure_messages();
+  // Latency estimate via Little's law: waiting = queued / delivered rate,
+  // falling back to a service-time projection when the farm is stalled.
+  double wait = 0.0;
+  if (s.queued > 0) {
+    wait = s.departure_rate > 1e-9
+               ? static_cast<double>(s.queued) / s.departure_rate
+               : static_cast<double>(s.queued) * s.mean_service_s /
+                     static_cast<double>(std::max<std::size_t>(s.nworkers, 1));
+  }
+  s.mean_latency_s = s.mean_service_s + wait;
+  s.total_failures = farm_.failures();
+  s.new_failures = s.total_failures - last_failures_;
+  last_failures_ = s.total_failures;
+  return s;
+}
+
+bool FarmAbc::add_worker() {
+  rt::Placement place = farm_.home();
+  std::optional<sim::CoreLease> lease;
+  bool untrusted = false;
+
+  if (rm_ != nullptr) {
+    lease = rm_->recruit(recruit_);
+    if (!lease) return false;  // no resources left
+    const sim::Platform& plat = rm_->platform();
+    place = rt::Placement{&plat, lease->machine};
+    const rt::Placement home = farm_.home();
+    untrusted = home.platform
+                    ? plat.link_untrusted(home.machine, lease->machine)
+                    : !plat.domain_of(lease->machine).trusted;
+  }
+
+  Intent intent;
+  intent.action = Intent::Action::AddWorker;
+  intent.target_untrusted = untrusted;
+  if (!pass_gate(intent)) {
+    if (lease && rm_) rm_->release(*lease);
+    return false;  // vetoed by a concern manager
+  }
+  return farm_.add_worker(place, lease, intent.require_secure);
+}
+
+bool FarmAbc::remove_worker() {
+  Intent intent;
+  intent.action = Intent::Action::RemoveWorker;
+  if (!pass_gate(intent)) return false;
+  const rt::RemoveWorkerResult r = farm_.remove_worker();
+  if (r.removed && r.lease && rm_) rm_->release(*r.lease);
+  return r.removed;
+}
+
+std::size_t FarmAbc::rebalance() { return farm_.rebalance(); }
+
+std::size_t FarmAbc::secure_links() { return farm_.secure_all_links(); }
+
+// ------------------------------------------------------------------- SeqAbc
+
+Sensors SeqAbc::sense() {
+  Sensors s;
+  s.arrival_rate = stage_.metrics().arrival_rate();
+  s.departure_rate = stage_.metrics().departure_rate();
+  s.mean_service_s = stage_.metrics().mean_service_time();
+  s.nworkers = 1;
+  s.stream_ended = stage_stream_ended(stage_);
+  return s;
+}
+
+bool SeqAbc::set_rate(double tasks_per_s) {
+  if (auto* src = stage_.node_as<rt::StreamSource>()) {
+    src->set_rate(tasks_per_s);
+    return true;
+  }
+  return false;
+}
+
+// -------------------------------------------------------------- PipelineAbc
+
+Sensors PipelineAbc::sense() {
+  Sensors s;
+  if (pipe_.stage_count() == 0) return s;
+  if (const auto* first = stage_metrics(pipe_.stage(0)))
+    s.arrival_rate = first->arrival_rate();
+  // Delivered throughput: for a terminal sink stage, tasks *reaching* it are
+  // the application's output (a sink forwards nothing downstream).
+  rt::Runnable& last = pipe_.stage(pipe_.stage_count() - 1);
+  auto* last_seq = dynamic_cast<rt::SeqStage*>(&last);
+  if (last_seq != nullptr &&
+      dynamic_cast<rt::StreamSink*>(&last_seq->node()) != nullptr)
+    s.departure_rate = last_seq->metrics().arrival_rate();
+  else if (const auto* m = stage_metrics(last))
+    s.departure_rate = m->departure_rate();
+  s.nworkers = stage_cores(pipe_);
+  s.stream_ended = stage_stream_ended(pipe_.stage(0));
+  // True end-to-end latency when the pipeline terminates in a sink.
+  if (last_seq != nullptr) {
+    if (const auto* sink = dynamic_cast<rt::StreamSink*>(&last_seq->node())) {
+      const auto ls = sink->latencies();
+      if (!ls.empty()) {
+        double sum = 0.0;
+        for (double x : ls) sum += x;
+        s.mean_latency_s = sum / static_cast<double>(ls.size());
+      }
+    }
+  }
+  return s;
+}
+
+}  // namespace bsk::am

@@ -1,0 +1,157 @@
+#pragma once
+// ABC — Autonomic Behaviour Controller.
+//
+// The paper's ABC is the *passive part* of a behavioural skeleton: the
+// mechanisms. It exposes monitoring of the computation (sensors) and the
+// reconfiguration operations (actuators) the manager's policies invoke; the
+// manager holds the policies, the ABC holds the mechanisms, and the
+// separation lets policy be written without knowing how actions are enacted
+// (the paper's solution to P_rol).
+//
+// Concrete ABCs adapt the runtime skeletons: FarmAbc wraps rt::Farm plus a
+// sim::ResourceManager (ADD_EXECUTOR = recruit a core, place a worker);
+// SeqAbc wraps a sequential stage (rate retuning for sources); PipelineAbc
+// aggregates its stages' sensors.
+//
+// Configuration-changing actuators optionally pass through a CommitGate —
+// the hook where the multi-concern super-manager's two-phase protocol
+// (Sec. 3.2) intercepts an *intent* before it is committed.
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "am/contract.hpp"
+#include "sim/resource_manager.hpp"
+#include "rt/farm.hpp"
+#include "rt/pipeline.hpp"
+#include "rt/seq_stage.hpp"
+
+namespace bsk::am {
+
+/// One monitoring snapshot, taken at the top of a manager control cycle.
+struct Sensors {
+  bool valid = true;            ///< false during reconfiguration (blackout)
+  double arrival_rate = 0.0;    ///< tasks/s entering (input pressure)
+  double departure_rate = 0.0;  ///< tasks/s delivered (throughput)
+  double mean_service_s = 0.0;  ///< mean observed per-task service time
+  double mean_latency_s = 0.0;  ///< mean (or estimated) source-to-sink latency
+  std::size_t nworkers = 0;     ///< current parallelism degree
+  double queue_variance = 0.0;  ///< unbalance across worker queues
+  std::size_t queued = 0;       ///< tasks queued inside the skeleton
+  bool stream_ended = false;    ///< upstream exhausted (endStream)
+  bool unsecured_untrusted = false;  ///< some untrusted link is unsecured
+  std::uint64_t insecure_messages = 0;
+  std::size_t total_failures = 0;  ///< workers crashed since start
+  std::size_t new_failures = 0;    ///< crashes since the previous snapshot
+};
+
+/// An intended configuration change, announced before commitment.
+struct Intent {
+  enum class Action { AddWorker, RemoveWorker, Rebalance, SetRate, SecureLinks };
+  Action action = Action::AddWorker;
+  /// For AddWorker: would the new worker sit in an untrusted domain?
+  bool target_untrusted = false;
+  /// Set by concern managers during phase one: the commit must secure the
+  /// new worker's links before any task reaches it.
+  bool require_secure = false;
+  /// For SetRate.
+  double rate = 0.0;
+};
+
+/// Phase-one hook: examine (and possibly annotate) the intent; return false
+/// to veto the commit. Installed by the multi-concern GeneralManager.
+using CommitGate = std::function<bool(Intent&)>;
+
+/// Cores occupied by a runnable subtree: 1 per sequential stage, workers+1
+/// per farm (coordination core), summed over pipelines — the quantity the
+/// paper's Fig. 4 bottom graph plots.
+std::size_t cores_in_use(const rt::Runnable& r);
+
+/// Abstract sensor/actuator surface. Actuators return whether the action
+/// was applicable; the base class declines everything so each concrete ABC
+/// only implements what its pattern supports.
+class Abc {
+ public:
+  virtual ~Abc() = default;
+
+  virtual Sensors sense() = 0;
+
+  // ------------------------------------------------------------ actuators
+  virtual bool add_worker() { return false; }
+  virtual bool remove_worker() { return false; }
+  virtual std::size_t rebalance() { return 0; }
+  virtual bool set_rate(double) { return false; }
+  virtual std::size_t secure_links() { return 0; }
+
+  /// Install / clear the two-phase commit gate.
+  void set_commit_gate(CommitGate g) { gate_ = std::move(g); }
+
+ protected:
+  /// Run the gate (true = proceed) and surface its secure requirement.
+  bool pass_gate(Intent& i) const { return gate_ ? gate_(i) : true; }
+
+  CommitGate gate_;
+};
+
+/// ABC over a task-farm skeleton: the paper's functional-replication BS.
+class FarmAbc final : public Abc {
+ public:
+  /// `rm` supplies cores for new workers (may be null: workers share the
+  /// farm's home placement and parallelism is unconstrained by hardware).
+  FarmAbc(rt::Farm& farm, sim::ResourceManager* rm = nullptr,
+          sim::RecruitConstraints recruit = {});
+
+  Sensors sense() override;
+
+  /// Recruit a core, pass the AddWorker intent through the gate, and
+  /// instantiate the worker (pre-secured when the gate requires it).
+  bool add_worker() override;
+
+  /// Retire a worker and release its core.
+  bool remove_worker() override;
+
+  std::size_t rebalance() override;
+  std::size_t secure_links() override;
+
+  rt::Farm& farm() { return farm_; }
+
+ private:
+  rt::Farm& farm_;
+  sim::ResourceManager* rm_;
+  sim::RecruitConstraints recruit_;
+  std::size_t last_failures_ = 0;  // for the new_failures delta
+};
+
+/// ABC over a sequential stage. For source stages (StreamSource) the
+/// set_rate actuator retunes emission — the mechanism behind incRate /
+/// decRate contracts sent to the Producer in Fig. 4.
+class SeqAbc final : public Abc {
+ public:
+  explicit SeqAbc(rt::SeqStage& stage) : stage_(stage) {}
+
+  Sensors sense() override;
+  bool set_rate(double tasks_per_s) override;
+
+  rt::SeqStage& stage() { return stage_; }
+
+ private:
+  rt::SeqStage& stage_;
+};
+
+/// ABC over a pipeline: arrival rate of the first stage, departure rate of
+/// the last, stream-end detection from the first stage's source.
+class PipelineAbc final : public Abc {
+ public:
+  explicit PipelineAbc(rt::Pipeline& pipe) : pipe_(pipe) {}
+
+  Sensors sense() override;
+
+  rt::Pipeline& pipeline() { return pipe_; }
+
+ private:
+  rt::Pipeline& pipe_;
+};
+
+}  // namespace bsk::am

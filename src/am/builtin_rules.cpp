@@ -1,0 +1,110 @@
+#include "am/builtin_rules.hpp"
+
+namespace bsk::am {
+
+std::string farm_rules() {
+  return R"(
+rule "CheckInterArrivalRateLow"
+  when
+    $arrivalBean : ArrivalRateBean ( value < ManagersConstants.FARM_LOW_PERF_LEVEL )
+  then
+    $arrivalBean.setData(ManagersConstants.notEnoughTasks_VIOL);
+    $arrivalBean.fireOperation(ManagerOperation.RAISE_VIOLATION);
+end
+
+rule "CheckInterArrivalRateHigh"
+  when
+    $arrivalBean : ArrivalRateBean ( value > ManagersConstants.FARM_HIGH_PERF_LEVEL )
+  then
+    $arrivalBean.setData(ManagersConstants.tooMuchTasks_VIOL);
+    $arrivalBean.fireOperation(ManagerOperation.RAISE_VIOLATION);
+end
+
+rule "CheckRateLow"
+  when
+    $departureBean : DepartureRateBean ( value < ManagersConstants.FARM_LOW_PERF_LEVEL )
+    $arrivalBean : ArrivalRateBean ( value >= ManagersConstants.FARM_LOW_PERF_LEVEL )
+    $parDegree : NumWorkerBean ( value <= ManagersConstants.FARM_MAX_NUM_WORKERS )
+  then
+    $departureBean.setData(ManagersConstants.FARM_ADD_WORKERS);
+    $departureBean.fireOperation(ManagerOperation.ADD_EXECUTOR);
+    $departureBean.fireOperation(ManagerOperation.BALANCE_LOAD);
+end
+
+rule "CheckRateHigh"
+  when
+    $departureBean : DepartureRateBean ( value > ManagersConstants.FARM_HIGH_PERF_LEVEL )
+    $parDegree : NumWorkerBean ( value > ManagersConstants.FARM_MIN_NUM_WORKERS )
+  then
+    $departureBean.fireOperation(ManagerOperation.REMOVE_EXECUTOR);
+    $departureBean.fireOperation(ManagerOperation.BALANCE_LOAD);
+end
+
+rule "CheckLoadBalance"
+  when
+    $VarianceBean : QuequeVarianceBean ( value > ManagersConstants.FARM_MAX_UNBALANCE )
+  then
+    $VarianceBean.fireOperation(ManagerOperation.BALANCE_LOAD);
+end
+)";
+}
+
+std::string security_rules() {
+  return R"(
+rule "SecureUnsecuredLinks"
+  salience 100
+  when
+    UnsecuredLinksBean ( value > 0 )
+  then
+    fire(SECURE_LINKS);
+end
+)";
+}
+
+std::string fault_tolerance_rules() {
+  return R"(
+rule "ReplaceFailedWorkers"
+  salience 50
+  when
+    WorkerFailureBean ( value > 0 )
+  then
+    setData(WORKER_FAILURES);
+    fire(ADD_EXECUTOR);
+    fire(BALANCE_LOAD);
+end
+)";
+}
+
+std::string latency_rules() {
+  return R"(
+rule "CheckLatencyHigh"
+  salience 5
+  when
+    LatencyBean ( value > ManagersConstants.MAX_LATENCY )
+    NumWorkerBean ( value <= ManagersConstants.FARM_MAX_NUM_WORKERS )
+  then
+    setData(ManagersConstants.FARM_ADD_WORKERS);
+    fire(ADD_EXECUTOR);
+    fire(BALANCE_LOAD);
+end
+)";
+}
+
+std::string backlog_rules() {
+  return R"(
+rule "DrainBacklog"
+  salience 10
+  when
+    DepartureRateBean ( value < ManagersConstants.FARM_LOW_PERF_LEVEL )
+    ArrivalRateBean ( value < ManagersConstants.FARM_LOW_PERF_LEVEL )
+    QueuedTasksBean ( value > ManagersConstants.FARM_BACKLOG_THRESHOLD )
+    NumWorkerBean ( value <= ManagersConstants.FARM_MAX_NUM_WORKERS )
+  then
+    setData(ManagersConstants.FARM_ADD_WORKERS);
+    fire(ADD_EXECUTOR);
+    fire(BALANCE_LOAD);
+end
+)";
+}
+
+}  // namespace bsk::am

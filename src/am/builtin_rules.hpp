@@ -1,0 +1,40 @@
+#pragma once
+// Built-in rule sets.
+//
+// farm_rules() is the paper's Fig. 5 rule file, reproduced in the same
+// Drools-flavoured syntax our parser accepts (including the original's
+// "QuequeVarianceBean" spelling — the monitor phase asserts that alias).
+// The constants (FARM_LOW_PERF_LEVEL, ...) are derived by the manager from
+// its current contract, so the same text serves any throughput SLA.
+
+#include <string>
+
+namespace bsk::am {
+
+/// The task-farm manager policy of the paper's Fig. 5: raise a violation on
+/// insufficient/excessive input pressure, grow the worker set when
+/// throughput trails the contract despite sufficient input, shrink it on
+/// overshoot, and rebalance on queue skew.
+std::string farm_rules();
+
+/// Security manager policy: whenever an untrusted link is observed
+/// unsecured, secure it (the reactive half of the Sec. 3.2 security AM).
+std::string security_rules();
+
+/// Fault-tolerance concern (extension — the paper names fault tolerance as
+/// a target concern but only builds performance/security): replace crashed
+/// workers one-for-one, at high salience so replacement precedes ordinary
+/// performance tuning in the same cycle.
+std::string fault_tolerance_rules();
+
+/// Latency concern (extension): when the (estimated) mean latency exceeds
+/// the contract's MAX_LATENCY, add workers to drain the queues faster.
+std::string latency_rules();
+
+/// Extension to the Fig. 5 performance policy: grow on a deep backlog even
+/// when input pressure has stopped (the Fig. 5 rules are blind to queued
+/// work once arrivals cease — the paper's "unlimited buffering" remark).
+/// Requires the FARM_BACKLOG_THRESHOLD constant.
+std::string backlog_rules();
+
+}  // namespace bsk::am

@@ -1,0 +1,134 @@
+#include "am/contract.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+namespace bsk::am {
+
+std::string Contract::describe() const {
+  std::ostringstream os;
+  bool any = false;
+  auto sep = [&] {
+    if (any) os << ", ";
+    any = true;
+  };
+  if (best_effort) {
+    sep();
+    os << "bestEffort";
+  }
+  if (throughput) {
+    sep();
+    if (std::isinf(throughput->second))
+      os << "T >= " << throughput->first << "/s";
+    else
+      os << "T in [" << throughput->first << ", " << throughput->second
+         << "]/s";
+  }
+  if (par_degree) {
+    sep();
+    os << "parDegree <= " << *par_degree;
+  }
+  if (max_latency_s) {
+    sep();
+    os << "latency <= " << *max_latency_s << "s";
+  }
+  if (secure_comms) {
+    sep();
+    os << "secureComms";
+  }
+  if (!any) os << "none";
+  return os.str();
+}
+
+std::vector<Contract> split_for_pipeline(
+    const Contract& c, std::size_t n,
+    const std::vector<double>& stage_weights) {
+  if (n == 0) return {};
+  std::vector<double> w = stage_weights;
+  if (w.size() != n) w.assign(n, 1.0);
+  const double total = std::accumulate(w.begin(), w.end(), 0.0);
+
+  std::vector<Contract> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Contract sub;
+    // Pipeline throughput is bounded by the slowest stage, so every stage
+    // must individually meet the full range.
+    sub.throughput = c.throughput;
+    // A latency budget is additive over the stages: split it by weight.
+    if (c.max_latency_s)
+      sub.max_latency_s =
+          total > 0 ? *c.max_latency_s * w[i] / total
+                    : *c.max_latency_s / static_cast<double>(n);
+    if (c.par_degree) {
+      const double share =
+          total > 0 ? static_cast<double>(*c.par_degree) * w[i] / total : 0.0;
+      sub.par_degree =
+          std::max<std::size_t>(1, static_cast<std::size_t>(std::floor(share)));
+    }
+    sub.secure_comms = c.secure_comms;
+    sub.best_effort = c.best_effort;
+    out.push_back(std::move(sub));
+  }
+
+  // Distribute any parallelism left over by flooring to the heaviest stages.
+  if (c.par_degree) {
+    std::size_t assigned = 0;
+    for (const Contract& s : out) assigned += *s.par_degree;
+    std::vector<std::size_t> idx(n);
+    std::iota(idx.begin(), idx.end(), 0);
+    std::stable_sort(idx.begin(), idx.end(),
+                     [&](std::size_t a, std::size_t b) { return w[a] > w[b]; });
+    std::size_t k = 0;
+    while (assigned < *c.par_degree && n > 0) {
+      out[idx[k % n]].par_degree = *out[idx[k % n]].par_degree + 1;
+      ++assigned;
+      ++k;
+    }
+  }
+  return out;
+}
+
+Contract farm_worker_contract(const Contract& c) {
+  Contract sub = Contract::bestEffort();
+  sub.secure_comms = c.secure_comms;
+  return sub;
+}
+
+Contract merge_contracts(const std::vector<Contract>& cs) {
+  Contract out;
+  for (const Contract& c : cs) {
+    if (c.throughput) {
+      if (!out.throughput) {
+        out.throughput = c.throughput;
+      } else {
+        out.throughput->first = std::max(out.throughput->first,
+                                         c.throughput->first);
+        out.throughput->second = std::min(out.throughput->second,
+                                          c.throughput->second);
+      }
+    }
+    if (c.par_degree)
+      out.par_degree = out.par_degree ? std::min(*out.par_degree, *c.par_degree)
+                                      : *c.par_degree;
+    if (c.max_latency_s)
+      out.max_latency_s = out.max_latency_s
+                              ? std::min(*out.max_latency_s, *c.max_latency_s)
+                              : *c.max_latency_s;
+    out.secure_comms = out.secure_comms || c.secure_comms;
+    out.best_effort = out.best_effort || c.best_effort;
+  }
+  // Degenerate intersection: keep the lower bound as the binding goal.
+  if (out.throughput && out.throughput->second < out.throughput->first)
+    out.throughput->second = out.throughput->first;
+  return out;
+}
+
+bool throughput_satisfied(const Contract& c, double rate) {
+  if (!c.throughput) return true;
+  return rate >= c.throughput->first && rate <= c.throughput->second;
+}
+
+}  // namespace bsk::am

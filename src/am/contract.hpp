@@ -1,0 +1,153 @@
+#pragma once
+// Contracts (SLAs) and the splitting strategies of the paper's P_spl.
+//
+// A contract is the target a manager autonomically maintains. Following the
+// paper, a contract can carry: a throughput range (the Fig. 4 c_tRange), a
+// parallelism-degree bound, a security goal ("all links crossing untrusted
+// domains must be secured" — the boolean concern of Sec. 3.2), or be
+// best-effort (what the farm manager hands its workers, per Sec. 4.2).
+//
+// Splitting (P_spl) is pattern-specific, per Sec. 3.1: a pipeline's
+// throughput SLA replicates identically to every stage (the pipeline is
+// bounded by its slowest stage) while a parallelism-degree SLA splits
+// proportionally to stage weights; a farm hands its workers best-effort
+// sub-contracts. Boolean concerns propagate unchanged.
+
+#include <cstddef>
+#include <limits>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace bsk::am {
+
+/// A non-functional contract (SLA). Composite: any subset of goals may be
+/// present; a contract with no goals and best_effort=true means "do your
+/// best locally" (the workers' sub-contract in the paper's farm BS).
+struct Contract {
+  /// Required delivered throughput, tasks per simulated second: [lo, hi].
+  /// hi == +inf expresses a pure lower bound (the Fig. 3 "0.6 task/s" SLA).
+  std::optional<std::pair<double, double>> throughput;
+
+  /// Bound on the parallelism degree available to this subtree.
+  std::optional<std::size_t> par_degree;
+
+  /// Upper bound on mean source-to-sink latency (simulated seconds). Unlike
+  /// throughput (which every pipeline stage must individually meet), a
+  /// latency budget *splits* across stages.
+  std::optional<double> max_latency_s;
+
+  /// Security goal: no data may cross an untrusted link unsecured.
+  bool secure_comms = false;
+
+  /// Best-effort marker (locally optimize, nothing to violate).
+  bool best_effort = false;
+
+  // ------------------------------------------------------------- factories
+
+  static Contract none() { return {}; }
+
+  static Contract bestEffort() {
+    Contract c;
+    c.best_effort = true;
+    return c;
+  }
+
+  /// Lower-bounded throughput (Fig. 3: min_throughput(0.6)).
+  static Contract min_throughput(double lo) {
+    Contract c;
+    c.throughput = {lo, std::numeric_limits<double>::infinity()};
+    return c;
+  }
+
+  /// Range throughput (Fig. 4: throughput_range(0.3, 0.7)).
+  static Contract throughput_range(double lo, double hi) {
+    Contract c;
+    c.throughput = {lo, hi};
+    return c;
+  }
+
+  /// Exact rate target — sent to a Producer stage by incRate/decRate.
+  static Contract rate(double r) { return throughput_range(r, r); }
+
+  static Contract parallelism(std::size_t degree) {
+    Contract c;
+    c.par_degree = degree;
+    return c;
+  }
+
+  /// Latency SLA: mean latency must stay below `seconds`.
+  static Contract max_latency(double seconds) {
+    Contract c;
+    c.max_latency_s = seconds;
+    return c;
+  }
+
+  static Contract secure() {
+    Contract c;
+    c.secure_comms = true;
+    return c;
+  }
+
+  // ------------------------------------------------------------ combinators
+
+  /// This contract plus the security goal.
+  Contract with_secure() const {
+    Contract c = *this;
+    c.secure_comms = true;
+    return c;
+  }
+
+  Contract with_par_degree(std::size_t d) const {
+    Contract c = *this;
+    c.par_degree = d;
+    return c;
+  }
+
+  Contract with_max_latency(double seconds) const {
+    Contract c = *this;
+    c.max_latency_s = seconds;
+    return c;
+  }
+
+  bool has_goals() const {
+    return throughput.has_value() || par_degree.has_value() ||
+           max_latency_s.has_value() || secure_comms;
+  }
+
+  double throughput_lo() const { return throughput ? throughput->first : 0.0; }
+  double throughput_hi() const {
+    return throughput ? throughput->second
+                      : std::numeric_limits<double>::infinity();
+  }
+
+  /// Human-readable form for traces and logs.
+  std::string describe() const;
+
+  bool operator==(const Contract&) const = default;
+};
+
+// -------------------------------------------------------------- splitting
+
+/// Split a pipeline's contract into per-stage sub-contracts (P_spl).
+/// Throughput replicates identically; par_degree splits proportionally to
+/// `stage_weights` (uniform when empty), each stage getting at least 1;
+/// secure_comms propagates. `n` must be >= 1.
+std::vector<Contract> split_for_pipeline(const Contract& c, std::size_t n,
+                                         const std::vector<double>&
+                                             stage_weights = {});
+
+/// The farm's worker sub-contract: best-effort, carrying the security goal
+/// through (Sec. 4.2: "it passes the AM_Wi a c_bestEffort contract").
+Contract farm_worker_contract(const Contract& c);
+
+/// Merge several per-concern contracts into one summary super-contract
+/// (the Sec. 3.2 idea of deriving c̄ from c_1..c_h): throughput ranges
+/// intersect, par-degree bounds take the minimum, boolean goals OR.
+/// An empty intersection collapses to the tightest lower bound.
+Contract merge_contracts(const std::vector<Contract>& cs);
+
+/// True when delivering `rate` satisfies the contract's throughput goal.
+bool throughput_satisfied(const Contract& c, double rate);
+
+}  // namespace bsk::am

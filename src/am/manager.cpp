@@ -1,0 +1,361 @@
+#include "am/manager.hpp"
+
+#include <cmath>
+#include <set>
+#include <condition_variable>
+#include <limits>
+
+namespace bsk::am {
+
+namespace beans {
+std::string child_violation(const std::string& kind) {
+  return "Violation_" + kind;
+}
+}  // namespace beans
+
+AutonomicManager::AutonomicManager(std::string name, Abc& abc,
+                                   ManagerConfig cfg, support::EventLog* log)
+    : name_(std::move(name)),
+      abc_(abc),
+      cfg_(cfg),
+      log_(log != nullptr ? log : &support::global_event_log()) {
+  // Defaults for the standard rule constants; a contract refines them.
+  consts_.set("FARM_LOW_PERF_LEVEL", 0.0);
+  consts_.set("FARM_HIGH_PERF_LEVEL", 1e30);
+  consts_.set("FARM_MIN_NUM_WORKERS", static_cast<double>(cfg_.min_workers));
+  consts_.set("FARM_MAX_NUM_WORKERS", static_cast<double>(cfg_.max_workers));
+  consts_.set("FARM_MAX_UNBALANCE", cfg_.max_unbalance);
+  consts_.set("FARM_ADD_WORKERS", 2.0);  // workers added per ADD_EXECUTOR
+  consts_.set("MAX_LATENCY", 1e30);
+  install_default_operations();
+}
+
+AutonomicManager::~AutonomicManager() { stop(); }
+
+// ------------------------------------------------------------------ events
+
+void AutonomicManager::record(const std::string& event, double value,
+                              const std::string& detail) {
+  log_->record(name_, event, value, detail);
+}
+
+// --------------------------------------------------------------- lifecycle
+
+void AutonomicManager::start() {
+  if (running_.exchange(true)) return;
+  loop_ = std::jthread([this](std::stop_token st) { control_loop(st); });
+}
+
+void AutonomicManager::stop() {
+  if (!running_.exchange(false)) return;
+  loop_.request_stop();
+  if (loop_.joinable()) loop_.join();
+}
+
+void AutonomicManager::control_loop(const std::stop_token& st) {
+  std::mutex m;
+  std::condition_variable_any cv;
+  while (!st.stop_requested()) {
+    run_cycle_once();
+    std::unique_lock lk(m);
+    cv.wait_for(lk, st, support::Clock::to_wall(cfg_.period),
+                [] { return false; });
+  }
+}
+
+// ------------------------------------------------------------ MAPE cycle
+
+bool AutonomicManager::monitor_phase(Sensors& out) {
+  out = abc_.sense();
+  {
+    std::scoped_lock lk(state_mu_);
+    last_sensors_ = out;
+  }
+  if (!out.valid) return false;  // reconfiguration blackout
+
+  wm_.set(beans::kArrivalRate, out.arrival_rate);
+  wm_.set(beans::kDepartureRate, out.departure_rate);
+  wm_.set(beans::kNumWorker, static_cast<double>(out.nworkers));
+  wm_.set(beans::kQueueVariance, out.queue_variance);
+  wm_.set(beans::kQueueVariancePaper, out.queue_variance);
+  wm_.set(beans::kServiceTime, out.mean_service_s);
+  wm_.set(beans::kLatency, out.mean_latency_s);
+  wm_.set(beans::kQueuedTasks, static_cast<double>(out.queued));
+  wm_.set(beans::kUnsecuredLinks, out.unsecured_untrusted ? 1.0 : 0.0);
+  wm_.set(beans::kWorkerFailure, static_cast<double>(out.new_failures));
+  wm_.set(beans::kTotalFailures, static_cast<double>(out.total_failures));
+  // Payload constant so FT rules can replace exactly the crashed count.
+  consts_.set("WORKER_FAILURES", static_cast<double>(out.new_failures));
+  if (out.new_failures > 0)
+    record("workerFail", static_cast<double>(out.new_failures));
+
+  if (out.stream_ended && !stream_ended_.exchange(true))
+    record("endStream");
+  wm_.set(beans::kStreamEnd, stream_ended_.load() ? 1.0 : 0.0);
+
+  if (cfg_.observation_events) {
+    Contract c;
+    {
+      std::scoped_lock lk(state_mu_);
+      c = contract_;
+    }
+    if (c.throughput) {
+      if (out.departure_rate < c.throughput->first)
+        record("contrLow", out.departure_rate);
+      else if (out.departure_rate > c.throughput->second)
+        record("contrHigh", out.departure_rate);
+      if (out.arrival_rate < c.throughput->first)
+        record("notEnough", out.arrival_rate);
+    }
+    if (c.max_latency_s && out.mean_latency_s > *c.max_latency_s)
+      record("latencyHigh", out.mean_latency_s);
+  }
+  return true;
+}
+
+std::vector<std::string> AutonomicManager::run_cycle_once() {
+  if (cycles_.fetch_add(1) == 0 && cfg_.warmup_s > 0.0)
+    plan_suppressed_until_ = support::Clock::now() + cfg_.warmup_s;
+  Sensors s;
+  if (!monitor_phase(s)) return {};
+
+  // Consume queued child violations: pulse beans + imperative handler.
+  std::deque<ChildViolation> viols;
+  std::function<void(const ChildViolation&)> handler;
+  {
+    std::scoped_lock lk(state_mu_);
+    viols.swap(pending_violations_);
+    handler = violation_handler_;
+  }
+  // Several identical reports can queue up between two of our cycles (the
+  // child's loop may be faster); one observation batch warrants one
+  // corrective action per (child, kind).
+  std::vector<std::string> pulse_beans;
+  std::set<std::pair<std::string, std::string>> seen;
+  for (const ChildViolation& v : viols) {
+    if (!seen.insert({v.child, v.kind}).second) continue;
+    const std::string bean = beans::child_violation(v.kind);
+    wm_.set(bean, 1.0);
+    pulse_beans.push_back(bean);
+    if (handler) {
+      handler(v);
+    } else if (parent_ != nullptr) {
+      // No local policy for this violation: escalate it one level up (the
+      // recursive reporting of the paper's Sec. 3.1 scheme). Rules matching
+      // the pulse bean can still act locally in the same cycle.
+      record("escalateViol", 0.0, v.kind);
+      parent_->notify_child_violation(name_, v.kind);
+    }
+  }
+
+  // Plan/execute: one agenda cycle, unless within an action cooldown.
+  std::vector<std::string> fired;
+  Contract c;
+  {
+    std::scoped_lock lk(state_mu_);
+    c = contract_;
+  }
+  const bool suppressed = support::Clock::now() < plan_suppressed_until_;
+  if (!suppressed && (c.has_goals() || c.best_effort)) {
+    violation_raised_this_cycle_ = false;
+    fired = engine_.run_cycle(wm_, consts_, *this);
+    // Actions change the managed system; a Drools engine would see the
+    // updated facts immediately. Re-monitor once and give the remaining
+    // rules (cross-pass refraction) a chance to react to the consequences
+    // in the same period — e.g. a single multi-concern manager securing the
+    // links of the worker it just added.
+    if (!fired.empty() && monitor_phase(s)) {
+      const auto follow_up = engine_.run_cycle(wm_, consts_, *this, &fired);
+      fired.insert(fired.end(), follow_up.begin(), follow_up.end());
+    }
+  }
+
+  for (const std::string& b : pulse_beans) wm_.retract(b);
+  return fired;
+}
+
+// ---------------------------------------------------- contract & hierarchy
+
+void AutonomicManager::derive_constants_locked() {
+  if (contract_.throughput) {
+    consts_.set("FARM_LOW_PERF_LEVEL", contract_.throughput->first);
+    const double hi = contract_.throughput->second;
+    consts_.set("FARM_HIGH_PERF_LEVEL",
+                std::isinf(hi) ? 1e30 : hi);
+  }
+  consts_.set("MAX_LATENCY",
+              contract_.max_latency_s ? *contract_.max_latency_s : 1e30);
+  std::size_t max_w = cfg_.max_workers;
+  if (contract_.par_degree) max_w = std::min(max_w, *contract_.par_degree);
+  consts_.set("FARM_MAX_NUM_WORKERS", static_cast<double>(max_w));
+  consts_.set("FARM_MIN_NUM_WORKERS", static_cast<double>(cfg_.min_workers));
+  consts_.set("FARM_MAX_UNBALANCE", cfg_.max_unbalance);
+}
+
+void AutonomicManager::set_contract(const Contract& c) {
+  std::function<void(const Contract&)> hook;
+  {
+    std::scoped_lock lk(state_mu_);
+    contract_ = c;
+    derive_constants_locked();
+    hook = on_contract_;
+  }
+  record("newContract", 0.0, c.describe());
+  mode_.store(ManagerMode::Active);
+  if (hook) hook(c);
+
+  Splitter sp;
+  std::vector<AutonomicManager*> kids;
+  {
+    std::scoped_lock lk(state_mu_);
+    sp = splitter_;
+    kids = children_;
+  }
+  if (!kids.empty()) {
+    const std::vector<Contract> subs =
+        sp ? sp(c, kids.size()) : split_for_pipeline(c, kids.size());
+    for (std::size_t i = 0; i < kids.size() && i < subs.size(); ++i)
+      kids[i]->set_contract(subs[i]);
+  }
+}
+
+Contract AutonomicManager::contract() const {
+  std::scoped_lock lk(state_mu_);
+  return contract_;
+}
+
+void AutonomicManager::set_on_contract(
+    std::function<void(const Contract&)> fn) {
+  std::scoped_lock lk(state_mu_);
+  on_contract_ = std::move(fn);
+}
+
+void AutonomicManager::attach_child(AutonomicManager& child) {
+  std::scoped_lock lk(state_mu_);
+  children_.push_back(&child);
+  child.parent_ = this;  // setup-time wiring, before loops start
+}
+
+void AutonomicManager::set_splitter(Splitter s) {
+  std::scoped_lock lk(state_mu_);
+  splitter_ = std::move(s);
+}
+
+void AutonomicManager::notify_child_violation(const std::string& child,
+                                              const std::string& kind) {
+  std::scoped_lock lk(state_mu_);
+  pending_violations_.push_back(ChildViolation{child, kind});
+}
+
+void AutonomicManager::set_violation_handler(
+    std::function<void(const ChildViolation&)> fn) {
+  std::scoped_lock lk(state_mu_);
+  violation_handler_ = std::move(fn);
+}
+
+Sensors AutonomicManager::last_sensors() const {
+  std::scoped_lock lk(state_mu_);
+  return last_sensors_;
+}
+
+// ----------------------------------------------------------------- policy
+
+void AutonomicManager::load_rules(const std::string& brl_text) {
+  for (rules::Rule& r : rules::parse_rules(brl_text))
+    engine_.add_rule(std::move(r));
+}
+
+void AutonomicManager::register_operation(
+    const std::string& op, std::function<void(const std::string&)> fn) {
+  std::scoped_lock lk(state_mu_);
+  operations_[op] = std::move(fn);
+}
+
+void AutonomicManager::fire_operation(const std::string& operation,
+                                      const std::string& data) {
+  std::function<void(const std::string&)> fn;
+  {
+    std::scoped_lock lk(state_mu_);
+    const auto it = operations_.find(operation);
+    if (it != operations_.end()) fn = it->second;
+  }
+  if (fn)
+    fn(data);
+  else
+    record("unknownOperation", 0.0, operation);
+}
+
+void AutonomicManager::install_default_operations() {
+  // Resolve a numeric payload: a constant name, a literal, or fallback.
+  auto resolve_count = [this](const std::string& data,
+                              double fallback) -> double {
+    if (data.empty()) return fallback;
+    if (const auto c = consts_.get(data)) return *c;
+    try {
+      return std::stod(data);
+    } catch (...) {
+      return fallback;
+    }
+  };
+
+  operations_[ops::kAddExecutor] = [this, resolve_count](
+                                       const std::string& data) {
+    auto n = static_cast<std::size_t>(resolve_count(data, 1.0));
+    // Never grow past the contract/config bound even when the payload
+    // requests more (the Fig. 5 guard is `<=`, so it can overshoot by a
+    // step without this cap).
+    const auto max_w = static_cast<std::size_t>(
+        consts_.get("FARM_MAX_NUM_WORKERS").value_or(1e9));
+    const std::size_t cur = last_sensors().nworkers;
+    n = std::min(n, max_w > cur ? max_w - cur : 0);
+    std::size_t added = 0;
+    for (std::size_t i = 0; i < n; ++i)
+      if (abc_.add_worker()) ++added;
+    if (added > 0) {
+      record("addWorker", static_cast<double>(added));
+      mode_.store(ManagerMode::Active);
+      if (cfg_.action_cooldown_s > 0.0)
+        plan_suppressed_until_ =
+            support::Clock::now() + cfg_.action_cooldown_s;
+    } else {
+      record("addWorkerFailed");
+    }
+  };
+
+  operations_[ops::kRemoveExecutor] = [this, resolve_count](
+                                          const std::string& data) {
+    const auto n = static_cast<std::size_t>(resolve_count(data, 1.0));
+    std::size_t removed = 0;
+    for (std::size_t i = 0; i < n; ++i)
+      if (abc_.remove_worker()) ++removed;
+    if (removed > 0) {
+      record("removeWorker", static_cast<double>(removed));
+      mode_.store(ManagerMode::Active);
+      if (cfg_.action_cooldown_s > 0.0)
+        plan_suppressed_until_ =
+            support::Clock::now() + cfg_.action_cooldown_s;
+    }
+  };
+
+  operations_[ops::kBalanceLoad] = [this](const std::string&) {
+    const std::size_t moved = abc_.rebalance();
+    if (moved > 0) record("rebalance", static_cast<double>(moved));
+  };
+
+  operations_[ops::kSecureLinks] = [this](const std::string&) {
+    const std::size_t n = abc_.secure_links();
+    if (n > 0) record("secureLinks", static_cast<double>(n));
+  };
+
+  operations_[ops::kRaiseViolation] = [this](const std::string& data) {
+    record("raiseViol", 0.0, data);
+    violation_raised_this_cycle_ = true;
+    mode_.store(ManagerMode::Passive);
+    if (parent_ != nullptr)
+      parent_->notify_child_violation(name_, data);
+    else
+      record("violationToUser", 0.0, data);
+  };
+}
+
+}  // namespace bsk::am

@@ -1,0 +1,240 @@
+#pragma once
+// AutonomicManager: the active part of a behavioural skeleton.
+//
+// Implements the paper's classical autonomic control loop: a *monitor*
+// phase refreshes working-memory beans from the ABC's sensors, then the
+// rule engine runs one agenda cycle (*analyse/plan*), and fired rules call
+// back into this manager's OperationSink to *execute* actuators. The loop
+// runs on its own thread — the AM is "a concurrent activity with respect to
+// the main flow of control of the application".
+//
+// Active/passive roles (P_rol) follow the paper's realization: "transition
+// to the passive state is modelled by the absence of fireable 'active'
+// rules"; a manager that can only raise a violation reports it to its
+// parent (RAISE_VIOLATION) and is considered passive until some local rule
+// fires again or a new contract arrives.
+//
+// Hierarchy: managers form a tree mirroring the skeleton nesting. A parent
+// splits its contract with a pattern-specific splitter and pushes the
+// sub-contracts to its children; children report violations upward through
+// notify_child_violation, which the parent consumes at the top of its next
+// control cycle — as queued *pulse beans* its rules can match, and through
+// an optional imperative handler (how the Fig. 4 pipeline manager converts
+// a farm's notEnoughTasks into an incRate contract for the producer).
+
+#include <atomic>
+#include <deque>
+#include <map>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "am/abc.hpp"
+#include "am/contract.hpp"
+#include "rules/engine.hpp"
+#include "rules/parser.hpp"
+#include "support/event_log.hpp"
+
+namespace bsk::am {
+
+/// Reported manager role (derived, per the paper's soft definition).
+enum class ManagerMode { Active, Passive };
+
+/// Tuning knobs of one manager.
+struct ManagerConfig {
+  /// Control-loop period (simulated seconds).
+  support::SimDuration period{5.0};
+  /// Bounds used to derive FARM_MIN/MAX_NUM_WORKERS constants.
+  std::size_t min_workers = 1;
+  std::size_t max_workers = 16;
+  /// Queue-length variance above which BALANCE_LOAD should fire.
+  double max_unbalance = 9.0;
+  /// After an ADD/REMOVE_EXECUTOR, suppress planning for this many
+  /// simulated seconds so the rate window can reflect the new configuration
+  /// (damping; 0 disables).
+  double action_cooldown_s = 0.0;
+  /// Planning is suppressed for this long after the first control cycle —
+  /// rate sensors are meaningless until their window has filled (monitoring
+  /// and observation events still run). 0 disables.
+  double warmup_s = 0.0;
+  /// Emit contrLow/contrHigh/notEnough observation events each cycle they
+  /// hold (the event lines of the paper's Fig. 4).
+  bool observation_events = true;
+};
+
+/// A violation reported by a child manager.
+struct ChildViolation {
+  std::string child;
+  std::string kind;  ///< e.g. "notEnoughTasks_VIOL"
+};
+
+/// Standard bean names asserted by the monitor phase.
+namespace beans {
+inline constexpr const char* kArrivalRate = "ArrivalRateBean";
+inline constexpr const char* kDepartureRate = "DepartureRateBean";
+inline constexpr const char* kNumWorker = "NumWorkerBean";
+inline constexpr const char* kQueueVariance = "QueueVarianceBean";
+/// The paper's Fig. 5 spells it "QuequeVarianceBean"; both are asserted so
+/// its rule text runs unmodified.
+inline constexpr const char* kQueueVariancePaper = "QuequeVarianceBean";
+inline constexpr const char* kServiceTime = "ServiceTimeBean";
+inline constexpr const char* kLatency = "LatencyBean";
+inline constexpr const char* kQueuedTasks = "QueuedTasksBean";
+inline constexpr const char* kStreamEnd = "StreamEndBean";
+inline constexpr const char* kUnsecuredLinks = "UnsecuredLinksBean";
+/// Workers crashed since the previous cycle / since start.
+inline constexpr const char* kWorkerFailure = "WorkerFailureBean";
+inline constexpr const char* kTotalFailures = "TotalFailuresBean";
+/// Pulse bean asserted for one cycle when child `kind` violations arrive:
+/// "Violation_<kind>Bean".
+std::string child_violation(const std::string& kind);
+}  // namespace beans
+
+/// Standard operation names fired by rules.
+namespace ops {
+inline constexpr const char* kAddExecutor = "ADD_EXECUTOR";
+inline constexpr const char* kRemoveExecutor = "REMOVE_EXECUTOR";
+inline constexpr const char* kBalanceLoad = "BALANCE_LOAD";
+inline constexpr const char* kRaiseViolation = "RAISE_VIOLATION";
+inline constexpr const char* kSecureLinks = "SECURE_LINKS";
+}  // namespace ops
+
+class AutonomicManager : public rules::OperationSink {
+ public:
+  /// `log` defaults to the process-wide event log.
+  AutonomicManager(std::string name, Abc& abc, ManagerConfig cfg = {},
+                   support::EventLog* log = nullptr);
+  ~AutonomicManager() override;
+
+  AutonomicManager(const AutonomicManager&) = delete;
+  AutonomicManager& operator=(const AutonomicManager&) = delete;
+
+  // ------------------------------------------------------------- lifecycle
+
+  /// Start the periodic control loop on a dedicated thread.
+  void start();
+
+  /// Stop the loop and join the thread (idempotent).
+  void stop();
+
+  /// Run exactly one synchronous MAPE cycle (tests / simulators / custom
+  /// schedulers). Returns the rules fired.
+  std::vector<std::string> run_cycle_once();
+
+  std::size_t cycles_run() const { return cycles_.load(); }
+
+  // ----------------------------------------------------- contract & roles
+
+  /// Install a new contract: derives rule constants, fires the on-contract
+  /// hook, reactivates the manager, and propagates sub-contracts to
+  /// attached children via the splitter.
+  void set_contract(const Contract& c);
+
+  Contract contract() const;
+  ManagerMode mode() const { return mode_.load(); }
+
+  /// Hook invoked (in the caller of set_contract) when a contract arrives —
+  /// e.g. a producer manager retunes its source's rate here.
+  void set_on_contract(std::function<void(const Contract&)> fn);
+
+  // ------------------------------------------------------------- hierarchy
+
+  /// Attach a child manager (the BS-tree edge). Children receive split
+  /// contracts and report violations here.
+  void attach_child(AutonomicManager& child);
+
+  const std::vector<AutonomicManager*>& children() const { return children_; }
+  AutonomicManager* parent() const { return parent_; }
+
+  /// Contract splitter used on propagation. Default: pipeline-style
+  /// replication via split_for_pipeline.
+  using Splitter =
+      std::function<std::vector<Contract>(const Contract&, std::size_t)>;
+  void set_splitter(Splitter s);
+
+  /// Called by children (from their control threads) to report a violation.
+  /// Queued; consumed at the top of this manager's next cycle.
+  void notify_child_violation(const std::string& child,
+                              const std::string& kind);
+
+  /// Imperative handler for child violations (runs in this manager's
+  /// control thread, before the rule cycle).
+  void set_violation_handler(std::function<void(const ChildViolation&)> fn);
+
+  // --------------------------------------------------------------- policy
+
+  rules::Engine& engine() { return engine_; }
+  rules::ConstantTable& constants() { return consts_; }
+  rules::WorkingMemory& working_memory() { return wm_; }
+
+  /// Load rules from .brl text into this manager's engine.
+  void load_rules(const std::string& brl_text);
+
+  /// Map an operation name fired by rules onto a handler. Replaces any
+  /// previous handler (including the built-ins for the standard ops).
+  void register_operation(const std::string& op,
+                          std::function<void(const std::string& data)> fn);
+
+  // --------------------------------------------------- OperationSink
+
+  void fire_operation(const std::string& operation,
+                      const std::string& data) override;
+
+  // ------------------------------------------------------------- plumbing
+
+  Abc& abc() { return abc_; }
+  const std::string& name() const { return name_; }
+  support::EventLog& log() { return *log_; }
+  const ManagerConfig& config() const { return cfg_; }
+
+  /// Record an event attributed to this manager.
+  void record(const std::string& event, double value = 0.0,
+              const std::string& detail = {});
+
+  /// True once the managed stream has been observed to end.
+  bool stream_ended() const { return stream_ended_.load(); }
+
+  /// Last sensor snapshot taken by the monitor phase.
+  Sensors last_sensors() const;
+
+ private:
+  void control_loop(const std::stop_token& st);
+  void install_default_operations();
+  void derive_constants_locked();  // caller holds state_mu_
+  bool monitor_phase(Sensors& out);
+
+  std::string name_;
+  Abc& abc_;
+  ManagerConfig cfg_;
+  support::EventLog* log_;
+
+  rules::Engine engine_;
+  rules::WorkingMemory wm_;
+  rules::ConstantTable consts_;
+
+  mutable std::mutex state_mu_;
+  Contract contract_;
+  std::function<void(const Contract&)> on_contract_;
+  std::function<void(const ChildViolation&)> violation_handler_;
+  Splitter splitter_;
+  std::map<std::string, std::function<void(const std::string&)>> operations_;
+  std::deque<ChildViolation> pending_violations_;
+  Sensors last_sensors_{};
+
+  AutonomicManager* parent_ = nullptr;
+  std::vector<AutonomicManager*> children_;
+
+  std::atomic<ManagerMode> mode_{ManagerMode::Passive};
+  std::atomic<bool> stream_ended_{false};
+  std::atomic<std::size_t> cycles_{0};
+  double plan_suppressed_until_ = 0.0;  // control-thread only
+  bool violation_raised_this_cycle_ = false;  // control-thread only
+
+  std::jthread loop_;
+  std::atomic<bool> running_{false};
+};
+
+}  // namespace bsk::am

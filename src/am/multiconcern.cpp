@@ -1,0 +1,78 @@
+#include "am/multiconcern.hpp"
+
+#include <algorithm>
+
+namespace bsk::am {
+
+GeneralManager::GeneralManager(std::string name, support::EventLog* log)
+    : name_(std::move(name)),
+      log_(log != nullptr ? log : &support::global_event_log()) {}
+
+void GeneralManager::register_participant(ConcernParticipant& p,
+                                          int priority) {
+  std::scoped_lock lk(mu_);
+  participants_.emplace_back(priority, &p);
+  std::stable_sort(participants_.begin(), participants_.end(),
+                   [](const auto& a, const auto& b) { return a.first > b.first; });
+}
+
+bool GeneralManager::request(Intent& intent, const std::string& proposer) {
+  std::vector<std::pair<int, ConcernParticipant*>> ps;
+  {
+    std::scoped_lock lk(mu_);
+    ++requests_;
+    ps = participants_;
+  }
+  log_->record(name_, "intent", static_cast<double>(intent.action == Intent::Action::AddWorker),
+               proposer + (intent.target_untrusted ? " (untrusted target)" : ""));
+  for (auto& [prio, p] : ps) {
+    if (!p->check(intent)) {
+      {
+        std::scoped_lock lk(mu_);
+        ++vetoes_;
+      }
+      log_->record(name_, "veto", 0.0, p->concern() + " vetoed " + proposer);
+      return false;
+    }
+  }
+  if (intent.require_secure)
+    log_->record(name_, "prepareSecure", 0.0, proposer);
+  return true;
+}
+
+CommitGate GeneralManager::gate(std::string proposer) {
+  return [this, proposer = std::move(proposer)](Intent& i) {
+    return request(i, proposer);
+  };
+}
+
+std::size_t GeneralManager::requests_seen() const {
+  std::scoped_lock lk(mu_);
+  return requests_;
+}
+
+std::size_t GeneralManager::vetoes_issued() const {
+  std::scoped_lock lk(mu_);
+  return vetoes_;
+}
+
+bool SecurityParticipant::check(Intent& intent) {
+  if (intent.action == Intent::Action::AddWorker && intent.target_untrusted) {
+    if (opt_.forbid_untrusted) return false;
+    intent.require_secure = true;
+    ++demands_;
+  }
+  return true;
+}
+
+bool PerformanceParticipant::check(Intent& intent) {
+  if (intent.action == Intent::Action::RemoveWorker) {
+    const Contract c = am_.contract();
+    const Sensors s = am_.last_sensors();
+    if (c.throughput && s.departure_rate < c.throughput->first)
+      return false;  // removal would re-violate c_perf
+  }
+  return true;
+}
+
+}  // namespace bsk::am

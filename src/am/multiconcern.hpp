@@ -1,0 +1,111 @@
+#pragma once
+// Multi-concern coordination (the paper's Sec. 3.2, MM structuring).
+//
+// Several per-concern manager hierarchies (e.g. AM_perf and AM_sec) are
+// orchestrated by a GeneralManager (the paper's "root general manager GM").
+// Configuration-changing actions go through the paper's two-phase protocol:
+//
+//   i)   the proposing manager expresses the *intent* (e.g. add a worker on
+//        a node in untrusted_ip_domain_A) — delivered here via the ABC's
+//        CommitGate before anything is instantiated;
+//   ii)  each registered concern participant examines the intent in
+//        priority order: it may veto it, or annotate preparation
+//        requirements (AM_sec demands the new worker's links be secured);
+//   iii) only then does the proposer commit, honouring the annotations —
+//        the farm instantiates the new worker with pre-secured links, so
+//        no task ever crosses the link unsecured.
+//
+// Boolean concerns (security) register with higher priority than
+// quantitative ones (performance), per the paper's priority argument.
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "am/abc.hpp"
+#include "am/manager.hpp"
+#include "support/event_log.hpp"
+
+namespace bsk::am {
+
+/// One concern's voice in the two-phase protocol.
+class ConcernParticipant {
+ public:
+  virtual ~ConcernParticipant() = default;
+
+  /// The concern handled (e.g. "security", "performance").
+  virtual std::string concern() const = 0;
+
+  /// Phase one: examine the intent; annotate requirements (e.g. set
+  /// require_secure) or return false to veto the commit.
+  virtual bool check(Intent& intent) = 0;
+};
+
+/// The super-manager coordinating per-concern managers.
+class GeneralManager {
+ public:
+  explicit GeneralManager(std::string name = "GM",
+                          support::EventLog* log = nullptr);
+
+  /// Register a participant. Higher priority is consulted first; a veto
+  /// from any participant denies the intent.
+  void register_participant(ConcernParticipant& p, int priority);
+
+  /// Run phase one of the protocol on `intent`. Returns whether the
+  /// proposer may commit; the intent carries any preparation requirements.
+  bool request(Intent& intent, const std::string& proposer);
+
+  /// A CommitGate bound to this GM, installable on any ABC:
+  ///   abc.set_commit_gate(gm.gate("AM_perf"));
+  CommitGate gate(std::string proposer);
+
+  std::size_t requests_seen() const;
+  std::size_t vetoes_issued() const;
+
+ private:
+  std::string name_;
+  support::EventLog* log_;
+  mutable std::mutex mu_;
+  std::vector<std::pair<int, ConcernParticipant*>> participants_;
+  std::size_t requests_ = 0;
+  std::size_t vetoes_ = 0;
+};
+
+/// The security concern's participant: any AddWorker intent targeting an
+/// untrusted domain must be committed with pre-secured links; optionally,
+/// untrusted placements can be vetoed outright.
+class SecurityParticipant final : public ConcernParticipant {
+ public:
+  struct Options {
+    bool forbid_untrusted = false;  ///< veto instead of securing
+  };
+
+  SecurityParticipant() : opt_{} {}
+  explicit SecurityParticipant(Options opt) : opt_(opt) {}
+
+  std::string concern() const override { return "security"; }
+  bool check(Intent& intent) override;
+
+  std::size_t secure_demands() const { return demands_; }
+
+ private:
+  Options opt_;
+  std::size_t demands_ = 0;
+};
+
+/// The performance concern's participant: vetoes worker removal while the
+/// observed throughput is below its manager's contract (a removal would
+/// re-violate c_perf).
+class PerformanceParticipant final : public ConcernParticipant {
+ public:
+  explicit PerformanceParticipant(AutonomicManager& perf_am)
+      : am_(perf_am) {}
+
+  std::string concern() const override { return "performance"; }
+  bool check(Intent& intent) override;
+
+ private:
+  AutonomicManager& am_;
+};
+
+}  // namespace bsk::am

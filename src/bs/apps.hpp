@@ -1,0 +1,114 @@
+#pragma once
+// Reference applications reproducing the paper's experiments.
+//
+// Fig3App — Sec. 4.1 / Fig. 3: a medical-image-processing task farm under a
+// single autonomic manager with a minimum-throughput SLA; the manager grows
+// the worker set until the contract is met.
+//
+// Fig4App — Sec. 4.2 / Fig. 4: the three-stage pipeline
+// pipe(Producer, Farm(Filter), Consumer) under a four-manager hierarchy
+// (AM_A over AM_P, AM_F, AM_C) maintaining a throughput-range SLA. AM_A's
+// violation handling implements the paper's narrative: a notEnoughTasks
+// violation from the farm triggers an incRate contract to the producer; a
+// tooMuchTasks violation triggers decRate; after endStream neither fires.
+
+#include <memory>
+
+#include "bs/behavioural_skeleton.hpp"
+#include "sim/platform.hpp"
+#include "sim/resource_manager.hpp"
+
+namespace bsk::bs {
+
+// ----------------------------------------------------------------- Fig. 3
+
+struct Fig3Params {
+  std::size_t tasks = 100;          ///< images on the input stream
+  double input_rate = 2.0;          ///< tasks/s offered (abundant pressure)
+  double work_s = 5.0;              ///< per-image processing demand
+  double contract_min_rate = 0.6;   ///< the paper's 0.6 images/s SLA
+  std::size_t initial_workers = 1;
+  std::size_t max_workers = 8;
+  double am_period_s = 5.0;
+  double rate_window_s = 10.0;
+  double reconfig_delay_s = 2.0;
+  double action_cooldown_s = 12.0;  ///< damping between grow steps
+  double service_stddev_s = 0.5;    ///< image-cost jitter
+  std::size_t add_workers_per_step = 1;  ///< workers per ADD_EXECUTOR firing
+  std::uint64_t seed = 42;
+};
+
+/// The single-manager farm experiment.
+class Fig3App {
+ public:
+  Fig3App(const Fig3Params& p, sim::ResourceManager& rm,
+          support::EventLog& log);
+
+  void start();
+  void wait();
+
+  BehaviouralSkeleton& app() { return *root_; }
+  rt::Farm& farm();
+  am::AutonomicManager& am() { return farm_bs_->manager(); }
+  rt::StreamSink& sink();
+
+  /// Cores currently used by the whole application.
+  std::size_t cores_in_use();
+
+ private:
+  Fig3Params params_;
+  BehaviouralSkeleton* farm_bs_ = nullptr;  // owned via root_
+  std::unique_ptr<BehaviouralSkeleton> root_;
+};
+
+// ----------------------------------------------------------------- Fig. 4
+
+struct Fig4Params {
+  std::size_t tasks = 80;
+  double initial_rate = 0.2;   ///< producer's initial (insufficient) rate
+  double work_s = 14.0;        ///< filter demand: 2 workers deliver 0.14/s
+  double contract_lo = 0.3;    ///< c_tRange = [0.3, 0.7] tasks/s
+  double contract_hi = 0.7;
+  std::size_t initial_workers = 2;
+  std::size_t max_workers = 10;
+  double am_period_s = 5.0;
+  double rate_window_s = 10.0;
+  double reconfig_delay_s = 4.0;
+  double action_cooldown_s = 12.0;
+  double inc_rate_factor = 2.0;   ///< producer-rate growth per incRate
+  double dec_rate_factor = 0.9;   ///< producer-rate shrink per decRate
+  double consumer_work_s = 0.2;
+  std::uint64_t seed = 42;
+};
+
+/// The hierarchical-management pipeline experiment.
+class Fig4App {
+ public:
+  Fig4App(const Fig4Params& p, sim::ResourceManager& rm,
+          support::EventLog& log);
+
+  void start();
+  void wait();
+
+  BehaviouralSkeleton& app() { return *root_; }
+  am::AutonomicManager& am_a() { return root_->manager(); }
+  am::AutonomicManager& am_p() { return root_->child(0).manager(); }
+  am::AutonomicManager& am_f() { return root_->child(1).manager(); }
+  am::AutonomicManager& am_c() { return root_->child(2).manager(); }
+
+  rt::Pipeline& pipeline();
+  rt::Farm& farm();
+  rt::StreamSource& producer_source();
+  rt::StreamSink& sink();
+
+  std::size_t cores_in_use();
+
+  /// Install the current contract (c_tRange) on the top manager.
+  void install_contract();
+
+ private:
+  Fig4Params params_;
+  std::unique_ptr<BehaviouralSkeleton> root_;
+};
+
+}  // namespace bsk::bs

@@ -1,0 +1,105 @@
+#include "bs/behavioural_skeleton.hpp"
+
+namespace bsk::bs {
+
+std::unique_ptr<BehaviouralSkeleton> make_farm_bs(
+    std::string name, rt::FarmConfig farm_cfg, rt::NodeFactory workers,
+    am::ManagerConfig mgr_cfg, sim::ResourceManager* rm,
+    sim::RecruitConstraints recruit, rt::Placement home,
+    support::EventLog* log) {
+  auto farm = std::make_shared<rt::Farm>(name, farm_cfg, std::move(workers),
+                                         home);
+  auto abc = std::make_unique<am::FarmAbc>(*farm, rm, std::move(recruit));
+  auto mgr = std::make_unique<am::AutonomicManager>("AM_" + name, *abc,
+                                                    mgr_cfg, log);
+  mgr->load_rules(am::farm_rules());
+  // A farm hands its (unmanaged) workers best-effort sub-contracts.
+  mgr->set_splitter([](const am::Contract& c, std::size_t n) {
+    return std::vector<am::Contract>(n, am::farm_worker_contract(c));
+  });
+  return std::make_unique<BehaviouralSkeleton>(std::move(farm),
+                                               std::move(abc), std::move(mgr));
+}
+
+std::unique_ptr<BehaviouralSkeleton> make_seq_bs(
+    std::string name, std::unique_ptr<rt::Node> node,
+    am::ManagerConfig mgr_cfg, rt::Placement place, support::EventLog* log) {
+  auto stage =
+      std::make_shared<rt::SeqStage>(name, std::move(node), place);
+  auto abc = std::make_unique<am::SeqAbc>(*stage);
+  auto mgr = std::make_unique<am::AutonomicManager>("AM_" + name, *abc,
+                                                    mgr_cfg, log);
+  return std::make_unique<BehaviouralSkeleton>(std::move(stage),
+                                               std::move(abc), std::move(mgr));
+}
+
+std::unique_ptr<BehaviouralSkeleton> make_pipeline_bs(
+    std::string name,
+    std::vector<std::unique_ptr<BehaviouralSkeleton>> children,
+    am::ManagerConfig mgr_cfg, support::EventLog* log) {
+  std::vector<std::shared_ptr<rt::Runnable>> stages;
+  stages.reserve(children.size());
+  for (auto& c : children) stages.push_back(c->runnable_ptr());
+  auto pipe = std::make_shared<rt::Pipeline>(name, std::move(stages));
+  auto abc = std::make_unique<am::PipelineAbc>(*pipe);
+  auto mgr = std::make_unique<am::AutonomicManager>("AM_" + name, *abc,
+                                                    mgr_cfg, log);
+  mgr->set_splitter([](const am::Contract& c, std::size_t n) {
+    return am::split_for_pipeline(c, n);
+  });
+  for (auto& c : children) mgr->attach_child(c->manager());
+  return std::make_unique<BehaviouralSkeleton>(
+      std::move(pipe), std::move(abc), std::move(mgr), std::move(children));
+}
+
+std::unique_ptr<BehaviouralSkeleton> make_growable_stage_bs(
+    std::string name, rt::NodeFactory stage_factory,
+    am::ManagerConfig mgr_cfg, sim::ResourceManager* rm, rt::Placement home,
+    support::EventLog* log) {
+  rt::FarmConfig fc;
+  fc.initial_workers = 1;
+  fc.ordered = true;  // replicas must not reorder the stage's stream
+  return make_farm_bs(std::move(name), fc, std::move(stage_factory), mgr_cfg,
+                      rm, {}, home, log);
+}
+
+std::vector<double> measured_stage_weights(rt::Pipeline& pipe) {
+  std::vector<double> w;
+  w.reserve(pipe.stage_count());
+  for (std::size_t i = 0; i < pipe.stage_count(); ++i) {
+    double mean = 0.0;
+    rt::Runnable& s = pipe.stage(i);
+    if (auto* seq = dynamic_cast<rt::SeqStage*>(&s))
+      mean = seq->metrics().mean_service_time();
+    else if (auto* f = dynamic_cast<rt::Farm*>(&s))
+      mean = f->metrics().mean_service_time();
+    else if (auto* p = dynamic_cast<rt::Pipeline*>(&s)) {
+      for (double x : measured_stage_weights(*p)) mean += x;
+    }
+    w.push_back(mean);
+  }
+  // Stages with no samples yet (e.g. sources) get the mean of the sampled
+  // ones — neutral, so an unmeasured stage neither starves nor dominates
+  // the split. All-unsampled pipelines degenerate to uniform weights.
+  double sum = 0.0;
+  std::size_t sampled = 0;
+  for (double x : w)
+    if (x > 0.0) {
+      sum += x;
+      ++sampled;
+    }
+  const double neutral = sampled > 0 ? sum / static_cast<double>(sampled)
+                                     : 1.0;
+  for (double& x : w)
+    if (x <= 0.0) x = neutral;
+  return w;
+}
+
+am::AutonomicManager::Splitter make_adaptive_pipeline_splitter(
+    rt::Pipeline& pipe) {
+  return [&pipe](const am::Contract& c, std::size_t n) {
+    return am::split_for_pipeline(c, n, measured_stage_weights(pipe));
+  };
+}
+
+}  // namespace bsk::bs

@@ -1,0 +1,128 @@
+#pragma once
+// Behavioural skeletons: the paper's core abstraction, BS = ⟨P, M_C⟩.
+//
+// A BehaviouralSkeleton couples one running parallelism-exploitation
+// pattern (a rt::Runnable) with the ABC mediating it and the autonomic
+// manager implementing the concern's policies. The factories build the two
+// patterns the paper implements — functional replication (farm) and
+// pipeline — with their standard manager wiring:
+//
+//   make_farm_bs  – a task farm whose manager runs the Fig. 5 rule set,
+//                   recruiting cores from a resource manager;
+//   make_seq_bs   – a sequential stage with a monitoring-only manager
+//                   (rate-retunable when the node is a StreamSource);
+//   make_pipeline_bs – a pipeline over child BSs; its manager splits
+//                   contracts per Sec. 3.1 and consumes child violations.
+//
+// The manager tree is wired to mirror the skeleton tree (attach_child), so
+// a contract set on the root propagates down and violations flow up —
+// hierarchical management of a single concern, ready to run.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "am/abc.hpp"
+#include "am/builtin_rules.hpp"
+#include "am/manager.hpp"
+#include "rt/builders.hpp"
+
+namespace bsk::bs {
+
+/// One node of the behavioural-skeleton tree: pattern + ABC + manager (the
+/// paper's membrane), plus the child BSs.
+class BehaviouralSkeleton {
+ public:
+  BehaviouralSkeleton(std::shared_ptr<rt::Runnable> runnable,
+                      std::unique_ptr<am::Abc> abc,
+                      std::unique_ptr<am::AutonomicManager> manager,
+                      std::vector<std::unique_ptr<BehaviouralSkeleton>>
+                          children = {})
+      : runnable_(std::move(runnable)),
+        abc_(std::move(abc)),
+        manager_(std::move(manager)),
+        children_(std::move(children)) {}
+
+  rt::Runnable& runnable() { return *runnable_; }
+  std::shared_ptr<rt::Runnable> runnable_ptr() { return runnable_; }
+  am::Abc& abc() { return *abc_; }
+  am::AutonomicManager& manager() { return *manager_; }
+
+  std::size_t child_count() const { return children_.size(); }
+  BehaviouralSkeleton& child(std::size_t i) { return *children_.at(i); }
+
+  /// Start the computation and the whole manager hierarchy.
+  void start() {
+    runnable_->start();
+    start_managers();
+  }
+
+  /// Start only the managers (recursively).
+  void start_managers() {
+    manager_->start();
+    for (auto& c : children_) c->start_managers();
+  }
+
+  /// Stop all managers (recursively); the computation drains on its own.
+  void stop_managers() {
+    for (auto& c : children_) c->stop_managers();
+    manager_->stop();
+  }
+
+  /// Wait for the computation to finish, then stop the managers.
+  void wait() {
+    runnable_->wait();
+    stop_managers();
+  }
+
+ private:
+  std::shared_ptr<rt::Runnable> runnable_;
+  std::unique_ptr<am::Abc> abc_;
+  std::unique_ptr<am::AutonomicManager> manager_;
+  std::vector<std::unique_ptr<BehaviouralSkeleton>> children_;
+};
+
+/// Build a task-farm BS: the farm pattern + FarmAbc + a manager preloaded
+/// with the paper's Fig. 5 rules. `rm` (optional) supplies worker cores.
+std::unique_ptr<BehaviouralSkeleton> make_farm_bs(
+    std::string name, rt::FarmConfig farm_cfg, rt::NodeFactory workers,
+    am::ManagerConfig mgr_cfg = {}, sim::ResourceManager* rm = nullptr,
+    sim::RecruitConstraints recruit = {}, rt::Placement home = {},
+    support::EventLog* log = nullptr);
+
+/// Build a sequential-stage BS (monitoring manager; no default rules).
+std::unique_ptr<BehaviouralSkeleton> make_seq_bs(
+    std::string name, std::unique_ptr<rt::Node> node,
+    am::ManagerConfig mgr_cfg = {}, rt::Placement place = {},
+    support::EventLog* log = nullptr);
+
+/// Build a pipeline BS over child BSs. The pipeline manager gets the
+/// pipeline splitter and the children attached (contracts flow down,
+/// violations flow up).
+std::unique_ptr<BehaviouralSkeleton> make_pipeline_bs(
+    std::string name,
+    std::vector<std::unique_ptr<BehaviouralSkeleton>> children,
+    am::ManagerConfig mgr_cfg = {}, support::EventLog* log = nullptr);
+
+/// Build a pipeline stage as a *growable* replica set of the stage's node —
+/// the transformation the paper sketches as future work ("transform the
+/// pipeline stage into a farm with the workers behaving as instances of the
+/// original stage"). Starts with one replica; stream order is preserved
+/// (ordered collection), so the stage's externally visible semantics are
+/// unchanged while its manager can now grow it under load.
+std::unique_ptr<BehaviouralSkeleton> make_growable_stage_bs(
+    std::string name, rt::NodeFactory stage_factory,
+    am::ManagerConfig mgr_cfg = {}, sim::ResourceManager* rm = nullptr,
+    rt::Placement home = {}, support::EventLog* log = nullptr);
+
+/// Stage weights measured from a running pipeline's observed mean service
+/// times (1.0 for stages with no samples yet) — the run-time input to the
+/// weight-proportional P_spl splitter, replacing a-priori guesses.
+std::vector<double> measured_stage_weights(rt::Pipeline& pipe);
+
+/// A pipeline splitter that re-measures stage weights at every contract
+/// propagation (adaptive P_spl).
+am::AutonomicManager::Splitter make_adaptive_pipeline_splitter(
+    rt::Pipeline& pipe);
+
+}  // namespace bsk::bs

@@ -1,0 +1,171 @@
+#include "des/hierarchy.hpp"
+
+#include <memory>
+#include <numeric>
+
+namespace bsk::des {
+
+namespace {
+
+/// Smooth weighted round-robin: deterministic, proportional in the limit.
+class WeightedDispatcher {
+ public:
+  explicit WeightedDispatcher(std::size_t n)
+      : weights_(n, 1.0), credits_(n, 0.0) {}
+
+  void set_weights(const std::vector<double>& w) {
+    for (std::size_t i = 0; i < weights_.size() && i < w.size(); ++i)
+      weights_[i] = w[i] > 1e-9 ? w[i] : 1e-9;
+  }
+
+  std::size_t pick() {
+    const double total =
+        std::accumulate(weights_.begin(), weights_.end(), 0.0);
+    std::size_t best = 0;
+    for (std::size_t i = 0; i < credits_.size(); ++i) {
+      credits_[i] += weights_[i];
+      if (credits_[i] > credits_[best]) best = i;
+    }
+    credits_[best] -= total;
+    return best;
+  }
+
+ private:
+  std::vector<double> weights_;
+  std::vector<double> credits_;
+};
+
+}  // namespace
+
+HierResult run_hierarchy(const HierConfig& cfg) {
+  Simulator sim;
+  const std::size_t g = cfg.groups ? cfg.groups : 1;
+
+  std::vector<double> speeds = cfg.group_speeds;
+  if (speeds.size() != g) speeds.assign(g, 1.0);
+
+  std::vector<std::unique_ptr<DesFarm>> farms;
+  std::vector<std::unique_ptr<DesFarmManager>> managers;
+  std::vector<double> shares(g, cfg.contract_lo / static_cast<double>(g));
+
+  for (std::size_t i = 0; i < g; ++i) {
+    DesFarmParams fp;
+    // A faster group serves each task proportionally quicker.
+    fp.service_s = cfg.service_s / speeds[i];
+    fp.exponential_service = cfg.exponential_service;
+    fp.initial_workers = 1;
+    fp.max_workers = cfg.max_workers / g ? cfg.max_workers / g : 1;
+    fp.window_s = cfg.window_s;
+    fp.seed = cfg.seed + i;
+    farms.push_back(std::make_unique<DesFarm>(sim, fp));
+
+    DesManagerParams mp;
+    mp.period_s = cfg.manager_period_s;
+    // The farm split of P_spl: each group holds a 1/g share of the SLA.
+    mp.contract_lo = shares[i];
+    mp.contract_hi = cfg.contract_hi >= 1e30
+                         ? cfg.contract_hi
+                         : cfg.contract_hi / static_cast<double>(g);
+    mp.max_workers = fp.max_workers;
+    mp.add_per_step = cfg.add_per_step;
+    mp.cooldown_s = cfg.cooldown_s;
+    mp.warmup_s = cfg.warmup_s;
+    managers.push_back(
+        std::make_unique<DesFarmManager>(sim, *farms.back(), mp));
+  }
+
+  HierResult result;
+  std::uint64_t completed = 0;
+  for (auto& f : farms)
+    f->on_departure = [&completed, &result, &sim, &cfg] {
+      ++completed;
+      if (completed == cfg.tasks) result.finished_at = sim.now();
+    };
+
+  // Top-level emitter: weighted round-robin over the groups.
+  WeightedDispatcher dispatcher(g);
+  DesSource source(sim, cfg.arrival_rate, cfg.tasks,
+                   [&] { farms[dispatcher.pick()]->offer(); });
+
+  // Top-level monitor: samples the aggregate rate for the whole run.
+  // Convergence = three consecutive in-SLA samples (transient spikes don't
+  // count); sla_fraction = in-SLA share of all post-warmup samples.
+  int in_sla_streak = 0;
+  std::uint64_t samples = 0;
+  std::uint64_t samples_in_sla = 0;
+  std::function<void()> top_cycle = [&] {
+    double agg = 0.0;
+    for (auto& f : farms) agg += f->departure_rate();
+    const bool in_sla = agg >= cfg.contract_lo && agg <= cfg.contract_hi;
+    if (sim.now() >= cfg.warmup_s) {
+      ++samples;
+      if (in_sla) ++samples_in_sla;
+    }
+    if (in_sla) {
+      if (++in_sla_streak >= 3 && result.converged_at < 0.0)
+        result.converged_at = sim.now();
+    } else {
+      in_sla_streak = 0;
+    }
+    if (completed < cfg.tasks)
+      sim.schedule_in(cfg.manager_period_s, top_cycle);
+  };
+
+  // Dynamic P_spl: groups saturated below their share keep only their
+  // delivered capacity; the deficit shifts to the others (weights follow).
+  std::function<void()> renegotiate_cycle = [&] {
+    double deficit = 0.0;
+    std::vector<bool> saturated(g, false);
+    for (std::size_t i = 0; i < g; ++i) {
+      const double rate = farms[i]->departure_rate();
+      if (farms[i]->workers() >= farms[i]->max_workers() &&
+          rate < shares[i] * 0.95) {
+        saturated[i] = true;
+        deficit += shares[i] - rate;
+        shares[i] = rate;
+      }
+    }
+    if (deficit > 1e-9) {
+      double open_total = 0.0;
+      for (std::size_t i = 0; i < g; ++i)
+        if (!saturated[i]) open_total += shares[i];
+      if (open_total > 1e-9) {
+        for (std::size_t i = 0; i < g; ++i)
+          if (!saturated[i]) shares[i] += deficit * shares[i] / open_total;
+        for (std::size_t i = 0; i < g; ++i)
+          managers[i]->set_contract(shares[i],
+                                    managers[i]->contract_hi());
+        dispatcher.set_weights(shares);
+        ++result.renegotiations;
+      }
+    }
+    sim.schedule_in(cfg.renegotiate_period_s, renegotiate_cycle);
+  };
+
+  source.start();
+  for (auto& m : managers) m->start();
+  sim.schedule_in(cfg.manager_period_s, top_cycle);
+  if (cfg.renegotiate)
+    sim.schedule_in(cfg.renegotiate_period_s, renegotiate_cycle);
+
+  const DesTime horizon = 1e7;
+  while (completed < cfg.tasks && sim.now() < horizon) {
+    if (!sim.step()) break;
+  }
+  for (auto& m : managers) m->stop();
+
+  result.completed = completed;
+  if (samples > 0)
+    result.sla_fraction =
+        static_cast<double>(samples_in_sla) / static_cast<double>(samples);
+  for (auto& m : managers) {
+    result.manager_cycles += m->cycles();
+    result.adds += m->adds();
+    result.violations += m->violations();
+  }
+  for (auto& f : farms) result.final_workers += f->workers();
+  result.events_executed = sim.executed();
+  return result;
+}
+
+}  // namespace bsk::des

@@ -1,0 +1,105 @@
+#pragma once
+// Discrete-event simulation kernel.
+//
+// The threaded runtime (bsk::rt) replays the paper's testbed at laptop
+// scale; this kernel exists for the scale the paper *motivates* but never
+// runs — grids/clouds with hundreds to thousands of workers — where real
+// threads are impossible and determinism is essential for ablations.
+// Events are ordered by (time, insertion sequence), so identical inputs
+// yield identical traces on every run.
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <queue>
+#include <vector>
+
+namespace bsk::des {
+
+/// Simulation time, seconds.
+using DesTime = double;
+
+/// Handle for cancelling a scheduled event.
+using EventId = std::uint64_t;
+
+/// Deterministic single-threaded event scheduler.
+class Simulator {
+ public:
+  using Action = std::function<void()>;
+
+  /// Schedule `fn` at absolute time `t` (must be >= now()). Returns an id
+  /// usable with cancel().
+  EventId schedule(DesTime t, Action fn) {
+    const EventId id = next_id_++;
+    heap_.push(Entry{t, id, std::move(fn)});
+    return id;
+  }
+
+  /// Schedule `fn` after a delay from now.
+  EventId schedule_in(DesTime delay, Action fn) {
+    return schedule(now_ + delay, std::move(fn));
+  }
+
+  /// Cancel a pending event (no-op if already fired or unknown).
+  void cancel(EventId id) { cancelled_.push_back(id); }
+
+  /// Execute the next event. Returns false when the queue is empty.
+  bool step() {
+    while (!heap_.empty()) {
+      Entry e = heap_.top();
+      heap_.pop();
+      if (is_cancelled(e.id)) continue;
+      now_ = e.t;
+      ++executed_;
+      e.fn();
+      return true;
+    }
+    return false;
+  }
+
+  /// Run until the queue drains or simulated time would exceed `t_end`.
+  void run_until(DesTime t_end = std::numeric_limits<DesTime>::infinity()) {
+    while (!heap_.empty()) {
+      if (heap_.top().t > t_end) break;
+      step();
+    }
+    if (t_end != std::numeric_limits<DesTime>::infinity() && now_ < t_end &&
+        heap_.empty())
+      now_ = t_end;
+  }
+
+  /// Run everything.
+  void run() { run_until(); }
+
+  DesTime now() const { return now_; }
+  std::size_t pending() const { return heap_.size(); }
+  std::uint64_t executed() const { return executed_; }
+
+ private:
+  struct Entry {
+    DesTime t;
+    EventId id;
+    Action fn;
+    bool operator>(const Entry& o) const {
+      return t != o.t ? t > o.t : id > o.id;
+    }
+  };
+
+  bool is_cancelled(EventId id) {
+    for (auto it = cancelled_.begin(); it != cancelled_.end(); ++it) {
+      if (*it == id) {
+        cancelled_.erase(it);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::vector<EventId> cancelled_;
+  DesTime now_ = 0.0;
+  EventId next_id_ = 1;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace bsk::des

@@ -1,0 +1,67 @@
+#pragma once
+// DES model of the paper's Fig. 4 application: the full hierarchical
+// management protocol — producer rate contracts, farm growth, violation
+// routing — replayed deterministically on the event kernel.
+//
+// The farm manager is the rule-driven DesFarmManager (Fig. 5 text); the
+// application manager AM_A is modelled by its protocol: a notEnoughTasks
+// violation from the farm triggers an incRate contract to the producer
+// after one AM_A control period, tooMuchTasks triggers decRate, and after
+// the producer exhausts the stream neither is issued. Determinism makes
+// this the reference oracle for the threaded Fig4App's event ordering and
+// lets the protocol be swept at parameters the threaded runtime cannot
+// reach quickly.
+
+#include <string>
+#include <vector>
+
+#include "des/farm_model.hpp"
+
+namespace bsk::des {
+
+struct DesFig4Params {
+  std::uint64_t tasks = 80;
+  double initial_rate = 0.2;
+  double work_s = 14.0;
+  double contract_lo = 0.3;
+  double contract_hi = 0.7;
+  std::size_t initial_workers = 2;
+  std::size_t max_workers = 10;
+  double am_period_s = 5.0;
+  double window_s = 10.0;
+  double cooldown_s = 12.0;
+  double warmup_s = 10.0;
+  std::size_t add_per_step = 2;
+  double inc_rate_factor = 2.0;
+  double dec_rate_factor = 0.9;
+  /// AM_A reaction latency to a reported violation.
+  double am_a_delay_s = 1.0;
+};
+
+/// One event of the deterministic trace.
+struct DesEvent {
+  DesTime t = 0.0;
+  std::string source;  ///< "AM_A" or "AM_F"
+  std::string name;    ///< incRate / decRate / raiseViol / addWorker / ...
+  double value = 0.0;
+};
+
+struct DesFig4Result {
+  std::vector<DesEvent> events;
+  std::uint64_t processed = 0;
+  DesTime finished_at = 0.0;
+  DesTime end_stream_at = -1.0;
+  DesTime converged_at = -1.0;  ///< farm rate first inside the contract
+  std::size_t final_workers = 0;
+  double final_producer_rate = 0.0;
+
+  std::size_t count(const std::string& source, const std::string& name) const;
+  /// Time of the first (source,name) event, or -1.
+  DesTime first(const std::string& source, const std::string& name) const;
+  DesTime last(const std::string& source, const std::string& name) const;
+};
+
+/// Run the Fig. 4 scenario to completion on the DES kernel.
+DesFig4Result run_fig4_model(const DesFig4Params& p);
+
+}  // namespace bsk::des

@@ -1,0 +1,115 @@
+#include "gcm/bs_component.hpp"
+
+namespace bsk::gcm {
+
+// ----------------------------------------------------------- GcmFarmAbc
+
+GcmFarmAbc::GcmFarmAbc(FarmComposite& comp, sim::ResourceManager* rm,
+                       sim::RecruitConstraints recruit)
+    : comp_(comp), inner_(comp.farm(), rm, std::move(recruit)) {}
+
+am::Sensors GcmFarmAbc::sense() { return inner_.sense(); }
+
+bool GcmFarmAbc::add_worker() {
+  // Delegate the commit-gate handling to the inner ABC.
+  inner_.set_commit_gate(gate_);
+  const bool ok = inner_.add_worker();
+  if (ok) comp_.sync_workers();
+  return ok;
+}
+
+bool GcmFarmAbc::remove_worker() {
+  inner_.set_commit_gate(gate_);
+  const bool ok = inner_.remove_worker();
+  if (ok) comp_.sync_workers();
+  return ok;
+}
+
+std::size_t GcmFarmAbc::rebalance() { return inner_.rebalance(); }
+
+std::size_t GcmFarmAbc::secure_links() { return inner_.secure_links(); }
+
+// --------------------------------------------------------- FarmComposite
+
+FarmComposite::FarmComposite(std::string name, rt::FarmConfig cfg,
+                             rt::NodeFactory worker_factory,
+                             rt::Placement home, sim::ResourceManager* rm,
+                             sim::RecruitConstraints recruit)
+    : Component(std::move(name), /*composite=*/true) {
+  farm_ = std::make_shared<rt::Farm>(Component::name() + ".impl", cfg,
+                                     std::move(worker_factory), home);
+
+  // The fixed content of the functional-replication pattern: scheduler S
+  // and collector C (Fig. 2 left); workers join via sync_workers().
+  content().add(std::make_shared<Component>("S"));
+  content().add(std::make_shared<Component>("C"));
+
+  abc_ = std::make_shared<GcmFarmAbc>(*this, rm, std::move(recruit));
+  add_server_interface(
+      Interface::server("abc", std::static_pointer_cast<am::Abc>(abc_)));
+
+  lifecycle().on_start = [this] {
+    farm_->start();
+    sync_workers();
+  };
+  lifecycle().on_stop = [this] {
+    if (farm_->input()) farm_->input()->close();
+    farm_->wait();
+  };
+}
+
+FarmComposite::~FarmComposite() { lifecycle().stop(); }
+
+std::vector<std::string> FarmComposite::worker_component_names() const {
+  std::vector<std::string> out;
+  for (const auto& sub : content().components())
+    if (sub->name().rfind('W', 0) == 0) out.push_back(sub->name());
+  return out;
+}
+
+void FarmComposite::sync_workers() {
+  const std::size_t target = farm_->worker_count();
+  auto names = worker_component_names();
+  while (names.size() < target) {
+    auto w = std::make_shared<Component>("W" +
+                                         std::to_string(next_worker_id_++));
+    w->lifecycle().start();
+    content().add(w);
+    names.push_back(w->name());
+  }
+  while (names.size() > target) {
+    const std::string victim = names.back();
+    names.pop_back();
+    if (auto sub = content().find(victim)) {
+      sub->lifecycle().stop();
+      content().remove(victim);
+    }
+  }
+}
+
+// ----------------------------------------------------- PipelineComposite
+
+PipelineComposite::PipelineComposite(
+    std::string name, std::shared_ptr<rt::Pipeline> pipe,
+    std::vector<std::shared_ptr<Component>> stage_components)
+    : Component(std::move(name), /*composite=*/true), pipe_(std::move(pipe)) {
+  for (auto& s : stage_components) content().add(std::move(s));
+
+  abc_ = std::make_shared<am::PipelineAbc>(*pipe_);
+  add_server_interface(
+      Interface::server("abc", std::static_pointer_cast<am::Abc>(abc_)));
+
+  // Content (stage components) starts first via the lifecycle's recursive
+  // rule; the runtime pipeline follows in on_start. NOTE: a FarmComposite
+  // stage starts its own rt::Farm, so the runtime pipeline must not start
+  // it again — rt::Runnable::start() is idempotent, which makes this safe.
+  lifecycle().on_start = [this] { pipe_->start(); };
+  lifecycle().on_stop = [this] {
+    pipe_->request_stop();
+    pipe_->wait();
+  };
+}
+
+PipelineComposite::~PipelineComposite() { lifecycle().stop(); }
+
+}  // namespace bsk::gcm

@@ -1,0 +1,99 @@
+#pragma once
+// The farm behavioural skeleton as a GCM composite component — the
+// architecture of the paper's Fig. 2 (left).
+//
+// The composite's content is the scheduler S, the collector C, and one
+// sub-component per worker W. The ABC is exposed as a server interface on
+// the membrane ("abc"); its actuators are realized *through the standard
+// controllers*: ADD_EXECUTOR adds a started worker sub-component via the
+// ContentController, REMOVE_EXECUTOR stops it via its LifecycleController
+// and removes it via the ContentController — while the underlying
+// rt::Farm performs the actual data movement. The component tree therefore
+// always mirrors the running skeleton, which is what GCM tooling (and the
+// paper's AM) introspects.
+
+#include <memory>
+
+#include "am/abc.hpp"
+#include "gcm/component.hpp"
+#include "rt/farm.hpp"
+#include "rt/pipeline.hpp"
+
+namespace bsk::gcm {
+
+class FarmComposite;
+
+/// The ABC as a membrane service: delegates mechanics to am::FarmAbc and
+/// keeps the component view synchronized through the controllers.
+class GcmFarmAbc final : public am::Abc {
+ public:
+  GcmFarmAbc(FarmComposite& comp, sim::ResourceManager* rm,
+             sim::RecruitConstraints recruit = {});
+
+  am::Sensors sense() override;
+  bool add_worker() override;
+  bool remove_worker() override;
+  std::size_t rebalance() override;
+  std::size_t secure_links() override;
+
+ private:
+  FarmComposite& comp_;
+  am::FarmAbc inner_;
+};
+
+/// GCM composite wrapping a task farm.
+class FarmComposite final : public Component {
+ public:
+  FarmComposite(std::string name, rt::FarmConfig cfg,
+                rt::NodeFactory worker_factory, rt::Placement home = {},
+                sim::ResourceManager* rm = nullptr,
+                sim::RecruitConstraints recruit = {});
+  ~FarmComposite() override;
+
+  rt::Farm& farm() { return *farm_; }
+
+  /// Shared handle usable as a pipeline stage (ownership is shared between
+  /// this composite and the enclosing rt::Pipeline).
+  std::shared_ptr<rt::Farm> farm_ptr() { return farm_; }
+
+  /// The membrane's ABC service (also reachable through the "abc" server
+  /// interface as std::shared_ptr<am::Abc>).
+  am::Abc& abc() { return *abc_; }
+
+  /// Worker sub-components currently in the content (names "W0", "W1"...).
+  std::vector<std::string> worker_component_names() const;
+
+  /// Reconcile the content with the runtime's worker set: one started
+  /// sub-component per active worker. Called by the ABC after actuations;
+  /// exposed for tests and external reconfigurations.
+  void sync_workers();
+
+ private:
+  std::shared_ptr<rt::Farm> farm_;
+  std::shared_ptr<GcmFarmAbc> abc_;
+  std::size_t next_worker_id_ = 0;
+};
+
+/// GCM composite wrapping a pipeline of stage components (Fig. 2 right:
+/// the nested-usage picture). Stage components are the content; the
+/// composite's membrane exposes a pipeline ABC; starting the composite
+/// starts the stage components and then the underlying runtime pipeline.
+class PipelineComposite final : public Component {
+ public:
+  /// Takes ownership of the runnable pipeline; `stage_components` become
+  /// the content (typically one FarmComposite plus primitive stages —
+  /// they must correspond to the pipeline's stages but may be fewer when
+  /// some stages need no component representation).
+  PipelineComposite(std::string name, std::shared_ptr<rt::Pipeline> pipe,
+                    std::vector<std::shared_ptr<Component>> stage_components);
+  ~PipelineComposite() override;
+
+  rt::Pipeline& pipeline() { return *pipe_; }
+  am::Abc& abc() { return *abc_; }
+
+ private:
+  std::shared_ptr<rt::Pipeline> pipe_;
+  std::shared_ptr<am::PipelineAbc> abc_;
+};
+
+}  // namespace bsk::gcm

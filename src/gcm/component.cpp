@@ -1,0 +1,144 @@
+#include "gcm/component.hpp"
+
+#include <algorithm>
+
+namespace bsk::gcm {
+
+// ------------------------------------------------------------- lifecycle
+
+void LifecycleController::start() {
+  if (state_ == State::Started) return;
+  if (owner_.is_composite())
+    for (auto& sub : owner_.content_.subs_) sub->lifecycle().start();
+  if (on_start) on_start();
+  state_ = State::Started;
+}
+
+void LifecycleController::stop() {
+  if (state_ == State::Stopped) return;
+  if (on_stop) on_stop();
+  if (owner_.is_composite())
+    for (auto& sub : owner_.content_.subs_) sub->lifecycle().stop();
+  state_ = State::Stopped;
+}
+
+// --------------------------------------------------------------- binding
+
+void BindingController::bind(const std::string& client_itf,
+                             const Interface& server) {
+  if (!owner_.has_client_interface(client_itf))
+    throw GcmError(owner_.name() + ": no client interface '" + client_itf +
+                   "'");
+  if (bindings_.contains(client_itf))
+    throw GcmError(owner_.name() + ": '" + client_itf + "' already bound");
+  if (server.role() != Role::Server || !server.bound())
+    throw GcmError(owner_.name() + ": cannot bind '" + client_itf +
+                   "' to a non-server interface");
+  bindings_[client_itf] = server;
+}
+
+void BindingController::unbind(const std::string& client_itf) {
+  if (bindings_.erase(client_itf) == 0)
+    throw GcmError(owner_.name() + ": '" + client_itf + "' not bound");
+}
+
+std::optional<Interface> BindingController::lookup(
+    const std::string& client_itf) const {
+  const auto it = bindings_.find(client_itf);
+  return it == bindings_.end() ? std::nullopt : std::optional(it->second);
+}
+
+std::vector<std::string> BindingController::bound_interfaces() const {
+  std::vector<std::string> out;
+  out.reserve(bindings_.size());
+  for (const auto& [k, v] : bindings_) out.push_back(k);
+  return out;
+}
+
+// --------------------------------------------------------------- content
+
+void ContentController::add(std::shared_ptr<Component> sub) {
+  if (!owner_.is_composite())
+    throw GcmError(owner_.name() + ": primitive components have no content");
+  if (!sub) throw GcmError("null sub-component");
+  if (find(sub->name()) != nullptr)
+    throw GcmError(owner_.name() + ": duplicate sub-component '" +
+                   sub->name() + "'");
+  subs_.push_back(std::move(sub));
+}
+
+std::shared_ptr<Component> ContentController::remove(const std::string& name) {
+  if (!owner_.is_composite())
+    throw GcmError(owner_.name() + ": primitive components have no content");
+  const auto it =
+      std::find_if(subs_.begin(), subs_.end(),
+                   [&](const auto& s) { return s->name() == name; });
+  if (it == subs_.end()) return nullptr;
+  if ((*it)->lifecycle().started())
+    throw GcmError(owner_.name() + ": stop '" + name + "' before removal");
+  std::shared_ptr<Component> out = *it;
+  subs_.erase(it);
+  return out;
+}
+
+std::vector<std::shared_ptr<Component>> ContentController::components() const {
+  return subs_;
+}
+
+std::shared_ptr<Component> ContentController::find(
+    const std::string& name) const {
+  const auto it =
+      std::find_if(subs_.begin(), subs_.end(),
+                   [&](const auto& s) { return s->name() == name; });
+  return it == subs_.end() ? nullptr : *it;
+}
+
+std::size_t ContentController::size() const { return subs_.size(); }
+
+// ------------------------------------------------------------- component
+
+void Component::add_server_interface(Interface itf) {
+  if (itf.role() != Role::Server)
+    throw GcmError(name_ + ": not a server interface: " + itf.name());
+  if (servers_.contains(itf.name()))
+    throw GcmError(name_ + ": duplicate server interface '" + itf.name() +
+                   "'");
+  servers_[itf.name()] = std::move(itf);
+}
+
+void Component::add_client_interface(const std::string& name) {
+  if (std::find(clients_.begin(), clients_.end(), name) != clients_.end())
+    throw GcmError(name_ + ": duplicate client interface '" + name + "'");
+  clients_.push_back(name);
+}
+
+std::optional<Interface> Component::server_interface(
+    const std::string& name) const {
+  const auto it = servers_.find(name);
+  return it == servers_.end() ? std::nullopt : std::optional(it->second);
+}
+
+bool Component::has_client_interface(const std::string& name) const {
+  return std::find(clients_.begin(), clients_.end(), name) != clients_.end();
+}
+
+std::vector<std::string> Component::server_interface_names() const {
+  std::vector<std::string> out;
+  out.reserve(servers_.size());
+  for (const auto& [k, v] : servers_) out.push_back(k);
+  return out;
+}
+
+ContentController& Component::content() {
+  if (!composite_)
+    throw GcmError(name_ + ": primitive components have no content");
+  return content_;
+}
+
+const ContentController& Component::content() const {
+  if (!composite_)
+    throw GcmError(name_ + ": primitive components have no content");
+  return content_;
+}
+
+}  // namespace bsk::gcm

@@ -1,0 +1,213 @@
+#pragma once
+// A lightweight Fractal/GCM component model.
+//
+// The paper's behavioural skeletons "are implemented as GCM composite
+// components"; the AM is a *membrane* component, and the ABC "uses
+// services from the GCM/Fractal standard controllers Lifecycle, Content
+// and Binding Controller to implement both monitoring and actuators".
+// This module provides that substrate: components with named server
+// (provided) and client (required) interfaces, and a membrane of the three
+// standard controllers —
+//
+//   LifecycleController – STOPPED/STARTED state machine, recursive over
+//                         composite content;
+//   BindingController   – binds a component's client interfaces to other
+//                         components' server interfaces;
+//   ContentController   – sub-component management of composites.
+//
+// Interfaces are type-erased: a server interface wraps a shared_ptr to any
+// service object, recovered typed via Interface::as<T>(). gcm_bs.hpp
+// layers the skeleton ABC on top of these controllers, mirroring the
+// paper's architecture (Fig. 2 left).
+
+#include <any>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace bsk::gcm {
+
+class Component;
+
+/// Interface role: provided (server) or required (client).
+enum class Role { Server, Client };
+
+/// A named, type-erased service endpoint.
+class Interface {
+ public:
+  Interface() = default;
+
+  /// Wrap a service object as a server interface.
+  template <typename T>
+  static Interface server(std::string name, std::shared_ptr<T> impl) {
+    Interface i;
+    i.name_ = std::move(name);
+    i.role_ = Role::Server;
+    i.impl_ = std::move(impl);
+    return i;
+  }
+
+  /// Declare a client (required) interface, unbound until bind().
+  static Interface client(std::string name) {
+    Interface i;
+    i.name_ = std::move(name);
+    i.role_ = Role::Client;
+    return i;
+  }
+
+  const std::string& name() const { return name_; }
+  Role role() const { return role_; }
+  bool bound() const { return impl_.has_value(); }
+
+  /// Typed access to the service object; nullptr on type mismatch or when
+  /// unbound.
+  template <typename T>
+  std::shared_ptr<T> as() const {
+    if (const auto* p = std::any_cast<std::shared_ptr<T>>(&impl_)) return *p;
+    return nullptr;
+  }
+
+ private:
+  friend class BindingController;
+  std::string name_;
+  Role role_ = Role::Server;
+  std::any impl_;
+};
+
+/// Error type for illegal controller operations.
+class GcmError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// STOPPED/STARTED state machine; recursive over composite content.
+class LifecycleController {
+ public:
+  enum class State { Stopped, Started };
+
+  explicit LifecycleController(Component& owner) : owner_(owner) {}
+
+  /// Start the component: sub-components first (a composite's services
+  /// need its content running), then the component's own on_start hook.
+  /// Idempotent.
+  void start();
+
+  /// Stop: own on_stop hook first, then sub-components. Idempotent.
+  void stop();
+
+  State state() const { return state_; }
+  bool started() const { return state_ == State::Started; }
+
+  /// Functional-core hooks (the skeleton start/drain in gcm_bs).
+  std::function<void()> on_start;
+  std::function<void()> on_stop;
+
+ private:
+  Component& owner_;
+  State state_ = State::Stopped;
+};
+
+/// Binds this component's client interfaces to server interfaces.
+class BindingController {
+ public:
+  explicit BindingController(Component& owner) : owner_(owner) {}
+
+  /// Bind the named client interface to a server interface. Throws
+  /// GcmError when the client interface does not exist, is already bound,
+  /// or `server` is not a server interface.
+  void bind(const std::string& client_itf, const Interface& server);
+
+  /// Unbind. Throws GcmError when not bound.
+  void unbind(const std::string& client_itf);
+
+  /// The server interface a client is bound to, if any.
+  std::optional<Interface> lookup(const std::string& client_itf) const;
+
+  /// Names of currently bound client interfaces.
+  std::vector<std::string> bound_interfaces() const;
+
+ private:
+  Component& owner_;
+  std::map<std::string, Interface> bindings_;
+};
+
+/// Sub-component management (composites only).
+class ContentController {
+ public:
+  explicit ContentController(Component& owner) : owner_(owner) {}
+
+  /// Add a sub-component. Throws GcmError on duplicate names or when the
+  /// owner is not a composite.
+  void add(std::shared_ptr<Component> sub);
+
+  /// Remove (and return) the named sub-component; nullptr if absent.
+  /// A started sub-component must be stopped first (GcmError otherwise).
+  std::shared_ptr<Component> remove(const std::string& name);
+
+  std::vector<std::shared_ptr<Component>> components() const;
+  std::shared_ptr<Component> find(const std::string& name) const;
+  std::size_t size() const;
+
+ private:
+  friend class LifecycleController;
+  Component& owner_;
+  std::vector<std::shared_ptr<Component>> subs_;
+};
+
+/// A component: functional interfaces + the controller membrane.
+class Component {
+ public:
+  explicit Component(std::string name, bool composite = false)
+      : name_(std::move(name)),
+        composite_(composite),
+        lifecycle_(*this),
+        binding_(*this),
+        content_(*this) {}
+
+  virtual ~Component() = default;
+  Component(const Component&) = delete;
+  Component& operator=(const Component&) = delete;
+
+  const std::string& name() const { return name_; }
+  bool is_composite() const { return composite_; }
+
+  // ------------------------------------------------ functional interfaces
+
+  /// Expose a server interface. Throws on duplicates.
+  void add_server_interface(Interface itf);
+
+  /// Declare a client interface slot.
+  void add_client_interface(const std::string& name);
+
+  std::optional<Interface> server_interface(const std::string& name) const;
+  bool has_client_interface(const std::string& name) const;
+  std::vector<std::string> server_interface_names() const;
+
+  // ---------------------------------------------------------- controllers
+
+  LifecycleController& lifecycle() { return lifecycle_; }
+  const LifecycleController& lifecycle() const { return lifecycle_; }
+  BindingController& binding() { return binding_; }
+  ContentController& content();
+  const ContentController& content() const;
+
+ private:
+  friend class LifecycleController;
+  friend class BindingController;
+  friend class ContentController;
+
+  std::string name_;
+  bool composite_;
+  std::map<std::string, Interface> servers_;
+  std::vector<std::string> clients_;
+  LifecycleController lifecycle_;
+  BindingController binding_;
+  ContentController content_;
+};
+
+}  // namespace bsk::gcm

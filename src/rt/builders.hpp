@@ -1,0 +1,58 @@
+#pragma once
+// Convenience constructors for skeleton compositions.
+//
+// Sugar over direct SeqStage/Farm/Pipeline construction so examples and
+// tests read like the paper's skeleton expressions:
+//
+//   auto app = pipe("app",
+//       seq("producer", std::make_unique<StreamSource>(100, 0.5, 1.0)),
+//       farm("filter", cfg, [] { return std::make_unique<SimComputeNode>(); }),
+//       seq("consumer", std::make_unique<StreamSink>()));
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "rt/farm.hpp"
+#include "rt/pipeline.hpp"
+#include "rt/seq_stage.hpp"
+
+namespace bsk::rt {
+
+inline std::unique_ptr<SeqStage> seq(std::string name,
+                                     std::unique_ptr<Node> node,
+                                     Placement place = {}) {
+  return std::make_unique<SeqStage>(std::move(name), std::move(node), place);
+}
+
+inline std::unique_ptr<SeqStage> seq_fn(std::string name, LambdaNode::Fn fn,
+                                        Placement place = {}) {
+  return std::make_unique<SeqStage>(
+      std::move(name), std::make_unique<LambdaNode>(std::move(fn)), place);
+}
+
+inline std::unique_ptr<Farm> farm(std::string name, FarmConfig cfg,
+                                  NodeFactory factory, Placement home = {}) {
+  return std::make_unique<Farm>(std::move(name), cfg, std::move(factory),
+                                home);
+}
+
+namespace detail {
+inline void collect(std::vector<std::shared_ptr<Runnable>>&) {}
+
+template <typename First, typename... Rest>
+void collect(std::vector<std::shared_ptr<Runnable>>& out, First first,
+             Rest... rest) {
+  out.push_back(std::move(first));
+  collect(out, std::move(rest)...);
+}
+}  // namespace detail
+
+template <typename... Stages>
+std::unique_ptr<Pipeline> pipe(std::string name, Stages... stages) {
+  std::vector<std::shared_ptr<Runnable>> v;
+  detail::collect(v, std::move(stages)...);
+  return std::make_unique<Pipeline>(std::move(name), std::move(v));
+}
+
+}  // namespace bsk::rt

@@ -1,0 +1,63 @@
+#pragma once
+// Conduit: a bounded task channel between two placed runtime nodes.
+//
+// Couples a blocking Channel<Task> with a Link (communication cost + SSL
+// state). Pushing a data task first charges the link's simulated transfer
+// time, then enqueues. The farm's load balancer uses steal_back() to pull
+// queued tasks out of a backlogged worker's conduit.
+
+#include <deque>
+#include <memory>
+
+#include "support/channel.hpp"
+#include "rt/link.hpp"
+#include "rt/task.hpp"
+
+namespace bsk::rt {
+
+/// A directed, bounded, cost-modelled task queue.
+class Conduit {
+ public:
+  explicit Conduit(std::size_t capacity = 1024) : ch_(capacity) {}
+
+  void set_endpoints(Placement from, Placement to) {
+    link_.set_endpoints(from, to);
+  }
+
+  /// Blocking push with cost accounting. False when closed.
+  bool push(Task t) {
+    link_.charge(t);
+    return ch_.push(std::move(t));
+  }
+
+  /// Non-blocking push (still charges transfer cost). False when full/closed.
+  bool try_push(Task t) {
+    link_.charge(t);
+    return ch_.try_push(std::move(t));
+  }
+
+  support::ChannelStatus pop(Task& out) { return ch_.pop(out); }
+
+  support::ChannelStatus pop_for(Task& out, support::SimDuration d) {
+    return ch_.pop_for(out, d);
+  }
+
+  void close() { ch_.close(); }
+  bool closed() const { return ch_.closed(); }
+  std::size_t size() const { return ch_.size(); }
+  std::size_t capacity() const { return ch_.capacity(); }
+
+  /// Pull up to n tasks from the back of the queue (rebalancing).
+  std::deque<Task> steal_back(std::size_t n) { return ch_.steal_back(n); }
+
+  Link& link() { return link_; }
+  const Link& link() const { return link_; }
+
+ private:
+  support::Channel<Task> ch_;
+  Link link_;
+};
+
+using ConduitPtr = std::shared_ptr<Conduit>;
+
+}  // namespace bsk::rt

@@ -1,0 +1,518 @@
+#include "rt/farm.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "support/stats.hpp"
+
+namespace bsk::rt {
+
+Farm::Farm(std::string name, FarmConfig cfg, NodeFactory worker_factory,
+           Placement home)
+    : Runnable(std::move(name)),
+      cfg_(cfg),
+      factory_(std::move(worker_factory)),
+      home_(home),
+      to_collector_(std::max<std::size_t>(cfg.worker_queue_capacity * 4,
+                                          1024)),
+      metrics_(cfg.rate_window) {
+  // A farm with no workers would deadlock its emitter; one is the floor.
+  if (cfg_.initial_workers == 0) cfg_.initial_workers = 1;
+  // Self-made boundary conduits so a standalone farm is usable out of the
+  // box (an enclosing pipeline overwrites them during wiring). Their
+  // capacity is independent of worker_queue_capacity: shallow *worker*
+  // queues are a scheduling choice, but a shallow *output* would deadlock
+  // producers that drain results only after wait().
+  const std::size_t boundary =
+      std::max<std::size_t>(cfg_.worker_queue_capacity, 1024);
+  in_ = std::make_shared<Conduit>(boundary);
+  out_ = std::make_shared<Conduit>(boundary);
+}
+
+Farm::~Farm() {
+  if (started_) {
+    if (in_) in_->close();
+    wait();
+  }
+}
+
+void Farm::start() {
+  if (started_) return;
+  started_ = true;
+  // Initial workers are part of deployment, not reconfiguration: no pause.
+  const double delay = cfg_.reconfig_delay_s;
+  cfg_.reconfig_delay_s = 0.0;
+  for (std::size_t i = 0; i < cfg_.initial_workers; ++i) add_worker(home_);
+  cfg_.reconfig_delay_s = delay;
+  collector_thread_ = std::jthread([this] { collector_loop(); });
+  emitter_thread_ = std::jthread([this] { emitter_loop(); });
+}
+
+void Farm::wait() {
+  if (!started_) return;
+  if (emitter_thread_.joinable()) emitter_thread_.join();
+  // Snapshot worker threads under the lock, join outside it.
+  std::vector<Worker*> ws;
+  {
+    std::scoped_lock lk(workers_mu_);
+    for (auto& w : workers_) ws.push_back(w.get());
+  }
+  for (Worker* w : ws)
+    if (w->thread.joinable()) w->thread.join();
+  if (collector_thread_.joinable()) collector_thread_.join();
+}
+
+// ---------------------------------------------------------------- actuators
+
+bool Farm::add_worker(Placement place, std::optional<sim::CoreLease> lease,
+                      bool secure_links) {
+  if (shutting_down_.load()) return false;
+
+  // The reconfiguration pause: dispatch is suspended for the configured
+  // simulated duration (the paper's visible sensor blackout), *without*
+  // holding the worker-set lock.
+  if (started_ && cfg_.reconfig_delay_s > 0.0) {
+    reconfiguring_.store(true);
+    support::Clock::sleep_for(support::SimDuration(cfg_.reconfig_delay_s));
+  }
+
+  auto w = std::make_unique<Worker>();
+  w->wid = 0;  // assigned under the lock
+  w->node = factory_();
+  w->place = place.platform ? place : home_;
+  w->lease = lease;
+  w->in = std::make_shared<Conduit>(cfg_.worker_queue_capacity);
+  w->in->set_endpoints(home_, w->place);
+  w->out_link.set_endpoints(w->place, home_);
+  if (secure_links) {
+    // Secure *before* the worker can be scheduled: the commit step of the
+    // two-phase multi-concern protocol.
+    w->in->link().secure();
+    w->out_link.secure();
+  }
+
+  Worker* raw = w.get();
+  {
+    std::scoped_lock lk(workers_mu_);
+    if (shutting_down_.load()) {
+      reconfiguring_.store(false);
+      reconfig_cv_.notify_all();
+      return false;
+    }
+    w->wid = next_wid_++;
+    spawned_.fetch_add(1);
+    workers_.push_back(std::move(w));
+  }
+  if (started_) raw->thread = std::jthread([this, raw] { worker_loop(raw); });
+
+  reconfiguring_.store(false);
+  reconfig_cv_.notify_all();
+  return true;
+}
+
+RemoveWorkerResult Farm::remove_worker() {
+  if (started_ && cfg_.reconfig_delay_s > 0.0) {
+    reconfiguring_.store(true);
+    support::Clock::sleep_for(support::SimDuration(cfg_.reconfig_delay_s));
+  }
+
+  RemoveWorkerResult result;
+  Worker* victim = nullptr;
+  {
+    std::scoped_lock lk(workers_mu_);
+    std::size_t active = 0;
+    for (auto& w : workers_)
+      if (!w->retiring.load() && w->thread.joinable()) ++active;
+    if (active > 1) {
+      // Retire the most recently added active worker.
+      for (auto it = workers_.rbegin(); it != workers_.rend(); ++it) {
+        if (!(*it)->retiring.load() && (*it)->thread.joinable()) {
+          victim = it->get();
+          break;
+        }
+      }
+    }
+    if (victim) {
+      victim->retiring.store(true);
+      result.removed = true;
+      result.lease = victim->lease;
+      victim->lease.reset();
+    }
+  }
+  if (victim) victim->in->push(Task::poison());
+
+  reconfiguring_.store(false);
+  reconfig_cv_.notify_all();
+  return result;
+}
+
+std::size_t Farm::rebalance() {
+  std::vector<Worker*> active;
+  {
+    std::scoped_lock lk(workers_mu_);
+    for (auto& w : workers_)
+      if (!w->retiring.load() && w->thread.joinable()) active.push_back(w.get());
+  }
+  if (active.size() < 2) return 0;
+
+  std::size_t moved = 0;
+  // Iterate until queue lengths are within 1 of each other (or nothing can
+  // be moved). Each step moves half the spread from the longest queue to
+  // the shortest.
+  for (int pass = 0; pass < 64; ++pass) {
+    Worker* longest = active.front();
+    Worker* shortest = active.front();
+    for (Worker* w : active) {
+      if (w->in->size() > longest->in->size()) longest = w;
+      if (w->in->size() < shortest->in->size()) shortest = w;
+    }
+    const std::size_t hi = longest->in->size();
+    const std::size_t lo = shortest->in->size();
+    if (hi <= lo + 1) break;
+    const std::size_t k = (hi - lo) / 2;
+    auto stolen = longest->in->steal_back(k);
+    for (auto& t : stolen) {
+      if (shortest->in->try_push(std::move(t)))
+        ++moved;
+      else
+        longest->in->push(std::move(t));  // give back on overflow
+    }
+  }
+  return moved;
+}
+
+std::size_t Farm::secure_all_links() {
+  std::vector<Worker*> ws;
+  {
+    std::scoped_lock lk(workers_mu_);
+    for (auto& w : workers_) ws.push_back(w.get());
+  }
+  std::size_t n = 0;
+  for (Worker* w : ws) {
+    if (w->in->link().untrusted() && !w->in->link().secured()) {
+      w->in->link().secure();
+      ++n;
+    }
+    if (w->out_link.untrusted() && !w->out_link.secured()) {
+      w->out_link.secure();
+      ++n;
+    }
+  }
+  return n;
+}
+
+// ------------------------------------------------------------------ sensors
+
+std::size_t Farm::worker_count() const {
+  std::scoped_lock lk(workers_mu_);
+  std::size_t n = 0;
+  for (const auto& w : workers_)
+    if (!w->retiring.load()) ++n;
+  return n;
+}
+
+std::size_t Farm::running_workers() const {
+  std::scoped_lock lk(workers_mu_);
+  std::size_t n = 0;
+  for (const auto& w : workers_)
+    if (!w->exited.load()) ++n;
+  return n;
+}
+
+std::vector<std::size_t> Farm::queue_lengths() const {
+  std::scoped_lock lk(workers_mu_);
+  std::vector<std::size_t> out;
+  for (const auto& w : workers_)
+    if (!w->retiring.load()) out.push_back(w->in->size());
+  return out;
+}
+
+double Farm::queue_variance() const {
+  const auto qs = queue_lengths();
+  std::vector<double> xs(qs.begin(), qs.end());
+  return support::population_variance(xs);
+}
+
+std::vector<double> Farm::worker_busy_seconds() const {
+  std::scoped_lock lk(workers_mu_);
+  std::vector<double> out;
+  for (const auto& w : workers_)
+    if (!w->retiring.load()) out.push_back(w->busy_s.load());
+  return out;
+}
+
+std::uint64_t Farm::insecure_messages() const {
+  std::scoped_lock lk(workers_mu_);
+  std::uint64_t n = 0;
+  for (const auto& w : workers_)
+    n += w->in->link().insecure_messages() + w->out_link.insecure_messages();
+  return n;
+}
+
+bool Farm::has_unsecured_untrusted_links() const {
+  std::scoped_lock lk(workers_mu_);
+  for (const auto& w : workers_) {
+    if (w->retiring.load()) continue;
+    if ((w->in->link().untrusted() && !w->in->link().secured()) ||
+        (w->out_link.untrusted() && !w->out_link.secured()))
+      return true;
+  }
+  return false;
+}
+
+// ------------------------------------------------------------------ threads
+
+Farm::Worker* Farm::pick_worker_locked(const Task&) {
+  std::vector<Worker*> active;
+  for (auto& w : workers_)
+    if (!w->retiring.load() && w->thread.joinable()) active.push_back(w.get());
+  if (active.empty()) return nullptr;
+
+  switch (cfg_.policy) {
+    case SchedPolicy::OnDemand: {
+      Worker* best = active.front();
+      for (Worker* w : active)
+        if (w->in->size() < best->in->size()) best = w;
+      return best;
+    }
+    case SchedPolicy::RoundRobin:
+    case SchedPolicy::Broadcast: {
+      Worker* w = active[rr_next_ % active.size()];
+      ++rr_next_;
+      return w;
+    }
+  }
+  return active.front();
+}
+
+void Farm::emitter_loop() {
+  Task t;
+  while (in_ && in_->pop(t) == support::ChannelStatus::Ok) {
+    if (!t.is_data()) continue;
+    metrics_.record_arrival();
+    t.order = order_seq_.fetch_add(1);
+
+    if (cfg_.policy == SchedPolicy::Broadcast) {
+      std::unique_lock lk(workers_mu_);
+      reconfig_cv_.wait(lk, [&] { return !reconfiguring_.load(); });
+      std::vector<Worker*> targets;
+      for (auto& w : workers_)
+        if (!w->retiring.load() && w->thread.joinable())
+          targets.push_back(w.get());
+      lk.unlock();
+      for (Worker* w : targets) w->in->push(t);  // copies
+      continue;
+    }
+
+    Worker* w = nullptr;
+    {
+      std::unique_lock lk(workers_mu_);
+      reconfig_cv_.wait(lk, [&] {
+        if (reconfiguring_.load()) return false;
+        for (auto& x : workers_)
+          if (!x->retiring.load() && x->thread.joinable()) return true;
+        return false;
+      });
+      w = pick_worker_locked(t);
+    }
+    if (w == nullptr) continue;
+
+    if (cfg_.policy == SchedPolicy::OnDemand) {
+      // Late binding: never block on one full queue while another worker
+      // could take the task — try the shortest queues until one accepts.
+      while (!w->in->try_push(t)) {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        std::scoped_lock lk(workers_mu_);
+        Worker* best = nullptr;
+        for (auto& x : workers_) {
+          if (x->retiring.load() || !x->thread.joinable()) continue;
+          if (best == nullptr || x->in->size() < best->in->size())
+            best = x.get();
+        }
+        if (best != nullptr) w = best;
+      }
+    } else {
+      w->in->push(std::move(t));
+    }
+  }
+
+  // End of stream: refuse further growth, poison every worker.
+  shutting_down_.store(true);
+  std::vector<Worker*> ws;
+  {
+    std::scoped_lock lk(workers_mu_);
+    for (auto& w : workers_) ws.push_back(w.get());
+  }
+  emitter_done_.store(true);
+  for (Worker* w : ws)
+    if (!w->retiring.exchange(true)) w->in->push(Task::poison());
+}
+
+void Farm::worker_loop(Worker* w) {
+  w->node->set_placement(w->place);
+  w->node->on_start();
+  Task t;
+  while (w->in->pop(t) == support::ChannelStatus::Ok) {
+    if (t.kind == TaskKind::Poison) break;
+    if (!t.is_data()) continue;
+    // NOTE: failure is only acted on under inflight_mu below, so a data
+    // task popped after the crash landed is re-offered, never dropped.
+    {
+      // Stash a recovery copy; a crash injected from here on re-submits it.
+      // If the crash already landed (between our pop and this lock), the
+      // injector cannot have seen this task anywhere — re-offer it to a
+      // survivor ourselves, exactly once.
+      std::unique_lock lk(w->inflight_mu);
+      if (w->failed.load()) {
+        lk.unlock();
+        resubmit(std::move(t));
+        break;
+      }
+      w->inflight = t;
+    }
+    const auto t0 = support::Clock::now();
+    std::optional<Task> r = w->node->process(std::move(t));
+    const double dt = support::Clock::now() - t0;
+    w->busy_s.fetch_add(dt);
+    metrics_.record_service_time(dt);
+
+    // Exactly-once handoff: either we clear the in-flight copy and emit, or
+    // the failure injector captured the copy and our result is discarded —
+    // decided under the same lock.
+    bool emit;
+    {
+      std::scoped_lock lk(w->inflight_mu);
+      emit = !w->failed.load();
+      if (emit) w->inflight.reset();
+    }
+    if (!emit) break;
+    if (r) {
+      w->out_link.charge(*r);
+      to_collector_.push(std::move(*r));
+    }
+  }
+  w->node->on_stop();
+  w->exited.store(true);
+  to_collector_.push(Task::worker_done());
+}
+
+void Farm::resubmit(Task t) {
+  Worker* target = nullptr;
+  {
+    std::scoped_lock lk(workers_mu_);
+    for (auto& w : workers_) {
+      if (!w->retiring.load() && !w->failed.load() && w->thread.joinable()) {
+        target = w.get();
+        break;
+      }
+    }
+  }
+  if (target != nullptr)
+    target->in->push(std::move(t));
+  else
+    to_collector_.push(std::move(t));  // last resort: deliver unprocessed
+}
+
+bool Farm::inject_worker_failure() {
+  Worker* victim = nullptr;
+  {
+    std::scoped_lock lk(workers_mu_);
+    std::size_t active = 0;
+    for (auto& w : workers_)
+      if (!w->retiring.load() && w->thread.joinable()) ++active;
+    if (active < 2) return false;  // survivors must exist to recover onto
+    for (auto it = workers_.rbegin(); it != workers_.rend(); ++it) {
+      if (!(*it)->retiring.load() && (*it)->thread.joinable()) {
+        victim = it->get();
+        break;
+      }
+    }
+    victim->retiring.store(true);  // exclude from further scheduling
+  }
+
+  // Recover the victim's queue and in-flight task.
+  std::deque<Task> orphans = victim->in->steal_back(victim->in->size() + 8);
+  {
+    std::scoped_lock lk(victim->inflight_mu);
+    victim->failed.store(true);
+    if (victim->inflight) {
+      orphans.push_front(std::move(*victim->inflight));
+      victim->inflight.reset();
+    }
+  }
+  victim->in->push(Task::poison());  // wake it if blocked on an empty queue
+
+  // Redistribute onto the survivors.
+  std::vector<Worker*> survivors;
+  {
+    std::scoped_lock lk(workers_mu_);
+    for (auto& w : workers_)
+      if (!w->retiring.load() && w->thread.joinable())
+        survivors.push_back(w.get());
+  }
+  std::size_t i = 0;
+  for (Task& t : orphans)
+    if (!survivors.empty())
+      survivors[i++ % survivors.size()]->in->push(std::move(t));
+
+  failures_.fetch_add(1);
+  // The crashed "machine" takes its lease down with it: deliberately not
+  // returned to any resource manager.
+  victim->lease.reset();
+  return true;
+}
+
+void Farm::collector_loop() {
+  std::map<std::uint64_t, Task> reorder;
+  std::uint64_t next_order = 0;
+  std::optional<Task> accum;  // Reduce mode
+
+  auto emit = [&](Task t) {
+    metrics_.record_departure();
+    if (out_) out_->push(std::move(t));
+  };
+
+  auto handle_data = [&](Task t) {
+    if (cfg_.collect == CollectMode::Reduce) {
+      if (!accum)
+        accum = std::move(t);
+      else if (cfg_.reducer)
+        accum = cfg_.reducer(std::move(*accum), std::move(t));
+      return;
+    }
+    if (cfg_.ordered && cfg_.policy != SchedPolicy::Broadcast) {
+      reorder.emplace(t.order, std::move(t));
+      while (!reorder.empty() && reorder.begin()->first == next_order) {
+        emit(std::move(reorder.begin()->second));
+        reorder.erase(reorder.begin());
+        ++next_order;
+      }
+      return;
+    }
+    emit(std::move(t));
+  };
+
+  for (;;) {
+    Task t;
+    const auto st = to_collector_.pop_for(t, support::SimDuration(0.05));
+    if (st == support::ChannelStatus::Closed) break;
+    if (st == support::ChannelStatus::TimedOut) {
+      if (emitter_done_.load() && done_acks_.load() == spawned_.load()) break;
+      continue;
+    }
+    if (t.kind == TaskKind::WorkerDone) {
+      done_acks_.fetch_add(1);
+      if (emitter_done_.load() && done_acks_.load() == spawned_.load()) break;
+      continue;
+    }
+    if (t.is_data()) handle_data(std::move(t));
+  }
+
+  // Flush whatever the reorder buffer still holds (gaps can exist if a
+  // retired worker dropped tasks on shutdown) and the reduction result.
+  for (auto& [ord, task] : reorder) emit(std::move(task));
+  if (accum) emit(std::move(*accum));
+  if (out_) out_->close();
+}
+
+}  // namespace bsk::rt

@@ -1,0 +1,100 @@
+#pragma once
+// Thread-safe runtime metrics — the raw material of the ABC's sensors.
+//
+// Each skeleton instance owns a NodeMetrics; its threads record arrivals,
+// departures, and service times, and the manager's monitor phase reads
+// rates over a sliding simulated-time window. This is the C++ counterpart
+// of what the paper's ABC "monitoring" interface exposes to the AM.
+
+#include <mutex>
+
+#include "support/clock.hpp"
+#include "support/stats.hpp"
+
+namespace bsk::rt {
+
+/// Aggregated, thread-safe counters and rate estimators for one skeleton.
+class NodeMetrics {
+ public:
+  explicit NodeMetrics(support::SimDuration rate_window =
+                           support::SimDuration(10.0))
+      : arrivals_(rate_window), departures_(rate_window) {}
+
+  void record_arrival() {
+    std::scoped_lock lk(mu_);
+    arrivals_.record(support::Clock::now());
+  }
+
+  void record_departure() {
+    std::scoped_lock lk(mu_);
+    departures_.record(support::Clock::now());
+  }
+
+  void record_service_time(double s) {
+    std::scoped_lock lk(mu_);
+    service_.add(s);
+  }
+
+  void record_latency(double s) {
+    std::scoped_lock lk(mu_);
+    latency_.add(s);
+  }
+
+  /// Tasks/second entering the skeleton over the trailing window — the
+  /// paper's ArrivalRateBean ("input pressure").
+  double arrival_rate() const {
+    std::scoped_lock lk(mu_);
+    return arrivals_.rate(support::Clock::now());
+  }
+
+  /// Tasks/second leaving the skeleton — the paper's DepartureRateBean
+  /// (delivered throughput).
+  double departure_rate() const {
+    std::scoped_lock lk(mu_);
+    return departures_.rate(support::Clock::now());
+  }
+
+  std::size_t total_arrivals() const {
+    std::scoped_lock lk(mu_);
+    return arrivals_.total();
+  }
+
+  std::size_t total_departures() const {
+    std::scoped_lock lk(mu_);
+    return departures_.total();
+  }
+
+  /// Mean observed per-task service time (seconds).
+  double mean_service_time() const {
+    std::scoped_lock lk(mu_);
+    return service_.mean();
+  }
+
+  /// Mean source-to-sink latency (seconds).
+  double mean_latency() const {
+    std::scoped_lock lk(mu_);
+    return latency_.mean();
+  }
+
+  support::OnlineStats service_snapshot() const {
+    std::scoped_lock lk(mu_);
+    return service_;
+  }
+
+  void reset() {
+    std::scoped_lock lk(mu_);
+    arrivals_.reset();
+    departures_.reset();
+    service_.reset();
+    latency_.reset();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  support::RateEstimator arrivals_;
+  support::RateEstimator departures_;
+  support::OnlineStats service_;
+  support::OnlineStats latency_;
+};
+
+}  // namespace bsk::rt

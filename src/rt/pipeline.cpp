@@ -1,0 +1,46 @@
+#include "rt/pipeline.hpp"
+
+#include <stdexcept>
+
+namespace bsk::rt {
+
+Pipeline::Pipeline(std::string name,
+                   std::vector<std::shared_ptr<Runnable>> stages,
+                   std::size_t conduit_capacity)
+    : Runnable(std::move(name)), stages_(std::move(stages)) {
+  if (stages_.empty()) throw std::invalid_argument("pipeline needs >=1 stage");
+  for (std::size_t i = 0; i + 1 < stages_.size(); ++i) {
+    auto c = std::make_shared<Conduit>(conduit_capacity);
+    c->set_endpoints(stages_[i]->home(), stages_[i + 1]->home());
+    stages_[i]->set_output(c);
+    stages_[i + 1]->set_input(c);
+  }
+}
+
+void Pipeline::start() {
+  if (started_) return;
+  started_ = true;
+  for (auto& s : stages_) s->start();
+}
+
+void Pipeline::wait() {
+  for (auto& s : stages_) s->wait();
+}
+
+void Pipeline::request_stop() { stages_.front()->request_stop(); }
+
+Placement Pipeline::home() const { return stages_.front()->home(); }
+
+void Pipeline::set_input(ConduitPtr c) {
+  stages_.front()->set_input(std::move(c));
+}
+
+void Pipeline::set_output(ConduitPtr c) {
+  stages_.back()->set_output(std::move(c));
+}
+
+const ConduitPtr& Pipeline::input() const { return stages_.front()->input(); }
+
+const ConduitPtr& Pipeline::output() const { return stages_.back()->output(); }
+
+}  // namespace bsk::rt

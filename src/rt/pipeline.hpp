@@ -1,0 +1,52 @@
+#pragma once
+// Pipeline: stage composition with inter-stage conduits.
+//
+// Stages are arbitrary Runnables (sequential stages, farms, nested
+// pipelines), so the paper's skeleton trees — e.g. pipe(seq, farm(seq),
+// seq) of Fig. 2 (right) — compose directly. The pipeline wires a costed
+// conduit between each adjacent pair at construction; end-of-stream flows
+// by conduit closure from the first stage to the last.
+
+#include <memory>
+#include <vector>
+
+#include "rt/runnable.hpp"
+
+namespace bsk::rt {
+
+class Pipeline final : public Runnable {
+ public:
+  Pipeline(std::string name, std::vector<std::shared_ptr<Runnable>> stages,
+           std::size_t conduit_capacity = 1024);
+
+  void start() override;
+  void wait() override;
+  void request_stop() override;
+
+  Placement home() const override;
+
+  /// External input/output delegate to the first/last stage.
+  void set_input(ConduitPtr c) override;
+  void set_output(ConduitPtr c) override;
+  const ConduitPtr& input() const override;
+  const ConduitPtr& output() const override;
+
+  std::size_t stage_count() const { return stages_.size(); }
+  Runnable& stage(std::size_t i) { return *stages_.at(i); }
+  const Runnable& stage(std::size_t i) const { return *stages_.at(i); }
+
+  /// Typed stage access; nullptr when the stage is not a T.
+  template <typename T>
+  T* stage_as(std::size_t i) {
+    return dynamic_cast<T*>(stages_.at(i).get());
+  }
+
+  /// Shared handle to a stage (behavioural-skeleton wrappers keep one too).
+  std::shared_ptr<Runnable> stage_ptr(std::size_t i) { return stages_.at(i); }
+
+ private:
+  std::vector<std::shared_ptr<Runnable>> stages_;
+  bool started_ = false;
+};
+
+}  // namespace bsk::rt

@@ -1,0 +1,53 @@
+#pragma once
+// Runnable: a running skeleton instance (sequential stage, farm, pipeline).
+//
+// The instantiated counterpart of a skeleton expression. Runnables are
+// wired together with Conduits by the enclosing composite, started once,
+// and waited on; end-of-stream propagates by conduit closure. Every
+// Runnable tolerates a null input (sources) and a null output (sinks /
+// discard).
+
+#include <memory>
+#include <string>
+
+#include "rt/conduit.hpp"
+#include "rt/link.hpp"
+
+namespace bsk::rt {
+
+class Runnable {
+ public:
+  explicit Runnable(std::string name) : name_(std::move(name)) {}
+  virtual ~Runnable() = default;
+
+  Runnable(const Runnable&) = delete;
+  Runnable& operator=(const Runnable&) = delete;
+
+  /// Spawn the instance's threads. Call once, before wait().
+  virtual void start() = 0;
+
+  /// Block until the instance has fully drained and its threads exited.
+  virtual void wait() = 0;
+
+  /// Ask a source to stop emitting early (best effort; default no-op).
+  virtual void request_stop() {}
+
+  const std::string& name() const { return name_; }
+
+  /// Representative placement (used to cost inter-stage conduits).
+  virtual Placement home() const { return {}; }
+
+  virtual void set_input(ConduitPtr c) { in_ = std::move(c); }
+  virtual void set_output(ConduitPtr c) { out_ = std::move(c); }
+  virtual const ConduitPtr& input() const { return in_; }
+  virtual const ConduitPtr& output() const { return out_; }
+
+ protected:
+  ConduitPtr in_;
+  ConduitPtr out_;
+
+ private:
+  std::string name_;
+};
+
+}  // namespace bsk::rt

@@ -1,0 +1,56 @@
+#pragma once
+// SeqStage: a sequential pipeline stage running one Node on one thread.
+//
+// Drives either a source node (next() until end-of-stream) or a transformer
+// (pop → process → push until the input closes). Records the arrival and
+// departure rates the stage's autonomic manager monitors.
+
+#include <memory>
+#include <thread>
+
+#include "rt/metrics.hpp"
+#include "rt/node.hpp"
+#include "rt/runnable.hpp"
+
+namespace bsk::rt {
+
+class SeqStage final : public Runnable {
+ public:
+  SeqStage(std::string name, std::unique_ptr<Node> node, Placement place = {},
+           support::SimDuration rate_window = support::SimDuration(10.0));
+
+  void start() override;
+  void wait() override;
+  void request_stop() override;
+
+  Placement home() const override { return place_; }
+
+  /// The underlying node (e.g. to retune a StreamSource's rate).
+  Node& node() { return *node_; }
+  const Node& node() const { return *node_; }
+
+  /// Typed access to the node; nullptr when the type does not match.
+  template <typename T>
+  T* node_as() {
+    return dynamic_cast<T*>(node_.get());
+  }
+
+  NodeMetrics& metrics() { return metrics_; }
+  const NodeMetrics& metrics() const { return metrics_; }
+
+  /// True once the stage's thread has exited.
+  bool finished() const { return finished_.load(); }
+
+ private:
+  void run();
+
+  std::unique_ptr<Node> node_;
+  Placement place_;
+  NodeMetrics metrics_;
+  std::jthread thread_;
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<bool> finished_{false};
+  bool started_ = false;
+};
+
+}  // namespace bsk::rt

@@ -1,0 +1,80 @@
+#include "rules/engine.hpp"
+
+#include <algorithm>
+
+namespace bsk::rules {
+
+void Engine::add_rule(Rule r) {
+  const auto it =
+      std::find_if(rules_.begin(), rules_.end(),
+                   [&](const Rule& x) { return x.name() == r.name(); });
+  if (it != rules_.end())
+    *it = std::move(r);
+  else
+    rules_.push_back(std::move(r));
+}
+
+bool Engine::remove_rule(const std::string& name) {
+  const auto it =
+      std::find_if(rules_.begin(), rules_.end(),
+                   [&](const Rule& x) { return x.name() == name; });
+  if (it == rules_.end()) return false;
+  rules_.erase(it);
+  return true;
+}
+
+bool Engine::has_rule(const std::string& name) const {
+  return std::any_of(rules_.begin(), rules_.end(),
+                     [&](const Rule& x) { return x.name() == name; });
+}
+
+std::vector<std::string> Engine::rule_names() const {
+  std::vector<std::string> out;
+  out.reserve(rules_.size());
+  for (const Rule& r : rules_) out.push_back(r.name());
+  return out;
+}
+
+std::vector<std::string> Engine::fireable(const WorkingMemory& wm,
+                                          const ConstantTable& consts) const {
+  std::vector<std::string> out;
+  for (const Rule& r : rules_)
+    if (r.fireable(wm, consts)) out.push_back(r.name());
+  return out;
+}
+
+std::vector<std::string> Engine::run_cycle(
+    WorkingMemory& wm, const ConstantTable& consts, OperationSink& sink,
+    const std::vector<std::string>* exclude) {
+  std::vector<std::string> fired;
+  std::vector<bool> done(rules_.size(), false);
+  if (exclude != nullptr) {
+    for (std::size_t i = 0; i < rules_.size(); ++i)
+      if (std::find(exclude->begin(), exclude->end(), rules_[i].name()) !=
+          exclude->end())
+        done[i] = true;
+  }
+
+  for (;;) {
+    // Pick the highest-salience fireable rule not yet fired this cycle.
+    const Rule* best = nullptr;
+    std::size_t best_idx = 0;
+    for (std::size_t i = 0; i < rules_.size(); ++i) {
+      if (done[i] || !rules_[i].fireable(wm, consts)) continue;
+      if (!best || rules_[i].salience() > best->salience()) {
+        best = &rules_[i];
+        best_idx = i;
+      }
+    }
+    if (!best) break;
+
+    done[best_idx] = true;
+    RuleContext ctx{wm, consts, sink};
+    best->fire(ctx);
+    fired.push_back(best->name());
+    if (listener_) listener_(best->name());
+  }
+  return fired;
+}
+
+}  // namespace bsk::rules

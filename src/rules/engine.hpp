@@ -1,0 +1,56 @@
+#pragma once
+// Forward-chaining rule engine with salience and per-cycle refraction.
+//
+// The paper's control loop "invokes the JBoss rule engine periodically; at
+// each invocation, fireable rules are selected, prioritized and executed."
+// run_cycle() reproduces that: it repeatedly picks the highest-salience
+// fireable rule that has not yet fired this cycle (refraction), fires it,
+// and re-evaluates — so a firing that mutates working memory can enable or
+// disable later firings within the same cycle, exactly as an agenda does.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "rules/rule.hpp"
+
+namespace bsk::rules {
+
+/// Observation hook: called after each rule firing with the rule name.
+using FiringListener = std::function<void(const std::string& rule_name)>;
+
+/// A rule base plus the agenda algorithm.
+class Engine {
+ public:
+  /// Add a rule. Later additions with the same name replace earlier ones
+  /// (managers hot-swap policies this way).
+  void add_rule(Rule r);
+
+  /// Remove a rule by name. Returns true if found.
+  bool remove_rule(const std::string& name);
+
+  std::size_t rule_count() const { return rules_.size(); }
+  bool has_rule(const std::string& name) const;
+  std::vector<std::string> rule_names() const;
+
+  /// Names of rules whose condition currently holds.
+  std::vector<std::string> fireable(const WorkingMemory& wm,
+                                    const ConstantTable& consts) const;
+
+  /// Run one agenda cycle: fire each fireable rule at most once, highest
+  /// salience first (ties broken by insertion order), re-evaluating after
+  /// each firing. Rules named in `exclude` are treated as already fired
+  /// (cross-pass refraction for managers that re-monitor after actions).
+  /// Returns the names fired, in firing order.
+  std::vector<std::string> run_cycle(
+      WorkingMemory& wm, const ConstantTable& consts, OperationSink& sink,
+      const std::vector<std::string>* exclude = nullptr);
+
+  void set_listener(FiringListener l) { listener_ = std::move(l); }
+
+ private:
+  std::vector<Rule> rules_;  // insertion order preserved for tie-breaking
+  FiringListener listener_;
+};
+
+}  // namespace bsk::rules

@@ -1,0 +1,328 @@
+#include "rules/parser.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+namespace bsk::rules {
+
+namespace {
+
+// ---------------------------------------------------------------- lexer ---
+
+enum class Tok {
+  Ident,     // identifiers, possibly dotted (ManagersConstants.X)
+  Number,    // numeric literal
+  String,    // "..." literal
+  LParen,
+  RParen,
+  Comma,
+  Semi,
+  Colon,
+  Dollar,
+  Op,        // < <= > >= == !=
+  AndAnd,    // &&
+  End        // end of input
+};
+
+struct Token {
+  Tok kind;
+  std::string text;
+  double number = 0.0;
+  std::size_t line = 1;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& src) : src_(src) { advance(); }
+
+  const Token& peek() const { return cur_; }
+
+  Token take() {
+    Token t = cur_;
+    advance();
+    return t;
+  }
+
+  std::size_t line() const { return line_; }
+
+ private:
+  void advance() {
+    skip_ws_and_comments();
+    cur_.line = line_;
+    if (pos_ >= src_.size()) {
+      cur_ = {Tok::End, "", 0.0, line_};
+      return;
+    }
+    const char c = src_[pos_];
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::string s;
+      while (pos_ < src_.size() &&
+             (std::isalnum(static_cast<unsigned char>(src_[pos_])) ||
+              src_[pos_] == '_' || src_[pos_] == '.')) {
+        s += src_[pos_++];
+      }
+      cur_ = {Tok::Ident, std::move(s), 0.0, line_};
+      return;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && pos_ + 1 < src_.size() &&
+         std::isdigit(static_cast<unsigned char>(src_[pos_ + 1])))) {
+      std::string s;
+      if (c == '-') s += src_[pos_++];
+      while (pos_ < src_.size() &&
+             (std::isdigit(static_cast<unsigned char>(src_[pos_])) ||
+              src_[pos_] == '.' || src_[pos_] == 'e' || src_[pos_] == 'E' ||
+              ((src_[pos_] == '+' || src_[pos_] == '-') && !s.empty() &&
+               (s.back() == 'e' || s.back() == 'E')))) {
+        s += src_[pos_++];
+      }
+      cur_ = {Tok::Number, s, std::stod(s), line_};
+      return;
+    }
+    switch (c) {
+      case '"': {
+        ++pos_;
+        std::string s;
+        while (pos_ < src_.size() && src_[pos_] != '"') {
+          if (src_[pos_] == '\n') ++line_;
+          s += src_[pos_++];
+        }
+        if (pos_ >= src_.size()) throw ParseError(line_, "unterminated string");
+        ++pos_;  // closing quote
+        cur_ = {Tok::String, std::move(s), 0.0, line_};
+        return;
+      }
+      case '(': cur_ = {Tok::LParen, "(", 0.0, line_}; ++pos_; return;
+      case ')': cur_ = {Tok::RParen, ")", 0.0, line_}; ++pos_; return;
+      case ',': cur_ = {Tok::Comma, ",", 0.0, line_}; ++pos_; return;
+      case ';': cur_ = {Tok::Semi, ";", 0.0, line_}; ++pos_; return;
+      case ':': cur_ = {Tok::Colon, ":", 0.0, line_}; ++pos_; return;
+      case '$': cur_ = {Tok::Dollar, "$", 0.0, line_}; ++pos_; return;
+      case '&':
+        if (pos_ + 1 < src_.size() && src_[pos_ + 1] == '&') {
+          cur_ = {Tok::AndAnd, "&&", 0.0, line_};
+          pos_ += 2;
+          return;
+        }
+        throw ParseError(line_, "stray '&'");
+      case '<':
+      case '>':
+      case '=':
+      case '!': {
+        std::string s(1, c);
+        ++pos_;
+        if (pos_ < src_.size() && src_[pos_] == '=') {
+          s += '=';
+          ++pos_;
+        }
+        if (s == "=") throw ParseError(line_, "use '==' for equality");
+        cur_ = {Tok::Op, std::move(s), 0.0, line_};
+        return;
+      }
+      default:
+        throw ParseError(line_, std::string("unexpected character '") + c +
+                                    "'");
+    }
+  }
+
+  void skip_ws_and_comments() {
+    for (;;) {
+      while (pos_ < src_.size() &&
+             std::isspace(static_cast<unsigned char>(src_[pos_]))) {
+        if (src_[pos_] == '\n') ++line_;
+        ++pos_;
+      }
+      if (pos_ + 1 < src_.size() && src_[pos_] == '/' &&
+          src_[pos_ + 1] == '/') {
+        while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+        continue;
+      }
+      if (pos_ < src_.size() && src_[pos_] == '#') {
+        while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+        continue;
+      }
+      break;
+    }
+  }
+
+  const std::string& src_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+  Token cur_;
+};
+
+// --------------------------------------------------------------- parser ---
+
+CmpOp to_cmp(const std::string& s, std::size_t line) {
+  if (s == "<") return CmpOp::Lt;
+  if (s == "<=") return CmpOp::Le;
+  if (s == ">") return CmpOp::Gt;
+  if (s == ">=") return CmpOp::Ge;
+  if (s == "==") return CmpOp::Eq;
+  if (s == "!=") return CmpOp::Ne;
+  throw ParseError(line, "bad comparison operator '" + s + "'");
+}
+
+/// Strip a dotted qualifier: "ManagersConstants.FOO" -> "FOO".
+std::string last_component(const std::string& dotted) {
+  const auto pos = dotted.rfind('.');
+  return pos == std::string::npos ? dotted : dotted.substr(pos + 1);
+}
+
+class Parser {
+ public:
+  explicit Parser(const std::string& src) : lex_(src) {}
+
+  std::vector<Rule> parse() {
+    std::vector<Rule> rules;
+    while (lex_.peek().kind != Tok::End) rules.push_back(parse_rule());
+    return rules;
+  }
+
+ private:
+  Token expect(Tok k, const std::string& what) {
+    if (lex_.peek().kind != k)
+      throw ParseError(lex_.peek().line,
+                       "expected " + what + ", got '" + lex_.peek().text + "'");
+    return lex_.take();
+  }
+
+  Token expect_kw(const std::string& kw) {
+    const Token t = expect(Tok::Ident, "'" + kw + "'");
+    if (t.text != kw)
+      throw ParseError(t.line, "expected '" + kw + "', got '" + t.text + "'");
+    return t;
+  }
+
+  Operand parse_operand() {
+    const Token& t = lex_.peek();
+    if (t.kind == Tok::Number) return lex_.take().number;
+    if (t.kind == Tok::Ident) return last_component(lex_.take().text);
+    throw ParseError(t.line, "expected number or constant name");
+  }
+
+  Pattern parse_pattern() {
+    Pattern p;
+    if (lex_.peek().kind == Tok::Ident && lex_.peek().text == "not") {
+      lex_.take();
+      p.negated = true;
+    }
+    // Optional "$binding :" prefix.
+    if (lex_.peek().kind == Tok::Dollar) {
+      lex_.take();
+      expect(Tok::Ident, "binding name");
+      expect(Tok::Colon, "':'");
+    }
+    p.bean = expect(Tok::Ident, "bean name").text;
+    expect(Tok::LParen, "'('");
+    for (;;) {
+      const Token field = expect(Tok::Ident, "'value'");
+      if (field.text != "value")
+        throw ParseError(field.line,
+                         "only field 'value' is supported, got '" +
+                             field.text + "'");
+      const Token op = expect(Tok::Op, "comparison operator");
+      PatternTest t;
+      t.op = to_cmp(op.text, op.line);
+      t.rhs = parse_operand();
+      p.tests.push_back(std::move(t));
+      if (lex_.peek().kind == Tok::Comma || lex_.peek().kind == Tok::AndAnd) {
+        lex_.take();
+        continue;
+      }
+      break;
+    }
+    expect(Tok::RParen, "')'");
+    return p;
+  }
+
+  std::vector<ActionStmt> parse_actions() {
+    std::vector<ActionStmt> stmts;
+    while (!(lex_.peek().kind == Tok::Ident && lex_.peek().text == "end")) {
+      if (lex_.peek().kind == Tok::End)
+        throw ParseError(lex_.peek().line, "missing 'end'");
+      // Optional "$x." receiver prefix.
+      if (lex_.peek().kind == Tok::Dollar) {
+        lex_.take();
+        const Token recv = expect(Tok::Ident, "receiver.method");
+        // recv.text is like "departureBean.setData" — method is last part.
+        stmts.push_back(parse_call(last_component(recv.text), recv.line));
+      } else {
+        const Token fn = expect(Tok::Ident, "action name");
+        stmts.push_back(parse_call(last_component(fn.text), fn.line));
+      }
+      if (lex_.peek().kind == Tok::Semi) lex_.take();
+    }
+    return stmts;
+  }
+
+  ActionStmt parse_call(const std::string& method, std::size_t line) {
+    expect(Tok::LParen, "'('");
+    ActionStmt out;
+    if (method == "setData") {
+      const Token& t = lex_.peek();
+      std::string data;
+      if (t.kind == Tok::String)
+        data = lex_.take().text;
+      else if (t.kind == Tok::Ident)
+        data = last_component(lex_.take().text);
+      else
+        throw ParseError(t.line, "setData expects a string or constant name");
+      out = SetData{std::move(data)};
+    } else if (method == "fireOperation" || method == "fire") {
+      const Token t = expect(Tok::Ident, "operation name");
+      out = FireOp{last_component(t.text)};
+    } else if (method == "set") {
+      const Token bean = expect(Tok::Ident, "bean name");
+      expect(Tok::Comma, "','");
+      Operand v = parse_operand();
+      out = SetFact{bean.text, std::move(v)};
+    } else {
+      throw ParseError(line, "unknown action '" + method + "'");
+    }
+    expect(Tok::RParen, "')'");
+    return out;
+  }
+
+  Rule parse_rule() {
+    expect_kw("rule");
+    const Token name = expect(Tok::String, "rule name string");
+    int salience = 0;
+    if (lex_.peek().kind == Tok::Ident && lex_.peek().text == "salience") {
+      lex_.take();
+      const Token n = expect(Tok::Number, "salience value");
+      salience = static_cast<int>(n.number);
+    }
+    expect_kw("when");
+    std::vector<Pattern> patterns;
+    while (!(lex_.peek().kind == Tok::Ident && lex_.peek().text == "then")) {
+      if (lex_.peek().kind == Tok::End)
+        throw ParseError(lex_.peek().line, "missing 'then'");
+      patterns.push_back(parse_pattern());
+    }
+    expect_kw("then");
+    std::vector<ActionStmt> actions = parse_actions();
+    expect_kw("end");
+    return make_rule(name.text, salience, std::move(patterns),
+                     std::move(actions));
+  }
+
+  Lexer lex_;
+};
+
+}  // namespace
+
+std::vector<Rule> parse_rules(const std::string& text) {
+  return Parser(text).parse();
+}
+
+std::vector<Rule> parse_rules_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open rule file: " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return parse_rules(ss.str());
+}
+
+}  // namespace bsk::rules

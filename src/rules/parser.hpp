@@ -1,0 +1,55 @@
+#pragma once
+// Parser for a Drools-flavoured rule text format (".brl").
+//
+// Accepts the syntax of the paper's Fig. 5 nearly verbatim, e.g.:
+//
+//   rule "CheckRateLow"
+//     salience 5                                  // optional, default 0
+//     when
+//       $departureBean : DepartureRateBean( value < ManagersConstants.FARM_LOW_PERF_LEVEL )
+//       $arrivalBean   : ArrivalRateBean( value >= ManagersConstants.FARM_LOW_PERF_LEVEL )
+//       $parDegree     : NumWorkerBean( value <= ManagersConstants.FARM_MAX_NUM_WORKERS )
+//     then
+//       $departureBean.setData(ManagersConstants.FARM_ADD_WORKERS);
+//       $departureBean.fireOperation(ManagerOperation.ADD_EXECUTOR);
+//       $departureBean.fireOperation(ManagerOperation.BALANCE_LOAD);
+//   end
+//
+// Deviations/simplifications relative to full Drools:
+//  * the only pattern field is `value`; bindings (`$x :`) are accepted and
+//    ignored (actions are resolved by operation name, not receiver);
+//  * `Qualifier.NAME` operands resolve NAME against the manager's constant
+//    table at evaluation time; bare numbers are literals;
+//  * `not Bean(...)` negates a pattern; multiple tests in one pattern are
+//    comma- or `&&`-separated and conjunctive;
+//  * actions are setData(...) / fireOperation(...) / fire(...) / set(Bean, v),
+//    with or without a `$x.` receiver prefix; string literals allowed.
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "rules/rule.hpp"
+
+namespace bsk::rules {
+
+/// Parse error with 1-based line number.
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(std::size_t line, const std::string& what)
+      : std::runtime_error("line " + std::to_string(line) + ": " + what),
+        line_(line) {}
+  std::size_t line() const { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+/// Parse rule text into Rule objects (declaration order preserved).
+/// Throws ParseError on malformed input.
+std::vector<Rule> parse_rules(const std::string& text);
+
+/// Read and parse a .brl file. Throws std::runtime_error if unreadable.
+std::vector<Rule> parse_rules_file(const std::string& path);
+
+}  // namespace bsk::rules

@@ -1,0 +1,94 @@
+#include "rules/rule.hpp"
+
+namespace bsk::rules {
+
+std::optional<double> resolve(const Operand& o, const ConstantTable& consts) {
+  if (const double* lit = std::get_if<double>(&o)) return *lit;
+  return consts.get(std::get<std::string>(o));
+}
+
+namespace {
+bool compare(double lhs, CmpOp op, double rhs) {
+  switch (op) {
+    case CmpOp::Lt: return lhs < rhs;
+    case CmpOp::Le: return lhs <= rhs;
+    case CmpOp::Gt: return lhs > rhs;
+    case CmpOp::Ge: return lhs >= rhs;
+    case CmpOp::Eq: return lhs == rhs;
+    case CmpOp::Ne: return lhs != rhs;
+  }
+  return false;
+}
+}  // namespace
+
+bool Pattern::matches(const WorkingMemory& wm,
+                      const ConstantTable& consts) const {
+  const std::optional<double> v = wm.get(bean);
+  bool ok = v.has_value();
+  if (ok) {
+    for (const PatternTest& t : tests) {
+      const std::optional<double> rhs = resolve(t.rhs, consts);
+      if (!rhs || !compare(*v, t.op, *rhs)) {
+        ok = false;
+        break;
+      }
+    }
+  }
+  return negated ? !ok : ok;
+}
+
+Rule make_rule(std::string name, int salience, std::vector<Pattern> patterns,
+               std::vector<ActionStmt> actions) {
+  auto cond = [patterns = std::move(patterns)](const WorkingMemory& wm,
+                                               const ConstantTable& c) {
+    for (const Pattern& p : patterns)
+      if (!p.matches(wm, c)) return false;
+    return true;
+  };
+  auto act = [actions = std::move(actions)](RuleContext& ctx) {
+    std::string pending_data;
+    for (const ActionStmt& s : actions) {
+      if (const auto* sd = std::get_if<SetData>(&s)) {
+        pending_data = sd->data;
+      } else if (const auto* fo = std::get_if<FireOp>(&s)) {
+        ctx.sink.fire_operation(fo->operation, pending_data);
+      } else if (const auto* sf = std::get_if<SetFact>(&s)) {
+        if (const auto v = resolve(sf->value, ctx.consts))
+          ctx.wm.set(sf->bean, *v);
+      }
+    }
+  };
+  return Rule(std::move(name), salience, std::move(cond), std::move(act));
+}
+
+Rule RuleBuilder::build() const {
+  Rule base = make_rule(name_, salience_, patterns_, actions_);
+  if (preds_.empty() && extra_actions_.empty()) return base;
+
+  auto preds = preds_;
+  auto cond = [base_cond = patterns_, preds = std::move(preds)](
+                  const WorkingMemory& wm, const ConstantTable& c) {
+    for (const Pattern& p : base_cond)
+      if (!p.matches(wm, c)) return false;
+    for (const auto& pr : preds)
+      if (!pr(wm, c)) return false;
+    return true;
+  };
+  auto act = [stmts = actions_, extra = extra_actions_](RuleContext& ctx) {
+    std::string pending_data;
+    for (const ActionStmt& s : stmts) {
+      if (const auto* sd = std::get_if<SetData>(&s)) {
+        pending_data = sd->data;
+      } else if (const auto* fo = std::get_if<FireOp>(&s)) {
+        ctx.sink.fire_operation(fo->operation, pending_data);
+      } else if (const auto* sf = std::get_if<SetFact>(&s)) {
+        if (const auto v = resolve(sf->value, ctx.consts))
+          ctx.wm.set(sf->bean, *v);
+      }
+    }
+    for (const auto& a : extra) a(ctx);
+  };
+  return Rule(name_, salience_, std::move(cond), std::move(act));
+}
+
+}  // namespace bsk::rules

@@ -1,0 +1,171 @@
+#pragma once
+// Rule representation: precondition → action, with salience.
+//
+// A rule's condition is a conjunction of *patterns*, each testing one bean's
+// value against a literal or a named constant (mirroring JBoss/Drools
+// `Bean(value < CONST)` patterns, including `not`-negated patterns). Actions
+// are a small statement list: fire an operation on the manager's actuator
+// sink, set a string payload, or raise a violation. Rules can also be built
+// programmatically with arbitrary C++ predicates/actions via RuleBuilder.
+
+#include <functional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "rules/working_memory.hpp"
+
+namespace bsk::rules {
+
+/// Comparison operators allowed in patterns.
+enum class CmpOp { Lt, Le, Gt, Ge, Eq, Ne };
+
+/// Right-hand side of a pattern test: literal or named constant.
+using Operand = std::variant<double, std::string>;
+
+/// Resolve an operand against the constant table. Unknown constants resolve
+/// to nullopt, which makes the containing pattern fail (a rule referencing a
+/// missing constant never fires rather than crashing the control loop).
+std::optional<double> resolve(const Operand& o, const ConstantTable& consts);
+
+/// One test within a pattern: `value <op> operand`.
+struct PatternTest {
+  CmpOp op = CmpOp::Lt;
+  Operand rhs;
+};
+
+/// One pattern: all tests on one bean, optionally negated.
+struct Pattern {
+  std::string bean;
+  bool negated = false;  ///< `not Bean(...)` — true when no matching bean
+  std::vector<PatternTest> tests;
+
+  /// True when the pattern matches current memory. A non-negated pattern on
+  /// an absent bean does not match; a negated one does.
+  bool matches(const WorkingMemory& wm, const ConstantTable& consts) const;
+};
+
+/// Action statements a parsed rule may execute.
+struct FireOp {
+  std::string operation;  ///< e.g. "ADD_EXECUTOR"
+};
+struct SetData {
+  std::string data;  ///< payload attached to the next fired operation
+};
+struct SetFact {
+  std::string bean;
+  Operand value;
+};
+using ActionStmt = std::variant<FireOp, SetData, SetFact>;
+
+/// Receiver of `fire(OPERATION)` statements — implemented by the autonomic
+/// manager, which maps operation names onto ABC actuator calls.
+class OperationSink {
+ public:
+  virtual ~OperationSink() = default;
+  /// `data` is the most recent SetData payload in the same rule (or empty).
+  virtual void fire_operation(const std::string& operation,
+                              const std::string& data) = 0;
+};
+
+/// Execution context handed to rule actions.
+struct RuleContext {
+  WorkingMemory& wm;
+  const ConstantTable& consts;
+  OperationSink& sink;
+};
+
+/// A complete rule.
+class Rule {
+ public:
+  using Condition = std::function<bool(const WorkingMemory&,
+                                       const ConstantTable&)>;
+  using Action = std::function<void(RuleContext&)>;
+
+  Rule(std::string name, int salience, Condition cond, Action act)
+      : name_(std::move(name)),
+        salience_(salience),
+        cond_(std::move(cond)),
+        action_(std::move(act)) {}
+
+  const std::string& name() const { return name_; }
+  int salience() const { return salience_; }
+
+  bool fireable(const WorkingMemory& wm, const ConstantTable& c) const {
+    return cond_(wm, c);
+  }
+
+  void fire(RuleContext& ctx) const { action_(ctx); }
+
+ private:
+  std::string name_;
+  int salience_;
+  Condition cond_;
+  Action action_;
+};
+
+/// Build a Rule from parsed patterns + action statements.
+Rule make_rule(std::string name, int salience, std::vector<Pattern> patterns,
+               std::vector<ActionStmt> actions);
+
+/// Fluent builder for programmatic (C++-side) rules.
+class RuleBuilder {
+ public:
+  explicit RuleBuilder(std::string name) : name_(std::move(name)) {}
+
+  RuleBuilder& salience(int s) {
+    salience_ = s;
+    return *this;
+  }
+
+  /// Add a `bean value <op> constant-or-literal` pattern.
+  RuleBuilder& when(std::string bean, CmpOp op, Operand rhs) {
+    patterns_.push_back(Pattern{std::move(bean), false, {{op, std::move(rhs)}}});
+    return *this;
+  }
+
+  /// Add a negated pattern (`not Bean(...)`).
+  RuleBuilder& when_not(std::string bean, CmpOp op, Operand rhs) {
+    patterns_.push_back(Pattern{std::move(bean), true, {{op, std::move(rhs)}}});
+    return *this;
+  }
+
+  /// Add an arbitrary predicate ANDed with the patterns.
+  RuleBuilder& when_pred(Rule::Condition pred) {
+    preds_.push_back(std::move(pred));
+    return *this;
+  }
+
+  RuleBuilder& then_fire(std::string operation) {
+    actions_.push_back(FireOp{std::move(operation)});
+    return *this;
+  }
+
+  RuleBuilder& then_set_data(std::string data) {
+    actions_.push_back(SetData{std::move(data)});
+    return *this;
+  }
+
+  RuleBuilder& then_set(std::string bean, Operand value) {
+    actions_.push_back(SetFact{std::move(bean), std::move(value)});
+    return *this;
+  }
+
+  /// Add an arbitrary C++ action run after the statement list.
+  RuleBuilder& then_do(Rule::Action act) {
+    extra_actions_.push_back(std::move(act));
+    return *this;
+  }
+
+  Rule build() const;
+
+ private:
+  std::string name_;
+  int salience_ = 0;
+  std::vector<Pattern> patterns_;
+  std::vector<Rule::Condition> preds_;
+  std::vector<ActionStmt> actions_;
+  std::vector<Rule::Action> extra_actions_;
+};
+
+}  // namespace bsk::rules

@@ -1,0 +1,87 @@
+#pragma once
+// Working memory: the fact base a manager's rules match against.
+//
+// The paper's AMs monitor a fixed set of *beans* (ArrivalRateBean,
+// DepartureRateBean, NumWorkerBean, QueueVarianceBean, ...), each carrying a
+// numeric `value`. Working memory here is a map from bean name to numeric
+// value plus a side map of string facts (used for violation payloads). A
+// version counter lets the engine detect mutation during a firing cycle.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+namespace bsk::rules {
+
+/// Mutable fact base. Not thread-safe: each manager owns one and refreshes
+/// it from its sensors at the top of every control cycle.
+class WorkingMemory {
+ public:
+  /// Assert/update a numeric bean.
+  void set(const std::string& bean, double value) {
+    facts_[bean] = value;
+    ++version_;
+  }
+
+  /// Value of a bean, if asserted.
+  std::optional<double> get(const std::string& bean) const {
+    const auto it = facts_.find(bean);
+    return it == facts_.end() ? std::nullopt : std::optional(it->second);
+  }
+
+  bool has(const std::string& bean) const { return facts_.contains(bean); }
+
+  /// Remove a bean from memory.
+  void retract(const std::string& bean) {
+    if (facts_.erase(bean) > 0) ++version_;
+  }
+
+  /// Assert/update a string fact (violation payloads, mode flags).
+  void set_string(const std::string& key, std::string value) {
+    strings_[key] = std::move(value);
+    ++version_;
+  }
+
+  std::optional<std::string> get_string(const std::string& key) const {
+    const auto it = strings_.find(key);
+    return it == strings_.end() ? std::nullopt : std::optional(it->second);
+  }
+
+  void clear() {
+    facts_.clear();
+    strings_.clear();
+    ++version_;
+  }
+
+  /// Monotone counter bumped on every mutation.
+  std::uint64_t version() const { return version_; }
+
+  const std::map<std::string, double>& numeric_facts() const { return facts_; }
+
+ private:
+  std::map<std::string, double> facts_;
+  std::map<std::string, std::string> strings_;
+  std::uint64_t version_ = 0;
+};
+
+/// Named constants referenced by rule conditions (the paper's
+/// ManagersConstants.FARM_LOW_PERF_LEVEL etc.). Managers derive these from
+/// their current contract, so re-contracting re-parameterizes the rules
+/// without touching rule text.
+class ConstantTable {
+ public:
+  void set(const std::string& name, double value) { table_[name] = value; }
+
+  std::optional<double> get(const std::string& name) const {
+    const auto it = table_.find(name);
+    return it == table_.end() ? std::nullopt : std::optional(it->second);
+  }
+
+  bool has(const std::string& name) const { return table_.contains(name); }
+
+ private:
+  std::map<std::string, double> table_;
+};
+
+}  // namespace bsk::rules

@@ -1,0 +1,32 @@
+#pragma once
+// Network/administrative domains.
+//
+// The paper's security concern is phrased in terms of IP domains: links that
+// touch a node in an untrusted domain (the paper's `untrusted_ip_domain_A`)
+// must be secured (SSL) or the security contract is violated. A domain here
+// is just a named trust class plus the communication-cost multipliers the
+// platform model uses.
+
+#include <string>
+
+namespace bsk::sim {
+
+/// An administrative/network domain machines belong to.
+struct Domain {
+  std::string name;
+  bool trusted = true;
+  /// Multiplier on communication cost when links into this domain are run
+  /// over a secure (SSL-like) protocol instead of plain sockets.
+  double ssl_cost_factor = 2.5;
+  /// One-off per-connection handshake cost (simulated seconds) for securing
+  /// a link into this domain.
+  double ssl_handshake_s = 0.05;
+};
+
+/// True when a link between domains `a` and `b` traverses a non-private
+/// segment and therefore needs securing under a security contract.
+inline bool link_needs_securing(const Domain& a, const Domain& b) {
+  return !a.trusted || !b.trusted;
+}
+
+}  // namespace bsk::sim

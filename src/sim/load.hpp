@@ -1,0 +1,66 @@
+#pragma once
+// External-load traces.
+//
+// The paper's testbed experiences "additional (external) load upon the cores
+// used for the computation"; the managers must observe the resulting
+// throughput drop and react. A LoadTrace is a piecewise-constant function of
+// simulated time giving the external load factor on a machine: 0.0 means the
+// machine is all ours, 1.0 means one competing full-load process per core
+// (halving effective speed under fair scheduling), etc.
+
+#include <algorithm>
+#include <vector>
+
+#include "support/clock.hpp"
+
+namespace bsk::sim {
+
+/// Piecewise-constant external load over simulated time.
+class LoadTrace {
+ public:
+  /// Constant-load trace.
+  explicit LoadTrace(double constant = 0.0) : base_(constant) {}
+
+  /// Add a step: from time `t` onward (until the next later step), external
+  /// load is `load`. Steps may be added in any order.
+  LoadTrace& step(support::SimTime t, double load) {
+    steps_.push_back({t, load});
+    std::sort(steps_.begin(), steps_.end(),
+              [](const Step& a, const Step& b) { return a.t < b.t; });
+    return *this;
+  }
+
+  /// Convenience: overload burst in [t0, t1) at `load`, then back to base.
+  LoadTrace& burst(support::SimTime t0, support::SimTime t1, double load) {
+    step(t0, load);
+    step(t1, base_);
+    return *this;
+  }
+
+  /// External load factor at simulated time `t`.
+  double at(support::SimTime t) const {
+    double v = base_;
+    for (const Step& s : steps_) {
+      if (s.t <= t)
+        v = s.load;
+      else
+        break;
+    }
+    return v;
+  }
+
+  /// Effective speed multiplier under fair CPU sharing: 1 / (1 + load).
+  double speed_multiplier(support::SimTime t) const {
+    return 1.0 / (1.0 + std::max(0.0, at(t)));
+  }
+
+ private:
+  struct Step {
+    support::SimTime t;
+    double load;
+  };
+  double base_;
+  std::vector<Step> steps_;
+};
+
+}  // namespace bsk::sim

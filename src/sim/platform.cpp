@@ -1,0 +1,128 @@
+#include "sim/platform.hpp"
+
+#include <stdexcept>
+
+namespace bsk::sim {
+
+Platform::Platform() {
+  // A default trusted domain so single-machine setups need no ceremony.
+  domains_["local"] = Domain{"local", /*trusted=*/true};
+}
+
+Platform& Platform::add_domain(Domain d) {
+  domains_[d.name] = std::move(d);
+  return *this;
+}
+
+MachineId Platform::add_machine(std::string name, std::string domain,
+                                std::size_t cores, double speed,
+                                LoadTrace load) {
+  if (!domains_.contains(domain))
+    throw std::invalid_argument("unknown domain: " + domain);
+  if (cores == 0) throw std::invalid_argument("machine needs >= 1 core");
+  Machine m;
+  m.id = machines_.size();
+  m.name = std::move(name);
+  m.domain = std::move(domain);
+  m.cores = cores;
+  m.speed = speed;
+  m.load = std::move(load);
+  machines_.push_back(std::move(m));
+  return machines_.back().id;
+}
+
+void Platform::set_link(MachineId a, MachineId b, LinkCost c) {
+  links_[{std::min(a, b), std::max(a, b)}] = c;
+}
+
+const Machine& Platform::machine(MachineId id) const {
+  if (id >= machines_.size()) throw std::out_of_range("bad machine id");
+  return machines_[id];
+}
+
+const Domain& Platform::domain_of(MachineId id) const {
+  return domains_.at(machine(id).domain);
+}
+
+const Domain& Platform::domain(const std::string& name) const {
+  return domains_.at(name);
+}
+
+std::size_t Platform::total_cores() const {
+  std::size_t n = 0;
+  for (const auto& m : machines_) n += m.cores;
+  return n;
+}
+
+double Platform::effective_speed(MachineId id, support::SimTime t) const {
+  const Machine& m = machine(id);
+  return m.speed * m.load.speed_multiplier(t);
+}
+
+double Platform::compute_time(MachineId id, double work_s,
+                              support::SimTime t) const {
+  const double s = effective_speed(id, t);
+  return s > 0.0 ? work_s / s : work_s * 1e9;
+}
+
+double Platform::comm_time(MachineId a, MachineId b, double mb,
+                           bool secured) const {
+  if (a == b) return 0.0;
+  LinkCost c = default_link_;
+  const auto it = links_.find({std::min(a, b), std::max(a, b)});
+  if (it != links_.end()) c = it->second;
+  double t = c.latency_s + c.per_mb_s * mb;
+  if (secured) {
+    const Domain& da = domain_of(a);
+    const Domain& db = domain_of(b);
+    const double factor =
+        std::max(da.trusted ? 1.0 : da.ssl_cost_factor,
+                 db.trusted ? 1.0 : db.ssl_cost_factor);
+    t *= factor;
+  }
+  return t;
+}
+
+double Platform::ssl_handshake_time(MachineId a, MachineId b) const {
+  if (!link_untrusted(a, b)) return 0.0;
+  const Domain& da = domain_of(a);
+  const Domain& db = domain_of(b);
+  return std::max(da.trusted ? 0.0 : da.ssl_handshake_s,
+                  db.trusted ? 0.0 : db.ssl_handshake_s);
+}
+
+bool Platform::link_untrusted(MachineId a, MachineId b) const {
+  if (a == b) return false;  // intra-machine traffic never leaves the node
+  return link_needs_securing(domain_of(a), domain_of(b));
+}
+
+std::vector<MachineId> Platform::machine_ids() const {
+  std::vector<MachineId> ids(machines_.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) ids[i] = i;
+  return ids;
+}
+
+Platform Platform::testbed_smp8() {
+  Platform p;
+  p.add_machine("smp8", "local", 8, 1.0);
+  return p;
+}
+
+Platform Platform::mixed_grid(std::size_t trusted_machines,
+                              std::size_t untrusted_machines,
+                              std::size_t cores_each) {
+  Platform p;
+  p.add_domain(Domain{"trusted_cluster", /*trusted=*/true});
+  p.add_domain(Domain{"untrusted_ip_domain_A", /*trusted=*/false,
+                      /*ssl_cost_factor=*/2.5, /*ssl_handshake_s=*/0.05});
+  for (std::size_t i = 0; i < trusted_machines; ++i)
+    p.add_machine("cluster" + std::to_string(i), "trusted_cluster", cores_each,
+                  1.0);
+  for (std::size_t i = 0; i < untrusted_machines; ++i)
+    p.add_machine("remoteA" + std::to_string(i), "untrusted_ip_domain_A",
+                  cores_each, 1.0);
+  p.set_default_link(LinkCost{0.002, 0.02});
+  return p;
+}
+
+}  // namespace bsk::sim

@@ -1,0 +1,109 @@
+#pragma once
+// Platform model: machines, cores, speeds, domains, link costs.
+//
+// Stands in for the paper's execution environments (the 8-core CentOS SMP of
+// Sec. 4, and the grid/cloud settings the paper motivates). The skeleton
+// runtime asks the platform how long a unit of work takes on a given core
+// right now (speed × external load) and what a message costs on a given link
+// (plain vs secured). All quantities are in simulated seconds.
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/domain.hpp"
+#include "sim/load.hpp"
+#include "support/clock.hpp"
+
+namespace bsk::sim {
+
+using MachineId = std::size_t;
+
+/// A machine: some cores, a relative speed, a domain, an external-load trace.
+struct Machine {
+  MachineId id = 0;
+  std::string name;
+  std::string domain;
+  std::size_t cores = 1;
+  /// Relative core speed; 1.0 is the reference core of the paper's testbed.
+  double speed = 1.0;
+  LoadTrace load;
+};
+
+/// Cost parameters of the interconnect between two machines.
+struct LinkCost {
+  double latency_s = 0.0;          ///< per-message one-way latency
+  double per_mb_s = 0.0;           ///< transfer time per megabyte
+};
+
+/// Immutable-after-build description of the available hardware plus dynamic
+/// external load. Thread-safe for concurrent queries.
+class Platform {
+ public:
+  Platform();
+
+  /// Register a domain. Returns *this for chaining.
+  Platform& add_domain(Domain d);
+
+  /// Register a machine (its domain must exist). Returns the machine id.
+  MachineId add_machine(std::string name, std::string domain,
+                        std::size_t cores, double speed = 1.0,
+                        LoadTrace load = LoadTrace{});
+
+  /// Override the default link cost between two machines (symmetric).
+  void set_link(MachineId a, MachineId b, LinkCost c);
+
+  /// Default link cost applied to machine pairs without an explicit entry.
+  void set_default_link(LinkCost c) { default_link_ = c; }
+
+  const Machine& machine(MachineId id) const;
+  const Domain& domain_of(MachineId id) const;
+  const Domain& domain(const std::string& name) const;
+  std::size_t machine_count() const { return machines_.size(); }
+  std::size_t total_cores() const;
+
+  /// Effective speed of a core on machine `id` at simulated time `t`
+  /// (relative speed × external-load multiplier).
+  double effective_speed(MachineId id, support::SimTime t) const;
+
+  /// Time to execute `work_s` reference-seconds of computation on machine
+  /// `id` starting at simulated time `t`.
+  double compute_time(MachineId id, double work_s, support::SimTime t) const;
+
+  /// Time to move `mb` megabytes from machine `a` to machine `b`. Intra-
+  /// machine messages are free. When `secured`, the destination (or source)
+  /// domain's SSL cost factor applies.
+  double comm_time(MachineId a, MachineId b, double mb, bool secured) const;
+
+  /// One-off handshake cost for securing a link from `a` to `b` (0 when the
+  /// link does not cross an untrusted domain).
+  double ssl_handshake_time(MachineId a, MachineId b) const;
+
+  /// True when a link between the two machines needs securing under a
+  /// security contract (touches an untrusted domain).
+  bool link_untrusted(MachineId a, MachineId b) const;
+
+  /// Ids of all machines, in creation order.
+  std::vector<MachineId> machine_ids() const;
+
+  /// Builds the paper's Sec. 4 testbed: one trusted 8-core machine ("smp8").
+  static Platform testbed_smp8();
+
+  /// Builds a small mixed grid: a trusted cluster plus machines in
+  /// `untrusted_ip_domain_A`, as in the Sec. 3.2 scenario.
+  static Platform mixed_grid(std::size_t trusted_machines = 2,
+                             std::size_t untrusted_machines = 2,
+                             std::size_t cores_each = 4);
+
+ private:
+  std::vector<Machine> machines_;
+  std::map<std::string, Domain> domains_;
+  std::map<std::pair<MachineId, MachineId>, LinkCost> links_;
+  LinkCost default_link_{0.001, 0.01};
+};
+
+}  // namespace bsk::sim

@@ -1,0 +1,75 @@
+#include "sim/resource_manager.hpp"
+
+#include <algorithm>
+
+namespace bsk::sim {
+
+ResourceManager::ResourceManager(const Platform& platform)
+    : platform_(platform) {}
+
+bool ResourceManager::is_free(MachineId m, std::size_t core) const {
+  return std::none_of(leases_.begin(), leases_.end(), [&](const CoreLease& l) {
+    return l.machine == m && l.core == core;
+  });
+}
+
+bool ResourceManager::admissible(MachineId m,
+                                 const RecruitConstraints& c) const {
+  const Machine& mach = platform_.machine(m);
+  if (mach.speed < c.min_speed) return false;
+  const Domain& d = platform_.domain_of(m);
+  if (c.trusted_only && !d.trusted) return false;
+  if (c.domain && mach.domain != *c.domain) return false;
+  return true;
+}
+
+std::optional<CoreLease> ResourceManager::recruit(
+    const RecruitConstraints& c) {
+  std::scoped_lock lk(mu_);
+
+  // Candidate order: preferred, then trusted, then the rest.
+  std::vector<MachineId> order = c.preferred;
+  auto append_if_new = [&](MachineId id) {
+    if (std::find(order.begin(), order.end(), id) == order.end())
+      order.push_back(id);
+  };
+  for (MachineId id : platform_.machine_ids())
+    if (platform_.domain_of(id).trusted) append_if_new(id);
+  for (MachineId id : platform_.machine_ids()) append_if_new(id);
+
+  for (MachineId m : order) {
+    if (m >= platform_.machine_count() || !admissible(m, c)) continue;
+    for (std::size_t core = 0; core < platform_.machine(m).cores; ++core) {
+      if (is_free(m, core)) {
+        CoreLease lease{m, core};
+        leases_.push_back(lease);
+        return lease;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+void ResourceManager::release(const CoreLease& lease) {
+  std::scoped_lock lk(mu_);
+  leases_.erase(std::remove(leases_.begin(), leases_.end(), lease),
+                leases_.end());
+}
+
+std::size_t ResourceManager::leased() const {
+  std::scoped_lock lk(mu_);
+  return leases_.size();
+}
+
+std::size_t ResourceManager::available(const RecruitConstraints& c) const {
+  std::scoped_lock lk(mu_);
+  std::size_t n = 0;
+  for (MachineId m : platform_.machine_ids()) {
+    if (!admissible(m, c)) continue;
+    for (std::size_t core = 0; core < platform_.machine(m).cores; ++core)
+      if (is_free(m, core)) ++n;
+  }
+  return n;
+}
+
+}  // namespace bsk::sim

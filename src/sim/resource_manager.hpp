@@ -1,0 +1,69 @@
+#pragma once
+// Resource manager: recruiting and releasing cores.
+//
+// The paper's farm manager "recruits a new resource, possibly interacting
+// with some kind of external resource manager" before instantiating a new
+// worker. This component plays that external manager: it tracks which cores
+// of the Platform are leased and satisfies recruitment requests subject to
+// constraints (trusted-only, minimum speed, preferred domain). The
+// multi-concern experiments rely on it handing out *untrusted* cores once
+// the trusted ones are exhausted — exactly the conflict of Sec. 3.2.
+
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/platform.hpp"
+
+namespace bsk::sim {
+
+/// A lease on one core of one machine.
+struct CoreLease {
+  MachineId machine = 0;
+  std::size_t core = 0;
+
+  bool operator==(const CoreLease&) const = default;
+};
+
+/// Constraints a recruitment request may carry.
+struct RecruitConstraints {
+  bool trusted_only = false;            ///< refuse untrusted-domain machines
+  double min_speed = 0.0;               ///< minimum nominal core speed
+  std::optional<std::string> domain;    ///< require this exact domain
+  /// Machines to try first (e.g. co-locate with existing workers).
+  std::vector<MachineId> preferred;
+};
+
+/// Thread-safe allocator of Platform cores.
+class ResourceManager {
+ public:
+  explicit ResourceManager(const Platform& platform);
+
+  /// Try to lease a core satisfying the constraints. Preference order:
+  /// `preferred` machines first, then trusted machines, then (unless
+  /// trusted_only) untrusted ones — mirroring a sensible grid broker that
+  /// spills onto remote/untrusted resources under pressure.
+  std::optional<CoreLease> recruit(const RecruitConstraints& c = {});
+
+  /// Return a lease. Releasing an unknown lease is a no-op (idempotent).
+  void release(const CoreLease& lease);
+
+  /// Number of currently leased cores.
+  std::size_t leased() const;
+
+  /// Number of cores still available under the constraints.
+  std::size_t available(const RecruitConstraints& c = {}) const;
+
+  const Platform& platform() const { return platform_; }
+
+ private:
+  bool is_free(MachineId m, std::size_t core) const;  // caller holds mu_
+  bool admissible(MachineId m, const RecruitConstraints& c) const;
+
+  const Platform& platform_;
+  mutable std::mutex mu_;
+  std::vector<CoreLease> leases_;
+};
+
+}  // namespace bsk::sim

@@ -1,0 +1,130 @@
+#pragma once
+// Workload generators: service-time models and stream sources.
+//
+// Stands in for the paper's medical-image-processing application (Fig. 3)
+// and the producer/filter/consumer pipeline (Fig. 4). A ServiceTimeModel
+// yields per-task work in reference-seconds; hot spots (temporarily more
+// expensive tasks, which the paper's single-manager experiments adapt to)
+// are modelled as a time-windowed multiplier.
+
+#include <functional>
+#include <memory>
+
+#include "support/clock.hpp"
+#include "support/rng.hpp"
+
+namespace bsk::sim {
+
+/// Per-task computational demand, in reference-core seconds.
+class ServiceTimeModel {
+ public:
+  virtual ~ServiceTimeModel() = default;
+
+  /// Work for the task issued at simulated time `t`.
+  virtual double sample(support::SimTime t) = 0;
+};
+
+/// Constant service time.
+class FixedService final : public ServiceTimeModel {
+ public:
+  explicit FixedService(double work_s) : work_s_(work_s) {}
+  double sample(support::SimTime) override { return work_s_; }
+
+ private:
+  double work_s_;
+};
+
+/// Normally distributed service time, clamped non-negative.
+class NormalService final : public ServiceTimeModel {
+ public:
+  NormalService(double mean_s, double stddev_s, std::uint64_t seed = 1)
+      : rng_(seed), mean_(mean_s), sd_(stddev_s) {}
+  double sample(support::SimTime) override { return rng_.normal(mean_, sd_); }
+
+ private:
+  support::Rng rng_;
+  double mean_, sd_;
+};
+
+/// Exponentially distributed service time.
+class ExponentialService final : public ServiceTimeModel {
+ public:
+  explicit ExponentialService(double mean_s, std::uint64_t seed = 1)
+      : rng_(seed), mean_(mean_s) {}
+  double sample(support::SimTime) override { return rng_.exponential(mean_); }
+
+ private:
+  support::Rng rng_;
+  double mean_;
+};
+
+/// Heavy-tailed (Pareto) service time — skew stressing on-demand scheduling.
+class ParetoService final : public ServiceTimeModel {
+ public:
+  ParetoService(double scale_s, double shape, std::uint64_t seed = 1)
+      : rng_(seed), xm_(scale_s), alpha_(shape) {}
+  double sample(support::SimTime) override { return rng_.pareto(xm_, alpha_); }
+
+ private:
+  support::Rng rng_;
+  double xm_, alpha_;
+};
+
+/// Wraps a base model with a hot-spot window [t0,t1) during which tasks cost
+/// `factor`× more — the paper's "temporary hot spots in image processing".
+class HotSpotService final : public ServiceTimeModel {
+ public:
+  HotSpotService(std::unique_ptr<ServiceTimeModel> base, support::SimTime t0,
+                 support::SimTime t1, double factor)
+      : base_(std::move(base)), t0_(t0), t1_(t1), factor_(factor) {}
+
+  double sample(support::SimTime t) override {
+    const double w = base_->sample(t);
+    return (t >= t0_ && t < t1_) ? w * factor_ : w;
+  }
+
+ private:
+  std::unique_ptr<ServiceTimeModel> base_;
+  support::SimTime t0_, t1_;
+  double factor_;
+};
+
+/// Inter-arrival-time model for stream sources (the pipeline Producer).
+class ArrivalModel {
+ public:
+  virtual ~ArrivalModel() = default;
+  /// Gap before the next task, given the current simulated time.
+  virtual double next_gap(support::SimTime t) = 0;
+};
+
+/// Constant-rate source; rate adjustable at run time (the Producer stage
+/// honours incRate/decRate contracts by retuning this).
+class ConstantRateArrivals final : public ArrivalModel {
+ public:
+  explicit ConstantRateArrivals(double tasks_per_s)
+      : rate_(tasks_per_s > 0 ? tasks_per_s : 1e-9) {}
+  double next_gap(support::SimTime) override { return 1.0 / rate_; }
+  void set_rate(double tasks_per_s) {
+    if (tasks_per_s > 0) rate_ = tasks_per_s;
+  }
+  double rate() const { return rate_; }
+
+ private:
+  double rate_;
+};
+
+/// Poisson source.
+class PoissonArrivals final : public ArrivalModel {
+ public:
+  PoissonArrivals(double tasks_per_s, std::uint64_t seed = 1)
+      : rng_(seed), mean_gap_(1.0 / tasks_per_s) {}
+  double next_gap(support::SimTime) override {
+    return rng_.exponential(mean_gap_);
+  }
+
+ private:
+  support::Rng rng_;
+  double mean_gap_;
+};
+
+}  // namespace bsk::sim

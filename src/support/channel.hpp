@@ -1,0 +1,157 @@
+#pragma once
+// Bounded multi-producer / multi-consumer blocking channel.
+//
+// The general-purpose inter-node link of the skeleton runtime. Follows the
+// Core Guidelines concurrency idioms: a mutex defined together with the data
+// it guards, condition variables always waited on with a predicate, RAII
+// locks only. Close semantics let a producer signal end-of-stream: after
+// close(), pops drain remaining items then report Closed.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "support/clock.hpp"
+
+namespace bsk::support {
+
+/// Result of a channel pop.
+enum class ChannelStatus {
+  Ok,       ///< item delivered
+  Closed,   ///< channel closed and drained
+  TimedOut  ///< timed pop expired
+};
+
+/// Bounded blocking MPMC FIFO channel.
+///
+/// Capacity 0 is normalized to 1. All operations are thread-safe.
+template <typename T>
+class Channel {
+ public:
+  explicit Channel(std::size_t capacity = 64)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  /// Block until space is available, then enqueue. Returns false if the
+  /// channel was closed (item is dropped).
+  bool push(T item) {
+    std::unique_lock lk(mu_);
+    not_full_.wait(lk, [&] { return closed_ || q_.size() < capacity_; });
+    if (closed_) return false;
+    q_.push_back(std::move(item));
+    lk.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking enqueue. Returns false when full or closed.
+  bool try_push(T item) {
+    {
+      std::scoped_lock lk(mu_);
+      if (closed_ || q_.size() >= capacity_) return false;
+      q_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Block until an item is available or the channel is closed and drained.
+  ChannelStatus pop(T& out) {
+    std::unique_lock lk(mu_);
+    not_empty_.wait(lk, [&] { return closed_ || !q_.empty(); });
+    if (q_.empty()) return ChannelStatus::Closed;
+    out = std::move(q_.front());
+    q_.pop_front();
+    lk.unlock();
+    not_full_.notify_one();
+    return ChannelStatus::Ok;
+  }
+
+  /// Pop with a simulated-time timeout.
+  ChannelStatus pop_for(T& out, SimDuration d) {
+    std::unique_lock lk(mu_);
+    const bool ready = not_empty_.wait_for(
+        lk, Clock::to_wall(d), [&] { return closed_ || !q_.empty(); });
+    if (!ready) return ChannelStatus::TimedOut;
+    if (q_.empty()) return ChannelStatus::Closed;
+    out = std::move(q_.front());
+    q_.pop_front();
+    lk.unlock();
+    not_full_.notify_one();
+    return ChannelStatus::Ok;
+  }
+
+  /// Non-blocking pop.
+  std::optional<T> try_pop() {
+    std::optional<T> out;
+    {
+      std::scoped_lock lk(mu_);
+      if (q_.empty()) return std::nullopt;
+      out.emplace(std::move(q_.front()));
+      q_.pop_front();
+    }
+    not_full_.notify_one();
+    return out;
+  }
+
+  /// Close the channel: producers fail fast, consumers drain then see Closed.
+  void close() {
+    {
+      std::scoped_lock lk(mu_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  /// Reopen a closed channel (used when re-wiring a reconfigured skeleton).
+  void reopen() {
+    std::scoped_lock lk(mu_);
+    closed_ = false;
+  }
+
+  bool closed() const {
+    std::scoped_lock lk(mu_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::scoped_lock lk(mu_);
+    return q_.size();
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+  bool empty() const { return size() == 0; }
+
+  /// Remove up to `n` items from the back of the queue (most recently
+  /// enqueued first). Used by the farm load-balancer to redistribute queued
+  /// tasks away from a backlogged worker.
+  std::deque<T> steal_back(std::size_t n) {
+    std::deque<T> out;
+    {
+      std::scoped_lock lk(mu_);
+      while (n-- > 0 && !q_.empty()) {
+        out.push_front(std::move(q_.back()));
+        q_.pop_back();
+      }
+    }
+    not_full_.notify_all();
+    return out;
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> q_;
+  bool closed_ = false;
+};
+
+}  // namespace bsk::support

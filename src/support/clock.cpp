@@ -1,0 +1,40 @@
+#include "support/clock.hpp"
+
+#include <thread>
+
+namespace bsk::support {
+
+std::atomic<double> Clock::scale_{1.0};
+const std::chrono::steady_clock::time_point Clock::epoch_ =
+    std::chrono::steady_clock::now();
+
+void Clock::set_scale(double s) noexcept {
+  if (s > 0.0) scale_.store(s, std::memory_order_relaxed);
+}
+
+double Clock::scale() noexcept { return scale_.load(std::memory_order_relaxed); }
+
+SimTime Clock::now() noexcept {
+  const auto wall = std::chrono::steady_clock::now() - epoch_;
+  const double wall_s =
+      std::chrono::duration_cast<std::chrono::duration<double>>(wall).count();
+  return wall_s * scale();
+}
+
+std::chrono::nanoseconds Clock::to_wall(SimDuration d) noexcept {
+  const double wall_s = d.count() / scale();
+  return std::chrono::nanoseconds(
+      static_cast<std::int64_t>(wall_s * 1e9));
+}
+
+void Clock::sleep_for(SimDuration d) {
+  if (d.count() <= 0.0) return;
+  std::this_thread::sleep_for(to_wall(d));
+}
+
+void Clock::sleep_until(SimTime t) {
+  const SimTime n = now();
+  if (t > n) sleep_for(SimDuration(t - n));
+}
+
+}  // namespace bsk::support

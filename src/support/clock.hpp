@@ -1,0 +1,65 @@
+#pragma once
+// Virtual (scaled) clock.
+//
+// Everything time-dependent in bsk — task service times, manager control-loop
+// periods, rate estimation windows — is expressed in *simulated seconds* and
+// goes through this clock. A global scale factor maps simulated seconds to
+// wall-clock seconds, so the minutes-long traces of the paper's Fig. 3/4
+// replay in a few wall seconds while preserving every ratio the managers
+// observe. Scale 1.0 gives real time.
+
+#include <atomic>
+#include <chrono>
+
+namespace bsk::support {
+
+/// Simulated time duration, in seconds (fractional).
+using SimDuration = std::chrono::duration<double>;
+
+/// A point in simulated time, seconds since clock epoch (process start).
+using SimTime = double;
+
+/// Process-wide virtual clock. All members are thread-safe.
+class Clock {
+ public:
+  /// Set how many simulated seconds elapse per wall-clock second.
+  /// E.g. scale 30 replays a 5-minute trace in 10 wall seconds.
+  static void set_scale(double sim_seconds_per_wall_second) noexcept;
+
+  /// Current scale factor.
+  static double scale() noexcept;
+
+  /// Current simulated time (seconds since process start).
+  static SimTime now() noexcept;
+
+  /// Block the calling thread for `d` of *simulated* time.
+  static void sleep_for(SimDuration d);
+
+  /// Block until simulated time `t` (no-op if already past).
+  static void sleep_until(SimTime t);
+
+  /// Convert a simulated duration to the wall-clock duration it occupies
+  /// under the current scale.
+  static std::chrono::nanoseconds to_wall(SimDuration d) noexcept;
+
+ private:
+  static std::atomic<double> scale_;
+  static const std::chrono::steady_clock::time_point epoch_;
+};
+
+/// RAII guard that sets the clock scale and restores the previous value.
+/// Handy in tests that want a fast clock without leaking state.
+class ScopedClockScale {
+ public:
+  explicit ScopedClockScale(double s) : prev_(Clock::scale()) {
+    Clock::set_scale(s);
+  }
+  ~ScopedClockScale() { Clock::set_scale(prev_); }
+  ScopedClockScale(const ScopedClockScale&) = delete;
+  ScopedClockScale& operator=(const ScopedClockScale&) = delete;
+
+ private:
+  double prev_;
+};
+
+}  // namespace bsk::support

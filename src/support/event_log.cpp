@@ -1,0 +1,96 @@
+#include "support/event_log.hpp"
+
+#include <algorithm>
+#include <iomanip>
+
+namespace bsk::support {
+
+void EventLog::record(std::string source, std::string name, double value,
+                      std::string detail) {
+  Event e{Clock::now(), std::move(source), std::move(name), value,
+          std::move(detail)};
+  std::scoped_lock lk(mu_);
+  events_.push_back(std::move(e));
+}
+
+std::vector<Event> EventLog::snapshot() const {
+  std::scoped_lock lk(mu_);
+  return events_;
+}
+
+std::vector<Event> EventLog::by_source(const std::string& source) const {
+  std::scoped_lock lk(mu_);
+  std::vector<Event> out;
+  std::copy_if(events_.begin(), events_.end(), std::back_inserter(out),
+               [&](const Event& e) { return e.source == source; });
+  return out;
+}
+
+std::vector<Event> EventLog::by_name(const std::string& name) const {
+  std::scoped_lock lk(mu_);
+  std::vector<Event> out;
+  std::copy_if(events_.begin(), events_.end(), std::back_inserter(out),
+               [&](const Event& e) { return e.name == name; });
+  return out;
+}
+
+std::size_t EventLog::count(const std::string& source,
+                            const std::string& name) const {
+  std::scoped_lock lk(mu_);
+  return static_cast<std::size_t>(
+      std::count_if(events_.begin(), events_.end(), [&](const Event& e) {
+        return e.source == source && e.name == name;
+      }));
+}
+
+SimTime EventLog::first_time(const std::string& source,
+                             const std::string& name) const {
+  std::scoped_lock lk(mu_);
+  for (const Event& e : events_)
+    if (e.source == source && e.name == name) return e.time;
+  return -1.0;
+}
+
+SimTime EventLog::last_time(const std::string& source,
+                            const std::string& name) const {
+  std::scoped_lock lk(mu_);
+  for (auto it = events_.rbegin(); it != events_.rend(); ++it)
+    if (it->source == source && it->name == name) return it->time;
+  return -1.0;
+}
+
+bool EventLog::happens_before(const std::string& src_a, const std::string& a,
+                              const std::string& src_b,
+                              const std::string& b) const {
+  const SimTime ta = first_time(src_a, a);
+  const SimTime tb = last_time(src_b, b);
+  return ta >= 0.0 && tb >= 0.0 && ta < tb;
+}
+
+void EventLog::clear() {
+  std::scoped_lock lk(mu_);
+  events_.clear();
+}
+
+std::size_t EventLog::size() const {
+  std::scoped_lock lk(mu_);
+  return events_.size();
+}
+
+void EventLog::dump(std::ostream& os) const {
+  std::scoped_lock lk(mu_);
+  for (const Event& e : events_) {
+    os << std::fixed << std::setprecision(2) << std::setw(9) << e.time << "  "
+       << std::left << std::setw(12) << e.source << std::setw(16) << e.name
+       << std::right << std::setprecision(3) << e.value;
+    if (!e.detail.empty()) os << "  # " << e.detail;
+    os << '\n';
+  }
+}
+
+EventLog& global_event_log() {
+  static EventLog log;
+  return log;
+}
+
+}  // namespace bsk::support

@@ -1,0 +1,70 @@
+#pragma once
+// Timestamped event trace.
+//
+// The paper's Fig. 3/4 are event/time plots of manager activity (contrLow,
+// notEnough, raiseViol, incRate, addWorker, ...). Every manager and runtime
+// component appends to an EventLog; benches dump it as the same series the
+// paper plots, and integration tests assert on event *ordering* (the shape
+// claim) rather than wall-clock values.
+
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "support/clock.hpp"
+
+namespace bsk::support {
+
+/// One trace record.
+struct Event {
+  SimTime time = 0.0;     ///< simulated timestamp
+  std::string source;     ///< emitting component, e.g. "AM_F"
+  std::string name;       ///< event name, e.g. "addWorker"
+  double value = 0.0;     ///< optional scalar payload (rate, count, ...)
+  std::string detail;     ///< optional free-form annotation
+};
+
+/// Thread-safe append-only event trace with simple queries.
+class EventLog {
+ public:
+  void record(std::string source, std::string name, double value = 0.0,
+              std::string detail = {});
+
+  /// All events, in append order (append order == time order per source).
+  std::vector<Event> snapshot() const;
+
+  /// Events from one source, in order.
+  std::vector<Event> by_source(const std::string& source) const;
+
+  /// Events with one name (any source), in order.
+  std::vector<Event> by_name(const std::string& name) const;
+
+  /// Count of events matching source+name.
+  std::size_t count(const std::string& source, const std::string& name) const;
+
+  /// Time of first event matching source+name, or -1 if absent.
+  SimTime first_time(const std::string& source, const std::string& name) const;
+
+  /// Time of last event matching source+name, or -1 if absent.
+  SimTime last_time(const std::string& source, const std::string& name) const;
+
+  /// True iff some event (srcA,a) occurs strictly before some (srcB,b).
+  bool happens_before(const std::string& src_a, const std::string& a,
+                      const std::string& src_b, const std::string& b) const;
+
+  void clear();
+  std::size_t size() const;
+
+  /// Dump as "time source event value detail" rows (gnuplot-friendly).
+  void dump(std::ostream& os) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Event> events_;
+};
+
+/// Process-wide default trace used when components are not given their own.
+EventLog& global_event_log();
+
+}  // namespace bsk::support

@@ -1,0 +1,37 @@
+#include "support/log.hpp"
+
+#include <atomic>
+#include <iomanip>
+
+namespace bsk::support {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::Warn};
+std::mutex g_mu;
+
+constexpr std::string_view name_of(LogLevel l) {
+  switch (l) {
+    case LogLevel::Trace: return "TRACE";
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO ";
+    case LogLevel::Warn: return "WARN ";
+    case LogLevel::Error: return "ERROR";
+    default: return "?    ";
+  }
+}
+}  // namespace
+
+LogLevel log_level() noexcept { return g_level.load(std::memory_order_relaxed); }
+void set_log_level(LogLevel lvl) noexcept {
+  g_level.store(lvl, std::memory_order_relaxed);
+}
+
+namespace detail {
+void log_write(LogLevel lvl, std::string_view component, std::string_view msg) {
+  std::scoped_lock lk(g_mu);
+  std::cerr << std::fixed << std::setprecision(2) << '[' << Clock::now()
+            << "] " << name_of(lvl) << ' ' << component << ": " << msg << '\n';
+}
+}  // namespace detail
+
+}  // namespace bsk::support

@@ -1,0 +1,35 @@
+#pragma once
+// Minimal leveled logger.
+//
+// Diagnostics only — the experiment traces go through EventLog, not here.
+// Disabled (Warn) by default so tests and benches stay quiet.
+
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string_view>
+
+#include "support/clock.hpp"
+
+namespace bsk::support {
+
+enum class LogLevel { Trace = 0, Debug, Info, Warn, Error, Off };
+
+/// Process-wide log level.
+LogLevel log_level() noexcept;
+void set_log_level(LogLevel lvl) noexcept;
+
+namespace detail {
+void log_write(LogLevel lvl, std::string_view component, std::string_view msg);
+}
+
+/// Log a message at `lvl` from `component` if the global level allows it.
+template <typename... Args>
+void log(LogLevel lvl, std::string_view component, Args&&... args) {
+  if (lvl < log_level()) return;
+  std::ostringstream os;
+  (os << ... << args);
+  detail::log_write(lvl, component, os.str());
+}
+
+}  // namespace bsk::support

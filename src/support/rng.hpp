@@ -1,0 +1,55 @@
+#pragma once
+// Deterministic random number utilities.
+//
+// Every stochastic element (workload service times, load traces, DES models)
+// takes an explicit seeded Rng so experiments replay exactly. No global
+// generator: determinism is per-component.
+
+#include <cstdint>
+#include <random>
+
+namespace bsk::support {
+
+/// Seedable wrapper around a 64-bit Mersenne twister with the distributions
+/// the workload generators need.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) : eng_(seed) {}
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(eng_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(eng_);
+  }
+
+  /// Exponential with the given mean (mean = 1/lambda).
+  double exponential(double mean) {
+    return std::exponential_distribution<double>(1.0 / mean)(eng_);
+  }
+
+  /// Normal; result clamped at >= 0 when clamp_nonneg (service times).
+  double normal(double mean, double stddev, bool clamp_nonneg = true) {
+    const double x = std::normal_distribution<double>(mean, stddev)(eng_);
+    return clamp_nonneg && x < 0.0 ? 0.0 : x;
+  }
+
+  /// Bernoulli trial.
+  bool chance(double p) { return std::bernoulli_distribution(p)(eng_); }
+
+  /// Pareto with scale xm and shape alpha (heavy-tailed service times).
+  double pareto(double xm, double alpha) {
+    const double u = uniform(0.0, 1.0);
+    return xm / std::pow(1.0 - u, 1.0 / alpha);
+  }
+
+  std::mt19937_64& engine() { return eng_; }
+
+ private:
+  std::mt19937_64 eng_;
+};
+
+}  // namespace bsk::support

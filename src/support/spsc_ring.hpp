@@ -1,0 +1,75 @@
+#pragma once
+// Single-producer / single-consumer lock-free bounded ring buffer.
+//
+// The FastFlow-style fast path for point-to-point links where both endpoints
+// are known to be single threads (e.g. adjacent pipeline stages). Indices are
+// monotonically increasing counters; the slot array is a power-of-two so
+// masking replaces modulo. Producer and consumer cursors live on separate
+// cache lines to avoid false sharing (Core Guidelines CP.100 notes apply:
+// this is the one deliberately lock-free structure in the codebase, kept
+// minimal and memory-order-annotated).
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <new>
+#include <optional>
+#include <vector>
+
+namespace bsk::support {
+
+#ifdef __cpp_lib_hardware_interference_size
+inline constexpr std::size_t kCacheLine =
+    std::hardware_destructive_interference_size;
+#else
+inline constexpr std::size_t kCacheLine = 64;
+#endif
+
+/// Wait-free SPSC FIFO of fixed capacity (rounded up to a power of two).
+template <typename T>
+class SpscRing {
+ public:
+  explicit SpscRing(std::size_t capacity)
+      : mask_(std::bit_ceil(capacity < 2 ? std::size_t{2} : capacity) - 1),
+        slots_(mask_ + 1) {}
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  /// Producer side. Returns false when full.
+  bool push(T item) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    if (head - tail > mask_) return false;  // full
+    slots_[head & mask_] = std::move(item);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Returns nullopt when empty.
+  std::optional<T> pop() {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    if (tail == head) return std::nullopt;  // empty
+    std::optional<T> out{std::move(slots_[tail & mask_])};
+    tail_.store(tail + 1, std::memory_order_release);
+    return out;
+  }
+
+  /// Approximate occupancy; exact when called from either endpoint thread.
+  std::size_t size() const {
+    return head_.load(std::memory_order_acquire) -
+           tail_.load(std::memory_order_acquire);
+  }
+
+  std::size_t capacity() const { return mask_ + 1; }
+  bool empty() const { return size() == 0; }
+
+ private:
+  const std::size_t mask_;
+  std::vector<T> slots_;
+  alignas(kCacheLine) std::atomic<std::size_t> head_{0};
+  alignas(kCacheLine) std::atomic<std::size_t> tail_{0};
+};
+
+}  // namespace bsk::support

@@ -1,0 +1,206 @@
+#pragma once
+// Online statistics used by sensors and managers.
+//
+// Managers observe streams of measurements (inter-arrival times, service
+// times, queue lengths) and need cheap incremental summaries: Welford
+// mean/variance, exponentially weighted moving averages, sliding-window
+// event-rate estimators, and fixed-bin histograms for percentile queries.
+// None of these classes are thread-safe by themselves; callers that share
+// them across threads wrap them (see rt::NodeStats).
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+#include "support/clock.hpp"
+
+namespace bsk::support {
+
+/// Incremental mean/variance via Welford's algorithm.
+class OnlineStats {
+ public:
+  void add(double x) {
+    ++n_;
+    const double d = x - mean_;
+    mean_ += d / static_cast<double>(n_);
+    m2_ += d * (x - mean_);
+    min_ = n_ == 1 ? x : std::min(min_, x);
+    max_ = n_ == 1 ? x : std::max(max_, x);
+  }
+
+  void reset() { *this = OnlineStats{}; }
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+  /// Merge another summary into this one (parallel Welford combination).
+  void merge(const OnlineStats& o) {
+    if (o.n_ == 0) return;
+    if (n_ == 0) {
+      *this = o;
+      return;
+    }
+    const double d = o.mean_ - mean_;
+    const auto n1 = static_cast<double>(n_);
+    const auto n2 = static_cast<double>(o.n_);
+    mean_ += d * n2 / (n1 + n2);
+    m2_ += o.m2_ + d * d * n1 * n2 / (n1 + n2);
+    n_ += o.n_;
+    min_ = std::min(min_, o.min_);
+    max_ = std::max(max_, o.max_);
+  }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Exponentially weighted moving average. alpha in (0,1]; larger alpha reacts
+/// faster. First sample initializes the average.
+class Ewma {
+ public:
+  explicit Ewma(double alpha = 0.3) : alpha_(alpha) {}
+
+  void add(double x) {
+    if (!init_) {
+      v_ = x;
+      init_ = true;
+    } else {
+      v_ = alpha_ * x + (1.0 - alpha_) * v_;
+    }
+  }
+
+  bool initialized() const { return init_; }
+  double value() const { return init_ ? v_ : 0.0; }
+  void reset() { init_ = false; v_ = 0.0; }
+
+ private:
+  double alpha_;
+  double v_ = 0.0;
+  bool init_ = false;
+};
+
+/// Sliding-window event-rate estimator over simulated time.
+///
+/// record() stamps an event; rate() returns events/second over the last
+/// `window` simulated seconds. This is the sensor behind the paper's
+/// ArrivalRateBean / DepartureRateBean.
+class RateEstimator {
+ public:
+  explicit RateEstimator(SimDuration window = SimDuration(10.0))
+      : window_(window) {}
+
+  void record(SimTime t) {
+    events_.push_back(t);
+    evict(t);
+  }
+
+  void record_now() { record(Clock::now()); }
+
+  /// Events per simulated second over the trailing window ending at `now`.
+  double rate(SimTime now) const {
+    const SimTime lo = now - window_.count();
+    std::size_t n = 0;
+    for (auto it = events_.rbegin(); it != events_.rend() && *it >= lo; ++it)
+      ++n;
+    return window_.count() > 0 ? static_cast<double>(n) / window_.count() : 0.0;
+  }
+
+  double rate_now() const { return rate(Clock::now()); }
+
+  std::size_t total() const { return total_ + events_.size(); }
+  SimDuration window() const { return window_; }
+
+  void reset() {
+    events_.clear();
+    total_ = 0;
+  }
+
+ private:
+  void evict(SimTime now) {
+    const SimTime lo = now - window_.count();
+    while (!events_.empty() && events_.front() < lo) {
+      events_.pop_front();
+      ++total_;
+    }
+  }
+
+  SimDuration window_;
+  std::deque<SimTime> events_;
+  std::size_t total_ = 0;
+};
+
+/// Fixed-bin histogram over [lo, hi) with overflow/underflow bins, for
+/// percentile queries on service times.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins)
+      : lo_(lo), hi_(hi), bins_(bins ? bins : 1), counts_(bins_ + 2, 0) {}
+
+  void add(double x) {
+    ++n_;
+    if (x < lo_) {
+      ++counts_.front();
+    } else if (x >= hi_) {
+      ++counts_.back();
+    } else {
+      const auto b = static_cast<std::size_t>((x - lo_) / (hi_ - lo_) *
+                                              static_cast<double>(bins_));
+      ++counts_[1 + std::min(b, bins_ - 1)];
+    }
+  }
+
+  std::size_t count() const { return n_; }
+
+  /// Approximate p-quantile (p in [0,1]) as the upper edge of the bin where
+  /// the cumulative count crosses p*n. Returns lo()/hi() at the extremes.
+  double quantile(double p) const {
+    if (n_ == 0) return lo_;
+    const double target = p * static_cast<double>(n_);
+    double cum = 0.0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+      cum += static_cast<double>(counts_[i]);
+      if (cum >= target) {
+        if (i == 0) return lo_;
+        if (i == counts_.size() - 1) return hi_;
+        return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+                         static_cast<double>(bins_);
+      }
+    }
+    return hi_;
+  }
+
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+
+ private:
+  double lo_, hi_;
+  std::size_t bins_;
+  std::vector<std::size_t> counts_;
+  std::size_t n_ = 0;
+};
+
+/// Population variance of a snapshot vector — used for the paper's
+/// QueueVarianceBean (variance of per-worker queue lengths).
+inline double population_variance(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double mean = 0.0;
+  for (double x : xs) mean += x;
+  mean /= static_cast<double>(xs.size());
+  double v = 0.0;
+  for (double x : xs) v += (x - mean) * (x - mean);
+  return v / static_cast<double>(xs.size());
+}
+
+}  // namespace bsk::support

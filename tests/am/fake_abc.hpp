@@ -1,0 +1,80 @@
+#pragma once
+// A scriptable ABC for manager unit tests: sensors are set directly and
+// actuator invocations are recorded.
+
+#include <string>
+#include <vector>
+
+#include "am/abc.hpp"
+
+namespace bsk::am::testing {
+
+class FakeAbc final : public Abc {
+ public:
+  Sensors sense() override {
+    Sensors s = sensors;
+    // Mirror FarmAbc's delta semantics: new_failures is consumed per read.
+    sensors.new_failures = 0;
+    return s;
+  }
+
+  bool add_worker() override {
+    Intent i;
+    i.action = Intent::Action::AddWorker;
+    i.target_untrusted = next_target_untrusted;
+    if (!pass_gate(i)) {
+      calls.push_back("add_worker:vetoed");
+      return false;
+    }
+    calls.push_back(i.require_secure ? "add_worker:secured" : "add_worker");
+    if (add_succeeds) ++sensors.nworkers;
+    return add_succeeds;
+  }
+
+  bool remove_worker() override {
+    Intent i;
+    i.action = Intent::Action::RemoveWorker;
+    if (!pass_gate(i)) {
+      calls.push_back("remove_worker:vetoed");
+      return false;
+    }
+    calls.push_back("remove_worker");
+    if (remove_succeeds && sensors.nworkers > 0) --sensors.nworkers;
+    return remove_succeeds;
+  }
+
+  std::size_t rebalance() override {
+    calls.push_back("rebalance");
+    return rebalance_moves;
+  }
+
+  bool set_rate(double r) override {
+    calls.push_back("set_rate:" + std::to_string(r));
+    last_rate = r;
+    return true;
+  }
+
+  std::size_t secure_links() override {
+    calls.push_back("secure_links");
+    sensors.unsecured_untrusted = false;
+    return secure_count;
+  }
+
+  std::size_t count(const std::string& call) const {
+    std::size_t n = 0;
+    for (const auto& c : calls)
+      if (c == call) ++n;
+    return n;
+  }
+
+  Sensors sensors{};
+  std::vector<std::string> calls;
+  bool add_succeeds = true;
+  bool remove_succeeds = true;
+  bool next_target_untrusted = false;
+  std::size_t rebalance_moves = 0;
+  std::size_t secure_count = 1;
+  double last_rate = -1.0;
+};
+
+}  // namespace bsk::am::testing

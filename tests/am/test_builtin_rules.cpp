@@ -1,0 +1,243 @@
+// The Fig. 5 rule set: each rule fires in exactly its paper scenario.
+
+#include <gtest/gtest.h>
+
+#include "am/builtin_rules.hpp"
+#include "am/manager.hpp"
+#include "fake_abc.hpp"
+
+namespace bsk::am {
+namespace {
+
+using testing::FakeAbc;
+
+/// Fixture: a farm manager with the Fig. 5 rules and the Fig. 4 contract.
+class Fig5Rules : public ::testing::Test {
+ protected:
+  Fig5Rules() : mgr_("AM_F", abc_, {}, &log_) {
+    mgr_.load_rules(farm_rules());
+    mgr_.set_contract(Contract::throughput_range(0.3, 0.7));
+    abc_.sensors.nworkers = 2;
+  }
+
+  std::vector<std::string> cycle() { return mgr_.run_cycle_once(); }
+
+  FakeAbc abc_;
+  support::EventLog log_;
+  AutonomicManager mgr_;
+};
+
+TEST_F(Fig5Rules, InterArrivalLowRaisesNotEnough) {
+  abc_.sensors.arrival_rate = 0.1;
+  abc_.sensors.departure_rate = 0.1;
+  const auto fired = cycle();
+  EXPECT_NE(std::find(fired.begin(), fired.end(), "CheckInterArrivalRateLow"),
+            fired.end());
+  EXPECT_EQ(log_.count("AM_F", "raiseViol"), 1u);
+  EXPECT_EQ(log_.by_name("raiseViol").at(0).detail, "notEnoughTasks_VIOL");
+  // The local ADD rule must NOT fire: insufficient input, not capacity.
+  EXPECT_EQ(abc_.count("add_worker"), 0u);
+  EXPECT_EQ(mgr_.mode(), ManagerMode::Passive);
+}
+
+TEST_F(Fig5Rules, InterArrivalHighRaisesTooMuch) {
+  abc_.sensors.arrival_rate = 0.9;
+  abc_.sensors.departure_rate = 0.5;
+  cycle();
+  EXPECT_EQ(log_.by_name("raiseViol").at(0).detail, "tooMuchTasks_VIOL");
+}
+
+TEST_F(Fig5Rules, RateLowWithPressureAddsWorkersAndBalances) {
+  abc_.sensors.arrival_rate = 0.5;   // enough input
+  abc_.sensors.departure_rate = 0.2;  // below contract
+  const auto fired = cycle();
+  EXPECT_NE(std::find(fired.begin(), fired.end(), "CheckRateLow"),
+            fired.end());
+  EXPECT_EQ(abc_.count("add_worker"), 2u);  // FARM_ADD_WORKERS default
+  EXPECT_EQ(abc_.count("rebalance"), 1u);
+  EXPECT_EQ(log_.count("AM_F", "raiseViol"), 0u);
+  EXPECT_EQ(mgr_.mode(), ManagerMode::Active);
+}
+
+TEST_F(Fig5Rules, RateLowBlockedAtMaxWorkers) {
+  abc_.sensors.arrival_rate = 0.5;
+  abc_.sensors.departure_rate = 0.2;
+  abc_.sensors.nworkers = 100;  // beyond FARM_MAX_NUM_WORKERS
+  cycle();
+  EXPECT_EQ(abc_.count("add_worker"), 0u);
+}
+
+TEST_F(Fig5Rules, RateHighRemovesWorker) {
+  abc_.sensors.arrival_rate = 0.5;
+  abc_.sensors.departure_rate = 0.9;  // above contract hi
+  abc_.sensors.nworkers = 4;
+  const auto fired = cycle();
+  EXPECT_NE(std::find(fired.begin(), fired.end(), "CheckRateHigh"),
+            fired.end());
+  EXPECT_EQ(abc_.count("remove_worker"), 1u);
+}
+
+TEST_F(Fig5Rules, RateHighKeepsMinimumWorkers) {
+  abc_.sensors.arrival_rate = 0.5;
+  abc_.sensors.departure_rate = 0.9;
+  abc_.sensors.nworkers = 1;  // == FARM_MIN_NUM_WORKERS
+  cycle();
+  EXPECT_EQ(abc_.count("remove_worker"), 0u);
+}
+
+TEST_F(Fig5Rules, LoadBalanceOnQueueVariance) {
+  abc_.sensors.arrival_rate = 0.5;
+  abc_.sensors.departure_rate = 0.5;  // contract satisfied
+  abc_.sensors.queue_variance = 50.0;
+  abc_.rebalance_moves = 3;
+  const auto fired = cycle();
+  EXPECT_NE(std::find(fired.begin(), fired.end(), "CheckLoadBalance"),
+            fired.end());
+  EXPECT_EQ(abc_.count("rebalance"), 1u);
+  EXPECT_EQ(log_.count("AM_F", "rebalance"), 1u);
+}
+
+TEST_F(Fig5Rules, SatisfiedContractFiresNothing) {
+  abc_.sensors.arrival_rate = 0.5;
+  abc_.sensors.departure_rate = 0.5;
+  abc_.sensors.queue_variance = 0.0;
+  EXPECT_TRUE(cycle().empty());
+  EXPECT_TRUE(abc_.calls.empty());
+}
+
+TEST(SecurityRules, SecureFiresOnUnsecuredLinks) {
+  FakeAbc abc;
+  support::EventLog log;
+  AutonomicManager m("AM_sec", abc, {}, &log);
+  m.load_rules(security_rules());
+  m.set_contract(Contract::secure());
+  abc.sensors.unsecured_untrusted = true;
+  const auto fired = m.run_cycle_once();
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0], "SecureUnsecuredLinks");
+  EXPECT_EQ(abc.count("secure_links"), 1u);
+  // FakeAbc clears the flag; next cycle is quiet.
+  EXPECT_TRUE(m.run_cycle_once().empty());
+}
+
+TEST(FaultToleranceRules, ReplacesCrashedWorkersOneForOne) {
+  FakeAbc abc;
+  support::EventLog log;
+  AutonomicManager m("AM_ft", abc, {}, &log);
+  m.load_rules(farm_rules());
+  m.load_rules(fault_tolerance_rules());
+  m.set_contract(Contract::throughput_range(0.3, 0.7));
+  abc.sensors.arrival_rate = 0.5;
+  abc.sensors.departure_rate = 0.5;  // perf satisfied: only FT should act
+  abc.sensors.nworkers = 4;
+  abc.sensors.new_failures = 2;
+  abc.sensors.total_failures = 2;
+  const auto fired = m.run_cycle_once();
+  EXPECT_NE(std::find(fired.begin(), fired.end(), "ReplaceFailedWorkers"),
+            fired.end());
+  EXPECT_EQ(abc.count("add_worker"), 2u);  // exactly the crashed count
+  EXPECT_EQ(log.count("AM_ft", "workerFail"), 1u);
+
+  // Next cycle: no new failures, no further replacement.
+  abc.sensors.new_failures = 0;
+  abc.calls.clear();
+  m.run_cycle_once();
+  EXPECT_EQ(abc.count("add_worker"), 0u);
+}
+
+TEST(FaultToleranceRules, ReplacementPrecedesPerfTuning) {
+  FakeAbc abc;
+  support::EventLog log;
+  AutonomicManager m("AM_ft", abc, {}, &log);
+  m.load_rules(farm_rules());
+  m.load_rules(fault_tolerance_rules());
+  m.set_contract(Contract::throughput_range(0.3, 0.7));
+  abc.sensors.arrival_rate = 0.5;
+  abc.sensors.departure_rate = 0.1;  // perf ALSO violated
+  abc.sensors.nworkers = 3;
+  abc.sensors.new_failures = 1;
+  const auto fired = m.run_cycle_once();
+  ASSERT_GE(fired.size(), 2u);
+  EXPECT_EQ(fired[0], "ReplaceFailedWorkers");  // salience 50 first
+}
+
+TEST(BacklogRules, GrowsOnDeepQueueWithoutArrivals) {
+  FakeAbc abc;
+  support::EventLog log;
+  AutonomicManager m("AM", abc, {}, &log);
+  m.load_rules(farm_rules());
+  m.load_rules(backlog_rules());
+  m.constants().set("FARM_BACKLOG_THRESHOLD", 10.0);
+  m.set_contract(Contract::min_throughput(0.6));
+  abc.sensors.arrival_rate = 0.0;   // stream dried up...
+  abc.sensors.departure_rate = 0.2;
+  abc.sensors.nworkers = 2;
+  abc.sensors.queued = 40;          // ...but 40 tasks still queued
+  const auto fired = m.run_cycle_once();
+  EXPECT_NE(std::find(fired.begin(), fired.end(), "DrainBacklog"),
+            fired.end());
+  EXPECT_EQ(abc.count("add_worker"), 2u);
+}
+
+TEST(BacklogRules, InertWithoutThresholdConstant) {
+  FakeAbc abc;
+  support::EventLog log;
+  AutonomicManager m("AM", abc, {}, &log);
+  m.load_rules(backlog_rules());
+  m.set_contract(Contract::min_throughput(0.6));
+  abc.sensors.queued = 1000;
+  abc.sensors.departure_rate = 0.0;
+  const auto fired = m.run_cycle_once();
+  EXPECT_TRUE(fired.empty());  // missing constant: rule never fires
+}
+
+TEST(BacklogRules, QuietWhileArrivalsSustain) {
+  FakeAbc abc;
+  support::EventLog log;
+  AutonomicManager m("AM", abc, {}, &log);
+  m.load_rules(backlog_rules());
+  m.constants().set("FARM_BACKLOG_THRESHOLD", 10.0);
+  m.set_contract(Contract::min_throughput(0.6));
+  abc.sensors.arrival_rate = 1.0;  // pressure present: Fig. 5 rules own it
+  abc.sensors.departure_rate = 0.2;
+  abc.sensors.queued = 40;
+  EXPECT_TRUE(m.run_cycle_once().empty());
+}
+
+// Parameterized boundary sweep for CheckRateLow/High around the contract.
+struct RateCase {
+  double departure;
+  int expected_adds;     // 0 or 2
+  int expected_removes;  // 0 or 1
+};
+
+class RateBoundary : public ::testing::TestWithParam<RateCase> {};
+
+TEST_P(RateBoundary, AddRemoveDecisions) {
+  const auto& rc = GetParam();
+  FakeAbc abc;
+  support::EventLog log;
+  AutonomicManager m("AM", abc, {}, &log);
+  m.load_rules(farm_rules());
+  m.set_contract(Contract::throughput_range(0.3, 0.7));
+  abc.sensors.arrival_rate = 0.5;
+  abc.sensors.nworkers = 4;
+  abc.sensors.departure_rate = rc.departure;
+  m.run_cycle_once();
+  EXPECT_EQ(abc.count("add_worker"), static_cast<std::size_t>(rc.expected_adds));
+  EXPECT_EQ(abc.count("remove_worker"),
+            static_cast<std::size_t>(rc.expected_removes));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Boundaries, RateBoundary,
+    ::testing::Values(RateCase{0.0, 2, 0},    // far below
+                      RateCase{0.29, 2, 0},   // just below lo
+                      RateCase{0.3, 0, 0},    // exactly lo: no action
+                      RateCase{0.5, 0, 0},    // inside range
+                      RateCase{0.7, 0, 0},    // exactly hi: no action
+                      RateCase{0.71, 0, 1},   // just above hi
+                      RateCase{5.0, 0, 1}));  // far above
+
+}  // namespace
+}  // namespace bsk::am

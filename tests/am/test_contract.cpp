@@ -1,0 +1,184 @@
+// Contracts: factories, splitting (P_spl), merging, satisfaction.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "am/contract.hpp"
+
+namespace bsk::am {
+namespace {
+
+TEST(Contract, Factories) {
+  EXPECT_FALSE(Contract::none().has_goals());
+  EXPECT_TRUE(Contract::bestEffort().best_effort);
+
+  const Contract min = Contract::min_throughput(0.6);
+  ASSERT_TRUE(min.throughput.has_value());
+  EXPECT_DOUBLE_EQ(min.throughput_lo(), 0.6);
+  EXPECT_TRUE(std::isinf(min.throughput_hi()));
+
+  const Contract range = Contract::throughput_range(0.3, 0.7);
+  EXPECT_DOUBLE_EQ(range.throughput_lo(), 0.3);
+  EXPECT_DOUBLE_EQ(range.throughput_hi(), 0.7);
+
+  const Contract r = Contract::rate(0.5);
+  EXPECT_DOUBLE_EQ(r.throughput_lo(), r.throughput_hi());
+
+  EXPECT_EQ(*Contract::parallelism(4).par_degree, 4u);
+  EXPECT_TRUE(Contract::secure().secure_comms);
+}
+
+TEST(Contract, Combinators) {
+  const Contract c =
+      Contract::throughput_range(0.3, 0.7).with_secure().with_par_degree(8);
+  EXPECT_TRUE(c.secure_comms);
+  EXPECT_EQ(*c.par_degree, 8u);
+  EXPECT_TRUE(c.has_goals());
+}
+
+TEST(Contract, DescribeMentionsGoals) {
+  const std::string s =
+      Contract::throughput_range(0.3, 0.7).with_secure().describe();
+  EXPECT_NE(s.find("0.3"), std::string::npos);
+  EXPECT_NE(s.find("secureComms"), std::string::npos);
+  EXPECT_EQ(Contract::none().describe(), "none");
+  EXPECT_NE(Contract::min_throughput(0.6).describe().find(">="),
+            std::string::npos);
+}
+
+TEST(SplitPipeline, ThroughputReplicatesToAllStages) {
+  const Contract c = Contract::throughput_range(0.3, 0.7);
+  const auto subs = split_for_pipeline(c, 3);
+  ASSERT_EQ(subs.size(), 3u);
+  for (const Contract& s : subs) {
+    EXPECT_DOUBLE_EQ(s.throughput_lo(), 0.3);
+    EXPECT_DOUBLE_EQ(s.throughput_hi(), 0.7);
+  }
+}
+
+TEST(SplitPipeline, SecurePropagates) {
+  const auto subs = split_for_pipeline(Contract::secure(), 2);
+  for (const Contract& s : subs) EXPECT_TRUE(s.secure_comms);
+}
+
+TEST(SplitPipeline, ParDegreeUniformSplit) {
+  const auto subs = split_for_pipeline(Contract::parallelism(9), 3);
+  ASSERT_EQ(subs.size(), 3u);
+  std::size_t total = 0;
+  for (const Contract& s : subs) {
+    ASSERT_TRUE(s.par_degree.has_value());
+    total += *s.par_degree;
+  }
+  EXPECT_EQ(total, 9u);
+  EXPECT_EQ(*subs[0].par_degree, 3u);
+}
+
+TEST(SplitPipeline, ParDegreeWeightedSplit) {
+  // Stage weights 1:2:1 over 8 → 2,4,2.
+  const auto subs = split_for_pipeline(Contract::parallelism(8), 3,
+                                       {1.0, 2.0, 1.0});
+  ASSERT_EQ(subs.size(), 3u);
+  EXPECT_EQ(*subs[0].par_degree, 2u);
+  EXPECT_EQ(*subs[1].par_degree, 4u);
+  EXPECT_EQ(*subs[2].par_degree, 2u);
+}
+
+TEST(SplitPipeline, LeftoverGoesToHeaviestStages) {
+  // 10 over weights 3:1 → floor 7.5→7, 2.5→2, leftover 1 → heaviest.
+  const auto subs = split_for_pipeline(Contract::parallelism(10), 2,
+                                       {3.0, 1.0});
+  EXPECT_EQ(*subs[0].par_degree + *subs[1].par_degree, 10u);
+  EXPECT_GT(*subs[0].par_degree, *subs[1].par_degree);
+}
+
+TEST(SplitPipeline, EveryStageGetsAtLeastOne) {
+  const auto subs = split_for_pipeline(Contract::parallelism(2), 4);
+  for (const Contract& s : subs) EXPECT_GE(*s.par_degree, 1u);
+}
+
+TEST(SplitPipeline, ZeroStages) {
+  EXPECT_TRUE(split_for_pipeline(Contract::parallelism(4), 0).empty());
+}
+
+TEST(SplitPipeline, MismatchedWeightsFallBackToUniform) {
+  const auto subs = split_for_pipeline(Contract::parallelism(6), 3,
+                                       {1.0});  // wrong size → uniform
+  EXPECT_EQ(*subs[0].par_degree, 2u);
+  EXPECT_EQ(*subs[1].par_degree, 2u);
+  EXPECT_EQ(*subs[2].par_degree, 2u);
+}
+
+TEST(FarmWorkerContract, BestEffortCarryingSecurity) {
+  const Contract sub =
+      farm_worker_contract(Contract::throughput_range(0.3, 0.7).with_secure());
+  EXPECT_TRUE(sub.best_effort);
+  EXPECT_TRUE(sub.secure_comms);
+  EXPECT_FALSE(sub.throughput.has_value());
+}
+
+TEST(MergeContracts, ThroughputRangesIntersect) {
+  const Contract m = merge_contracts({Contract::throughput_range(0.2, 0.8),
+                                      Contract::throughput_range(0.4, 1.0)});
+  EXPECT_DOUBLE_EQ(m.throughput_lo(), 0.4);
+  EXPECT_DOUBLE_EQ(m.throughput_hi(), 0.8);
+}
+
+TEST(MergeContracts, DegenerateIntersectionKeepsLowerBound) {
+  const Contract m = merge_contracts({Contract::throughput_range(0.6, 0.9),
+                                      Contract::throughput_range(0.1, 0.3)});
+  EXPECT_DOUBLE_EQ(m.throughput_lo(), 0.6);
+  EXPECT_DOUBLE_EQ(m.throughput_hi(), 0.6);
+}
+
+TEST(MergeContracts, BooleanGoalsOrTogether) {
+  const Contract m = merge_contracts(
+      {Contract::secure(), Contract::throughput_range(0.3, 0.7)});
+  EXPECT_TRUE(m.secure_comms);
+  EXPECT_TRUE(m.throughput.has_value());
+}
+
+TEST(MergeContracts, ParDegreeTakesMinimum) {
+  const Contract m =
+      merge_contracts({Contract::parallelism(8), Contract::parallelism(3)});
+  EXPECT_EQ(*m.par_degree, 3u);
+}
+
+TEST(MergeContracts, EmptyListIsNone) {
+  EXPECT_FALSE(merge_contracts({}).has_goals());
+}
+
+TEST(ThroughputSatisfied, RangeChecks) {
+  const Contract c = Contract::throughput_range(0.3, 0.7);
+  EXPECT_FALSE(throughput_satisfied(c, 0.2));
+  EXPECT_TRUE(throughput_satisfied(c, 0.3));
+  EXPECT_TRUE(throughput_satisfied(c, 0.5));
+  EXPECT_TRUE(throughput_satisfied(c, 0.7));
+  EXPECT_FALSE(throughput_satisfied(c, 0.8));
+  EXPECT_TRUE(throughput_satisfied(Contract::none(), 0.0));
+  EXPECT_TRUE(throughput_satisfied(Contract::min_throughput(0.6), 100.0));
+}
+
+// Property sweep: splitting preserves the total parallelism degree.
+class SplitSweep
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(SplitSweep, ParDegreeConserved) {
+  const auto [degree, stages] = GetParam();
+  const auto subs = split_for_pipeline(Contract::parallelism(degree), stages);
+  std::size_t total = 0;
+  for (const Contract& s : subs) total += *s.par_degree;
+  EXPECT_EQ(total, std::max(degree, stages));  // >=1 per stage may round up
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Degrees, SplitSweep,
+    ::testing::Values(std::pair<std::size_t, std::size_t>{1, 1},
+                      std::pair<std::size_t, std::size_t>{8, 3},
+                      std::pair<std::size_t, std::size_t>{7, 2},
+                      std::pair<std::size_t, std::size_t>{2, 5},
+                      std::pair<std::size_t, std::size_t>{100, 7},
+                      std::pair<std::size_t, std::size_t>{13, 13}));
+
+}  // namespace
+}  // namespace bsk::am

@@ -1,0 +1,187 @@
+// The latency concern (extension): contract algebra, sensing, rules.
+
+#include <gtest/gtest.h>
+
+#include "am/builtin_rules.hpp"
+#include "am/manager.hpp"
+#include "fake_abc.hpp"
+#include "rt/builders.hpp"
+#include "support/clock.hpp"
+
+namespace bsk::am {
+namespace {
+
+using testing::FakeAbc;
+
+TEST(LatencyContract, FactoriesAndDescribe) {
+  const Contract c = Contract::max_latency(2.5);
+  ASSERT_TRUE(c.max_latency_s.has_value());
+  EXPECT_DOUBLE_EQ(*c.max_latency_s, 2.5);
+  EXPECT_TRUE(c.has_goals());
+  EXPECT_NE(c.describe().find("latency <= 2.5"), std::string::npos);
+
+  const Contract combo =
+      Contract::throughput_range(0.3, 0.7).with_max_latency(5.0);
+  EXPECT_TRUE(combo.throughput.has_value());
+  EXPECT_DOUBLE_EQ(*combo.max_latency_s, 5.0);
+}
+
+TEST(LatencyContract, PipelineSplitIsAdditiveByWeight) {
+  // Unlike throughput (replicated), a latency budget splits: weights 1:3
+  // over a 8s budget → 2s and 6s.
+  const auto subs =
+      split_for_pipeline(Contract::max_latency(8.0), 2, {1.0, 3.0});
+  ASSERT_EQ(subs.size(), 2u);
+  EXPECT_DOUBLE_EQ(*subs[0].max_latency_s, 2.0);
+  EXPECT_DOUBLE_EQ(*subs[1].max_latency_s, 6.0);
+  // The shares reassemble into the original budget.
+  EXPECT_DOUBLE_EQ(*subs[0].max_latency_s + *subs[1].max_latency_s, 8.0);
+}
+
+TEST(LatencyContract, UniformSplitWithoutWeights) {
+  const auto subs = split_for_pipeline(Contract::max_latency(9.0), 3);
+  for (const Contract& s : subs) EXPECT_DOUBLE_EQ(*s.max_latency_s, 3.0);
+}
+
+TEST(LatencyContract, MergeTakesTightestBound) {
+  const Contract m = merge_contracts(
+      {Contract::max_latency(10.0), Contract::max_latency(4.0)});
+  EXPECT_DOUBLE_EQ(*m.max_latency_s, 4.0);
+}
+
+TEST(LatencyRules, GrowOnHighLatency) {
+  FakeAbc abc;
+  support::EventLog log;
+  AutonomicManager m("AM", abc, {}, &log);
+  m.load_rules(latency_rules());
+  m.set_contract(Contract::max_latency(3.0));
+  abc.sensors.mean_latency_s = 10.0;
+  abc.sensors.nworkers = 2;
+  const auto fired = m.run_cycle_once();
+  EXPECT_NE(std::find(fired.begin(), fired.end(), "CheckLatencyHigh"),
+            fired.end());
+  EXPECT_EQ(abc.count("add_worker"), 2u);
+  EXPECT_GE(log.count("AM", "latencyHigh"), 1u);
+}
+
+TEST(LatencyRules, QuietWithinBudget) {
+  FakeAbc abc;
+  support::EventLog log;
+  AutonomicManager m("AM", abc, {}, &log);
+  m.load_rules(latency_rules());
+  m.set_contract(Contract::max_latency(3.0));
+  abc.sensors.mean_latency_s = 1.0;
+  abc.sensors.nworkers = 2;
+  EXPECT_TRUE(m.run_cycle_once().empty());
+  EXPECT_EQ(log.count("AM", "latencyHigh"), 0u);
+}
+
+TEST(LatencyRules, InertWithoutLatencyContract) {
+  FakeAbc abc;
+  support::EventLog log;
+  AutonomicManager m("AM", abc, {}, &log);
+  m.load_rules(latency_rules());
+  m.set_contract(Contract::min_throughput(0.1));  // no latency goal
+  abc.sensors.mean_latency_s = 1e6;
+  abc.sensors.departure_rate = 1.0;
+  abc.sensors.nworkers = 2;
+  EXPECT_TRUE(m.run_cycle_once().empty());  // MAX_LATENCY defaults huge
+}
+
+TEST(LatencySensing, FarmAbcEstimatesViaLittlesLaw) {
+  support::ScopedClockScale fast(200.0);
+  rt::FarmConfig cfg;
+  cfg.initial_workers = 2;
+  cfg.rate_window = support::SimDuration(2.0);
+  // Workers blocked on a gate: the queue builds, the estimate must grow.
+  std::atomic<bool> gate{false};
+  rt::Farm f("f", cfg, [&gate] {
+    return std::make_unique<rt::LambdaNode>([&gate](rt::Task t) {
+      while (!gate.load()) std::this_thread::sleep_for(
+          std::chrono::milliseconds(1));
+      return std::optional<rt::Task>{std::move(t)};
+    });
+  });
+  FarmAbc abc(f);
+  f.start();
+  for (int i = 0; i < 30; ++i) f.input()->push(rt::Task::data(i, 0.0));
+  support::Clock::sleep_for(support::SimDuration(0.5));
+  const Sensors blocked = abc.sense();
+  EXPECT_GT(blocked.queued, 20u);
+  // Zero delivered rate: falls back to the service-time projection — with
+  // no service samples yet the estimate is 0; once the gate opens and the
+  // rate appears, Little's law applies.
+  gate.store(true);
+  support::Clock::sleep_for(support::SimDuration(1.0));
+  f.input()->close();
+  f.wait();
+  const Sensors drained = abc.sense();
+  EXPECT_EQ(drained.queued, 0u);
+}
+
+TEST(LatencySensing, PipelineAbcUsesTrueSinkLatencies) {
+  support::ScopedClockScale fast(300.0);
+  auto sink_node = std::make_unique<rt::StreamSink>();
+  auto p = rt::pipe(
+      "p", rt::seq("src", std::make_unique<rt::StreamSource>(10, 20.0, 0.0)),
+      rt::seq_fn("slow",
+                 [](rt::Task t) {
+                   support::Clock::sleep_for(support::SimDuration(0.1));
+                   return std::optional<rt::Task>{std::move(t)};
+                 }),
+      rt::seq("sink", std::move(sink_node)));
+  PipelineAbc abc(*p);
+  p->start();
+  p->wait();
+  const Sensors s = abc.sense();
+  EXPECT_GT(s.mean_latency_s, 0.05);  // at least the slow stage's share
+  EXPECT_LT(s.mean_latency_s, 5.0);
+}
+
+TEST(LatencyE2E, LatencyContractDrainsBacklog) {
+  // A burst preloads the queue; arrivals alone satisfy throughput, but the
+  // latency SLA forces growth until the backlog drains.
+  support::ScopedClockScale fast(150.0);
+  sim::Platform platform;
+  platform.add_machine("smp16", "local", 16);
+  sim::ResourceManager rm(platform);
+  support::EventLog log;
+
+  rt::FarmConfig fc;
+  fc.initial_workers = 1;
+  fc.rate_window = support::SimDuration(4.0);
+  rt::Farm farm("lat", fc,
+                [] { return std::make_unique<rt::SimComputeNode>(); },
+                rt::Placement{&platform, 0});
+  FarmAbc abc(farm, &rm);
+  am::ManagerConfig mc;
+  mc.period = support::SimDuration(1.0);
+  mc.warmup_s = 3.0;
+  mc.action_cooldown_s = 2.0;
+  mc.max_workers = 10;
+  AutonomicManager mgr("AM_lat", abc, mc, &log);
+  mgr.load_rules(latency_rules());
+
+  farm.start();
+  mgr.start();
+  mgr.set_contract(Contract::max_latency(5.0));
+
+  std::jthread drainer([&farm] {
+    rt::Task t;
+    while (farm.output()->pop(t) == support::ChannelStatus::Ok) {
+    }
+  });
+  // Burst: 60 tasks of 1s at once → one worker implies ~60s of queueing.
+  for (int i = 0; i < 60; ++i) farm.input()->push(rt::Task::data(i, 1.0));
+  support::Clock::sleep_for(support::SimDuration(20.0));
+  farm.input()->close();
+  farm.wait();
+  mgr.stop();
+
+  EXPECT_GE(log.count("AM_lat", "latencyHigh"), 1u);
+  EXPECT_GE(log.count("AM_lat", "addWorker"), 1u);
+  EXPECT_GT(farm.workers_spawned(), 1u);
+}
+
+}  // namespace
+}  // namespace bsk::am

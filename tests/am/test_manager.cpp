@@ -1,0 +1,311 @@
+// AutonomicManager: MAPE cycle, beans, contracts, violations, roles.
+
+#include <gtest/gtest.h>
+
+#include "am/builtin_rules.hpp"
+#include "am/manager.hpp"
+#include "fake_abc.hpp"
+#include "support/clock.hpp"
+
+namespace bsk::am {
+namespace {
+
+using testing::FakeAbc;
+
+TEST(Manager, MonitorPhaseAssertsBeans) {
+  FakeAbc abc;
+  abc.sensors.arrival_rate = 1.5;
+  abc.sensors.departure_rate = 0.4;
+  abc.sensors.nworkers = 3;
+  abc.sensors.queue_variance = 2.0;
+  abc.sensors.queued = 7;
+  support::EventLog log;
+  AutonomicManager m("AM", abc, {}, &log);
+  m.run_cycle_once();
+  auto& wm = m.working_memory();
+  EXPECT_DOUBLE_EQ(*wm.get(beans::kArrivalRate), 1.5);
+  EXPECT_DOUBLE_EQ(*wm.get(beans::kDepartureRate), 0.4);
+  EXPECT_DOUBLE_EQ(*wm.get(beans::kNumWorker), 3.0);
+  EXPECT_DOUBLE_EQ(*wm.get(beans::kQueueVariance), 2.0);
+  EXPECT_DOUBLE_EQ(*wm.get(beans::kQueueVariancePaper), 2.0);
+  EXPECT_DOUBLE_EQ(*wm.get(beans::kQueuedTasks), 7.0);
+}
+
+TEST(Manager, InvalidSensorsSkipCycle) {
+  FakeAbc abc;
+  abc.sensors.valid = false;
+  support::EventLog log;
+  AutonomicManager m("AM", abc, {}, &log);
+  EXPECT_TRUE(m.run_cycle_once().empty());
+  EXPECT_FALSE(m.working_memory().has(beans::kArrivalRate));
+}
+
+TEST(Manager, ContractDerivesConstants) {
+  FakeAbc abc;
+  support::EventLog log;
+  ManagerConfig cfg;
+  cfg.max_workers = 12;
+  cfg.min_workers = 2;
+  AutonomicManager m("AM", abc, cfg, &log);
+  m.set_contract(Contract::throughput_range(0.3, 0.7));
+  EXPECT_DOUBLE_EQ(*m.constants().get("FARM_LOW_PERF_LEVEL"), 0.3);
+  EXPECT_DOUBLE_EQ(*m.constants().get("FARM_HIGH_PERF_LEVEL"), 0.7);
+  EXPECT_DOUBLE_EQ(*m.constants().get("FARM_MAX_NUM_WORKERS"), 12.0);
+  EXPECT_DOUBLE_EQ(*m.constants().get("FARM_MIN_NUM_WORKERS"), 2.0);
+  EXPECT_EQ(log.count("AM", "newContract"), 1u);
+  EXPECT_EQ(m.mode(), ManagerMode::Active);
+}
+
+TEST(Manager, ContractParDegreeTightensMaxWorkers) {
+  FakeAbc abc;
+  ManagerConfig cfg;
+  cfg.max_workers = 12;
+  support::EventLog log;
+  AutonomicManager m("AM", abc, cfg, &log);
+  m.set_contract(Contract::parallelism(5));
+  EXPECT_DOUBLE_EQ(*m.constants().get("FARM_MAX_NUM_WORKERS"), 5.0);
+}
+
+TEST(Manager, InfiniteHighBoundBecomesHuge) {
+  FakeAbc abc;
+  support::EventLog log;
+  AutonomicManager m("AM", abc, {}, &log);
+  m.set_contract(Contract::min_throughput(0.6));
+  EXPECT_GT(*m.constants().get("FARM_HIGH_PERF_LEVEL"), 1e20);
+}
+
+TEST(Manager, ObservationEventsFollowContract) {
+  FakeAbc abc;
+  abc.sensors.departure_rate = 0.1;
+  abc.sensors.arrival_rate = 0.1;
+  support::EventLog log;
+  AutonomicManager m("AM", abc, {}, &log);
+  m.set_contract(Contract::throughput_range(0.3, 0.7));
+  m.run_cycle_once();
+  EXPECT_EQ(log.count("AM", "contrLow"), 1u);
+  EXPECT_EQ(log.count("AM", "notEnough"), 1u);
+
+  abc.sensors.departure_rate = 0.9;
+  abc.sensors.arrival_rate = 0.9;
+  m.run_cycle_once();
+  EXPECT_EQ(log.count("AM", "contrHigh"), 1u);
+
+  abc.sensors.departure_rate = 0.5;
+  abc.sensors.arrival_rate = 0.5;
+  m.run_cycle_once();
+  EXPECT_EQ(log.count("AM", "contrLow"), 1u);  // unchanged: satisfied now
+}
+
+TEST(Manager, EndStreamRecordedOnce) {
+  FakeAbc abc;
+  support::EventLog log;
+  AutonomicManager m("AM", abc, {}, &log);
+  m.set_contract(Contract::bestEffort());
+  abc.sensors.stream_ended = true;
+  m.run_cycle_once();
+  m.run_cycle_once();
+  EXPECT_EQ(log.count("AM", "endStream"), 1u);
+  EXPECT_TRUE(m.stream_ended());
+  EXPECT_DOUBLE_EQ(*m.working_memory().get(beans::kStreamEnd), 1.0);
+}
+
+TEST(Manager, NoRuleCycleWithoutContract) {
+  FakeAbc abc;
+  support::EventLog log;
+  AutonomicManager m("AM", abc, {}, &log);
+  m.engine().add_rule(rules::RuleBuilder("always").then_fire("ADD_EXECUTOR")
+                          .build());
+  EXPECT_TRUE(m.run_cycle_once().empty());  // no contract → monitor only
+  m.set_contract(Contract::bestEffort());
+  EXPECT_EQ(m.run_cycle_once().size(), 1u);
+}
+
+TEST(Manager, AddExecutorHandlerUsesConstantPayload) {
+  FakeAbc abc;
+  support::EventLog log;
+  AutonomicManager m("AM", abc, {}, &log);
+  m.constants().set("FARM_ADD_WORKERS", 3.0);
+  m.fire_operation(ops::kAddExecutor, "FARM_ADD_WORKERS");
+  EXPECT_EQ(abc.count("add_worker"), 3u);
+  EXPECT_EQ(log.count("AM", "addWorker"), 1u);
+  const auto evs = log.by_name("addWorker");
+  EXPECT_DOUBLE_EQ(evs.at(0).value, 3.0);
+}
+
+TEST(Manager, AddExecutorNumericAndDefaultPayloads) {
+  FakeAbc abc;
+  support::EventLog log;
+  AutonomicManager m("AM", abc, {}, &log);
+  m.fire_operation(ops::kAddExecutor, "2");
+  EXPECT_EQ(abc.count("add_worker"), 2u);
+  m.fire_operation(ops::kAddExecutor, "");
+  EXPECT_EQ(abc.count("add_worker"), 3u);  // default 1
+}
+
+TEST(Manager, AddExecutorFailureRecorded) {
+  FakeAbc abc;
+  abc.add_succeeds = false;
+  support::EventLog log;
+  AutonomicManager m("AM", abc, {}, &log);
+  m.fire_operation(ops::kAddExecutor, "1");
+  EXPECT_EQ(log.count("AM", "addWorkerFailed"), 1u);
+  EXPECT_EQ(log.count("AM", "addWorker"), 0u);
+}
+
+TEST(Manager, RaiseViolationReportsToParentAndGoesPassive) {
+  FakeAbc abc_parent, abc_child;
+  support::EventLog log;
+  AutonomicManager parent("AM_A", abc_parent, {}, &log);
+  AutonomicManager child("AM_F", abc_child, {}, &log);
+  parent.attach_child(child);
+  EXPECT_EQ(child.parent(), &parent);
+
+  child.set_contract(Contract::bestEffort());
+  EXPECT_EQ(child.mode(), ManagerMode::Active);
+  child.fire_operation(ops::kRaiseViolation, "notEnoughTasks_VIOL");
+  EXPECT_EQ(child.mode(), ManagerMode::Passive);
+  EXPECT_EQ(log.count("AM_F", "raiseViol"), 1u);
+
+  // Parent consumes it next cycle: pulse bean + handler.
+  ChildViolation seen{};
+  parent.set_violation_handler([&](const ChildViolation& v) { seen = v; });
+  parent.set_contract(Contract::bestEffort());
+  bool bean_seen = false;
+  parent.engine().add_rule(
+      rules::RuleBuilder("onViol")
+          .when("Violation_notEnoughTasks_VIOL", rules::CmpOp::Ge, 1.0)
+          .then_do([&](rules::RuleContext&) { bean_seen = true; })
+          .build());
+  parent.run_cycle_once();
+  EXPECT_EQ(seen.child, "AM_F");
+  EXPECT_EQ(seen.kind, "notEnoughTasks_VIOL");
+  EXPECT_TRUE(bean_seen);
+  // Pulse bean retracted after the cycle.
+  EXPECT_FALSE(parent.working_memory().has("Violation_notEnoughTasks_VIOL"));
+}
+
+TEST(Manager, RootViolationGoesToUser) {
+  FakeAbc abc;
+  support::EventLog log;
+  AutonomicManager m("AM", abc, {}, &log);
+  m.fire_operation(ops::kRaiseViolation, "k");
+  EXPECT_EQ(log.count("AM", "violationToUser"), 1u);
+}
+
+TEST(Manager, ContractPropagationThroughSplitter) {
+  FakeAbc a, b, c;
+  support::EventLog log;
+  AutonomicManager parent("P", a, {}, &log);
+  AutonomicManager k1("K1", b, {}, &log);
+  AutonomicManager k2("K2", c, {}, &log);
+  parent.attach_child(k1);
+  parent.attach_child(k2);
+  parent.set_contract(Contract::throughput_range(0.3, 0.7));
+  // Default splitter = pipeline replication.
+  EXPECT_DOUBLE_EQ(k1.contract().throughput_lo(), 0.3);
+  EXPECT_DOUBLE_EQ(k2.contract().throughput_hi(), 0.7);
+  EXPECT_EQ(k1.mode(), ManagerMode::Active);
+}
+
+TEST(Manager, CustomSplitter) {
+  FakeAbc a, b;
+  support::EventLog log;
+  AutonomicManager parent("P", a, {}, &log);
+  AutonomicManager kid("K", b, {}, &log);
+  parent.attach_child(kid);
+  parent.set_splitter([](const Contract& c, std::size_t n) {
+    return std::vector<Contract>(n, farm_worker_contract(c));
+  });
+  parent.set_contract(Contract::throughput_range(0.3, 0.7).with_secure());
+  EXPECT_TRUE(kid.contract().best_effort);
+  EXPECT_TRUE(kid.contract().secure_comms);
+}
+
+TEST(Manager, OnContractHookRuns) {
+  FakeAbc abc;
+  support::EventLog log;
+  AutonomicManager m("AM", abc, {}, &log);
+  Contract got;
+  m.set_on_contract([&](const Contract& c) { got = c; });
+  m.set_contract(Contract::rate(0.5));
+  EXPECT_DOUBLE_EQ(got.throughput_lo(), 0.5);
+}
+
+TEST(Manager, RegisterCustomOperation) {
+  FakeAbc abc;
+  support::EventLog log;
+  AutonomicManager m("AM", abc, {}, &log);
+  std::string got;
+  m.register_operation("MY_OP", [&](const std::string& d) { got = d; });
+  m.fire_operation("MY_OP", "payload");
+  EXPECT_EQ(got, "payload");
+}
+
+TEST(Manager, UnknownOperationRecorded) {
+  FakeAbc abc;
+  support::EventLog log;
+  AutonomicManager m("AM", abc, {}, &log);
+  m.fire_operation("NOPE", "");
+  EXPECT_EQ(log.count("AM", "unknownOperation"), 1u);
+}
+
+TEST(Manager, SecureLinksOperation) {
+  FakeAbc abc;
+  abc.secure_count = 2;
+  support::EventLog log;
+  AutonomicManager m("AM", abc, {}, &log);
+  m.fire_operation(ops::kSecureLinks, "");
+  EXPECT_EQ(abc.count("secure_links"), 1u);
+  EXPECT_EQ(log.count("AM", "secureLinks"), 1u);
+}
+
+TEST(Manager, CooldownSuppressesPlanning) {
+  support::ScopedClockScale fast(1000.0);
+  FakeAbc abc;
+  ManagerConfig cfg;
+  cfg.action_cooldown_s = 5.0;
+  support::EventLog log;
+  AutonomicManager m("AM", abc, cfg, &log);
+  m.set_contract(Contract::min_throughput(0.6));
+  m.load_rules(farm_rules());
+  abc.sensors.arrival_rate = 2.0;
+  abc.sensors.departure_rate = 0.1;
+  abc.sensors.nworkers = 1;
+  EXPECT_FALSE(m.run_cycle_once().empty());  // fires CheckRateLow → ADD
+  EXPECT_GE(abc.count("add_worker"), 1u);
+  const auto adds = abc.count("add_worker");
+  EXPECT_TRUE(m.run_cycle_once().empty());  // within cooldown
+  EXPECT_EQ(abc.count("add_worker"), adds);
+  support::Clock::sleep_for(support::SimDuration(6.0));
+  EXPECT_FALSE(m.run_cycle_once().empty());  // cooldown expired
+}
+
+TEST(Manager, ControlLoopRunsPeriodically) {
+  support::ScopedClockScale fast(500.0);
+  FakeAbc abc;
+  ManagerConfig cfg;
+  cfg.period = support::SimDuration(0.5);
+  support::EventLog log;
+  AutonomicManager m("AM", abc, cfg, &log);
+  m.set_contract(Contract::bestEffort());
+  m.start();
+  support::Clock::sleep_for(support::SimDuration(5.0));
+  m.stop();
+  EXPECT_GE(m.cycles_run(), 3u);
+  const auto n = m.cycles_run();
+  support::Clock::sleep_for(support::SimDuration(2.0));
+  EXPECT_EQ(m.cycles_run(), n);  // fully stopped
+}
+
+TEST(Manager, LoadRulesFromText) {
+  FakeAbc abc;
+  support::EventLog log;
+  AutonomicManager m("AM", abc, {}, &log);
+  m.load_rules(farm_rules());
+  EXPECT_EQ(m.engine().rule_count(), 5u);
+  EXPECT_TRUE(m.engine().has_rule("CheckRateLow"));
+  EXPECT_TRUE(m.engine().has_rule("CheckLoadBalance"));
+}
+
+}  // namespace
+}  // namespace bsk::am

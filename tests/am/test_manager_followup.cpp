@@ -1,0 +1,112 @@
+// The manager's follow-up agenda pass: actions change the system, the
+// re-monitored facts feed the remaining rules in the same period (with
+// cross-pass refraction) — the mechanism behind same-cycle SM securing.
+
+#include <gtest/gtest.h>
+
+#include "am/builtin_rules.hpp"
+#include "am/manager.hpp"
+#include "fake_abc.hpp"
+
+namespace bsk::am {
+namespace {
+
+using testing::FakeAbc;
+
+TEST(ManagerFollowUp, SingleManagerSecuresWorkerItJustAdded) {
+  // Like FakeAbc but adding a worker flips the unsecured-link sensor.
+  class Abc final : public am::Abc {
+   public:
+    Sensors sense() override { return sensors; }
+    bool add_worker() override {
+      ++adds;
+      sensors.unsecured_untrusted = true;  // new worker: plaintext link
+      ++sensors.nworkers;
+      return true;
+    }
+    std::size_t rebalance() override { return 0; }
+    std::size_t secure_links() override {
+      ++secures;
+      sensors.unsecured_untrusted = false;
+      return 1;
+    }
+    Sensors sensors{};
+    std::size_t adds = 0;
+    std::size_t secures = 0;
+  } abc;
+
+  support::EventLog log;
+  AutonomicManager m("AM_sm", abc, {}, &log);
+  m.load_rules(farm_rules());
+  m.load_rules(security_rules());
+  m.set_contract(merge_contracts(
+      {Contract::throughput_range(0.3, 0.7), Contract::secure()}));
+
+  abc.sensors.arrival_rate = 0.5;
+  abc.sensors.departure_rate = 0.1;  // → CheckRateLow adds workers
+  abc.sensors.nworkers = 2;
+  abc.sensors.unsecured_untrusted = false;  // nothing to secure *yet*
+
+  const auto fired = m.run_cycle_once();
+  // Pass 1: only CheckRateLow is fireable (no unsecured links at monitor
+  // time); the add flips the flag; pass 2 re-monitors and secures — all
+  // within one control period.
+  EXPECT_NE(std::find(fired.begin(), fired.end(), "CheckRateLow"),
+            fired.end());
+  EXPECT_NE(std::find(fired.begin(), fired.end(), "SecureUnsecuredLinks"),
+            fired.end());
+  EXPECT_GE(abc.adds, 1u);
+  EXPECT_EQ(abc.secures, 1u);
+  EXPECT_EQ(log.count("AM_sm", "secureLinks"), 1u);
+}
+
+TEST(ManagerFollowUp, NoRefireOfSameRuleInFollowUpPass) {
+  FakeAbc abc;
+  support::EventLog log;
+  AutonomicManager m("AM", abc, {}, &log);
+  m.load_rules(farm_rules());
+  m.set_contract(Contract::throughput_range(0.3, 0.7));
+  abc.sensors.arrival_rate = 0.5;
+  abc.sensors.departure_rate = 0.1;  // stays low: rates are scripted
+  abc.sensors.nworkers = 2;
+  m.run_cycle_once();
+  // The departure bean still reads 0.1 in the follow-up pass, but
+  // CheckRateLow must not fire twice in one period.
+  EXPECT_EQ(abc.count("add_worker"), 2u);  // one firing × FARM_ADD_WORKERS
+}
+
+TEST(ManagerFollowUp, QuietCycleRunsSinglePass) {
+  FakeAbc abc;
+  support::EventLog log;
+  AutonomicManager m("AM", abc, {}, &log);
+  m.load_rules(farm_rules());
+  m.set_contract(Contract::throughput_range(0.3, 0.7));
+  abc.sensors.arrival_rate = 0.5;
+  abc.sensors.departure_rate = 0.5;
+  abc.sensors.nworkers = 2;
+  EXPECT_TRUE(m.run_cycle_once().empty());
+  EXPECT_TRUE(abc.calls.empty());
+}
+
+TEST(EngineExclude, ExcludedRulesTreatedAsFired) {
+  rules::Engine e;
+  e.add_rule(rules::RuleBuilder("a").then_fire("OA").build());
+  e.add_rule(rules::RuleBuilder("b").then_fire("OB").build());
+  rules::WorkingMemory wm;
+  rules::ConstantTable c;
+  class Sink : public rules::OperationSink {
+   public:
+    void fire_operation(const std::string& op, const std::string&) override {
+      ops.push_back(op);
+    }
+    std::vector<std::string> ops;
+  } sink;
+  const std::vector<std::string> exclude{"a"};
+  const auto fired = e.run_cycle(wm, c, sink, &exclude);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0], "b");
+  EXPECT_EQ(sink.ops, std::vector<std::string>{"OB"});
+}
+
+}  // namespace
+}  // namespace bsk::am

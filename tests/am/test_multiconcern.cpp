@@ -1,0 +1,138 @@
+// Multi-concern coordination: the two-phase protocol, vetoes, priorities.
+
+#include <gtest/gtest.h>
+
+#include "am/multiconcern.hpp"
+#include "fake_abc.hpp"
+
+namespace bsk::am {
+namespace {
+
+using testing::FakeAbc;
+
+TEST(GeneralManager, NoParticipantsAllowsEverything) {
+  support::EventLog log;
+  GeneralManager gm("GM", &log);
+  Intent i;
+  EXPECT_TRUE(gm.request(i, "AM_perf"));
+  EXPECT_EQ(gm.requests_seen(), 1u);
+  EXPECT_EQ(gm.vetoes_issued(), 0u);
+}
+
+TEST(GeneralManager, SecurityAnnotatesUntrustedAddWorker) {
+  support::EventLog log;
+  GeneralManager gm("GM", &log);
+  SecurityParticipant sec;
+  gm.register_participant(sec, 100);
+
+  Intent i;
+  i.action = Intent::Action::AddWorker;
+  i.target_untrusted = true;
+  EXPECT_TRUE(gm.request(i, "AM_perf"));
+  EXPECT_TRUE(i.require_secure);  // phase-one preparation requirement
+  EXPECT_EQ(sec.secure_demands(), 1u);
+  EXPECT_EQ(log.count("GM", "prepareSecure"), 1u);
+}
+
+TEST(GeneralManager, SecurityIgnoresTrustedTargets) {
+  GeneralManager gm;
+  SecurityParticipant sec;
+  gm.register_participant(sec, 100);
+  Intent i;
+  i.action = Intent::Action::AddWorker;
+  i.target_untrusted = false;
+  EXPECT_TRUE(gm.request(i, "AM_perf"));
+  EXPECT_FALSE(i.require_secure);
+}
+
+TEST(GeneralManager, ForbidUntrustedVetoes) {
+  support::EventLog log;
+  GeneralManager gm("GM", &log);
+  SecurityParticipant sec(SecurityParticipant::Options{true});
+  gm.register_participant(sec, 100);
+  Intent i;
+  i.action = Intent::Action::AddWorker;
+  i.target_untrusted = true;
+  EXPECT_FALSE(gm.request(i, "AM_perf"));
+  EXPECT_EQ(gm.vetoes_issued(), 1u);
+  EXPECT_EQ(log.count("GM", "veto"), 1u);
+}
+
+TEST(GeneralManager, PerformanceVetoesRemovalUnderLowThroughput) {
+  FakeAbc abc;
+  support::EventLog log;
+  AutonomicManager perf_am("AM_perf", abc, {}, &log);
+  perf_am.set_contract(Contract::throughput_range(0.3, 0.7));
+  abc.sensors.departure_rate = 0.1;  // violating the contract
+  perf_am.run_cycle_once();          // refresh last_sensors
+
+  GeneralManager gm;
+  PerformanceParticipant perf(perf_am);
+  gm.register_participant(perf, 10);
+
+  Intent rem;
+  rem.action = Intent::Action::RemoveWorker;
+  EXPECT_FALSE(gm.request(rem, "AM_power"));
+
+  abc.sensors.departure_rate = 0.5;  // healthy again
+  perf_am.run_cycle_once();
+  EXPECT_TRUE(gm.request(rem, "AM_power"));
+}
+
+TEST(GeneralManager, HigherPriorityConsultedFirst) {
+  // A high-priority vetoer stops the protocol before lower ones run.
+  class Recorder : public ConcernParticipant {
+   public:
+    Recorder(std::string name, bool allow, std::vector<std::string>& order)
+        : name_(std::move(name)), allow_(allow), order_(order) {}
+    std::string concern() const override { return name_; }
+    bool check(Intent&) override {
+      order_.push_back(name_);
+      return allow_;
+    }
+
+   private:
+    std::string name_;
+    bool allow_;
+    std::vector<std::string>& order_;
+  };
+
+  std::vector<std::string> order;
+  Recorder high("security", false, order);
+  Recorder low("performance", true, order);
+  GeneralManager gm;
+  gm.register_participant(low, 1);
+  gm.register_participant(high, 100);
+  Intent i;
+  EXPECT_FALSE(gm.request(i, "x"));
+  ASSERT_EQ(order.size(), 1u);  // veto short-circuits
+  EXPECT_EQ(order[0], "security");
+}
+
+TEST(GeneralManager, GateBindsProposer) {
+  support::EventLog log;
+  GeneralManager gm("GM", &log);
+  SecurityParticipant sec;
+  gm.register_participant(sec, 100);
+  CommitGate gate = gm.gate("AM_perf");
+  Intent i;
+  i.action = Intent::Action::AddWorker;
+  i.target_untrusted = true;
+  EXPECT_TRUE(gate(i));
+  EXPECT_TRUE(i.require_secure);
+  EXPECT_EQ(gm.requests_seen(), 1u);
+}
+
+TEST(GeneralManager, SecurityDoesNotTouchOtherActions) {
+  GeneralManager gm;
+  SecurityParticipant sec;
+  gm.register_participant(sec, 100);
+  Intent i;
+  i.action = Intent::Action::Rebalance;
+  i.target_untrusted = true;  // irrelevant for rebalance
+  EXPECT_TRUE(gm.request(i, "x"));
+  EXPECT_FALSE(i.require_secure);
+}
+
+}  // namespace
+}  // namespace bsk::am

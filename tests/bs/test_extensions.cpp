@@ -1,0 +1,162 @@
+// Extensions: growable pipeline stages (the paper's future-work stage→farm
+// transformation) and the adaptive measured-weight splitter.
+
+#include <gtest/gtest.h>
+
+#include "bs/behavioural_skeleton.hpp"
+#include "support/clock.hpp"
+
+namespace bsk::bs {
+namespace {
+
+using support::ScopedClockScale;
+
+TEST(GrowableStage, PreservesStreamOrderWhileReplicated) {
+  ScopedClockScale fast(300.0);
+  support::EventLog log;
+  sim::Platform platform;
+  platform.add_machine("m", "local", 8);
+  sim::ResourceManager rm(platform);
+
+  am::ManagerConfig mc;
+  mc.period = support::SimDuration(1.0);
+  auto stage = make_growable_stage_bs(
+      "stage",
+      [] {
+        return std::make_unique<rt::LambdaNode>([](rt::Task t) {
+          support::Clock::sleep_for(support::SimDuration((t.id % 3) * 0.01));
+          t.work_s += 1.0;
+          return std::optional<rt::Task>{std::move(t)};
+        });
+      },
+      mc, &rm, rt::Placement{&platform, 0}, &log);
+
+  auto& farm = dynamic_cast<rt::Farm&>(stage->runnable());
+  farm.start();
+  EXPECT_EQ(farm.worker_count(), 1u);  // starts as the original single stage
+  farm.add_worker();
+  farm.add_worker();  // grow the stage to 3 replicas
+  for (int i = 0; i < 40; ++i) farm.input()->push(rt::Task::data(i, 0.0));
+  farm.input()->close();
+  farm.wait();
+
+  std::vector<std::uint64_t> ids;
+  rt::Task t;
+  while (farm.output()->pop(t) == support::ChannelStatus::Ok) {
+    EXPECT_DOUBLE_EQ(t.work_s, 1.0);  // stage function applied once
+    ids.push_back(t.id);
+  }
+  ASSERT_EQ(ids.size(), 40u);
+  for (std::size_t i = 0; i < ids.size(); ++i)
+    EXPECT_EQ(ids[i], i);  // ordered collection: stage semantics preserved
+}
+
+TEST(GrowableStage, ManagerGrowsItUnderLoad) {
+  ScopedClockScale fast(200.0);
+  support::EventLog log;
+  sim::Platform platform;
+  platform.add_machine("m", "local", 8);
+  sim::ResourceManager rm(platform);
+
+  am::ManagerConfig mc;
+  mc.period = support::SimDuration(1.0);
+  mc.warmup_s = 4.0;
+  mc.action_cooldown_s = 3.0;
+  auto stage = make_growable_stage_bs(
+      "hotstage", [] { return std::make_unique<rt::SimComputeNode>(); }, mc,
+      &rm, rt::Placement{&platform, 0}, &log);
+
+  auto& farm = dynamic_cast<rt::Farm&>(stage->runnable());
+  farm.start();
+  stage->start_managers();
+  stage->manager().set_contract(am::Contract::min_throughput(2.0));
+
+  // 1s tasks at 3/s: one replica can never meet the 2/s contract.
+  std::jthread feeder([&farm] {
+    for (int i = 0; i < 90; ++i) {
+      farm.input()->push(rt::Task::data(i, 1.0));
+      support::Clock::sleep_for(support::SimDuration(0.33));
+    }
+    farm.input()->close();
+  });
+  std::jthread drainer([&farm] {
+    rt::Task t;
+    while (farm.output()->pop(t) == support::ChannelStatus::Ok) {
+    }
+  });
+  feeder.join();
+  farm.wait();
+  drainer.join();
+  stage->stop_managers();
+
+  EXPECT_GE(log.count("AM_hotstage", "addWorker"), 1u);
+  EXPECT_GT(farm.workers_spawned(), 1u);
+}
+
+TEST(AdaptiveSplitter, DefaultsToUniformWithoutSamples) {
+  auto p = rt::pipe(
+      "p", rt::seq("a", std::make_unique<rt::StreamSink>()),
+      rt::seq("b", std::make_unique<rt::StreamSink>()));
+  const auto w = measured_stage_weights(*p);
+  ASSERT_EQ(w.size(), 2u);
+  EXPECT_DOUBLE_EQ(w[0], 1.0);
+  EXPECT_DOUBLE_EQ(w[1], 1.0);
+}
+
+TEST(AdaptiveSplitter, WeightsFollowObservedServiceTimes) {
+  // Moderate scale and sleeps well above scheduler granularity, so the
+  // measured 4x service-time contrast survives wall-clock quantization.
+  ScopedClockScale fast(50.0);
+  auto sink_node = std::make_unique<rt::StreamSink>();
+  auto p = rt::pipe(
+      "p", rt::seq("src", std::make_unique<rt::StreamSource>(20, 10.0, 0.0)),
+      rt::seq_fn("fast",
+                 [](rt::Task t) {
+                   support::Clock::sleep_for(support::SimDuration(0.05));
+                   return std::optional<rt::Task>{std::move(t)};
+                 }),
+      rt::seq_fn("slow",
+                 [](rt::Task t) {
+                   support::Clock::sleep_for(support::SimDuration(0.2));
+                   return std::optional<rt::Task>{std::move(t)};
+                 }),
+      rt::seq("sink", std::move(sink_node)));
+  p->start();
+  p->wait();
+  const auto w = measured_stage_weights(*p);
+  ASSERT_EQ(w.size(), 4u);
+  EXPECT_GT(w[2], w[1] * 2.0);  // slow stage ≈ 4× the fast one
+
+  // The adaptive splitter allocates parallelism accordingly.
+  auto splitter = make_adaptive_pipeline_splitter(*p);
+  const auto subs = splitter(am::Contract::parallelism(12), 4);
+  ASSERT_EQ(subs.size(), 4u);
+  EXPECT_GT(*subs[2].par_degree, *subs[1].par_degree);
+}
+
+TEST(AdaptiveSplitter, NestedPipelineWeightIsSum) {
+  ScopedClockScale fast(50.0);
+  auto inner = rt::pipe(
+      "inner",
+      rt::seq_fn("i1",
+                 [](rt::Task t) {
+                   support::Clock::sleep_for(support::SimDuration(0.1));
+                   return std::optional<rt::Task>{std::move(t)};
+                 }),
+      rt::seq_fn("i2", [](rt::Task t) {
+        support::Clock::sleep_for(support::SimDuration(0.1));
+        return std::optional<rt::Task>{std::move(t)};
+      }));
+  auto p = rt::pipe(
+      "p", rt::seq("src", std::make_unique<rt::StreamSource>(15, 10.0, 0.0)),
+      std::move(inner),
+      rt::seq("sink", std::make_unique<rt::StreamSink>()));
+  p->start();
+  p->wait();
+  const auto w = measured_stage_weights(*p);
+  ASSERT_EQ(w.size(), 3u);
+  EXPECT_GT(w[1], 0.15);  // ≈ 0.1 + 0.1 from the nested stages
+}
+
+}  // namespace
+}  // namespace bsk::bs

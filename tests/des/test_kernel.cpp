@@ -1,0 +1,101 @@
+// DES kernel: ordering, determinism, cancellation.
+
+#include <gtest/gtest.h>
+
+#include "des/kernel.hpp"
+
+namespace bsk::des {
+namespace {
+
+TEST(Kernel, EventsFireInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(3.0, [&] { order.push_back(3); });
+  sim.schedule(1.0, [&] { order.push_back(1); });
+  sim.schedule(2.0, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+}
+
+TEST(Kernel, TiesBreakByInsertionOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(1.0, [&] { order.push_back(1); });
+  sim.schedule(1.0, [&] { order.push_back(2); });
+  sim.schedule(1.0, [&] { order.push_back(3); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Kernel, ScheduleInIsRelative) {
+  Simulator sim;
+  double fired_at = -1.0;
+  sim.schedule(5.0, [&] {
+    sim.schedule_in(2.5, [&] { fired_at = sim.now(); });
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(fired_at, 7.5);
+}
+
+TEST(Kernel, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  const EventId id = sim.schedule(1.0, [&] { fired = true; });
+  sim.cancel(id);
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Kernel, RunUntilStopsAtBoundary) {
+  Simulator sim;
+  std::vector<double> times;
+  for (int i = 1; i <= 5; ++i)
+    sim.schedule(static_cast<double>(i), [&, i] {
+      times.push_back(static_cast<double>(i));
+    });
+  sim.run_until(3.0);
+  EXPECT_EQ(times.size(), 3u);
+  EXPECT_EQ(sim.pending(), 2u);
+  sim.run();
+  EXPECT_EQ(times.size(), 5u);
+}
+
+TEST(Kernel, StepReturnsFalseWhenEmpty) {
+  Simulator sim;
+  EXPECT_FALSE(sim.step());
+  sim.schedule(1.0, [] {});
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+  EXPECT_EQ(sim.executed(), 1u);
+}
+
+TEST(Kernel, EventsCanScheduleMoreEvents) {
+  Simulator sim;
+  int count = 0;
+  std::function<void()> recur = [&] {
+    if (++count < 100) sim.schedule_in(1.0, recur);
+  };
+  sim.schedule(0.0, recur);
+  sim.run();
+  EXPECT_EQ(count, 100);
+  EXPECT_DOUBLE_EQ(sim.now(), 99.0);
+}
+
+TEST(Kernel, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    Simulator sim;
+    std::vector<double> trace;
+    for (int i = 0; i < 50; ++i) {
+      sim.schedule(static_cast<double>((i * 7) % 13), [&trace, &sim] {
+        trace.push_back(sim.now());
+      });
+    }
+    sim.run();
+    return trace;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace bsk::des

@@ -1,0 +1,97 @@
+// The Fig. 4 protocol on the DES kernel: the deterministic oracle for the
+// threaded hierarchy's event ordering.
+
+#include <gtest/gtest.h>
+
+#include "des/pipeline_model.hpp"
+
+namespace bsk::des {
+namespace {
+
+TEST(DesFig4, PaperEventOrdering) {
+  const DesFig4Result r = run_fig4_model({});
+
+  EXPECT_EQ(r.processed, 80u);
+  ASSERT_GE(r.count("AM_F", "raiseViol"), 1u);
+  ASSERT_GE(r.count("AM_A", "incRate"), 1u);
+  ASSERT_GE(r.count("AM_F", "addWorker"), 1u);
+  EXPECT_GE(r.end_stream_at, 0.0);
+  EXPECT_GE(r.converged_at, 0.0);
+
+  // The paper's sequence: violation → incRate → addWorker → endStream.
+  EXPECT_LT(r.first("AM_F", "raiseViol"), r.first("AM_A", "incRate"));
+  EXPECT_LT(r.first("AM_A", "incRate"), r.first("AM_F", "addWorker"));
+  EXPECT_LT(r.first("AM_F", "addWorker"), r.end_stream_at);
+
+  // No rate contract after endStream.
+  EXPECT_LT(r.last("AM_A", "incRate"), r.end_stream_at);
+  EXPECT_LT(r.last("AM_A", "decRate"), r.end_stream_at);
+
+  // The producer ended faster than it started (incRate ladder worked).
+  EXPECT_GT(r.final_producer_rate, 0.2);
+}
+
+TEST(DesFig4, OvershootTriggersDecRate) {
+  DesFig4Params p;
+  p.inc_rate_factor = 2.0;  // deliberately overshoots the 0.7 upper bound
+  // A long sensor window keeps the notEnough violations alive past the
+  // first rate increase (lag), so the ladder climbs beyond the bound —
+  // the overshoot regime of the paper's trace.
+  p.window_s = 20.0;
+  p.warmup_s = 20.0;
+  const DesFig4Result r = run_fig4_model(p);
+  EXPECT_GE(r.count("AM_A", "decRate"), 1u);
+  EXPECT_LT(r.first("AM_A", "incRate"), r.first("AM_A", "decRate"));
+  // decRate walks the producer back toward the band.
+  EXPECT_LT(r.final_producer_rate, 0.8);
+}
+
+TEST(DesFig4, GentleRampAvoidsDecRate) {
+  DesFig4Params p;
+  p.inc_rate_factor = 1.2;  // never exceeds 0.7 before pressure suffices
+  const DesFig4Result r = run_fig4_model(p);
+  EXPECT_EQ(r.count("AM_A", "decRate"), 0u);
+  EXPECT_EQ(r.processed, p.tasks);
+}
+
+TEST(DesFig4, Deterministic) {
+  const DesFig4Result a = run_fig4_model({});
+  const DesFig4Result b = run_fig4_model({});
+  ASSERT_EQ(a.events.size(), b.events.size());
+  for (std::size_t i = 0; i < a.events.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.events[i].t, b.events[i].t);
+    EXPECT_EQ(a.events[i].name, b.events[i].name);
+  }
+  EXPECT_DOUBLE_EQ(a.finished_at, b.finished_at);
+}
+
+TEST(DesFig4, WorkerGrowthBoundedByMax) {
+  DesFig4Params p;
+  p.max_workers = 4;
+  p.work_s = 30.0;  // brutal demand: growth hits the cap
+  const DesFig4Result r = run_fig4_model(p);
+  EXPECT_LE(r.final_workers, 4u);
+  EXPECT_EQ(r.processed, p.tasks);
+}
+
+TEST(DesFig4, ScalesToGridParameters) {
+  // The same protocol at 100× the paper's scale — the regime the threaded
+  // runtime cannot replay quickly.
+  DesFig4Params p;
+  p.tasks = 8000;
+  p.initial_rate = 20.0;
+  p.work_s = 14.0;
+  p.contract_lo = 30.0;
+  p.contract_hi = 70.0;
+  p.initial_workers = 200;
+  p.max_workers = 1000;
+  p.add_per_step = 100;
+  const DesFig4Result r = run_fig4_model(p);
+  EXPECT_EQ(r.processed, p.tasks);
+  EXPECT_GE(r.count("AM_A", "incRate"), 1u);
+  EXPECT_GE(r.count("AM_F", "addWorker"), 1u);
+  EXPECT_GE(r.converged_at, 0.0);
+}
+
+}  // namespace
+}  // namespace bsk::des

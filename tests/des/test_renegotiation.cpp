@@ -1,0 +1,79 @@
+// Dynamic P_spl: contract renegotiation over heterogeneous groups.
+
+#include <gtest/gtest.h>
+
+#include "des/hierarchy.hpp"
+
+namespace bsk::des {
+namespace {
+
+HierConfig hetero_config() {
+  HierConfig c;
+  c.groups = 4;
+  c.max_workers = 64;  // 16 per group
+  c.arrival_rate = 40.0;
+  c.contract_lo = 36.0;
+  c.service_s = 1.0;
+  c.tasks = 40000;
+  // One crippled group: at speed 0.25, its 16 workers deliver at most
+  // 4 tasks/s — its static 9-task/s share is unreachable.
+  c.group_speeds = {1.0, 1.0, 1.0, 0.25};
+  c.exponential_service = true;  // no lockstep completion spikes
+  return c;
+}
+
+TEST(Renegotiation, DynamicSplitBeatsStaticOnHeterogeneousGroups) {
+  HierConfig c = hetero_config();
+  c.renegotiate = false;
+  const HierResult stat = run_hierarchy(c);
+  c.renegotiate = true;
+  const HierResult dyn = run_hierarchy(c);
+
+  EXPECT_EQ(stat.renegotiations, 0u);
+  EXPECT_GE(dyn.renegotiations, 1u);
+  EXPECT_EQ(stat.completed, c.tasks);
+  EXPECT_EQ(dyn.completed, c.tasks);
+
+  // Static split keeps feeding the crippled group its equal share: a huge
+  // backlog drains at 4 tasks/s long after the stream ended. Shifting the
+  // share (and the dispatch weights) onto the fast groups cuts the
+  // makespan and keeps the aggregate inside the SLA for most of the run.
+  EXPECT_LT(dyn.finished_at, stat.finished_at * 0.6);
+  EXPECT_GT(dyn.sla_fraction, stat.sla_fraction);
+  EXPECT_GE(dyn.converged_at, 0.0);
+}
+
+TEST(Renegotiation, HomogeneousGroupsUnaffected) {
+  HierConfig c;
+  c.groups = 4;
+  c.max_workers = 64;
+  c.arrival_rate = 40.0;
+  c.contract_lo = 30.0;
+  c.tasks = 12000;
+  c.renegotiate = true;
+  const HierResult r = run_hierarchy(c);
+  // No group saturates below its share: nothing to renegotiate.
+  EXPECT_EQ(r.renegotiations, 0u);
+  EXPECT_GE(r.converged_at, 0.0);
+}
+
+TEST(Renegotiation, Deterministic) {
+  HierConfig c = hetero_config();
+  c.renegotiate = true;
+  const HierResult a = run_hierarchy(c);
+  const HierResult b = run_hierarchy(c);
+  EXPECT_DOUBLE_EQ(a.converged_at, b.converged_at);
+  EXPECT_EQ(a.renegotiations, b.renegotiations);
+  EXPECT_EQ(a.events_executed, b.events_executed);
+}
+
+TEST(Renegotiation, SpeedVectorSizeMismatchFallsBackToHomogeneous) {
+  HierConfig c = hetero_config();
+  c.group_speeds = {1.0};  // wrong size → treated as all-1.0
+  c.renegotiate = false;
+  const HierResult r = run_hierarchy(c);
+  EXPECT_GE(r.converged_at, 0.0);  // homogeneous: static split suffices
+}
+
+}  // namespace
+}  // namespace bsk::des

@@ -1,0 +1,177 @@
+// The farm behavioural skeleton as a GCM composite: the component tree
+// mirrors the running skeleton and the ABC actuates through controllers.
+
+#include <gtest/gtest.h>
+
+#include "am/builtin_rules.hpp"
+#include "am/manager.hpp"
+#include "gcm/bs_component.hpp"
+#include "rt/builders.hpp"
+#include "support/clock.hpp"
+
+namespace bsk::gcm {
+namespace {
+
+using support::ScopedClockScale;
+
+rt::NodeFactory identity_workers() {
+  return [] {
+    return std::make_unique<rt::LambdaNode>(
+        [](rt::Task t) { return std::optional<rt::Task>{std::move(t)}; });
+  };
+}
+
+TEST(FarmComposite, ContentIsSchedulerCollectorAndWorkers) {
+  ScopedClockScale fast(500.0);
+  rt::FarmConfig cfg;
+  cfg.initial_workers = 3;
+  FarmComposite comp("farm", cfg, identity_workers());
+  EXPECT_TRUE(comp.is_composite());
+  EXPECT_NE(comp.content().find("S"), nullptr);
+  EXPECT_NE(comp.content().find("C"), nullptr);
+  EXPECT_TRUE(comp.worker_component_names().empty());  // not started yet
+
+  comp.lifecycle().start();
+  EXPECT_EQ(comp.worker_component_names().size(), 3u);
+  EXPECT_EQ(comp.content().size(), 5u);  // S + C + 3 workers
+  for (const auto& w : comp.worker_component_names())
+    EXPECT_TRUE(comp.content().find(w)->lifecycle().started());
+
+  comp.lifecycle().stop();
+}
+
+TEST(FarmComposite, AbcExposedAsMembraneInterface) {
+  ScopedClockScale fast(500.0);
+  rt::FarmConfig cfg;
+  cfg.initial_workers = 1;
+  FarmComposite comp("farm", cfg, identity_workers());
+  const auto itf = comp.server_interface("abc");
+  ASSERT_TRUE(itf.has_value());
+  auto abc = itf->as<am::Abc>();
+  ASSERT_NE(abc, nullptr);
+  comp.lifecycle().start();
+  EXPECT_EQ(abc->sense().nworkers, 1u);
+  comp.lifecycle().stop();
+}
+
+TEST(FarmComposite, AbcActuationsKeepComponentTreeInSync) {
+  ScopedClockScale fast(500.0);
+  sim::Platform platform = sim::Platform::testbed_smp8();
+  sim::ResourceManager rm(platform);
+  rt::FarmConfig cfg;
+  cfg.initial_workers = 1;
+  FarmComposite comp("farm", cfg, identity_workers(),
+                     rt::Placement{&platform, 0}, &rm);
+  comp.lifecycle().start();
+  auto& abc = comp.abc();
+
+  EXPECT_TRUE(abc.add_worker());
+  EXPECT_TRUE(abc.add_worker());
+  EXPECT_EQ(comp.worker_component_names().size(), 3u);
+  EXPECT_EQ(comp.farm().worker_count(), 3u);
+
+  EXPECT_TRUE(abc.remove_worker());
+  EXPECT_EQ(comp.worker_component_names().size(), 2u);
+  EXPECT_EQ(rm.leased(), 1u);
+
+  comp.lifecycle().stop();
+}
+
+TEST(FarmComposite, StopDrainsTheStream) {
+  ScopedClockScale fast(500.0);
+  rt::FarmConfig cfg;
+  cfg.initial_workers = 2;
+  FarmComposite comp("farm", cfg, identity_workers());
+  comp.lifecycle().start();
+  for (int i = 0; i < 20; ++i)
+    comp.farm().input()->push(rt::Task::data(i, 0.0));
+  comp.lifecycle().stop();  // closes the stream and waits
+  rt::Task t;
+  std::size_t n = 0;
+  while (comp.farm().output()->pop(t) == support::ChannelStatus::Ok) ++n;
+  EXPECT_EQ(n, 20u);
+}
+
+TEST(FarmComposite, ManagerDrivesTheComposite) {
+  // The full paper stack: GCM composite + membrane ABC + rule-driven AM.
+  ScopedClockScale fast(60.0);
+  sim::Platform platform = sim::Platform::testbed_smp8();
+  sim::ResourceManager rm(platform);
+  support::EventLog log;
+  rt::FarmConfig cfg;
+  cfg.initial_workers = 1;
+  cfg.rate_window = support::SimDuration(4.0);
+  // SimComputeNode workers actually spend each task's declared demand.
+  FarmComposite comp(
+      "farm", cfg, [] { return std::make_unique<rt::SimComputeNode>(); },
+      rt::Placement{&platform, 0}, &rm);
+
+  am::ManagerConfig mc;
+  mc.period = support::SimDuration(1.0);
+  mc.warmup_s = 4.0;
+  mc.action_cooldown_s = 2.0;
+  am::AutonomicManager mgr("AM_gcm", comp.abc(), mc, &log);
+  mgr.load_rules(am::farm_rules());
+
+  comp.lifecycle().start();
+  mgr.start();
+  mgr.set_contract(am::Contract::min_throughput(3.0));
+
+  std::jthread drainer([&comp] {
+    rt::Task t;
+    while (comp.farm().output()->pop(t) == support::ChannelStatus::Ok) {
+    }
+  });
+  // ~5 tasks/s of 0.5s work: one worker delivers ~2/s, below the 3/s SLA.
+  for (int i = 0; i < 100; ++i) {
+    comp.farm().input()->push(rt::Task::data(i, 0.5));
+    support::Clock::sleep_for(support::SimDuration(0.2));
+  }
+  comp.lifecycle().stop();
+  mgr.stop();
+
+  EXPECT_GE(log.count("AM_gcm", "addWorker"), 1u);
+  EXPECT_GT(comp.worker_component_names().size(), 1u);
+}
+
+TEST(PipelineComposite, NestedUsageOfFig2Right) {
+  // pipe(Producer, FarmComposite, Consumer) as a GCM composite-of-
+  // composites: the nested-usage picture of the paper's Fig. 2 (right).
+  ScopedClockScale fast(400.0);
+  auto farm_comp = std::make_shared<FarmComposite>(
+      "farm", [] {
+        rt::FarmConfig cfg;
+        cfg.initial_workers = 2;
+        return cfg;
+      }(),
+      identity_workers());
+
+  auto sink_node = std::make_unique<rt::StreamSink>();
+  rt::StreamSink* sink = sink_node.get();
+  std::vector<std::shared_ptr<rt::Runnable>> stages;
+  stages.push_back(
+      rt::seq("src", std::make_unique<rt::StreamSource>(25, 200.0, 0.0)));
+  stages.push_back(farm_comp->farm_ptr());  // shared with the composite
+  stages.push_back(rt::seq("sink", std::move(sink_node)));
+  auto pipe = std::make_shared<rt::Pipeline>("p", std::move(stages));
+
+  PipelineComposite app("app", pipe, {farm_comp});
+  EXPECT_TRUE(app.is_composite());
+  EXPECT_EQ(app.content().size(), 1u);
+  ASSERT_TRUE(app.server_interface("abc").has_value());
+
+  app.lifecycle().start();
+  // The farm composite (content) started first; its workers are mirrored.
+  EXPECT_TRUE(farm_comp->lifecycle().started());
+  EXPECT_EQ(farm_comp->worker_component_names().size(), 2u);
+
+  pipe->wait();  // stream drains through the shared farm
+  EXPECT_EQ(sink->received(), 25u);
+  const am::Sensors s = app.abc().sense();
+  EXPECT_TRUE(s.stream_ended);
+  app.lifecycle().stop();
+  EXPECT_FALSE(farm_comp->lifecycle().started());
+}
+
+}  // namespace
+}  // namespace bsk::gcm

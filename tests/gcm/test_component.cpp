@@ -1,0 +1,150 @@
+// The Fractal/GCM component model: interfaces and the three standard
+// controllers.
+
+#include <gtest/gtest.h>
+
+#include "gcm/component.hpp"
+
+namespace bsk::gcm {
+namespace {
+
+struct EchoService {
+  int echo(int x) const { return x; }
+};
+
+TEST(Interface, ServerWrapsAndRecoversTyped) {
+  auto impl = std::make_shared<EchoService>();
+  Interface itf = Interface::server("echo", impl);
+  EXPECT_EQ(itf.name(), "echo");
+  EXPECT_EQ(itf.role(), Role::Server);
+  EXPECT_TRUE(itf.bound());
+  auto got = itf.as<EchoService>();
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(got->echo(7), 7);
+  EXPECT_EQ(itf.as<int>(), nullptr);  // wrong type: null, no throw
+}
+
+TEST(Interface, ClientIsUnbound) {
+  Interface c = Interface::client("svc");
+  EXPECT_EQ(c.role(), Role::Client);
+  EXPECT_FALSE(c.bound());
+}
+
+TEST(Component, ServerInterfaceRegistry) {
+  Component c("comp");
+  c.add_server_interface(Interface::server("a", std::make_shared<int>(1)));
+  c.add_server_interface(Interface::server("b", std::make_shared<int>(2)));
+  EXPECT_TRUE(c.server_interface("a").has_value());
+  EXPECT_FALSE(c.server_interface("zz").has_value());
+  EXPECT_EQ(c.server_interface_names().size(), 2u);
+  EXPECT_THROW(c.add_server_interface(
+                   Interface::server("a", std::make_shared<int>(3))),
+               GcmError);
+  EXPECT_THROW(c.add_server_interface(Interface::client("x")), GcmError);
+}
+
+TEST(Component, PrimitiveHasNoContent) {
+  Component c("prim");
+  EXPECT_FALSE(c.is_composite());
+  EXPECT_THROW(c.content(), GcmError);
+}
+
+TEST(Lifecycle, StateMachineAndHooks) {
+  Component c("c");
+  int starts = 0, stops = 0;
+  c.lifecycle().on_start = [&] { ++starts; };
+  c.lifecycle().on_stop = [&] { ++stops; };
+  EXPECT_EQ(c.lifecycle().state(), LifecycleController::State::Stopped);
+  c.lifecycle().start();
+  c.lifecycle().start();  // idempotent
+  EXPECT_TRUE(c.lifecycle().started());
+  EXPECT_EQ(starts, 1);
+  c.lifecycle().stop();
+  c.lifecycle().stop();
+  EXPECT_EQ(stops, 1);
+  EXPECT_EQ(c.lifecycle().state(), LifecycleController::State::Stopped);
+}
+
+TEST(Lifecycle, CompositeStartsContentFirst) {
+  Component root("root", true);
+  auto sub = std::make_shared<Component>("sub");
+  std::vector<std::string> order;
+  sub->lifecycle().on_start = [&] { order.push_back("sub"); };
+  root.lifecycle().on_start = [&] { order.push_back("root"); };
+  root.content().add(sub);
+  root.lifecycle().start();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], "sub");   // content first
+  EXPECT_EQ(order[1], "root");
+  EXPECT_TRUE(sub->lifecycle().started());
+  root.lifecycle().stop();
+  EXPECT_FALSE(sub->lifecycle().started());
+}
+
+TEST(Binding, BindLookupUnbind) {
+  Component client("client");
+  client.add_client_interface("svc");
+  auto impl = std::make_shared<EchoService>();
+  client.binding().bind("svc", Interface::server("echo", impl));
+  const auto found = client.binding().lookup("svc");
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(found->as<EchoService>()->echo(3), 3);
+  EXPECT_EQ(client.binding().bound_interfaces(),
+            std::vector<std::string>{"svc"});
+  client.binding().unbind("svc");
+  EXPECT_FALSE(client.binding().lookup("svc").has_value());
+}
+
+TEST(Binding, Errors) {
+  Component client("client");
+  client.add_client_interface("svc");
+  EXPECT_THROW(client.binding().bind("nope", Interface::server(
+                                                 "x", std::make_shared<int>(1))),
+               GcmError);
+  EXPECT_THROW(client.binding().bind("svc", Interface::client("c")), GcmError);
+  client.binding().bind("svc", Interface::server("x", std::make_shared<int>(1)));
+  EXPECT_THROW(client.binding().bind("svc", Interface::server(
+                                                "y", std::make_shared<int>(2))),
+               GcmError);
+  EXPECT_THROW(client.binding().unbind("other"), GcmError);
+}
+
+TEST(Content, AddFindRemove) {
+  Component root("root", true);
+  root.content().add(std::make_shared<Component>("a"));
+  root.content().add(std::make_shared<Component>("b"));
+  EXPECT_EQ(root.content().size(), 2u);
+  EXPECT_NE(root.content().find("a"), nullptr);
+  EXPECT_EQ(root.content().find("zz"), nullptr);
+  auto removed = root.content().remove("a");
+  ASSERT_NE(removed, nullptr);
+  EXPECT_EQ(removed->name(), "a");
+  EXPECT_EQ(root.content().size(), 1u);
+  EXPECT_EQ(root.content().remove("a"), nullptr);  // already gone
+}
+
+TEST(Content, Errors) {
+  Component root("root", true);
+  EXPECT_THROW(root.content().add(nullptr), GcmError);
+  root.content().add(std::make_shared<Component>("a"));
+  EXPECT_THROW(root.content().add(std::make_shared<Component>("a")), GcmError);
+  // Removing a started sub-component is refused.
+  root.content().find("a")->lifecycle().start();
+  EXPECT_THROW(root.content().remove("a"), GcmError);
+  root.content().find("a")->lifecycle().stop();
+  EXPECT_NE(root.content().remove("a"), nullptr);
+}
+
+TEST(Content, NestedComposites) {
+  Component root("root", true);
+  auto mid = std::make_shared<Component>("mid", true);
+  mid->content().add(std::make_shared<Component>("leaf"));
+  root.content().add(mid);
+  root.lifecycle().start();
+  EXPECT_TRUE(mid->content().find("leaf")->lifecycle().started());
+  root.lifecycle().stop();
+  EXPECT_FALSE(mid->content().find("leaf")->lifecycle().started());
+}
+
+}  // namespace
+}  // namespace bsk::gcm

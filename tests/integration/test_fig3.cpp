@@ -1,0 +1,94 @@
+// Integration: the paper's Fig. 3 experiment shape — a single farm manager
+// grows the worker set until the throughput SLA is met, then holds.
+
+#include <gtest/gtest.h>
+
+#include "bs/apps.hpp"
+#include "support/clock.hpp"
+
+namespace bsk::bs {
+namespace {
+
+TEST(Fig3Integration, ContractEventuallySatisfiedByGrowth) {
+  support::ScopedClockScale fast(150.0);
+  sim::Platform platform = sim::Platform::testbed_smp8();
+  sim::ResourceManager rm(platform);
+  support::EventLog log;
+
+  Fig3Params p;
+  p.tasks = 60;
+  Fig3App app(p, rm, log);
+
+  app.start();
+
+  // Poll until the farm's delivered throughput crosses the contract.
+  bool satisfied = false;
+  std::size_t workers_at_satisfaction = 0;
+  for (int i = 0; i < 400 && !satisfied; ++i) {
+    support::Clock::sleep_for(support::SimDuration(1.0));
+    if (app.farm().metrics().departure_rate() >= p.contract_min_rate) {
+      satisfied = true;
+      // running_workers: satisfaction may first be observed during the
+      // post-EOS drain, when the active (schedulable) count is already 0.
+      workers_at_satisfaction = app.farm().running_workers();
+    }
+  }
+  app.wait();
+
+  EXPECT_TRUE(satisfied) << "throughput never reached the contract";
+  // Growth happened: more workers than the initial one.
+  EXPECT_GT(workers_at_satisfaction, p.initial_workers);
+  EXPECT_GE(log.count("AM_farm", "addWorker"), 1u);
+  // Every image processed.
+  EXPECT_EQ(app.sink().received(), p.tasks);
+  // contrLow observed before the first growth step (the trigger).
+  EXPECT_TRUE(log.happens_before("AM_farm", "contrLow", "AM_farm",
+                                 "addWorker"));
+}
+
+TEST(Fig3Integration, NoGrowthWhenContractTrivial) {
+  support::ScopedClockScale fast(150.0);
+  sim::Platform platform = sim::Platform::testbed_smp8();
+  sim::ResourceManager rm(platform);
+  support::EventLog log;
+
+  Fig3Params p;
+  p.tasks = 20;
+  p.contract_min_rate = 0.01;  // one worker easily meets this
+  Fig3App app(p, rm, log);
+  app.start();
+  app.wait();
+  EXPECT_EQ(log.count("AM_farm", "addWorker"), 0u);
+  EXPECT_EQ(app.sink().received(), 20u);
+}
+
+TEST(Fig3Integration, GrowthCappedByResourceManager) {
+  support::ScopedClockScale fast(150.0);
+  sim::Platform platform;
+  platform.add_machine("small", "local", 2);  // only 2 leasable cores
+  sim::ResourceManager rm(platform);
+  support::EventLog log;
+
+  Fig3Params p;
+  p.tasks = 60;  // long stream: robust to scheduler jitter under CI load
+  // Contract below the input rate (so the farm is to blame, not input
+  // pressure) but far above what 1+2 workers can deliver: growth must run
+  // into the resource manager's wall.
+  p.contract_min_rate = 1.5;
+  p.input_rate = 2.0;
+  p.max_workers = 16;
+  p.action_cooldown_s = 2.0;
+  Fig3App app(p, rm, log);
+  app.start();
+  app.wait();
+
+  // Only 2 cores exist; the recruiting actuator must have grown to the
+  // wall and then failed, rather than growing unboundedly.
+  EXPECT_GE(log.count("AM_farm", "addWorker"), 1u);
+  EXPECT_GE(log.count("AM_farm", "addWorkerFailed"), 1u);
+  EXPECT_LE(rm.leased(), 2u);
+  EXPECT_EQ(app.sink().received(), 60u);
+}
+
+}  // namespace
+}  // namespace bsk::bs

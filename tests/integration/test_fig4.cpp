@@ -1,0 +1,114 @@
+// Integration: the paper's Fig. 4 shape — the event *ordering* of the
+// hierarchical-management narrative, not wall-clock values.
+
+#include <gtest/gtest.h>
+
+#include "bs/apps.hpp"
+#include "support/clock.hpp"
+
+namespace bsk::bs {
+namespace {
+
+class Fig4Integration : public ::testing::Test {
+ protected:
+  Fig4Integration()
+      : fast_(150.0) {
+    platform_.add_machine("smp16", "local", 16, 1.0);
+  }
+
+  support::ScopedClockScale fast_;
+  sim::Platform platform_;
+};
+
+TEST_F(Fig4Integration, PaperEventSequence) {
+  sim::ResourceManager rm(platform_);
+  support::EventLog log;
+  Fig4Params p;
+  p.tasks = 50;
+  Fig4App app(p, rm, log);
+  app.start();
+  app.wait();
+
+  // Phase 1: the farm reports it cannot act (insufficient input pressure)
+  // BEFORE the application manager ever asks the producer to speed up.
+  EXPECT_GE(log.count("AM_farm", "raiseViol"), 1u);
+  EXPECT_GE(log.count("AM_app", "incRate"), 1u);
+  EXPECT_TRUE(
+      log.happens_before("AM_farm", "raiseViol", "AM_app", "incRate"));
+
+  // Phase 2: the farm only grows AFTER input pressure was raised.
+  EXPECT_GE(log.count("AM_farm", "addWorker"), 1u);
+  EXPECT_TRUE(
+      log.happens_before("AM_app", "incRate", "AM_farm", "addWorker"));
+  // The trigger for growth is a contract-low observation.
+  EXPECT_TRUE(
+      log.happens_before("AM_farm", "contrLow", "AM_farm", "addWorker"));
+
+  // End of stream observed by the application manager.
+  EXPECT_EQ(log.count("AM_app", "endStream"), 1u);
+  EXPECT_TRUE(
+      log.happens_before("AM_farm", "addWorker", "AM_app", "endStream"));
+
+  // After endStream, AM_A stops reacting: no incRate after it.
+  const auto end_t = log.first_time("AM_app", "endStream");
+  EXPECT_LT(log.last_time("AM_app", "incRate"), end_t);
+
+  // Everything processed despite all the reconfiguration.
+  EXPECT_EQ(app.sink().received(), p.tasks);
+}
+
+TEST_F(Fig4Integration, ProducerRateActuallyRetuned) {
+  sim::ResourceManager rm(platform_);
+  support::EventLog log;
+  Fig4Params p;
+  p.tasks = 40;
+  Fig4App app(p, rm, log);
+  const double rate0 = p.initial_rate;
+  app.start();
+  app.wait();
+  // incRate contracts reached the producer through AM_P.
+  EXPECT_GT(app.producer_source().rate(), rate0);
+  EXPECT_GE(log.count("AM_producer", "newContract"), 1u);
+}
+
+TEST_F(Fig4Integration, ThroughputEndsInsideContract) {
+  sim::ResourceManager rm(platform_);
+  support::EventLog log;
+  Fig4Params p;
+  p.tasks = 60;
+  Fig4App app(p, rm, log);
+  app.start();
+
+  // Sample the farm's delivered throughput until the stream ends; require
+  // that it was inside the contract stripe at some point before endStream.
+  bool in_stripe = false;
+  while (log.count("AM_app", "endStream") == 0 &&
+         app.sink().received() < p.tasks) {
+    support::Clock::sleep_for(support::SimDuration(1.0));
+    const double r = app.farm().metrics().departure_rate();
+    if (r >= p.contract_lo && r <= p.contract_hi) in_stripe = true;
+  }
+  app.wait();
+  EXPECT_TRUE(in_stripe);
+}
+
+TEST_F(Fig4Integration, HierarchyWiring) {
+  sim::ResourceManager rm(platform_);
+  support::EventLog log;
+  Fig4Params p;
+  Fig4App app(p, rm, log);
+  EXPECT_EQ(app.am_p().parent(), &app.am_a());
+  EXPECT_EQ(app.am_f().parent(), &app.am_a());
+  EXPECT_EQ(app.am_c().parent(), &app.am_a());
+  EXPECT_EQ(app.am_a().children().size(), 3u);
+  // Initial cores: producer + farm(2+1) + consumer = 5, as in the paper.
+  app.pipeline().start();
+  EXPECT_EQ(app.cores_in_use(), 5u);
+  app.pipeline().input();  // no-op touch
+  app.producer_source();   // accessors resolve
+  app.pipeline().request_stop();
+  app.wait();
+}
+
+}  // namespace
+}  // namespace bsk::bs

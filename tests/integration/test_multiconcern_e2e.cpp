@@ -1,0 +1,129 @@
+// Integration: the Sec. 3.2 scenario end-to-end. A farm under performance
+// pressure recruits workers in untrusted_ip_domain_A. Without coordination
+// the new links leak plaintext until the security manager reacts; with the
+// two-phase protocol the worker is instantiated pre-secured and zero
+// insecure messages ever cross the link.
+
+#include <gtest/gtest.h>
+
+#include "am/builtin_rules.hpp"
+#include "am/multiconcern.hpp"
+#include "bs/behavioural_skeleton.hpp"
+#include "support/clock.hpp"
+
+namespace bsk::bs {
+namespace {
+
+rt::NodeFactory compute_workers() {
+  return [] { return std::make_unique<rt::SimComputeNode>(); };
+}
+
+/// Shared scenario: a farm whose only spare cores are untrusted; pushing
+/// enough load that the perf manager must recruit them.
+struct Scenario {
+  explicit Scenario(bool use_two_phase)
+      : platform(sim::Platform::mixed_grid(0, 1, 4)),
+        rm(platform),
+        farm_cfg(),
+        home{&platform, 0} {
+    farm_cfg.initial_workers = 1;
+    farm_cfg.rate_window = support::SimDuration(4.0);
+
+    am::ManagerConfig mc;
+    mc.period = support::SimDuration(1.0);
+    mc.max_workers = 4;
+
+    // Home on a dedicated trusted machine with a single spare core: the
+    // first recruit stays trusted, every further one must cross into
+    // untrusted_ip_domain_A — the paper's conflict scenario.
+    platform.add_domain(sim::Domain{"hq", true});
+    home_machine = platform.add_machine("hq0", "hq", 1);
+    home = rt::Placement{&platform, home_machine};
+
+    farm_bs = make_farm_bs("farm", farm_cfg, compute_workers(), mc, &rm, {},
+                           home, &log);
+    perf_am = &farm_bs->manager();
+
+    // The security manager reacts on its own (slower) cycle — the window
+    // during which a naively committed worker leaks plaintext.
+    am::ManagerConfig sec_cfg = mc;
+    sec_cfg.period = support::SimDuration(4.0);
+    sec_am = std::make_unique<am::AutonomicManager>(
+        "AM_sec", farm_bs->abc(), sec_cfg, &log);
+    sec_am->load_rules(am::security_rules());
+
+    if (use_two_phase) {
+      gm.register_participant(sec_participant, 100);
+      farm_bs->abc().set_commit_gate(gm.gate("AM_perf"));
+    }
+  }
+
+  void run() {
+    auto& farm = dynamic_cast<rt::Farm&>(farm_bs->runnable());
+    farm.start();
+    perf_am->start();
+    sec_am->start();
+    perf_am->set_contract(am::Contract::min_throughput(1.5));
+    sec_am->set_contract(am::Contract::secure());
+
+    // Feed: tasks of 1s demand at ~3.3/s — one worker delivers only
+    // ~1/s, so the perf manager must grow beyond the trusted spare core.
+    std::jthread feeder([&farm] {
+      for (int i = 0; i < 60; ++i) {
+        if (!farm.input()->push(rt::Task::data(i, 1.0))) return;
+        support::Clock::sleep_for(support::SimDuration(0.3));
+      }
+      farm.input()->close();
+    });
+    std::jthread drainer([&farm] {
+      rt::Task t;
+      while (farm.output()->pop(t) == support::ChannelStatus::Ok) {
+      }
+    });
+    feeder.join();
+    farm.wait();
+    drainer.join();
+    perf_am->stop();
+    sec_am->stop();
+    insecure = farm.insecure_messages();
+    workers_spawned = farm.workers_spawned();
+  }
+
+  sim::Platform platform;
+  sim::ResourceManager rm;
+  rt::FarmConfig farm_cfg;
+  rt::Placement home;
+  sim::MachineId home_machine = 0;
+  support::EventLog log;
+  std::unique_ptr<BehaviouralSkeleton> farm_bs;
+  am::AutonomicManager* perf_am = nullptr;
+  std::unique_ptr<am::AutonomicManager> sec_am;
+  am::GeneralManager gm{"GM", &log};
+  am::SecurityParticipant sec_participant;
+  std::uint64_t insecure = 0;
+  std::size_t workers_spawned = 0;
+};
+
+TEST(MultiConcernE2E, TwoPhaseCommitYieldsZeroInsecureMessages) {
+  support::ScopedClockScale fast(60.0);
+  Scenario s(/*use_two_phase=*/true);
+  s.run();
+  EXPECT_GT(s.workers_spawned, 1u) << "perf manager never grew the farm";
+  EXPECT_EQ(s.insecure, 0u);
+  EXPECT_GE(s.gm.requests_seen(), 1u);
+  EXPECT_GE(s.log.count("GM", "prepareSecure"), 1u);
+}
+
+TEST(MultiConcernE2E, NaiveCommitLeaksThenSecured) {
+  support::ScopedClockScale fast(60.0);
+  Scenario s(/*use_two_phase=*/false);
+  s.run();
+  EXPECT_GT(s.workers_spawned, 1u);
+  // Without the protocol, the reactive security manager eventually secures
+  // the links (secureLinks fired), but only after plaintext exposure.
+  EXPECT_GE(s.log.count("AM_sec", "secureLinks"), 1u);
+  EXPECT_GT(s.insecure, 0u);
+}
+
+}  // namespace
+}  // namespace bsk::bs

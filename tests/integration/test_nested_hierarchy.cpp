@@ -1,0 +1,103 @@
+// Integration: a three-level manager hierarchy — the recursive scheme of
+// Sec. 3.1. The skeleton tree is pipe(Producer, pipe(Pre, Farm, Post),
+// Sink); the farm's notEnoughTasks violation must climb two levels (farm →
+// inner pipeline manager, which has no policy for it → outer application
+// manager) before the producer is retuned.
+
+#include <gtest/gtest.h>
+
+#include "bs/behavioural_skeleton.hpp"
+#include "support/clock.hpp"
+
+namespace bsk::bs {
+namespace {
+
+TEST(NestedHierarchy, ViolationsEscalateTwoLevels) {
+  support::ScopedClockScale fast(120.0);
+  sim::Platform platform;
+  platform.add_machine("smp16", "local", 16);
+  sim::ResourceManager rm(platform);
+  support::EventLog log;
+  const rt::Placement home{&platform, 0};
+
+  am::ManagerConfig mc;
+  mc.period = support::SimDuration(2.0);
+  mc.warmup_s = 6.0;
+  mc.action_cooldown_s = 6.0;
+  mc.max_workers = 8;
+
+  rt::FarmConfig fc;
+  fc.initial_workers = 2;
+  fc.rate_window = support::SimDuration(6.0);
+
+  auto pre = make_seq_bs(
+      "pre",
+      std::make_unique<rt::LambdaNode>(
+          [](rt::Task t) { return std::optional<rt::Task>{std::move(t)}; }),
+      mc, home, &log);
+  auto farm_bs = make_farm_bs(
+      "farm", fc, [] { return std::make_unique<rt::SimComputeNode>(); }, mc,
+      &rm, {}, home, &log);
+  auto post = make_seq_bs(
+      "post",
+      std::make_unique<rt::LambdaNode>(
+          [](rt::Task t) { return std::optional<rt::Task>{std::move(t)}; }),
+      mc, home, &log);
+
+  std::vector<std::unique_ptr<BehaviouralSkeleton>> inner_kids;
+  inner_kids.push_back(std::move(pre));
+  inner_kids.push_back(std::move(farm_bs));
+  inner_kids.push_back(std::move(post));
+  auto inner = make_pipeline_bs("inner", std::move(inner_kids), mc, &log);
+
+  // Producer too slow for the farm's contract: triggers notEnoughTasks.
+  auto producer = make_seq_bs(
+      "producer", std::make_unique<rt::StreamSource>(40, 0.2, 2.0), mc, home,
+      &log);
+  auto sink = make_seq_bs("sink", std::make_unique<rt::StreamSink>(), mc,
+                          home, &log);
+
+  std::vector<std::unique_ptr<BehaviouralSkeleton>> outer_kids;
+  outer_kids.push_back(std::move(producer));
+  outer_kids.push_back(std::move(inner));
+  outer_kids.push_back(std::move(sink));
+  auto root = make_pipeline_bs("app", std::move(outer_kids), mc, &log);
+
+  // The outer manager (and only it) knows how to react: retune the source.
+  auto& am_root = root->manager();
+  auto* producer_stage = dynamic_cast<rt::SeqStage*>(&root->child(0).runnable());
+  auto* source = producer_stage->node_as<rt::StreamSource>();
+  am_root.set_violation_handler([&](const am::ChildViolation& v) {
+    if (am_root.stream_ended()) return;
+    if (v.kind == "notEnoughTasks_VIOL") {
+      am_root.record("incRate", source->rate() * 1.8);
+      source->set_rate(source->rate() * 1.8);
+    }
+  });
+
+  root->start();
+  root->manager().set_contract(am::Contract::throughput_range(0.4, 1.2));
+  root->wait();
+
+  // Contract propagation reached every level.
+  EXPECT_DOUBLE_EQ(root->child(1).manager().contract().throughput_lo(), 0.4);
+  EXPECT_DOUBLE_EQ(
+      root->child(1).child(1).manager().contract().throughput_lo(), 0.4);
+
+  // The farm raised; the inner pipeline manager escalated; the root acted.
+  EXPECT_GE(log.count("AM_farm", "raiseViol"), 1u);
+  EXPECT_GE(log.count("AM_inner", "escalateViol"), 1u);
+  EXPECT_GE(log.count("AM_app", "incRate"), 1u);
+  EXPECT_TRUE(
+      log.happens_before("AM_farm", "raiseViol", "AM_inner", "escalateViol"));
+  EXPECT_TRUE(
+      log.happens_before("AM_inner", "escalateViol", "AM_app", "incRate"));
+
+  // The reaction reached the source and the stream completed.
+  EXPECT_GT(source->rate(), 0.2);
+  auto* sink_stage = dynamic_cast<rt::SeqStage*>(&root->child(2).runnable());
+  EXPECT_EQ(sink_stage->node_as<rt::StreamSink>()->received(), 40u);
+}
+
+}  // namespace
+}  // namespace bsk::bs

@@ -1,0 +1,182 @@
+// Fault injection & recovery: crashed workers lose nothing, exactly once.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "rt/farm.hpp"
+#include "support/clock.hpp"
+
+namespace bsk::rt {
+namespace {
+
+using support::ScopedClockScale;
+
+NodeFactory slow_workers(double work_s) {
+  return [work_s] {
+    return std::make_unique<LambdaNode>([work_s](Task t) {
+      support::Clock::sleep_for(support::SimDuration(work_s));
+      return std::optional<Task>{std::move(t)};
+    });
+  };
+}
+
+std::multiset<std::uint64_t> drain_ids(Farm& f) {
+  std::multiset<std::uint64_t> ids;
+  Task t;
+  while (f.output()->pop(t) == support::ChannelStatus::Ok) ids.insert(t.id);
+  return ids;
+}
+
+TEST(FarmFault, CannotFailLastWorker) {
+  ScopedClockScale fast(500.0);
+  FarmConfig cfg;
+  cfg.initial_workers = 1;
+  Farm f("f", cfg, slow_workers(0.0));
+  f.start();
+  EXPECT_FALSE(f.inject_worker_failure());
+  EXPECT_EQ(f.failures(), 0u);
+  f.input()->close();
+  f.wait();
+}
+
+TEST(FarmFault, QueuedTasksRecoveredExactlyOnce) {
+  ScopedClockScale fast(300.0);
+  FarmConfig cfg;
+  cfg.initial_workers = 3;
+  Farm f("f", cfg, slow_workers(0.05));
+  f.start();
+  for (int i = 0; i < 60; ++i) f.input()->push(Task::data(i, 0.0));
+  support::Clock::sleep_for(support::SimDuration(0.2));
+  EXPECT_TRUE(f.inject_worker_failure());
+  EXPECT_EQ(f.failures(), 1u);
+  f.input()->close();
+  f.wait();
+  const auto ids = drain_ids(f);
+  EXPECT_EQ(ids.size(), 60u);
+  for (int i = 0; i < 60; ++i)
+    EXPECT_EQ(ids.count(static_cast<std::uint64_t>(i)), 1u) << "task " << i;
+}
+
+TEST(FarmFault, InFlightTaskRecovered) {
+  ScopedClockScale fast(100.0);
+  FarmConfig cfg;
+  cfg.initial_workers = 2;
+  cfg.policy = SchedPolicy::RoundRobin;
+  // Long tasks so the victim is mid-execution when the crash lands.
+  Farm f("f", cfg, slow_workers(2.0));
+  f.start();
+  for (int i = 0; i < 4; ++i) f.input()->push(Task::data(i, 0.0));
+  support::Clock::sleep_for(support::SimDuration(0.5));  // both mid-task
+  EXPECT_TRUE(f.inject_worker_failure());
+  f.input()->close();
+  f.wait();
+  const auto ids = drain_ids(f);
+  EXPECT_EQ(ids.size(), 4u);  // the in-flight task re-ran on the survivor
+  for (int i = 0; i < 4; ++i)
+    EXPECT_EQ(ids.count(static_cast<std::uint64_t>(i)), 1u);
+}
+
+TEST(FarmFault, RepeatedFailuresDownToOneWorker) {
+  ScopedClockScale fast(300.0);
+  FarmConfig cfg;
+  cfg.initial_workers = 4;
+  Farm f("f", cfg, slow_workers(0.02));
+  f.start();
+  for (int i = 0; i < 40; ++i) f.input()->push(Task::data(i, 0.0));
+  EXPECT_TRUE(f.inject_worker_failure());
+  EXPECT_TRUE(f.inject_worker_failure());
+  EXPECT_TRUE(f.inject_worker_failure());
+  EXPECT_FALSE(f.inject_worker_failure());  // one survivor must remain
+  EXPECT_EQ(f.failures(), 3u);
+  EXPECT_EQ(f.worker_count(), 1u);
+  f.input()->close();
+  f.wait();
+  EXPECT_EQ(drain_ids(f).size(), 40u);
+}
+
+TEST(FarmFault, FailureThenGrowthStillConsistent) {
+  ScopedClockScale fast(300.0);
+  FarmConfig cfg;
+  cfg.initial_workers = 2;
+  Farm f("f", cfg, slow_workers(0.02));
+  f.start();
+  for (int i = 0; i < 30; ++i) f.input()->push(Task::data(i, 0.0));
+  EXPECT_TRUE(f.inject_worker_failure());
+  EXPECT_TRUE(f.add_worker());  // the replacement
+  EXPECT_EQ(f.worker_count(), 2u);
+  f.input()->close();
+  f.wait();
+  EXPECT_EQ(drain_ids(f).size(), 30u);
+}
+
+TEST(FarmFault, OrderedCollectionSurvivesFailure) {
+  ScopedClockScale fast(300.0);
+  FarmConfig cfg;
+  cfg.initial_workers = 3;
+  cfg.ordered = true;
+  Farm f("f", cfg, slow_workers(0.03));
+  f.start();
+  for (int i = 0; i < 30; ++i) f.input()->push(Task::data(i, 0.0));
+  support::Clock::sleep_for(support::SimDuration(0.1));
+  EXPECT_TRUE(f.inject_worker_failure());
+  f.input()->close();
+  f.wait();
+  std::vector<std::uint64_t> ids;
+  Task t;
+  while (f.output()->pop(t) == support::ChannelStatus::Ok) ids.push_back(t.id);
+  ASSERT_EQ(ids.size(), 30u);
+  for (std::size_t i = 0; i < ids.size(); ++i) EXPECT_EQ(ids[i], i);
+}
+
+TEST(FarmFault, CrashedLeaseIsLost) {
+  ScopedClockScale fast(300.0);
+  FarmConfig cfg;
+  cfg.initial_workers = 1;
+  Farm f("f", cfg, slow_workers(0.0));
+  f.start();
+  f.add_worker({}, sim::CoreLease{0, 5});
+  EXPECT_TRUE(f.inject_worker_failure());
+  // A subsequent remove cannot return the crashed lease.
+  const auto r = f.remove_worker();
+  EXPECT_FALSE(r.removed);  // only one active worker left
+  f.input()->close();
+  f.wait();
+}
+
+// Property sweep: k failures over n workers with a queued backlog, all
+// tasks still delivered exactly once.
+class FaultSweep
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(FaultSweep, NoLossNoDuplication) {
+  ScopedClockScale fast(300.0);
+  const auto [workers, kills] = GetParam();
+  FarmConfig cfg;
+  cfg.initial_workers = workers;
+  Farm f("f", cfg, slow_workers(0.02));
+  f.start();
+  constexpr int kTasks = 50;
+  for (int i = 0; i < kTasks; ++i) f.input()->push(Task::data(i, 0.0));
+  for (std::size_t k = 0; k < kills; ++k) {
+    support::Clock::sleep_for(support::SimDuration(0.05));
+    f.inject_worker_failure();
+  }
+  f.input()->close();
+  f.wait();
+  const auto ids = drain_ids(f);
+  EXPECT_EQ(ids.size(), static_cast<std::size_t>(kTasks));
+  for (int i = 0; i < kTasks; ++i)
+    EXPECT_EQ(ids.count(static_cast<std::uint64_t>(i)), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, FaultSweep,
+    ::testing::Values(std::pair<std::size_t, std::size_t>{2, 1},
+                      std::pair<std::size_t, std::size_t>{4, 1},
+                      std::pair<std::size_t, std::size_t>{4, 3},
+                      std::pair<std::size_t, std::size_t>{8, 5},
+                      std::pair<std::size_t, std::size_t>{8, 7}));
+
+}  // namespace
+}  // namespace bsk::rt

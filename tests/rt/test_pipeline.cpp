@@ -1,0 +1,189 @@
+// Pipelines: wiring, ordering, nesting, pipe-of-farm composition.
+
+#include <gtest/gtest.h>
+
+#include "rt/builders.hpp"
+#include "support/clock.hpp"
+
+namespace bsk::rt {
+namespace {
+
+using support::ScopedClockScale;
+
+TEST(Pipeline, SourceToSinkDeliversAllInOrder) {
+  ScopedClockScale fast(500.0);
+  auto sink_node = std::make_unique<StreamSink>();
+  StreamSink* sink = sink_node.get();
+  auto p = pipe("p", seq("src", std::make_unique<StreamSource>(25, 200.0, 0.0)),
+                seq("sink", std::move(sink_node)));
+  p->start();
+  p->wait();
+  const auto ids = sink->received_ids();
+  ASSERT_EQ(ids.size(), 25u);
+  for (std::size_t i = 0; i < ids.size(); ++i) EXPECT_EQ(ids[i], i);
+}
+
+TEST(Pipeline, MiddleStageTransforms) {
+  ScopedClockScale fast(500.0);
+  auto sink_node = std::make_unique<StreamSink>();
+  StreamSink* sink = sink_node.get();
+  auto p = pipe("p", seq("src", std::make_unique<StreamSource>(10, 200.0, 1.0)),
+                seq_fn("stage",
+                       [](Task t) {
+                         t.id += 100;
+                         return std::optional<Task>{std::move(t)};
+                       }),
+                seq("sink", std::move(sink_node)));
+  p->start();
+  p->wait();
+  const auto ids = sink->received_ids();
+  ASSERT_EQ(ids.size(), 10u);
+  EXPECT_EQ(ids.front(), 100u);
+  EXPECT_EQ(ids.back(), 109u);
+}
+
+TEST(Pipeline, EmptyStagesThrows) {
+  EXPECT_THROW(Pipeline("p", {}), std::invalid_argument);
+}
+
+TEST(Pipeline, StageAccessors) {
+  auto p = pipe("p", seq("a", std::make_unique<StreamSource>(1, 1.0, 0.0)),
+                seq("b", std::make_unique<StreamSink>()));
+  EXPECT_EQ(p->stage_count(), 2u);
+  EXPECT_EQ(p->stage(0).name(), "a");
+  EXPECT_NE(p->stage_as<SeqStage>(0), nullptr);
+  EXPECT_EQ(p->stage_as<Farm>(0), nullptr);
+  EXPECT_THROW(p->stage(5), std::out_of_range);
+}
+
+TEST(Pipeline, NestedPipelineComposes) {
+  ScopedClockScale fast(500.0);
+  auto sink_node = std::make_unique<StreamSink>();
+  StreamSink* sink = sink_node.get();
+  auto inner = pipe("inner",
+                    seq_fn("x2",
+                           [](Task t) {
+                             t.work_s *= 2;
+                             return std::optional<Task>{std::move(t)};
+                           }),
+                    seq_fn("plus1", [](Task t) {
+                      t.work_s += 1;
+                      return std::optional<Task>{std::move(t)};
+                    }));
+  auto p = pipe("outer",
+                seq("src", std::make_unique<StreamSource>(5, 200.0, 3.0)),
+                std::move(inner), seq("sink", std::move(sink_node)));
+  p->start();
+  p->wait();
+  EXPECT_EQ(sink->received(), 5u);
+  // work 3 → *2 → +1 = 7 observable through latency? verify via count only;
+  // the transform path is covered by MiddleStageTransforms.
+}
+
+TEST(Pipeline, FarmStageInPipeline) {
+  ScopedClockScale fast(500.0);
+  FarmConfig cfg;
+  cfg.initial_workers = 3;
+  auto sink_node = std::make_unique<StreamSink>();
+  StreamSink* sink = sink_node.get();
+  auto p = pipe("p", seq("src", std::make_unique<StreamSource>(30, 300.0, 0.0)),
+                farm("f", cfg,
+                     [] {
+                       return std::make_unique<LambdaNode>([](Task t) {
+                         return std::optional<Task>{std::move(t)};
+                       });
+                     }),
+                seq("sink", std::move(sink_node)));
+  p->start();
+  p->wait();
+  EXPECT_EQ(sink->received(), 30u);
+}
+
+TEST(Pipeline, OrderedFarmStageKeepsOrder) {
+  ScopedClockScale fast(500.0);
+  FarmConfig cfg;
+  cfg.initial_workers = 4;
+  cfg.ordered = true;
+  auto sink_node = std::make_unique<StreamSink>();
+  StreamSink* sink = sink_node.get();
+  auto p = pipe("p", seq("src", std::make_unique<StreamSource>(40, 400.0, 0.0)),
+                farm("f", cfg,
+                     [] {
+                       return std::make_unique<LambdaNode>([](Task t) {
+                         support::Clock::sleep_for(
+                             support::SimDuration((t.id % 4) * 0.01));
+                         return std::optional<Task>{std::move(t)};
+                       });
+                     }),
+                seq("sink", std::move(sink_node)));
+  p->start();
+  p->wait();
+  const auto ids = sink->received_ids();
+  ASSERT_EQ(ids.size(), 40u);
+  for (std::size_t i = 0; i < ids.size(); ++i) EXPECT_EQ(ids[i], i);
+}
+
+TEST(Pipeline, FarmOfCompositePipeline) {
+  // The paper's farm(pipeline(...)) nesting via CompositeNode replication.
+  ScopedClockScale fast(500.0);
+  FarmConfig cfg;
+  cfg.initial_workers = 3;
+  auto sink_node = std::make_unique<StreamSink>();
+  StreamSink* sink = sink_node.get();
+  auto p = pipe(
+      "p", seq("src", std::make_unique<StreamSource>(21, 300.0, 0.0)),
+      farm("f", cfg,
+           [] {
+             std::vector<std::unique_ptr<Node>> stages;
+             stages.push_back(std::make_unique<LambdaNode>([](Task t) {
+               t.id += 1000;
+               return std::optional<Task>{std::move(t)};
+             }));
+             stages.push_back(std::make_unique<LambdaNode>([](Task t) {
+               t.id += 1;
+               return std::optional<Task>{std::move(t)};
+             }));
+             return std::make_unique<CompositeNode>(std::move(stages));
+           }),
+      seq("sink", std::move(sink_node)));
+  p->start();
+  p->wait();
+  const auto ids = sink->received_ids();
+  ASSERT_EQ(ids.size(), 21u);
+  for (const auto id : ids) EXPECT_GE(id, 1001u);
+}
+
+TEST(Pipeline, RequestStopPropagatesToSource) {
+  ScopedClockScale fast(100.0);
+  auto p = pipe("p",
+                seq("src", std::make_unique<StreamSource>(1000000, 100.0, 0.0)),
+                seq("sink", std::make_unique<StreamSink>()));
+  p->start();
+  support::Clock::sleep_for(support::SimDuration(0.5));
+  p->request_stop();
+  p->wait();  // terminates despite the huge count
+  SUCCEED();
+}
+
+TEST(Pipeline, ExternalInputOutputDelegation) {
+  auto p = pipe("p", seq_fn("id", [](Task t) {
+    return std::optional<Task>{std::move(t)};
+  }));
+  auto in = std::make_shared<Conduit>(8);
+  auto out = std::make_shared<Conduit>(8);
+  p->set_input(in);
+  p->set_output(out);
+  EXPECT_EQ(p->input().get(), in.get());
+  EXPECT_EQ(p->output().get(), out.get());
+  ScopedClockScale fast(500.0);
+  p->start();
+  in->push(Task::data(1, 0.0));
+  in->close();
+  p->wait();
+  Task t;
+  EXPECT_EQ(out->pop(t), support::ChannelStatus::Ok);
+  EXPECT_EQ(t.id, 1u);
+}
+
+}  // namespace
+}  // namespace bsk::rt

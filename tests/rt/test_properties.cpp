@@ -1,0 +1,160 @@
+// Cross-cutting property sweeps of the runtime: composition depth,
+// conservation of the stream, idempotence of reconfiguration sequences.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "rt/builders.hpp"
+#include "support/clock.hpp"
+#include "support/rng.hpp"
+
+namespace bsk::rt {
+namespace {
+
+using support::ScopedClockScale;
+
+NodeFactory identity_workers() {
+  return [] {
+    return std::make_unique<LambdaNode>(
+        [](Task t) { return std::optional<Task>{std::move(t)}; });
+  };
+}
+
+// ----------------------------------------------------- pipeline depth
+
+class PipelineDepth : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PipelineDepth, StreamConservedInOrder) {
+  ScopedClockScale fast(500.0);
+  const std::size_t depth = GetParam();
+  auto sink_node = std::make_unique<StreamSink>();
+  StreamSink* sink = sink_node.get();
+
+  std::vector<std::shared_ptr<Runnable>> stages;
+  stages.push_back(seq("src", std::make_unique<StreamSource>(30, 300.0, 0.0)));
+  for (std::size_t i = 0; i < depth; ++i)
+    stages.push_back(seq_fn("s" + std::to_string(i), [](Task t) {
+      t.work_s += 1.0;
+      return std::optional<Task>{std::move(t)};
+    }));
+  stages.push_back(seq("sink", std::move(sink_node)));
+  Pipeline p("deep", std::move(stages));
+  p.start();
+  p.wait();
+
+  const auto ids = sink->received_ids();
+  ASSERT_EQ(ids.size(), 30u);
+  for (std::size_t i = 0; i < ids.size(); ++i) EXPECT_EQ(ids[i], i);
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, PipelineDepth,
+                         ::testing::Values(1, 2, 4, 8, 16));
+
+// ----------------------------------------- alternating farm/seq pipelines
+
+class FarmSeqAlternation : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FarmSeqAlternation, StreamConserved) {
+  ScopedClockScale fast(500.0);
+  const std::size_t farms = GetParam();
+  auto sink_node = std::make_unique<StreamSink>();
+  StreamSink* sink = sink_node.get();
+
+  std::vector<std::shared_ptr<Runnable>> stages;
+  stages.push_back(seq("src", std::make_unique<StreamSource>(40, 400.0, 0.0)));
+  for (std::size_t i = 0; i < farms; ++i) {
+    FarmConfig cfg;
+    cfg.initial_workers = 2 + i;
+    cfg.ordered = true;
+    stages.push_back(farm("f" + std::to_string(i), cfg, identity_workers()));
+    stages.push_back(seq_fn("between" + std::to_string(i), [](Task t) {
+      return std::optional<Task>{std::move(t)};
+    }));
+  }
+  stages.push_back(seq("sink", std::move(sink_node)));
+  Pipeline p("alt", std::move(stages));
+  p.start();
+  p.wait();
+
+  const auto ids = sink->received_ids();
+  ASSERT_EQ(ids.size(), 40u);
+  for (std::size_t i = 0; i < ids.size(); ++i) EXPECT_EQ(ids[i], i);
+}
+
+INSTANTIATE_TEST_SUITE_P(FarmCounts, FarmSeqAlternation,
+                         ::testing::Values(1, 2, 3));
+
+// ------------------------------------------- random reconfiguration fuzz
+
+class ReconfigFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ReconfigFuzz, RandomAddRemoveRebalanceNeverLosesTasks) {
+  ScopedClockScale fast(400.0);
+  support::Rng rng(GetParam());
+  FarmConfig cfg;
+  cfg.initial_workers = 2;
+  Farm f("fuzz", cfg, [] {
+    return std::make_unique<LambdaNode>([](Task t) {
+      support::Clock::sleep_for(support::SimDuration(0.005));
+      return std::optional<Task>{std::move(t)};
+    });
+  });
+  f.start();
+  std::jthread feeder([&f] {
+    for (int i = 0; i < 300; ++i) f.input()->push(Task::data(i, 0.0));
+    f.input()->close();
+  });
+
+  // A random storm of actuations while the stream flows.
+  for (int op = 0; op < 25; ++op) {
+    switch (rng.uniform_int(0, 3)) {
+      case 0: f.add_worker(); break;
+      case 1: f.remove_worker(); break;
+      case 2: f.rebalance(); break;
+      case 3: f.inject_worker_failure(); break;
+    }
+    support::Clock::sleep_for(support::SimDuration(0.02));
+  }
+
+  f.wait();
+  std::set<std::uint64_t> ids;
+  Task t;
+  while (f.output()->pop(t) == support::ChannelStatus::Ok) {
+    EXPECT_TRUE(ids.insert(t.id).second) << "duplicate " << t.id;
+  }
+  EXPECT_EQ(ids.size(), 300u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReconfigFuzz,
+                         ::testing::Values(1u, 7u, 42u, 1234u, 9999u));
+
+// --------------------------------------------------- latency monotonicity
+
+TEST(Properties, SinkLatenciesNonNegativeAndBounded) {
+  ScopedClockScale fast(400.0);
+  auto sink_node = std::make_unique<StreamSink>();
+  StreamSink* sink = sink_node.get();
+  FarmConfig cfg;
+  cfg.initial_workers = 3;
+  auto p = pipe("p", seq("src", std::make_unique<StreamSource>(30, 50.0, 0.0)),
+                farm("f", cfg,
+                     [] {
+                       return std::make_unique<LambdaNode>([](Task t) {
+                         support::Clock::sleep_for(support::SimDuration(0.05));
+                         return std::optional<Task>{std::move(t)};
+                       });
+                     }),
+                seq("sink", std::move(sink_node)));
+  const auto t0 = support::Clock::now();
+  p->start();
+  p->wait();
+  const double span = support::Clock::now() - t0;
+  for (double l : sink->latencies()) {
+    EXPECT_GE(l, 0.0);
+    EXPECT_LE(l, span);
+  }
+}
+
+}  // namespace
+}  // namespace bsk::rt

@@ -1,0 +1,221 @@
+// Live farm reconfiguration: add/remove workers, rebalance, blackouts.
+
+#include <gtest/gtest.h>
+
+#include "rt/farm.hpp"
+#include "support/clock.hpp"
+
+namespace bsk::rt {
+namespace {
+
+using support::ScopedClockScale;
+
+NodeFactory slow_workers(double work_s) {
+  return [work_s] {
+    return std::make_unique<LambdaNode>([work_s](Task t) {
+      support::Clock::sleep_for(support::SimDuration(work_s));
+      return std::optional<Task>{std::move(t)};
+    });
+  };
+}
+
+NodeFactory identity_workers() {
+  return [] {
+    return std::make_unique<LambdaNode>(
+        [](Task t) { return std::optional<Task>{std::move(t)}; });
+  };
+}
+
+TEST(FarmReconfig, AddWorkerWhileRunning) {
+  ScopedClockScale fast(500.0);
+  FarmConfig cfg;
+  cfg.initial_workers = 1;
+  Farm f("f", cfg, identity_workers());
+  f.start();
+  EXPECT_EQ(f.worker_count(), 1u);
+  EXPECT_TRUE(f.add_worker());
+  EXPECT_TRUE(f.add_worker());
+  EXPECT_EQ(f.worker_count(), 3u);
+  for (int i = 0; i < 30; ++i) f.input()->push(Task::data(i, 0.0));
+  f.input()->close();
+  f.wait();
+  Task t;
+  std::size_t n = 0;
+  while (f.output()->pop(t) == support::ChannelStatus::Ok) ++n;
+  EXPECT_EQ(n, 30u);
+  EXPECT_EQ(f.workers_spawned(), 3u);
+}
+
+TEST(FarmReconfig, AddWorkerIncreasesThroughput) {
+  ScopedClockScale fast(200.0);
+  FarmConfig cfg;
+  cfg.initial_workers = 1;
+  cfg.rate_window = support::SimDuration(4.0);
+  Farm f("f", cfg, slow_workers(0.1));
+  f.start();
+  // Saturating feed; the stream must stay open (closing it puts the farm
+  // into shutdown, after which add_worker is refused by design).
+  std::jthread feeder([&f] {
+    for (int i = 0; i < 2000; ++i)
+      if (!f.input()->push(Task::data(i, 0.0))) return;
+  });
+  std::jthread drainer([&f] {
+    Task t;
+    while (f.output()->pop(t) == support::ChannelStatus::Ok) {
+    }
+  });
+  support::Clock::sleep_for(support::SimDuration(4.0));
+  const double rate1 = f.metrics().departure_rate();
+  for (int i = 0; i < 3; ++i) EXPECT_TRUE(f.add_worker());
+  // New workers only receive *new* arrivals; the backlog sits on the old
+  // worker's queue until redistributed — which is why the paper's
+  // CheckRateLow rule pairs ADD_EXECUTOR with BALANCE_LOAD.
+  f.rebalance();
+  support::Clock::sleep_for(support::SimDuration(6.0));
+  const double rate4 = f.metrics().departure_rate();
+  EXPECT_GT(rate4, rate1 * 2.0);  // 4 workers vs 1: at least doubles
+  feeder.join();
+  f.input()->close();
+  f.wait();
+}
+
+TEST(FarmReconfig, RemoveWorkerReturnsLease) {
+  ScopedClockScale fast(500.0);
+  FarmConfig cfg;
+  cfg.initial_workers = 1;
+  Farm f("f", cfg, identity_workers());
+  f.start();
+  f.add_worker({}, sim::CoreLease{0, 7});
+  EXPECT_EQ(f.worker_count(), 2u);
+  const auto r = f.remove_worker();
+  EXPECT_TRUE(r.removed);
+  ASSERT_TRUE(r.lease.has_value());
+  EXPECT_EQ(r.lease->core, 7u);  // most recently added goes first
+  EXPECT_EQ(f.worker_count(), 1u);
+  f.input()->close();
+  f.wait();
+}
+
+TEST(FarmReconfig, CannotRemoveLastWorker) {
+  ScopedClockScale fast(500.0);
+  FarmConfig cfg;
+  cfg.initial_workers = 1;
+  Farm f("f", cfg, identity_workers());
+  f.start();
+  const auto r = f.remove_worker();
+  EXPECT_FALSE(r.removed);
+  EXPECT_EQ(f.worker_count(), 1u);
+  f.input()->close();
+  f.wait();
+}
+
+TEST(FarmReconfig, RemovedWorkerDrainsItsQueue) {
+  ScopedClockScale fast(500.0);
+  FarmConfig cfg;
+  cfg.initial_workers = 2;
+  Farm f("f", cfg, slow_workers(0.01));
+  f.start();
+  for (int i = 0; i < 40; ++i) f.input()->push(Task::data(i, 0.0));
+  const auto r = f.remove_worker();
+  EXPECT_TRUE(r.removed);
+  f.input()->close();
+  f.wait();
+  Task t;
+  std::size_t n = 0;
+  while (f.output()->pop(t) == support::ChannelStatus::Ok) ++n;
+  EXPECT_EQ(n, 40u);  // nothing lost
+}
+
+TEST(FarmReconfig, AddAfterShutdownFails) {
+  ScopedClockScale fast(500.0);
+  FarmConfig cfg;
+  cfg.initial_workers = 1;
+  Farm f("f", cfg, identity_workers());
+  f.start();
+  f.input()->close();
+  f.wait();
+  EXPECT_FALSE(f.add_worker());
+}
+
+TEST(FarmReconfig, ReconfigDelayRaisesBlackoutFlag) {
+  ScopedClockScale fast(100.0);
+  FarmConfig cfg;
+  cfg.initial_workers = 1;
+  cfg.reconfig_delay_s = 1.0;
+  Farm f("f", cfg, identity_workers());
+  f.start();
+  EXPECT_FALSE(f.reconfiguring());
+  std::jthread adder([&f] { f.add_worker(); });
+  support::Clock::sleep_for(support::SimDuration(0.3));
+  EXPECT_TRUE(f.reconfiguring());
+  adder.join();
+  EXPECT_FALSE(f.reconfiguring());
+  EXPECT_EQ(f.worker_count(), 2u);
+  f.input()->close();
+  f.wait();
+}
+
+TEST(FarmReconfig, RebalanceEvensQueues) {
+  ScopedClockScale fast(500.0);
+  FarmConfig cfg;
+  cfg.initial_workers = 1;
+  // Workers that block forever on a gate so queues stay put.
+  std::atomic<bool> gate{false};
+  Farm f("f", cfg, [&gate] {
+    return std::make_unique<LambdaNode>([&gate](Task t) {
+      while (!gate.load()) std::this_thread::sleep_for(
+          std::chrono::milliseconds(1));
+      return std::optional<Task>{std::move(t)};
+    });
+  });
+  f.start();
+  // All 20 tasks land on the single worker's queue (minus one in-flight).
+  for (int i = 0; i < 20; ++i) f.input()->push(Task::data(i, 0.0));
+  while (f.queue_lengths().at(0) < 19)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+
+  f.add_worker();
+  f.add_worker();
+  EXPECT_GT(f.queue_variance(), 10.0);
+  const std::size_t moved = f.rebalance();
+  EXPECT_GT(moved, 0u);
+  EXPECT_LT(f.queue_variance(), 10.0);
+  const auto qs = f.queue_lengths();
+  const auto [mn, mx] = std::minmax_element(qs.begin(), qs.end());
+  EXPECT_LE(*mx - *mn, 2u);
+
+  gate.store(true);
+  f.input()->close();
+  f.wait();
+  Task t;
+  std::size_t n = 0;
+  while (f.output()->pop(t) == support::ChannelStatus::Ok) ++n;
+  EXPECT_EQ(n, 20u);
+}
+
+TEST(FarmReconfig, RebalanceNoopWithOneWorker) {
+  ScopedClockScale fast(500.0);
+  FarmConfig cfg;
+  cfg.initial_workers = 1;
+  Farm f("f", cfg, identity_workers());
+  f.start();
+  EXPECT_EQ(f.rebalance(), 0u);
+  f.input()->close();
+  f.wait();
+}
+
+TEST(FarmReconfig, QueueLengthsMatchesWorkerCount) {
+  ScopedClockScale fast(500.0);
+  FarmConfig cfg;
+  cfg.initial_workers = 3;
+  Farm f("f", cfg, identity_workers());
+  f.start();
+  EXPECT_EQ(f.queue_lengths().size(), 3u);
+  f.add_worker();
+  EXPECT_EQ(f.queue_lengths().size(), 4u);
+  f.input()->close();
+  f.wait();
+}
+
+}  // namespace
+}  // namespace bsk::rt

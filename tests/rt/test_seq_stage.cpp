@@ -1,0 +1,155 @@
+// Sequential stages: sources, transformers, sinks, metrics, stop requests.
+
+#include <gtest/gtest.h>
+
+#include "rt/builders.hpp"
+#include "support/clock.hpp"
+
+namespace bsk::rt {
+namespace {
+
+using support::ScopedClockScale;
+
+TEST(SeqStage, SourceEmitsExactCount) {
+  ScopedClockScale fast(500.0);
+  auto stage = seq("src", std::make_unique<StreamSource>(20, 100.0, 0.0));
+  auto out = std::make_shared<Conduit>(64);
+  stage->set_output(out);
+  stage->start();
+  stage->wait();
+  EXPECT_TRUE(out->closed());
+  std::size_t n = 0;
+  Task t;
+  while (out->pop(t) == support::ChannelStatus::Ok) {
+    EXPECT_EQ(t.id, n);
+    ++n;
+  }
+  EXPECT_EQ(n, 20u);
+  EXPECT_TRUE(stage->finished());
+}
+
+TEST(SeqStage, TransformerMapsTasks) {
+  ScopedClockScale fast(500.0);
+  auto in = std::make_shared<Conduit>(64);
+  auto out = std::make_shared<Conduit>(64);
+  auto stage = seq_fn("double", [](Task t) {
+    t.work_s *= 2.0;
+    return std::optional<Task>{std::move(t)};
+  });
+  stage->set_input(in);
+  stage->set_output(out);
+  stage->start();
+  for (int i = 0; i < 5; ++i) in->push(Task::data(i, 1.0));
+  in->close();
+  stage->wait();
+  Task t;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_EQ(out->pop(t), support::ChannelStatus::Ok);
+    EXPECT_DOUBLE_EQ(t.work_s, 2.0);
+  }
+  EXPECT_EQ(out->pop(t), support::ChannelStatus::Closed);
+}
+
+TEST(SeqStage, FilterDropsTasks) {
+  ScopedClockScale fast(500.0);
+  auto in = std::make_shared<Conduit>(64);
+  auto out = std::make_shared<Conduit>(64);
+  auto stage = seq_fn("odd-only", [](Task t) -> std::optional<Task> {
+    if (t.id % 2 == 0) return std::nullopt;
+    return t;
+  });
+  stage->set_input(in);
+  stage->set_output(out);
+  stage->start();
+  for (int i = 0; i < 10; ++i) in->push(Task::data(i, 0.0));
+  in->close();
+  stage->wait();
+  std::size_t n = 0;
+  Task t;
+  while (out->pop(t) == support::ChannelStatus::Ok) {
+    EXPECT_EQ(t.id % 2, 1u);
+    ++n;
+  }
+  EXPECT_EQ(n, 5u);
+}
+
+TEST(SeqStage, SinkCollectsIdsAndLatencies) {
+  ScopedClockScale fast(500.0);
+  auto in = std::make_shared<Conduit>(64);
+  auto sink_node = std::make_unique<StreamSink>();
+  StreamSink* sink = sink_node.get();
+  auto stage = seq("sink", std::move(sink_node));
+  stage->set_input(in);
+  stage->start();
+  for (int i = 0; i < 7; ++i) in->push(Task::data(i, 0.0));
+  in->close();
+  stage->wait();
+  EXPECT_EQ(sink->received(), 7u);
+  EXPECT_EQ(sink->received_ids().size(), 7u);
+  EXPECT_EQ(sink->latencies().size(), 7u);
+  for (double l : sink->latencies()) EXPECT_GE(l, 0.0);
+}
+
+TEST(SeqStage, ControlTasksAreIgnored) {
+  ScopedClockScale fast(500.0);
+  auto in = std::make_shared<Conduit>(64);
+  auto out = std::make_shared<Conduit>(64);
+  auto stage = seq_fn("id", [](Task t) { return std::optional<Task>{t}; });
+  stage->set_input(in);
+  stage->set_output(out);
+  stage->start();
+  in->push(Task::poison());
+  in->push(Task::data(1, 0.0));
+  in->close();
+  stage->wait();
+  Task t;
+  ASSERT_EQ(out->pop(t), support::ChannelStatus::Ok);
+  EXPECT_EQ(t.id, 1u);
+  EXPECT_EQ(out->pop(t), support::ChannelStatus::Closed);
+}
+
+TEST(SeqStage, RequestStopHaltsSource) {
+  ScopedClockScale fast(100.0);
+  auto stage = seq("src", std::make_unique<StreamSource>(1000000, 50.0, 0.0));
+  auto out = std::make_shared<Conduit>(1 << 16);
+  stage->set_output(out);
+  stage->start();
+  support::Clock::sleep_for(support::SimDuration(1.0));
+  stage->request_stop();
+  stage->wait();
+  EXPECT_TRUE(stage->finished());
+  EXPECT_LT(out->size(), 1000000u);
+}
+
+TEST(SeqStage, SourceRateRetunable) {
+  ScopedClockScale fast(500.0);
+  auto src = std::make_unique<StreamSource>(10, 1.0, 0.0);
+  StreamSource* raw = src.get();
+  EXPECT_DOUBLE_EQ(raw->rate(), 1.0);
+  raw->set_rate(100.0);
+  EXPECT_DOUBLE_EQ(raw->rate(), 100.0);
+  raw->set_rate(-5.0);  // ignored
+  EXPECT_DOUBLE_EQ(raw->rate(), 100.0);
+}
+
+TEST(SeqStage, MetricsCountArrivalsAndDepartures) {
+  ScopedClockScale fast(500.0);
+  auto in = std::make_shared<Conduit>(64);
+  auto stage = seq_fn("id", [](Task t) { return std::optional<Task>{t}; });
+  stage->set_input(in);
+  stage->start();
+  for (int i = 0; i < 9; ++i) in->push(Task::data(i, 0.0));
+  in->close();
+  stage->wait();
+  EXPECT_EQ(stage->metrics().total_arrivals(), 9u);
+  EXPECT_EQ(stage->metrics().total_departures(), 9u);
+}
+
+TEST(SeqStage, NodeAsTypedAccess) {
+  auto stage = seq("src", std::make_unique<StreamSource>(1, 1.0, 0.0));
+  EXPECT_NE(stage->node_as<StreamSource>(), nullptr);
+  EXPECT_EQ(stage->node_as<StreamSink>(), nullptr);
+}
+
+}  // namespace
+}  // namespace bsk::rt

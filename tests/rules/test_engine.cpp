@@ -1,0 +1,148 @@
+// Agenda semantics: salience ordering, refraction, chaining, management.
+
+#include <gtest/gtest.h>
+
+#include "rules/engine.hpp"
+
+namespace bsk::rules {
+namespace {
+
+class RecordingSink : public OperationSink {
+ public:
+  void fire_operation(const std::string& op, const std::string& data) override {
+    ops.emplace_back(op, data);
+  }
+  std::vector<std::pair<std::string, std::string>> ops;
+};
+
+Rule always(const std::string& name, int salience) {
+  return RuleBuilder(name).salience(salience).then_fire("OP_" + name).build();
+}
+
+TEST(Engine, AddReplaceRemove) {
+  Engine e;
+  e.add_rule(always("a", 0));
+  e.add_rule(always("b", 0));
+  EXPECT_EQ(e.rule_count(), 2u);
+  EXPECT_TRUE(e.has_rule("a"));
+  e.add_rule(always("a", 9));  // replace keeps count
+  EXPECT_EQ(e.rule_count(), 2u);
+  EXPECT_TRUE(e.remove_rule("a"));
+  EXPECT_FALSE(e.remove_rule("a"));
+  EXPECT_EQ(e.rule_count(), 1u);
+  EXPECT_EQ(e.rule_names(), std::vector<std::string>{"b"});
+}
+
+TEST(Engine, SalienceOrdersFiring) {
+  Engine e;
+  e.add_rule(always("low", 1));
+  e.add_rule(always("high", 10));
+  e.add_rule(always("mid", 5));
+  WorkingMemory wm;
+  ConstantTable c;
+  RecordingSink sink;
+  const auto fired = e.run_cycle(wm, c, sink);
+  ASSERT_EQ(fired.size(), 3u);
+  EXPECT_EQ(fired[0], "high");
+  EXPECT_EQ(fired[1], "mid");
+  EXPECT_EQ(fired[2], "low");
+}
+
+TEST(Engine, TieBrokenByInsertionOrder) {
+  Engine e;
+  e.add_rule(always("first", 0));
+  e.add_rule(always("second", 0));
+  WorkingMemory wm;
+  ConstantTable c;
+  RecordingSink sink;
+  const auto fired = e.run_cycle(wm, c, sink);
+  ASSERT_EQ(fired.size(), 2u);
+  EXPECT_EQ(fired[0], "first");
+  EXPECT_EQ(fired[1], "second");
+}
+
+TEST(Engine, RefractionFiresEachRuleOncePerCycle) {
+  Engine e;
+  e.add_rule(always("a", 0));
+  WorkingMemory wm;
+  ConstantTable c;
+  RecordingSink sink;
+  EXPECT_EQ(e.run_cycle(wm, c, sink).size(), 1u);
+  EXPECT_EQ(e.run_cycle(wm, c, sink).size(), 1u);  // next cycle refires
+  EXPECT_EQ(sink.ops.size(), 2u);
+}
+
+TEST(Engine, FiringCanEnableLaterRule) {
+  Engine e;
+  e.add_rule(RuleBuilder("producer")
+                 .salience(10)
+                 .when_not("Token", CmpOp::Ge, 0.0)
+                 .then_set("Token", 1.0)
+                 .build());
+  e.add_rule(RuleBuilder("consumer")
+                 .when("Token", CmpOp::Ge, 1.0)
+                 .then_fire("CONSUMED")
+                 .build());
+  WorkingMemory wm;
+  ConstantTable c;
+  RecordingSink sink;
+  const auto fired = e.run_cycle(wm, c, sink);
+  ASSERT_EQ(fired.size(), 2u);
+  EXPECT_EQ(fired[0], "producer");
+  EXPECT_EQ(fired[1], "consumer");
+  EXPECT_EQ(sink.ops.size(), 1u);
+}
+
+TEST(Engine, FiringCanDisableLaterRule) {
+  Engine e;
+  e.add_rule(RuleBuilder("guard")
+                 .salience(10)
+                 .when("X", CmpOp::Gt, 0.0)
+                 .then_set("X", -1.0)
+                 .build());
+  e.add_rule(RuleBuilder("victim")
+                 .when("X", CmpOp::Gt, 0.0)
+                 .then_fire("SHOULD_NOT_RUN")
+                 .build());
+  WorkingMemory wm;
+  wm.set("X", 5.0);
+  ConstantTable c;
+  RecordingSink sink;
+  const auto fired = e.run_cycle(wm, c, sink);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0], "guard");
+  EXPECT_TRUE(sink.ops.empty());
+}
+
+TEST(Engine, FireableListsOnlyMatching) {
+  Engine e;
+  e.add_rule(RuleBuilder("yes").when("A", CmpOp::Gt, 0.0).build());
+  e.add_rule(RuleBuilder("no").when("A", CmpOp::Lt, 0.0).build());
+  WorkingMemory wm;
+  wm.set("A", 1.0);
+  ConstantTable c;
+  EXPECT_EQ(e.fireable(wm, c), std::vector<std::string>{"yes"});
+}
+
+TEST(Engine, ListenerObservesFirings) {
+  Engine e;
+  e.add_rule(always("a", 0));
+  std::vector<std::string> seen;
+  e.set_listener([&](const std::string& n) { seen.push_back(n); });
+  WorkingMemory wm;
+  ConstantTable c;
+  RecordingSink sink;
+  e.run_cycle(wm, c, sink);
+  EXPECT_EQ(seen, std::vector<std::string>{"a"});
+}
+
+TEST(Engine, EmptyEngineFiresNothing) {
+  Engine e;
+  WorkingMemory wm;
+  ConstantTable c;
+  RecordingSink sink;
+  EXPECT_TRUE(e.run_cycle(wm, c, sink).empty());
+}
+
+}  // namespace
+}  // namespace bsk::rules

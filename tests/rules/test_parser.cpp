@@ -1,0 +1,254 @@
+// .brl parser: the Fig. 5 syntax, bindings, qualifiers, errors.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "rules/engine.hpp"
+#include "rules/parser.hpp"
+
+namespace bsk::rules {
+namespace {
+
+class RecordingSink : public OperationSink {
+ public:
+  void fire_operation(const std::string& op, const std::string& data) override {
+    ops.emplace_back(op, data);
+  }
+  std::vector<std::pair<std::string, std::string>> ops;
+};
+
+TEST(Parser, MinimalRule) {
+  const auto rules = parse_rules(R"(
+rule "r1"
+  when
+    A ( value < 5 )
+  then
+    fire(GO)
+end
+)");
+  ASSERT_EQ(rules.size(), 1u);
+  EXPECT_EQ(rules[0].name(), "r1");
+  EXPECT_EQ(rules[0].salience(), 0);
+
+  WorkingMemory wm;
+  ConstantTable c;
+  wm.set("A", 3.0);
+  EXPECT_TRUE(rules[0].fireable(wm, c));
+  wm.set("A", 6.0);
+  EXPECT_FALSE(rules[0].fireable(wm, c));
+}
+
+TEST(Parser, SalienceParsed) {
+  const auto rules = parse_rules(R"(
+rule "r" salience 42
+  when
+    A ( value >= 0 )
+  then
+    fire(X)
+end
+)");
+  ASSERT_EQ(rules.size(), 1u);
+  EXPECT_EQ(rules[0].salience(), 42);
+}
+
+TEST(Parser, Fig5VerbatimSyntax) {
+  // Structure lifted from the paper's Fig. 5: bindings, dotted constants,
+  // receiver-method actions, semicolons.
+  const auto rules = parse_rules(R"(
+rule "CheckRateLow"
+  when
+    $departureBean : DepartureRateBean( value < ManagersConstants.FARM_LOW_PERF_LEVEL )
+    $arrivalBean : ArrivalRateBean( value >= ManagersConstants.FARM_LOW_PERF_LEVEL )
+    $parDegree: NumWorkerBean(value <= ManagersConstants.FARM_MAX_NUM_WORKERS)
+  then
+    $departureBean.setData(ManagersConstants.FARM_ADD_WORKERS);
+    $departureBean.fireOperation(ManagerOperation.ADD_EXECUTOR);
+    $departureBean.fireOperation(ManagerOperation.BALANCE_LOAD);
+end
+)");
+  ASSERT_EQ(rules.size(), 1u);
+
+  WorkingMemory wm;
+  ConstantTable c;
+  c.set("FARM_LOW_PERF_LEVEL", 0.5);
+  c.set("FARM_MAX_NUM_WORKERS", 8.0);
+  wm.set("DepartureRateBean", 0.2);
+  wm.set("ArrivalRateBean", 0.6);
+  wm.set("NumWorkerBean", 2.0);
+  ASSERT_TRUE(rules[0].fireable(wm, c));
+
+  RecordingSink sink;
+  RuleContext ctx{wm, c, sink};
+  rules[0].fire(ctx);
+  ASSERT_EQ(sink.ops.size(), 2u);
+  EXPECT_EQ(sink.ops[0].first, "ADD_EXECUTOR");
+  EXPECT_EQ(sink.ops[0].second, "FARM_ADD_WORKERS");
+  EXPECT_EQ(sink.ops[1].first, "BALANCE_LOAD");
+}
+
+TEST(Parser, MultipleRulesInOrder) {
+  const auto rules = parse_rules(R"(
+rule "a" when A(value > 0) then fire(X) end
+rule "b" when B(value > 0) then fire(Y) end
+)");
+  ASSERT_EQ(rules.size(), 2u);
+  EXPECT_EQ(rules[0].name(), "a");
+  EXPECT_EQ(rules[1].name(), "b");
+}
+
+TEST(Parser, NotPattern) {
+  const auto rules = parse_rules(R"(
+rule "r"
+  when
+    not Flag ( value > 0 )
+  then
+    fire(X)
+end
+)");
+  WorkingMemory wm;
+  ConstantTable c;
+  EXPECT_TRUE(rules[0].fireable(wm, c));
+  wm.set("Flag", 1.0);
+  EXPECT_FALSE(rules[0].fireable(wm, c));
+}
+
+TEST(Parser, MultipleTestsWithCommaAndAndAnd) {
+  const auto rules = parse_rules(R"(
+rule "r"
+  when
+    A ( value > 0, value < 10 )
+    B ( value >= 1 && value <= 2 )
+  then
+    fire(X)
+end
+)");
+  WorkingMemory wm;
+  ConstantTable c;
+  wm.set("A", 5.0);
+  wm.set("B", 1.5);
+  EXPECT_TRUE(rules[0].fireable(wm, c));
+  wm.set("A", 15.0);
+  EXPECT_FALSE(rules[0].fireable(wm, c));
+}
+
+TEST(Parser, StringDataAndSetAction) {
+  const auto rules = parse_rules(R"(
+rule "r"
+  when
+    A ( value == 1 )
+  then
+    setData("hello world")
+    fire(OP)
+    set(Out, 3.5)
+end
+)");
+  WorkingMemory wm;
+  wm.set("A", 1.0);
+  ConstantTable c;
+  RecordingSink sink;
+  RuleContext ctx{wm, c, sink};
+  rules[0].fire(ctx);
+  ASSERT_EQ(sink.ops.size(), 1u);
+  EXPECT_EQ(sink.ops[0].second, "hello world");
+  EXPECT_DOUBLE_EQ(*wm.get("Out"), 3.5);
+}
+
+TEST(Parser, CommentsIgnored) {
+  const auto rules = parse_rules(R"(
+// leading comment
+# hash comment
+rule "r"  // trailing
+  when
+    A ( value > 0 )  # another
+  then
+    fire(X)
+end
+)");
+  EXPECT_EQ(rules.size(), 1u);
+}
+
+TEST(Parser, NegativeAndScientificNumbers) {
+  const auto rules = parse_rules(R"(
+rule "r"
+  when
+    A ( value > -2.5 )
+    B ( value < 1e3 )
+  then
+    fire(X)
+end
+)");
+  WorkingMemory wm;
+  wm.set("A", 0.0);
+  wm.set("B", 500.0);
+  ConstantTable c;
+  EXPECT_TRUE(rules[0].fireable(wm, c));
+}
+
+TEST(Parser, ErrorsCarryLineNumbers) {
+  try {
+    parse_rules("rule \"r\"\n  when\n    A ( bogus > 1 )\n  then fire(X) end");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 3u);
+  }
+}
+
+TEST(Parser, MissingEndThrows) {
+  EXPECT_THROW(parse_rules("rule \"r\" when A(value>0) then fire(X)"),
+               ParseError);
+}
+
+TEST(Parser, MissingThenThrows) {
+  EXPECT_THROW(parse_rules("rule \"r\" when A(value>0) fire(X) end"),
+               ParseError);
+}
+
+TEST(Parser, UnknownActionThrows) {
+  EXPECT_THROW(parse_rules("rule \"r\" when A(value>0) then explode(X) end"),
+               ParseError);
+}
+
+TEST(Parser, SingleEqualsRejected) {
+  EXPECT_THROW(parse_rules("rule \"r\" when A(value = 1) then fire(X) end"),
+               ParseError);
+}
+
+TEST(Parser, UnterminatedStringThrows) {
+  EXPECT_THROW(parse_rules("rule \"r"), ParseError);
+}
+
+TEST(Parser, EmptyInputYieldsNoRules) {
+  EXPECT_TRUE(parse_rules("").empty());
+  EXPECT_TRUE(parse_rules("  // only comments\n").empty());
+}
+
+TEST(Parser, ParseRulesFile) {
+  const std::string path = ::testing::TempDir() + "/bsk_rules_test.brl";
+  {
+    std::ofstream f(path);
+    f << "rule \"fromfile\" when A(value>0) then fire(X) end\n";
+  }
+  const auto rules = parse_rules_file(path);
+  ASSERT_EQ(rules.size(), 1u);
+  EXPECT_EQ(rules[0].name(), "fromfile");
+}
+
+TEST(Parser, ShippedFig5FileParses) {
+  // The verbatim Fig. 5 text shipped in the repository.
+  const auto rules =
+      parse_rules_file(std::string(BSK_SOURCE_DIR) + "/rules/fig5.brl");
+  ASSERT_EQ(rules.size(), 5u);
+  EXPECT_EQ(rules[0].name(), "CheckInterArrivalRateLow");
+  EXPECT_EQ(rules[1].name(), "CheckInterArrivalRateHigh");
+  EXPECT_EQ(rules[2].name(), "CheckRateLow");
+  EXPECT_EQ(rules[3].name(), "CheckRateHigh");
+  EXPECT_EQ(rules[4].name(), "CheckLoadBalance");
+}
+
+TEST(Parser, MissingFileThrows) {
+  EXPECT_THROW(parse_rules_file("/nonexistent/file.brl"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace bsk::rules

@@ -1,0 +1,70 @@
+// Working memory and constant table.
+
+#include <gtest/gtest.h>
+
+#include "rules/working_memory.hpp"
+
+namespace bsk::rules {
+namespace {
+
+TEST(WorkingMemory, SetGetRetract) {
+  WorkingMemory wm;
+  EXPECT_FALSE(wm.get("X").has_value());
+  wm.set("X", 1.5);
+  EXPECT_TRUE(wm.has("X"));
+  EXPECT_DOUBLE_EQ(*wm.get("X"), 1.5);
+  wm.set("X", 2.0);
+  EXPECT_DOUBLE_EQ(*wm.get("X"), 2.0);
+  wm.retract("X");
+  EXPECT_FALSE(wm.has("X"));
+}
+
+TEST(WorkingMemory, VersionBumpsOnMutation) {
+  WorkingMemory wm;
+  const auto v0 = wm.version();
+  wm.set("X", 1.0);
+  const auto v1 = wm.version();
+  EXPECT_GT(v1, v0);
+  wm.retract("X");
+  EXPECT_GT(wm.version(), v1);
+  const auto v2 = wm.version();
+  wm.retract("missing");  // no-op: no bump
+  EXPECT_EQ(wm.version(), v2);
+}
+
+TEST(WorkingMemory, StringFacts) {
+  WorkingMemory wm;
+  EXPECT_FALSE(wm.get_string("k").has_value());
+  wm.set_string("k", "v");
+  EXPECT_EQ(*wm.get_string("k"), "v");
+}
+
+TEST(WorkingMemory, ClearRemovesEverything) {
+  WorkingMemory wm;
+  wm.set("A", 1.0);
+  wm.set_string("s", "x");
+  wm.clear();
+  EXPECT_FALSE(wm.has("A"));
+  EXPECT_FALSE(wm.get_string("s").has_value());
+}
+
+TEST(WorkingMemory, NumericFactsView) {
+  WorkingMemory wm;
+  wm.set("A", 1.0);
+  wm.set("B", 2.0);
+  EXPECT_EQ(wm.numeric_facts().size(), 2u);
+}
+
+TEST(ConstantTable, SetGetHas) {
+  ConstantTable c;
+  EXPECT_FALSE(c.has("K"));
+  c.set("K", 3.0);
+  EXPECT_TRUE(c.has("K"));
+  EXPECT_DOUBLE_EQ(*c.get("K"), 3.0);
+  c.set("K", 4.0);
+  EXPECT_DOUBLE_EQ(*c.get("K"), 4.0);
+  EXPECT_FALSE(c.get("missing").has_value());
+}
+
+}  // namespace
+}  // namespace bsk::rules

@@ -1,0 +1,56 @@
+// Load traces: steps, bursts, speed multipliers.
+
+#include <gtest/gtest.h>
+
+#include "sim/load.hpp"
+
+namespace bsk::sim {
+namespace {
+
+TEST(LoadTrace, ConstantBase) {
+  LoadTrace t(0.5);
+  EXPECT_DOUBLE_EQ(t.at(0.0), 0.5);
+  EXPECT_DOUBLE_EQ(t.at(1e6), 0.5);
+}
+
+TEST(LoadTrace, StepsApplyInOrder) {
+  LoadTrace t;
+  t.step(10.0, 1.0).step(20.0, 3.0);
+  EXPECT_DOUBLE_EQ(t.at(5.0), 0.0);
+  EXPECT_DOUBLE_EQ(t.at(10.0), 1.0);
+  EXPECT_DOUBLE_EQ(t.at(15.0), 1.0);
+  EXPECT_DOUBLE_EQ(t.at(25.0), 3.0);
+}
+
+TEST(LoadTrace, StepsAddedOutOfOrderAreSorted) {
+  LoadTrace t;
+  t.step(20.0, 3.0).step(10.0, 1.0);
+  EXPECT_DOUBLE_EQ(t.at(15.0), 1.0);
+  EXPECT_DOUBLE_EQ(t.at(25.0), 3.0);
+}
+
+TEST(LoadTrace, BurstReturnsToBase) {
+  LoadTrace t(0.2);
+  t.burst(100.0, 200.0, 2.0);
+  EXPECT_DOUBLE_EQ(t.at(50.0), 0.2);
+  EXPECT_DOUBLE_EQ(t.at(150.0), 2.0);
+  EXPECT_DOUBLE_EQ(t.at(250.0), 0.2);
+}
+
+TEST(LoadTrace, SpeedMultiplierFairShare) {
+  LoadTrace t;
+  EXPECT_DOUBLE_EQ(t.speed_multiplier(0.0), 1.0);
+  t.step(0.0, 1.0);
+  EXPECT_DOUBLE_EQ(t.speed_multiplier(1.0), 0.5);
+  t.step(10.0, 3.0);
+  EXPECT_DOUBLE_EQ(t.speed_multiplier(11.0), 0.25);
+}
+
+TEST(LoadTrace, NegativeLoadClampedInMultiplier) {
+  LoadTrace t;
+  t.step(0.0, -5.0);
+  EXPECT_DOUBLE_EQ(t.speed_multiplier(1.0), 1.0);
+}
+
+}  // namespace
+}  // namespace bsk::sim

@@ -1,0 +1,116 @@
+// Platform model: domains, speeds under load, communication costs, SSL.
+
+#include <gtest/gtest.h>
+
+#include "sim/platform.hpp"
+
+namespace bsk::sim {
+namespace {
+
+TEST(Platform, AddMachineAndLookup) {
+  Platform p;
+  const MachineId id = p.add_machine("m0", "local", 4, 2.0);
+  EXPECT_EQ(p.machine(id).name, "m0");
+  EXPECT_EQ(p.machine(id).cores, 4u);
+  EXPECT_DOUBLE_EQ(p.machine(id).speed, 2.0);
+  EXPECT_EQ(p.machine_count(), 1u);
+  EXPECT_EQ(p.total_cores(), 4u);
+}
+
+TEST(Platform, UnknownDomainThrows) {
+  Platform p;
+  EXPECT_THROW(p.add_machine("m", "nope", 1), std::invalid_argument);
+}
+
+TEST(Platform, ZeroCoresThrows) {
+  Platform p;
+  EXPECT_THROW(p.add_machine("m", "local", 0), std::invalid_argument);
+}
+
+TEST(Platform, BadMachineIdThrows) {
+  Platform p;
+  EXPECT_THROW(p.machine(5), std::out_of_range);
+}
+
+TEST(Platform, EffectiveSpeedFollowsLoadTrace) {
+  Platform p;
+  LoadTrace load;
+  load.step(10.0, 1.0);  // one competitor from t=10
+  const MachineId id = p.add_machine("m", "local", 2, 2.0, load);
+  EXPECT_DOUBLE_EQ(p.effective_speed(id, 0.0), 2.0);
+  EXPECT_DOUBLE_EQ(p.effective_speed(id, 11.0), 1.0);  // halved
+}
+
+TEST(Platform, ComputeTimeScalesInverselyWithSpeed) {
+  Platform p;
+  const MachineId fast = p.add_machine("fast", "local", 1, 2.0);
+  const MachineId slow = p.add_machine("slow", "local", 1, 0.5);
+  EXPECT_DOUBLE_EQ(p.compute_time(fast, 10.0, 0.0), 5.0);
+  EXPECT_DOUBLE_EQ(p.compute_time(slow, 10.0, 0.0), 20.0);
+}
+
+TEST(Platform, IntraMachineCommIsFree) {
+  Platform p;
+  const MachineId a = p.add_machine("a", "local", 1);
+  EXPECT_DOUBLE_EQ(p.comm_time(a, a, 100.0, false), 0.0);
+}
+
+TEST(Platform, InterMachineCommUsesLink) {
+  Platform p;
+  const MachineId a = p.add_machine("a", "local", 1);
+  const MachineId b = p.add_machine("b", "local", 1);
+  p.set_link(a, b, LinkCost{0.01, 0.1});
+  EXPECT_NEAR(p.comm_time(a, b, 2.0, false), 0.01 + 0.2, 1e-12);
+  EXPECT_NEAR(p.comm_time(b, a, 2.0, false), 0.01 + 0.2, 1e-12);  // symmetric
+}
+
+TEST(Platform, SslMultipliesCostOnUntrustedDomains) {
+  Platform p = Platform::mixed_grid(1, 1, 2);
+  const MachineId trusted = 0, untrusted = 1;
+  const double plain = p.comm_time(trusted, untrusted, 1.0, false);
+  const double ssl = p.comm_time(trusted, untrusted, 1.0, true);
+  EXPECT_GT(plain, 0.0);
+  EXPECT_NEAR(ssl, plain * 2.5, 1e-9);
+}
+
+TEST(Platform, SslNoExtraCostBetweenTrusted) {
+  Platform p = Platform::mixed_grid(2, 1, 2);
+  const double plain = p.comm_time(0, 1, 1.0, false);
+  const double ssl = p.comm_time(0, 1, 1.0, true);
+  EXPECT_DOUBLE_EQ(plain, ssl);
+}
+
+TEST(Platform, LinkUntrustedDetection) {
+  Platform p = Platform::mixed_grid(1, 1, 2);
+  EXPECT_FALSE(p.link_untrusted(0, 0));
+  EXPECT_TRUE(p.link_untrusted(0, 1));
+  // Intra-machine traffic never leaves the node, even in untrusted domains.
+  EXPECT_FALSE(p.link_untrusted(1, 1));
+}
+
+TEST(Platform, HandshakeOnlyOnUntrustedLinks) {
+  Platform p = Platform::mixed_grid(2, 1, 2);
+  EXPECT_DOUBLE_EQ(p.ssl_handshake_time(0, 1), 0.0);
+  EXPECT_GT(p.ssl_handshake_time(0, 2), 0.0);
+}
+
+TEST(Platform, TestbedSmp8Shape) {
+  Platform p = Platform::testbed_smp8();
+  EXPECT_EQ(p.machine_count(), 1u);
+  EXPECT_EQ(p.total_cores(), 8u);
+  EXPECT_TRUE(p.domain_of(0).trusted);
+}
+
+TEST(Platform, MixedGridShape) {
+  Platform p = Platform::mixed_grid(2, 3, 4);
+  EXPECT_EQ(p.machine_count(), 5u);
+  EXPECT_EQ(p.total_cores(), 20u);
+  std::size_t untrusted = 0;
+  for (MachineId id : p.machine_ids())
+    if (!p.domain_of(id).trusted) ++untrusted;
+  EXPECT_EQ(untrusted, 3u);
+  EXPECT_FALSE(p.domain("untrusted_ip_domain_A").trusted);
+}
+
+}  // namespace
+}  // namespace bsk::sim

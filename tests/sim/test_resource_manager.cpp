@@ -1,0 +1,151 @@
+// Resource manager: recruitment order, constraints, lease bookkeeping.
+#include <thread>
+#include <mutex>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/resource_manager.hpp"
+
+namespace bsk::sim {
+namespace {
+
+TEST(ResourceManager, RecruitsAndReleases) {
+  Platform p = Platform::testbed_smp8();
+  ResourceManager rm(p);
+  EXPECT_EQ(rm.available(), 8u);
+
+  const auto lease = rm.recruit();
+  ASSERT_TRUE(lease.has_value());
+  EXPECT_EQ(rm.leased(), 1u);
+  EXPECT_EQ(rm.available(), 7u);
+
+  rm.release(*lease);
+  EXPECT_EQ(rm.leased(), 0u);
+  EXPECT_EQ(rm.available(), 8u);
+}
+
+TEST(ResourceManager, ReleaseUnknownLeaseIsNoop) {
+  Platform p = Platform::testbed_smp8();
+  ResourceManager rm(p);
+  rm.release(CoreLease{0, 3});
+  EXPECT_EQ(rm.leased(), 0u);
+}
+
+TEST(ResourceManager, ExhaustionReturnsNullopt) {
+  Platform p;
+  p.add_machine("m", "local", 2);
+  ResourceManager rm(p);
+  EXPECT_TRUE(rm.recruit().has_value());
+  EXPECT_TRUE(rm.recruit().has_value());
+  EXPECT_FALSE(rm.recruit().has_value());
+  EXPECT_EQ(rm.leased(), 2u);
+}
+
+TEST(ResourceManager, DistinctCoresLeased) {
+  Platform p;
+  p.add_machine("m", "local", 3);
+  ResourceManager rm(p);
+  const auto a = rm.recruit();
+  const auto b = rm.recruit();
+  const auto c = rm.recruit();
+  ASSERT_TRUE(a && b && c);
+  EXPECT_FALSE(*a == *b);
+  EXPECT_FALSE(*b == *c);
+  EXPECT_FALSE(*a == *c);
+}
+
+TEST(ResourceManager, TrustedFirstThenUntrusted) {
+  Platform p = Platform::mixed_grid(1, 1, 2);  // machine 0 trusted, 1 not
+  ResourceManager rm(p);
+  const auto a = rm.recruit();
+  const auto b = rm.recruit();
+  ASSERT_TRUE(a && b);
+  EXPECT_EQ(a->machine, 0u);
+  EXPECT_EQ(b->machine, 0u);
+  const auto c = rm.recruit();  // trusted cores exhausted → spills
+  ASSERT_TRUE(c);
+  EXPECT_EQ(c->machine, 1u);
+}
+
+TEST(ResourceManager, TrustedOnlyConstraintRefusesUntrusted) {
+  Platform p = Platform::mixed_grid(1, 1, 1);
+  ResourceManager rm(p);
+  RecruitConstraints c;
+  c.trusted_only = true;
+  EXPECT_TRUE(rm.recruit(c).has_value());   // the one trusted core
+  EXPECT_FALSE(rm.recruit(c).has_value());  // refuses the untrusted one
+  EXPECT_TRUE(rm.recruit().has_value());    // unconstrained takes it
+}
+
+TEST(ResourceManager, MinSpeedConstraint) {
+  Platform p;
+  p.add_machine("slow", "local", 2, 0.5);
+  p.add_machine("fast", "local", 2, 2.0);
+  ResourceManager rm(p);
+  RecruitConstraints c;
+  c.min_speed = 1.0;
+  const auto a = rm.recruit(c);
+  ASSERT_TRUE(a);
+  EXPECT_EQ(a->machine, 1u);
+  EXPECT_EQ(rm.available(c), 1u);
+}
+
+TEST(ResourceManager, DomainConstraint) {
+  Platform p = Platform::mixed_grid(1, 1, 2);
+  ResourceManager rm(p);
+  RecruitConstraints c;
+  c.domain = "untrusted_ip_domain_A";
+  const auto a = rm.recruit(c);
+  ASSERT_TRUE(a);
+  EXPECT_EQ(p.machine(a->machine).domain, "untrusted_ip_domain_A");
+}
+
+TEST(ResourceManager, PreferredMachinesFirst) {
+  Platform p;
+  p.add_machine("m0", "local", 2);
+  p.add_machine("m1", "local", 2);
+  ResourceManager rm(p);
+  RecruitConstraints c;
+  c.preferred = {1};
+  const auto a = rm.recruit(c);
+  ASSERT_TRUE(a);
+  EXPECT_EQ(a->machine, 1u);
+}
+
+TEST(ResourceManager, AvailableRespectsConstraints) {
+  Platform p = Platform::mixed_grid(1, 2, 3);  // 3 trusted + 6 untrusted
+  ResourceManager rm(p);
+  EXPECT_EQ(rm.available(), 9u);
+  RecruitConstraints c;
+  c.trusted_only = true;
+  EXPECT_EQ(rm.available(c), 3u);
+}
+
+TEST(ResourceManager, ConcurrentRecruitNoDoubleLease) {
+  Platform p;
+  p.add_machine("m", "local", 16);
+  ResourceManager rm(p);
+  std::vector<CoreLease> got;
+  std::mutex mu;
+  {
+    std::vector<std::jthread> threads;
+    for (int t = 0; t < 8; ++t)
+      threads.emplace_back([&] {
+        for (int i = 0; i < 2; ++i) {
+          const auto l = rm.recruit();
+          if (l) {
+            std::scoped_lock lk(mu);
+            got.push_back(*l);
+          }
+        }
+      });
+  }
+  EXPECT_EQ(got.size(), 16u);
+  for (std::size_t i = 0; i < got.size(); ++i)
+    for (std::size_t j = i + 1; j < got.size(); ++j)
+      EXPECT_FALSE(got[i] == got[j]);
+}
+
+}  // namespace
+}  // namespace bsk::sim

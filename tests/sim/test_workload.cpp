@@ -1,0 +1,79 @@
+// Workload generators: service-time models, hot spots, arrival models.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "sim/workload.hpp"
+#include "support/stats.hpp"
+
+namespace bsk::sim {
+namespace {
+
+TEST(ServiceTime, FixedIsConstant) {
+  FixedService m(3.5);
+  for (int i = 0; i < 10; ++i) EXPECT_DOUBLE_EQ(m.sample(i), 3.5);
+}
+
+TEST(ServiceTime, NormalMeanAndNonNegative) {
+  NormalService m(5.0, 1.0, 7);
+  support::OnlineStats s;
+  for (int i = 0; i < 5000; ++i) {
+    const double x = m.sample(0.0);
+    EXPECT_GE(x, 0.0);
+    s.add(x);
+  }
+  EXPECT_NEAR(s.mean(), 5.0, 0.1);
+}
+
+TEST(ServiceTime, ExponentialMean) {
+  ExponentialService m(2.0, 7);
+  support::OnlineStats s;
+  for (int i = 0; i < 20000; ++i) s.add(m.sample(0.0));
+  EXPECT_NEAR(s.mean(), 2.0, 0.1);
+}
+
+TEST(ServiceTime, ParetoHeavyTail) {
+  ParetoService m(1.0, 2.0, 7);
+  double max = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = m.sample(0.0);
+    EXPECT_GE(x, 1.0);
+    max = std::max(max, x);
+  }
+  EXPECT_GT(max, 5.0);  // tail reaches well beyond the scale
+}
+
+TEST(ServiceTime, HotSpotMultipliesInsideWindow) {
+  HotSpotService m(std::make_unique<FixedService>(2.0), 10.0, 20.0, 3.0);
+  EXPECT_DOUBLE_EQ(m.sample(5.0), 2.0);
+  EXPECT_DOUBLE_EQ(m.sample(10.0), 6.0);
+  EXPECT_DOUBLE_EQ(m.sample(19.9), 6.0);
+  EXPECT_DOUBLE_EQ(m.sample(20.0), 2.0);
+}
+
+TEST(Arrivals, ConstantRateGap) {
+  ConstantRateArrivals a(4.0);
+  EXPECT_DOUBLE_EQ(a.next_gap(0.0), 0.25);
+  a.set_rate(2.0);
+  EXPECT_DOUBLE_EQ(a.next_gap(0.0), 0.5);
+  EXPECT_DOUBLE_EQ(a.rate(), 2.0);
+}
+
+TEST(Arrivals, ConstantRateIgnoresNonPositive) {
+  ConstantRateArrivals a(4.0);
+  a.set_rate(0.0);
+  EXPECT_DOUBLE_EQ(a.rate(), 4.0);
+  a.set_rate(-1.0);
+  EXPECT_DOUBLE_EQ(a.rate(), 4.0);
+}
+
+TEST(Arrivals, PoissonMeanGap) {
+  PoissonArrivals a(2.0, 11);
+  support::OnlineStats s;
+  for (int i = 0; i < 20000; ++i) s.add(a.next_gap(0.0));
+  EXPECT_NEAR(s.mean(), 0.5, 0.02);
+}
+
+}  // namespace
+}  // namespace bsk::sim

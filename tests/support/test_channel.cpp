@@ -1,0 +1,173 @@
+// Bounded MPMC channel: FIFO order, capacity, close semantics, concurrency.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "support/channel.hpp"
+#include "support/clock.hpp"
+
+namespace bsk::support {
+namespace {
+
+TEST(Channel, FifoOrder) {
+  Channel<int> ch(8);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(ch.push(i));
+  for (int i = 0; i < 5; ++i) {
+    int v = -1;
+    EXPECT_EQ(ch.pop(v), ChannelStatus::Ok);
+    EXPECT_EQ(v, i);
+  }
+}
+
+TEST(Channel, ZeroCapacityNormalizedToOne) {
+  Channel<int> ch(0);
+  EXPECT_EQ(ch.capacity(), 1u);
+  EXPECT_TRUE(ch.try_push(1));
+  EXPECT_FALSE(ch.try_push(2));
+}
+
+TEST(Channel, TryPushFailsWhenFull) {
+  Channel<int> ch(2);
+  EXPECT_TRUE(ch.try_push(1));
+  EXPECT_TRUE(ch.try_push(2));
+  EXPECT_FALSE(ch.try_push(3));
+  EXPECT_EQ(ch.size(), 2u);
+}
+
+TEST(Channel, TryPopEmptyReturnsNullopt) {
+  Channel<int> ch(2);
+  EXPECT_FALSE(ch.try_pop().has_value());
+  ch.push(7);
+  const auto v = ch.try_pop();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 7);
+}
+
+TEST(Channel, CloseDrainsThenReportsClosed) {
+  Channel<int> ch(4);
+  ch.push(1);
+  ch.push(2);
+  ch.close();
+  int v = 0;
+  EXPECT_EQ(ch.pop(v), ChannelStatus::Ok);
+  EXPECT_EQ(v, 1);
+  EXPECT_EQ(ch.pop(v), ChannelStatus::Ok);
+  EXPECT_EQ(v, 2);
+  EXPECT_EQ(ch.pop(v), ChannelStatus::Closed);
+}
+
+TEST(Channel, PushAfterCloseFails) {
+  Channel<int> ch(4);
+  ch.close();
+  EXPECT_FALSE(ch.push(1));
+  EXPECT_FALSE(ch.try_push(1));
+  EXPECT_TRUE(ch.closed());
+}
+
+TEST(Channel, ReopenAllowsPushAgain) {
+  Channel<int> ch(4);
+  ch.close();
+  ch.reopen();
+  EXPECT_TRUE(ch.push(9));
+  EXPECT_EQ(ch.size(), 1u);
+}
+
+TEST(Channel, CloseUnblocksWaitingConsumer) {
+  Channel<int> ch(4);
+  std::jthread closer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    ch.close();
+  });
+  int v = 0;
+  EXPECT_EQ(ch.pop(v), ChannelStatus::Closed);
+}
+
+TEST(Channel, CloseUnblocksWaitingProducer) {
+  Channel<int> ch(1);
+  ch.push(1);
+  std::jthread closer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    ch.close();
+  });
+  EXPECT_FALSE(ch.push(2));  // was blocked on full, then closed
+}
+
+TEST(Channel, PopForTimesOut) {
+  ScopedClockScale guard(100.0);
+  Channel<int> ch(4);
+  int v = 0;
+  EXPECT_EQ(ch.pop_for(v, SimDuration(0.5)), ChannelStatus::TimedOut);
+}
+
+TEST(Channel, PopForDeliversWhenAvailable) {
+  ScopedClockScale guard(100.0);
+  Channel<int> ch(4);
+  ch.push(42);
+  int v = 0;
+  EXPECT_EQ(ch.pop_for(v, SimDuration(0.5)), ChannelStatus::Ok);
+  EXPECT_EQ(v, 42);
+}
+
+TEST(Channel, StealBackTakesMostRecent) {
+  Channel<int> ch(8);
+  for (int i = 0; i < 6; ++i) ch.push(i);
+  const auto stolen = ch.steal_back(2);
+  ASSERT_EQ(stolen.size(), 2u);
+  EXPECT_EQ(stolen[0], 4);  // preserved order among stolen items
+  EXPECT_EQ(stolen[1], 5);
+  EXPECT_EQ(ch.size(), 4u);
+  int v = 0;
+  ch.pop(v);
+  EXPECT_EQ(v, 0);  // front untouched
+}
+
+TEST(Channel, StealBackMoreThanSizeTakesAll) {
+  Channel<int> ch(8);
+  ch.push(1);
+  const auto stolen = ch.steal_back(10);
+  EXPECT_EQ(stolen.size(), 1u);
+  EXPECT_TRUE(ch.empty());
+}
+
+TEST(Channel, MpmcAllItemsDeliveredExactlyOnce) {
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 3;
+  constexpr int kPerProducer = 500;
+  Channel<int> ch(16);
+  std::mutex mu;
+  std::multiset<int> seen;
+
+  std::vector<std::jthread> consumers;
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&] {
+      int v = 0;
+      while (ch.pop(v) == ChannelStatus::Ok) {
+        std::scoped_lock lk(mu);
+        seen.insert(v);
+      }
+    });
+  }
+  {
+    std::vector<std::jthread> producers;
+    for (int p = 0; p < kProducers; ++p) {
+      producers.emplace_back([&, p] {
+        for (int i = 0; i < kPerProducer; ++i)
+          ASSERT_TRUE(ch.push(p * kPerProducer + i));
+      });
+    }
+  }  // join producers
+  ch.close();
+  consumers.clear();  // join consumers
+
+  EXPECT_EQ(seen.size(),
+            static_cast<std::size_t>(kProducers * kPerProducer));
+  for (int x = 0; x < kProducers * kPerProducer; ++x)
+    EXPECT_EQ(seen.count(x), 1u) << "item " << x;
+}
+
+}  // namespace
+}  // namespace bsk::support

@@ -1,0 +1,77 @@
+// Virtual clock: scaling, monotonicity, sleeping in simulated time.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "support/clock.hpp"
+
+namespace bsk::support {
+namespace {
+
+TEST(Clock, DefaultScaleIsPositive) { EXPECT_GT(Clock::scale(), 0.0); }
+
+TEST(Clock, SetScaleRejectsNonPositive) {
+  ScopedClockScale guard(2.0);
+  Clock::set_scale(0.0);
+  EXPECT_DOUBLE_EQ(Clock::scale(), 2.0);
+  Clock::set_scale(-1.0);
+  EXPECT_DOUBLE_EQ(Clock::scale(), 2.0);
+}
+
+TEST(Clock, ScopedScaleRestores) {
+  const double before = Clock::scale();
+  {
+    ScopedClockScale guard(123.0);
+    EXPECT_DOUBLE_EQ(Clock::scale(), 123.0);
+  }
+  EXPECT_DOUBLE_EQ(Clock::scale(), before);
+}
+
+TEST(Clock, NowIsMonotonic) {
+  ScopedClockScale guard(100.0);
+  const SimTime a = Clock::now();
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  const SimTime b = Clock::now();
+  EXPECT_GE(b, a);
+  EXPECT_GT(b, a);  // 2ms wall at scale 100 = 0.2 sim seconds
+}
+
+TEST(Clock, ToWallConvertsByScale) {
+  ScopedClockScale guard(10.0);
+  const auto wall = Clock::to_wall(SimDuration(1.0));
+  EXPECT_NEAR(static_cast<double>(wall.count()), 1e8, 1e3);  // 0.1s wall
+}
+
+TEST(Clock, SleepForAdvancesSimTime) {
+  ScopedClockScale guard(200.0);
+  const SimTime a = Clock::now();
+  Clock::sleep_for(SimDuration(1.0));  // 5ms wall
+  const SimTime b = Clock::now();
+  EXPECT_GE(b - a, 0.9);
+  EXPECT_LT(b - a, 5.0);  // generous upper bound for slow CI
+}
+
+TEST(Clock, SleepForNonPositiveReturnsImmediately) {
+  const SimTime a = Clock::now();
+  Clock::sleep_for(SimDuration(0.0));
+  Clock::sleep_for(SimDuration(-5.0));
+  EXPECT_LT(Clock::now() - a, 1.0 * Clock::scale());
+}
+
+TEST(Clock, SleepUntilPastIsNoop) {
+  ScopedClockScale guard(100.0);
+  const SimTime a = Clock::now();
+  Clock::sleep_until(a - 100.0);
+  EXPECT_LT(Clock::now() - a, 2.0);
+}
+
+TEST(Clock, SleepUntilFutureWaits) {
+  ScopedClockScale guard(200.0);
+  const SimTime a = Clock::now();
+  Clock::sleep_until(a + 1.0);
+  EXPECT_GE(Clock::now(), a + 0.9);
+}
+
+}  // namespace
+}  // namespace bsk::support

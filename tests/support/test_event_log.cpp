@@ -1,0 +1,92 @@
+// Event log: recording, querying, ordering predicates, thread safety.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+
+#include "support/event_log.hpp"
+
+namespace bsk::support {
+namespace {
+
+TEST(EventLog, RecordAndSnapshot) {
+  EventLog log;
+  log.record("AM_F", "contrLow", 0.2);
+  log.record("AM_F", "addWorker", 2.0, "via CheckRateLow");
+  const auto evs = log.snapshot();
+  ASSERT_EQ(evs.size(), 2u);
+  EXPECT_EQ(evs[0].source, "AM_F");
+  EXPECT_EQ(evs[0].name, "contrLow");
+  EXPECT_DOUBLE_EQ(evs[1].value, 2.0);
+  EXPECT_EQ(evs[1].detail, "via CheckRateLow");
+}
+
+TEST(EventLog, QueriesBySourceAndName) {
+  EventLog log;
+  log.record("A", "x");
+  log.record("B", "x");
+  log.record("A", "y");
+  EXPECT_EQ(log.by_source("A").size(), 2u);
+  EXPECT_EQ(log.by_name("x").size(), 2u);
+  EXPECT_EQ(log.count("A", "x"), 1u);
+  EXPECT_EQ(log.count("A", "z"), 0u);
+}
+
+TEST(EventLog, FirstLastTimes) {
+  EventLog log;
+  EXPECT_LT(log.first_time("A", "x"), 0.0);
+  log.record("A", "x");
+  log.record("A", "x");
+  EXPECT_GE(log.first_time("A", "x"), 0.0);
+  EXPECT_GE(log.last_time("A", "x"), log.first_time("A", "x"));
+}
+
+TEST(EventLog, HappensBefore) {
+  EventLog log;
+  log.record("AM_F", "raiseViol");
+  log.record("AM_A", "incRate");
+  EXPECT_TRUE(log.happens_before("AM_F", "raiseViol", "AM_A", "incRate"));
+  EXPECT_FALSE(log.happens_before("AM_A", "incRate", "AM_F", "raiseViol"));
+  EXPECT_FALSE(log.happens_before("AM_F", "missing", "AM_A", "incRate"));
+}
+
+TEST(EventLog, ClearAndSize) {
+  EventLog log;
+  log.record("A", "x");
+  EXPECT_EQ(log.size(), 1u);
+  log.clear();
+  EXPECT_EQ(log.size(), 0u);
+}
+
+TEST(EventLog, DumpProducesRows) {
+  EventLog log;
+  log.record("AM", "addWorker", 2.0, "note");
+  std::ostringstream os;
+  log.dump(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("addWorker"), std::string::npos);
+  EXPECT_NE(s.find("note"), std::string::npos);
+}
+
+TEST(EventLog, ConcurrentRecording) {
+  EventLog log;
+  {
+    std::vector<std::jthread> threads;
+    for (int t = 0; t < 8; ++t)
+      threads.emplace_back([&log, t] {
+        for (int i = 0; i < 200; ++i)
+          log.record("src" + std::to_string(t), "ev");
+      });
+  }
+  EXPECT_EQ(log.size(), 1600u);
+  for (int t = 0; t < 8; ++t)
+    EXPECT_EQ(log.count("src" + std::to_string(t), "ev"), 200u);
+}
+
+TEST(EventLog, GlobalLogIsSingleton) {
+  EXPECT_EQ(&global_event_log(), &global_event_log());
+}
+
+}  // namespace
+}  // namespace bsk::support

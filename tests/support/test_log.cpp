@@ -1,0 +1,62 @@
+// Leveled logger: level gating and formatting.
+
+#include <gtest/gtest.h>
+
+#include "support/log.hpp"
+
+namespace bsk::support {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : prev_(log_level()) {}
+  ~LogLevelGuard() { set_log_level(prev_); }
+
+ private:
+  LogLevel prev_;
+};
+
+TEST(Log, DefaultLevelSuppressesDebug) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::Warn);
+  EXPECT_LT(LogLevel::Debug, log_level());
+  EXPECT_GE(LogLevel::Error, log_level());
+}
+
+TEST(Log, SetAndGetLevel) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::Trace);
+  EXPECT_EQ(log_level(), LogLevel::Trace);
+  set_log_level(LogLevel::Off);
+  EXPECT_EQ(log_level(), LogLevel::Off);
+}
+
+TEST(Log, MixedArgumentTypesCompileAndGate) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::Off);
+  testing::internal::CaptureStderr();
+  log(LogLevel::Debug, "test", "value=", 42, " pi=", 3.14);
+  EXPECT_TRUE(testing::internal::GetCapturedStderr().empty());
+}
+
+TEST(Log, EmitAboveLevelWrites) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::Error);
+  testing::internal::CaptureStderr();
+  log(LogLevel::Error, "component", "message ", 7);
+  const std::string out = testing::internal::GetCapturedStderr();
+  EXPECT_NE(out.find("ERROR"), std::string::npos);
+  EXPECT_NE(out.find("component"), std::string::npos);
+  EXPECT_NE(out.find("message 7"), std::string::npos);
+}
+
+TEST(Log, SuppressedLevelWritesNothing) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::Error);
+  testing::internal::CaptureStderr();
+  log(LogLevel::Info, "component", "hidden");
+  EXPECT_TRUE(testing::internal::GetCapturedStderr().empty());
+}
+
+}  // namespace
+}  // namespace bsk::support

@@ -1,0 +1,83 @@
+// RNG: determinism and distribution sanity.
+
+#include <gtest/gtest.h>
+
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+
+namespace bsk::support {
+namespace {
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i)
+    EXPECT_DOUBLE_EQ(a.uniform(0, 1), b.uniform(0, 1));
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.uniform(0, 1) == b.uniform(0, 1)) ++same;
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, UniformWithinBounds) {
+  Rng r(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = r.uniform(2.0, 5.0);
+    EXPECT_GE(x, 2.0);
+    EXPECT_LT(x, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusive) {
+  Rng r(3);
+  bool lo = false, hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const auto x = r.uniform_int(1, 3);
+    EXPECT_GE(x, 1);
+    EXPECT_LE(x, 3);
+    lo |= x == 1;
+    hi |= x == 3;
+  }
+  EXPECT_TRUE(lo);
+  EXPECT_TRUE(hi);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng r(11);
+  OnlineStats s;
+  for (int i = 0; i < 20000; ++i) s.add(r.exponential(4.0));
+  EXPECT_NEAR(s.mean(), 4.0, 0.2);
+  EXPECT_GE(s.min(), 0.0);
+}
+
+TEST(Rng, NormalClampNonNegative) {
+  Rng r(5);
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(r.normal(0.1, 5.0), 0.0);
+}
+
+TEST(Rng, NormalUnclampedCanGoNegative) {
+  Rng r(5);
+  bool neg = false;
+  for (int i = 0; i < 1000; ++i)
+    neg |= r.normal(0.0, 1.0, /*clamp_nonneg=*/false) < 0.0;
+  EXPECT_TRUE(neg);
+}
+
+TEST(Rng, ParetoAboveScale) {
+  Rng r(9);
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(r.pareto(2.0, 1.5), 2.0);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng r(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.chance(0.0));
+    EXPECT_TRUE(r.chance(1.0));
+  }
+}
+
+}  // namespace
+}  // namespace bsk::support

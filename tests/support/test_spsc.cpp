@@ -1,0 +1,88 @@
+// SPSC lock-free ring: capacity, wraparound, two-thread stress.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "support/spsc_ring.hpp"
+
+namespace bsk::support {
+namespace {
+
+TEST(SpscRing, CapacityRoundsToPowerOfTwo) {
+  EXPECT_EQ(SpscRing<int>(5).capacity(), 8u);
+  EXPECT_EQ(SpscRing<int>(8).capacity(), 8u);
+  EXPECT_EQ(SpscRing<int>(1).capacity(), 2u);
+  EXPECT_EQ(SpscRing<int>(0).capacity(), 2u);
+}
+
+TEST(SpscRing, PushPopSingle) {
+  SpscRing<int> q(4);
+  EXPECT_TRUE(q.empty());
+  EXPECT_TRUE(q.push(7));
+  EXPECT_EQ(q.size(), 1u);
+  const auto v = q.pop();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 7);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(SpscRing, PopEmptyReturnsNullopt) {
+  SpscRing<int> q(4);
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(SpscRing, PushFullFails) {
+  SpscRing<int> q(4);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(q.push(i));
+  EXPECT_FALSE(q.push(99));
+  EXPECT_EQ(q.size(), 4u);
+}
+
+TEST(SpscRing, FifoOrderAcrossWraparound) {
+  SpscRing<int> q(4);
+  int next_out = 0;
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(q.push(i));
+    if (i % 2 == 1) {
+      // Drain two, keeping the ring partially full across wraps.
+      for (int k = 0; k < 2; ++k) {
+        const auto v = q.pop();
+        ASSERT_TRUE(v.has_value());
+        EXPECT_EQ(*v, next_out++);
+      }
+    }
+  }
+  while (const auto v = q.pop()) EXPECT_EQ(*v, next_out++);
+  EXPECT_EQ(next_out, 40);
+}
+
+TEST(SpscRing, TwoThreadStressPreservesOrder) {
+  constexpr int kItems = 200000;
+  SpscRing<int> q(1024);
+  std::jthread producer([&] {
+    for (int i = 0; i < kItems; ++i)
+      while (!q.push(i)) std::this_thread::yield();
+  });
+  int expected = 0;
+  while (expected < kItems) {
+    if (const auto v = q.pop()) {
+      ASSERT_EQ(*v, expected);
+      ++expected;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(SpscRing, MoveOnlyPayload) {
+  SpscRing<std::unique_ptr<int>> q(4);
+  EXPECT_TRUE(q.push(std::make_unique<int>(5)));
+  auto v = q.pop();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(**v, 5);
+}
+
+}  // namespace
+}  // namespace bsk::support
