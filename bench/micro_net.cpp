@@ -1,0 +1,104 @@
+// Experiment E13 — net micro-costs (google-benchmark).
+//
+// The wire and transport mechanisms behind distributed skeletons: frame
+// encode/decode throughput for task messages at several payload sizes, and
+// the one-task round-trip latency a RemoteConduit pays per process() call,
+// compared across the in-process (SPSC ring) and TCP loopback transports.
+// The Inproc-vs-Tcp gap is the price of crossing a real process boundary.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "net/transport.hpp"
+#include "net/wire.hpp"
+#include "rt/task.hpp"
+
+namespace {
+
+using namespace bsk;
+
+rt::Task payload_task(std::size_t payload_bytes) {
+  return rt::Task::data(
+      42, 0.001, std::vector<std::uint8_t>(payload_bytes, std::uint8_t{0xab}));
+}
+
+void BM_FrameEncodeTask(benchmark::State& state) {
+  const rt::Task t = payload_task(static_cast<std::size_t>(state.range(0)));
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    const auto wire = net::encode_frame(net::make_task(t));
+    bytes += wire.size();
+    benchmark::DoNotOptimize(wire.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_FrameEncodeTask)->Arg(0)->Arg(256)->Arg(4096)->Arg(65536);
+
+void BM_FrameDecodeTask(benchmark::State& state) {
+  const auto wire = net::encode_frame(
+      net::make_task(payload_task(static_cast<std::size_t>(state.range(0)))));
+  net::FrameDecoder dec;
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    dec.feed(wire.data(), wire.size());
+    auto f = dec.next();
+    bytes += wire.size();
+    benchmark::DoNotOptimize(f);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_FrameDecodeTask)->Arg(0)->Arg(256)->Arg(4096)->Arg(65536);
+
+// One task out, one result back — the steady-state unit of work of a
+// RemoteConduit — against an echo peer on its own thread.
+void round_trip_loop(benchmark::State& state, net::Transport& near,
+                     net::Transport& far) {
+  std::jthread echo([&far] {
+    net::Frame f;
+    while (far.recv(f) == net::RecvStatus::Ok) {
+      f.type = net::FrameType::ResultMsg;
+      if (!far.send(f)) break;
+    }
+  });
+  const net::Frame req = net::make_task(payload_task(256));
+  for (auto _ : state) {
+    near.send(req);
+    net::Frame rep;
+    if (near.recv(rep) != net::RecvStatus::Ok) {
+      state.SkipWithError("transport closed mid-benchmark");
+      break;
+    }
+    benchmark::DoNotOptimize(rep.payload.data());
+  }
+  near.close();
+  far.close();
+}
+
+void BM_InprocRoundTrip(benchmark::State& state) {
+  auto pair = net::InprocTransport::make_pair();
+  round_trip_loop(state, *pair.a, *pair.b);
+}
+BENCHMARK(BM_InprocRoundTrip)->Unit(benchmark::kMicrosecond);
+
+void BM_TcpLoopbackRoundTrip(benchmark::State& state) {
+  net::TcpListener listener(0);
+  if (!listener.valid()) {
+    state.SkipWithError("cannot bind loopback listener");
+    return;
+  }
+  auto client = net::TcpTransport::connect("127.0.0.1", listener.port());
+  auto server = listener.accept_for(2.0);
+  if (!client || !server) {
+    state.SkipWithError("loopback connect/accept failed");
+    return;
+  }
+  round_trip_loop(state, *client, *server);
+}
+BENCHMARK(BM_TcpLoopbackRoundTrip)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,95 @@
+// Two-process farm: the skeleton, its manager, emitter and collector run
+// here; the workers run in a bskd worker daemon reached over TCP loopback.
+//
+// The example spawns a bskd, builds a remote farm BS on it, streams 60
+// tasks through, and kills the daemon mid-stream: the pool's failure
+// detector reports the dead workers, the fault-tolerance rules replace
+// them (with local fallback nodes, since no daemon is left), and the
+// stream still completes — no task lost, exactly-once delivery.
+//
+// Run it standalone (bskd is spawned automatically):
+//   ./examples/remote_farm
+// or against an external daemon:
+//   ./src/net/bskd --port 5555 &   then   ./examples/remote_farm 5555
+
+#include <signal.h>
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "bs/remote_bs.hpp"
+
+#ifndef BSK_BSKD_PATH
+#define BSK_BSKD_PATH "bskd"
+#endif
+
+int main(int argc, char** argv) {
+  using namespace bsk;
+
+  support::ScopedClockScale clock(50.0);
+
+  net::BskdProcess daemon;
+  std::uint16_t port = 0;
+  if (argc > 1) {
+    port = static_cast<std::uint16_t>(std::atoi(argv[1]));
+  } else {
+    daemon = net::spawn_bskd(BSK_BSKD_PATH);
+    if (!daemon.valid()) {
+      std::fprintf(stderr, "failed to spawn %s\n", BSK_BSKD_PATH);
+      return 1;
+    }
+    port = daemon.port;
+    std::printf("spawned bskd pid=%d port=%u\n", daemon.pid, daemon.port);
+  }
+
+  net::WorkerPoolOptions pool_opts;
+  pool_opts.node_kind = "sim";
+  pool_opts.node.liveness_timeout_wall_s = 1.0;
+  net::WorkerPool pool({{"127.0.0.1", port}}, pool_opts);
+
+  support::EventLog log;
+  rt::FarmConfig farm_cfg;
+  farm_cfg.initial_workers = 2;
+  am::ManagerConfig mgr_cfg;
+  mgr_cfg.period = support::SimDuration(2.0);
+  auto farm_bs = bs::make_remote_farm_bs("remotefarm", farm_cfg, pool,
+                                         mgr_cfg, nullptr, {}, {}, &log);
+  auto& farm = dynamic_cast<rt::Farm&>(farm_bs->runnable());
+
+  farm.start();
+  farm_bs->start_managers();
+  farm_bs->manager().set_contract(am::Contract::min_throughput(0.5));
+
+  std::jthread feeder([&farm, &daemon] {
+    for (int i = 0; i < 60; ++i) {
+      farm.input()->push(rt::Task::data(i, 0.5));
+      if (i == 30 && daemon.pid > 0) {  // catastrophe mid-stream
+        std::printf("killing bskd pid=%d\n", daemon.pid);
+        ::kill(daemon.pid, SIGKILL);
+      }
+      support::Clock::sleep_for(support::SimDuration(0.25));
+    }
+    farm.input()->close();
+  });
+  std::jthread drainer([&farm] {
+    rt::Task t;
+    std::size_t done = 0;
+    while (farm.output()->pop(t) == support::ChannelStatus::Ok) ++done;
+    std::printf("drained %zu/60 results\n", done);
+  });
+
+  feeder.join();
+  farm.wait();
+  drainer.join();
+  farm_bs->stop_managers();
+  pool.stop_watch();
+
+  std::printf("remote workers created: %zu, local fallbacks: %zu\n",
+              pool.remote_nodes_created(), pool.fallback_nodes_created());
+  std::printf("worker crashes detected: %zu\n", farm.failures());
+  for (const auto& e : log.by_name("workerFail"))
+    std::printf("  t=%6.1fs  workerFail x%.0f\n", e.time, e.value);
+
+  if (daemon.pid > 0) net::stop_bskd(daemon, SIGKILL);
+  return 0;
+}

@@ -5,15 +5,53 @@ set -euo pipefail
 
 BUILD="${1:-build}"
 
-cmake -B "$BUILD" -G Ninja
-cmake --build "$BUILD"
+# Every bench binary the build is expected to produce (bench/CMakeLists.txt).
+# A missing entry aborts the run: a silently skipped experiment looks exactly
+# like a regenerated one in the logs, which is worse than failing.
+EXPECTED=(
+  fig3_single_am
+  fig4_hierarchy
+  fig5_rules
+  ablation_external_load
+  multiconcern_twophase
+  ablation_contract_split
+  des_scale
+  micro_runtime
+  ablation_fault_tolerance
+  ablation_stability
+  ablation_sched_policy
+  des_fig4
+  des_renegotiation
+  micro_net
+)
+
+# Only pick a generator for a fresh build dir; re-specifying one on an
+# existing dir configured differently makes cmake abort.
+if [ -f "$BUILD/CMakeCache.txt" ]; then
+  cmake -B "$BUILD"
+else
+  cmake -B "$BUILD" -G Ninja
+fi
+cmake --build "$BUILD" -j "$(nproc)"
 ctest --test-dir "$BUILD" --output-on-failure
 
-for b in "$BUILD"/bench/*; do
-  [ -x "$b" ] || continue
+missing=0
+for name in "${EXPECTED[@]}"; do
+  if [ ! -x "$BUILD/bench/$name" ]; then
+    echo "ERROR: expected bench binary missing or not executable: $BUILD/bench/$name" >&2
+    missing=1
+  fi
+done
+if [ "$missing" -ne 0 ]; then
+  echo "ERROR: refusing to run with missing experiments (see above)." >&2
+  exit 1
+fi
+
+for name in "${EXPECTED[@]}"; do
+  b="$BUILD/bench/$name"
   echo
   echo "===================================================================="
-  echo "== $(basename "$b")"
+  echo "== $name"
   echo "===================================================================="
   "$b"
 done

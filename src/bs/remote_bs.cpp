@@ -1,0 +1,19 @@
+#include "bs/remote_bs.hpp"
+
+namespace bsk::bs {
+
+std::unique_ptr<BehaviouralSkeleton> make_remote_farm_bs(
+    std::string name, rt::FarmConfig farm_cfg, net::WorkerPool& pool,
+    am::ManagerConfig mgr_cfg, sim::ResourceManager* rm,
+    sim::RecruitConstraints recruit, rt::Placement home,
+    support::EventLog* log, double watch_period_wall_s) {
+  auto bs = make_farm_bs(std::move(name), farm_cfg, pool.factory(), mgr_cfg,
+                         rm, std::move(recruit), home, log);
+  // Crashed-process replacement on top of the Fig. 5 performance policy.
+  bs->manager().load_rules(am::fault_tolerance_rules());
+  auto& farm = dynamic_cast<rt::Farm&>(bs->runnable());
+  pool.start_watch(farm, watch_period_wall_s);
+  return bs;
+}
+
+}  // namespace bsk::bs

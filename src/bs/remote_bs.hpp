@@ -1,0 +1,32 @@
+#pragma once
+// Remote placement for behavioural skeletons: a farm BS whose workers run
+// in bskd worker processes.
+//
+// make_remote_farm_bs is make_farm_bs with the worker NodeFactory replaced
+// by a net::WorkerPool — every worker the farm (or its manager, via
+// ADD_EXECUTOR) instantiates becomes a RemoteWorkerNode connected to one of
+// the pool's bskd endpoints. The manager additionally gets the
+// fault-tolerance rule set: the pool's crash detector turns a killed bskd
+// into Farm::failures(), FarmAbc::sense() into WorkerFailureBean, and the
+// rules into ADD_EXECUTOR — which the pool satisfies with a fresh remote
+// worker, or a local fallback when no bskd is left alive.
+
+#include <memory>
+#include <string>
+
+#include "bs/behavioural_skeleton.hpp"
+#include "net/worker_pool.hpp"
+
+namespace bsk::bs {
+
+/// Build a farm BS on remote workers. The pool must outlive the skeleton;
+/// its crash detector is started against the farm (watch_period_wall_s,
+/// wall seconds). `rm` may still supply core leases so resource accounting
+/// matches local farms.
+std::unique_ptr<BehaviouralSkeleton> make_remote_farm_bs(
+    std::string name, rt::FarmConfig farm_cfg, net::WorkerPool& pool,
+    am::ManagerConfig mgr_cfg = {}, sim::ResourceManager* rm = nullptr,
+    sim::RecruitConstraints recruit = {}, rt::Placement home = {},
+    support::EventLog* log = nullptr, double watch_period_wall_s = 0.1);
+
+}  // namespace bsk::bs

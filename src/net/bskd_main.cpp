@@ -1,0 +1,178 @@
+// bskd — the bsk worker daemon.
+//
+// Hosts farm workers for a parent process speaking the bsk::net wire
+// protocol. One TCP connection per hosted worker: the parent's
+// RemoteWorkerNode connects, handshakes (Hello/HelloAck), then streams
+// TaskMsg frames; bskd runs each task through the node kind the handshake
+// requested and replies with a ResultMsg (a WorkerDone-kind reply marks a
+// filtered task). Each session thread also beats a heartbeat every
+// `heartbeat_wall_s` (from the Hello) so the parent's failure detector can
+// tell a long-running task from a dead peer.
+//
+//   bskd [--port N] [--port-file PATH]
+//
+// --port 0 (the default) binds an ephemeral port; --port-file writes the
+// bound port as decimal text once listening — how spawn_bskd() and the
+// two-process example learn where to connect.
+
+#include <signal.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/remote_conduit.hpp"
+#include "net/transport.hpp"
+#include "net/wire.hpp"
+#include "rt/node.hpp"
+#include "support/clock.hpp"
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void on_signal(int) { g_stop.store(true); }
+
+/// Instantiate the worker node a session asked for.
+std::unique_ptr<bsk::rt::Node> make_node(const std::string& kind) {
+  using bsk::rt::LambdaNode;
+  using bsk::rt::SimComputeNode;
+  using bsk::rt::Task;
+  if (kind == "echo")
+    return std::make_unique<LambdaNode>(
+        [](Task t) -> std::optional<Task> { return t; });
+  if (kind == "filter_odd")
+    return std::make_unique<LambdaNode>([](Task t) -> std::optional<Task> {
+      if (t.id % 2 == 1) return std::nullopt;
+      return t;
+    });
+  return std::make_unique<SimComputeNode>();  // "sim" and anything unknown
+}
+
+void serve_session(std::unique_ptr<bsk::net::TcpTransport> owned,
+                   std::uint64_t session_id) {
+  using namespace bsk::net;
+  std::shared_ptr<TcpTransport> tp{std::move(owned)};
+
+  Hello hello;
+  if (!server_handshake(*tp, 5.0, session_id, &hello)) {
+    tp->close();
+    return;
+  }
+  if (hello.clock_scale > 0.0) bsk::support::Clock::set_scale(hello.clock_scale);
+  const double hb =
+      hello.heartbeat_wall_s > 0.0 ? hello.heartbeat_wall_s : 0.25;
+
+  auto node = make_node(hello.node_kind);
+  node->on_start();
+
+  // Heartbeats on their own thread: a long task must not silence them.
+  std::jthread beater([tp, hb](std::stop_token st) {
+    std::uint64_t seq = 0;
+    while (!st.stop_requested() && !tp->closed()) {
+      tp->send(make_heartbeat({seq++, wall_now()}));
+      std::this_thread::sleep_for(std::chrono::duration<double>(hb));
+    }
+  });
+
+  bool running = true;
+  while (running && !g_stop.load()) {
+    Frame f;
+    switch (tp->recv_for(f, 0.25)) {
+      case RecvStatus::Closed:
+        running = false;
+        continue;
+      case RecvStatus::TimedOut:
+        continue;
+      case RecvStatus::Ok:
+        break;
+    }
+    switch (f.type) {
+      case FrameType::TaskMsg: {
+        auto t = parse_task(f);
+        if (!t) break;  // malformed: drop
+        auto r = node->process(std::move(*t));
+        const Frame reply = r ? make_task(*r, FrameType::ResultMsg)
+                              : make_task(bsk::rt::Task::worker_done(),
+                                          FrameType::ResultMsg);
+        if (!tp->send(reply)) running = false;
+        break;
+      }
+      case FrameType::SecureReq:
+        tp->mark_secured();
+        tp->send(Frame{FrameType::SecureAck, {}});
+        break;
+      case FrameType::Shutdown:
+        running = false;
+        break;
+      default:
+        break;  // not meaningful on a worker channel
+    }
+  }
+
+  node->on_stop();
+  beater.request_stop();
+  tp->close();
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr, "usage: %s [--port N] [--port-file PATH]\n", argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint16_t port = 0;
+  std::string port_file;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--port" && i + 1 < argc) {
+      const char* s = argv[++i];
+      char* end = nullptr;
+      const unsigned long v = std::strtoul(s, &end, 10);
+      if (end == s || *end != '\0' || v > 65535) {
+        std::fprintf(stderr, "bskd: invalid port '%s'\n", s);
+        return usage(argv[0]);
+      }
+      port = static_cast<std::uint16_t>(v);
+    } else if (arg == "--port-file" && i + 1 < argc) {
+      port_file = argv[++i];
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  struct sigaction sa{};
+  sa.sa_handler = on_signal;
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::signal(SIGPIPE, SIG_IGN);
+
+  bsk::net::TcpListener listener(port);
+  if (!listener.valid()) {
+    std::fprintf(stderr, "bskd: cannot listen on port %u\n", port);
+    return 1;
+  }
+  std::fprintf(stderr, "bskd: listening on 127.0.0.1:%u\n", listener.port());
+  if (!port_file.empty()) {
+    std::ofstream out(port_file, std::ios::trunc);
+    out << listener.port() << '\n';
+  }
+
+  std::vector<std::jthread> sessions;
+  std::uint64_t next_session = 1;
+  while (!g_stop.load()) {
+    auto tp = listener.accept_for(0.25);
+    if (!tp) continue;
+    sessions.emplace_back(serve_session, std::move(tp), next_session++);
+  }
+  listener.close();
+  return 0;  // jthreads join; sessions see g_stop and wind down
+}

@@ -1,0 +1,107 @@
+#pragma once
+// ABC over the wire: am::AutonomicManager drives a skeleton in another
+// process without knowing it.
+//
+// RemoteAbc is the client half — an am::Abc whose sense() and actuators are
+// RPCs over a Transport (SensorReq/SensorRep, ActReq/ActRep). A manager
+// built against the Abc interface monitors and reconfigures the remote
+// skeleton unchanged.
+//
+// The two-phase secure-before-commit protocol survives the process split:
+// the *local* commit gate (installed by the multi-concern GeneralManager)
+// examines the AddWorker intent first — remote workers sit across a
+// process/machine boundary, so the intent is presented as target-untrusted
+// by default — and its require_secure annotation travels inside the
+// ActRequest. AbcServer, the server half, re-injects that annotation
+// through a transient commit gate on the wrapped Abc, so the remote farm
+// instantiates the worker with its links (and its node's own wire channel,
+// via Node::secure_channels) secured before any task can reach it.
+//
+// SecureLinks doubles as the control channel's own upgrade: the server
+// secures the wrapped skeleton's links and both ends mark the transport
+// secured — Link::secure() semantics mapped onto a live connection.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "am/abc.hpp"
+#include "net/transport.hpp"
+#include "net/wire.hpp"
+
+namespace bsk::net {
+
+struct RemoteAbcOptions {
+  double rpc_timeout_wall_s = 5.0;
+  /// Present remote AddWorker intents as target-untrusted to the local
+  /// commit gate (a remote worker crosses a trust boundary by default).
+  bool assume_remote_untrusted = true;
+};
+
+/// Client-side Abc: every call is a synchronous RPC on the transport.
+class RemoteAbc final : public am::Abc {
+ public:
+  explicit RemoteAbc(std::shared_ptr<Transport> tp, RemoteAbcOptions opts = {})
+      : tp_(std::move(tp)), opts_(opts) {}
+
+  /// Snapshot the remote skeleton. On timeout or a dead connection the
+  /// snapshot comes back with valid=false — the manager treats it as a
+  /// sensor blackout, exactly like a local reconfiguration window.
+  am::Sensors sense() override;
+
+  bool add_worker() override;
+  bool remove_worker() override;
+  std::size_t rebalance() override;
+  bool set_rate(double tasks_per_s) override;
+  std::size_t secure_links() override;
+
+  bool connected() const { return !tp_->closed(); }
+  Transport& transport() { return *tp_; }
+
+ private:
+  /// Round-trip one actuator command. Returns the reply, or nullopt on
+  /// timeout/disconnect.
+  std::optional<ActReply> call(ActRequest req);
+
+  std::shared_ptr<Transport> tp_;
+  RemoteAbcOptions opts_;
+  std::mutex rpc_mu_;  // one RPC in flight at a time
+  std::uint32_t next_seq_ = 1;
+};
+
+/// Server half: owns one control-channel transport and executes requests
+/// against a wrapped Abc. Installs transient commit gates to carry the
+/// client's require_secure annotation, so it must own the target's gate for
+/// its lifetime (compose multi-concern gates on the client side).
+class AbcServer {
+ public:
+  AbcServer(am::Abc& target, std::shared_ptr<Transport> tp)
+      : target_(target), tp_(std::move(tp)) {}
+  ~AbcServer() { stop(); }
+
+  AbcServer(const AbcServer&) = delete;
+  AbcServer& operator=(const AbcServer&) = delete;
+
+  /// Serve until the connection closes (blocking).
+  void serve();
+
+  /// Serve on a background thread.
+  void start();
+
+  /// Close the channel and join the serving thread.
+  void stop();
+
+  std::uint64_t requests_served() const { return served_.load(); }
+
+ private:
+  void handle(const Frame& f);
+
+  am::Abc& target_;
+  std::shared_ptr<Transport> tp_;
+  std::atomic<std::uint64_t> served_{0};
+  std::jthread thread_;
+};
+
+}  // namespace bsk::net

@@ -1,0 +1,104 @@
+#include "net/remote_conduit.hpp"
+
+namespace bsk::net {
+
+support::ChannelStatus RemoteConduit::pop_wall(rt::Task& out,
+                                               double wall_seconds) {
+  const bool bounded = wall_seconds >= 0.0;
+  const double deadline = bounded ? wall_now() + wall_seconds : 0.0;
+  Frame f;
+  for (;;) {
+    RecvStatus st;
+    if (bounded) {
+      const double left = deadline - wall_now();
+      if (left <= 0.0) return support::ChannelStatus::TimedOut;
+      st = tp_->recv_for(f, left);
+    } else {
+      st = tp_->recv(f);
+    }
+    if (st == RecvStatus::Closed) return support::ChannelStatus::Closed;
+    if (st == RecvStatus::TimedOut) return support::ChannelStatus::TimedOut;
+
+    if (f.type == recv_type_) {
+      if (auto t = parse_task(f)) {
+        out = std::move(*t);
+        return support::ChannelStatus::Ok;
+      }
+      continue;  // malformed frame: drop, keep the stream alive
+    }
+    if (f.type == FrameType::SecureAck) {
+      tp_->mark_secured();
+      continue;
+    }
+    if (f.type == FrameType::Shutdown) {
+      tp_->close();
+      return support::ChannelStatus::Closed;
+    }
+    // Unrelated frame type on this channel: ignore.
+  }
+}
+
+std::optional<rt::Task> RemoteWorkerNode::process(rt::Task t) {
+  if (failed()) {
+    failed_.store(true, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  if (!chan_.push(std::move(t))) {
+    failed_.store(true, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  rt::Task r;
+  for (;;) {
+    switch (chan_.pop_wall(r, opts_.result_poll_wall_s)) {
+      case support::ChannelStatus::Ok:
+        // A WorkerDone-kind reply means the peer's node filtered the task.
+        if (r.kind == rt::TaskKind::WorkerDone) return std::nullopt;
+        return r;
+      case support::ChannelStatus::Closed:
+        failed_.store(true, std::memory_order_relaxed);
+        return std::nullopt;
+      case support::ChannelStatus::TimedOut:
+        // Long-running task or dead peer? Heartbeats decide.
+        if (failed()) {
+          failed_.store(true, std::memory_order_relaxed);
+          return std::nullopt;
+        }
+        break;
+    }
+  }
+}
+
+bool client_handshake(Transport& tp, const Hello& hello,
+                      double timeout_wall_s, HelloAck* ack_out) {
+  if (!tp.send(make_hello(hello))) return false;
+  const double deadline = wall_now() + timeout_wall_s;
+  Frame f;
+  for (;;) {
+    const double left = deadline - wall_now();
+    if (left <= 0.0) return false;
+    if (tp.recv_for(f, left) != RecvStatus::Ok) return false;
+    if (f.type != FrameType::HelloAck) continue;  // e.g. an early heartbeat
+    const auto ack = parse_hello_ack(f);
+    if (!ack) return false;
+    if (ack_out) *ack_out = *ack;
+    return ack->ok && ack->version == kProtocolVersion;
+  }
+}
+
+bool server_handshake(Transport& tp, double timeout_wall_s,
+                      std::uint64_t session, Hello* hello_out) {
+  Frame f;
+  if (tp.recv_for(f, timeout_wall_s) != RecvStatus::Ok) return false;
+  if (f.type != FrameType::Hello) return false;
+  const auto hello = parse_hello(f);
+  HelloAck ack;
+  ack.session = session;
+  ack.ok = hello.has_value() && hello->magic == kMagic &&
+           hello->version == kProtocolVersion;
+  tp.send(make_hello_ack(ack));
+  if (!ack.ok) return false;
+  if (hello_out) *hello_out = *hello;
+  return true;
+}
+
+}  // namespace bsk::net

@@ -1,0 +1,177 @@
+#pragma once
+// Transport-backed runtime adapters: the seam between rt::Farm and bsk::net.
+//
+// Three pieces, layered exactly like their local counterparts:
+//
+//   RemoteLink — an rt::Link whose secure() upgrades the underlying wire
+//     connection (SecureReq; the peer confirms with SecureAck). Cost
+//     accounting (simulated transfer and handshake time) stays in the base
+//     class, so managers observe the same economics for local and remote
+//     edges.
+//
+//   RemoteConduit — an rt::Conduit that sends pushed tasks as TaskMsg
+//     frames and turns received ResultMsg frames back into tasks.
+//     steal_back() returns nothing: tasks already committed to the wire
+//     cannot be recalled (crash recovery instead replays the in-flight copy
+//     kept on the parent side).
+//
+//   RemoteWorkerNode — an rt::Node whose process() round-trips each task
+//     through a peer process (bskd). The farm keeps its normal local input
+//     queue in front of this node, so at most one task is ever outstanding
+//     on the wire: a peer crash loses at most that one task, and the
+//     parent-side copy (Farm's in-flight tracking) restores it. failed()
+//     reports peer death — connection EOF or heartbeat silence — which
+//     Farm::fail_crashed_workers() turns into WorkerFailureBean facts.
+//
+// Ordering note: SecureReq is sent on the same ordered stream as task
+// frames, and the peer upgrades before reading anything sent after it — so
+// "secured before any task reaches the worker" holds without blocking for
+// the ack (which is absorbed whenever it arrives).
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "net/transport.hpp"
+#include "net/wire.hpp"
+#include "rt/conduit.hpp"
+#include "rt/node.hpp"
+
+namespace bsk::net {
+
+/// Link over a live transport: secure() upgrades the wire channel.
+class RemoteLink final : public rt::Link {
+ public:
+  explicit RemoteLink(std::shared_ptr<Transport> tp) : tp_(std::move(tp)) {}
+
+  void secure() override {
+    if (tp_ && !tp_->secured()) {
+      tp_->send(Frame{FrameType::SecureReq, {}});
+      tp_->mark_secured();
+    }
+    rt::Link::secure();  // idempotent; charges the simulated handshake
+  }
+
+ private:
+  std::shared_ptr<Transport> tp_;
+};
+
+/// Conduit whose queue is a peer process reached through a Transport.
+class RemoteConduit final : public rt::Conduit {
+ public:
+  explicit RemoteConduit(std::shared_ptr<Transport> tp,
+                         FrameType send_type = FrameType::TaskMsg,
+                         FrameType recv_type = FrameType::ResultMsg)
+      : tp_(std::move(tp)),
+        send_type_(send_type),
+        recv_type_(recv_type),
+        link_(tp_) {}
+
+  bool push(rt::Task t) override {
+    link_.charge(t);
+    pushed_.fetch_add(1, std::memory_order_relaxed);
+    return tp_->send(make_task(t, send_type_));
+  }
+
+  bool try_push(rt::Task t) override { return push(std::move(t)); }
+
+  support::ChannelStatus pop(rt::Task& out) override {
+    return pop_wall(out, -1.0);
+  }
+
+  support::ChannelStatus pop_for(rt::Task& out,
+                                 support::SimDuration d) override {
+    const auto wall = std::chrono::duration_cast<
+        std::chrono::duration<double>>(support::Clock::to_wall(d));
+    return pop_wall(out, wall.count());
+  }
+
+  /// pop with a *wall*-seconds timeout (< 0 = block until closed).
+  support::ChannelStatus pop_wall(rt::Task& out, double wall_seconds);
+
+  void close() override {
+    tp_->send(Frame{FrameType::Shutdown, {}});
+    tp_->close();
+  }
+  bool closed() const override { return tp_->closed(); }
+
+  /// Wire depth is not observable; report the tasks we have committed.
+  std::size_t size() const override { return 0; }
+  std::size_t capacity() const override { return 1; }
+
+  /// Tasks on the wire cannot be recalled.
+  std::deque<rt::Task> steal_back(std::size_t) override { return {}; }
+
+  rt::Link& link() override { return link_; }
+  const rt::Link& link() const override { return link_; }
+
+  Transport& transport() { return *tp_; }
+  std::uint64_t pushed() const { return pushed_.load(); }
+
+ private:
+  std::shared_ptr<Transport> tp_;
+  FrameType send_type_;
+  FrameType recv_type_;
+  RemoteLink link_;
+  std::atomic<std::uint64_t> pushed_{0};
+};
+
+/// Tuning knobs of a remote worker node.
+struct RemoteNodeOptions {
+  /// How often the result wait wakes up to re-check peer liveness.
+  double result_poll_wall_s = 0.25;
+  /// Peer silence (no frames, heartbeats included) past this marks the
+  /// worker failed. <= 0 disables the heartbeat detector (EOF still fires).
+  double liveness_timeout_wall_s = 2.0;
+};
+
+/// Farm worker whose computation lives in a peer process.
+class RemoteWorkerNode final : public rt::Node {
+ public:
+  explicit RemoteWorkerNode(std::shared_ptr<Transport> tp,
+                            RemoteNodeOptions opts = {})
+      : tp_(std::move(tp)), opts_(opts), chan_(tp_) {}
+
+  std::optional<rt::Task> process(rt::Task t) override;
+
+  bool failed() const override {
+    if (failed_.load(std::memory_order_relaxed)) return true;
+    if (tp_->closed()) return true;
+    return opts_.liveness_timeout_wall_s > 0.0 &&
+           tp_->idle_seconds() > opts_.liveness_timeout_wall_s;
+  }
+
+  std::size_t secure_channels() override {
+    if (tp_->secured()) return 0;
+    chan_.link().secure();
+    return 1;
+  }
+
+  void on_stop() override {
+    if (!tp_->closed()) chan_.close();  // Shutdown + transport close
+  }
+
+  Transport& transport() { return *tp_; }
+
+ private:
+  std::shared_ptr<Transport> tp_;
+  RemoteNodeOptions opts_;
+  RemoteConduit chan_;
+  std::atomic<bool> failed_{false};
+};
+
+// ------------------------------------------------------------- handshake
+
+/// Client side of the connection handshake: send Hello, await HelloAck.
+/// False on timeout, version mismatch, or refusal (transport is closed).
+bool client_handshake(Transport& tp, const Hello& hello,
+                      double timeout_wall_s, HelloAck* ack_out = nullptr);
+
+/// Server side: await Hello, validate magic/version, reply HelloAck.
+/// False on timeout or a malformed/incompatible Hello (refusal is sent).
+bool server_handshake(Transport& tp, double timeout_wall_s,
+                      std::uint64_t session, Hello* hello_out = nullptr);
+
+}  // namespace bsk::net

@@ -1,0 +1,387 @@
+#include "net/transport.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "support/clock.hpp"
+
+namespace bsk::net {
+
+double wall_now() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::duration<double>>(
+             std::chrono::steady_clock::now() - epoch)
+      .count();
+}
+
+// ------------------------------------------------------------------ inproc
+
+InprocTransport::Pair InprocTransport::make_pair(std::size_t capacity) {
+  auto q1 = std::make_shared<Queue>(capacity);
+  auto q2 = std::make_shared<Queue>(capacity);
+  Pair p;
+  p.a = std::shared_ptr<InprocTransport>(new InprocTransport(q1, q2));
+  p.b = std::shared_ptr<InprocTransport>(new InprocTransport(q2, q1));
+  return p;
+}
+
+bool InprocTransport::send(const Frame& f) {
+  for (;;) {
+    if (out_->closed.load(std::memory_order_acquire) ||
+        in_->closed.load(std::memory_order_acquire))
+      return false;
+    // Serialize producers: the ring itself is strictly single-producer.
+    while (out_->producer_lock.test_and_set(std::memory_order_acquire))
+      std::this_thread::yield();
+    const bool pushed = !out_->closed.load(std::memory_order_acquire) &&
+                        out_->ring.push(f);
+    out_->producer_lock.clear(std::memory_order_release);
+    if (pushed) {
+      frames_sent_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+    if (out_->closed.load(std::memory_order_acquire)) return false;
+    std::this_thread::sleep_for(std::chrono::microseconds(20));  // ring full
+  }
+}
+
+RecvStatus InprocTransport::recv_until(Frame& out, bool bounded,
+                                       double wall_seconds) {
+  const double deadline = wall_now() + wall_seconds;
+  for (;;) {
+    if (auto f = in_->ring.pop()) {
+      if (f->type == FrameType::Heartbeat) {
+        heartbeats_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      out = std::move(*f);
+      frames_received_.fetch_add(1, std::memory_order_relaxed);
+      return RecvStatus::Ok;
+    }
+    if (in_->closed.load(std::memory_order_acquire) && in_->ring.empty())
+      return RecvStatus::Closed;
+    if (bounded && wall_now() >= deadline) return RecvStatus::TimedOut;
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+}
+
+RecvStatus InprocTransport::recv(Frame& out) {
+  return recv_until(out, /*bounded=*/false, 0.0);
+}
+
+RecvStatus InprocTransport::recv_for(Frame& out, double wall_seconds) {
+  return recv_until(out, /*bounded=*/true, wall_seconds);
+}
+
+void InprocTransport::close() {
+  out_->closed.store(true, std::memory_order_release);
+  in_->closed.store(true, std::memory_order_release);
+}
+
+bool InprocTransport::closed() const {
+  return out_->closed.load(std::memory_order_acquire) ||
+         in_->closed.load(std::memory_order_acquire);
+}
+
+TransportStats InprocTransport::stats() const {
+  TransportStats s;
+  s.frames_sent = frames_sent_.load();
+  s.frames_received = frames_received_.load();
+  s.heartbeats_seen = heartbeats_.load();
+  return s;
+}
+
+// --------------------------------------------------------------------- tcp
+
+namespace {
+
+void set_nonblock(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+}  // namespace
+
+TcpTransport::TcpTransport(int fd, TcpOptions opts)
+    : fd_(fd),
+      opts_(opts),
+      decoder_(opts.max_frame),
+      inbound_(opts.inbound_capacity) {
+  last_rx_wall_.store(wall_now());
+  set_nonblock(fd_);
+  int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  if (::pipe(wake_pipe_) == 0) {
+    set_nonblock(wake_pipe_[0]);
+    set_nonblock(wake_pipe_[1]);
+  }
+  io_ = std::jthread([this] { io_loop(); });
+}
+
+std::unique_ptr<TcpTransport> TcpTransport::connect(const std::string& host,
+                                                    std::uint16_t port,
+                                                    TcpOptions opts) {
+  for (int attempt = 0; attempt <= opts.connect_retries; ++attempt) {
+    if (attempt > 0)
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(opts.retry_backoff_s));
+
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) continue;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+      ::close(fd);
+      return nullptr;  // bad address: retrying cannot help
+    }
+    set_nonblock(fd);
+    const int rc =
+        ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr);
+    if (rc == 0)
+      return std::make_unique<TcpTransport>(fd, opts);
+    if (errno == EINPROGRESS) {
+      pollfd pfd{fd, POLLOUT, 0};
+      const int timeout_ms = static_cast<int>(opts.connect_timeout_s * 1000.0);
+      if (::poll(&pfd, 1, timeout_ms) == 1) {
+        int err = 0;
+        socklen_t len = sizeof err;
+        ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len);
+        if (err == 0) return std::make_unique<TcpTransport>(fd, opts);
+      }
+    }
+    ::close(fd);
+  }
+  return nullptr;
+}
+
+TcpTransport::~TcpTransport() {
+  close();
+  if (io_.joinable()) io_.join();
+  if (wake_pipe_[0] >= 0) ::close(wake_pipe_[0]);
+  if (wake_pipe_[1] >= 0) ::close(wake_pipe_[1]);
+}
+
+void TcpTransport::wake() {
+  if (wake_pipe_[1] >= 0) {
+    const char c = 1;
+    [[maybe_unused]] const ssize_t n = ::write(wake_pipe_[1], &c, 1);
+  }
+}
+
+void TcpTransport::shutdown_fd() {
+  if (fd_ >= 0) {
+    ::shutdown(fd_, SHUT_RDWR);
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool TcpTransport::send(const Frame& f) {
+  if (closed_.load(std::memory_order_acquire)) return false;
+  const std::vector<std::uint8_t> bytes = encode_frame(f);
+  {
+    std::scoped_lock lk(out_mu_);
+    if (closed_.load(std::memory_order_acquire)) return false;
+    outbuf_.insert(outbuf_.end(), bytes.begin(), bytes.end());
+  }
+  frames_sent_.fetch_add(1, std::memory_order_relaxed);
+  wake();
+  return true;
+}
+
+void TcpTransport::io_loop() {
+  std::vector<std::uint8_t> pending;
+  std::size_t pending_off = 0;
+  std::uint8_t rbuf[64 * 1024];
+  double closing_since = -1.0;
+  bool dead = false;
+
+  while (!dead) {
+    bool want_write;
+    {
+      std::scoped_lock lk(out_mu_);
+      if (pending_off >= pending.size() && !outbuf_.empty()) {
+        pending.swap(outbuf_);
+        outbuf_.clear();
+        pending_off = 0;
+      }
+      want_write = pending_off < pending.size();
+    }
+
+    if (closed_.load(std::memory_order_acquire)) {
+      if (!want_write) break;  // flushed: orderly shutdown
+      if (closing_since < 0.0)
+        closing_since = wall_now();
+      else if (wall_now() - closing_since > 1.0)
+        break;  // peer not draining; give up on the tail
+    }
+
+    pollfd fds[2] = {
+        {fd_, static_cast<short>(POLLIN | (want_write ? POLLOUT : 0)), 0},
+        {wake_pipe_[0], POLLIN, 0},
+    };
+    const int rc = ::poll(fds, 2, 100);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+
+    if (fds[1].revents & POLLIN) {
+      char drain[64];
+      while (::read(wake_pipe_[0], drain, sizeof drain) > 0) {
+      }
+    }
+
+    if (fds[0].revents & (POLLIN | POLLHUP | POLLERR)) {
+      for (;;) {
+        const ssize_t n = ::read(fd_, rbuf, sizeof rbuf);
+        if (n > 0) {
+          bytes_received_.fetch_add(static_cast<std::uint64_t>(n),
+                                    std::memory_order_relaxed);
+          last_rx_wall_.store(wall_now(), std::memory_order_relaxed);
+          decoder_.feed(rbuf, static_cast<std::size_t>(n));
+          while (auto f = decoder_.next()) {
+            if (f->type == FrameType::Heartbeat) {
+              heartbeats_.fetch_add(1, std::memory_order_relaxed);
+              continue;
+            }
+            frames_received_.fetch_add(1, std::memory_order_relaxed);
+            if (!inbound_.push(std::move(*f))) {
+              dead = true;  // closed locally while we blocked
+              break;
+            }
+          }
+          if (decoder_.error()) dead = true;  // corrupt stream
+          if (dead) break;
+          continue;
+        }
+        if (n == 0) {  // EOF: peer closed
+          dead = true;
+          break;
+        }
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+        if (errno == EINTR) continue;
+        dead = true;  // hard socket error
+        break;
+      }
+    }
+
+    if (!dead && want_write && (fds[0].revents & POLLOUT)) {
+      const ssize_t n = ::write(fd_, pending.data() + pending_off,
+                                pending.size() - pending_off);
+      if (n > 0) {
+        pending_off += static_cast<std::size_t>(n);
+        bytes_sent_.fetch_add(static_cast<std::uint64_t>(n),
+                              std::memory_order_relaxed);
+      } else if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
+                 errno != EINTR) {
+        dead = true;
+      }
+    }
+  }
+
+  closed_.store(true, std::memory_order_release);
+  inbound_.close();  // consumers drain parsed frames, then see Closed
+  shutdown_fd();
+}
+
+RecvStatus TcpTransport::recv(Frame& out) {
+  return inbound_.pop(out) == support::ChannelStatus::Ok ? RecvStatus::Ok
+                                                         : RecvStatus::Closed;
+}
+
+RecvStatus TcpTransport::recv_for(Frame& out, double wall_seconds) {
+  // Channel timeouts are simulated-time; scale so the wait is wall time.
+  const auto d =
+      support::SimDuration(wall_seconds * support::Clock::scale());
+  switch (inbound_.pop_for(out, d)) {
+    case support::ChannelStatus::Ok:
+      return RecvStatus::Ok;
+    case support::ChannelStatus::Closed:
+      return RecvStatus::Closed;
+    case support::ChannelStatus::TimedOut:
+      return RecvStatus::TimedOut;
+  }
+  return RecvStatus::TimedOut;
+}
+
+void TcpTransport::close() {
+  closed_.store(true, std::memory_order_release);
+  inbound_.close();
+  wake();
+}
+
+bool TcpTransport::closed() const {
+  return closed_.load(std::memory_order_acquire);
+}
+
+double TcpTransport::idle_seconds() const {
+  return wall_now() - last_rx_wall_.load(std::memory_order_relaxed);
+}
+
+TransportStats TcpTransport::stats() const {
+  TransportStats s;
+  s.frames_sent = frames_sent_.load();
+  s.frames_received = frames_received_.load();
+  s.bytes_sent = bytes_sent_.load();
+  s.bytes_received = bytes_received_.load();
+  s.heartbeats_seen = heartbeats_.load();
+  return s;
+}
+
+// ---------------------------------------------------------------- listener
+
+TcpListener::TcpListener(std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) return;
+  int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(fd_, 64) != 0) {
+    ::close(fd_);
+    fd_ = -1;
+    return;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &len) == 0)
+    port_ = ntohs(bound.sin_port);
+}
+
+TcpListener::~TcpListener() { close(); }
+
+std::unique_ptr<TcpTransport> TcpListener::accept_for(double wall_seconds,
+                                                      TcpOptions opts) {
+  if (fd_ < 0) return nullptr;
+  const int timeout_ms =
+      wall_seconds < 0.0 ? -1 : static_cast<int>(wall_seconds * 1000.0);
+  pollfd pfd{fd_, POLLIN, 0};
+  const int rc = ::poll(&pfd, 1, timeout_ms);
+  if (rc != 1) return nullptr;
+  const int cfd = ::accept(fd_, nullptr, nullptr);
+  if (cfd < 0) return nullptr;
+  return std::make_unique<TcpTransport>(cfd, opts);
+}
+
+void TcpListener::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace bsk::net

@@ -1,0 +1,213 @@
+#pragma once
+// bsk::net transports: frame-oriented, bidirectional, connected endpoints.
+//
+// A Transport is one end of an established connection. Two backends:
+//
+//   InprocTransport — a lock-free SPSC ring pair between two endpoints in
+//     the same process. No syscalls, no timers: existing tests and benches
+//     stay fast and deterministic while exercising the exact frame protocol
+//     the TCP backend speaks.
+//
+//   TcpTransport — a real loopback/LAN socket. A dedicated I/O thread runs
+//     a poll()-based event loop over the socket and a self-pipe (so send()
+//     wakes the loop immediately instead of waiting out a poll tick),
+//     drains a per-connection send queue, and re-frames the inbound byte
+//     stream into a bounded Channel<Frame>. connect() takes a timeout and a
+//     bounded retry budget.
+//
+// Timeouts on the transport API are *wall* seconds: liveness and I/O pacing
+// are properties of the real machine, not of the simulated clock. (Code
+// that waits in simulated time converts with Clock::to_wall first.)
+//
+// Heartbeat frames are absorbed at this layer — they refresh idle_seconds()
+// and are never surfaced to recv(), so every consumer gets liveness
+// tracking without protocol noise.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "support/channel.hpp"
+#include "support/spsc_ring.hpp"
+#include "net/wire.hpp"
+
+namespace bsk::net {
+
+enum class RecvStatus { Ok, Closed, TimedOut };
+
+struct TransportStats {
+  std::uint64_t frames_sent = 0;
+  std::uint64_t frames_received = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+  std::uint64_t heartbeats_seen = 0;
+};
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Enqueue a frame for delivery. Thread-safe. False once the connection
+  /// is closed (locally or by the peer).
+  virtual bool send(const Frame& f) = 0;
+
+  /// Block until a frame arrives or the connection closes and drains.
+  virtual RecvStatus recv(Frame& out) = 0;
+
+  /// recv with a wall-clock timeout (seconds).
+  virtual RecvStatus recv_for(Frame& out, double wall_seconds) = 0;
+
+  /// Close this end. recv on the peer drains buffered frames then reports
+  /// Closed. Idempotent.
+  virtual void close() = 0;
+
+  /// True once either end has closed (peer death included).
+  virtual bool closed() const = 0;
+
+  /// Wall seconds since the last frame (heartbeats included) arrived from
+  /// the peer — the liveness input of failure detection.
+  virtual double idle_seconds() const = 0;
+
+  /// Channel security state (flipped by the SecureReq/SecureAck exchange;
+  /// stands in for a real TLS upgrade, which slots in behind this flag).
+  bool secured() const { return secured_.load(std::memory_order_relaxed); }
+  void mark_secured() { secured_.store(true, std::memory_order_relaxed); }
+
+  virtual TransportStats stats() const = 0;
+
+ protected:
+  std::atomic<bool> secured_{false};
+};
+
+// ------------------------------------------------------------------ inproc
+
+/// In-process transport: each direction is a lock-free SPSC ring. Sends
+/// from multiple threads are serialized by a tiny spinlock on the producer
+/// side (the ring itself stays single-producer); receive is single-consumer
+/// by contract, matching how every conduit/ABC consumer is structured.
+class InprocTransport final : public Transport {
+ public:
+  struct Pair {
+    std::shared_ptr<InprocTransport> a;
+    std::shared_ptr<InprocTransport> b;
+  };
+
+  /// Create a connected endpoint pair with the given per-direction queue
+  /// capacity (rounded up to a power of two).
+  static Pair make_pair(std::size_t capacity = 1024);
+
+  bool send(const Frame& f) override;
+  RecvStatus recv(Frame& out) override;
+  RecvStatus recv_for(Frame& out, double wall_seconds) override;
+  void close() override;
+  bool closed() const override;
+  double idle_seconds() const override { return 0.0; }
+  TransportStats stats() const override;
+
+ private:
+  struct Queue {
+    explicit Queue(std::size_t cap) : ring(cap) {}
+    support::SpscRing<Frame> ring;
+    std::atomic_flag producer_lock = ATOMIC_FLAG_INIT;
+    std::atomic<bool> closed{false};
+  };
+
+  InprocTransport(std::shared_ptr<Queue> out, std::shared_ptr<Queue> in)
+      : out_(std::move(out)), in_(std::move(in)) {}
+
+  RecvStatus recv_until(Frame& out, bool bounded, double wall_seconds);
+
+  std::shared_ptr<Queue> out_;
+  std::shared_ptr<Queue> in_;
+  std::atomic<std::uint64_t> frames_sent_{0};
+  std::atomic<std::uint64_t> frames_received_{0};
+  std::atomic<std::uint64_t> heartbeats_{0};
+};
+
+// --------------------------------------------------------------------- tcp
+
+struct TcpOptions {
+  double connect_timeout_s = 2.0;  ///< per-attempt, wall seconds
+  int connect_retries = 10;        ///< bounded retry budget
+  double retry_backoff_s = 0.05;   ///< pause between attempts, wall seconds
+  std::size_t max_frame = kDefaultMaxFrame;
+  std::size_t inbound_capacity = 4096;  ///< parsed-frame queue depth
+};
+
+class TcpTransport final : public Transport {
+ public:
+  /// Adopt an already-connected socket (the accept side).
+  explicit TcpTransport(int fd, TcpOptions opts = {});
+
+  /// Connect to host:port with per-attempt timeout and bounded retry.
+  /// Returns nullptr when the budget is exhausted.
+  static std::unique_ptr<TcpTransport> connect(const std::string& host,
+                                               std::uint16_t port,
+                                               TcpOptions opts = {});
+
+  ~TcpTransport() override;
+
+  bool send(const Frame& f) override;
+  RecvStatus recv(Frame& out) override;
+  RecvStatus recv_for(Frame& out, double wall_seconds) override;
+  void close() override;
+  bool closed() const override;
+  double idle_seconds() const override;
+  TransportStats stats() const override;
+
+ private:
+  void io_loop();
+  void wake();
+  void shutdown_fd();
+
+  int fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};
+  TcpOptions opts_;
+
+  std::mutex out_mu_;
+  std::vector<std::uint8_t> outbuf_;
+
+  FrameDecoder decoder_;
+  support::Channel<Frame> inbound_;
+
+  std::atomic<bool> closed_{false};
+  std::atomic<double> last_rx_wall_{0.0};
+  std::atomic<std::uint64_t> frames_sent_{0};
+  std::atomic<std::uint64_t> frames_received_{0};
+  std::atomic<std::uint64_t> bytes_sent_{0};
+  std::atomic<std::uint64_t> bytes_received_{0};
+  std::atomic<std::uint64_t> heartbeats_{0};
+
+  std::jthread io_;
+};
+
+/// Listening socket. Port 0 binds an ephemeral port, readable via port().
+class TcpListener {
+ public:
+  explicit TcpListener(std::uint16_t port = 0);
+  ~TcpListener();
+
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  std::uint16_t port() const { return port_; }
+
+  /// Accept one connection, waiting at most `wall_seconds` (<0 = forever).
+  std::unique_ptr<TcpTransport> accept_for(double wall_seconds,
+                                           TcpOptions opts = {});
+
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+/// Monotonic wall seconds (steady clock) — the transport liveness timebase.
+double wall_now();
+
+}  // namespace bsk::net

@@ -1,0 +1,384 @@
+#include "net/wire.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace bsk::net {
+
+namespace wire {
+
+void Writer::u16(std::uint16_t v) {
+  buf_.push_back(static_cast<std::uint8_t>(v));
+  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void Writer::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void Writer::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void Writer::f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+void Writer::str(const std::string& s) {
+  u32(static_cast<std::uint32_t>(s.size()));
+  bytes(reinterpret_cast<const std::uint8_t*>(s.data()), s.size());
+}
+
+void Writer::bytes(const std::uint8_t* p, std::size_t n) {
+  buf_.insert(buf_.end(), p, p + n);
+}
+
+std::uint8_t Reader::u8() {
+  if (!take(1)) return 0;
+  return p_[pos_++];
+}
+
+std::uint16_t Reader::u16() {
+  if (!take(2)) return 0;
+  std::uint16_t v = 0;
+  for (int i = 0; i < 2; ++i) v |= static_cast<std::uint16_t>(p_[pos_++]) << (8 * i);
+  return v;
+}
+
+std::uint32_t Reader::u32() {
+  if (!take(4)) return 0;
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p_[pos_++]) << (8 * i);
+  return v;
+}
+
+std::uint64_t Reader::u64() {
+  if (!take(8)) return 0;
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p_[pos_++]) << (8 * i);
+  return v;
+}
+
+double Reader::f64() { return std::bit_cast<double>(u64()); }
+
+std::string Reader::str() {
+  const std::uint32_t n = u32();
+  if (!take(n)) return {};
+  std::string s(reinterpret_cast<const char*>(p_ + pos_), n);
+  pos_ += n;
+  return s;
+}
+
+}  // namespace wire
+
+// ----------------------------------------------------------------- framing
+
+std::vector<std::uint8_t> encode_frame(const Frame& f) {
+  std::vector<std::uint8_t> out;
+  const std::uint32_t len = static_cast<std::uint32_t>(f.payload.size() + 1);
+  out.reserve(4 + len);
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<std::uint8_t>(len >> (8 * i)));
+  out.push_back(static_cast<std::uint8_t>(f.type));
+  out.insert(out.end(), f.payload.begin(), f.payload.end());
+  return out;
+}
+
+void FrameDecoder::feed(const std::uint8_t* p, std::size_t n) {
+  // Compact the consumed prefix before it grows unboundedly.
+  if (pos_ > 0 && (pos_ >= buf_.size() || pos_ > 64 * 1024)) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  buf_.insert(buf_.end(), p, p + n);
+}
+
+std::optional<Frame> FrameDecoder::next() {
+  if (error_) return std::nullopt;
+  const std::size_t avail = buf_.size() - pos_;
+  if (avail < 4) return std::nullopt;
+  std::uint32_t len = 0;
+  for (int i = 0; i < 4; ++i)
+    len |= static_cast<std::uint32_t>(buf_[pos_ + i]) << (8 * i);
+  if (len == 0 || len > max_frame_) {
+    error_ = true;  // corrupt or hostile stream; the connection must die
+    return std::nullopt;
+  }
+  if (avail < 4 + static_cast<std::size_t>(len)) return std::nullopt;
+  Frame f;
+  f.type = static_cast<FrameType>(buf_[pos_ + 4]);
+  f.payload.assign(buf_.begin() + static_cast<std::ptrdiff_t>(pos_ + 5),
+                   buf_.begin() + static_cast<std::ptrdiff_t>(pos_ + 4 + len));
+  pos_ += 4 + len;
+  return f;
+}
+
+// ----------------------------------------------------------------- task
+
+namespace {
+
+enum class PayloadTag : std::uint8_t {
+  None = 0,
+  String = 1,
+  F64 = 2,
+  I64 = 3,
+  U64 = 4,
+  Bytes = 5,
+};
+
+}  // namespace
+
+void put_task(wire::Writer& w, const rt::Task& t) {
+  w.u8(static_cast<std::uint8_t>(t.kind));
+  w.u64(t.id);
+  w.u64(t.order);
+  w.f64(t.work_s);
+  w.f64(t.size_mb);
+  w.f64(t.created);
+  w.f64(t.completed);
+  if (const auto* s = std::any_cast<std::string>(&t.payload)) {
+    w.u8(static_cast<std::uint8_t>(PayloadTag::String));
+    w.str(*s);
+  } else if (const auto* d = std::any_cast<double>(&t.payload)) {
+    w.u8(static_cast<std::uint8_t>(PayloadTag::F64));
+    w.f64(*d);
+  } else if (const auto* i = std::any_cast<std::int64_t>(&t.payload)) {
+    w.u8(static_cast<std::uint8_t>(PayloadTag::I64));
+    w.u64(static_cast<std::uint64_t>(*i));
+  } else if (const auto* u = std::any_cast<std::uint64_t>(&t.payload)) {
+    w.u8(static_cast<std::uint8_t>(PayloadTag::U64));
+    w.u64(*u);
+  } else if (const auto* b =
+                 std::any_cast<std::vector<std::uint8_t>>(&t.payload)) {
+    w.u8(static_cast<std::uint8_t>(PayloadTag::Bytes));
+    w.u32(static_cast<std::uint32_t>(b->size()));
+    w.bytes(b->data(), b->size());
+  } else {
+    // Unknown payload types do not travel; the task itself still does.
+    w.u8(static_cast<std::uint8_t>(PayloadTag::None));
+  }
+}
+
+bool get_task(wire::Reader& r, rt::Task& out) {
+  out.kind = static_cast<rt::TaskKind>(r.u8());
+  out.id = r.u64();
+  out.order = r.u64();
+  out.work_s = r.f64();
+  out.size_mb = r.f64();
+  out.created = r.f64();
+  out.completed = r.f64();
+  switch (static_cast<PayloadTag>(r.u8())) {
+    case PayloadTag::None:
+      out.payload.reset();
+      break;
+    case PayloadTag::String:
+      out.payload = r.str();
+      break;
+    case PayloadTag::F64:
+      out.payload = r.f64();
+      break;
+    case PayloadTag::I64:
+      out.payload = static_cast<std::int64_t>(r.u64());
+      break;
+    case PayloadTag::U64:
+      out.payload = r.u64();
+      break;
+    case PayloadTag::Bytes: {
+      const std::uint32_t n = r.u32();
+      std::vector<std::uint8_t> b;
+      b.reserve(n);
+      for (std::uint32_t i = 0; i < n && r.ok(); ++i) b.push_back(r.u8());
+      out.payload = std::move(b);
+      break;
+    }
+    default:
+      return false;
+  }
+  return r.ok();
+}
+
+// --------------------------------------------------------------- sensors
+
+void put_sensors(wire::Writer& w, const am::Sensors& s) {
+  w.u8(s.valid ? 1 : 0);
+  w.f64(s.arrival_rate);
+  w.f64(s.departure_rate);
+  w.f64(s.mean_service_s);
+  w.f64(s.mean_latency_s);
+  w.u64(s.nworkers);
+  w.f64(s.queue_variance);
+  w.u64(s.queued);
+  w.u8(s.stream_ended ? 1 : 0);
+  w.u8(s.unsecured_untrusted ? 1 : 0);
+  w.u64(s.insecure_messages);
+  w.u64(s.total_failures);
+  w.u64(s.new_failures);
+}
+
+bool get_sensors(wire::Reader& r, am::Sensors& out) {
+  out.valid = r.u8() != 0;
+  out.arrival_rate = r.f64();
+  out.departure_rate = r.f64();
+  out.mean_service_s = r.f64();
+  out.mean_latency_s = r.f64();
+  out.nworkers = static_cast<std::size_t>(r.u64());
+  out.queue_variance = r.f64();
+  out.queued = static_cast<std::size_t>(r.u64());
+  out.stream_ended = r.u8() != 0;
+  out.unsecured_untrusted = r.u8() != 0;
+  out.insecure_messages = r.u64();
+  out.total_failures = static_cast<std::size_t>(r.u64());
+  out.new_failures = static_cast<std::size_t>(r.u64());
+  return r.ok();
+}
+
+// --------------------------------------------------------------- messages
+
+Frame make_hello(const Hello& h) {
+  wire::Writer w;
+  w.u32(h.magic);
+  w.u16(h.version);
+  w.u8(h.role);
+  w.str(h.node_kind);
+  w.f64(h.clock_scale);
+  w.f64(h.heartbeat_wall_s);
+  return Frame{FrameType::Hello, w.take()};
+}
+
+std::optional<Hello> parse_hello(const Frame& f) {
+  if (f.type != FrameType::Hello) return std::nullopt;
+  wire::Reader r(f.payload);
+  Hello h;
+  h.magic = r.u32();
+  h.version = r.u16();
+  h.role = r.u8();
+  h.node_kind = r.str();
+  h.clock_scale = r.f64();
+  h.heartbeat_wall_s = r.f64();
+  if (!r.ok() || h.magic != kMagic) return std::nullopt;
+  return h;
+}
+
+Frame make_hello_ack(const HelloAck& a) {
+  wire::Writer w;
+  w.u16(a.version);
+  w.u64(a.session);
+  w.u8(a.ok ? 1 : 0);
+  return Frame{FrameType::HelloAck, w.take()};
+}
+
+std::optional<HelloAck> parse_hello_ack(const Frame& f) {
+  if (f.type != FrameType::HelloAck) return std::nullopt;
+  wire::Reader r(f.payload);
+  HelloAck a;
+  a.version = r.u16();
+  a.session = r.u64();
+  a.ok = r.u8() != 0;
+  if (!r.ok()) return std::nullopt;
+  return a;
+}
+
+Frame make_heartbeat(const HeartbeatMsg& hb) {
+  wire::Writer w;
+  w.u64(hb.seq);
+  w.f64(hb.wall_time);
+  return Frame{FrameType::Heartbeat, w.take()};
+}
+
+std::optional<HeartbeatMsg> parse_heartbeat(const Frame& f) {
+  if (f.type != FrameType::Heartbeat) return std::nullopt;
+  wire::Reader r(f.payload);
+  HeartbeatMsg hb;
+  hb.seq = r.u64();
+  hb.wall_time = r.f64();
+  if (!r.ok()) return std::nullopt;
+  return hb;
+}
+
+Frame make_task(const rt::Task& t, FrameType type) {
+  wire::Writer w;
+  put_task(w, t);
+  return Frame{type, w.take()};
+}
+
+std::optional<rt::Task> parse_task(const Frame& f) {
+  if (f.type != FrameType::TaskMsg && f.type != FrameType::ResultMsg)
+    return std::nullopt;
+  wire::Reader r(f.payload);
+  rt::Task t;
+  if (!get_task(r, t)) return std::nullopt;
+  return t;
+}
+
+Frame make_sensor_req(std::uint32_t seq) {
+  wire::Writer w;
+  w.u32(seq);
+  return Frame{FrameType::SensorReq, w.take()};
+}
+
+std::optional<std::uint32_t> parse_sensor_req(const Frame& f) {
+  if (f.type != FrameType::SensorReq) return std::nullopt;
+  wire::Reader r(f.payload);
+  const std::uint32_t seq = r.u32();
+  if (!r.ok()) return std::nullopt;
+  return seq;
+}
+
+Frame make_sensor_rep(std::uint32_t seq, const am::Sensors& s) {
+  wire::Writer w;
+  w.u32(seq);
+  put_sensors(w, s);
+  return Frame{FrameType::SensorRep, w.take()};
+}
+
+std::optional<std::pair<std::uint32_t, am::Sensors>> parse_sensor_rep(
+    const Frame& f) {
+  if (f.type != FrameType::SensorRep) return std::nullopt;
+  wire::Reader r(f.payload);
+  const std::uint32_t seq = r.u32();
+  am::Sensors s;
+  if (!get_sensors(r, s)) return std::nullopt;
+  return std::make_pair(seq, s);
+}
+
+Frame make_act_req(const ActRequest& req) {
+  wire::Writer w;
+  w.u32(req.seq);
+  w.u8(static_cast<std::uint8_t>(req.op));
+  w.f64(req.rate);
+  w.u8(req.require_secure ? 1 : 0);
+  return Frame{FrameType::ActReq, w.take()};
+}
+
+std::optional<ActRequest> parse_act_req(const Frame& f) {
+  if (f.type != FrameType::ActReq) return std::nullopt;
+  wire::Reader r(f.payload);
+  ActRequest req;
+  req.seq = r.u32();
+  req.op = static_cast<ActRequest::Op>(r.u8());
+  req.rate = r.f64();
+  req.require_secure = r.u8() != 0;
+  if (!r.ok()) return std::nullopt;
+  return req;
+}
+
+Frame make_act_rep(const ActReply& rep) {
+  wire::Writer w;
+  w.u32(rep.seq);
+  w.u8(rep.ok ? 1 : 0);
+  w.u64(rep.count);
+  return Frame{FrameType::ActRep, w.take()};
+}
+
+std::optional<ActReply> parse_act_rep(const Frame& f) {
+  if (f.type != FrameType::ActRep) return std::nullopt;
+  wire::Reader r(f.payload);
+  ActReply rep;
+  rep.seq = r.u32();
+  rep.ok = r.u8() != 0;
+  rep.count = r.u64();
+  if (!r.ok()) return std::nullopt;
+  return rep;
+}
+
+}  // namespace bsk::net

@@ -1,0 +1,220 @@
+#pragma once
+// bsk::net wire layer: length-prefixed binary framing and serializers.
+//
+// Everything that crosses a process boundary — stream tasks, sensor
+// snapshots, actuator commands, heartbeats, the connection handshake — is
+// carried in a Frame: on the wire `[u32 length][u8 type][payload]` with the
+// length counting the type byte plus the payload, all little-endian. The
+// Writer/Reader pair is a plain byte-buffer serializer (no reflection, no
+// allocation tricks); FrameDecoder incrementally re-frames an arbitrary
+// byte stream, which is what the TCP transport feeds it.
+//
+// Protocol version 1. A peer speaking a different major version is refused
+// at handshake time (HelloAck carries the server's version).
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "am/abc.hpp"
+#include "rt/task.hpp"
+
+namespace bsk::net {
+
+inline constexpr std::uint32_t kMagic = 0x424b5344;  // "BKSD"
+inline constexpr std::uint16_t kProtocolVersion = 1;
+inline constexpr std::size_t kDefaultMaxFrame = 16u << 20;  // 16 MiB
+
+/// Frame discriminator — the first payload byte after the length prefix.
+enum class FrameType : std::uint8_t {
+  Hello = 1,    ///< client → server: open a session (role, node kind, clock)
+  HelloAck,     ///< server → client: session accepted
+  TaskMsg,      ///< parent → worker: one stream task to execute
+  ResultMsg,    ///< worker → parent: the processed task (WorkerDone = filtered)
+  Heartbeat,    ///< liveness beacon, absorbed at transport level
+  SecureReq,    ///< upgrade this channel (the wire face of Link::secure())
+  SecureAck,    ///< channel upgrade confirmed
+  SensorReq,    ///< manager → remote ABC: take a monitoring snapshot
+  SensorRep,    ///< remote ABC → manager: the Sensors snapshot
+  ActReq,       ///< manager → remote ABC: actuator command
+  ActRep,       ///< remote ABC → manager: actuator outcome
+  Shutdown,     ///< orderly close of the logical channel
+};
+
+/// One decoded frame: type + opaque payload bytes.
+struct Frame {
+  FrameType type = FrameType::Heartbeat;
+  std::vector<std::uint8_t> payload;
+};
+
+namespace wire {
+
+/// Append-only little-endian byte writer.
+class Writer {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void f64(double v);
+  void str(const std::string& s);                   // u32 length + bytes
+  void bytes(const std::uint8_t* p, std::size_t n);  // raw append
+
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+  const std::vector<std::uint8_t>& data() const { return buf_; }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Bounds-checked little-endian byte reader. After any underflow ok() is
+/// false and every further get returns a zero value — callers check ok()
+/// once at the end of a decode.
+class Reader {
+ public:
+  Reader(const std::uint8_t* p, std::size_t n) : p_(p), n_(n) {}
+  explicit Reader(const std::vector<std::uint8_t>& v)
+      : Reader(v.data(), v.size()) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  double f64();
+  std::string str();
+
+  bool ok() const { return ok_; }
+  std::size_t remaining() const { return n_ - pos_; }
+
+ private:
+  bool take(std::size_t n) {
+    if (!ok_ || n_ - pos_ < n) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  const std::uint8_t* p_;
+  std::size_t n_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace wire
+
+// --------------------------------------------------------------- framing
+
+/// Encode a frame to its on-the-wire bytes (length prefix included).
+std::vector<std::uint8_t> encode_frame(const Frame& f);
+
+/// Incremental frame parser over an arbitrary byte stream.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(std::size_t max_frame = kDefaultMaxFrame)
+      : max_frame_(max_frame) {}
+
+  /// Append raw bytes received from the wire.
+  void feed(const std::uint8_t* p, std::size_t n);
+
+  /// Extract the next complete frame, if any. Sets error() on a frame
+  /// exceeding max_frame (a corrupt or hostile stream).
+  std::optional<Frame> next();
+
+  bool error() const { return error_; }
+  std::size_t buffered() const { return buf_.size() - pos_; }
+
+ private:
+  std::size_t max_frame_;
+  std::vector<std::uint8_t> buf_;
+  std::size_t pos_ = 0;  // consumed prefix, compacted lazily
+  bool error_ = false;
+};
+
+// --------------------------------------------------------------- messages
+
+/// Connection handshake (client side). heartbeat_wall_s and all transport
+/// liveness timing are *wall* seconds — liveness is a property of the real
+/// machine, not of simulated time. clock_scale propagates the parent's
+/// virtual-clock scale so simulated service times agree across processes.
+struct Hello {
+  std::uint32_t magic = kMagic;
+  std::uint16_t version = kProtocolVersion;
+  std::uint8_t role = 0;  ///< 0 = worker channel, 1 = ABC control channel
+  std::string node_kind;  ///< worker node to instantiate ("sim", "echo", ...)
+  double clock_scale = 1.0;
+  double heartbeat_wall_s = 0.25;
+};
+
+struct HelloAck {
+  std::uint16_t version = kProtocolVersion;
+  std::uint64_t session = 0;
+  bool ok = true;
+};
+
+struct HeartbeatMsg {
+  std::uint64_t seq = 0;
+  double wall_time = 0.0;
+};
+
+/// Remote actuator command (the ABC RPC request).
+struct ActRequest {
+  enum class Op : std::uint8_t {
+    AddWorker = 1,
+    RemoveWorker,
+    Rebalance,
+    SetRate,
+    SecureLinks,
+  };
+  std::uint32_t seq = 0;
+  Op op = Op::AddWorker;
+  double rate = 0.0;
+  /// Two-phase secure-before-commit: the client-side commit gate's
+  /// annotation travels with the command so the remote farm instantiates
+  /// the worker pre-secured.
+  bool require_secure = false;
+};
+
+struct ActReply {
+  std::uint32_t seq = 0;
+  bool ok = false;
+  std::uint64_t count = 0;
+};
+
+// Frame constructors / parsers. Parsers return nullopt on malformed input.
+Frame make_hello(const Hello& h);
+std::optional<Hello> parse_hello(const Frame& f);
+
+Frame make_hello_ack(const HelloAck& a);
+std::optional<HelloAck> parse_hello_ack(const Frame& f);
+
+Frame make_heartbeat(const HeartbeatMsg& hb);
+std::optional<HeartbeatMsg> parse_heartbeat(const Frame& f);
+
+Frame make_task(const rt::Task& t, FrameType type = FrameType::TaskMsg);
+std::optional<rt::Task> parse_task(const Frame& f);
+
+Frame make_sensor_req(std::uint32_t seq);
+std::optional<std::uint32_t> parse_sensor_req(const Frame& f);
+
+Frame make_sensor_rep(std::uint32_t seq, const am::Sensors& s);
+std::optional<std::pair<std::uint32_t, am::Sensors>> parse_sensor_rep(
+    const Frame& f);
+
+Frame make_act_req(const ActRequest& r);
+std::optional<ActRequest> parse_act_req(const Frame& f);
+
+Frame make_act_rep(const ActReply& r);
+std::optional<ActReply> parse_act_rep(const Frame& f);
+
+// Task payload serialization (the std::any member): empty payloads, strings,
+// doubles, signed/unsigned 64-bit integers, and byte vectors travel; any
+// other payload type is dropped (the task itself still crosses).
+void put_task(wire::Writer& w, const rt::Task& t);
+bool get_task(wire::Reader& r, rt::Task& out);
+
+void put_sensors(wire::Writer& w, const am::Sensors& s);
+bool get_sensors(wire::Reader& r, am::Sensors& out);
+
+}  // namespace bsk::net

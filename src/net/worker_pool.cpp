@@ -1,0 +1,140 @@
+#include "net/worker_pool.hpp"
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "support/clock.hpp"
+
+namespace bsk::net {
+
+WorkerPool::WorkerPool(std::vector<Endpoint> endpoints, WorkerPoolOptions opts)
+    : endpoints_(std::move(endpoints)), opts_(std::move(opts)) {
+  if (!opts_.local_fallback)
+    opts_.local_fallback = [] { return std::make_unique<rt::SimComputeNode>(); };
+}
+
+WorkerPool::~WorkerPool() { stop_watch(); }
+
+std::shared_ptr<Transport> WorkerPool::connect_one() {
+  const std::size_t n = endpoints_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    Endpoint ep;
+    {
+      std::scoped_lock lk(mu_);
+      ep = endpoints_[rr_ % n];
+      rr_ = (rr_ + 1) % n;
+    }
+    auto tp = TcpTransport::connect(ep.host, ep.port, opts_.tcp);
+    if (!tp) continue;
+
+    Hello hello;
+    hello.role = 0;
+    hello.node_kind = opts_.node_kind;
+    hello.clock_scale = support::Clock::scale();
+    hello.heartbeat_wall_s = opts_.heartbeat_wall_s;
+    std::shared_ptr<Transport> shared{std::move(tp)};
+    if (client_handshake(*shared, hello, opts_.handshake_timeout_wall_s))
+      return shared;
+    shared->close();
+  }
+  return nullptr;
+}
+
+std::unique_ptr<rt::Node> WorkerPool::make_node() {
+  if (!endpoints_.empty()) {
+    if (auto tp = connect_one()) {
+      remote_created_.fetch_add(1, std::memory_order_relaxed);
+      return std::make_unique<RemoteWorkerNode>(std::move(tp), opts_.node);
+    }
+  }
+  fallback_created_.fetch_add(1, std::memory_order_relaxed);
+  return opts_.local_fallback();
+}
+
+rt::NodeFactory WorkerPool::factory() {
+  return [this] { return make_node(); };
+}
+
+void WorkerPool::start_watch(rt::Farm& farm, double period_wall_s) {
+  if (watch_.joinable()) return;
+  watch_ = std::jthread([this, &farm, period_wall_s](std::stop_token st) {
+    while (!st.stop_requested()) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(period_wall_s));
+      const std::size_t n = farm.fail_crashed_workers();
+      if (n > 0) crashes_.fetch_add(n, std::memory_order_relaxed);
+    }
+  });
+}
+
+void WorkerPool::stop_watch() {
+  if (watch_.joinable()) {
+    watch_.request_stop();
+    watch_.join();
+  }
+}
+
+// --------------------------------------------------------- bskd processes
+
+BskdProcess spawn_bskd(const std::string& exe_path, double wait_wall_s) {
+  BskdProcess out;
+
+  char tmpl[] = "/tmp/bskd_port_XXXXXX";
+  const int tmp_fd = ::mkstemp(tmpl);
+  if (tmp_fd < 0) return out;
+  ::close(tmp_fd);
+  const std::string port_file = tmpl;
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::unlink(port_file.c_str());
+    return out;
+  }
+  if (pid == 0) {
+    ::execl(exe_path.c_str(), exe_path.c_str(), "--port", "0", "--port-file",
+            port_file.c_str(), static_cast<char*>(nullptr));
+    ::_exit(127);  // exec failed
+  }
+
+  out.pid = pid;
+  const double deadline = wall_now() + wait_wall_s;
+  while (wall_now() < deadline) {
+    {
+      std::ifstream in(port_file);
+      unsigned port = 0;
+      if (in >> port && port != 0 && port <= 65535) {
+        out.port = static_cast<std::uint16_t>(port);
+        break;
+      }
+    }
+    int status = 0;
+    if (::waitpid(pid, &status, WNOHANG) == pid) {
+      out.pid = -1;  // daemon died before binding
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ::unlink(port_file.c_str());
+
+  if (!out.valid() && out.pid > 0) {
+    ::kill(out.pid, SIGKILL);
+    ::waitpid(out.pid, nullptr, 0);
+    out.pid = -1;
+  }
+  return out;
+}
+
+void stop_bskd(BskdProcess& p, int sig) {
+  if (p.pid <= 0) return;
+  ::kill(p.pid, sig);
+  ::waitpid(p.pid, nullptr, 0);
+  p.pid = -1;
+}
+
+}  // namespace bsk::net

@@ -1,0 +1,111 @@
+#pragma once
+// WorkerPool: hands rt::Farm a NodeFactory whose nodes live in bskd worker
+// processes.
+//
+// Each node the factory mints opens its own TCP connection to one of the
+// pool's endpoints (round-robin), performs the Hello/HelloAck handshake,
+// and wraps the session in a RemoteWorkerNode. Endpoint unreachable → try
+// the next; every endpoint down → fall back to a local node, so the
+// autonomic manager's ADD_EXECUTOR always succeeds and a farm whose whole
+// bskd fleet died still finishes its stream on local replacements.
+//
+// start_watch() runs the failure detector: a wall-clock thread that calls
+// Farm::fail_crashed_workers() — the farm recovers queued/in-flight tasks
+// and bumps failures(), which FarmAbc::sense() converts into the
+// WorkerFailureBean the E9 fault-tolerance rules react to. The pool itself
+// never talks to the manager; detection flows through the existing sensor
+// path.
+//
+// spawn_bskd()/stop_bskd() are the process-management helpers tests and the
+// two-process example use: fork/exec a bskd on an ephemeral port, learn the
+// port through a temp file, kill and reap it afterwards.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/remote_conduit.hpp"
+#include "rt/farm.hpp"
+#include "rt/node.hpp"
+
+namespace bsk::net {
+
+struct Endpoint {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+};
+
+struct WorkerPoolOptions {
+  std::string node_kind = "sim";       ///< worker node bskd instantiates
+  double heartbeat_wall_s = 0.05;      ///< requested peer heartbeat period
+  double handshake_timeout_wall_s = 2.0;
+  TcpOptions tcp;                      ///< connect timeout / retry budget
+  RemoteNodeOptions node;              ///< liveness detector tuning
+  /// Node built when no endpoint is reachable (default: SimComputeNode).
+  rt::NodeFactory local_fallback;
+};
+
+class WorkerPool {
+ public:
+  explicit WorkerPool(std::vector<Endpoint> endpoints,
+                      WorkerPoolOptions opts = {});
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// NodeFactory for rt::Farm / FarmConfig. The pool must outlive the farm.
+  rt::NodeFactory factory();
+
+  /// Build one node now: a RemoteWorkerNode on the first reachable
+  /// endpoint, else the local fallback.
+  std::unique_ptr<rt::Node> make_node();
+
+  /// Start the crash detector against `farm` (idempotent).
+  void start_watch(rt::Farm& farm, double period_wall_s = 0.1);
+  void stop_watch();
+
+  std::size_t remote_nodes_created() const { return remote_created_.load(); }
+  std::size_t fallback_nodes_created() const {
+    return fallback_created_.load();
+  }
+  /// Total workers the watch thread has declared crashed.
+  std::size_t crashes_detected() const { return crashes_.load(); }
+
+ private:
+  std::shared_ptr<Transport> connect_one();
+
+  std::vector<Endpoint> endpoints_;
+  WorkerPoolOptions opts_;
+  std::mutex mu_;  // guards rr_
+  std::size_t rr_ = 0;
+  std::atomic<std::size_t> remote_created_{0};
+  std::atomic<std::size_t> fallback_created_{0};
+  std::atomic<std::size_t> crashes_{0};
+  std::jthread watch_;
+};
+
+// --------------------------------------------------------- bskd processes
+
+/// A spawned bskd worker daemon.
+struct BskdProcess {
+  int pid = -1;
+  std::uint16_t port = 0;
+  bool valid() const { return pid > 0 && port != 0; }
+};
+
+/// fork/exec `exe_path` on an ephemeral loopback port and wait (up to
+/// `wait_wall_s`) for the daemon to report the bound port. Returns an
+/// invalid BskdProcess on failure (the child, if any, is reaped).
+BskdProcess spawn_bskd(const std::string& exe_path, double wait_wall_s = 5.0);
+
+/// Send `sig` (e.g. SIGTERM, SIGKILL) and reap the daemon. Safe to call on
+/// an invalid/already-stopped handle.
+void stop_bskd(BskdProcess& p, int sig);
+
+}  // namespace bsk::net

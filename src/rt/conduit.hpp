@@ -5,6 +5,10 @@
 // state). Pushing a data task first charges the link's simulated transfer
 // time, then enqueues. The farm's load balancer uses steal_back() to pull
 // queued tasks out of a backlogged worker's conduit.
+//
+// The interface is virtual so transport-backed conduits (bsk::net's
+// RemoteConduit) can substitute a real wire for the in-memory queue while
+// the runtime keeps talking to the same abstraction.
 
 #include <deque>
 #include <memory>
@@ -19,39 +23,47 @@ namespace bsk::rt {
 class Conduit {
  public:
   explicit Conduit(std::size_t capacity = 1024) : ch_(capacity) {}
+  virtual ~Conduit() = default;
 
-  void set_endpoints(Placement from, Placement to) {
-    link_.set_endpoints(from, to);
+  Conduit(const Conduit&) = delete;
+  Conduit& operator=(const Conduit&) = delete;
+
+  virtual void set_endpoints(Placement from, Placement to) {
+    link().set_endpoints(from, to);
   }
 
   /// Blocking push with cost accounting. False when closed.
-  bool push(Task t) {
+  virtual bool push(Task t) {
     link_.charge(t);
     return ch_.push(std::move(t));
   }
 
   /// Non-blocking push (still charges transfer cost). False when full/closed.
-  bool try_push(Task t) {
+  virtual bool try_push(Task t) {
     link_.charge(t);
     return ch_.try_push(std::move(t));
   }
 
-  support::ChannelStatus pop(Task& out) { return ch_.pop(out); }
+  virtual support::ChannelStatus pop(Task& out) { return ch_.pop(out); }
 
-  support::ChannelStatus pop_for(Task& out, support::SimDuration d) {
+  virtual support::ChannelStatus pop_for(Task& out, support::SimDuration d) {
     return ch_.pop_for(out, d);
   }
 
-  void close() { ch_.close(); }
-  bool closed() const { return ch_.closed(); }
-  std::size_t size() const { return ch_.size(); }
-  std::size_t capacity() const { return ch_.capacity(); }
+  virtual void close() { ch_.close(); }
+  virtual bool closed() const { return ch_.closed(); }
+  virtual std::size_t size() const { return ch_.size(); }
+  virtual std::size_t capacity() const { return ch_.capacity(); }
 
-  /// Pull up to n tasks from the back of the queue (rebalancing).
-  std::deque<Task> steal_back(std::size_t n) { return ch_.steal_back(n); }
+  /// Pull up to n tasks from the back of the queue (rebalancing). Remote
+  /// conduits return an empty deque: tasks already committed to the wire
+  /// cannot be recalled.
+  virtual std::deque<Task> steal_back(std::size_t n) {
+    return ch_.steal_back(n);
+  }
 
-  Link& link() { return link_; }
-  const Link& link() const { return link_; }
+  virtual Link& link() { return link_; }
+  virtual const Link& link() const { return link_; }
 
  private:
   support::Channel<Task> ch_;

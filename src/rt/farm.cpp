@@ -86,9 +86,11 @@ bool Farm::add_worker(Placement place, std::optional<sim::CoreLease> lease,
   w->out_link.set_endpoints(w->place, home_);
   if (secure_links) {
     // Secure *before* the worker can be scheduled: the commit step of the
-    // two-phase multi-concern protocol.
+    // two-phase multi-concern protocol. Remote nodes also upgrade the wire
+    // channel they privately own.
     w->in->link().secure();
     w->out_link.secure();
+    w->node->secure_channels();
   }
 
   Worker* raw = w.get();
@@ -104,6 +106,8 @@ bool Farm::add_worker(Placement place, std::optional<sim::CoreLease> lease,
     workers_.push_back(std::move(w));
   }
   if (started_) raw->thread = std::jthread([this, raw] { worker_loop(raw); });
+  // A replacement worker inherits tasks recovered while no survivor existed.
+  flush_orphans_to(raw);
 
   reconfiguring_.store(false);
   reconfig_cv_.notify_all();
@@ -197,6 +201,7 @@ std::size_t Farm::secure_all_links() {
       w->out_link.secure();
       ++n;
     }
+    n += w->node->secure_channels();
   }
   return n;
 }
@@ -378,13 +383,26 @@ void Farm::worker_loop(Worker* w) {
 
     // Exactly-once handoff: either we clear the in-flight copy and emit, or
     // the failure injector captured the copy and our result is discarded —
-    // decided under the same lock.
+    // decided under the same lock. A node that failed *during* process()
+    // (remote peer death) is handled here too: if the farm's monitor has
+    // not captured the in-flight copy yet, we recover it ourselves, once.
     bool emit;
+    std::optional<Task> recover;
     {
       std::scoped_lock lk(w->inflight_mu);
-      emit = !w->failed.load();
-      if (emit) w->inflight.reset();
+      if (w->failed.load()) {
+        emit = false;  // injector/monitor captured the copy; discard result
+      } else if (w->node->failed()) {
+        w->failed.store(true);
+        recover = std::move(w->inflight);
+        w->inflight.reset();
+        emit = false;
+      } else {
+        emit = true;
+        w->inflight.reset();
+      }
     }
+    if (recover) resubmit(std::move(*recover));
     if (!emit) break;
     if (r) {
       w->out_link.charge(*r);
@@ -410,7 +428,7 @@ void Farm::resubmit(Task t) {
   if (target != nullptr)
     target->in->push(std::move(t));
   else
-    to_collector_.push(std::move(t));  // last resort: deliver unprocessed
+    stash_orphan(std::move(t));  // parked for the replacement worker
 }
 
 bool Farm::inject_worker_failure() {
@@ -429,37 +447,79 @@ bool Farm::inject_worker_failure() {
     }
     victim->retiring.store(true);  // exclude from further scheduling
   }
+  recover_worker(victim);
+  return true;
+}
 
-  // Recover the victim's queue and in-flight task.
+std::size_t Farm::fail_crashed_workers() {
+  // Mark every crashed worker retiring first, so redistribution targets
+  // exclude workers that are about to be recovered themselves (a whole
+  // worker process dying takes several workers down at once).
+  std::vector<Worker*> victims;
+  {
+    std::scoped_lock lk(workers_mu_);
+    for (auto& w : workers_) {
+      if (w->retiring.load() || !w->thread.joinable()) continue;
+      if (w->node->failed() || w->failed.load()) {
+        w->retiring.store(true);
+        victims.push_back(w.get());
+      }
+    }
+  }
+  for (Worker* v : victims) recover_worker(v);
+  return victims.size();
+}
+
+void Farm::recover_worker(Worker* victim) {
+  // Recover the victim's queue and in-flight task. The in-flight capture
+  // races the worker's own recovery (worker_loop) — the failed flag decides
+  // the winner under the victim's lock, so the task is re-offered exactly
+  // once.
   std::deque<Task> orphans = victim->in->steal_back(victim->in->size() + 8);
   {
     std::scoped_lock lk(victim->inflight_mu);
-    victim->failed.store(true);
-    if (victim->inflight) {
+    if (!victim->failed.exchange(true) && victim->inflight) {
       orphans.push_front(std::move(*victim->inflight));
       victim->inflight.reset();
     }
   }
   victim->in->push(Task::poison());  // wake it if blocked on an empty queue
 
-  // Redistribute onto the survivors.
+  // Redistribute onto the survivors; with none left, park the tasks for the
+  // replacement worker the manager will add.
   std::vector<Worker*> survivors;
   {
     std::scoped_lock lk(workers_mu_);
     for (auto& w : workers_)
-      if (!w->retiring.load() && w->thread.joinable())
+      if (!w->retiring.load() && !w->failed.load() && w->thread.joinable())
         survivors.push_back(w.get());
   }
   std::size_t i = 0;
-  for (Task& t : orphans)
+  for (Task& t : orphans) {
     if (!survivors.empty())
       survivors[i++ % survivors.size()]->in->push(std::move(t));
+    else
+      stash_orphan(std::move(t));
+  }
 
   failures_.fetch_add(1);
   // The crashed "machine" takes its lease down with it: deliberately not
   // returned to any resource manager.
   victim->lease.reset();
-  return true;
+}
+
+void Farm::stash_orphan(Task t) {
+  std::scoped_lock lk(orphans_mu_);
+  orphans_.push_back(std::move(t));
+}
+
+void Farm::flush_orphans_to(Worker* w) {
+  std::deque<Task> pending;
+  {
+    std::scoped_lock lk(orphans_mu_);
+    pending.swap(orphans_);
+  }
+  for (Task& t : pending) w->in->push(std::move(t));
 }
 
 void Farm::collector_loop() {
@@ -506,6 +566,18 @@ void Farm::collector_loop() {
       continue;
     }
     if (t.is_data()) handle_data(std::move(t));
+  }
+
+  // Crash-recovery tasks that never found a replacement worker are
+  // delivered unprocessed rather than lost (last-resort delivery).
+  {
+    std::deque<Task> leftovers;
+    {
+      std::scoped_lock lk(orphans_mu_);
+      leftovers.swap(orphans_);
+    }
+    for (Task& t : leftovers)
+      if (t.is_data()) handle_data(std::move(t));
   }
 
   // Flush whatever the reorder buffer still holds (gaps can exist if a

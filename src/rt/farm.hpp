@@ -121,7 +121,16 @@ class Farm final : public Runnable {
   /// "machine". Returns false when fewer than two active workers exist.
   bool inject_worker_failure();
 
-  /// Cumulative injected failures.
+  /// Crash detection for externally-backed workers: retire-and-recover every
+  /// active worker whose Node reports failed() (e.g. a bsk::net remote
+  /// worker whose peer process died). Queued and in-flight tasks are
+  /// recovered exactly once; when no survivor exists they are stashed and
+  /// flushed to the next worker added (the AM's replacement). Returns the
+  /// number of workers failed. Safe to call periodically from a monitor
+  /// thread.
+  std::size_t fail_crashed_workers();
+
+  /// Cumulative failures (injected + detected).
   std::size_t failures() const { return failures_.load(); }
 
   // -------------------------------------------------------------- sensors
@@ -183,6 +192,12 @@ class Farm final : public Runnable {
   void worker_loop(Worker* w);
   void collector_loop();
   void resubmit(Task t);  // crash recovery: re-offer to a survivor
+  /// Recover a victim already marked retiring: steal its queue, capture the
+  /// in-flight task (exactly once, racing the worker's own recovery),
+  /// redistribute, and account the failure.
+  void recover_worker(Worker* victim);
+  void stash_orphan(Task t);        // no survivor: park for the replacement
+  void flush_orphans_to(Worker* w); // new worker inherits parked tasks
   void pause_dispatch_for_reconfig();
   Worker* pick_worker_locked(const Task& t);  // caller holds workers_mu_
 
@@ -200,6 +215,11 @@ class Farm final : public Runnable {
 
   // Shared worker→collector channel; per-worker Link charges its cost.
   support::Channel<Task> to_collector_;
+
+  // Tasks recovered from crashed workers while no survivor existed; flushed
+  // to the next added worker, or delivered unprocessed at shutdown.
+  mutable std::mutex orphans_mu_;
+  std::deque<Task> orphans_;
 
   NodeMetrics metrics_;
   std::jthread emitter_thread_;

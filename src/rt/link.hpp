@@ -24,9 +24,12 @@ struct Placement {
 };
 
 /// Directed edge with communication cost and SSL state. Thread-safe.
+/// charge()/secure() are virtual so transport-backed links (bsk::net) can
+/// extend them with real wire behaviour while keeping the cost accounting.
 class Link {
  public:
   Link() = default;
+  virtual ~Link() = default;
 
   void set_endpoints(Placement from, Placement to) {
     from_ = from;
@@ -44,7 +47,7 @@ class Link {
 
   /// Charge the transfer cost of `t` (blocks for simulated time) and track
   /// insecure exposure. Control tasks travel free.
-  void charge(const Task& t) {
+  virtual void charge(const Task& t) {
     if (!t.is_data()) return;
     msgs_.fetch_add(1, std::memory_order_relaxed);
     if (!from_.platform) return;
@@ -58,7 +61,7 @@ class Link {
 
   /// Secure the edge (idempotent). Charges the SSL handshake when the edge
   /// actually crosses an untrusted domain.
-  void secure() {
+  virtual void secure() {
     if (secured_.exchange(true)) return;
     if (from_.platform) {
       const double hs =

@@ -42,6 +42,18 @@ class Node {
   /// True for nodes driven without an input stream (sources).
   virtual bool is_source() const { return false; }
 
+  /// True when the node's backing executor is gone (a remote worker whose
+  /// peer process died). The farm treats such a worker as crashed: its
+  /// queued and in-flight tasks are recovered exactly once
+  /// (Farm::fail_crashed_workers) and the failure is surfaced to managers
+  /// as WorkerFailureBean.
+  virtual bool failed() const { return false; }
+
+  /// Secure any transport channel this node privately owns (remote nodes
+  /// upgrade their wire connection; local nodes have nothing to secure).
+  /// Returns the number of channels newly secured.
+  virtual std::size_t secure_channels() { return 0; }
+
   /// Source protocol: produce the next task; std::nullopt = end of stream.
   virtual std::optional<Task> next() { return std::nullopt; }
 

@@ -88,6 +88,48 @@ void EventLog::dump(std::ostream& os) const {
   }
 }
 
+namespace {
+
+/// Minimal JSON string escaping (quotes, backslash, control characters).
+void json_escape(std::ostream& os, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          const char* hex = "0123456789abcdef";
+          os << "\\u00" << hex[(c >> 4) & 0xf] << hex[c & 0xf];
+        } else {
+          os << c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+void EventLog::dump_jsonl(std::ostream& os) const {
+  std::scoped_lock lk(mu_);
+  os << std::defaultfloat << std::setprecision(9);
+  for (const Event& e : events_) {
+    os << "{\"t\":" << e.time << ",\"source\":\"";
+    json_escape(os, e.source);
+    os << "\",\"event\":\"";
+    json_escape(os, e.name);
+    os << "\",\"value\":" << e.value;
+    if (!e.detail.empty()) {
+      os << ",\"detail\":\"";
+      json_escape(os, e.detail);
+      os << '"';
+    }
+    os << "}\n";
+  }
+}
+
 EventLog& global_event_log() {
   static EventLog log;
   return log;

@@ -59,6 +59,12 @@ class EventLog {
   /// Dump as "time source event value detail" rows (gnuplot-friendly).
   void dump(std::ostream& os) const;
 
+  /// Dump as JSON lines, one event per row:
+  ///   {"t":1.25,"source":"AM_F","event":"addWorker","value":2,"detail":"..."}
+  /// ("detail" omitted when empty.) The shared machine-readable format of
+  /// manager traces and net-layer traces.
+  void dump_jsonl(std::ostream& os) const;
+
  private:
   mutable std::mutex mu_;
   std::vector<Event> events_;

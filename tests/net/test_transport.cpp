@@ -1,0 +1,239 @@
+// Transport conformance: one behavioural contract, two backends.
+//
+// Every test in TransportConformance runs against both InprocTransport and
+// TcpTransport (loopback) through the same fixture — the wire protocol must
+// not care which one carries it. Backend-specific behaviour (connect retry
+// budgets, heartbeat-refreshed idleness, EOF detection) is tested
+// separately below.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/transport.hpp"
+
+namespace bsk::net {
+namespace {
+
+Frame msg(FrameType type, std::initializer_list<std::uint8_t> bytes) {
+  Frame f;
+  f.type = type;
+  f.payload = bytes;
+  return f;
+}
+
+class TransportConformance : public ::testing::TestWithParam<std::string> {
+ protected:
+  struct Pair {
+    std::shared_ptr<Transport> a;
+    std::shared_ptr<Transport> b;
+  };
+
+  Pair make() {
+    if (GetParam() == "inproc") {
+      auto p = InprocTransport::make_pair();
+      return {p.a, p.b};
+    }
+    auto listener = std::make_shared<TcpListener>(0);
+    EXPECT_TRUE(listener->valid());
+    listeners_.push_back(listener);
+    std::shared_ptr<Transport> client =
+        TcpTransport::connect("127.0.0.1", listener->port());
+    std::shared_ptr<Transport> server = listener->accept_for(5.0);
+    EXPECT_NE(client, nullptr);
+    EXPECT_NE(server, nullptr);
+    return {client, server};
+  }
+
+  std::vector<std::shared_ptr<TcpListener>> listeners_;
+};
+
+TEST_P(TransportConformance, SendRecvPreservesOrderAndBytes) {
+  auto [a, b] = make();
+  for (int i = 0; i < 100; ++i) {
+    Frame f;
+    f.type = i % 2 == 0 ? FrameType::TaskMsg : FrameType::ResultMsg;
+    f.payload.assign(static_cast<std::size_t>(i), static_cast<std::uint8_t>(i));
+    ASSERT_TRUE(a->send(f));
+  }
+  for (int i = 0; i < 100; ++i) {
+    Frame f;
+    ASSERT_EQ(b->recv(f), RecvStatus::Ok) << "frame " << i;
+    EXPECT_EQ(f.type,
+              i % 2 == 0 ? FrameType::TaskMsg : FrameType::ResultMsg);
+    ASSERT_EQ(f.payload.size(), static_cast<std::size_t>(i));
+    if (i > 0) EXPECT_EQ(f.payload[0], static_cast<std::uint8_t>(i));
+  }
+  a->close();
+  b->close();
+}
+
+TEST_P(TransportConformance, RecvForTimesOutPromptly) {
+  auto [a, b] = make();
+  Frame f;
+  const double t0 = wall_now();
+  EXPECT_EQ(b->recv_for(f, 0.05), RecvStatus::TimedOut);
+  EXPECT_LT(wall_now() - t0, 2.0);  // did not block unboundedly
+  a->close();
+  b->close();
+}
+
+TEST_P(TransportConformance, CloseDrainsBufferedFramesThenReportsClosed) {
+  auto [a, b] = make();
+  for (int i = 0; i < 3; ++i)
+    ASSERT_TRUE(a->send(msg(FrameType::TaskMsg, {static_cast<uint8_t>(i)})));
+  a->close();
+  Frame f;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_EQ(b->recv(f), RecvStatus::Ok) << "frame " << i;
+    EXPECT_EQ(f.payload[0], static_cast<std::uint8_t>(i));
+  }
+  EXPECT_EQ(b->recv(f), RecvStatus::Closed);
+  EXPECT_TRUE(b->closed());
+}
+
+TEST_P(TransportConformance, PeerCloseUnblocksBlockedRecv) {
+  auto [a, b] = make();
+  std::jthread closer([a = a] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    a->close();
+  });
+  Frame f;
+  EXPECT_EQ(b->recv(f), RecvStatus::Closed);
+}
+
+TEST_P(TransportConformance, SendAfterCloseFails) {
+  auto [a, b] = make();
+  a->close();
+  EXPECT_FALSE(a->send(msg(FrameType::TaskMsg, {1})));
+  b->close();
+}
+
+TEST_P(TransportConformance, HeartbeatsAreAbsorbedNeverSurfaced) {
+  auto [a, b] = make();
+  ASSERT_TRUE(a->send(Frame{FrameType::Heartbeat, {}}));
+  ASSERT_TRUE(a->send(Frame{FrameType::Heartbeat, {}}));
+  ASSERT_TRUE(a->send(msg(FrameType::TaskMsg, {42})));
+  Frame f;
+  ASSERT_EQ(b->recv(f), RecvStatus::Ok);
+  EXPECT_EQ(f.type, FrameType::TaskMsg);  // heartbeats skipped
+  EXPECT_EQ(f.payload[0], 42);
+  EXPECT_GE(b->stats().heartbeats_seen, 2u);
+  a->close();
+  b->close();
+}
+
+TEST_P(TransportConformance, BidirectionalPingPong) {
+  auto [a, b] = make();
+  std::jthread echo([b = b] {
+    Frame f;
+    while (b->recv(f) == RecvStatus::Ok) {
+      f.type = FrameType::ResultMsg;
+      if (!b->send(f)) break;
+    }
+  });
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(a->send(msg(FrameType::TaskMsg, {static_cast<uint8_t>(i)})));
+    Frame f;
+    ASSERT_EQ(a->recv(f), RecvStatus::Ok);
+    EXPECT_EQ(f.type, FrameType::ResultMsg);
+    EXPECT_EQ(f.payload[0], static_cast<std::uint8_t>(i));
+  }
+  a->close();
+  b->close();
+}
+
+TEST_P(TransportConformance, StatsCountFrames) {
+  auto [a, b] = make();
+  for (int i = 0; i < 10; ++i)
+    ASSERT_TRUE(a->send(msg(FrameType::TaskMsg, {})));
+  Frame f;
+  for (int i = 0; i < 10; ++i) ASSERT_EQ(b->recv(f), RecvStatus::Ok);
+  EXPECT_EQ(a->stats().frames_sent, 10u);
+  EXPECT_EQ(b->stats().frames_received, 10u);
+  a->close();
+  b->close();
+}
+
+TEST_P(TransportConformance, SecuredFlagFlips) {
+  auto [a, b] = make();
+  EXPECT_FALSE(a->secured());
+  a->mark_secured();
+  EXPECT_TRUE(a->secured());
+  EXPECT_FALSE(b->secured());
+  a->close();
+  b->close();
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, TransportConformance,
+                         ::testing::Values(std::string("inproc"),
+                                           std::string("tcp")),
+                         [](const auto& info) { return info.param; });
+
+// ------------------------------------------------------------ tcp-specific
+
+TEST(TcpTransport, ConnectRetryBudgetIsBoundedAndFails) {
+  TcpOptions opts;
+  opts.connect_retries = 2;
+  opts.connect_timeout_s = 0.1;
+  opts.retry_backoff_s = 0.01;
+  const double t0 = wall_now();
+  // Port 1 on loopback: nothing listens there in the sandbox.
+  auto tp = TcpTransport::connect("127.0.0.1", 1, opts);
+  EXPECT_EQ(tp, nullptr);
+  EXPECT_LT(wall_now() - t0, 5.0);
+}
+
+TEST(TcpTransport, ListenerBindsEphemeralPort) {
+  TcpListener l1(0), l2(0);
+  ASSERT_TRUE(l1.valid());
+  ASSERT_TRUE(l2.valid());
+  EXPECT_NE(l1.port(), 0);
+  EXPECT_NE(l1.port(), l2.port());
+}
+
+TEST(TcpTransport, AcceptForTimesOutWithoutClient) {
+  TcpListener l(0);
+  ASSERT_TRUE(l.valid());
+  const double t0 = wall_now();
+  EXPECT_EQ(l.accept_for(0.05), nullptr);
+  EXPECT_LT(wall_now() - t0, 2.0);
+}
+
+TEST(TcpTransport, HeartbeatsRefreshIdleSeconds) {
+  TcpListener l(0);
+  auto client = TcpTransport::connect("127.0.0.1", l.port());
+  auto server = l.accept_for(5.0);
+  ASSERT_NE(client, nullptr);
+  ASSERT_NE(server, nullptr);
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  const double idle_before = server->idle_seconds();
+  ASSERT_TRUE(client->send(Frame{FrameType::Heartbeat, {}}));
+  // Wait for the io thread to register the beat.
+  const double deadline = wall_now() + 2.0;
+  while (server->stats().heartbeats_seen == 0 && wall_now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_GE(server->stats().heartbeats_seen, 1u);
+  EXPECT_LT(server->idle_seconds(), idle_before + 0.05);
+  client->close();
+  server->close();
+}
+
+TEST(TcpTransport, PeerDestructionReadsAsClosed) {
+  TcpListener l(0);
+  auto client = TcpTransport::connect("127.0.0.1", l.port());
+  auto server = l.accept_for(5.0);
+  ASSERT_NE(client, nullptr);
+  ASSERT_NE(server, nullptr);
+  client.reset();  // socket torn down — the remote process "dies"
+  Frame f;
+  EXPECT_EQ(server->recv_for(f, 5.0), RecvStatus::Closed);
+  EXPECT_TRUE(server->closed());
+}
+
+}  // namespace
+}  // namespace bsk::net

@@ -1,0 +1,283 @@
+// Wire layer: framing and serializer round-trips.
+//
+// Every message that crosses a process boundary must survive
+// encode → byte stream → incremental decode → parse unchanged, including
+// under adversarial framing (byte-at-a-time delivery, truncation,
+// oversized frames).
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <random>
+
+#include "net/wire.hpp"
+
+namespace bsk::net {
+namespace {
+
+TEST(Wire, WriterReaderRoundTripPrimitives) {
+  wire::Writer w;
+  w.u8(0xab);
+  w.u16(0xbeef);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefULL);
+  w.f64(-3.25e-9);
+  w.str("hello \xc3\xa9 world");
+  const auto buf = w.data();
+
+  wire::Reader r(buf);
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u16(), 0xbeef);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+  EXPECT_DOUBLE_EQ(r.f64(), -3.25e-9);
+  EXPECT_EQ(r.str(), "hello \xc3\xa9 world");
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(Wire, ReaderUnderflowTurnsNotOkAndStaysZero) {
+  wire::Writer w;
+  w.u16(7);
+  const auto buf = w.data();
+  wire::Reader r(buf);
+  EXPECT_EQ(r.u16(), 7);
+  EXPECT_EQ(r.u32(), 0u);  // underflow
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.u8(), 0);  // sticky failure
+}
+
+TEST(Wire, FrameEncodeHasLengthPrefixAndType) {
+  Frame f;
+  f.type = FrameType::TaskMsg;
+  f.payload = {1, 2, 3};
+  const auto bytes = encode_frame(f);
+  ASSERT_EQ(bytes.size(), 4u + 1u + 3u);
+  std::uint32_t len = 0;
+  std::memcpy(&len, bytes.data(), 4);
+  EXPECT_EQ(len, 4u);  // type byte + 3 payload bytes
+  EXPECT_EQ(bytes[4], static_cast<std::uint8_t>(FrameType::TaskMsg));
+}
+
+TEST(Wire, DecoderReassemblesByteAtATime) {
+  // Property: an arbitrary frame sequence fed one byte at a time comes out
+  // intact and in order.
+  std::mt19937 rng(1234);
+  std::vector<Frame> frames;
+  std::vector<std::uint8_t> stream;
+  for (int i = 0; i < 50; ++i) {
+    Frame f;
+    f.type = static_cast<FrameType>(1 + rng() % 12);
+    f.payload.resize(rng() % 100);
+    for (auto& b : f.payload) b = static_cast<std::uint8_t>(rng());
+    const auto bytes = encode_frame(f);
+    stream.insert(stream.end(), bytes.begin(), bytes.end());
+    frames.push_back(std::move(f));
+  }
+
+  FrameDecoder dec;
+  std::size_t got = 0;
+  for (const std::uint8_t b : stream) {
+    dec.feed(&b, 1);
+    while (auto f = dec.next()) {
+      ASSERT_LT(got, frames.size());
+      EXPECT_EQ(f->type, frames[got].type);
+      EXPECT_EQ(f->payload, frames[got].payload);
+      ++got;
+    }
+  }
+  EXPECT_EQ(got, frames.size());
+  EXPECT_FALSE(dec.error());
+  EXPECT_EQ(dec.buffered(), 0u);
+}
+
+TEST(Wire, DecoderRejectsOversizedFrame) {
+  FrameDecoder dec(64);  // tiny max frame
+  Frame f;
+  f.type = FrameType::TaskMsg;
+  f.payload.resize(1000);
+  const auto bytes = encode_frame(f);
+  dec.feed(bytes.data(), bytes.size());
+  EXPECT_EQ(dec.next(), std::nullopt);
+  EXPECT_TRUE(dec.error());
+}
+
+TEST(Wire, HelloRoundTrip) {
+  Hello h;
+  h.role = 1;
+  h.node_kind = "echo";
+  h.clock_scale = 42.5;
+  h.heartbeat_wall_s = 0.125;
+  const auto back = parse_hello(make_hello(h));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->magic, kMagic);
+  EXPECT_EQ(back->version, kProtocolVersion);
+  EXPECT_EQ(back->role, 1);
+  EXPECT_EQ(back->node_kind, "echo");
+  EXPECT_DOUBLE_EQ(back->clock_scale, 42.5);
+  EXPECT_DOUBLE_EQ(back->heartbeat_wall_s, 0.125);
+}
+
+TEST(Wire, HelloAckAndHeartbeatRoundTrip) {
+  HelloAck a;
+  a.session = 77;
+  a.ok = false;
+  const auto ack = parse_hello_ack(make_hello_ack(a));
+  ASSERT_TRUE(ack.has_value());
+  EXPECT_EQ(ack->session, 77u);
+  EXPECT_FALSE(ack->ok);
+
+  HeartbeatMsg hb{9, 1.5};
+  const auto beat = parse_heartbeat(make_heartbeat(hb));
+  ASSERT_TRUE(beat.has_value());
+  EXPECT_EQ(beat->seq, 9u);
+  EXPECT_DOUBLE_EQ(beat->wall_time, 1.5);
+}
+
+TEST(Wire, TaskRoundTripAllKindsAndMetadata) {
+  for (const rt::TaskKind kind :
+       {rt::TaskKind::Data, rt::TaskKind::Poison, rt::TaskKind::WorkerDone}) {
+    rt::Task t;
+    t.kind = kind;
+    t.id = 123456789;
+    t.order = 42;
+    t.work_s = 2.5;
+    t.size_mb = 0.75;
+    t.created = 10.25;
+    t.completed = 11.5;
+    const auto back = parse_task(make_task(t));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->kind, kind);
+    EXPECT_EQ(back->id, t.id);
+    EXPECT_EQ(back->order, t.order);
+    EXPECT_DOUBLE_EQ(back->work_s, t.work_s);
+    EXPECT_DOUBLE_EQ(back->size_mb, t.size_mb);
+    EXPECT_DOUBLE_EQ(back->created, t.created);
+    EXPECT_DOUBLE_EQ(back->completed, t.completed);
+  }
+}
+
+TEST(Wire, TaskPayloadVariantsTravel) {
+  {
+    rt::Task t = rt::Task::data(1, 0.0, std::string("payload"));
+    const auto back = parse_task(make_task(t));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(std::any_cast<std::string>(back->payload), "payload");
+  }
+  {
+    rt::Task t = rt::Task::data(2, 0.0, 3.75);
+    const auto back = parse_task(make_task(t));
+    EXPECT_DOUBLE_EQ(std::any_cast<double>(back->payload), 3.75);
+  }
+  {
+    rt::Task t = rt::Task::data(3, 0.0, std::int64_t{-5});
+    const auto back = parse_task(make_task(t));
+    EXPECT_EQ(std::any_cast<std::int64_t>(back->payload), -5);
+  }
+  {
+    rt::Task t = rt::Task::data(4, 0.0, std::uint64_t{99});
+    const auto back = parse_task(make_task(t));
+    EXPECT_EQ(std::any_cast<std::uint64_t>(back->payload), 99u);
+  }
+  {
+    rt::Task t =
+        rt::Task::data(5, 0.0, std::vector<std::uint8_t>{1, 2, 3});
+    const auto back = parse_task(make_task(t));
+    EXPECT_EQ(std::any_cast<std::vector<std::uint8_t>>(back->payload),
+              (std::vector<std::uint8_t>{1, 2, 3}));
+  }
+  {
+    rt::Task t;  // empty payload
+    const auto back = parse_task(make_task(t));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_FALSE(back->payload.has_value());
+  }
+  {
+    // Unknown payload type: dropped, task still travels.
+    struct Opaque {
+      int x;
+    };
+    rt::Task t = rt::Task::data(6, 0.5, Opaque{7});
+    const auto back = parse_task(make_task(t));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->id, 6u);
+    EXPECT_FALSE(back->payload.has_value());
+  }
+}
+
+TEST(Wire, TaskParseRejectsTruncatedPayload) {
+  rt::Task t = rt::Task::data(1, 1.0, std::string("hello"));
+  Frame f = make_task(t);
+  f.payload.resize(f.payload.size() / 2);
+  EXPECT_EQ(parse_task(f), std::nullopt);
+}
+
+TEST(Wire, SensorsRoundTripEveryField) {
+  am::Sensors s;
+  s.valid = false;
+  s.arrival_rate = 1.5;
+  s.departure_rate = 2.5;
+  s.mean_service_s = 0.25;
+  s.mean_latency_s = 0.5;
+  s.nworkers = 7;
+  s.queue_variance = 3.25;
+  s.queued = 11;
+  s.stream_ended = true;
+  s.unsecured_untrusted = true;
+  s.insecure_messages = 1234;
+  s.total_failures = 3;
+  s.new_failures = 1;
+
+  const auto rep = parse_sensor_rep(make_sensor_rep(42, s));
+  ASSERT_TRUE(rep.has_value());
+  EXPECT_EQ(rep->first, 42u);
+  const am::Sensors& b = rep->second;
+  EXPECT_EQ(b.valid, s.valid);
+  EXPECT_DOUBLE_EQ(b.arrival_rate, s.arrival_rate);
+  EXPECT_DOUBLE_EQ(b.departure_rate, s.departure_rate);
+  EXPECT_DOUBLE_EQ(b.mean_service_s, s.mean_service_s);
+  EXPECT_DOUBLE_EQ(b.mean_latency_s, s.mean_latency_s);
+  EXPECT_EQ(b.nworkers, s.nworkers);
+  EXPECT_DOUBLE_EQ(b.queue_variance, s.queue_variance);
+  EXPECT_EQ(b.queued, s.queued);
+  EXPECT_EQ(b.stream_ended, s.stream_ended);
+  EXPECT_EQ(b.unsecured_untrusted, s.unsecured_untrusted);
+  EXPECT_EQ(b.insecure_messages, s.insecure_messages);
+  EXPECT_EQ(b.total_failures, s.total_failures);
+  EXPECT_EQ(b.new_failures, s.new_failures);
+}
+
+TEST(Wire, ActRequestReplyRoundTrip) {
+  ActRequest r;
+  r.seq = 31;
+  r.op = ActRequest::Op::SetRate;
+  r.rate = 12.5;
+  r.require_secure = true;
+  const auto back = parse_act_req(make_act_req(r));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->seq, 31u);
+  EXPECT_EQ(back->op, ActRequest::Op::SetRate);
+  EXPECT_DOUBLE_EQ(back->rate, 12.5);
+  EXPECT_TRUE(back->require_secure);
+
+  ActReply rep;
+  rep.seq = 31;
+  rep.ok = true;
+  rep.count = 5;
+  const auto brep = parse_act_rep(make_act_rep(rep));
+  ASSERT_TRUE(brep.has_value());
+  EXPECT_EQ(brep->seq, 31u);
+  EXPECT_TRUE(brep->ok);
+  EXPECT_EQ(brep->count, 5u);
+}
+
+TEST(Wire, SensorReqRoundTripAndWrongTypeRejected) {
+  const auto seq = parse_sensor_req(make_sensor_req(9));
+  ASSERT_TRUE(seq.has_value());
+  EXPECT_EQ(*seq, 9u);
+  EXPECT_EQ(parse_sensor_req(make_act_req({})), std::nullopt);
+  EXPECT_EQ(parse_hello(make_sensor_req(1)), std::nullopt);
+}
+
+}  // namespace
+}  // namespace bsk::net

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <deque>
+#include <mutex>
 #include <numeric>
 #include <set>
 #include <thread>
@@ -167,6 +171,118 @@ TEST(Channel, MpmcAllItemsDeliveredExactlyOnce) {
             static_cast<std::size_t>(kProducers * kPerProducer));
   for (int x = 0; x < kProducers * kPerProducer; ++x)
     EXPECT_EQ(seen.count(x), 1u) << "item " << x;
+}
+
+// --------------------------------------------------- shutdown/close races
+
+TEST(Channel, CloseRacingBlockedProducersReleasesAllOfThem) {
+  // Producers blocked on a full channel must all return (not deadlock)
+  // when the channel closes under them, and nothing may be delivered
+  // twice: items the push reported true for are in the queue, the rest
+  // are dropped.
+  Channel<int> ch(2);
+  std::atomic<int> accepted{0};
+  {
+    std::vector<std::jthread> producers;
+    for (int p = 0; p < 6; ++p)
+      producers.emplace_back([&ch, &accepted, p] {
+        for (int i = 0; i < 10; ++i)
+          if (ch.push(p * 10 + i)) accepted.fetch_add(1);
+      });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    ch.close();
+  }  // all producers must join
+
+  std::set<int> seen;
+  int v = 0;
+  while (ch.pop(v) == ChannelStatus::Ok) EXPECT_TRUE(seen.insert(v).second);
+  EXPECT_EQ(static_cast<int>(seen.size()), accepted.load());
+}
+
+TEST(Channel, CloseRacingBlockedConsumersReleasesAllOfThem) {
+  Channel<int> ch(4);
+  std::atomic<int> closed_seen{0};
+  {
+    std::vector<std::jthread> consumers;
+    for (int c = 0; c < 6; ++c)
+      consumers.emplace_back([&ch, &closed_seen] {
+        int v = 0;
+        while (ch.pop(v) == ChannelStatus::Ok) {
+        }
+        closed_seen.fetch_add(1);
+      });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    ch.close();
+  }
+  EXPECT_EQ(closed_seen.load(), 6);
+}
+
+TEST(Channel, ConcurrentPushPopCloseDeliversAcceptedItemsExactlyOnce) {
+  // Full-contention shutdown: producers, consumers, and a closer all race.
+  // Invariant: every item whose push returned true is popped exactly once;
+  // afterwards every consumer observes Closed.
+  Channel<int> ch(8);
+  std::atomic<int> accepted{0};
+  std::atomic<int> popped{0};
+  std::mutex seen_mu;
+  std::set<int> seen;
+  {
+    std::vector<std::jthread> threads;
+    for (int p = 0; p < 4; ++p)
+      threads.emplace_back([&, p] {
+        for (int i = 0; i < 500; ++i)
+          if (ch.push(p * 500 + i)) accepted.fetch_add(1);
+      });
+    for (int c = 0; c < 4; ++c)
+      threads.emplace_back([&] {
+        int v = 0;
+        while (ch.pop(v) == ChannelStatus::Ok) {
+          popped.fetch_add(1);
+          std::scoped_lock lk(seen_mu);
+          EXPECT_TRUE(seen.insert(v).second) << "duplicate " << v;
+        }
+      });
+    threads.emplace_back([&ch] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      ch.close();
+    });
+  }
+  EXPECT_EQ(popped.load(), accepted.load());
+  EXPECT_EQ(static_cast<int>(seen.size()), accepted.load());
+}
+
+TEST(Channel, PopForRacingCloseNeverHangsAndEndsClosed) {
+  Channel<int> ch(4);
+  ch.push(1);
+  std::jthread closer([&ch] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    ch.close();
+  });
+  // Outcomes may interleave any way, but the sequence must terminate with
+  // Closed (never TimedOut once closed-and-drained) and never block past
+  // its timeout.
+  int v = 0;
+  for (;;) {
+    const ChannelStatus st = ch.pop_for(v, SimDuration(0.05));
+    if (st == ChannelStatus::Closed) break;
+    if (st == ChannelStatus::Ok) EXPECT_EQ(v, 1);
+  }
+  EXPECT_EQ(ch.pop_for(v, SimDuration(0.01)), ChannelStatus::Closed);
+}
+
+TEST(Channel, StealBackRacingCloseLosesNothing) {
+  Channel<int> ch(64);
+  for (int i = 0; i < 32; ++i) ch.push(i);
+  std::deque<int> stolen;
+  {
+    std::jthread stealer([&] { stolen = ch.steal_back(16); });
+    std::jthread closer([&ch] { ch.close(); });
+  }
+  std::set<int> seen(stolen.begin(), stolen.end());
+  int v = 0;
+  while (ch.pop(v) == ChannelStatus::Ok)
+    EXPECT_TRUE(seen.insert(v).second) << "duplicate " << v;
+  EXPECT_EQ(seen.size(), 32u);
 }
 
 }  // namespace

@@ -2,8 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <iomanip>
 #include <sstream>
 #include <thread>
+#include <vector>
 
 #include "support/event_log.hpp"
 
@@ -82,6 +84,53 @@ TEST(EventLog, ConcurrentRecording) {
   EXPECT_EQ(log.size(), 1600u);
   for (int t = 0; t < 8; ++t)
     EXPECT_EQ(log.count("src" + std::to_string(t), "ev"), 200u);
+}
+
+TEST(EventLog, DumpJsonlOneObjectPerEvent) {
+  EventLog log;
+  log.record("farm", "addWorker", 2.0);
+  log.record("am", "note", 1.5, "detail text");
+  std::ostringstream os;
+  log.dump_jsonl(os);
+  const std::string s = os.str();
+
+  // One JSON object per line, detail only when present.
+  std::istringstream lines(s);
+  std::string line;
+  std::vector<std::string> rows;
+  while (std::getline(lines, line)) rows.push_back(line);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].front(), '{');
+  EXPECT_EQ(rows[0].back(), '}');
+  EXPECT_NE(rows[0].find("\"source\":\"farm\""), std::string::npos);
+  EXPECT_NE(rows[0].find("\"event\":\"addWorker\""), std::string::npos);
+  EXPECT_NE(rows[0].find("\"value\":2"), std::string::npos);
+  EXPECT_EQ(rows[0].find("\"detail\""), std::string::npos);
+  EXPECT_NE(rows[1].find("\"detail\":\"detail text\""), std::string::npos);
+}
+
+TEST(EventLog, DumpJsonlEscapesSpecialCharacters) {
+  EventLog log;
+  log.record("s", "quote\"back\\slash", 0.0,
+             "line\nbreak\ttab\x01"
+             "ctl");
+  std::ostringstream os;
+  log.dump_jsonl(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("quote\\\"back\\\\slash"), std::string::npos);
+  EXPECT_NE(s.find("line\\nbreak\\ttab\\u0001ctl"), std::string::npos);
+  // The raw control characters themselves must not leak through.
+  EXPECT_EQ(s.find('\t'), std::string::npos);
+  EXPECT_EQ(s.find('\x01'), std::string::npos);
+}
+
+TEST(EventLog, DumpJsonlUnaffectedByPriorStreamFormatting) {
+  EventLog log;
+  log.record("s", "e", 0.123456789);
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(1);  // e.g. leftover from dump()
+  log.dump_jsonl(os);
+  EXPECT_NE(os.str().find("0.123456789"), std::string::npos);
 }
 
 TEST(EventLog, GlobalLogIsSingleton) {

@@ -76,6 +76,54 @@ TEST(SpscRing, TwoThreadStressPreservesOrder) {
   EXPECT_TRUE(q.empty());
 }
 
+TEST(SpscRing, ConcurrentWraparoundAtMinimalCapacity) {
+  // Capacity 2 forces the head/tail counters to wrap the mask on almost
+  // every operation while both endpoints run full speed — the tightest
+  // exercise of the acquire/release pairing on the cursor indices.
+  constexpr int kItems = 20000;
+  SpscRing<int> q(2);
+  std::jthread producer([&] {
+    for (int i = 0; i < kItems; ++i)
+      while (!q.push(i)) std::this_thread::yield();
+  });
+  int expected = 0;
+  while (expected < kItems) {
+    const std::size_t sz = q.size();
+    EXPECT_LE(sz, q.capacity());  // occupancy never exceeds capacity
+    if (const auto v = q.pop()) {
+      ASSERT_EQ(*v, expected);  // strict FIFO across every wrap
+      ++expected;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(SpscRing, ConcurrentBurstyProducerKeepsOrderAcrossWraps) {
+  // Bursts larger than capacity interleaved with idle gaps: the consumer
+  // repeatedly sees full->empty transitions at wrap boundaries.
+  constexpr int kBursts = 200;
+  constexpr int kBurst = 7;  // not a power of two: never aligns with mask
+  SpscRing<int> q(4);
+  std::jthread producer([&] {
+    int n = 0;
+    for (int b = 0; b < kBursts; ++b) {
+      for (int i = 0; i < kBurst; ++i, ++n)
+        while (!q.push(n)) std::this_thread::yield();
+      if (b % 16 == 0) std::this_thread::yield();
+    }
+  });
+  int expected = 0;
+  while (expected < kBursts * kBurst) {
+    if (const auto v = q.pop()) {
+      ASSERT_EQ(*v, expected);
+      ++expected;
+    }
+  }
+  EXPECT_TRUE(q.empty());
+}
+
 TEST(SpscRing, MoveOnlyPayload) {
   SpscRing<std::unique_ptr<int>> q(4);
   EXPECT_TRUE(q.push(std::make_unique<int>(5)));
