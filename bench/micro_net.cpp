@@ -12,6 +12,7 @@
 #include <thread>
 #include <vector>
 
+#include "net/remote_conduit.hpp"
 #include "net/transport.hpp"
 #include "net/wire.hpp"
 #include "rt/task.hpp"
@@ -98,6 +99,63 @@ void BM_TcpLoopbackRoundTrip(benchmark::State& state) {
   round_trip_loop(state, *client, *server);
 }
 BENCHMARK(BM_TcpLoopbackRoundTrip)->Unit(benchmark::kMicrosecond);
+
+// Remote-worker throughput as a function of the credit window. window=1 is
+// the strict round-trip-per-task protocol the dataplane used to pay; larger
+// windows keep N tasks in flight so the wire latency is amortized across
+// the pipeline. The peer is a serial echo, mirroring bskd's FIFO executor.
+void credit_window_loop(benchmark::State& state,
+                        std::shared_ptr<net::Transport> near,
+                        std::shared_ptr<net::Transport> far) {
+  std::jthread echo([far] {
+    net::Frame f;
+    while (far->recv(f) == net::RecvStatus::Ok) {
+      if (f.type != net::FrameType::TaskMsg) continue;
+      f.type = net::FrameType::ResultMsg;
+      if (!far->send(f)) break;
+    }
+  });
+  net::RemoteNodeOptions opts;
+  opts.credit_window = static_cast<std::size_t>(state.range(0));
+  opts.liveness_timeout_wall_s = 0.0;  // the echo peer sends no heartbeats
+  net::RemoteWorkerNode node(near, opts);
+  for (auto _ : state) {
+    if (!node.process(payload_task(256)) && node.failed()) {
+      state.SkipWithError("remote node failed mid-benchmark");
+      break;
+    }
+    // nullopt without failure = window still priming; the result of this
+    // task comes back on a later iteration or in the final flush.
+  }
+  while (node.flush()) {
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  node.on_stop();
+  far->close();
+}
+
+void BM_InprocCreditThroughput(benchmark::State& state) {
+  auto pair = net::InprocTransport::make_pair();
+  credit_window_loop(state, pair.a, pair.b);
+}
+BENCHMARK(BM_InprocCreditThroughput)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_TcpCreditThroughput(benchmark::State& state) {
+  net::TcpListener listener(0);
+  if (!listener.valid()) {
+    state.SkipWithError("cannot bind loopback listener");
+    return;
+  }
+  std::shared_ptr<net::Transport> client =
+      net::TcpTransport::connect("127.0.0.1", listener.port());
+  std::shared_ptr<net::Transport> server = listener.accept_for(2.0);
+  if (!client || !server) {
+    state.SkipWithError("loopback connect/accept failed");
+    return;
+  }
+  credit_window_loop(state, std::move(client), std::move(server));
+}
+BENCHMARK(BM_TcpCreditThroughput)->Arg(1)->Arg(4)->Arg(16);
 
 }  // namespace
 

@@ -31,6 +31,48 @@ void BM_ChannelPushPop(benchmark::State& state) {
 }
 BENCHMARK(BM_ChannelPushPop);
 
+// Producer/consumer stream through a bounded channel. Arg is the batch
+// size: 1 uses the per-item push/pop path (one lock + one CV notify per
+// task — the pre-batching dataplane), larger values move whole batches via
+// push_n/pop_n under a single lock acquisition. The items/s ratio between
+// Arg(1) and the batched runs is the dataplane speedup BENCH_dataplane.json
+// tracks.
+void BM_ChannelBatchTransfer(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  support::Channel<int> ch(1024);
+  std::jthread consumer([&ch, batch] {
+    if (batch == 1) {
+      int v;
+      while (ch.pop(v) == support::ChannelStatus::Ok)
+        benchmark::DoNotOptimize(v);
+    } else {
+      std::vector<int> buf;
+      buf.reserve(batch);
+      while (ch.pop_n(buf, batch) == support::ChannelStatus::Ok) {
+        benchmark::DoNotOptimize(buf.data());
+        buf.clear();
+      }
+    }
+  });
+  std::int64_t items = 0;
+  if (batch == 1) {
+    for (auto _ : state) {
+      ch.push(1);
+      ++items;
+    }
+  } else {
+    std::vector<int> out;
+    for (auto _ : state) {
+      out.assign(batch, 1);
+      ch.push_n(out);
+      items += static_cast<std::int64_t>(batch);
+    }
+  }
+  ch.close();
+  state.SetItemsProcessed(items);
+}
+BENCHMARK(BM_ChannelBatchTransfer)->Arg(1)->Arg(8)->Arg(64)->Arg(256);
+
 void BM_SpscPushPop(benchmark::State& state) {
   support::SpscRing<int> q(1024);
   for (auto _ : state) {

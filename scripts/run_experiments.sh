@@ -55,3 +55,11 @@ for name in "${EXPECTED[@]}"; do
   echo "===================================================================="
   "$b"
 done
+
+# Distill the dataplane micro-benchmarks (E8 channel batching, E13 credit
+# pipelining) into the machine-readable BENCH_dataplane.json.
+echo
+echo "===================================================================="
+echo "== BENCH_dataplane.json"
+echo "===================================================================="
+"$(dirname "$0")/bench_dataplane.sh" "$BUILD"

@@ -39,21 +39,47 @@ support::ChannelStatus RemoteConduit::pop_wall(rt::Task& out,
 }
 
 std::optional<rt::Task> RemoteWorkerNode::process(rt::Task t) {
-  if (failed()) {
+  std::size_t in_flight;
+  {
+    // Stage the recovery copy *before* anything can fail: whatever happens
+    // from here on — send failure, peer death, a monitor declaring us
+    // crashed mid-call — the task is reachable through drain_unacked().
+    std::scoped_lock lk(mu_);
+    unacked_.push_back(t);
+    in_flight = unacked_.size();
+  }
+  if (failed() || !chan_.push(std::move(t))) {
     failed_.store(true, std::memory_order_relaxed);
     return std::nullopt;
   }
-  if (!chan_.push(std::move(t))) {
-    failed_.store(true, std::memory_order_relaxed);
-    return std::nullopt;
-  }
+  // Credit-based pipelining: keep up to credit_window tasks on the wire
+  // before insisting on a result, overlapping transfer with the peer's
+  // computation. The result returned belongs to the *oldest* in-flight
+  // task, not to `t`; Task::order travels with it, so ordered collection
+  // is unaffected. flush() drains the tail at end of stream.
+  const std::size_t window = opts_.credit_window == 0 ? 1 : opts_.credit_window;
+  if (in_flight < window) return std::nullopt;
+  return await_result();
+}
+
+std::optional<rt::Task> RemoteWorkerNode::await_result() {
   rt::Task r;
   for (;;) {
     switch (chan_.pop_wall(r, opts_.result_poll_wall_s)) {
-      case support::ChannelStatus::Ok:
+      case support::ChannelStatus::Ok: {
+        std::scoped_lock lk(mu_);
+        if (unacked_.empty()) {
+          // A monitor drained the recovery deque and re-offered the tasks
+          // elsewhere; this result's task is being re-executed. Discard it
+          // to keep result emission exactly-once.
+          failed_.store(true, std::memory_order_relaxed);
+          return std::nullopt;
+        }
+        unacked_.pop_front();  // results arrive in send order (FIFO peer)
         // A WorkerDone-kind reply means the peer's node filtered the task.
         if (r.kind == rt::TaskKind::WorkerDone) return std::nullopt;
         return r;
+      }
       case support::ChannelStatus::Closed:
         failed_.store(true, std::memory_order_relaxed);
         return std::nullopt;
@@ -66,6 +92,28 @@ std::optional<rt::Task> RemoteWorkerNode::process(rt::Task t) {
         break;
     }
   }
+}
+
+std::optional<rt::Task> RemoteWorkerNode::flush() {
+  for (;;) {
+    {
+      std::scoped_lock lk(mu_);
+      if (unacked_.empty()) return std::nullopt;
+    }
+    if (failed_.load(std::memory_order_relaxed)) return std::nullopt;
+    if (auto r = await_result()) return r;
+    // nullopt here is either a filtered task (keep draining) or a failure
+    // (failed_ is now set and the next iteration exits; the farm recovers
+    // the leftovers through drain_unacked()).
+  }
+}
+
+std::vector<rt::Task> RemoteWorkerNode::drain_unacked() {
+  std::scoped_lock lk(mu_);
+  std::vector<rt::Task> out(std::make_move_iterator(unacked_.begin()),
+                            std::make_move_iterator(unacked_.end()));
+  unacked_.clear();
+  return out;
 }
 
 bool client_handshake(Transport& tp, const Hello& hello,

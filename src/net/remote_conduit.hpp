@@ -15,12 +15,18 @@
 //     cannot be recalled (crash recovery instead replays the in-flight copy
 //     kept on the parent side).
 //
-//   RemoteWorkerNode — an rt::Node whose process() round-trips each task
-//     through a peer process (bskd). The farm keeps its normal local input
-//     queue in front of this node, so at most one task is ever outstanding
-//     on the wire: a peer crash loses at most that one task, and the
-//     parent-side copy (Farm's in-flight tracking) restores it. failed()
-//     reports peer death — connection EOF or heartbeat silence — which
+//   RemoteWorkerNode — an rt::Node whose computation lives in a peer
+//     process (bskd). process() pipelines up to credit_window tasks onto
+//     the wire before insisting on a result, so the round-trip latency is
+//     amortized across the window instead of paid per task; the result it
+//     returns then belongs to the *oldest* in-flight task (Task::order
+//     travels with it, so ordered collection is unaffected), and flush()
+//     drains the tail after end of stream. The node owns the crash-recovery
+//     copies of everything in flight (owns_recovery()): a peer crash is
+//     recovered by draining the unacknowledged deque — exactly once,
+//     because drains are destructive and the result path discards results
+//     whose task a monitor already re-offered elsewhere. failed() reports
+//     peer death — connection EOF or heartbeat silence — which
 //     Farm::fail_crashed_workers() turns into WorkerFailureBean facts.
 //
 // Ordering note: SecureReq is sent on the same ordered stream as task
@@ -30,9 +36,12 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "net/transport.hpp"
 #include "net/wire.hpp"
@@ -76,6 +85,21 @@ class RemoteConduit final : public rt::Conduit {
   }
 
   bool try_push(rt::Task t) override { return push(std::move(t)); }
+
+  /// Batched push: encode the whole batch and hand it to the transport as
+  /// one send_many (the TCP backend coalesces it into a single buffered
+  /// write and one I/O wakeup).
+  std::size_t push_n(std::vector<rt::Task>& ts) override {
+    if (ts.empty()) return 0;
+    std::vector<Frame> frames;
+    frames.reserve(ts.size());
+    for (rt::Task& t : ts) {
+      link_.charge(t);
+      frames.push_back(make_task(t, send_type_));
+    }
+    pushed_.fetch_add(ts.size(), std::memory_order_relaxed);
+    return tp_->send_many(frames.data(), frames.size()) ? ts.size() : 0;
+  }
 
   support::ChannelStatus pop(rt::Task& out) override {
     return pop_wall(out, -1.0);
@@ -125,6 +149,11 @@ struct RemoteNodeOptions {
   /// Peer silence (no frames, heartbeats included) past this marks the
   /// worker failed. <= 0 disables the heartbeat detector (EOF still fires).
   double liveness_timeout_wall_s = 2.0;
+  /// Tasks kept in flight on the wire (credit-based pipelining). 1
+  /// degenerates to the strict round-trip-per-task protocol; larger windows
+  /// overlap transfer with remote computation. Purely client-side: the peer
+  /// executes its FIFO serially and results acknowledge in send order.
+  std::size_t credit_window = 4;
 };
 
 /// Farm worker whose computation lives in a peer process.
@@ -135,6 +164,19 @@ class RemoteWorkerNode final : public rt::Node {
       : tp_(std::move(tp)), opts_(opts), chan_(tp_) {}
 
   std::optional<rt::Task> process(rt::Task t) override;
+
+  // Pipelining/recovery protocol (see rt::Node): this node keeps the
+  // authoritative crash-recovery copy of every task accepted but not yet
+  // answered by the peer.
+  bool owns_recovery() const override { return true; }
+  std::vector<rt::Task> drain_unacked() override;
+  std::optional<rt::Task> flush() override;
+
+  /// Tasks currently in flight on the wire (sent, no result yet).
+  std::size_t in_flight() const {
+    std::scoped_lock lk(mu_);
+    return unacked_.size();
+  }
 
   bool failed() const override {
     if (failed_.load(std::memory_order_relaxed)) return true;
@@ -156,10 +198,20 @@ class RemoteWorkerNode final : public rt::Node {
   Transport& transport() { return *tp_; }
 
  private:
+  /// Wait for one result frame and acknowledge the oldest in-flight task.
+  /// nullopt when the peer filtered that task, the connection died, or a
+  /// monitor drained the recovery deque out from under us (the result is
+  /// then discarded: its task is being re-executed elsewhere).
+  std::optional<rt::Task> await_result();
+
   std::shared_ptr<Transport> tp_;
   RemoteNodeOptions opts_;
   RemoteConduit chan_;
   std::atomic<bool> failed_{false};
+  /// Recovery copies of sent-but-unanswered tasks, oldest first. Results
+  /// acknowledge front-to-back (the peer is a serial FIFO executor).
+  mutable std::mutex mu_;
+  std::deque<rt::Task> unacked_;
 };
 
 // ------------------------------------------------------------- handshake

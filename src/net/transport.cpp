@@ -187,14 +187,21 @@ void TcpTransport::shutdown_fd() {
 }
 
 bool TcpTransport::send(const Frame& f) {
+  return send_many(&f, 1);
+}
+
+bool TcpTransport::send_many(const Frame* fs, std::size_t n) {
+  if (n == 0) return !closed_.load(std::memory_order_acquire);
   if (closed_.load(std::memory_order_acquire)) return false;
-  const std::vector<std::uint8_t> bytes = encode_frame(f);
   {
+    // Encode the whole batch straight into the send buffer: one lock, one
+    // wake, one (or few) kernel writes — the wire face of the dataplane's
+    // credit-window pipelining.
     std::scoped_lock lk(out_mu_);
     if (closed_.load(std::memory_order_acquire)) return false;
-    outbuf_.insert(outbuf_.end(), bytes.begin(), bytes.end());
+    for (std::size_t i = 0; i < n; ++i) encode_frame_into(fs[i], outbuf_);
   }
-  frames_sent_.fetch_add(1, std::memory_order_relaxed);
+  frames_sent_.fetch_add(n, std::memory_order_relaxed);
   wake();
   return true;
 }

@@ -54,6 +54,18 @@ class Transport {
   /// is closed (locally or by the peer).
   virtual bool send(const Frame& f) = 0;
 
+  /// Enqueue `n` frames as one batch (writev-style coalescing: the TCP
+  /// backend encodes the whole batch into its send buffer under a single
+  /// lock and wakes its I/O thread once, so the frames leave in as few
+  /// segments as the kernel allows). Default: send() per frame. Returns
+  /// false once the connection is closed; frames before the failure may
+  /// still be delivered.
+  virtual bool send_many(const Frame* fs, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i)
+      if (!send(fs[i])) return false;
+    return true;
+  }
+
   /// Block until a frame arrives or the connection closes and drains.
   virtual RecvStatus recv(Frame& out) = 0;
 
@@ -151,6 +163,7 @@ class TcpTransport final : public Transport {
   ~TcpTransport() override;
 
   bool send(const Frame& f) override;
+  bool send_many(const Frame* fs, std::size_t n) override;
   RecvStatus recv(Frame& out) override;
   RecvStatus recv_for(Frame& out, double wall_seconds) override;
   void close() override;

@@ -75,13 +75,17 @@ std::string Reader::str() {
 
 std::vector<std::uint8_t> encode_frame(const Frame& f) {
   std::vector<std::uint8_t> out;
+  encode_frame_into(f, out);
+  return out;
+}
+
+void encode_frame_into(const Frame& f, std::vector<std::uint8_t>& out) {
   const std::uint32_t len = static_cast<std::uint32_t>(f.payload.size() + 1);
-  out.reserve(4 + len);
+  out.reserve(out.size() + 4 + len);
   for (int i = 0; i < 4; ++i)
     out.push_back(static_cast<std::uint8_t>(len >> (8 * i)));
   out.push_back(static_cast<std::uint8_t>(f.type));
   out.insert(out.end(), f.payload.begin(), f.payload.end());
-  return out;
 }
 
 void FrameDecoder::feed(const std::uint8_t* p, std::size_t n) {

@@ -109,6 +109,11 @@ class Reader {
 /// Encode a frame to its on-the-wire bytes (length prefix included).
 std::vector<std::uint8_t> encode_frame(const Frame& f);
 
+/// Append a frame's on-the-wire bytes to `out` without an intermediate
+/// buffer — the coalescing send path encodes a whole batch of frames into
+/// one buffer this way.
+void encode_frame_into(const Frame& f, std::vector<std::uint8_t>& out);
+
 /// Incremental frame parser over an arbitrary byte stream.
 class FrameDecoder {
  public:

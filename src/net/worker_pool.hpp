@@ -45,7 +45,7 @@ struct WorkerPoolOptions {
   double heartbeat_wall_s = 0.05;      ///< requested peer heartbeat period
   double handshake_timeout_wall_s = 2.0;
   TcpOptions tcp;                      ///< connect timeout / retry budget
-  RemoteNodeOptions node;              ///< liveness detector tuning
+  RemoteNodeOptions node;  ///< liveness detector + credit-window tuning
   /// Node built when no endpoint is reachable (default: SimComputeNode).
   rt::NodeFactory local_fallback;
 };

@@ -12,6 +12,7 @@
 
 #include <deque>
 #include <memory>
+#include <vector>
 
 #include "support/channel.hpp"
 #include "rt/link.hpp"
@@ -44,10 +45,41 @@ class Conduit {
     return ch_.try_push(std::move(t));
   }
 
+  /// Timed push waiting for space. Moves from `t` only on Ok, so a caller
+  /// can retry a full queue elsewhere. Charges the link only on success
+  /// (unlike try_push retry loops, which would re-charge every attempt).
+  virtual support::ChannelStatus push_for(Task& t, support::SimDuration d) {
+    const auto st = ch_.push_for(t, d);
+    // Moved-from Task keeps its scalar cost fields (kind, size_mb), which
+    // is all charge() reads.
+    if (st == support::ChannelStatus::Ok) link_.charge(t);
+    return st;
+  }
+
+  /// Batched blocking push: one lock+notify for the whole batch. Returns
+  /// the number of tasks accepted (short only if the channel closed).
+  virtual std::size_t push_n(std::vector<Task>& ts) {
+    for (const Task& t : ts) link_.charge(t);
+    return ch_.push_n(ts);
+  }
+
   virtual support::ChannelStatus pop(Task& out) { return ch_.pop(out); }
 
   virtual support::ChannelStatus pop_for(Task& out, support::SimDuration d) {
     return ch_.pop_for(out, d);
+  }
+
+  /// Batched blocking pop: wait for at least one task, then drain up to
+  /// `max` under one lock acquisition.
+  virtual support::ChannelStatus pop_n(std::vector<Task>& out,
+                                       std::size_t max) {
+    return ch_.pop_n(out, max);
+  }
+
+  virtual support::ChannelStatus pop_n_for(std::vector<Task>& out,
+                                           std::size_t max,
+                                           support::SimDuration d) {
+    return ch_.pop_n_for(out, max, d);
   }
 
   virtual void close() { ch_.close(); }

@@ -1,11 +1,23 @@
 #include "rt/farm.hpp"
 
 #include <algorithm>
-#include <map>
+#include <chrono>
 
+#include "rt/ordered_window.hpp"
 #include "support/stats.hpp"
 
 namespace bsk::rt {
+
+namespace {
+// Input batch the emitter pops per lock acquisition, and the dispatch-bucket
+// granularity for RoundRobin coalescing.
+constexpr std::size_t kEmitterBatch = 64;
+// Tasks a worker claims per pop. Kept small so a slow worker hoards little
+// work away from steal_back()/rebalance(), which only see the channel.
+constexpr std::size_t kWorkerBatch = 8;
+// Results the collector drains per lock acquisition.
+constexpr std::size_t kCollectorBatch = 64;
+}  // namespace
 
 Farm::Farm(std::string name, FarmConfig cfg, NodeFactory worker_factory,
            Placement home)
@@ -62,6 +74,47 @@ void Farm::wait() {
   if (collector_thread_.joinable()) collector_thread_.join();
 }
 
+// ----------------------------------------------------------------- snapshot
+
+void Farm::refresh_snapshot_locked() {
+  const std::uint64_t e = epoch_.load(std::memory_order_relaxed) + 1;
+  auto s = std::make_shared<Snapshot>();
+  s->epoch = e;
+  s->all.reserve(workers_.size());
+  for (auto& w : workers_) {
+    s->all.push_back(w.get());
+    if (w->retiring.load()) continue;
+    s->active.push_back(w.get());
+    if (w->started.load() && !w->failed.load()) s->sched.push_back(w.get());
+  }
+  {
+    std::scoped_lock lk(snap_mu_);
+    snap_ = std::move(s);
+  }
+  // Publish the epoch after the snapshot so a dispatcher that observes the
+  // new epoch is guaranteed to fetch the new snapshot.
+  epoch_.store(e, std::memory_order_release);
+}
+
+std::shared_ptr<const Farm::Snapshot> Farm::snapshot() const {
+  std::scoped_lock lk(snap_mu_);
+  return snap_;
+}
+
+std::shared_ptr<const Farm::Snapshot> Farm::dispatch_snapshot() {
+  std::unique_lock lk(workers_mu_);
+  reconfig_cv_.wait(lk, [&] {
+    if (reconfiguring_.load()) return false;
+    for (auto& w : workers_)
+      if (w->started.load() && !w->retiring.load() && !w->failed.load())
+        return true;
+    return false;
+  });
+  refresh_snapshot_locked();
+  lk.unlock();
+  return snapshot();
+}
+
 // ---------------------------------------------------------------- actuators
 
 bool Farm::add_worker(Placement place, std::optional<sim::CoreLease> lease,
@@ -104,8 +157,14 @@ bool Farm::add_worker(Placement place, std::optional<sim::CoreLease> lease,
     w->wid = next_wid_++;
     spawned_.fetch_add(1);
     workers_.push_back(std::move(w));
+    refresh_snapshot_locked();
   }
-  if (started_) raw->thread = std::jthread([this, raw] { worker_loop(raw); });
+  if (started_) {
+    raw->thread = std::jthread([this, raw] { worker_loop(raw); });
+    raw->started.store(true);
+    std::scoped_lock lk(workers_mu_);
+    refresh_snapshot_locked();  // now dispatchable
+  }
   // A replacement worker inherits tasks recovered while no survivor existed.
   flush_orphans_to(raw);
 
@@ -126,11 +185,11 @@ RemoveWorkerResult Farm::remove_worker() {
     std::scoped_lock lk(workers_mu_);
     std::size_t active = 0;
     for (auto& w : workers_)
-      if (!w->retiring.load() && w->thread.joinable()) ++active;
+      if (!w->retiring.load() && w->started.load()) ++active;
     if (active > 1) {
       // Retire the most recently added active worker.
       for (auto it = workers_.rbegin(); it != workers_.rend(); ++it) {
-        if (!(*it)->retiring.load() && (*it)->thread.joinable()) {
+        if (!(*it)->retiring.load() && (*it)->started.load()) {
           victim = it->get();
           break;
         }
@@ -141,6 +200,7 @@ RemoveWorkerResult Farm::remove_worker() {
       result.removed = true;
       result.lease = victim->lease;
       victim->lease.reset();
+      refresh_snapshot_locked();
     }
   }
   if (victim) victim->in->push(Task::poison());
@@ -151,48 +211,67 @@ RemoveWorkerResult Farm::remove_worker() {
 }
 
 std::size_t Farm::rebalance() {
+  const auto snap = snapshot();
   std::vector<Worker*> active;
-  {
-    std::scoped_lock lk(workers_mu_);
-    for (auto& w : workers_)
-      if (!w->retiring.load() && w->thread.joinable()) active.push_back(w.get());
-  }
+  for (Worker* w : snap->sched)
+    if (!w->retiring.load() && !w->failed.load()) active.push_back(w);
   if (active.size() < 2) return 0;
 
   std::size_t moved = 0;
-  // Iterate until queue lengths are within 1 of each other (or nothing can
-  // be moved). Each step moves half the spread from the longest queue to
-  // the shortest.
+  // Iterate until queue depths are within 1 of each other (or nothing can
+  // be moved). Depth counts the channel plus the worker's staged batch so
+  // the balance matches what queue_lengths() reports; only the channel
+  // share is stealable — staged tasks belong to their worker.
+  const auto depth = [](const Worker* w) {
+    return w->in->size() + w->staged.load(std::memory_order_relaxed);
+  };
   for (int pass = 0; pass < 64; ++pass) {
     Worker* longest = active.front();
     Worker* shortest = active.front();
     for (Worker* w : active) {
-      if (w->in->size() > longest->in->size()) longest = w;
-      if (w->in->size() < shortest->in->size()) shortest = w;
+      if (depth(w) > depth(longest)) longest = w;
+      if (depth(w) < depth(shortest)) shortest = w;
     }
-    const std::size_t hi = longest->in->size();
-    const std::size_t lo = shortest->in->size();
+    const std::size_t hi = depth(longest);
+    const std::size_t lo = depth(shortest);
     if (hi <= lo + 1) break;
     const std::size_t k = (hi - lo) / 2;
     auto stolen = longest->in->steal_back(k);
+    if (stolen.empty()) break;  // the spread lives in staged batches
     for (auto& t : stolen) {
-      if (shortest->in->try_push(std::move(t)))
+      // Never block on a give-back: every queue (including the source,
+      // which workers keep draining) gets a non-blocking offer, shortest
+      // first. Blocking here deadlocked when all queues were full and the
+      // workers themselves were parked on a full collector queue.
+      if (shortest->in->push_for(t, support::SimDuration(0)) ==
+          support::ChannelStatus::Ok) {
         ++moved;
-      else
-        longest->in->push(std::move(t));  // give back on overflow
+        continue;
+      }
+      std::vector<Worker*> by_depth(active);
+      std::sort(by_depth.begin(), by_depth.end(),
+                [&](Worker* a, Worker* b) { return depth(a) < depth(b); });
+      bool placed = false;
+      for (Worker* w : by_depth) {
+        if (w->in->push_for(t, support::SimDuration(0)) ==
+            support::ChannelStatus::Ok) {
+          if (w != longest) ++moved;
+          placed = true;
+          break;
+        }
+      }
+      // Last resort (everything full): park it; the collector delivers
+      // parked tasks at shutdown rather than losing them.
+      if (!placed) stash_orphan(std::move(t));
     }
   }
   return moved;
 }
 
 std::size_t Farm::secure_all_links() {
-  std::vector<Worker*> ws;
-  {
-    std::scoped_lock lk(workers_mu_);
-    for (auto& w : workers_) ws.push_back(w.get());
-  }
+  const auto snap = snapshot();
   std::size_t n = 0;
-  for (Worker* w : ws) {
+  for (Worker* w : snap->all) {
     if (w->in->link().untrusted() && !w->in->link().secured()) {
       w->in->link().secure();
       ++n;
@@ -207,28 +286,37 @@ std::size_t Farm::secure_all_links() {
 }
 
 // ------------------------------------------------------------------ sensors
+//
+// Sensors read the published snapshot plus per-worker atomics; none of them
+// touch workers_mu_, so a manager polling at high frequency never contends
+// with dispatch or reconfiguration. The worker list is append-only, so the
+// snapshot's pointers stay valid for the farm's lifetime.
 
 std::size_t Farm::worker_count() const {
-  std::scoped_lock lk(workers_mu_);
+  const auto snap = snapshot();
   std::size_t n = 0;
-  for (const auto& w : workers_)
+  for (const Worker* w : snap->all)
     if (!w->retiring.load()) ++n;
   return n;
 }
 
 std::size_t Farm::running_workers() const {
-  std::scoped_lock lk(workers_mu_);
+  const auto snap = snapshot();
   std::size_t n = 0;
-  for (const auto& w : workers_)
+  for (const Worker* w : snap->all)
     if (!w->exited.load()) ++n;
   return n;
 }
 
 std::vector<std::size_t> Farm::queue_lengths() const {
-  std::scoped_lock lk(workers_mu_);
+  // Queued = in the channel + staged in the worker's popped-but-unclaimed
+  // batch. Without the staged share, batching would hide up to
+  // kWorkerBatch-1 tasks per worker from the manager's balance sensors.
+  const auto snap = snapshot();
   std::vector<std::size_t> out;
-  for (const auto& w : workers_)
-    if (!w->retiring.load()) out.push_back(w->in->size());
+  for (const Worker* w : snap->all)
+    if (!w->retiring.load())
+      out.push_back(w->in->size() + w->staged.load(std::memory_order_relaxed));
   return out;
 }
 
@@ -239,24 +327,24 @@ double Farm::queue_variance() const {
 }
 
 std::vector<double> Farm::worker_busy_seconds() const {
-  std::scoped_lock lk(workers_mu_);
+  const auto snap = snapshot();
   std::vector<double> out;
-  for (const auto& w : workers_)
+  for (const Worker* w : snap->all)
     if (!w->retiring.load()) out.push_back(w->busy_s.load());
   return out;
 }
 
 std::uint64_t Farm::insecure_messages() const {
-  std::scoped_lock lk(workers_mu_);
+  const auto snap = snapshot();
   std::uint64_t n = 0;
-  for (const auto& w : workers_)
+  for (const Worker* w : snap->all)
     n += w->in->link().insecure_messages() + w->out_link.insecure_messages();
   return n;
 }
 
 bool Farm::has_unsecured_untrusted_links() const {
-  std::scoped_lock lk(workers_mu_);
-  for (const auto& w : workers_) {
+  const auto snap = snapshot();
+  for (const Worker* w : snap->all) {
     if (w->retiring.load()) continue;
     if ((w->in->link().untrusted() && !w->in->link().secured()) ||
         (w->out_link.untrusted() && !w->out_link.secured()))
@@ -267,77 +355,98 @@ bool Farm::has_unsecured_untrusted_links() const {
 
 // ------------------------------------------------------------------ threads
 
-Farm::Worker* Farm::pick_worker_locked(const Task&) {
-  std::vector<Worker*> active;
-  for (auto& w : workers_)
-    if (!w->retiring.load() && w->thread.joinable()) active.push_back(w.get());
-  if (active.empty()) return nullptr;
-
-  switch (cfg_.policy) {
-    case SchedPolicy::OnDemand: {
-      Worker* best = active.front();
-      for (Worker* w : active)
-        if (w->in->size() < best->in->size()) best = w;
-      return best;
-    }
-    case SchedPolicy::RoundRobin:
-    case SchedPolicy::Broadcast: {
-      Worker* w = active[rr_next_ % active.size()];
-      ++rr_next_;
-      return w;
-    }
-  }
-  return active.front();
-}
-
 void Farm::emitter_loop() {
-  Task t;
-  while (in_ && in_->pop(t) == support::ChannelStatus::Ok) {
-    if (!t.is_data()) continue;
-    metrics_.record_arrival();
-    t.order = order_seq_.fetch_add(1);
+  std::vector<Task> batch;
+  batch.reserve(kEmitterBatch);
+  std::size_t rr_next = 0;                 // emitter-private RR cursor
+  std::vector<std::vector<Task>> buckets;  // RoundRobin coalescing, reused
+
+  auto snap = snapshot();
+  // Steady state costs two relaxed loads per task; only reconfiguration
+  // (epoch bump / blackout) drops dispatch onto the slow locked path.
+  auto fresh = [&] {
+    if (reconfiguring_.load(std::memory_order_relaxed) ||
+        snap->epoch != epoch_.load(std::memory_order_acquire) ||
+        snap->sched.empty())
+      snap = dispatch_snapshot();
+  };
+
+  bool open = true;
+  while (open) {
+    batch.clear();
+    if (!in_ || in_->pop_n(batch, kEmitterBatch) != support::ChannelStatus::Ok)
+      break;
+
+    // Stamp and count the data tasks under no lock at all.
+    std::size_t n_data = 0;
+    for (Task& t : batch) {
+      if (!t.is_data()) continue;
+      metrics_.record_arrival();
+      t.order = order_seq_.fetch_add(1, std::memory_order_relaxed);
+      ++n_data;
+    }
+    if (n_data == 0) continue;
 
     if (cfg_.policy == SchedPolicy::Broadcast) {
-      std::unique_lock lk(workers_mu_);
-      reconfig_cv_.wait(lk, [&] { return !reconfiguring_.load(); });
-      std::vector<Worker*> targets;
-      for (auto& w : workers_)
-        if (!w->retiring.load() && w->thread.joinable())
-          targets.push_back(w.get());
-      lk.unlock();
-      for (Worker* w : targets) w->in->push(t);  // copies
+      fresh();
+      std::vector<Task> copies;
+      copies.reserve(n_data);
+      for (Worker* w : snap->sched) {
+        copies.clear();
+        for (const Task& t : batch)
+          if (t.is_data()) copies.push_back(t);
+        w->in->push_n(copies);
+      }
       continue;
     }
 
-    Worker* w = nullptr;
-    {
-      std::unique_lock lk(workers_mu_);
-      reconfig_cv_.wait(lk, [&] {
-        if (reconfiguring_.load()) return false;
-        for (auto& x : workers_)
-          if (!x->retiring.load() && x->thread.joinable()) return true;
-        return false;
-      });
-      w = pick_worker_locked(t);
-    }
-    if (w == nullptr) continue;
-
-    if (cfg_.policy == SchedPolicy::OnDemand) {
-      // Late binding: never block on one full queue while another worker
-      // could take the task — try the shortest queues until one accepts.
-      while (!w->in->try_push(t)) {
-        std::this_thread::sleep_for(std::chrono::microseconds(100));
-        std::scoped_lock lk(workers_mu_);
-        Worker* best = nullptr;
-        for (auto& x : workers_) {
-          if (x->retiring.load() || !x->thread.joinable()) continue;
-          if (best == nullptr || x->in->size() < best->in->size())
-            best = x.get();
-        }
-        if (best != nullptr) w = best;
+    if (cfg_.policy == SchedPolicy::RoundRobin) {
+      // Bucket the batch by target, then deliver each bucket with a single
+      // lock+notify. Same per-task assignment as per-task round-robin.
+      fresh();
+      if (buckets.size() < snap->sched.size())
+        buckets.resize(snap->sched.size());
+      for (Task& t : batch) {
+        if (!t.is_data()) continue;
+        buckets[rr_next++ % snap->sched.size()].push_back(std::move(t));
       }
-    } else {
-      w->in->push(std::move(t));
+      for (std::size_t i = 0; i < snap->sched.size(); ++i) {
+        if (buckets[i].empty()) continue;
+        const std::size_t accepted = snap->sched[i]->in->push_n(buckets[i]);
+        // Short acceptance = the target's queue closed mid-push (worker
+        // crashed): re-offer the tail through the failure-proof path.
+        for (std::size_t j = accepted; j < buckets[i].size(); ++j)
+          resubmit(std::move(buckets[i][j]));
+        buckets[i].clear();
+      }
+      continue;
+    }
+
+    // OnDemand: late binding per task — shortest queue at dispatch time,
+    // and never parked on one full queue while another could take the task:
+    // wait (wall-bounded) on the shortest queue's not-full CV, then rescan.
+    // This replaces the old sleep-and-rescan retry.
+    for (Task& t : batch) {
+      if (!t.is_data()) continue;
+      for (;;) {
+        fresh();
+        // Shortest by channel + staged batch: a worker serially chewing
+        // through a popped batch has an empty channel but is not idle.
+        const auto qload = [](const Worker* w) {
+          return w->in->size() + w->staged.load(std::memory_order_relaxed);
+        };
+        Worker* best = snap->sched.front();
+        for (Worker* w : snap->sched)
+          if (qload(w) < qload(best)) best = w;
+        if (best->in->push_for(t, support::SimDuration(0)) ==
+            support::ChannelStatus::Ok)
+          break;
+        const auto st = best->in->push_for(
+            t, support::SimDuration(100e-6 * support::Clock::scale()));
+        if (st == support::ChannelStatus::Ok) break;
+        if (st == support::ChannelStatus::Closed)  // dead queue: don't spin
+          std::this_thread::sleep_for(std::chrono::microseconds(100));
+      }
     }
   }
 
@@ -347,6 +456,7 @@ void Farm::emitter_loop() {
   {
     std::scoped_lock lk(workers_mu_);
     for (auto& w : workers_) ws.push_back(w.get());
+    refresh_snapshot_locked();
   }
   emitter_done_.store(true);
   for (Worker* w : ws)
@@ -356,79 +466,194 @@ void Farm::emitter_loop() {
 void Farm::worker_loop(Worker* w) {
   w->node->set_placement(w->place);
   w->node->on_start();
-  Task t;
-  while (w->in->pop(t) == support::ChannelStatus::Ok) {
-    if (t.kind == TaskKind::Poison) break;
-    if (!t.is_data()) continue;
-    // NOTE: failure is only acted on under inflight_mu below, so a data
-    // task popped after the crash landed is re-offered, never dropped.
+  // A node that pipelines tasks toward a backing executor keeps its own
+  // recovery copies (drained via drain_unacked()); the farm's per-call
+  // inflight stash would double-recover, so it is skipped for such nodes.
+  const bool node_recovers = w->node->owns_recovery();
+
+  std::vector<Task> batch;
+  batch.reserve(kWorkerBatch);
+  std::vector<Task> results;  // batched worker→collector transfer
+  results.reserve(kWorkerBatch);
+  std::vector<Task> to_recover;
+
+  auto stage_result = [&](Task r) {
+    w->out_link.charge(r);
+    results.push_back(std::move(r));
+  };
+  auto flush_results = [&] {
+    if (results.empty()) return;
+    to_collector_.push_n(results);
+    results.clear();
+  };
+
+  bool poisoned = false;
+  bool crashed = false;
+  while (!poisoned && !crashed) {
+    batch.clear();
+    if (w->in->pop_n(batch, kWorkerBatch) != support::ChannelStatus::Ok) break;
+
+    // Stage the whole batch for crash recovery before executing any of it.
+    // If the crash already landed, the injector cannot have seen these
+    // tasks anywhere — re-offer them ourselves, exactly once.
     {
-      // Stash a recovery copy; a crash injected from here on re-submits it.
-      // If the crash already landed (between our pop and this lock), the
-      // injector cannot have seen this task anywhere — re-offer it to a
-      // survivor ourselves, exactly once.
       std::unique_lock lk(w->inflight_mu);
       if (w->failed.load()) {
         lk.unlock();
-        resubmit(std::move(t));
+        for (Task& t : batch)
+          if (t.is_data()) resubmit(std::move(t));
+        crashed = true;
         break;
       }
-      w->inflight = t;
+      for (const Task& t : batch)
+        if (t.is_data()) w->pending.push_back(t);
+      w->staged.store(w->pending.size(), std::memory_order_relaxed);
     }
-    const auto t0 = support::Clock::now();
-    std::optional<Task> r = w->node->process(std::move(t));
-    const double dt = support::Clock::now() - t0;
-    w->busy_s.fetch_add(dt);
-    metrics_.record_service_time(dt);
 
-    // Exactly-once handoff: either we clear the in-flight copy and emit, or
-    // the failure injector captured the copy and our result is discarded —
-    // decided under the same lock. A node that failed *during* process()
-    // (remote peer death) is handled here too: if the farm's monitor has
-    // not captured the in-flight copy yet, we recover it ourselves, once.
-    bool emit;
-    std::optional<Task> recover;
+    for (Task& t : batch) {
+      if (t.kind == TaskKind::Poison) {
+        poisoned = true;  // staged leftovers of this batch handled below
+        break;
+      }
+      if (!t.is_data()) continue;
+
+      // Claim the task: its recovery copy moves from pending to inflight.
+      // A recovery-owning node instead stages its own copy before the wire
+      // send; until then a racing injector's drain is compensated by our
+      // own post-process drain below.
+      {
+        std::scoped_lock lk(w->inflight_mu);
+        if (w->failed.load()) {
+          crashed = true;  // injector drained pending, incl. this task
+          break;
+        }
+        w->pending.pop_front();
+        w->staged.store(w->pending.size(), std::memory_order_relaxed);
+        if (!node_recovers) w->inflight = t;
+      }
+
+      const auto t0 = support::Clock::now();
+      std::optional<Task> r = w->node->process(std::move(t));
+      const double dt = support::Clock::now() - t0;
+      w->busy_s.fetch_add(dt);
+      metrics_.record_service_time(dt);
+
+      // Exactly-once handoff, decided under the per-worker recovery lock.
+      bool emit = false;
+      {
+        std::scoped_lock lk(w->inflight_mu);
+        if (node_recovers) {
+          // A returned result's task was acknowledged off the node's
+          // recovery deque before any drain could have seen it, so it is
+          // valid even when the injector already marked us failed. What is
+          // still unacknowledged is drained here — destructively, so this
+          // composes with a racing monitor's own drain.
+          if (w->failed.load() || w->node->failed()) {
+            w->failed.store(true);
+            crashed = true;
+            for (Task& rt : w->node->drain_unacked())
+              to_recover.push_back(std::move(rt));
+            while (!w->pending.empty()) {
+              to_recover.push_back(std::move(w->pending.front()));
+              w->pending.pop_front();
+            }
+            w->staged.store(0, std::memory_order_relaxed);
+          }
+          emit = r.has_value();
+        } else if (w->failed.load()) {
+          emit = false;  // injector captured the copies; discard our result
+          crashed = true;
+        } else if (w->node->failed()) {
+          // Node died during process() and no monitor noticed yet: recover
+          // the in-flight copy and the staged batch ourselves, once.
+          w->failed.store(true);
+          crashed = true;
+          if (w->inflight) {
+            to_recover.push_back(std::move(*w->inflight));
+            w->inflight.reset();
+          }
+          while (!w->pending.empty()) {
+            to_recover.push_back(std::move(w->pending.front()));
+            w->pending.pop_front();
+          }
+          w->staged.store(0, std::memory_order_relaxed);
+        } else {
+          emit = true;
+          w->inflight.reset();
+        }
+      }
+      if (emit && r) stage_result(std::move(*r));
+      if (crashed) break;
+    }
+
+    flush_results();
+  }
+
+  // Drain pipelined results still in flight at end of stream; if the peer
+  // died mid-drain, recover what it never acknowledged.
+  if (node_recovers && !crashed) {
+    while (auto r = w->node->flush()) stage_result(std::move(*r));
+    std::vector<Task> left;
     {
       std::scoped_lock lk(w->inflight_mu);
-      if (w->failed.load()) {
-        emit = false;  // injector/monitor captured the copy; discard result
-      } else if (w->node->failed()) {
-        w->failed.store(true);
-        recover = std::move(w->inflight);
-        w->inflight.reset();
-        emit = false;
-      } else {
-        emit = true;
-        w->inflight.reset();
-      }
+      left = w->node->drain_unacked();
     }
-    if (recover) resubmit(std::move(*recover));
-    if (!emit) break;
-    if (r) {
-      w->out_link.charge(*r);
-      to_collector_.push(std::move(*r));
+    for (Task& t : left)
+      if (t.is_data()) to_recover.push_back(std::move(t));
+  }
+
+  // Tasks handed to this worker that it will never run: batch entries
+  // staged behind a poison, and whatever raced into the queue after it.
+  // Previously these were silently dropped. Broadcast copies are dropped
+  // by design — every other worker holds its own copy.
+  if (poisoned) {
+    std::deque<Task> leftover;
+    {
+      std::scoped_lock lk(w->inflight_mu);
+      leftover.swap(w->pending);
+      w->staged.store(0, std::memory_order_relaxed);
+    }
+    if (cfg_.policy != SchedPolicy::Broadcast) {
+      for (Task& t : leftover)
+        if (t.is_data()) to_recover.push_back(std::move(t));
+      for (Task& t : w->in->steal_back(w->in->size() + 8))
+        if (t.is_data()) to_recover.push_back(std::move(t));
     }
   }
+
+  if (crashed) {
+    std::scoped_lock lk(workers_mu_);
+    refresh_snapshot_locked();  // stop the emitter dispatching to us
+  }
+  for (Task& t : to_recover)
+    if (t.is_data()) resubmit(std::move(t));
+
+  flush_results();
   w->node->on_stop();
   w->exited.store(true);
   to_collector_.push(Task::worker_done());
 }
 
 void Farm::resubmit(Task t) {
-  Worker* target = nullptr;
-  {
-    std::scoped_lock lk(workers_mu_);
-    for (auto& w : workers_) {
-      if (!w->retiring.load() && !w->failed.load() && w->thread.joinable()) {
-        target = w.get();
+  // Timed offers that re-resolve the target: a plain blocking push would
+  // consume the task even when the target's queue closed under a
+  // concurrent failure. push_for moves from the task only on Ok, so the
+  // loop retries against a fresh snapshot until someone accepts.
+  for (;;) {
+    const auto snap = snapshot();
+    Worker* target = nullptr;
+    for (Worker* w : snap->all) {
+      if (!w->retiring.load() && !w->failed.load() && w->started.load()) {
+        target = w;
         break;
       }
     }
+    if (target == nullptr) break;
+    if (target->in->push_for(t, support::SimDuration(
+            0.01 * support::Clock::scale())) == support::ChannelStatus::Ok)
+      return;
   }
-  if (target != nullptr)
-    target->in->push(std::move(t));
-  else
-    stash_orphan(std::move(t));  // parked for the replacement worker
+  stash_orphan(std::move(t));  // parked for the replacement worker
 }
 
 bool Farm::inject_worker_failure() {
@@ -437,15 +662,16 @@ bool Farm::inject_worker_failure() {
     std::scoped_lock lk(workers_mu_);
     std::size_t active = 0;
     for (auto& w : workers_)
-      if (!w->retiring.load() && w->thread.joinable()) ++active;
+      if (!w->retiring.load() && w->started.load()) ++active;
     if (active < 2) return false;  // survivors must exist to recover onto
     for (auto it = workers_.rbegin(); it != workers_.rend(); ++it) {
-      if (!(*it)->retiring.load() && (*it)->thread.joinable()) {
+      if (!(*it)->retiring.load() && (*it)->started.load()) {
         victim = it->get();
         break;
       }
     }
     victim->retiring.store(true);  // exclude from further scheduling
+    refresh_snapshot_locked();
   }
   recover_worker(victim);
   return true;
@@ -459,31 +685,52 @@ std::size_t Farm::fail_crashed_workers() {
   {
     std::scoped_lock lk(workers_mu_);
     for (auto& w : workers_) {
-      if (w->retiring.load() || !w->thread.joinable()) continue;
+      if (w->retiring.load() || !w->started.load()) continue;
       if (w->node->failed() || w->failed.load()) {
         w->retiring.store(true);
         victims.push_back(w.get());
       }
     }
+    if (!victims.empty()) refresh_snapshot_locked();
   }
   for (Worker* v : victims) recover_worker(v);
   return victims.size();
 }
 
 void Farm::recover_worker(Worker* victim) {
-  // Recover the victim's queue and in-flight task. The in-flight capture
-  // races the worker's own recovery (worker_loop) — the failed flag decides
-  // the winner under the victim's lock, so the task is re-offered exactly
-  // once.
-  std::deque<Task> orphans = victim->in->steal_back(victim->in->size() + 8);
+  // Recover the victim's queue, its staged-but-unstarted batch, its
+  // in-flight task, and (for recovery-owning nodes) the wire-pipelined
+  // tasks its node never got acknowledged. The in-flight capture races the
+  // worker's own recovery (worker_loop) — the failed flag decides the
+  // winner under the victim's lock, and the node drain is destructive, so
+  // every task is re-offered exactly once.
+  // Order matters against a dispatching emitter: decide the exactly-once
+  // winner, CLOSE the victim's queue (from here on every emitter push
+  // fails and gets re-routed), then drain destructively. A task the
+  // emitter squeezed in before the close is caught by the drain or by the
+  // victim's own crashed-path resubmit — both are destructive pops, so it
+  // surfaces exactly once either way. The close also wakes a victim
+  // blocked on an empty pop, which the old poison-push did.
+  std::deque<Task> orphans;
   {
     std::scoped_lock lk(victim->inflight_mu);
-    if (!victim->failed.exchange(true) && victim->inflight) {
-      orphans.push_front(std::move(*victim->inflight));
-      victim->inflight.reset();
+    if (!victim->failed.exchange(true)) {
+      if (victim->inflight) {
+        orphans.push_front(std::move(*victim->inflight));
+        victim->inflight.reset();
+      }
+      while (!victim->pending.empty()) {
+        orphans.push_back(std::move(victim->pending.front()));
+        victim->pending.pop_front();
+      }
+      victim->staged.store(0, std::memory_order_relaxed);
     }
+    for (Task& t : victim->node->drain_unacked())
+      orphans.push_back(std::move(t));
   }
-  victim->in->push(Task::poison());  // wake it if blocked on an empty queue
+  victim->in->close();
+  for (Task& t : victim->in->steal_back(victim->in->size() + 8))
+    orphans.push_back(std::move(t));
 
   // Redistribute onto the survivors; with none left, park the tasks for the
   // replacement worker the manager will add.
@@ -491,15 +738,23 @@ void Farm::recover_worker(Worker* victim) {
   {
     std::scoped_lock lk(workers_mu_);
     for (auto& w : workers_)
-      if (!w->retiring.load() && !w->failed.load() && w->thread.joinable())
+      if (!w->retiring.load() && !w->failed.load() && w->started.load())
         survivors.push_back(w.get());
+    refresh_snapshot_locked();
   }
   std::size_t i = 0;
   for (Task& t : orphans) {
-    if (!survivors.empty())
-      survivors[i++ % survivors.size()]->in->push(std::move(t));
-    else
-      stash_orphan(std::move(t));
+    if (!t.is_data()) continue;  // a stolen poison must not kill a survivor
+    bool placed = false;
+    for (std::size_t k = 0; !placed && k < survivors.size(); ++k) {
+      Worker* s = survivors[(i + k) % survivors.size()];
+      placed = s->in->push_for(t, support::SimDuration(0)) ==
+               support::ChannelStatus::Ok;
+    }
+    ++i;
+    // All full, all dead, or none left: the re-resolving path blocks,
+    // retries, and parks the task for a replacement as a last resort.
+    if (!placed) resubmit(std::move(t));
   }
 
   failures_.fetch_add(1);
@@ -523,8 +778,7 @@ void Farm::flush_orphans_to(Worker* w) {
 }
 
 void Farm::collector_loop() {
-  std::map<std::uint64_t, Task> reorder;
-  std::uint64_t next_order = 0;
+  OrderedWindow reorder(cfg_.reorder_window);
   std::optional<Task> accum;  // Reduce mode
 
   auto emit = [&](Task t) {
@@ -541,31 +795,34 @@ void Farm::collector_loop() {
       return;
     }
     if (cfg_.ordered && cfg_.policy != SchedPolicy::Broadcast) {
-      reorder.emplace(t.order, std::move(t));
-      while (!reorder.empty() && reorder.begin()->first == next_order) {
-        emit(std::move(reorder.begin()->second));
-        reorder.erase(reorder.begin());
-        ++next_order;
-      }
+      reorder.push(std::move(t), emit);
       return;
     }
     emit(std::move(t));
   };
 
+  std::vector<Task> batch;
+  batch.reserve(kCollectorBatch);
   for (;;) {
-    Task t;
-    const auto st = to_collector_.pop_for(t, support::SimDuration(0.05));
+    batch.clear();
+    const auto st =
+        to_collector_.pop_n_for(batch, kCollectorBatch,
+                                support::SimDuration(0.05));
     if (st == support::ChannelStatus::Closed) break;
     if (st == support::ChannelStatus::TimedOut) {
       if (emitter_done_.load() && done_acks_.load() == spawned_.load()) break;
       continue;
     }
-    if (t.kind == TaskKind::WorkerDone) {
-      done_acks_.fetch_add(1);
-      if (emitter_done_.load() && done_acks_.load() == spawned_.load()) break;
-      continue;
+    for (Task& t : batch) {
+      if (t.kind == TaskKind::WorkerDone) {
+        done_acks_.fetch_add(1);
+        continue;
+      }
+      if (t.is_data()) handle_data(std::move(t));
     }
-    if (t.is_data()) handle_data(std::move(t));
+    // Workers push their results before their done-marker, and the channel
+    // is FIFO: once every done-marker is in, every result already was.
+    if (emitter_done_.load() && done_acks_.load() == spawned_.load()) break;
   }
 
   // Crash-recovery tasks that never found a replacement worker are
@@ -582,7 +839,7 @@ void Farm::collector_loop() {
 
   // Flush whatever the reorder buffer still holds (gaps can exist if a
   // retired worker dropped tasks on shutdown) and the reduction result.
-  for (auto& [ord, task] : reorder) emit(std::move(task));
+  reorder.flush(emit);
   if (accum) emit(std::move(*accum));
   if (out_) out_->close();
 }

@@ -27,6 +27,7 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -64,6 +65,10 @@ struct FarmConfig {
   /// Preserve emission order at the collector (Gather only).
   bool ordered = false;
   std::size_t worker_queue_capacity = 4096;
+  /// Sliding reorder window of the ordered collector (maximum distance a
+  /// result may arrive ahead of the next in-order emission before the
+  /// gap-flush path slides the window forward).
+  std::size_t reorder_window = 1024;
   /// Simulated seconds one add/remove reconfiguration takes (dispatch
   /// pauses; sensors report a blackout).
   double reconfig_delay_s = 0.0;
@@ -179,13 +184,31 @@ class Farm final : public Runnable {
     Placement place;
     std::optional<sim::CoreLease> lease;
     std::jthread thread;
+    std::atomic<bool> started{false};    ///< thread assigned and running
     std::atomic<bool> retiring{false};
     std::atomic<bool> exited{false};
     std::atomic<bool> failed{false};
     std::atomic<double> busy_s{0.0};
-    /// In-flight task copy for crash recovery; guards the emit/fail race.
+    /// Recovery state, all under inflight_mu: the task the worker thread is
+    /// executing right now (inflight), plus the batch it popped but has not
+    /// started yet (pending). Guards the emit/fail race for exactly-once.
     std::mutex inflight_mu;
     std::optional<Task> inflight;
+    std::deque<Task> pending;
+    /// Lock-free mirror of pending.size() so sensors and rebalance() can
+    /// count staged-but-unclaimed tasks without taking inflight_mu.
+    std::atomic<std::size_t> staged{0};
+  };
+
+  /// Immutable epoch-numbered view of the worker set. The emitter and the
+  /// sensors read the current snapshot without touching workers_mu_; every
+  /// membership or state change (add/remove/fail/retire) republishes it and
+  /// bumps epoch_, which dispatchers check per task.
+  struct Snapshot {
+    std::uint64_t epoch = 0;
+    std::vector<Worker*> sched;   ///< dispatchable: started, not retiring/failed
+    std::vector<Worker*> active;  ///< sensor view: not retiring
+    std::vector<Worker*> all;     ///< every worker ever (append-only backing)
   };
 
   void emitter_loop();
@@ -198,20 +221,32 @@ class Farm final : public Runnable {
   void recover_worker(Worker* victim);
   void stash_orphan(Task t);        // no survivor: park for the replacement
   void flush_orphans_to(Worker* w); // new worker inherits parked tasks
-  void pause_dispatch_for_reconfig();
-  Worker* pick_worker_locked(const Task& t);  // caller holds workers_mu_
+
+  /// Rebuild and publish the snapshot. Caller holds workers_mu_.
+  void refresh_snapshot_locked();
+  /// Current snapshot (never null after construction).
+  std::shared_ptr<const Snapshot> snapshot() const;
+  /// Snapshot with at least one dispatchable worker: waits on reconfig_cv_
+  /// through reconfiguration blackouts. Null only at shutdown.
+  std::shared_ptr<const Snapshot> dispatch_snapshot();
 
   FarmConfig cfg_;
   NodeFactory factory_;
   Placement home_;
 
-  // Worker set: guarded by workers_mu_; emitter reads under lock per
-  // dispatch, actuators mutate under lock.
+  // Worker set: guarded by workers_mu_; actuators mutate under lock and
+  // republish snap_. Steady-state dispatch and sensors read snap_ only.
   mutable std::mutex workers_mu_;
   std::condition_variable reconfig_cv_;
   std::vector<std::unique_ptr<Worker>> workers_;
   std::size_t next_wid_ = 0;
-  std::size_t rr_next_ = 0;
+
+  // Published worker-set snapshot. snap_mu_ only guards the pointer swap;
+  // the pointed-to Snapshot is immutable. epoch_ mirrors snap_->epoch so
+  // dispatchers can detect staleness with one relaxed atomic load.
+  mutable std::mutex snap_mu_;
+  std::shared_ptr<const Snapshot> snap_ = std::make_shared<Snapshot>();
+  std::atomic<std::uint64_t> epoch_{0};
 
   // Shared worker→collector channel; per-worker Link charges its cost.
   support::Channel<Task> to_collector_;

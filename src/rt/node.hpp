@@ -54,6 +54,32 @@ class Node {
   /// Returns the number of channels newly secured.
   virtual std::size_t secure_channels() { return 0; }
 
+  // ----------------------------------------------------------- pipelining
+  //
+  // A node may pipeline several tasks toward a backing executor (a remote
+  // worker with a credit window keeps N tasks in flight on the wire). Such
+  // a node returns nullopt from process() while priming its window and
+  // delivers the delayed results through flush() at end of stream. Because
+  // tasks it accepted are no longer visible to the farm, the node — not
+  // the farm's per-call in-flight copy — owns their crash-recovery copies.
+
+  /// True when this node keeps its own recovery copies of accepted tasks
+  /// (the farm then skips its per-call in-flight stash and recovers via
+  /// drain_unacked() instead).
+  virtual bool owns_recovery() const { return false; }
+
+  /// Remove and return the recovery copies of every task accepted but not
+  /// yet acknowledged by the backing executor. Called (under the farm's
+  /// per-worker recovery lock) when the node has failed; draining is
+  /// destructive, so repeated calls return nothing — the exactly-once
+  /// guarantee of crash recovery rests on that.
+  virtual std::vector<Task> drain_unacked() { return {}; }
+
+  /// Drain one pipelined result after the input stream ended (nullopt when
+  /// none remain or the backing executor died; the remainder is then
+  /// recoverable via drain_unacked()).
+  virtual std::optional<Task> flush() { return std::nullopt; }
+
   /// Source protocol: produce the next task; std::nullopt = end of stream.
   virtual std::optional<Task> next() { return std::nullopt; }
 

@@ -1,0 +1,173 @@
+// OrderedWindow: ring-based reorder buffer semantics — in-order delivery,
+// wraparound past the initial window, gap handling at flush, stragglers.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "rt/ordered_window.hpp"
+#include "rt/task.hpp"
+
+namespace bsk::rt {
+namespace {
+
+Task make(std::uint64_t order, std::uint64_t id = 0) {
+  Task t = Task::data(id == 0 ? order : id, 0.0);
+  t.order = order;
+  return t;
+}
+
+std::vector<std::uint64_t> orders_of(const std::vector<Task>& ts) {
+  std::vector<std::uint64_t> out;
+  for (const auto& t : ts) out.push_back(t.order);
+  return out;
+}
+
+TEST(OrderedWindow, InOrderArrivalsPassStraightThrough) {
+  OrderedWindow w(4);
+  std::vector<Task> got;
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    w.push(make(i), [&](Task t) { got.push_back(std::move(t)); });
+    EXPECT_EQ(got.size(), i + 1);  // nothing buffered
+    EXPECT_EQ(w.pending(), 0u);
+  }
+  EXPECT_EQ(orders_of(got),
+            (std::vector<std::uint64_t>{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}));
+  EXPECT_EQ(w.next_order(), 10u);
+}
+
+TEST(OrderedWindow, OutOfOrderArrivalsAreHeldThenReleasedInOrder) {
+  OrderedWindow w(8);
+  std::vector<Task> got;
+  auto emit = [&](Task t) { got.push_back(std::move(t)); };
+  w.push(make(2), emit);
+  w.push(make(1), emit);
+  EXPECT_TRUE(got.empty());
+  EXPECT_EQ(w.pending(), 2u);
+  w.push(make(0), emit);  // unblocks the run
+  EXPECT_EQ(orders_of(got), (std::vector<std::uint64_t>{0, 1, 2}));
+  EXPECT_EQ(w.pending(), 0u);
+  EXPECT_EQ(w.next_order(), 3u);
+}
+
+TEST(OrderedWindow, WrapsAroundTheRingAcrossManyWindows) {
+  // Stream 10 windows' worth of pairs, each pair swapped: the ring indices
+  // wrap `order % window` many times over and order must survive every lap.
+  OrderedWindow w(4);
+  std::vector<Task> got;
+  auto emit = [&](Task t) { got.push_back(std::move(t)); };
+  for (std::uint64_t base = 0; base < 40; base += 2) {
+    w.push(make(base + 1), emit);
+    w.push(make(base), emit);
+  }
+  ASSERT_EQ(got.size(), 40u);
+  for (std::uint64_t i = 0; i < 40; ++i) EXPECT_EQ(got[i].order, i);
+}
+
+TEST(OrderedWindow, ArrivalBeyondWindowGrowsInsteadOfEmittingEarly) {
+  // order 9 with window 4 and next==0 does not fit; the ring must grow and
+  // keep holding it until 0..8 have been delivered — never emit early.
+  OrderedWindow w(4);
+  std::vector<Task> got;
+  auto emit = [&](Task t) { got.push_back(std::move(t)); };
+  w.push(make(9), emit);
+  EXPECT_TRUE(got.empty());
+  EXPECT_EQ(w.pending(), 1u);
+  for (std::uint64_t i = 8; i > 0; --i) w.push(make(i), emit);
+  EXPECT_TRUE(got.empty());  // still gapped at 0
+  w.push(make(0), emit);
+  ASSERT_EQ(got.size(), 10u);
+  for (std::uint64_t i = 0; i < 10; ++i) EXPECT_EQ(got[i].order, i);
+}
+
+TEST(OrderedWindow, GrowthReseatsBufferedTasksCorrectly) {
+  OrderedWindow w(2);
+  std::vector<Task> got;
+  auto emit = [&](Task t) { got.push_back(std::move(t)); };
+  w.push(make(1), emit);   // buffered at 1 % 2
+  w.push(make(17), emit);  // forces growth well past 2; 1 must be re-seated
+  w.push(make(5), emit);
+  EXPECT_TRUE(got.empty());
+  for (std::uint64_t i : {0u, 2u, 3u, 4u, 6u, 7u, 8u, 9u, 10u, 11u, 12u, 13u,
+                          14u, 15u, 16u})
+    w.push(make(i), emit);
+  ASSERT_EQ(got.size(), 18u);
+  for (std::uint64_t i = 0; i < 18; ++i) EXPECT_EQ(got[i].order, i);
+}
+
+TEST(OrderedWindow, StragglerBehindDeliveryPointPassesThrough) {
+  OrderedWindow w(4);
+  std::vector<Task> got;
+  auto emit = [&](Task t) { got.push_back(std::move(t)); };
+  for (std::uint64_t i = 0; i < 5; ++i) w.push(make(i), emit);
+  EXPECT_EQ(w.next_order(), 5u);
+  w.push(make(2, 99), emit);  // already delivered once; emit, don't drop
+  ASSERT_EQ(got.size(), 6u);
+  EXPECT_EQ(got.back().order, 2u);
+  EXPECT_EQ(got.back().id, 99u);
+  EXPECT_EQ(w.next_order(), 5u);  // delivery point unmoved
+}
+
+TEST(OrderedWindow, DuplicateOrderNewerResultWins) {
+  OrderedWindow w(4);
+  std::vector<Task> got;
+  auto emit = [&](Task t) { got.push_back(std::move(t)); };
+  w.push(make(1, 7), emit);
+  w.push(make(1, 8), emit);  // replaces the buffered copy
+  EXPECT_EQ(w.pending(), 1u);
+  w.push(make(0), emit);
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[1].order, 1u);
+  EXPECT_EQ(got[1].id, 8u);
+}
+
+TEST(OrderedWindow, FlushSkipsGapsAndEmitsTheRestInOrder) {
+  // Orders 1 and 3 arrive; 0 and 2 belong to a crashed worker and never
+  // will. flush() must deliver 1 then 3 — the gaps are skipped, not waited
+  // on, matching end-of-stream semantics.
+  OrderedWindow w(8);
+  std::vector<Task> got;
+  auto emit = [&](Task t) { got.push_back(std::move(t)); };
+  w.push(make(1), emit);
+  w.push(make(3), emit);
+  EXPECT_TRUE(got.empty());
+  w.flush(emit);
+  EXPECT_EQ(orders_of(got), (std::vector<std::uint64_t>{1, 3}));
+  EXPECT_EQ(w.pending(), 0u);
+}
+
+TEST(OrderedWindow, FlushOnEmptyWindowIsANoOp) {
+  OrderedWindow w(4);
+  std::vector<Task> got;
+  w.flush([&](Task t) { got.push_back(std::move(t)); });
+  EXPECT_TRUE(got.empty());
+}
+
+TEST(OrderedWindow, RandomPermutationStreamDeliversFullyOrdered) {
+  // Shuffle within bounded distance (the farm's actual arrival pattern),
+  // across enough items to wrap and grow several times.
+  constexpr std::uint64_t kN = 4096;
+  constexpr std::uint64_t kDistance = 64;
+  std::vector<std::uint64_t> orders(kN);
+  for (std::uint64_t i = 0; i < kN; ++i) orders[i] = i;
+  std::mt19937 rng(1234);
+  for (std::uint64_t i = 0; i + 1 < kN; ++i) {
+    const auto j =
+        i + std::uniform_int_distribution<std::uint64_t>(
+                0, std::min(kDistance, kN - 1 - i))(rng);
+    std::swap(orders[i], orders[j]);
+  }
+  OrderedWindow w(8);  // small initial window: must grow under this load
+  std::vector<Task> got;
+  auto emit = [&](Task t) { got.push_back(std::move(t)); };
+  for (const auto o : orders) w.push(make(o), emit);
+  w.flush(emit);
+  ASSERT_EQ(got.size(), kN);
+  for (std::uint64_t i = 0; i < kN; ++i) EXPECT_EQ(got[i].order, i);
+}
+
+}  // namespace
+}  // namespace bsk::rt

@@ -285,5 +285,182 @@ TEST(Channel, StealBackRacingCloseLosesNothing) {
   EXPECT_EQ(seen.size(), 32u);
 }
 
+// ------------------------------------------------------------- batched ops
+
+TEST(Channel, PushNDeliversWholeBatchInOrder) {
+  Channel<int> ch(16);
+  std::vector<int> batch{1, 2, 3, 4, 5};
+  EXPECT_EQ(ch.push_n(batch), 5u);
+  EXPECT_EQ(ch.size(), 5u);
+  for (int want = 1; want <= 5; ++want) {
+    int v = 0;
+    EXPECT_EQ(ch.pop(v), ChannelStatus::Ok);
+    EXPECT_EQ(v, want);
+  }
+}
+
+TEST(Channel, PushNLargerThanCapacityBlocksInChunks) {
+  // A batch bigger than the whole channel must still go through — the
+  // producer waits for space chunk by chunk while a consumer drains.
+  Channel<int> ch(4);
+  std::vector<int> batch(64);
+  std::iota(batch.begin(), batch.end(), 0);
+  std::jthread consumer([&ch] {
+    int expect = 0;
+    int v = 0;
+    while (ch.pop(v) == ChannelStatus::Ok) EXPECT_EQ(v, expect++);
+    EXPECT_EQ(expect, 64);
+  });
+  EXPECT_EQ(ch.push_n(batch), 64u);
+  ch.close();
+}
+
+TEST(Channel, PushNOnClosedChannelAcceptsNothing) {
+  Channel<int> ch(8);
+  ch.close();
+  std::vector<int> batch{1, 2, 3};
+  EXPECT_EQ(ch.push_n(batch), 0u);
+}
+
+TEST(Channel, PopNDrainsUpToMaxUnderOneCall) {
+  Channel<int> ch(16);
+  for (int i = 0; i < 10; ++i) ch.push(i);
+  std::vector<int> out;
+  EXPECT_EQ(ch.pop_n(out, 4), ChannelStatus::Ok);
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out.front(), 0);
+  EXPECT_EQ(out.back(), 3);
+  EXPECT_EQ(ch.size(), 6u);
+  // Appends — does not clear what the caller already holds.
+  EXPECT_EQ(ch.pop_n(out, 100), ChannelStatus::Ok);
+  EXPECT_EQ(out.size(), 10u);
+  EXPECT_EQ(out.back(), 9);
+}
+
+TEST(Channel, PopNOnClosedDrainedChannelReportsClosed) {
+  Channel<int> ch(8);
+  ch.push(1);
+  ch.close();
+  std::vector<int> out;
+  EXPECT_EQ(ch.pop_n(out, 8), ChannelStatus::Ok);  // drains the survivor
+  EXPECT_EQ(ch.pop_n(out, 8), ChannelStatus::Closed);
+}
+
+TEST(Channel, PopNForTimesOutOnEmpty) {
+  ScopedClockScale guard(100.0);
+  Channel<int> ch(8);
+  std::vector<int> out;
+  EXPECT_EQ(ch.pop_n_for(out, 8, SimDuration(0.5)), ChannelStatus::TimedOut);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(Channel, PushForTimesOutOnFullWithoutConsumingItem) {
+  ScopedClockScale guard(100.0);
+  Channel<int> ch(1);
+  ch.push(1);
+  int item = 42;
+  EXPECT_EQ(ch.push_for(item, SimDuration(0.2)), ChannelStatus::TimedOut);
+  EXPECT_EQ(item, 42);  // still owned by the caller, free to retry elsewhere
+  int v = 0;
+  ch.pop(v);
+  EXPECT_EQ(ch.push_for(item, SimDuration(0.2)), ChannelStatus::Ok);
+  EXPECT_EQ(ch.pop(v), ChannelStatus::Ok);
+  EXPECT_EQ(v, 42);
+}
+
+TEST(Channel, PushForZeroDurationIsPureTry) {
+  Channel<int> ch(1);
+  int a = 1;
+  EXPECT_EQ(ch.push_for(a, SimDuration(0.0)), ChannelStatus::Ok);
+  int b = 2;
+  EXPECT_EQ(ch.push_for(b, SimDuration(0.0)), ChannelStatus::TimedOut);
+  EXPECT_EQ(b, 2);
+}
+
+TEST(Channel, ReopenWakesBlockedProducersAndConsumers) {
+  // Satellite regression: reopen() must notify waiters, not just clear the
+  // flag — a producer parked on the not-full CV after close() consumed the
+  // notification would otherwise sleep forever.
+  Channel<int> ch(1);
+  ch.push(1);  // full
+  std::atomic<bool> produced{false};
+  std::jthread producer([&] {
+    int v = 2;
+    // Waits on not-full; close() fails it fast, reopen() must wake it to
+    // see the (reopened, still-full) state rather than hang.
+    while (ch.push_for(v, SimDuration(60.0)) != ChannelStatus::Ok) {
+      if (produced.load()) return;
+    }
+    produced.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  ch.close();    // releases the producer with Closed
+  ch.reopen();   // must notify so a re-entered wait re-evaluates
+  int v = 0;
+  EXPECT_EQ(ch.pop(v), ChannelStatus::Ok);  // frees a slot
+  EXPECT_EQ(v, 1);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (!produced.load() && std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  EXPECT_TRUE(produced.load());
+}
+
+TEST(Channel, MpmcBatchedStressDeliversEverythingExactlyOnce) {
+  // Batched producers and consumers race steal_back and a late close; every
+  // accepted item must surface exactly once (popped or stolen).
+  constexpr int kProducers = 3;
+  constexpr int kConsumers = 3;
+  constexpr int kPerProducer = 400;
+  constexpr int kBatch = 16;
+  Channel<int> ch(32);
+  std::atomic<int> accepted{0};
+  std::mutex mu;
+  std::multiset<int> seen;
+  auto record = [&](int v) {
+    std::scoped_lock lk(mu);
+    seen.insert(v);
+  };
+
+  {
+    std::vector<std::jthread> threads;
+    for (int p = 0; p < kProducers; ++p)
+      threads.emplace_back([&, p] {
+        std::vector<int> batch;
+        for (int base = 0; base < kPerProducer; base += kBatch) {
+          batch.clear();
+          for (int i = 0; i < kBatch; ++i)
+            batch.push_back(p * kPerProducer + base + i);
+          accepted.fetch_add(static_cast<int>(ch.push_n(batch)));
+        }
+      });
+    for (int c = 0; c < kConsumers; ++c)
+      threads.emplace_back([&] {
+        std::vector<int> got;
+        while (ch.pop_n(got, 8) == ChannelStatus::Ok) {
+          for (int v : got) record(v);
+          got.clear();
+        }
+      });
+    threads.emplace_back([&] {
+      for (int i = 0; i < 50; ++i) {
+        for (int v : ch.steal_back(4)) record(v);
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      }
+      ch.close();
+    });
+  }  // join everything; consumers drain then see Closed
+
+  // Items accepted after close() raced in are still in the queue: drain.
+  std::vector<int> rest;
+  while (ch.pop_n(rest, 64) == ChannelStatus::Ok) {
+    for (int v : rest) record(v);
+    rest.clear();
+  }
+
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(accepted.load()));
+  for (const int v : seen) EXPECT_EQ(seen.count(v), 1u) << "duplicate " << v;
+}
+
 }  // namespace
 }  // namespace bsk::support
