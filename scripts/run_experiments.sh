@@ -18,6 +18,7 @@ EXPECTED=(
   des_scale
   micro_runtime
   ablation_fault_tolerance
+  ablation_chaos
   ablation_stability
   ablation_sched_policy
   des_fig4

@@ -75,6 +75,21 @@ end
 )";
 }
 
+std::string degradation_rules() {
+  return R"(
+rule "DegradeOnRecruitFailure"
+  salience 40
+  when
+    FailedRecruitsBean ( value >= ManagersConstants.FT_MAX_FAILED_RECRUITS )
+    DepartureRateBean ( value < ManagersConstants.FARM_LOW_PERF_LEVEL )
+  then
+    setData(degradedContract_VIOL);
+    fire(RAISE_VIOLATION);
+    fire(DEGRADE_CONTRACT);
+end
+)";
+}
+
 std::string latency_rules() {
   return R"(
 rule "CheckLatencyHigh"

@@ -31,6 +31,15 @@ std::string fault_tolerance_rules();
 /// the contract's MAX_LATENCY, add workers to drain the queues faster.
 std::string latency_rules();
 
+/// Degradation policy (Sec. 3.1 escalation): when ADD_EXECUTOR has failed
+/// FT_MAX_FAILED_RECRUITS times in a row and the farm still trails its
+/// contract, capacity cannot be restored — report the violation to the
+/// parent and renegotiate the contract down to the observed rate
+/// (DEGRADE_CONTRACT puts the manager in the passive role). Load after
+/// fault_tolerance_rules(); its salience sits below replacement so a
+/// successful replace resets the streak before degradation can fire.
+std::string degradation_rules();
+
 /// Extension to the Fig. 5 performance policy: grow on a deep backlog even
 /// when input pressure has stopped (the Fig. 5 rules are blind to queued
 /// work once arrivals cease — the paper's "unlimited buffering" remark).

@@ -27,6 +27,8 @@ AutonomicManager::AutonomicManager(std::string name, Abc& abc,
   consts_.set("FARM_MAX_UNBALANCE", cfg_.max_unbalance);
   consts_.set("FARM_ADD_WORKERS", 2.0);  // workers added per ADD_EXECUTOR
   consts_.set("MAX_LATENCY", 1e30);
+  consts_.set("FT_MAX_FAILED_RECRUITS",
+              static_cast<double>(cfg_.max_failed_recruits));
   install_default_operations();
 }
 
@@ -84,6 +86,8 @@ bool AutonomicManager::monitor_phase(Sensors& out) {
   wm_.set(beans::kUnsecuredLinks, out.unsecured_untrusted ? 1.0 : 0.0);
   wm_.set(beans::kWorkerFailure, static_cast<double>(out.new_failures));
   wm_.set(beans::kTotalFailures, static_cast<double>(out.total_failures));
+  wm_.set(beans::kFailedRecruits,
+          static_cast<double>(failed_recruits_.load()));
   // Payload constant so FT rules can replace exactly the crashed count.
   consts_.set("WORKER_FAILURES", static_cast<double>(out.new_failures));
   if (out.new_failures > 0)
@@ -312,13 +316,19 @@ void AutonomicManager::install_default_operations() {
     for (std::size_t i = 0; i < n; ++i)
       if (abc_.add_worker()) ++added;
     if (added > 0) {
+      failed_recruits_.store(0, std::memory_order_relaxed);
       record("addWorker", static_cast<double>(added));
       mode_.store(ManagerMode::Active);
       if (cfg_.action_cooldown_s > 0.0)
         plan_suppressed_until_ =
             support::Clock::now() + cfg_.action_cooldown_s;
     } else {
-      record("addWorkerFailed");
+      // Nothing could be recruited: count it. A run of these (with the
+      // farm still under-performing) is what the degradation rules treat
+      // as "capacity cannot be restored".
+      const auto streak =
+          failed_recruits_.fetch_add(1, std::memory_order_relaxed) + 1;
+      record("addWorkerFailed", static_cast<double>(streak));
     }
   };
 
@@ -345,6 +355,32 @@ void AutonomicManager::install_default_operations() {
   operations_[ops::kSecureLinks] = [this](const std::string&) {
     const std::size_t n = abc_.secure_links();
     if (n > 0) record("secureLinks", static_cast<double>(n));
+  };
+
+  operations_[ops::kDegradeContract] = [this](const std::string&) {
+    // Renegotiate downward: the best this configuration has demonstrated is
+    // the observed departure rate, so that becomes the new throughput
+    // floor. The manager stays responsible for the degraded contract but
+    // goes passive (P_rol active -> passive): it stops promising the old
+    // SLA and has already told its parent so via RAISE_VIOLATION.
+    const double observed = last_sensors().departure_rate;
+    bool changed = false;
+    double floor = 0.0;
+    {
+      std::scoped_lock lk(state_mu_);
+      if (contract_.throughput && observed < contract_.throughput->first) {
+        contract_.throughput->first = observed;
+        derive_constants_locked();
+        changed = true;
+        floor = observed;
+      }
+    }
+    failed_recruits_.store(0, std::memory_order_relaxed);
+    if (changed) {
+      degradations_.fetch_add(1, std::memory_order_relaxed);
+      record("degradeContract", floor);
+      mode_.store(ManagerMode::Passive);
+    }
   };
 
   operations_[ops::kRaiseViolation] = [this](const std::string& data) {

@@ -63,6 +63,10 @@ struct ManagerConfig {
   /// Emit contrLow/contrHigh/notEnough observation events each cycle they
   /// hold (the event lines of the paper's Fig. 4).
   bool observation_events = true;
+  /// Consecutive ADD_EXECUTOR failures (no worker could be recruited)
+  /// before the degradation policy may fire — derived into the
+  /// FT_MAX_FAILED_RECRUITS rule constant.
+  std::size_t max_failed_recruits = 3;
 };
 
 /// A violation reported by a child manager.
@@ -88,6 +92,10 @@ inline constexpr const char* kUnsecuredLinks = "UnsecuredLinksBean";
 /// Workers crashed since the previous cycle / since start.
 inline constexpr const char* kWorkerFailure = "WorkerFailureBean";
 inline constexpr const char* kTotalFailures = "TotalFailuresBean";
+/// Consecutive ADD_EXECUTOR calls that recruited nothing (reset on any
+/// successful add) — the capacity-cannot-be-restored signal the
+/// degradation rules watch.
+inline constexpr const char* kFailedRecruits = "FailedRecruitsBean";
 /// Pulse bean asserted for one cycle when child `kind` violations arrive:
 /// "Violation_<kind>Bean".
 std::string child_violation(const std::string& kind);
@@ -100,6 +108,10 @@ inline constexpr const char* kRemoveExecutor = "REMOVE_EXECUTOR";
 inline constexpr const char* kBalanceLoad = "BALANCE_LOAD";
 inline constexpr const char* kRaiseViolation = "RAISE_VIOLATION";
 inline constexpr const char* kSecureLinks = "SECURE_LINKS";
+/// Renegotiate the contract downward: lower the throughput floor to the
+/// observed departure rate when capacity cannot be restored (paper
+/// Sec. 3.1 — the manager goes passive and reports the best it can do).
+inline constexpr const char* kDegradeContract = "DEGRADE_CONTRACT";
 }  // namespace ops
 
 class AutonomicManager : public rules::OperationSink {
@@ -197,6 +209,11 @@ class AutonomicManager : public rules::OperationSink {
   /// True once the managed stream has been observed to end.
   bool stream_ended() const { return stream_ended_.load(); }
 
+  /// Consecutive recruit failures (the FailedRecruitsBean value).
+  std::size_t failed_recruits() const { return failed_recruits_.load(); }
+  /// Times DEGRADE_CONTRACT actually lowered the contract.
+  std::size_t degradations() const { return degradations_.load(); }
+
   /// Last sensor snapshot taken by the monitor phase.
   Sensors last_sensors() const;
 
@@ -230,6 +247,8 @@ class AutonomicManager : public rules::OperationSink {
   std::atomic<ManagerMode> mode_{ManagerMode::Passive};
   std::atomic<bool> stream_ended_{false};
   std::atomic<std::size_t> cycles_{0};
+  std::atomic<std::size_t> failed_recruits_{0};
+  std::atomic<std::size_t> degradations_{0};
   double plan_suppressed_until_ = 0.0;  // control-thread only
   bool violation_raised_this_cycle_ = false;  // control-thread only
 

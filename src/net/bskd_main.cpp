@@ -9,7 +9,17 @@
 // `heartbeat_wall_s` (from the Hello) so the parent's failure detector can
 // tell a long-running task from a dead peer.
 //
-//   bskd [--port N] [--port-file PATH]
+// Reliability: tasks carry sequence numbers; bskd executes each sequence at
+// most once and keeps a bounded cache of recent results, so a retransmitted
+// task (lost TaskMsg, lost ResultMsg, or duplication on a faulty wire) gets
+// its cached result resent instead of re-executing. A connection that dies
+// without a Shutdown parks its session for --session-linger seconds: a
+// client reconnecting with the session id (and the right epoch — stale
+// zombies are fenced) re-attaches the same worker node and the same dedup
+// state, so a transient partition costs a replay of unacked tasks, not a
+// worker replacement.
+//
+//   bskd [--port N] [--port-file PATH] [--session-linger S]
 //
 // --port 0 (the default) binds an ephemeral port; --port-file writes the
 // bound port as decimal text once listening — how spawn_bskd() and the
@@ -21,7 +31,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <deque>
 #include <fstream>
+#include <map>
 #include <memory>
 #include <string>
 #include <thread>
@@ -55,22 +67,198 @@ std::unique_ptr<bsk::rt::Node> make_node(const std::string& kind) {
   return std::make_unique<SimComputeNode>();  // "sim" and anything unknown
 }
 
-void serve_session(std::unique_ptr<bsk::net::TcpTransport> owned,
-                   std::uint64_t session_id) {
+/// Cached results kept per session for duplicate-seq resends. Far larger
+/// than any client credit window, so a still-wanted result is never evicted.
+constexpr std::size_t kResultCacheCap = 256;
+
+/// One hosted worker: the node, its dedup state, and whichever connection
+/// currently owns it. Survives connection death (parked) until reaped.
+struct Session {
+  std::uint64_t id = 0;
+  std::string kind;
+
+  std::mutex mu;  // guards everything below
+  std::uint32_t epoch = 0;
+  std::unique_ptr<bsk::rt::Node> node;
+  bool secured = false;
+  std::map<std::uint64_t, bsk::net::Frame> results;  // seq → cached reply
+  std::deque<std::uint64_t> result_order;            // eviction FIFO
+  std::uint64_t dups_suppressed = 0;
+  std::shared_ptr<bsk::net::TcpTransport> active;  // null while parked
+  /// Atomic so the reaper can scan without the session lock (which task
+  /// execution holds for the duration of a task).
+  std::atomic<double> parked_at{-1.0};
+};
+
+class SessionRegistry {
+ public:
+  std::shared_ptr<Session> create(const std::string& kind) {
+    auto s = std::make_shared<Session>();
+    s->kind = kind;
+    s->node = make_node(kind);
+    s->node->on_start();
+    std::scoped_lock lk(mu_);
+    s->id = next_++;
+    sessions_[s->id] = s;
+    return s;
+  }
+
+  /// Look up a session for resume. The epoch fence rejects reconnects that
+  /// present a stale view (a zombie from before an earlier re-attach).
+  std::shared_ptr<Session> find_for_resume(std::uint64_t id) {
+    std::scoped_lock lk(mu_);
+    auto it = sessions_.find(id);
+    return it == sessions_.end() ? nullptr : it->second;
+  }
+
+  /// Park a dead connection's session (unless a newer epoch stole it).
+  void park(const std::shared_ptr<Session>& s, std::uint32_t my_epoch) {
+    std::scoped_lock lk(s->mu);
+    if (s->epoch != my_epoch) return;  // re-attached elsewhere: not ours
+    s->active.reset();
+    s->parked_at = bsk::net::wall_now();
+  }
+
+  /// Orderly shutdown: retire the node and forget the session.
+  void erase(const std::shared_ptr<Session>& s, std::uint32_t my_epoch) {
+    {
+      std::scoped_lock lk(s->mu);
+      if (s->epoch != my_epoch) return;
+      if (s->node) s->node->on_stop();
+    }
+    std::scoped_lock lk(mu_);
+    sessions_.erase(s->id);
+  }
+
+  /// Drop sessions parked longer than `linger_s` — the client's grace
+  /// window has certainly closed; it will have recruited a replacement.
+  void reap(double linger_s) {
+    std::vector<std::shared_ptr<Session>> dead;
+    {
+      std::scoped_lock lk(mu_);
+      for (auto it = sessions_.begin(); it != sessions_.end();) {
+        const double parked = it->second->parked_at.load();
+        if (parked >= 0.0 && bsk::net::wall_now() - parked > linger_s) {
+          dead.push_back(it->second);
+          it = sessions_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+    for (auto& s : dead) {
+      std::scoped_lock slk(s->mu);
+      if (s->node) s->node->on_stop();
+    }
+  }
+
+ private:
+  std::mutex mu_;
+  std::map<std::uint64_t, std::shared_ptr<Session>> sessions_;
+  std::uint64_t next_ = 1;
+};
+
+SessionRegistry g_registry;
+
+/// Execute (or dedup) one sequenced task and send the reply. Caller holds
+/// nothing; the session lock serializes execution across connections.
+void handle_task(Session& s, bsk::net::TcpTransport& tp,
+                 const bsk::net::Frame& f) {
+  using namespace bsk::net;
+  auto parsed = parse_task_seq(f);
+  if (!parsed) return;  // malformed (corrupt payload): drop, stream lives
+  const std::uint64_t seq = parsed->first;
+
+  std::scoped_lock lk(s.mu);
+  if (seq != 0) {
+    if (auto it = s.results.find(seq); it != s.results.end()) {
+      // Already executed: a retransmit or wire duplicate. Resend the cached
+      // result — never re-execute (at-most-once execution per seq).
+      ++s.dups_suppressed;
+      tp.send(it->second);
+      return;
+    }
+  }
+  auto r = s.node->process(std::move(parsed->second));
+  const Frame reply = r ? make_task(*r, FrameType::ResultMsg, seq)
+                        : make_task(bsk::rt::Task::worker_done(),
+                                    FrameType::ResultMsg, seq);
+  if (seq != 0) {
+    s.results.emplace(seq, reply);
+    s.result_order.push_back(seq);
+    while (s.result_order.size() > kResultCacheCap) {
+      s.results.erase(s.result_order.front());
+      s.result_order.pop_front();
+    }
+  }
+  tp.send(reply);
+}
+
+void serve_session(std::unique_ptr<bsk::net::TcpTransport> owned) {
   using namespace bsk::net;
   std::shared_ptr<TcpTransport> tp{std::move(owned)};
 
-  Hello hello;
-  if (!server_handshake(*tp, 5.0, session_id, &hello)) {
+  // Handshake (resume-aware; server_handshake() covers only the fresh
+  // path, so it is inlined here).
+  Frame hf;
+  if (tp->recv_for(hf, 5.0) != RecvStatus::Ok ||
+      hf.type != FrameType::Hello) {
     tp->close();
     return;
   }
-  if (hello.clock_scale > 0.0) bsk::support::Clock::set_scale(hello.clock_scale);
+  const auto hello = parse_hello(hf);
+  if (!hello || hello->magic != kMagic ||
+      hello->version != kProtocolVersion) {
+    HelloAck nak;
+    nak.ok = false;
+    tp->send(make_hello_ack(nak));
+    tp->close();
+    return;
+  }
+  if (hello->clock_scale > 0.0)
+    bsk::support::Clock::set_scale(hello->clock_scale);
   const double hb =
-      hello.heartbeat_wall_s > 0.0 ? hello.heartbeat_wall_s : 0.25;
+      hello->heartbeat_wall_s > 0.0 ? hello->heartbeat_wall_s : 0.25;
 
-  auto node = make_node(hello.node_kind);
-  node->on_start();
+  std::shared_ptr<Session> session;
+  std::uint32_t my_epoch = 0;
+  bool resumed = false;
+  if (hello->resume_session != 0) {
+    if (auto s = g_registry.find_for_resume(hello->resume_session)) {
+      std::scoped_lock lk(s->mu);
+      if (s->epoch == hello->resume_epoch) {
+        // Steal the session from whatever connection held it (a half-dead
+        // one during an asymmetric partition, or a parked slot). Closing
+        // the old transport sends its serve thread to park(), where the
+        // epoch bump makes it a no-op.
+        if (s->active) s->active->close();
+        my_epoch = ++s->epoch;
+        s->active = tp;
+        s->parked_at = -1.0;
+        // Everything the client has acknowledged is gone for good.
+        while (!s->result_order.empty() &&
+               s->result_order.front() <= hello->last_acked_seq) {
+          s->results.erase(s->result_order.front());
+          s->result_order.pop_front();
+        }
+        if (s->secured) tp->mark_secured();
+        session = s;
+        resumed = true;
+      }
+    }
+  }
+  if (!session) {
+    session = g_registry.create(hello->node_kind);
+    std::scoped_lock lk(session->mu);
+    my_epoch = ++session->epoch;
+    session->active = tp;
+  }
+
+  HelloAck ack;
+  ack.session = session->id;
+  ack.epoch = my_epoch;
+  ack.resumed = resumed;
+  tp->send(make_hello_ack(ack));
 
   // Heartbeats on their own thread: a long task must not silence them.
   std::jthread beater([tp, hb](std::stop_token st) {
@@ -81,6 +269,7 @@ void serve_session(std::unique_ptr<bsk::net::TcpTransport> owned,
     }
   });
 
+  bool clean_shutdown = false;
   bool running = true;
   while (running && !g_stop.load()) {
     Frame f;
@@ -94,21 +283,18 @@ void serve_session(std::unique_ptr<bsk::net::TcpTransport> owned,
         break;
     }
     switch (f.type) {
-      case FrameType::TaskMsg: {
-        auto t = parse_task(f);
-        if (!t) break;  // malformed: drop
-        auto r = node->process(std::move(*t));
-        const Frame reply = r ? make_task(*r, FrameType::ResultMsg)
-                              : make_task(bsk::rt::Task::worker_done(),
-                                          FrameType::ResultMsg);
-        if (!tp->send(reply)) running = false;
+      case FrameType::TaskMsg:
+        handle_task(*session, *tp, f);
         break;
-      }
-      case FrameType::SecureReq:
+      case FrameType::SecureReq: {
         tp->mark_secured();
+        std::scoped_lock lk(session->mu);
+        session->secured = true;
         tp->send(Frame{FrameType::SecureAck, {}});
         break;
+      }
       case FrameType::Shutdown:
+        clean_shutdown = true;
         running = false;
         break;
       default:
@@ -116,13 +302,21 @@ void serve_session(std::unique_ptr<bsk::net::TcpTransport> owned,
     }
   }
 
-  node->on_stop();
   beater.request_stop();
+  if (clean_shutdown || g_stop.load()) {
+    g_registry.erase(session, my_epoch);
+  } else {
+    // Connection died without a goodbye: park the session so a client
+    // riding out a transient partition can resume it.
+    g_registry.park(session, my_epoch);
+  }
   tp->close();
 }
 
 int usage(const char* argv0) {
-  std::fprintf(stderr, "usage: %s [--port N] [--port-file PATH]\n", argv0);
+  std::fprintf(stderr,
+               "usage: %s [--port N] [--port-file PATH] [--session-linger S]\n",
+               argv0);
   return 2;
 }
 
@@ -131,6 +325,7 @@ int usage(const char* argv0) {
 int main(int argc, char** argv) {
   std::uint16_t port = 0;
   std::string port_file;
+  double session_linger_s = 10.0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--port" && i + 1 < argc) {
@@ -144,6 +339,15 @@ int main(int argc, char** argv) {
       port = static_cast<std::uint16_t>(v);
     } else if (arg == "--port-file" && i + 1 < argc) {
       port_file = argv[++i];
+    } else if (arg == "--session-linger" && i + 1 < argc) {
+      const char* s = argv[++i];
+      char* end = nullptr;
+      const double v = std::strtod(s, &end);
+      if (end == s || *end != '\0' || v < 0.0) {
+        std::fprintf(stderr, "bskd: invalid linger '%s'\n", s);
+        return usage(argv[0]);
+      }
+      session_linger_s = v;
     } else {
       return usage(argv[0]);
     }
@@ -167,11 +371,11 @@ int main(int argc, char** argv) {
   }
 
   std::vector<std::jthread> sessions;
-  std::uint64_t next_session = 1;
   while (!g_stop.load()) {
     auto tp = listener.accept_for(0.25);
+    g_registry.reap(session_linger_s);
     if (!tp) continue;
-    sessions.emplace_back(serve_session, std::move(tp), next_session++);
+    sessions.emplace_back(serve_session, std::move(tp));
   }
   listener.close();
   return 0;  // jthreads join; sessions see g_stop and wind down

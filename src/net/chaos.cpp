@@ -1,0 +1,308 @@
+#include "net/chaos.hpp"
+
+#include <chrono>
+#include <thread>
+
+namespace bsk::net {
+
+namespace {
+
+/// splitmix64: the avalanche stage every per-frame decision hashes through.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+/// Uniform double in [0,1) from a hash value.
+double unit(std::uint64_t x) {
+  return static_cast<double>(x >> 11) * (1.0 / 9007199254740992.0);
+}
+
+// Salts decorrelating the per-fault-kind draws from one frame hash.
+constexpr std::uint64_t kSaltDrop = 0xD509;
+constexpr std::uint64_t kSaltDup = 0xD0B1;
+constexpr std::uint64_t kSaltReorder = 0x5EBA;
+constexpr std::uint64_t kSaltCorrupt = 0xC0BB;
+constexpr std::uint64_t kSaltDelay = 0xDE1A;
+constexpr std::uint64_t kSaltJitter = 0x7177;
+constexpr std::uint64_t kSaltOffset = 0x0FF5;
+constexpr std::uint64_t kSaltMask = 0xA5C3;
+
+void sleep_wall(double s) {
+  if (s > 0.0)
+    std::this_thread::sleep_for(std::chrono::duration<double>(s));
+}
+
+}  // namespace
+
+// --------------------------------------------------------------- FaultPlan
+
+std::uint64_t FaultPlan::stream_id(const std::string& name) {
+  // FNV-1a 64-bit.
+  std::uint64_t h = 0xCBF29CE484222325ull;
+  for (unsigned char c : name) {
+    h ^= c;
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+FaultDecision FaultPlan::decide(std::uint64_t stream,
+                                std::uint64_t frame_idx) const {
+  // Pure hash of (seed, stream, frame index): the schedule cannot depend on
+  // call order, thread timing, or how many injectors share the plan.
+  const std::uint64_t base = mix64(seed_ ^ mix64(stream) ^ mix64(frame_idx));
+  FaultDecision d;
+  if (spec_.drop > 0.0) d.drop = unit(mix64(base ^ kSaltDrop)) < spec_.drop;
+  if (spec_.dup > 0.0) d.dup = unit(mix64(base ^ kSaltDup)) < spec_.dup;
+  if (spec_.reorder > 0.0)
+    d.reorder = unit(mix64(base ^ kSaltReorder)) < spec_.reorder;
+  if (spec_.corrupt > 0.0)
+    d.corrupt = unit(mix64(base ^ kSaltCorrupt)) < spec_.corrupt;
+  if (spec_.delay_s > 0.0 || spec_.delay_jitter_s > 0.0) {
+    if (spec_.delay_prob <= 0.0 ||
+        unit(mix64(base ^ kSaltDelay)) < spec_.delay_prob)
+      d.delay_s = spec_.delay_s +
+                  unit(mix64(base ^ kSaltJitter)) * spec_.delay_jitter_s;
+  }
+  return d;
+}
+
+std::pair<std::uint64_t, std::uint8_t> FaultPlan::corruption(
+    std::uint64_t stream, std::uint64_t frame_idx) const {
+  const std::uint64_t base = mix64(seed_ ^ mix64(stream) ^ mix64(frame_idx));
+  const std::uint64_t off = mix64(base ^ kSaltOffset);
+  // Mask 1..255: the corrupted byte always actually changes.
+  const std::uint8_t mask =
+      static_cast<std::uint8_t>(1 + (mix64(base ^ kSaltMask) % 255));
+  return {off, mask};
+}
+
+void FaultPlan::start() {
+  double expected = -1.0;
+  start_wall_.compare_exchange_strong(expected, wall_now());
+}
+
+double FaultPlan::elapsed() const {
+  const double s = start_wall_.load(std::memory_order_relaxed);
+  return s < 0.0 ? 0.0 : wall_now() - s;
+}
+
+std::optional<double> FaultPlan::partition_elapsed(bool outbound) const {
+  if (spec_.partitions.empty()) return std::nullopt;
+  const double t = elapsed();
+  for (const auto& p : spec_.partitions) {
+    if (!(outbound ? p.outbound : p.inbound)) continue;
+    if (t >= p.at_s && t < p.at_s + p.duration_s) return t - p.at_s;
+  }
+  return std::nullopt;
+}
+
+bool FaultPlan::kill_due() const {
+  return spec_.kill_at_s >= 0.0 && elapsed() >= spec_.kill_at_s;
+}
+
+// ----------------------------------------------------------- FaultInjector
+
+FaultInjector::FaultInjector(std::shared_ptr<Transport> inner,
+                             std::shared_ptr<FaultPlan> plan,
+                             std::string stream)
+    : inner_(std::move(inner)),
+      plan_(std::move(plan)),
+      out_id_(FaultPlan::stream_id(stream + "/out")),
+      in_id_(FaultPlan::stream_id(stream + "/in")) {
+  plan_->start();
+}
+
+bool FaultInjector::kill_if_due() {
+  if (!plan_->kill_due()) return killed_.load(std::memory_order_relaxed);
+  if (!killed_.exchange(true)) {
+    {
+      std::scoped_lock lk(stats_mu_);
+      ++stats_.kills;
+    }
+    inner_->close();
+  }
+  return true;
+}
+
+void FaultInjector::corrupt_frame(Frame& f, std::uint64_t stream,
+                                  std::uint64_t idx) const {
+  const auto [off, mask] = plan_->corruption(stream, idx);
+  if (f.payload.empty())
+    f.payload.push_back(mask);  // a parser expecting fields still fails
+  else
+    f.payload[off % f.payload.size()] ^= mask;
+}
+
+bool FaultInjector::send(const Frame& f) { return send_one(f); }
+
+bool FaultInjector::send_many(const Frame* fs, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i)
+    if (!send_one(fs[i])) return false;
+  return true;
+}
+
+bool FaultInjector::send_one(const Frame& f) {
+  if (kill_if_due()) return false;
+  std::scoped_lock lk(out_mu_);
+  const std::uint64_t idx = out_idx_++;
+  const FaultDecision d = plan_->decide(out_id_, idx);
+  {
+    std::scoped_lock slk(stats_mu_);
+    ++stats_.frames_seen;
+  }
+
+  // An outbound partition is the network eating the frame: the sender sees
+  // a successful send, the bytes never arrive.
+  if (plan_->partition_elapsed(/*outbound=*/true)) {
+    std::scoped_lock slk(stats_mu_);
+    ++stats_.blocked_outbound;
+    return true;
+  }
+  if (d.drop) {
+    std::scoped_lock slk(stats_mu_);
+    ++stats_.dropped;
+    return true;
+  }
+
+  Frame out = f;
+  if (d.corrupt) {
+    corrupt_frame(out, out_id_, idx);
+    std::scoped_lock slk(stats_mu_);
+    ++stats_.corrupted;
+  }
+  if (d.delay_s > 0.0) {
+    {
+      std::scoped_lock slk(stats_mu_);
+      ++stats_.delayed;
+    }
+    sleep_wall(d.delay_s);
+  }
+
+  // Reorder: park this frame; it leaves right after its successor.
+  if (d.reorder && !held_) {
+    held_ = std::move(out);
+    std::scoped_lock slk(stats_mu_);
+    ++stats_.reordered;
+    return true;
+  }
+
+  bool ok = inner_->send(out);
+  if (ok && d.dup) {
+    {
+      std::scoped_lock slk(stats_mu_);
+      ++stats_.duplicated;
+    }
+    ok = inner_->send(out);
+  }
+  if (held_) {
+    const Frame parked = std::move(*held_);
+    held_.reset();
+    if (ok) ok = inner_->send(parked);
+  }
+  return ok;
+}
+
+RecvStatus FaultInjector::recv(Frame& out) {
+  for (;;) {
+    const RecvStatus r = recv_for(out, 0.25);
+    if (r != RecvStatus::TimedOut) return r;
+    if (closed()) return RecvStatus::Closed;
+  }
+}
+
+RecvStatus FaultInjector::recv_for(Frame& out, double wall_seconds) {
+  const double deadline = wall_now() + wall_seconds;
+  for (;;) {
+    if (kill_if_due()) return RecvStatus::Closed;
+
+    {
+      std::scoped_lock lk(in_mu_);
+      if (dup_in_) {
+        out = std::move(*dup_in_);
+        dup_in_.reset();
+        return RecvStatus::Ok;
+      }
+    }
+
+    // An inbound partition stalls delivery: frames queue up behind the hole
+    // and arrive in a burst once it heals (idle_seconds() meanwhile reports
+    // the silence so liveness detection can fire).
+    if (plan_->partition_elapsed(/*outbound=*/false)) {
+      {
+        std::scoped_lock slk(stats_mu_);
+        ++stats_.stalled_inbound;
+      }
+      if (wall_now() >= deadline) return RecvStatus::TimedOut;
+      sleep_wall(0.01);
+      continue;
+    }
+
+    const double remain = deadline - wall_now();
+    if (remain <= 0.0) return RecvStatus::TimedOut;
+    Frame f;
+    const RecvStatus r = inner_->recv_for(f, std::min(remain, 0.05));
+    if (r == RecvStatus::Closed) return RecvStatus::Closed;
+    if (r == RecvStatus::TimedOut) continue;
+
+    std::uint64_t idx;
+    {
+      std::scoped_lock lk(in_mu_);
+      idx = in_idx_++;
+    }
+    const FaultDecision d = plan_->decide(in_id_, idx);
+    {
+      std::scoped_lock slk(stats_mu_);
+      ++stats_.frames_seen;
+    }
+    if (d.drop) {
+      std::scoped_lock slk(stats_mu_);
+      ++stats_.dropped;
+      continue;
+    }
+    if (d.corrupt) {
+      corrupt_frame(f, in_id_, idx);
+      std::scoped_lock slk(stats_mu_);
+      ++stats_.corrupted;
+    }
+    if (d.delay_s > 0.0) {
+      {
+        std::scoped_lock slk(stats_mu_);
+        ++stats_.delayed;
+      }
+      sleep_wall(d.delay_s);
+    }
+    if (d.dup) {
+      std::scoped_lock lk(in_mu_);
+      dup_in_ = f;
+      std::scoped_lock slk(stats_mu_);
+      ++stats_.duplicated;
+    }
+    out = std::move(f);
+    return RecvStatus::Ok;
+  }
+}
+
+void FaultInjector::close() { inner_->close(); }
+
+bool FaultInjector::closed() const {
+  return killed_.load(std::memory_order_relaxed) || inner_->closed();
+}
+
+double FaultInjector::idle_seconds() const {
+  // Heartbeats are absorbed inside the wrapped transport, so a frame-level
+  // partition cannot silence them there — report the partition's own age as
+  // the observed silence instead.
+  if (auto p = plan_->partition_elapsed(/*outbound=*/false)) return *p;
+  return inner_->idle_seconds();
+}
+
+ChaosStats FaultInjector::chaos_stats() const {
+  std::scoped_lock lk(stats_mu_);
+  return stats_;
+}
+
+}  // namespace bsk::net

@@ -1,0 +1,192 @@
+#pragma once
+// bsk::net chaos: deterministic fault injection for transports.
+//
+// A FaultInjector is a Transport decorator: it wraps any connected endpoint
+// and perturbs the frame stream according to a FaultPlan — per-frame drop,
+// duplication, adjacent-pair reordering, payload byte corruption, fixed or
+// jittered delivery delay, timed one-way or full partitions, and a hard
+// connection kill. The wrapped code (conduits, pools, handshakes) cannot
+// tell it is being tortured; that is the point — every self-healing path in
+// the stack is exercised through its public interface.
+//
+// Determinism is the design center. Every per-frame decision is a *pure
+// hash* of (plan seed, stream id, frame index) — not a draw from a shared
+// sequential RNG — so the fault schedule for a given seed is byte-for-byte
+// identical across runs regardless of thread interleaving or how many
+// connections share the plan. Two runs with the same seed drop the same
+// frames, duplicate the same frames, corrupt the same bytes. Timed events
+// (partitions, kill) are anchored to a wall-clock start shared by every
+// injector on the plan, so "a 300 ms partition at t=1s" hits all
+// connections in the same window.
+//
+// Layering note: faults operate on *frames before encoding*, so corruption
+// here produces structurally valid frames whose payload fails to parse —
+// exercising the graceful typed-decode path in receivers. Byte-stream
+// corruption (caught by the frame CRC) is a different layer, exercised by
+// the wire tests directly.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/transport.hpp"
+
+namespace bsk::net {
+
+/// The fault script: probabilities are per frame in [0,1]; times are wall
+/// seconds relative to the plan's start anchor.
+struct ChaosSpec {
+  double drop = 0.0;     ///< frame silently lost
+  double dup = 0.0;      ///< frame delivered twice
+  double reorder = 0.0;  ///< frame swapped with its successor
+  double corrupt = 0.0;  ///< payload bytes damaged (parse fails downstream)
+  double delay_s = 0.0;         ///< fixed delivery delay per delayed frame
+  double delay_jitter_s = 0.0;  ///< extra uniform jitter on top of delay_s
+  /// Frames with a delay decision sleep delay_s + u*delay_jitter_s. A frame
+  /// is delayed when either knob is nonzero and the per-frame hash says so.
+  double delay_prob = 0.0;
+
+  /// A timed partition window. inbound/outbound select one-way partitions
+  /// (both = full). During the window, affected frames vanish (outbound) or
+  /// delivery stalls (inbound) — and the injector reports the growing
+  /// silence via idle_seconds() so liveness detection fires exactly as it
+  /// would for a real network hole.
+  struct Partition {
+    double at_s = 0.0;
+    double duration_s = 0.0;
+    bool inbound = true;
+    bool outbound = true;
+  };
+  std::vector<Partition> partitions;
+
+  /// Hard connection kill at this elapsed time (< 0 = never). The injector
+  /// closes the wrapped transport: indistinguishable from a peer crash.
+  double kill_at_s = -1.0;
+};
+
+/// Per-frame fault decision — the pure-hash output, exposed so tests can
+/// assert schedule reproducibility without driving real connections.
+struct FaultDecision {
+  bool drop = false;
+  bool dup = false;
+  bool reorder = false;
+  bool corrupt = false;
+  double delay_s = 0.0;
+};
+
+/// What one injector actually did to its stream.
+struct ChaosStats {
+  std::uint64_t frames_seen = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t duplicated = 0;
+  std::uint64_t reordered = 0;
+  std::uint64_t corrupted = 0;
+  std::uint64_t delayed = 0;
+  std::uint64_t blocked_outbound = 0;  ///< swallowed by an outbound partition
+  std::uint64_t stalled_inbound = 0;   ///< delivery stalls under inbound partition
+  std::uint64_t kills = 0;
+};
+
+/// A seeded fault schedule shared by every injector participating in one
+/// chaos run. Thread-safe; decide() is pure and lock-free.
+class FaultPlan {
+ public:
+  FaultPlan(std::uint64_t seed, ChaosSpec spec)
+      : seed_(seed), spec_(std::move(spec)) {}
+
+  /// Stable 64-bit id for a named stream (FNV-1a). Each injector derives
+  /// distinct ids for its outbound and inbound directions.
+  static std::uint64_t stream_id(const std::string& name);
+
+  /// The fault decision for frame `frame_idx` of stream `stream`. Pure: no
+  /// state is read or written, so the schedule is reproducible regardless
+  /// of call order or interleaving.
+  FaultDecision decide(std::uint64_t stream, std::uint64_t frame_idx) const;
+
+  /// Deterministic corruption parameters for a frame: (byte offset seed,
+  /// xor mask — never 0, so the byte always changes).
+  std::pair<std::uint64_t, std::uint8_t> corruption(
+      std::uint64_t stream, std::uint64_t frame_idx) const;
+
+  /// Anchor the timed-event clock. First call wins; every injector calls it
+  /// on construction so the first connection starts the timeline.
+  void start();
+
+  /// Wall seconds since start() (0 before the anchor is set).
+  double elapsed() const;
+
+  /// Seconds since the currently-active partition covering this direction
+  /// began, or nullopt when no partition is active.
+  std::optional<double> partition_elapsed(bool outbound) const;
+
+  /// True once the kill time has passed (and a kill is scripted).
+  bool kill_due() const;
+
+  const ChaosSpec& spec() const { return spec_; }
+  std::uint64_t seed() const { return seed_; }
+
+ private:
+  std::uint64_t seed_;
+  ChaosSpec spec_;
+  std::atomic<double> start_wall_{-1.0};
+};
+
+/// Transport decorator applying a FaultPlan to both directions of a
+/// connection. Outbound faults act on send(); inbound faults act on
+/// recv()/recv_for() — so wrapping only one end of a connection still
+/// exercises every fault class in both directions.
+class FaultInjector final : public Transport {
+ public:
+  /// `stream` names this connection in the plan ("w0", "w1", ...); the
+  /// outbound and inbound directions get independent fault schedules.
+  FaultInjector(std::shared_ptr<Transport> inner,
+                std::shared_ptr<FaultPlan> plan, std::string stream);
+
+  bool send(const Frame& f) override;
+  bool send_many(const Frame* fs, std::size_t n) override;
+  RecvStatus recv(Frame& out) override;
+  RecvStatus recv_for(Frame& out, double wall_seconds) override;
+  void close() override;
+  bool closed() const override;
+
+  /// During an inbound partition, reports the silence the liveness detector
+  /// would see on a real network hole (heartbeats absorbed by the wrapped
+  /// transport do not mask it). Otherwise defers to the wrapped transport.
+  double idle_seconds() const override;
+
+  TransportStats stats() const override { return inner_->stats(); }
+
+  ChaosStats chaos_stats() const;
+  const std::shared_ptr<Transport>& inner() const { return inner_; }
+  const std::shared_ptr<FaultPlan>& plan() const { return plan_; }
+
+ private:
+  bool send_one(const Frame& f);
+  /// Applies the scripted kill once; true if the connection is (now) dead.
+  bool kill_if_due();
+  void corrupt_frame(Frame& f, std::uint64_t stream, std::uint64_t idx) const;
+
+  std::shared_ptr<Transport> inner_;
+  std::shared_ptr<FaultPlan> plan_;
+  std::uint64_t out_id_;
+  std::uint64_t in_id_;
+
+  std::mutex out_mu_;  ///< serializes fault application on the send path
+  std::optional<Frame> held_;  ///< reorder: parked until the next send
+  std::uint64_t out_idx_ = 0;
+
+  std::mutex in_mu_;  ///< recv is single-consumer by contract, but be safe
+  std::optional<Frame> dup_in_;  ///< inbound duplicate awaiting redelivery
+  std::uint64_t in_idx_ = 0;
+
+  std::atomic<bool> killed_{false};
+
+  mutable std::mutex stats_mu_;
+  ChaosStats stats_;
+};
+
+}  // namespace bsk::net

@@ -1,5 +1,9 @@
 #include "net/remote_conduit.hpp"
 
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
 namespace bsk::net {
 
 support::ChannelStatus RemoteConduit::pop_wall(rt::Task& out,
@@ -38,19 +42,59 @@ support::ChannelStatus RemoteConduit::pop_wall(rt::Task& out,
   }
 }
 
+void RemoteWorkerNode::mark_hard_failed() const {
+  if (hard_failed_.exchange(true)) return;
+  {
+    std::scoped_lock lk(tp_mu_);
+    tp_->close();
+  }
+  if (opts_.on_hard_fail) opts_.on_hard_fail();
+}
+
+bool RemoteWorkerNode::failed() const {
+  if (hard_failed_.load(std::memory_order_relaxed)) return true;
+  const auto tp = transport_ptr();
+  if (!transport_sick(*tp)) return false;
+  if (!resumable()) {
+    mark_hard_failed();
+    return true;
+  }
+  // Transient-vs-crash: a sick connection starts (or continues) the grace
+  // window; only its expiry is a failure. The worker thread races to resume
+  // within the same window.
+  double expected = -1.0;
+  down_since_.compare_exchange_strong(expected, wall_now());
+  const double since = down_since_.load(std::memory_order_relaxed);
+  if (since >= 0.0 && wall_now() - since > opts_.reconnect_grace_wall_s) {
+    mark_hard_failed();
+    return true;
+  }
+  return false;
+}
+
 std::optional<rt::Task> RemoteWorkerNode::process(rt::Task t) {
+  link_.charge(t);
+  std::uint64_t seq;
   std::size_t in_flight;
+  Frame frame;
   {
     // Stage the recovery copy *before* anything can fail: whatever happens
     // from here on — send failure, peer death, a monitor declaring us
     // crashed mid-call — the task is reachable through drain_unacked().
     std::scoped_lock lk(mu_);
-    unacked_.push_back(t);
+    seq = ++next_seq_;
+    frame = make_task(t, FrameType::TaskMsg, seq);
+    unacked_.push_back(Pending{seq, std::move(t), wall_now()});
     in_flight = unacked_.size();
   }
-  if (failed() || !chan_.push(std::move(t))) {
-    failed_.store(true, std::memory_order_relaxed);
-    return std::nullopt;
+  if (hard_failed_.load(std::memory_order_relaxed)) return std::nullopt;
+  if (!transport_ptr()->send(frame)) {
+    // Send failure is a sick connection, not yet a crash: a successful
+    // resume replays the staged task along with everything else unacked.
+    if (!try_resume()) {
+      mark_hard_failed();
+      return std::nullopt;
+    }
   }
   // Credit-based pipelining: keep up to credit_window tasks on the wire
   // before insisting on a result, overlapping transfer with the peer's
@@ -63,35 +107,174 @@ std::optional<rt::Task> RemoteWorkerNode::process(rt::Task t) {
 }
 
 std::optional<rt::Task> RemoteWorkerNode::await_result() {
-  rt::Task r;
   for (;;) {
-    switch (chan_.pop_wall(r, opts_.result_poll_wall_s)) {
-      case support::ChannelStatus::Ok: {
-        std::scoped_lock lk(mu_);
-        if (unacked_.empty()) {
-          // A monitor drained the recovery deque and re-offered the tasks
-          // elsewhere; this result's task is being re-executed. Discard it
-          // to keep result emission exactly-once.
-          failed_.store(true, std::memory_order_relaxed);
-          return std::nullopt;
-        }
-        unacked_.pop_front();  // results arrive in send order (FIFO peer)
-        // A WorkerDone-kind reply means the peer's node filtered the task.
+    // Deliver the oldest task's result if it is already buffered (arrived
+    // out of order behind a reordering fault or a resume replay).
+    {
+      std::scoped_lock lk(mu_);
+      if (unacked_.empty()) {
+        // A monitor drained the recovery deque and re-offered the tasks
+        // elsewhere; whatever arrives now is being re-executed. Discard to
+        // keep result emission exactly-once.
+        mark_hard_failed();
+        return std::nullopt;
+      }
+      auto it = ready_.find(unacked_.front().seq);
+      if (it != ready_.end()) {
+        rt::Task r = std::move(it->second);
+        ready_.erase(it);
+        last_acked_ = unacked_.front().seq;
+        unacked_.pop_front();
         if (r.kind == rt::TaskKind::WorkerDone) return std::nullopt;
         return r;
       }
-      case support::ChannelStatus::Closed:
-        failed_.store(true, std::memory_order_relaxed);
-        return std::nullopt;
-      case support::ChannelStatus::TimedOut:
-        // Long-running task or dead peer? Heartbeats decide.
-        if (failed()) {
-          failed_.store(true, std::memory_order_relaxed);
+    }
+    if (hard_failed_.load(std::memory_order_relaxed)) return std::nullopt;
+
+    Frame f;
+    const auto tp = transport_ptr();
+    switch (tp->recv_for(f, opts_.result_poll_wall_s)) {
+      case RecvStatus::Ok: {
+        if (f.type == FrameType::SecureAck) {
+          tp->mark_secured();
+          continue;
+        }
+        if (f.type == FrameType::Shutdown) {
+          tp->close();
+          continue;  // next iteration sees the sick connection
+        }
+        if (f.type != FrameType::ResultMsg) continue;
+        auto parsed = parse_task_seq(f);
+        if (!parsed) continue;  // corrupt payload: graceful skip, protocol
+                                // recovers by retransmitting the oldest
+        const std::uint64_t seq = parsed->first;
+        rt::Task r = std::move(parsed->second);
+
+        std::scoped_lock lk(mu_);
+        if (unacked_.empty()) {
+          mark_hard_failed();
           return std::nullopt;
         }
-        break;
+        const Pending& front = unacked_.front();
+        if (seq == front.seq) {
+          // Corruption can garble a parseable frame; a result whose task id
+          // does not match the task we sent is poison, not an ack.
+          if (r.kind != rt::TaskKind::WorkerDone && r.id != front.task.id)
+            continue;
+          last_acked_ = seq;
+          unacked_.pop_front();
+          if (r.kind == rt::TaskKind::WorkerDone) return std::nullopt;
+          return r;
+        }
+        if (seq > front.seq) {
+          // Ahead of the oldest: buffer it against its own pending entry.
+          for (const Pending& p : unacked_) {
+            if (p.seq != seq) continue;
+            if (r.kind != rt::TaskKind::WorkerDone && r.id != p.task.id)
+              break;  // corrupt masquerade
+            ready_.emplace(seq, std::move(r));
+            break;
+          }
+          continue;
+        }
+        // Behind the oldest: already delivered once. Suppress.
+        dups_suppressed_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      case RecvStatus::Closed:
+        if (!try_resume()) {
+          mark_hard_failed();
+          return std::nullopt;
+        }
+        continue;
+      case RecvStatus::TimedOut: {
+        if (transport_sick(*tp)) {
+          if (!try_resume()) {
+            mark_hard_failed();
+            return std::nullopt;
+          }
+          continue;
+        }
+        // Connection healthy but the oldest task is silent: its TaskMsg or
+        // ResultMsg was lost. Retransmit (the peer dedups by seq).
+        if (opts_.retransmit_timeout_wall_s > 0.0) {
+          std::scoped_lock lk(mu_);
+          if (!unacked_.empty() &&
+              wall_now() - unacked_.front().last_sent >
+                  opts_.retransmit_timeout_wall_s) {
+            Pending& front = unacked_.front();
+            front.last_sent = wall_now();
+            tp->send(make_task(front.task, FrameType::TaskMsg, front.seq));
+            retransmits_.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+        continue;
+      }
     }
   }
+}
+
+bool RemoteWorkerNode::try_resume() {
+  if (!resumable()) return false;
+  double expected = -1.0;
+  down_since_.compare_exchange_strong(expected, wall_now());
+  double backoff = opts_.reconnect_backoff_wall_s;
+
+  while (!hard_failed_.load(std::memory_order_relaxed)) {
+    const double since = down_since_.load(std::memory_order_relaxed);
+    if (since < 0.0 || wall_now() - since > opts_.reconnect_grace_wall_s)
+      return false;  // grace window closed: crash semantics take over
+
+    if (auto fresh = opts_.reconnect(); fresh && !fresh->closed()) {
+      Hello h = opts_.hello;
+      h.resume_session = session_.load(std::memory_order_relaxed);
+      h.resume_epoch = epoch_.load(std::memory_order_relaxed);
+      std::vector<Frame> replay;
+      {
+        std::scoped_lock lk(mu_);
+        h.last_acked_seq = last_acked_;
+        replay.reserve(unacked_.size());
+        for (Pending& p : unacked_) {
+          p.last_sent = wall_now();
+          replay.push_back(make_task(p.task, FrameType::TaskMsg, p.seq));
+        }
+      }
+      HelloAck ack;
+      if (client_handshake(*fresh, h, opts_.handshake_timeout_wall_s, &ack)) {
+        bool was_secured;
+        {
+          std::scoped_lock lk(tp_mu_);
+          was_secured = tp_->secured();
+          tp_->close();
+          tp_ = fresh;
+          link_.set_transport(fresh);
+        }
+        session_.store(ack.session, std::memory_order_relaxed);
+        epoch_.store(ack.epoch, std::memory_order_relaxed);
+        if (ack.resumed) resumes_.fetch_add(1, std::memory_order_relaxed);
+        if (was_secured) {
+          // The security contract survives the blip: re-upgrade before any
+          // replayed task crosses the new connection.
+          fresh->send(Frame{FrameType::SecureReq, {}});
+          fresh->mark_secured();
+        }
+        // Replay everything unacked. The peer's seq dedup turns replays of
+        // already-executed tasks into cached-result resends, so this is
+        // safe whether the session resumed or restarted from scratch.
+        if (!replay.empty()) {
+          fresh->send_many(replay.data(), replay.size());
+          retransmits_.fetch_add(replay.size(), std::memory_order_relaxed);
+        }
+        down_since_.store(-1.0, std::memory_order_relaxed);
+        return true;
+      }
+      fresh->close();
+    }
+
+    std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+    backoff = std::min(backoff * 2.0, opts_.reconnect_backoff_max_wall_s);
+  }
+  return false;
 }
 
 std::optional<rt::Task> RemoteWorkerNode::flush() {
@@ -100,19 +283,21 @@ std::optional<rt::Task> RemoteWorkerNode::flush() {
       std::scoped_lock lk(mu_);
       if (unacked_.empty()) return std::nullopt;
     }
-    if (failed_.load(std::memory_order_relaxed)) return std::nullopt;
+    if (hard_failed_.load(std::memory_order_relaxed)) return std::nullopt;
     if (auto r = await_result()) return r;
-    // nullopt here is either a filtered task (keep draining) or a failure
-    // (failed_ is now set and the next iteration exits; the farm recovers
-    // the leftovers through drain_unacked()).
+    // nullopt here is either a filtered task (keep draining) or a hard
+    // failure (the next iteration exits; the farm recovers the leftovers
+    // through drain_unacked()).
   }
 }
 
 std::vector<rt::Task> RemoteWorkerNode::drain_unacked() {
   std::scoped_lock lk(mu_);
-  std::vector<rt::Task> out(std::make_move_iterator(unacked_.begin()),
-                            std::make_move_iterator(unacked_.end()));
+  std::vector<rt::Task> out;
+  out.reserve(unacked_.size());
+  for (Pending& p : unacked_) out.push_back(std::move(p.task));
   unacked_.clear();
+  ready_.clear();  // buffered results belong to tasks now re-offered elsewhere
   return out;
 }
 

@@ -37,6 +37,8 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
+#include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -62,6 +64,9 @@ class RemoteLink final : public rt::Link {
     }
     rt::Link::secure();  // idempotent; charges the simulated handshake
   }
+
+  /// Session resume re-targets the link at the replacement connection.
+  void set_transport(std::shared_ptr<Transport> tp) { tp_ = std::move(tp); }
 
  private:
   std::shared_ptr<Transport> tp_;
@@ -154,14 +159,53 @@ struct RemoteNodeOptions {
   /// overlap transfer with remote computation. Purely client-side: the peer
   /// executes its FIFO serially and results acknowledge in send order.
   std::size_t credit_window = 4;
+
+  // ------------------------------------------------- reconnect & resume
+  /// How long a sick connection (EOF or heartbeat silence) is treated as a
+  /// *transient partition* before the node hard-fails and the farm replaces
+  /// it. 0 disables resume entirely: any failure is a crash (PR-1
+  /// semantics). Requires `reconnect` to be set.
+  double reconnect_grace_wall_s = 0.0;
+  /// Exponential-backoff reconnect pacing inside the grace window.
+  double reconnect_backoff_wall_s = 0.05;
+  double reconnect_backoff_max_wall_s = 0.5;
+  /// Oldest unacked task is retransmitted after this silence (lost TaskMsg
+  /// or lost ResultMsg; the peer deduplicates by sequence number).
+  double retransmit_timeout_wall_s = 2.0;
+  double handshake_timeout_wall_s = 2.0;
+  /// Dial a replacement connection to the *same* endpoint. Returning
+  /// nullptr means "still unreachable" (the node backs off and retries
+  /// until the grace window closes).
+  std::function<std::shared_ptr<Transport>()> reconnect;
+  /// Handshake template for resume attempts (node kind, clock, heartbeat).
+  Hello hello;
+  /// Session identity from the initial HelloAck (resume presents it).
+  std::uint64_t session = 0;
+  std::uint32_t epoch = 0;
+  /// Fired exactly once when the node gives up (grace expired or resume
+  /// impossible) — the pool's quarantine bookkeeping hangs off this.
+  std::function<void()> on_hard_fail;
 };
 
 /// Farm worker whose computation lives in a peer process.
+///
+/// Reliability protocol: every task carries a session-scoped sequence
+/// number. The peer executes each sequence number at most once (duplicates
+/// get the cached result resent), so this side may retransmit freely: the
+/// oldest unacknowledged task is resent after retransmit_timeout, and a
+/// successful resume replays everything unacknowledged. Results may arrive
+/// out of order (reordering faults, resume replays) — they are buffered and
+/// surfaced strictly oldest-first, duplicates suppressed, so delivery stays
+/// exactly-once no matter what the wire does.
 class RemoteWorkerNode final : public rt::Node {
  public:
   explicit RemoteWorkerNode(std::shared_ptr<Transport> tp,
                             RemoteNodeOptions opts = {})
-      : tp_(std::move(tp)), opts_(opts), chan_(tp_) {}
+      : tp_(std::move(tp)),
+        opts_(std::move(opts)),
+        link_(tp_),
+        session_(opts_.session),
+        epoch_(opts_.epoch) {}
 
   std::optional<rt::Task> process(rt::Task t) override;
 
@@ -178,40 +222,89 @@ class RemoteWorkerNode final : public rt::Node {
     return unacked_.size();
   }
 
-  bool failed() const override {
-    if (failed_.load(std::memory_order_relaxed)) return true;
-    if (tp_->closed()) return true;
-    return opts_.liveness_timeout_wall_s > 0.0 &&
-           tp_->idle_seconds() > opts_.liveness_timeout_wall_s;
-  }
+  /// Crash predicate the farm's failure detector polls. A sick connection
+  /// inside the reconnect grace window is NOT a failure — reporting one
+  /// would recruit a replacement for a worker about to resume.
+  bool failed() const override;
 
   std::size_t secure_channels() override {
-    if (tp_->secured()) return 0;
-    chan_.link().secure();
+    auto tp = transport_ptr();
+    if (tp->secured()) return 0;
+    link_.secure();
     return 1;
   }
 
   void on_stop() override {
-    if (!tp_->closed()) chan_.close();  // Shutdown + transport close
+    auto tp = transport_ptr();
+    if (!tp->closed()) {
+      tp->send(Frame{FrameType::Shutdown, {}});
+      tp->close();
+    }
   }
 
-  Transport& transport() { return *tp_; }
+  Transport& transport() { return *transport_ptr(); }
+
+  // ------------------------------------------------------ chaos telemetry
+  std::uint64_t resumes() const { return resumes_.load(); }
+  std::uint64_t retransmits() const { return retransmits_.load(); }
+  std::uint64_t duplicates_suppressed() const { return dups_suppressed_.load(); }
+  std::uint64_t session() const { return session_.load(); }
+  std::uint32_t epoch() const { return epoch_.load(); }
 
  private:
-  /// Wait for one result frame and acknowledge the oldest in-flight task.
-  /// nullopt when the peer filtered that task, the connection died, or a
-  /// monitor drained the recovery deque out from under us (the result is
-  /// then discarded: its task is being re-executed elsewhere).
+  /// Wait for (and deliver) the result of the oldest in-flight task.
+  /// nullopt when the peer filtered that task, the connection hard-failed,
+  /// or a monitor drained the recovery deque out from under us (the result
+  /// is then discarded: its task is being re-executed elsewhere).
   std::optional<rt::Task> await_result();
 
+  /// Reconnect-with-backoff inside the grace window, resume the session,
+  /// and replay everything unacked. False once the window closes.
+  bool try_resume();
+
+  std::shared_ptr<Transport> transport_ptr() const {
+    std::scoped_lock lk(tp_mu_);
+    return tp_;
+  }
+  bool transport_sick(const Transport& tp) const {
+    return tp.closed() || (opts_.liveness_timeout_wall_s > 0.0 &&
+                           tp.idle_seconds() > opts_.liveness_timeout_wall_s);
+  }
+  bool resumable() const {
+    return opts_.reconnect && opts_.reconnect_grace_wall_s > 0.0;
+  }
+  /// Terminal failure: close, fire on_hard_fail once.
+  void mark_hard_failed() const;
+
+  mutable std::mutex tp_mu_;  ///< guards the tp_ swap on resume
   std::shared_ptr<Transport> tp_;
   RemoteNodeOptions opts_;
-  RemoteConduit chan_;
-  std::atomic<bool> failed_{false};
-  /// Recovery copies of sent-but-unanswered tasks, oldest first. Results
-  /// acknowledge front-to-back (the peer is a serial FIFO executor).
+  RemoteLink link_;
+
+  mutable std::atomic<bool> hard_failed_{false};
+  /// Wall time the connection was first seen sick (-1 = healthy). The grace
+  /// window is measured from here by both the worker thread (resume loop)
+  /// and the farm's failure detector (failed()).
+  mutable std::atomic<double> down_since_{-1.0};
+
+  /// Recovery copies of sent-but-unanswered tasks, oldest first, plus
+  /// results that arrived ahead of the oldest (reordered or replayed).
+  struct Pending {
+    std::uint64_t seq = 0;
+    rt::Task task;
+    double last_sent = 0.0;
+  };
   mutable std::mutex mu_;
-  std::deque<rt::Task> unacked_;
+  std::deque<Pending> unacked_;
+  std::map<std::uint64_t, rt::Task> ready_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t last_acked_ = 0;
+
+  std::atomic<std::uint64_t> session_{0};
+  std::atomic<std::uint32_t> epoch_{0};
+  std::atomic<std::uint64_t> resumes_{0};
+  std::atomic<std::uint64_t> retransmits_{0};
+  std::atomic<std::uint64_t> dups_suppressed_{0};
 };
 
 // ------------------------------------------------------------- handshake

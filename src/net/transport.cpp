@@ -268,7 +268,10 @@ void TcpTransport::io_loop() {
               break;
             }
           }
-          if (decoder_.error()) dead = true;  // corrupt stream
+          if (decoder_.error() != DecodeError::None) {
+            decode_error_.store(decoder_.error(), std::memory_order_relaxed);
+            dead = true;  // corrupt stream: framing is untrustworthy
+          }
           if (dead) break;
           continue;
         }
@@ -284,8 +287,10 @@ void TcpTransport::io_loop() {
     }
 
     if (!dead && want_write && (fds[0].revents & POLLOUT)) {
-      const ssize_t n = ::write(fd_, pending.data() + pending_off,
-                                pending.size() - pending_off);
+      // MSG_NOSIGNAL: a peer that vanished mid-write must surface as EPIPE
+      // on this call, never as a process-killing SIGPIPE.
+      const ssize_t n = ::send(fd_, pending.data() + pending_off,
+                               pending.size() - pending_off, MSG_NOSIGNAL);
       if (n > 0) {
         pending_off += static_cast<std::size_t>(n);
         bytes_sent_.fetch_add(static_cast<std::uint64_t>(n),

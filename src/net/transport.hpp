@@ -171,6 +171,12 @@ class TcpTransport final : public Transport {
   double idle_seconds() const override;
   TransportStats stats() const override;
 
+  /// Why the inbound stream died, if it died to corruption (None while the
+  /// connection is healthy or was closed cleanly).
+  DecodeError decode_error() const {
+    return decode_error_.load(std::memory_order_relaxed);
+  }
+
  private:
   void io_loop();
   void wake();
@@ -187,6 +193,7 @@ class TcpTransport final : public Transport {
   support::Channel<Frame> inbound_;
 
   std::atomic<bool> closed_{false};
+  std::atomic<DecodeError> decode_error_{DecodeError::None};
   std::atomic<double> last_rx_wall_{0.0};
   std::atomic<std::uint64_t> frames_sent_{0};
   std::atomic<std::uint64_t> frames_received_{0};

@@ -1,5 +1,6 @@
 #include "net/wire.hpp"
 
+#include <array>
 #include <bit>
 #include <cstring>
 
@@ -73,6 +74,43 @@ std::string Reader::str() {
 
 // ----------------------------------------------------------------- framing
 
+namespace {
+
+// CRC-32 lookup table (IEEE 802.3 reflected polynomial 0xEDB88320),
+// generated once at first use.
+const std::uint32_t* crc32_table() {
+  static const auto table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k)
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : (c >> 1);
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table.data();
+}
+
+}  // namespace
+
+std::uint32_t crc32(const std::uint8_t* p, std::size_t n, std::uint32_t seed) {
+  const std::uint32_t* t = crc32_table();
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < n; ++i) c = t[(c ^ p[i]) & 0xFF] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+const char* decode_error_name(DecodeError e) {
+  switch (e) {
+    case DecodeError::None: return "none";
+    case DecodeError::ZeroLength: return "zero-length frame";
+    case DecodeError::Oversize: return "oversize frame";
+    case DecodeError::BadCrc: return "crc mismatch";
+  }
+  return "unknown";
+}
+
 std::vector<std::uint8_t> encode_frame(const Frame& f) {
   std::vector<std::uint8_t> out;
   encode_frame_into(f, out);
@@ -81,10 +119,17 @@ std::vector<std::uint8_t> encode_frame(const Frame& f) {
 
 void encode_frame_into(const Frame& f, std::vector<std::uint8_t>& out) {
   const std::uint32_t len = static_cast<std::uint32_t>(f.payload.size() + 1);
-  out.reserve(out.size() + 4 + len);
+  out.reserve(out.size() + 8 + len);
   for (int i = 0; i < 4; ++i)
     out.push_back(static_cast<std::uint8_t>(len >> (8 * i)));
-  out.push_back(static_cast<std::uint8_t>(f.type));
+  // CRC covers type byte + payload: compute over the payload with the type
+  // byte folded in as a one-byte prefix.
+  const std::uint8_t type = static_cast<std::uint8_t>(f.type);
+  std::uint32_t crc = crc32(&type, 1);
+  crc = crc32(f.payload.data(), f.payload.size(), crc);
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<std::uint8_t>(crc >> (8 * i)));
+  out.push_back(type);
   out.insert(out.end(), f.payload.begin(), f.payload.end());
 }
 
@@ -98,22 +143,32 @@ void FrameDecoder::feed(const std::uint8_t* p, std::size_t n) {
 }
 
 std::optional<Frame> FrameDecoder::next() {
-  if (error_) return std::nullopt;
+  if (error_ != DecodeError::None) return std::nullopt;
   const std::size_t avail = buf_.size() - pos_;
-  if (avail < 4) return std::nullopt;
-  std::uint32_t len = 0;
+  if (avail < 8) return std::nullopt;
+  std::uint32_t len = 0, want_crc = 0;
   for (int i = 0; i < 4; ++i)
     len |= static_cast<std::uint32_t>(buf_[pos_ + i]) << (8 * i);
-  if (len == 0 || len > max_frame_) {
-    error_ = true;  // corrupt or hostile stream; the connection must die
+  for (int i = 0; i < 4; ++i)
+    want_crc |= static_cast<std::uint32_t>(buf_[pos_ + 4 + i]) << (8 * i);
+  if (len == 0) {
+    error_ = DecodeError::ZeroLength;
     return std::nullopt;
   }
-  if (avail < 4 + static_cast<std::size_t>(len)) return std::nullopt;
+  if (len > max_frame_) {
+    error_ = DecodeError::Oversize;
+    return std::nullopt;
+  }
+  if (avail < 8 + static_cast<std::size_t>(len)) return std::nullopt;
+  if (crc32(buf_.data() + pos_ + 8, len) != want_crc) {
+    error_ = DecodeError::BadCrc;
+    return std::nullopt;
+  }
   Frame f;
-  f.type = static_cast<FrameType>(buf_[pos_ + 4]);
-  f.payload.assign(buf_.begin() + static_cast<std::ptrdiff_t>(pos_ + 5),
-                   buf_.begin() + static_cast<std::ptrdiff_t>(pos_ + 4 + len));
-  pos_ += 4 + len;
+  f.type = static_cast<FrameType>(buf_[pos_ + 8]);
+  f.payload.assign(buf_.begin() + static_cast<std::ptrdiff_t>(pos_ + 9),
+                   buf_.begin() + static_cast<std::ptrdiff_t>(pos_ + 8 + len));
+  pos_ += 8 + len;
   return f;
 }
 
@@ -246,6 +301,9 @@ Frame make_hello(const Hello& h) {
   w.str(h.node_kind);
   w.f64(h.clock_scale);
   w.f64(h.heartbeat_wall_s);
+  w.u64(h.resume_session);
+  w.u32(h.resume_epoch);
+  w.u64(h.last_acked_seq);
   return Frame{FrameType::Hello, w.take()};
 }
 
@@ -259,6 +317,9 @@ std::optional<Hello> parse_hello(const Frame& f) {
   h.node_kind = r.str();
   h.clock_scale = r.f64();
   h.heartbeat_wall_s = r.f64();
+  h.resume_session = r.u64();
+  h.resume_epoch = r.u32();
+  h.last_acked_seq = r.u64();
   if (!r.ok() || h.magic != kMagic) return std::nullopt;
   return h;
 }
@@ -268,6 +329,8 @@ Frame make_hello_ack(const HelloAck& a) {
   w.u16(a.version);
   w.u64(a.session);
   w.u8(a.ok ? 1 : 0);
+  w.u32(a.epoch);
+  w.u8(a.resumed ? 1 : 0);
   return Frame{FrameType::HelloAck, w.take()};
 }
 
@@ -278,6 +341,8 @@ std::optional<HelloAck> parse_hello_ack(const Frame& f) {
   a.version = r.u16();
   a.session = r.u64();
   a.ok = r.u8() != 0;
+  a.epoch = r.u32();
+  a.resumed = r.u8() != 0;
   if (!r.ok()) return std::nullopt;
   return a;
 }
@@ -299,19 +364,27 @@ std::optional<HeartbeatMsg> parse_heartbeat(const Frame& f) {
   return hb;
 }
 
-Frame make_task(const rt::Task& t, FrameType type) {
+Frame make_task(const rt::Task& t, FrameType type, std::uint64_t seq) {
   wire::Writer w;
+  w.u64(seq);
   put_task(w, t);
   return Frame{type, w.take()};
 }
 
 std::optional<rt::Task> parse_task(const Frame& f) {
+  if (auto p = parse_task_seq(f)) return std::move(p->second);
+  return std::nullopt;
+}
+
+std::optional<std::pair<std::uint64_t, rt::Task>> parse_task_seq(
+    const Frame& f) {
   if (f.type != FrameType::TaskMsg && f.type != FrameType::ResultMsg)
     return std::nullopt;
   wire::Reader r(f.payload);
+  const std::uint64_t seq = r.u64();
   rt::Task t;
   if (!get_task(r, t)) return std::nullopt;
-  return t;
+  return std::make_pair(seq, std::move(t));
 }
 
 Frame make_sensor_req(std::uint32_t seq) {

@@ -3,14 +3,20 @@
 //
 // Everything that crosses a process boundary — stream tasks, sensor
 // snapshots, actuator commands, heartbeats, the connection handshake — is
-// carried in a Frame: on the wire `[u32 length][u8 type][payload]` with the
-// length counting the type byte plus the payload, all little-endian. The
-// Writer/Reader pair is a plain byte-buffer serializer (no reflection, no
-// allocation tricks); FrameDecoder incrementally re-frames an arbitrary
-// byte stream, which is what the TCP transport feeds it.
+// carried in a Frame: on the wire `[u32 length][u32 crc][u8 type][payload]`
+// with the length counting the type byte plus the payload (not the crc),
+// all little-endian. The crc is CRC-32 over type byte + payload, so a
+// flipped bit anywhere in a frame is caught at re-framing time instead of
+// surfacing as garbage task state. The Writer/Reader pair is a plain
+// byte-buffer serializer (no reflection, no allocation tricks);
+// FrameDecoder incrementally re-frames an arbitrary byte stream, which is
+// what the TCP transport feeds it — on corruption it stops with a typed
+// DecodeError (the stream past a bad frame is unrecoverable: lengths can no
+// longer be trusted), and the transport reports the connection dead.
 //
-// Protocol version 1. A peer speaking a different major version is refused
-// at handshake time (HelloAck carries the server's version).
+// Protocol version 2 (v1 had no frame checksum). A peer speaking a
+// different version is refused at handshake time (HelloAck carries the
+// server's version).
 
 #include <cstdint>
 #include <optional>
@@ -23,8 +29,12 @@
 namespace bsk::net {
 
 inline constexpr std::uint32_t kMagic = 0x424b5344;  // "BKSD"
-inline constexpr std::uint16_t kProtocolVersion = 1;
+inline constexpr std::uint16_t kProtocolVersion = 2;
 inline constexpr std::size_t kDefaultMaxFrame = 16u << 20;  // 16 MiB
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected) over `n` bytes.
+std::uint32_t crc32(const std::uint8_t* p, std::size_t n,
+                    std::uint32_t seed = 0);
 
 /// Frame discriminator — the first payload byte after the length prefix.
 enum class FrameType : std::uint8_t {
@@ -114,6 +124,19 @@ std::vector<std::uint8_t> encode_frame(const Frame& f);
 /// one buffer this way.
 void encode_frame_into(const Frame& f, std::vector<std::uint8_t>& out);
 
+/// Why a byte stream stopped decoding. A non-None error is terminal: once
+/// framing is untrustworthy the connection must die (gracefully — the
+/// transport surfaces Closed, never undefined behavior).
+enum class DecodeError : std::uint8_t {
+  None = 0,
+  ZeroLength,  ///< length prefix of 0: not a legal frame
+  Oversize,    ///< length prefix exceeds max_frame (corrupt or hostile)
+  BadCrc,      ///< checksum mismatch: payload bytes were damaged in flight
+};
+
+/// Human-readable DecodeError name (logs and test failure messages).
+const char* decode_error_name(DecodeError e);
+
 /// Incremental frame parser over an arbitrary byte stream.
 class FrameDecoder {
  public:
@@ -123,18 +146,18 @@ class FrameDecoder {
   /// Append raw bytes received from the wire.
   void feed(const std::uint8_t* p, std::size_t n);
 
-  /// Extract the next complete frame, if any. Sets error() on a frame
-  /// exceeding max_frame (a corrupt or hostile stream).
+  /// Extract the next complete frame, if any. Sets error() on a corrupt
+  /// stream (bad length prefix or checksum mismatch).
   std::optional<Frame> next();
 
-  bool error() const { return error_; }
+  DecodeError error() const { return error_; }
   std::size_t buffered() const { return buf_.size() - pos_; }
 
  private:
   std::size_t max_frame_;
   std::vector<std::uint8_t> buf_;
   std::size_t pos_ = 0;  // consumed prefix, compacted lazily
-  bool error_ = false;
+  DecodeError error_ = DecodeError::None;
 };
 
 // --------------------------------------------------------------- messages
@@ -150,12 +173,27 @@ struct Hello {
   std::string node_kind;  ///< worker node to instantiate ("sim", "echo", ...)
   double clock_scale = 1.0;
   double heartbeat_wall_s = 0.25;
+  /// Session resume (reconnect after a transient partition). 0 = fresh
+  /// session; otherwise the session id from the previous HelloAck. The
+  /// epoch fences stale reconnect attempts, and last_acked_seq lets the
+  /// server prune its result cache of everything the client already holds.
+  std::uint64_t resume_session = 0;
+  std::uint32_t resume_epoch = 0;
+  std::uint64_t last_acked_seq = 0;
 };
 
 struct HelloAck {
   std::uint16_t version = kProtocolVersion;
   std::uint64_t session = 0;
   bool ok = true;
+  /// Incremented each time the session is (re)attached; a reconnecting
+  /// client presents the epoch it saw so a zombie connection from a prior
+  /// attach is fenced off.
+  std::uint32_t epoch = 0;
+  /// True when resume_session was recognized and worker state survives;
+  /// false means the server started a fresh session (client must replay
+  /// every unacked task).
+  bool resumed = false;
 };
 
 struct HeartbeatMsg {
@@ -197,8 +235,14 @@ std::optional<HelloAck> parse_hello_ack(const Frame& f);
 Frame make_heartbeat(const HeartbeatMsg& hb);
 std::optional<HeartbeatMsg> parse_heartbeat(const Frame& f);
 
-Frame make_task(const rt::Task& t, FrameType type = FrameType::TaskMsg);
+/// Task frames carry a u64 sequence number ahead of the task body. seq 0 is
+/// the legacy unsequenced path (RemoteConduit, broadcast); nonzero seqs are
+/// what the reliability layer deduplicates on under duplication/replay.
+Frame make_task(const rt::Task& t, FrameType type = FrameType::TaskMsg,
+                std::uint64_t seq = 0);
 std::optional<rt::Task> parse_task(const Frame& f);
+std::optional<std::pair<std::uint64_t, rt::Task>> parse_task_seq(
+    const Frame& f);
 
 Frame make_sensor_req(std::uint32_t seq);
 std::optional<std::uint32_t> parse_sensor_req(const Frame& f);

@@ -13,44 +13,153 @@
 
 namespace bsk::net {
 
+namespace {
+
+std::string endpoint_key(const Endpoint& ep) {
+  return ep.host + ":" + std::to_string(ep.port);
+}
+
+}  // namespace
+
 WorkerPool::WorkerPool(std::vector<Endpoint> endpoints, WorkerPoolOptions opts)
     : endpoints_(std::move(endpoints)), opts_(std::move(opts)) {
   if (!opts_.local_fallback)
     opts_.local_fallback = [] { return std::make_unique<rt::SimComputeNode>(); };
+  if (opts_.chaos)
+    plan_ = std::make_shared<FaultPlan>(opts_.chaos_seed, *opts_.chaos);
 }
 
 WorkerPool::~WorkerPool() { stop_watch(); }
 
-std::shared_ptr<Transport> WorkerPool::connect_one() {
+Hello WorkerPool::hello_template() const {
+  Hello hello;
+  hello.role = 0;
+  hello.node_kind = opts_.node_kind;
+  hello.clock_scale = support::Clock::scale();
+  hello.heartbeat_wall_s = opts_.heartbeat_wall_s;
+  return hello;
+}
+
+std::shared_ptr<Transport> WorkerPool::wrap(std::shared_ptr<Transport> tp,
+                                            const std::string& stream) {
+  if (!plan_) return tp;
+  auto inj = std::make_shared<FaultInjector>(std::move(tp), plan_, stream);
+  {
+    std::scoped_lock lk(mu_);
+    injectors_.push_back(inj);
+  }
+  return inj;
+}
+
+bool WorkerPool::quarantined(const Endpoint& ep) const {
+  std::scoped_lock lk(mu_);
+  auto it = quarantine_.find(endpoint_key(ep));
+  return it != quarantine_.end() && it->second.until > wall_now();
+}
+
+void WorkerPool::note_endpoint_failure(const Endpoint& ep) {
+  endpoint_failures_.fetch_add(1, std::memory_order_relaxed);
+  if (opts_.quarantine_threshold == 0) return;
+  const double now = wall_now();
+  std::scoped_lock lk(mu_);
+  Quarantine& q = quarantine_[endpoint_key(ep)];
+  q.failures.push_back(now);
+  while (!q.failures.empty() &&
+         now - q.failures.front() > opts_.quarantine_window_wall_s)
+    q.failures.pop_front();
+  if (q.failures.size() >= opts_.quarantine_threshold)
+    q.until = now + opts_.quarantine_wall_s;
+}
+
+std::size_t WorkerPool::quarantined_count() const {
+  const double now = wall_now();
+  std::scoped_lock lk(mu_);
+  std::size_t n = 0;
+  for (const auto& [key, q] : quarantine_)
+    if (q.until > now) ++n;
+  return n;
+}
+
+ChaosStats WorkerPool::chaos_stats() const {
+  ChaosStats sum;
+  std::scoped_lock lk(mu_);
+  for (const auto& inj : injectors_) {
+    const ChaosStats s = inj->chaos_stats();
+    sum.frames_seen += s.frames_seen;
+    sum.dropped += s.dropped;
+    sum.duplicated += s.duplicated;
+    sum.reordered += s.reordered;
+    sum.corrupted += s.corrupted;
+    sum.delayed += s.delayed;
+    sum.blocked_outbound += s.blocked_outbound;
+    sum.stalled_inbound += s.stalled_inbound;
+    sum.kills += s.kills;
+  }
+  return sum;
+}
+
+std::optional<WorkerPool::Connected> WorkerPool::connect_one() {
   const std::size_t n = endpoints_.size();
   for (std::size_t i = 0; i < n; ++i) {
     Endpoint ep;
+    std::string stream;
     {
       std::scoped_lock lk(mu_);
       ep = endpoints_[rr_ % n];
       rr_ = (rr_ + 1) % n;
+      stream = "w" + std::to_string(conn_count_);
     }
-    auto tp = TcpTransport::connect(ep.host, ep.port, opts_.tcp);
-    if (!tp) continue;
+    if (quarantined(ep)) continue;  // flapping endpoint: stop re-recruiting
+    auto raw = TcpTransport::connect(ep.host, ep.port, opts_.tcp);
+    if (!raw) continue;
+    {
+      std::scoped_lock lk(mu_);
+      ++conn_count_;
+    }
 
-    Hello hello;
-    hello.role = 0;
-    hello.node_kind = opts_.node_kind;
-    hello.clock_scale = support::Clock::scale();
-    hello.heartbeat_wall_s = opts_.heartbeat_wall_s;
-    std::shared_ptr<Transport> shared{std::move(tp)};
-    if (client_handshake(*shared, hello, opts_.handshake_timeout_wall_s))
-      return shared;
-    shared->close();
+    // Wrap before the handshake: once chaos is on, *every* frame of the
+    // session — Hello included — crosses the injector.
+    std::shared_ptr<Transport> tp = wrap(std::move(raw), stream);
+    HelloAck ack;
+    if (client_handshake(*tp, hello_template(),
+                         opts_.handshake_timeout_wall_s, &ack))
+      return Connected{std::move(tp), ack, ep, stream};
+    tp->close();
   }
-  return nullptr;
+  return std::nullopt;
 }
 
 std::unique_ptr<rt::Node> WorkerPool::make_node() {
   if (!endpoints_.empty()) {
-    if (auto tp = connect_one()) {
+    if (auto c = connect_one()) {
       remote_created_.fetch_add(1, std::memory_order_relaxed);
-      return std::make_unique<RemoteWorkerNode>(std::move(tp), opts_.node);
+      RemoteNodeOptions nopts = opts_.node;
+      nopts.hello = hello_template();
+      nopts.session = c->ack.session;
+      nopts.epoch = c->ack.epoch;
+      nopts.handshake_timeout_wall_s = opts_.handshake_timeout_wall_s;
+      const Endpoint ep = c->ep;
+      nopts.on_hard_fail = [this, ep] { note_endpoint_failure(ep); };
+      if (nopts.reconnect_grace_wall_s > 0.0) {
+        // Resume stays pinned to the endpoint that owns the session. One
+        // connect attempt per call — the node paces retries with its own
+        // backoff inside the grace window. While the fault plan has an
+        // open partition, the "network" is down: dialing must fail.
+        const std::string stream = c->stream;
+        TcpOptions one_shot = opts_.tcp;
+        one_shot.connect_retries = 0;
+        nopts.reconnect = [this, ep, stream,
+                           one_shot]() -> std::shared_ptr<Transport> {
+          if (plan_ && (plan_->partition_elapsed(true) ||
+                        plan_->partition_elapsed(false)))
+            return nullptr;
+          auto raw = TcpTransport::connect(ep.host, ep.port, one_shot);
+          if (!raw) return nullptr;
+          return wrap(std::move(raw), stream);
+        };
+      }
+      return std::make_unique<RemoteWorkerNode>(std::move(c->tp),
+                                                std::move(nopts));
     }
   }
   fallback_created_.fetch_add(1, std::memory_order_relaxed);
@@ -82,23 +191,38 @@ void WorkerPool::stop_watch() {
 
 // --------------------------------------------------------- bskd processes
 
-BskdProcess spawn_bskd(const std::string& exe_path, double wait_wall_s) {
+BskdProcess spawn_bskd(const std::string& exe_path, double wait_wall_s,
+                       const std::vector<std::string>& extra_args) {
   BskdProcess out;
 
-  char tmpl[] = "/tmp/bskd_port_XXXXXX";
-  const int tmp_fd = ::mkstemp(tmpl);
-  if (tmp_fd < 0) return out;
-  ::close(tmp_fd);
-  const std::string port_file = tmpl;
+  // Per-run private directory under $TMPDIR (not a predictable /tmp name):
+  // parallel CI jobs each get their own, and nobody can pre-create or race
+  // the port file.
+  const char* tmpdir = std::getenv("TMPDIR");
+  std::string dir_tmpl = (tmpdir && *tmpdir) ? tmpdir : "/tmp";
+  if (dir_tmpl.back() == '/') dir_tmpl.pop_back();
+  dir_tmpl += "/bskd.XXXXXX";
+  std::vector<char> dir_buf(dir_tmpl.begin(), dir_tmpl.end());
+  dir_buf.push_back('\0');
+  if (::mkdtemp(dir_buf.data()) == nullptr) return out;
+  const std::string run_dir = dir_buf.data();
+  const std::string port_file = run_dir + "/port";
 
   const pid_t pid = ::fork();
   if (pid < 0) {
-    ::unlink(port_file.c_str());
+    ::rmdir(run_dir.c_str());
     return out;
   }
   if (pid == 0) {
-    ::execl(exe_path.c_str(), exe_path.c_str(), "--port", "0", "--port-file",
-            port_file.c_str(), static_cast<char*>(nullptr));
+    std::vector<const char*> argv;
+    argv.push_back(exe_path.c_str());
+    argv.push_back("--port");
+    argv.push_back("0");
+    argv.push_back("--port-file");
+    argv.push_back(port_file.c_str());
+    for (const std::string& a : extra_args) argv.push_back(a.c_str());
+    argv.push_back(nullptr);
+    ::execv(exe_path.c_str(), const_cast<char* const*>(argv.data()));
     ::_exit(127);  // exec failed
   }
 
@@ -121,6 +245,7 @@ BskdProcess spawn_bskd(const std::string& exe_path, double wait_wall_s) {
     std::this_thread::sleep_for(std::chrono::milliseconds(10));
   }
   ::unlink(port_file.c_str());
+  ::rmdir(run_dir.c_str());
 
   if (!out.valid() && out.pid > 0) {
     ::kill(out.pid, SIGKILL);

@@ -9,6 +9,27 @@
 // autonomic manager's ADD_EXECUTOR always succeeds and a farm whose whole
 // bskd fleet died still finishes its stream on local replacements.
 //
+// Robustness plumbing added by the chaos layer:
+//
+//   Resume — when RemoteNodeOptions::reconnect_grace_wall_s > 0 the pool
+//     arms each node with a reconnect callback pinned to its endpoint, so a
+//     transient partition re-attaches the *same* bskd session (epoch-fenced
+//     resume handshake, unacked tasks replayed) instead of recruiting a
+//     replacement.
+//
+//   Quarantine — an endpoint whose nodes hard-fail `quarantine_threshold`
+//     times within `quarantine_window_wall_s` is skipped for
+//     `quarantine_wall_s`: a flapping daemon stops being re-recruited
+//     instead of thrashing the farm with doomed replacements. When every
+//     endpoint is quarantined, make_node() reports recruit failure through
+//     the local fallback path the manager observes.
+//
+//   Chaos — when `chaos` is set, every connection (initial and reconnect)
+//     is wrapped in a FaultInjector sharing one seeded FaultPlan, so a
+//     whole farm's fault schedule is reproducible from a single seed.
+//     Reconnect attempts made while the plan has an open partition fail,
+//     exactly as they would against a real network hole.
+//
 // start_watch() runs the failure detector: a wall-clock thread that calls
 // Farm::fail_crashed_workers() — the farm recovers queued/in-flight tasks
 // and bumps failures(), which FarmAbc::sense() converts into the
@@ -22,6 +43,8 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -29,6 +52,7 @@
 #include <thread>
 #include <vector>
 
+#include "net/chaos.hpp"
 #include "net/remote_conduit.hpp"
 #include "rt/farm.hpp"
 #include "rt/node.hpp"
@@ -45,9 +69,20 @@ struct WorkerPoolOptions {
   double heartbeat_wall_s = 0.05;      ///< requested peer heartbeat period
   double handshake_timeout_wall_s = 2.0;
   TcpOptions tcp;                      ///< connect timeout / retry budget
-  RemoteNodeOptions node;  ///< liveness detector + credit-window tuning
+  RemoteNodeOptions node;  ///< liveness detector + credit-window + resume
   /// Node built when no endpoint is reachable (default: SimComputeNode).
   rt::NodeFactory local_fallback;
+
+  /// Quarantine: hard failures per endpoint within the window before the
+  /// pool stops re-recruiting it; 0 disables quarantine.
+  std::size_t quarantine_threshold = 3;
+  double quarantine_window_wall_s = 10.0;
+  double quarantine_wall_s = 30.0;
+
+  /// Fault injection: when set, every connection is wrapped in a
+  /// FaultInjector over one shared FaultPlan seeded with chaos_seed.
+  std::optional<ChaosSpec> chaos;
+  std::uint64_t chaos_seed = 1;
 };
 
 class WorkerPool {
@@ -63,7 +98,7 @@ class WorkerPool {
   rt::NodeFactory factory();
 
   /// Build one node now: a RemoteWorkerNode on the first reachable
-  /// endpoint, else the local fallback.
+  /// non-quarantined endpoint, else the local fallback.
   std::unique_ptr<rt::Node> make_node();
 
   /// Start the crash detector against `farm` (idempotent).
@@ -77,16 +112,50 @@ class WorkerPool {
   /// Total workers the watch thread has declared crashed.
   std::size_t crashes_detected() const { return crashes_.load(); }
 
+  /// Endpoints currently refused by the quarantine.
+  std::size_t quarantined_count() const;
+  /// Hard failures recorded against endpoints (quarantine input).
+  std::size_t endpoint_failures() const { return endpoint_failures_.load(); }
+
+  /// The shared fault plan (null when chaos is off).
+  const std::shared_ptr<FaultPlan>& fault_plan() const { return plan_; }
+  /// Aggregate of what every injector did (zeroes when chaos is off).
+  ChaosStats chaos_stats() const;
+
  private:
-  std::shared_ptr<Transport> connect_one();
+  struct Connected {
+    std::shared_ptr<Transport> tp;
+    HelloAck ack;
+    Endpoint ep;
+    std::string stream;
+  };
+
+  std::optional<Connected> connect_one();
+  Hello hello_template() const;
+  /// Wrap a raw transport in this pool's FaultInjector (no-op sans chaos).
+  std::shared_ptr<Transport> wrap(std::shared_ptr<Transport> tp,
+                                  const std::string& stream);
+  void note_endpoint_failure(const Endpoint& ep);
+  bool quarantined(const Endpoint& ep) const;
 
   std::vector<Endpoint> endpoints_;
   WorkerPoolOptions opts_;
-  std::mutex mu_;  // guards rr_
+  std::shared_ptr<FaultPlan> plan_;
+
+  mutable std::mutex mu_;  // guards rr_, conn_count_, quarantine_, injectors_
   std::size_t rr_ = 0;
+  std::size_t conn_count_ = 0;  // names chaos streams "w0", "w1", ...
+  struct Quarantine {
+    std::deque<double> failures;  // wall times of recent hard failures
+    double until = -1.0;
+  };
+  std::map<std::string, Quarantine> quarantine_;
+  std::vector<std::shared_ptr<FaultInjector>> injectors_;
+
   std::atomic<std::size_t> remote_created_{0};
   std::atomic<std::size_t> fallback_created_{0};
   std::atomic<std::size_t> crashes_{0};
+  std::atomic<std::size_t> endpoint_failures_{0};
   std::jthread watch_;
 };
 
@@ -101,8 +170,10 @@ struct BskdProcess {
 
 /// fork/exec `exe_path` on an ephemeral loopback port and wait (up to
 /// `wait_wall_s`) for the daemon to report the bound port. Returns an
-/// invalid BskdProcess on failure (the child, if any, is reaped).
-BskdProcess spawn_bskd(const std::string& exe_path, double wait_wall_s = 5.0);
+/// invalid BskdProcess on failure (the child, if any, is reaped). Extra
+/// daemon arguments (e.g. "--session-linger", "1") go in `extra_args`.
+BskdProcess spawn_bskd(const std::string& exe_path, double wait_wall_s = 5.0,
+                       const std::vector<std::string>& extra_args = {});
 
 /// Send `sig` (e.g. SIGTERM, SIGKILL) and reap the daemon. Safe to call on
 /// an invalid/already-stopped handle.

@@ -622,6 +622,22 @@ void Farm::worker_loop(Worker* w) {
   }
 
   if (crashed) {
+    // A crashed worker recovers its own queue on the way out. The monitor's
+    // recover_worker only reaches workers that are not yet retiring, so an
+    // end-of-stream crash (grace window expiring after the poison already
+    // marked us retiring) would otherwise strand everything queued behind
+    // the crash — the collector can then finish the stream without those
+    // tasks ever surfacing. Close first so concurrent emitter pushes fail
+    // over to the re-routing path; both this steal and the node drain are
+    // destructive, so a racing monitor recovery composes exactly-once.
+    w->in->close();
+    if (cfg_.policy != SchedPolicy::Broadcast) {
+      for (Task& t : w->in->steal_back(w->in->size() + 8))
+        if (t.is_data()) to_recover.push_back(std::move(t));
+      std::scoped_lock lk(w->inflight_mu);
+      for (Task& t : w->node->drain_unacked())
+        if (t.is_data()) to_recover.push_back(std::move(t));
+    }
     std::scoped_lock lk(workers_mu_);
     refresh_snapshot_locked();  // stop the emitter dispatching to us
   }

@@ -204,6 +204,84 @@ TEST(BacklogRules, QuietWhileArrivalsSustain) {
   EXPECT_TRUE(m.run_cycle_once().empty());
 }
 
+// Degradation policy: a manager that cannot restore capacity renegotiates
+// the contract down to the observed rate and goes passive (Sec. 3.1
+// escalation).
+
+TEST(DegradationRules, RepeatedRecruitFailureDegradesTheContract) {
+  FakeAbc abc;
+  FakeAbc parent_abc;
+  support::EventLog log;
+  AutonomicManager m("AM_deg", abc, {}, &log);
+  AutonomicManager parent("AM_parent", parent_abc, {}, &log);
+  parent.attach_child(m);
+  std::vector<std::string> parent_saw;
+  parent.set_violation_handler(
+      [&](const ChildViolation& v) { parent_saw.push_back(v.kind); });
+
+  m.load_rules(farm_rules());
+  m.load_rules(degradation_rules());
+  m.set_contract(Contract::throughput_range(0.5, 1.0));
+  abc.sensors.arrival_rate = 0.8;    // input pressure is there
+  abc.sensors.departure_rate = 0.2;  // but the farm trails the contract
+  abc.sensors.nworkers = 2;
+  abc.add_succeeds = false;          // and recruiting is impossible
+
+  // Each cycle CheckRateLow fires ADD_EXECUTOR; every attempt fails and
+  // grows the streak. Below FT_MAX_FAILED_RECRUITS (3) nothing degrades.
+  m.run_cycle_once();
+  m.run_cycle_once();
+  EXPECT_EQ(m.failed_recruits(), 2u);
+  EXPECT_EQ(m.degradations(), 0u);
+  EXPECT_EQ(log.count("AM_deg", "degradeContract"), 0u);
+
+  // Third consecutive failure crosses the threshold: the manager raises
+  // degradedContract_VIOL to its parent and lowers its own floor to the
+  // observed departure rate.
+  m.run_cycle_once();
+  EXPECT_EQ(m.degradations(), 1u);
+  EXPECT_EQ(log.count("AM_deg", "degradeContract"), 1u);
+  ASSERT_TRUE(m.contract().throughput.has_value());
+  EXPECT_DOUBLE_EQ(m.contract().throughput->first, 0.2);
+  EXPECT_EQ(m.mode(), ManagerMode::Passive);
+  EXPECT_EQ(m.failed_recruits(), 0u);  // the streak resets with the goal
+
+  parent.run_cycle_once();  // consume the escalated violation
+  ASSERT_FALSE(parent_saw.empty());
+  EXPECT_EQ(parent_saw.front(), "degradedContract_VIOL");
+
+  // Under the degraded contract the observed rate satisfies the floor:
+  // no further adds, no repeated degradation — the system is stable.
+  const auto fired = m.run_cycle_once();
+  EXPECT_TRUE(fired.empty()) << fired.front();
+  EXPECT_EQ(m.degradations(), 1u);
+}
+
+TEST(DegradationRules, SuccessfulRecruitResetsTheStreak) {
+  FakeAbc abc;
+  support::EventLog log;
+  AutonomicManager m("AM_deg2", abc, {}, &log);
+  m.load_rules(farm_rules());
+  m.load_rules(degradation_rules());
+  m.set_contract(Contract::throughput_range(0.5, 10.0));
+  abc.sensors.arrival_rate = 0.8;
+  abc.sensors.departure_rate = 0.2;
+  abc.sensors.nworkers = 2;
+
+  abc.add_succeeds = false;
+  m.run_cycle_once();
+  m.run_cycle_once();
+  EXPECT_EQ(m.failed_recruits(), 2u);
+
+  abc.add_succeeds = true;  // capacity comes back before the threshold
+  m.run_cycle_once();
+  EXPECT_EQ(m.failed_recruits(), 0u);
+  EXPECT_EQ(m.degradations(), 0u);
+  EXPECT_EQ(log.count("AM_deg2", "degradeContract"), 0u);
+  ASSERT_TRUE(m.contract().throughput.has_value());
+  EXPECT_DOUBLE_EQ(m.contract().throughput->first, 0.5);  // untouched
+}
+
 // Parameterized boundary sweep for CheckRateLow/High around the contract.
 struct RateCase {
   double departure;

@@ -132,6 +132,60 @@ TEST(RemoteAbc, DeadChannelSensesAsBlackoutAndActuatorsFail) {
   EXPECT_EQ(rig.client.rebalance(), 0u);
 }
 
+TEST(RemoteAbc, RpcTimeoutExpiryReadsAsBlackout) {
+  // Live channel, mute peer: each RPC waits out rpc_timeout_wall_s and then
+  // degrades to the blackout/failure result instead of hanging the
+  // manager's control loop forever.
+  auto pair = InprocTransport::make_pair();
+  RemoteAbcOptions opts;
+  opts.rpc_timeout_wall_s = 0.1;
+  RemoteAbc client(pair.a, opts);
+
+  const double t0 = wall_now();
+  const am::Sensors s = client.sense();
+  const double waited = wall_now() - t0;
+  EXPECT_FALSE(s.valid);
+  EXPECT_GE(waited, 0.05);  // it did wait for the reply window
+  EXPECT_LT(waited, 2.0);   // and gave up promptly after it
+  EXPECT_FALSE(client.add_worker());
+  EXPECT_EQ(client.rebalance(), 0u);
+  EXPECT_FALSE(client.set_rate(1.0));
+  EXPECT_EQ(client.secure_links(), 0u);
+  EXPECT_TRUE(client.connected());  // a timeout is not a disconnect
+  pair.a->close();
+  pair.b->close();
+}
+
+TEST(RemoteAbc, StaleRepliesAreSkippedUntilTheMatchingSeq) {
+  // A reply left over from a timed-out earlier RPC must not satisfy the
+  // current one: the client filters by sequence number.
+  auto pair = InprocTransport::make_pair();
+  RemoteAbc client(pair.a);
+  ActReply stale;
+  stale.seq = 9999;  // matches nothing
+  stale.ok = true;
+  ASSERT_TRUE(pair.b->send(make_act_rep(stale)));
+  ActReply fresh;
+  fresh.seq = 1;  // the client's first call
+  fresh.ok = true;
+  fresh.count = 1;
+  ASSERT_TRUE(pair.b->send(make_act_rep(fresh)));
+  EXPECT_TRUE(client.add_worker());
+  pair.a->close();
+  pair.b->close();
+}
+
+TEST(RemoteAbc, PeerDeathMidStreamFailsFastAfterwards) {
+  Rig rig;
+  EXPECT_TRUE(rig.client.add_worker());
+  rig.server.stop();  // the remote process "dies" between two RPCs
+  const double t0 = wall_now();
+  EXPECT_FALSE(rig.client.add_worker());
+  EXPECT_FALSE(rig.client.sense().valid);
+  // Dead connection short-circuits: no rpc_timeout-long stall per call.
+  EXPECT_LT(wall_now() - t0, 2.0);
+}
+
 TEST(RemoteAbc, ManagerRunsUnchangedAgainstARemoteAbc) {
   // The real point of the shim: am::AutonomicManager monitors a remote
   // skeleton with zero changes — here one monitor cycle asserting beans

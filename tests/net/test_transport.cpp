@@ -8,6 +8,11 @@
 
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <memory>
 #include <string>
 #include <thread>
@@ -220,6 +225,63 @@ TEST(TcpTransport, HeartbeatsRefreshIdleSeconds) {
   EXPECT_GE(server->stats().heartbeats_seen, 1u);
   EXPECT_LT(server->idle_seconds(), idle_before + 0.05);
   client->close();
+  server->close();
+}
+
+TEST(TcpTransport, WritingIntoPeerClosedSocketDoesNotRaiseSigpipe) {
+  // Regression: the io thread writes with MSG_NOSIGNAL, so a peer that
+  // vanished between our poll and our write produces EPIPE (a dead
+  // connection), not a process-killing SIGPIPE. Without the flag this test
+  // aborts the whole binary.
+  TcpListener l(0);
+  auto client = TcpTransport::connect("127.0.0.1", l.port());
+  auto server = l.accept_for(5.0);
+  ASSERT_NE(client, nullptr);
+  ASSERT_NE(server, nullptr);
+  server->close();  // peer goes away; client does not know yet
+
+  Frame big;
+  big.type = FrameType::TaskMsg;
+  big.payload.assign(1 << 16, 0x5a);
+  // Keep writing until the RST lands and the write path sees EPIPE. Each
+  // send is either queued (true) or rejected on a dead connection (false).
+  const double deadline = wall_now() + 5.0;
+  while (!client->closed() && wall_now() < deadline) {
+    client->send(big);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_TRUE(client->closed());  // died gracefully, in-process
+  client->close();
+}
+
+TEST(TcpTransport, CorruptedBytesOnTheWireDieAsBadCrc) {
+  // A peer (or a fault) that garbles bytes mid-stream must not crash the
+  // decoder or deliver a wrong frame: the CRC check kills the connection
+  // with a typed decode error.
+  TcpListener l(0);
+  const int raw = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(raw, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(l.port());
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::connect(raw, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  auto server = l.accept_for(5.0);
+  ASSERT_NE(server, nullptr);
+
+  Frame f;
+  f.type = FrameType::TaskMsg;
+  f.payload = {1, 2, 3, 4};
+  auto bytes = encode_frame(f);
+  bytes.back() ^= 0xff;  // corrupt in transit
+  ASSERT_EQ(::send(raw, bytes.data(), bytes.size(), 0),
+            static_cast<ssize_t>(bytes.size()));
+
+  Frame got;
+  EXPECT_EQ(server->recv_for(got, 5.0), RecvStatus::Closed);
+  EXPECT_EQ(server->decode_error(), DecodeError::BadCrc);
+  ::close(raw);
   server->close();
 }
 

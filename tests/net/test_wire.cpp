@@ -47,16 +47,46 @@ TEST(Wire, ReaderUnderflowTurnsNotOkAndStaysZero) {
   EXPECT_EQ(r.u8(), 0);  // sticky failure
 }
 
-TEST(Wire, FrameEncodeHasLengthPrefixAndType) {
+TEST(Wire, FrameEncodeHasLengthCrcAndType) {
   Frame f;
   f.type = FrameType::TaskMsg;
   f.payload = {1, 2, 3};
   const auto bytes = encode_frame(f);
-  ASSERT_EQ(bytes.size(), 4u + 1u + 3u);
+  ASSERT_EQ(bytes.size(), 4u + 4u + 1u + 3u);  // len + crc + type + payload
   std::uint32_t len = 0;
   std::memcpy(&len, bytes.data(), 4);
-  EXPECT_EQ(len, 4u);  // type byte + 3 payload bytes
-  EXPECT_EQ(bytes[4], static_cast<std::uint8_t>(FrameType::TaskMsg));
+  EXPECT_EQ(len, 4u);  // type byte + 3 payload bytes (crc not counted)
+  std::uint32_t crc = 0;
+  std::memcpy(&crc, bytes.data() + 4, 4);
+  const std::uint8_t type_byte = bytes[8];
+  EXPECT_EQ(type_byte, static_cast<std::uint8_t>(FrameType::TaskMsg));
+  EXPECT_EQ(crc, crc32(f.payload.data(), f.payload.size(),
+                       crc32(&type_byte, 1)));
+}
+
+TEST(Wire, Crc32MatchesKnownVector) {
+  // The IEEE 802.3 check value: CRC-32 of "123456789".
+  const char* s = "123456789";
+  EXPECT_EQ(crc32(reinterpret_cast<const std::uint8_t*>(s), 9), 0xCBF43926u);
+  // Chaining across a split equals one pass over the whole buffer.
+  const auto* p = reinterpret_cast<const std::uint8_t*>(s);
+  EXPECT_EQ(crc32(p + 4, 5, crc32(p, 4)), 0xCBF43926u);
+}
+
+TEST(Wire, DecoderDetectsCorruptedByte) {
+  Frame f;
+  f.type = FrameType::TaskMsg;
+  f.payload = {10, 20, 30, 40};
+  auto bytes = encode_frame(f);
+  bytes[bytes.size() - 2] ^= 0x40;  // flip one payload bit in transit
+
+  FrameDecoder dec;
+  dec.feed(bytes.data(), bytes.size());
+  EXPECT_EQ(dec.next(), std::nullopt);
+  EXPECT_EQ(dec.error(), DecodeError::BadCrc);
+  // Terminal: the decoder stays dead rather than resyncing on garbage.
+  EXPECT_EQ(dec.next(), std::nullopt);
+  EXPECT_STREQ(decode_error_name(dec.error()), "crc mismatch");
 }
 
 TEST(Wire, DecoderReassemblesByteAtATime) {
@@ -87,7 +117,7 @@ TEST(Wire, DecoderReassemblesByteAtATime) {
     }
   }
   EXPECT_EQ(got, frames.size());
-  EXPECT_FALSE(dec.error());
+  EXPECT_EQ(dec.error(), DecodeError::None);
   EXPECT_EQ(dec.buffered(), 0u);
 }
 
@@ -99,7 +129,7 @@ TEST(Wire, DecoderRejectsOversizedFrame) {
   const auto bytes = encode_frame(f);
   dec.feed(bytes.data(), bytes.size());
   EXPECT_EQ(dec.next(), std::nullopt);
-  EXPECT_TRUE(dec.error());
+  EXPECT_EQ(dec.error(), DecodeError::Oversize);
 }
 
 TEST(Wire, HelloRoundTrip) {
@@ -118,14 +148,30 @@ TEST(Wire, HelloRoundTrip) {
   EXPECT_DOUBLE_EQ(back->heartbeat_wall_s, 0.125);
 }
 
+TEST(Wire, HelloResumeFieldsRoundTrip) {
+  Hello h;
+  h.resume_session = 0xfeedfaceull;
+  h.resume_epoch = 3;
+  h.last_acked_seq = 41;
+  const auto back = parse_hello(make_hello(h));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->resume_session, 0xfeedfaceull);
+  EXPECT_EQ(back->resume_epoch, 3u);
+  EXPECT_EQ(back->last_acked_seq, 41u);
+}
+
 TEST(Wire, HelloAckAndHeartbeatRoundTrip) {
   HelloAck a;
   a.session = 77;
   a.ok = false;
+  a.epoch = 5;
+  a.resumed = true;
   const auto ack = parse_hello_ack(make_hello_ack(a));
   ASSERT_TRUE(ack.has_value());
   EXPECT_EQ(ack->session, 77u);
   EXPECT_FALSE(ack->ok);
+  EXPECT_EQ(ack->epoch, 5u);
+  EXPECT_TRUE(ack->resumed);
 
   HeartbeatMsg hb{9, 1.5};
   const auto beat = parse_heartbeat(make_heartbeat(hb));
@@ -203,6 +249,18 @@ TEST(Wire, TaskPayloadVariantsTravel) {
     EXPECT_EQ(back->id, 6u);
     EXPECT_FALSE(back->payload.has_value());
   }
+}
+
+TEST(Wire, TaskSequenceNumberTravels) {
+  rt::Task t = rt::Task::data(7, 1.0, std::string("x"));
+  const auto back = parse_task_seq(make_task(t, FrameType::TaskMsg, 123));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->first, 123u);
+  EXPECT_EQ(back->second.id, 7u);
+  // Legacy frames (seq 0) still parse through the unsequenced API.
+  const auto legacy = parse_task(make_task(t));
+  ASSERT_TRUE(legacy.has_value());
+  EXPECT_EQ(legacy->id, 7u);
 }
 
 TEST(Wire, TaskParseRejectsTruncatedPayload) {
