@@ -24,6 +24,12 @@ inline long arg_long(int argc, char** argv, const char* name, long fallback) {
   return v != nullptr ? std::atol(v) : fallback;
 }
 
+inline std::string arg_string(int argc, char** argv, const char* name,
+                              const std::string& fallback = {}) {
+  const char* v = arg_raw(argc, argv, name);
+  return v != nullptr ? std::string(v) : fallback;
+}
+
 inline bool arg_flag(int argc, char** argv, const char* name) {
   for (int i = 1; i < argc; ++i)
     if (std::strcmp(argv[i], name) == 0) return true;

@@ -6,23 +6,59 @@
 // the contract is met. The paper's plot shows throughput stepping upward
 // with each added resource until it crosses the contract line and then
 // holding; the series printed here reproduces that shape.
+//
+// Observability hooks (the E1 capture path of scripts/run_experiments.sh):
+//   --obs-dir DIR   write DIR/local.metrics.prom (Prometheus exposition) and
+//                   DIR/local.trace.jsonl (MAPE decision spans + event log)
+//   --remote        host the farm's workers in a spawned bskd; with
+//                   --obs-dir, also pull the daemon's trace over the wire
+//                   (StatsReq role-2 channel) into DIR/bskd.trace.jsonl so
+//                   bsk-trace can merge one cross-process causal trace.
 
+#include <csignal>
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 
 #include "bench/args.hpp"
 #include "bench/common.hpp"
 #include "bs/apps.hpp"
+#include "net/worker_pool.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+#ifndef BSK_BSKD_PATH
+#define BSK_BSKD_PATH "bskd"
+#endif
 
 int main(int argc, char** argv) {
   using namespace bsk;
   const double scale = benchutil::arg_double(argc, argv, "--scale", 50.0);
+  const std::string obs_dir =
+      benchutil::arg_string(argc, argv, "--obs-dir");
+  const bool remote = benchutil::arg_flag(argc, argv, "--remote");
   support::ScopedClockScale clock(scale);
+  obs::TraceLog::global().set_process_tag("local");
 
   sim::Platform platform = sim::Platform::testbed_smp8();
   sim::ResourceManager rm(platform);
   support::EventLog log;
 
+  net::BskdProcess daemon;
+  std::unique_ptr<net::WorkerPool> pool;
   bs::Fig3Params p;
+  if (remote) {
+    daemon = net::spawn_bskd(BSK_BSKD_PATH);
+    if (!daemon.valid()) {
+      std::fprintf(stderr, "fig3_single_am: cannot spawn bskd\n");
+      return 1;
+    }
+    net::WorkerPoolOptions wopts;
+    wopts.node.credit_window = 4;
+    pool = std::make_unique<net::WorkerPool>(
+        std::vector<net::Endpoint>{{"127.0.0.1", daemon.port}}, wopts);
+    p.worker_factory = pool->factory();
+  }
   bs::Fig3App app(p, rm, log);
 
   benchutil::Sampler sampler(
@@ -64,5 +100,41 @@ int main(int argc, char** argv) {
   std::printf("\n# first contract-satisfying sample: rate=%.3f with %zu workers"
               " (processed %zu tasks)\n",
               final_rate, final_workers, app.sink().received());
+
+  if (!obs_dir.empty()) {
+    // Prometheus metrics snapshot of this process.
+    {
+      std::ofstream out(obs_dir + "/local.metrics.prom", std::ios::trunc);
+      obs::MetricsRegistry::global().write_prometheus(out);
+    }
+    // Decision spans + the experiment's event log, one JSON object per line.
+    {
+      std::ofstream out(obs_dir + "/local.trace.jsonl", std::ios::trunc);
+      obs::TraceLog::global().dump_jsonl(out);
+      log.dump_jsonl(out);
+    }
+    // The daemon's half of the story, pulled over the stats channel while
+    // it is still alive.
+    if (remote && daemon.valid()) {
+      if (auto text = net::pull_bskd_stats(
+              {"127.0.0.1", daemon.port},
+              net::StatsRequest::What::TraceJsonl)) {
+        std::ofstream out(obs_dir + "/bskd.trace.jsonl", std::ios::trunc);
+        out << *text;
+      } else {
+        std::fprintf(stderr, "fig3_single_am: bskd trace pull failed\n");
+      }
+      if (auto text = net::pull_bskd_stats(
+              {"127.0.0.1", daemon.port},
+              net::StatsRequest::What::Prometheus)) {
+        std::ofstream out(obs_dir + "/bskd.metrics.prom", std::ios::trunc);
+        out << *text;
+      }
+    }
+  }
+  if (remote) {
+    pool.reset();
+    net::stop_bskd(daemon, SIGTERM);
+  }
   return 0;
 }

@@ -24,6 +24,7 @@ EXPECTED=(
   des_fig4
   des_renegotiation
   micro_net
+  micro_obs
 )
 
 # Only pick a generator for a fresh build dir; re-specifying one on an
@@ -64,3 +65,12 @@ echo "===================================================================="
 echo "== BENCH_dataplane.json"
 echo "===================================================================="
 "$(dirname "$0")/bench_dataplane.sh" "$BUILD"
+
+# E1 observability capture: rerun fig3 with workers hosted in a bskd,
+# archive the per-process metrics + trace files, merge them into one
+# causally ordered cross-process trace, and strictly validate everything.
+echo
+echo "===================================================================="
+echo "== E1 observability capture (obs/)"
+echo "===================================================================="
+"$(dirname "$0")/validate_obs.sh" "$BUILD" obs

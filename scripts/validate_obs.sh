@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# E1 observability capture + strict validation.
+#
+# Runs the Fig. 3 experiment with its farm workers hosted in a spawned bskd
+# (--remote), capturing per-process observability artifacts into OUT_DIR:
+#
+#   local.metrics.prom   Prometheus text exposition of the bench process
+#   local.trace.jsonl    MAPE decision spans + event log (JSONL)
+#   bskd.metrics.prom    the daemon's exposition, pulled over the wire
+#   bskd.trace.jsonl     the daemon's trace, pulled over the wire
+#   merged.trace.jsonl   bsk-trace merge of both processes, time-ordered
+#                        and causally consistent
+#
+# then validates: both .prom files against the exposition format, every
+# JSONL line against a strict RFC 8259 parser, and that the merged trace
+# actually spans both processes and contains causally linked spans.
+#
+# Usage: scripts/validate_obs.sh [build-dir] [out-dir]
+set -euo pipefail
+
+BUILD="${1:-build}"
+OUT="${2:-obs}"
+
+FIG3="$BUILD/bench/fig3_single_am"
+TRACE="$BUILD/bsk-trace"
+for bin in "$FIG3" "$TRACE"; do
+  if [ ! -x "$bin" ]; then
+    echo "ERROR: missing binary $bin (build first)" >&2
+    exit 1
+  fi
+done
+
+mkdir -p "$OUT"
+rm -f "$OUT"/local.metrics.prom "$OUT"/local.trace.jsonl \
+      "$OUT"/bskd.metrics.prom "$OUT"/bskd.trace.jsonl \
+      "$OUT"/merged.trace.jsonl
+
+"$FIG3" --scale 200 --remote --obs-dir "$OUT" > "$OUT/fig3_remote.log"
+
+for f in local.metrics.prom local.trace.jsonl bskd.trace.jsonl; do
+  if [ ! -f "$OUT/$f" ]; then
+    echo "ERROR: capture did not produce $OUT/$f" >&2
+    exit 1
+  fi
+done
+
+"$TRACE" promcheck "$OUT/local.metrics.prom"
+[ -f "$OUT/bskd.metrics.prom" ] && "$TRACE" promcheck "$OUT/bskd.metrics.prom"
+"$TRACE" validate "$OUT/local.trace.jsonl" "$OUT/bskd.trace.jsonl"
+"$TRACE" merge -o "$OUT/merged.trace.jsonl" \
+  "$OUT/local.trace.jsonl" "$OUT/bskd.trace.jsonl"
+"$TRACE" validate "$OUT/merged.trace.jsonl"
+
+# The merged trace must actually span both processes and carry causally
+# linked decision spans (a raiseViol joined to the reacting parent cycle).
+grep -q '"proc":"local"' "$OUT/merged.trace.jsonl" || {
+  echo "ERROR: merged trace has no local-process spans" >&2; exit 1; }
+grep -q '"source":"bskd"' "$OUT/merged.trace.jsonl" || {
+  echo "ERROR: merged trace has no bskd records" >&2; exit 1; }
+grep -q '"causes":\[' "$OUT/merged.trace.jsonl" || {
+  echo "ERROR: merged trace has no causally linked spans" >&2; exit 1; }
+grep -q '"type":"mape_span"' "$OUT/merged.trace.jsonl" || {
+  echo "ERROR: merged trace has no MAPE spans" >&2; exit 1; }
+
+echo "obs capture valid: $(wc -l < "$OUT/merged.trace.jsonl") merged records in $OUT/"

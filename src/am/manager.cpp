@@ -5,7 +5,27 @@
 #include <condition_variable>
 #include <limits>
 
+#include "obs/metrics.hpp"
+
 namespace bsk::am {
+
+namespace {
+
+struct ManagerObs {
+  obs::Counter& cycles =
+      obs::counter("bsk_mape_cycles_total", "MAPE control cycles run");
+  obs::Histogram& cycle_latency = obs::histogram(
+      "bsk_mape_cycle_seconds",
+      {1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0},
+      "wall-clock latency of one MAPE cycle (monitor through execute)");
+};
+
+ManagerObs& manager_obs() {
+  static ManagerObs o;
+  return o;
+}
+
+}  // namespace
 
 namespace beans {
 std::string child_violation(const std::string& kind) {
@@ -39,6 +59,14 @@ AutonomicManager::~AutonomicManager() { stop(); }
 void AutonomicManager::record(const std::string& event, double value,
                               const std::string& detail) {
   log_->record(name_, event, value, detail);
+  span_note(event, value, detail);
+}
+
+void AutonomicManager::span_note(const std::string& event, double value,
+                                 const std::string& detail) {
+  std::scoped_lock lk(span_mu_);
+  if (active_span_ != nullptr && std::this_thread::get_id() == span_thread_)
+    active_span_->actions.push_back(obs::SpanAction{event, value, detail});
 }
 
 // --------------------------------------------------------------- lifecycle
@@ -118,10 +146,66 @@ bool AutonomicManager::monitor_phase(Sensors& out) {
 }
 
 std::vector<std::string> AutonomicManager::run_cycle_once() {
-  if (cycles_.fetch_add(1) == 0 && cfg_.warmup_s > 0.0)
+  const std::uint64_t cycle_id = cycles_.fetch_add(1) + 1;
+  current_cycle_.store(cycle_id);
+  if (cycle_id == 1 && cfg_.warmup_s > 0.0)
     plan_suppressed_until_ = support::Clock::now() + cfg_.warmup_s;
+
+  // The decision span for this cycle: beans read, rules fired, actuations
+  // executed, contract left behind — one structured trace record. record()
+  // calls from this thread append to it while the guard is armed.
+  obs::MapeSpan span;
+  span.manager = name_;
+  span.cycle = cycle_id;
+  span.t_begin = support::Clock::now();
+  span.tw_begin = obs::mono_now();
+  struct SpanGuard {
+    AutonomicManager* m;
+    explicit SpanGuard(AutonomicManager* mgr, obs::MapeSpan* s) : m(mgr) {
+      std::scoped_lock lk(m->span_mu_);
+      m->active_span_ = s;
+      m->span_thread_ = std::this_thread::get_id();
+    }
+    ~SpanGuard() {
+      std::scoped_lock lk(m->span_mu_);
+      m->active_span_ = nullptr;
+    }
+  };
+  auto finish_span = [&](const std::vector<std::string>& fired,
+                         const Contract& c, bool blackout) {
+    span.t_end = support::Clock::now();
+    span.tw_end = obs::mono_now();
+    span.rules = fired;
+    span.contract = blackout ? "(sensor blackout)" : c.describe();
+    span.mode =
+        mode_.load() == ManagerMode::Active ? "active" : "passive";
+    const double latency = span.tw_end - span.tw_begin;
+    obs::TraceLog::global().record(std::move(span));
+    ManagerObs& mo = manager_obs();
+    mo.cycles.inc();
+    mo.cycle_latency.observe(latency);
+  };
+
+  SpanGuard guard(this, &span);
   Sensors s;
-  if (!monitor_phase(s)) return {};
+  if (!monitor_phase(s)) {
+    finish_span({}, Contract{}, /*blackout=*/true);
+    return {};
+  }
+  span.beans = {
+      {beans::kArrivalRate, s.arrival_rate},
+      {beans::kDepartureRate, s.departure_rate},
+      {beans::kNumWorker, static_cast<double>(s.nworkers)},
+      {beans::kQueueVariance, s.queue_variance},
+      {beans::kServiceTime, s.mean_service_s},
+      {beans::kLatency, s.mean_latency_s},
+      {beans::kQueuedTasks, static_cast<double>(s.queued)},
+      {beans::kStreamEnd, stream_ended_.load() ? 1.0 : 0.0},
+      {beans::kUnsecuredLinks, s.unsecured_untrusted ? 1.0 : 0.0},
+      {beans::kWorkerFailure, static_cast<double>(s.new_failures)},
+      {beans::kTotalFailures, static_cast<double>(s.total_failures)},
+      {beans::kFailedRecruits, static_cast<double>(failed_recruits_.load())},
+  };
 
   // Consume queued child violations: pulse beans + imperative handler.
   std::deque<ChildViolation> viols;
@@ -138,6 +222,10 @@ std::vector<std::string> AutonomicManager::run_cycle_once() {
   std::set<std::pair<std::string, std::string>> seen;
   for (const ChildViolation& v : viols) {
     if (!seen.insert({v.child, v.kind}).second) continue;
+    span.causes.push_back(obs::SpanCause{
+        v.origin_proc.empty() ? obs::TraceLog::global().process_tag()
+                              : v.origin_proc,
+        v.child, v.origin_cycle, v.kind});
     const std::string bean = beans::child_violation(v.kind);
     wm_.set(bean, 1.0);
     pulse_beans.push_back(bean);
@@ -148,7 +236,8 @@ std::vector<std::string> AutonomicManager::run_cycle_once() {
       // recursive reporting of the paper's Sec. 3.1 scheme). Rules matching
       // the pulse bean can still act locally in the same cycle.
       record("escalateViol", 0.0, v.kind);
-      parent_->notify_child_violation(name_, v.kind);
+      parent_->notify_child_violation(
+          name_, v.kind, obs::TraceLog::global().process_tag(), cycle_id);
     }
   }
 
@@ -175,6 +264,7 @@ std::vector<std::string> AutonomicManager::run_cycle_once() {
   }
 
   for (const std::string& b : pulse_beans) wm_.retract(b);
+  finish_span(fired, c, /*blackout=*/false);
   return fired;
 }
 
@@ -246,9 +336,12 @@ void AutonomicManager::set_splitter(Splitter s) {
 }
 
 void AutonomicManager::notify_child_violation(const std::string& child,
-                                              const std::string& kind) {
+                                              const std::string& kind,
+                                              std::string origin_proc,
+                                              std::uint64_t origin_cycle) {
   std::scoped_lock lk(state_mu_);
-  pending_violations_.push_back(ChildViolation{child, kind});
+  pending_violations_.push_back(
+      ChildViolation{child, kind, std::move(origin_proc), origin_cycle});
 }
 
 void AutonomicManager::set_violation_handler(
@@ -388,7 +481,9 @@ void AutonomicManager::install_default_operations() {
     violation_raised_this_cycle_ = true;
     mode_.store(ManagerMode::Passive);
     if (parent_ != nullptr)
-      parent_->notify_child_violation(name_, data);
+      parent_->notify_child_violation(name_, data,
+                                      obs::TraceLog::global().process_tag(),
+                                      current_cycle_.load());
     else
       record("violationToUser", 0.0, data);
   };

@@ -34,6 +34,7 @@
 
 #include "am/abc.hpp"
 #include "am/contract.hpp"
+#include "obs/trace.hpp"
 #include "rules/engine.hpp"
 #include "rules/parser.hpp"
 #include "support/event_log.hpp"
@@ -69,10 +70,14 @@ struct ManagerConfig {
   std::size_t max_failed_recruits = 3;
 };
 
-/// A violation reported by a child manager.
+/// A violation reported by a child manager. The origin fields identify the
+/// MAPE cycle (and, across processes, the process) that raised it, so the
+/// parent's reacting cycle can be causally joined to it in the merged trace.
 struct ChildViolation {
   std::string child;
   std::string kind;  ///< e.g. "notEnoughTasks_VIOL"
+  std::string origin_proc;       ///< raising process tag ("" = local)
+  std::uint64_t origin_cycle = 0;  ///< raising manager's cycle id (0 = unknown)
 };
 
 /// Standard bean names asserted by the monitor phase.
@@ -168,9 +173,12 @@ class AutonomicManager : public rules::OperationSink {
   void set_splitter(Splitter s);
 
   /// Called by children (from their control threads) to report a violation.
-  /// Queued; consumed at the top of this manager's next cycle.
+  /// Queued; consumed at the top of this manager's next cycle. The optional
+  /// origin pair ties the report to the raising MAPE cycle for the trace.
   void notify_child_violation(const std::string& child,
-                              const std::string& kind);
+                              const std::string& kind,
+                              std::string origin_proc = {},
+                              std::uint64_t origin_cycle = 0);
 
   /// Imperative handler for child violations (runs in this manager's
   /// control thread, before the rule cycle).
@@ -217,11 +225,20 @@ class AutonomicManager : public rules::OperationSink {
   /// Last sensor snapshot taken by the monitor phase.
   Sensors last_sensors() const;
 
+  /// The cycle id of the MAPE cycle currently executing (or the last one),
+  /// 1-based. Used to link raiseViol reports to their origin cycle.
+  std::uint64_t current_cycle() const { return current_cycle_.load(); }
+
  private:
   void control_loop(const std::stop_token& st);
   void install_default_operations();
   void derive_constants_locked();  // caller holds state_mu_
   bool monitor_phase(Sensors& out);
+
+  /// Append an actuation/observation to the active cycle's decision span,
+  /// if the caller is the thread running that cycle.
+  void span_note(const std::string& event, double value,
+                 const std::string& detail);
 
   std::string name_;
   Abc& abc_;
@@ -244,8 +261,18 @@ class AutonomicManager : public rules::OperationSink {
   AutonomicManager* parent_ = nullptr;
   std::vector<AutonomicManager*> children_;
 
+  // Decision-span state: the span lives on run_cycle_once's stack; record()
+  // calls from the cycle's own thread append to it through this pointer.
+  // Other threads (a parent calling set_contract mid-cycle, a net thread
+  // logging through this manager) must not join the span, hence the thread
+  // check under the mutex.
+  std::mutex span_mu_;
+  obs::MapeSpan* active_span_ = nullptr;
+  std::thread::id span_thread_;
+
   std::atomic<ManagerMode> mode_{ManagerMode::Passive};
   std::atomic<bool> stream_ended_{false};
+  std::atomic<std::uint64_t> current_cycle_{0};
   std::atomic<std::size_t> cycles_{0};
   std::atomic<std::size_t> failed_recruits_{0};
   std::atomic<std::size_t> degradations_{0};

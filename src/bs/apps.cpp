@@ -38,9 +38,11 @@ Fig3App::Fig3App(const Fig3Params& p, sim::ResourceManager& rm,
                                                p.seed)),
       mc, home, &log);
 
-  auto farm_bs = make_farm_bs(
-      "farm", fc, [] { return std::make_unique<rt::SimComputeNode>(); }, mc,
-      &rm, {}, home, &log);
+  rt::NodeFactory wf = p.worker_factory
+                           ? p.worker_factory
+                           : [] { return std::make_unique<rt::SimComputeNode>(); };
+  auto farm_bs = make_farm_bs("farm", fc, std::move(wf), mc, &rm, {}, home,
+                              &log);
   farm_bs_ = farm_bs.get();
   farm_bs_->manager().constants().set(
       "FARM_ADD_WORKERS", static_cast<double>(p.add_workers_per_step));

@@ -36,6 +36,9 @@ struct Fig3Params {
   double service_stddev_s = 0.5;    ///< image-cost jitter
   std::size_t add_workers_per_step = 1;  ///< workers per ADD_EXECUTOR firing
   std::uint64_t seed = 42;
+  /// When set, farm workers come from this factory instead of the local
+  /// SimComputeNode — how the E1 bench points the farm at a bskd WorkerPool.
+  rt::NodeFactory worker_factory;
 };
 
 /// The single-manager farm experiment.

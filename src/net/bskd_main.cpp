@@ -20,10 +20,18 @@
 // worker replacement.
 //
 //   bskd [--port N] [--port-file PATH] [--session-linger S]
+//        [--trace-file PATH]
 //
 // --port 0 (the default) binds an ephemeral port; --port-file writes the
 // bound port as decimal text once listening — how spawn_bskd() and the
 // two-process example learn where to connect.
+//
+// Observability: a connection whose Hello carries role 2 is a *stats
+// channel* — it gets StatsReq/StatsRep RPC service instead of a worker
+// session, answering with this process's Prometheus exposition, metrics
+// JSONL, or decision-trace JSONL (spans + event log), so a parent process
+// can fold the daemon's half of the story into one merged trace.
+// --trace-file additionally dumps the trace JSONL on orderly shutdown.
 
 #include <signal.h>
 
@@ -35,6 +43,7 @@
 #include <fstream>
 #include <map>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -42,8 +51,11 @@
 #include "net/remote_conduit.hpp"
 #include "net/transport.hpp"
 #include "net/wire.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "rt/node.hpp"
 #include "support/clock.hpp"
+#include "support/event_log.hpp"
 
 namespace {
 
@@ -194,6 +206,50 @@ void handle_task(Session& s, bsk::net::TcpTransport& tp,
   tp.send(reply);
 }
 
+/// Render one obs snapshot as text for a StatsRep.
+std::string stats_text(bsk::net::StatsRequest::What what) {
+  std::ostringstream os;
+  switch (what) {
+    case bsk::net::StatsRequest::What::Prometheus:
+      bsk::obs::MetricsRegistry::global().write_prometheus(os);
+      break;
+    case bsk::net::StatsRequest::What::MetricsJsonl:
+      bsk::obs::MetricsRegistry::global().write_jsonl(os);
+      break;
+    case bsk::net::StatsRequest::What::TraceJsonl:
+      // Decision spans plus the raw event log: everything the merge tool
+      // needs to causally join this process's story to the parent's.
+      bsk::obs::TraceLog::global().dump_jsonl(os);
+      bsk::support::global_event_log().dump_jsonl(os);
+      break;
+  }
+  return os.str();
+}
+
+/// Role-2 channel: answer StatsReq pulls until the peer goes away.
+void serve_stats(bsk::net::TcpTransport& tp) {
+  using namespace bsk::net;
+  while (!g_stop.load()) {
+    Frame f;
+    switch (tp.recv_for(f, 0.25)) {
+      case RecvStatus::Closed:
+        return;
+      case RecvStatus::TimedOut:
+        continue;
+      case RecvStatus::Ok:
+        break;
+    }
+    if (f.type == FrameType::Shutdown) return;
+    const auto req = parse_stats_req(f);
+    if (!req) continue;  // not meaningful on a stats channel
+    StatsReply rep;
+    rep.seq = req->seq;
+    rep.ok = true;
+    rep.text = stats_text(req->what);
+    tp.send(make_stats_rep(rep));
+  }
+}
+
 void serve_session(std::unique_ptr<bsk::net::TcpTransport> owned) {
   using namespace bsk::net;
   std::shared_ptr<TcpTransport> tp{std::move(owned)};
@@ -217,6 +273,13 @@ void serve_session(std::unique_ptr<bsk::net::TcpTransport> owned) {
   }
   if (hello->clock_scale > 0.0)
     bsk::support::Clock::set_scale(hello->clock_scale);
+  if (hello->role == 2) {
+    HelloAck ack;  // no worker session behind a stats channel
+    tp->send(make_hello_ack(ack));
+    serve_stats(*tp);
+    tp->close();
+    return;
+  }
   const double hb =
       hello->heartbeat_wall_s > 0.0 ? hello->heartbeat_wall_s : 0.25;
 
@@ -259,6 +322,9 @@ void serve_session(std::unique_ptr<bsk::net::TcpTransport> owned) {
   ack.epoch = my_epoch;
   ack.resumed = resumed;
   tp->send(make_hello_ack(ack));
+  bsk::support::global_event_log().record(
+      "bskd", resumed ? "sessionResume" : "sessionStart",
+      static_cast<double>(session->id), session->kind);
 
   // Heartbeats on their own thread: a long task must not silence them.
   std::jthread beater([tp, hb](std::stop_token st) {
@@ -304,10 +370,14 @@ void serve_session(std::unique_ptr<bsk::net::TcpTransport> owned) {
 
   beater.request_stop();
   if (clean_shutdown || g_stop.load()) {
+    bsk::support::global_event_log().record(
+        "bskd", "sessionEnd", static_cast<double>(session->id));
     g_registry.erase(session, my_epoch);
   } else {
     // Connection died without a goodbye: park the session so a client
     // riding out a transient partition can resume it.
+    bsk::support::global_event_log().record(
+        "bskd", "sessionPark", static_cast<double>(session->id));
     g_registry.park(session, my_epoch);
   }
   tp->close();
@@ -315,7 +385,8 @@ void serve_session(std::unique_ptr<bsk::net::TcpTransport> owned) {
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--port N] [--port-file PATH] [--session-linger S]\n",
+               "usage: %s [--port N] [--port-file PATH] [--session-linger S]"
+               " [--trace-file PATH]\n",
                argv0);
   return 2;
 }
@@ -325,6 +396,7 @@ int usage(const char* argv0) {
 int main(int argc, char** argv) {
   std::uint16_t port = 0;
   std::string port_file;
+  std::string trace_file;
   double session_linger_s = 10.0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -339,6 +411,8 @@ int main(int argc, char** argv) {
       port = static_cast<std::uint16_t>(v);
     } else if (arg == "--port-file" && i + 1 < argc) {
       port_file = argv[++i];
+    } else if (arg == "--trace-file" && i + 1 < argc) {
+      trace_file = argv[++i];
     } else if (arg == "--session-linger" && i + 1 < argc) {
       const char* s = argv[++i];
       char* end = nullptr;
@@ -365,18 +439,27 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::fprintf(stderr, "bskd: listening on 127.0.0.1:%u\n", listener.port());
+  bsk::obs::TraceLog::global().set_process_tag(
+      "bskd:" + std::to_string(listener.port()));
   if (!port_file.empty()) {
     std::ofstream out(port_file, std::ios::trunc);
     out << listener.port() << '\n';
   }
 
-  std::vector<std::jthread> sessions;
-  while (!g_stop.load()) {
-    auto tp = listener.accept_for(0.25);
-    g_registry.reap(session_linger_s);
-    if (!tp) continue;
-    sessions.emplace_back(serve_session, std::move(tp));
+  {
+    std::vector<std::jthread> sessions;
+    while (!g_stop.load()) {
+      auto tp = listener.accept_for(0.25);
+      g_registry.reap(session_linger_s);
+      if (!tp) continue;
+      sessions.emplace_back(serve_session, std::move(tp));
+    }
+    listener.close();
+  }  // jthreads join; sessions see g_stop and wind down
+
+  if (!trace_file.empty()) {
+    std::ofstream out(trace_file, std::ios::trunc);
+    out << stats_text(bsk::net::StatsRequest::What::TraceJsonl);
   }
-  listener.close();
-  return 0;  // jthreads join; sessions see g_stop and wind down
+  return 0;
 }

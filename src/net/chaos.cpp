@@ -3,9 +3,37 @@
 #include <chrono>
 #include <thread>
 
+#include "obs/metrics.hpp"
+
 namespace bsk::net {
 
 namespace {
+
+// Injected faults by class, process-wide (per-injector figures stay in
+// ChaosStats). Lets a metrics snapshot answer "what did chaos actually do
+// during this run" without threading every injector's stats out.
+struct ChaosObs {
+  obs::Counter& dropped =
+      obs::counter("bsk_chaos_dropped_total", "frames eaten by drop faults");
+  obs::Counter& duplicated =
+      obs::counter("bsk_chaos_duplicated_total", "frames sent/delivered twice");
+  obs::Counter& reordered =
+      obs::counter("bsk_chaos_reordered_total", "frames parked for reordering");
+  obs::Counter& corrupted =
+      obs::counter("bsk_chaos_corrupted_total", "frames with a byte flipped");
+  obs::Counter& delayed =
+      obs::counter("bsk_chaos_delayed_total", "frames held by delay faults");
+  obs::Counter& kills =
+      obs::counter("bsk_chaos_kills_total", "connections killed on schedule");
+  obs::Counter& partition_blocked = obs::counter(
+      "bsk_chaos_partition_blocked_total",
+      "sends swallowed or receives stalled by an active partition");
+};
+
+ChaosObs& chaos_obs() {
+  static ChaosObs o;
+  return o;
+}
 
 /// splitmix64: the avalanche stage every per-frame decision hashes through.
 std::uint64_t mix64(std::uint64_t x) {
@@ -122,6 +150,7 @@ bool FaultInjector::kill_if_due() {
     {
       std::scoped_lock lk(stats_mu_);
       ++stats_.kills;
+      chaos_obs().kills.inc();
     }
     inner_->close();
   }
@@ -160,11 +189,13 @@ bool FaultInjector::send_one(const Frame& f) {
   if (plan_->partition_elapsed(/*outbound=*/true)) {
     std::scoped_lock slk(stats_mu_);
     ++stats_.blocked_outbound;
+    chaos_obs().partition_blocked.inc();
     return true;
   }
   if (d.drop) {
     std::scoped_lock slk(stats_mu_);
     ++stats_.dropped;
+    chaos_obs().dropped.inc();
     return true;
   }
 
@@ -173,11 +204,13 @@ bool FaultInjector::send_one(const Frame& f) {
     corrupt_frame(out, out_id_, idx);
     std::scoped_lock slk(stats_mu_);
     ++stats_.corrupted;
+    chaos_obs().corrupted.inc();
   }
   if (d.delay_s > 0.0) {
     {
       std::scoped_lock slk(stats_mu_);
       ++stats_.delayed;
+      chaos_obs().delayed.inc();
     }
     sleep_wall(d.delay_s);
   }
@@ -187,6 +220,7 @@ bool FaultInjector::send_one(const Frame& f) {
     held_ = std::move(out);
     std::scoped_lock slk(stats_mu_);
     ++stats_.reordered;
+    chaos_obs().reordered.inc();
     return true;
   }
 
@@ -195,6 +229,7 @@ bool FaultInjector::send_one(const Frame& f) {
     {
       std::scoped_lock slk(stats_mu_);
       ++stats_.duplicated;
+      chaos_obs().duplicated.inc();
     }
     ok = inner_->send(out);
   }
@@ -235,6 +270,7 @@ RecvStatus FaultInjector::recv_for(Frame& out, double wall_seconds) {
       {
         std::scoped_lock slk(stats_mu_);
         ++stats_.stalled_inbound;
+        chaos_obs().partition_blocked.inc();
       }
       if (wall_now() >= deadline) return RecvStatus::TimedOut;
       sleep_wall(0.01);
@@ -261,17 +297,20 @@ RecvStatus FaultInjector::recv_for(Frame& out, double wall_seconds) {
     if (d.drop) {
       std::scoped_lock slk(stats_mu_);
       ++stats_.dropped;
+      chaos_obs().dropped.inc();
       continue;
     }
     if (d.corrupt) {
       corrupt_frame(f, in_id_, idx);
       std::scoped_lock slk(stats_mu_);
       ++stats_.corrupted;
+      chaos_obs().corrupted.inc();
     }
     if (d.delay_s > 0.0) {
       {
         std::scoped_lock slk(stats_mu_);
         ++stats_.delayed;
+        chaos_obs().delayed.inc();
       }
       sleep_wall(d.delay_s);
     }
@@ -280,6 +319,7 @@ RecvStatus FaultInjector::recv_for(Frame& out, double wall_seconds) {
       dup_in_ = f;
       std::scoped_lock slk(stats_mu_);
       ++stats_.duplicated;
+      chaos_obs().duplicated.inc();
     }
     out = std::move(f);
     return RecvStatus::Ok;

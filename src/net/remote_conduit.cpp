@@ -4,7 +4,38 @@
 #include <chrono>
 #include <thread>
 
+#include "obs/metrics.hpp"
+
 namespace bsk::net {
+
+namespace {
+
+// Fault-tolerance path counters, summed across all remote workers.
+struct ConduitObs {
+  obs::Counter& reconnects = obs::counter(
+      "bsk_net_reconnects_total", "successful reconnect handshakes");
+  obs::Counter& resumes = obs::counter(
+      "bsk_net_session_resumes_total",
+      "reconnects where the server kept worker state (resumed=true)");
+  obs::Counter& replaces = obs::counter(
+      "bsk_net_session_replaces_total",
+      "reconnects that restarted the session from scratch");
+  obs::Counter& retransmits = obs::counter(
+      "bsk_net_retransmits_total", "task frames re-sent (timeout or replay)");
+  obs::Counter& credit_stalls = obs::counter(
+      "bsk_net_credit_stalls_total",
+      "sends that filled the credit window and had to await a result");
+  obs::Counter& hard_failures = obs::counter(
+      "bsk_net_worker_hard_failures_total",
+      "remote workers declared crashed (grace window expired)");
+};
+
+ConduitObs& conduit_obs() {
+  static ConduitObs o;
+  return o;
+}
+
+}  // namespace
 
 support::ChannelStatus RemoteConduit::pop_wall(rt::Task& out,
                                                double wall_seconds) {
@@ -44,6 +75,7 @@ support::ChannelStatus RemoteConduit::pop_wall(rt::Task& out,
 
 void RemoteWorkerNode::mark_hard_failed() const {
   if (hard_failed_.exchange(true)) return;
+  conduit_obs().hard_failures.inc();
   {
     std::scoped_lock lk(tp_mu_);
     tp_->close();
@@ -103,6 +135,7 @@ std::optional<rt::Task> RemoteWorkerNode::process(rt::Task t) {
   // is unaffected. flush() drains the tail at end of stream.
   const std::size_t window = opts_.credit_window == 0 ? 1 : opts_.credit_window;
   if (in_flight < window) return std::nullopt;
+  conduit_obs().credit_stalls.inc();
   return await_result();
 }
 
@@ -206,6 +239,7 @@ std::optional<rt::Task> RemoteWorkerNode::await_result() {
             front.last_sent = wall_now();
             tp->send(make_task(front.task, FrameType::TaskMsg, front.seq));
             retransmits_.fetch_add(1, std::memory_order_relaxed);
+            conduit_obs().retransmits.inc();
           }
         }
         continue;
@@ -251,7 +285,13 @@ bool RemoteWorkerNode::try_resume() {
         }
         session_.store(ack.session, std::memory_order_relaxed);
         epoch_.store(ack.epoch, std::memory_order_relaxed);
-        if (ack.resumed) resumes_.fetch_add(1, std::memory_order_relaxed);
+        conduit_obs().reconnects.inc();
+        if (ack.resumed) {
+          resumes_.fetch_add(1, std::memory_order_relaxed);
+          conduit_obs().resumes.inc();
+        } else {
+          conduit_obs().replaces.inc();
+        }
         if (was_secured) {
           // The security contract survives the blip: re-upgrade before any
           // replayed task crosses the new connection.
@@ -264,6 +304,7 @@ bool RemoteWorkerNode::try_resume() {
         if (!replay.empty()) {
           fresh->send_many(replay.data(), replay.size());
           retransmits_.fetch_add(replay.size(), std::memory_order_relaxed);
+          conduit_obs().retransmits.inc(replay.size());
         }
         down_since_.store(-1.0, std::memory_order_relaxed);
         return true;

@@ -12,9 +12,37 @@
 #include <chrono>
 #include <cstring>
 
+#include "obs/metrics.hpp"
 #include "support/clock.hpp"
 
 namespace bsk::net {
+
+namespace {
+
+// Process-wide dataplane counters, aggregated across every live transport
+// (per-connection figures stay in TransportStats).
+struct NetObs {
+  obs::Counter& frames_sent =
+      obs::counter("bsk_net_frames_sent_total", "frames written to the wire");
+  obs::Counter& frames_received = obs::counter(
+      "bsk_net_frames_received_total", "non-heartbeat frames decoded");
+  obs::Counter& bytes_sent =
+      obs::counter("bsk_net_bytes_sent_total", "payload bytes written (TCP)");
+  obs::Counter& bytes_received = obs::counter(
+      "bsk_net_bytes_received_total", "payload bytes read (TCP)");
+  obs::Counter& crc_errors = obs::counter(
+      "bsk_net_crc_errors_total", "frames dropped for checksum mismatch");
+  obs::Counter& decode_errors = obs::counter(
+      "bsk_net_decode_errors_total",
+      "connections killed by an unrecoverable framing error");
+};
+
+NetObs& net_obs() {
+  static NetObs o;
+  return o;
+}
+
+}  // namespace
 
 double wall_now() {
   static const auto epoch = std::chrono::steady_clock::now();
@@ -47,6 +75,7 @@ bool InprocTransport::send(const Frame& f) {
     out_->producer_lock.clear(std::memory_order_release);
     if (pushed) {
       frames_sent_.fetch_add(1, std::memory_order_relaxed);
+      net_obs().frames_sent.inc();
       return true;
     }
     if (out_->closed.load(std::memory_order_acquire)) return false;
@@ -65,6 +94,7 @@ RecvStatus InprocTransport::recv_until(Frame& out, bool bounded,
       }
       out = std::move(*f);
       frames_received_.fetch_add(1, std::memory_order_relaxed);
+      net_obs().frames_received.inc();
       return RecvStatus::Ok;
     }
     if (in_->closed.load(std::memory_order_acquire) && in_->ring.empty())
@@ -202,6 +232,7 @@ bool TcpTransport::send_many(const Frame* fs, std::size_t n) {
     for (std::size_t i = 0; i < n; ++i) encode_frame_into(fs[i], outbuf_);
   }
   frames_sent_.fetch_add(n, std::memory_order_relaxed);
+  net_obs().frames_sent.inc(n);
   wake();
   return true;
 }
@@ -255,6 +286,7 @@ void TcpTransport::io_loop() {
         if (n > 0) {
           bytes_received_.fetch_add(static_cast<std::uint64_t>(n),
                                     std::memory_order_relaxed);
+          net_obs().bytes_received.inc(static_cast<std::uint64_t>(n));
           last_rx_wall_.store(wall_now(), std::memory_order_relaxed);
           decoder_.feed(rbuf, static_cast<std::size_t>(n));
           while (auto f = decoder_.next()) {
@@ -263,6 +295,7 @@ void TcpTransport::io_loop() {
               continue;
             }
             frames_received_.fetch_add(1, std::memory_order_relaxed);
+            net_obs().frames_received.inc();
             if (!inbound_.push(std::move(*f))) {
               dead = true;  // closed locally while we blocked
               break;
@@ -270,6 +303,9 @@ void TcpTransport::io_loop() {
           }
           if (decoder_.error() != DecodeError::None) {
             decode_error_.store(decoder_.error(), std::memory_order_relaxed);
+            if (decoder_.error() == DecodeError::BadCrc)
+              net_obs().crc_errors.inc();
+            net_obs().decode_errors.inc();
             dead = true;  // corrupt stream: framing is untrustworthy
           }
           if (dead) break;
@@ -295,6 +331,7 @@ void TcpTransport::io_loop() {
         pending_off += static_cast<std::size_t>(n);
         bytes_sent_.fetch_add(static_cast<std::uint64_t>(n),
                               std::memory_order_relaxed);
+        net_obs().bytes_sent.inc(static_cast<std::uint64_t>(n));
       } else if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
                  errno != EINTR) {
         dead = true;

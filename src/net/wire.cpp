@@ -458,4 +458,43 @@ std::optional<ActReply> parse_act_rep(const Frame& f) {
   return rep;
 }
 
+Frame make_stats_req(const StatsRequest& req) {
+  wire::Writer w;
+  w.u32(req.seq);
+  w.u8(static_cast<std::uint8_t>(req.what));
+  return Frame{FrameType::StatsReq, w.take()};
+}
+
+std::optional<StatsRequest> parse_stats_req(const Frame& f) {
+  if (f.type != FrameType::StatsReq) return std::nullopt;
+  wire::Reader r(f.payload);
+  StatsRequest req;
+  req.seq = r.u32();
+  const std::uint8_t what = r.u8();
+  if (!r.ok() || what < 1 ||
+      what > static_cast<std::uint8_t>(StatsRequest::What::TraceJsonl))
+    return std::nullopt;
+  req.what = static_cast<StatsRequest::What>(what);
+  return req;
+}
+
+Frame make_stats_rep(const StatsReply& rep) {
+  wire::Writer w;
+  w.u32(rep.seq);
+  w.u8(rep.ok ? 1 : 0);
+  w.str(rep.text);
+  return Frame{FrameType::StatsRep, w.take()};
+}
+
+std::optional<StatsReply> parse_stats_rep(const Frame& f) {
+  if (f.type != FrameType::StatsRep) return std::nullopt;
+  wire::Reader r(f.payload);
+  StatsReply rep;
+  rep.seq = r.u32();
+  rep.ok = r.u8() != 0;
+  rep.text = r.str();
+  if (!r.ok()) return std::nullopt;
+  return rep;
+}
+
 }  // namespace bsk::net

@@ -50,6 +50,8 @@ enum class FrameType : std::uint8_t {
   ActReq,       ///< manager → remote ABC: actuator command
   ActRep,       ///< remote ABC → manager: actuator outcome
   Shutdown,     ///< orderly close of the logical channel
+  StatsReq,     ///< observer → daemon: pull metrics/trace (bsk::obs)
+  StatsRep,     ///< daemon → observer: the requested snapshot text
 };
 
 /// One decoded frame: type + opaque payload bytes.
@@ -169,7 +171,7 @@ class FrameDecoder {
 struct Hello {
   std::uint32_t magic = kMagic;
   std::uint16_t version = kProtocolVersion;
-  std::uint8_t role = 0;  ///< 0 = worker channel, 1 = ABC control channel
+  std::uint8_t role = 0;  ///< 0 = worker channel, 1 = ABC control, 2 = stats
   std::string node_kind;  ///< worker node to instantiate ("sim", "echo", ...)
   double clock_scale = 1.0;
   double heartbeat_wall_s = 0.25;
@@ -256,6 +258,31 @@ std::optional<ActRequest> parse_act_req(const Frame& f);
 
 Frame make_act_rep(const ActReply& r);
 std::optional<ActReply> parse_act_rep(const Frame& f);
+
+/// Observability pull RPC: a stats channel (Hello role 2) asks the daemon
+/// for one of its obs snapshots and gets the text back verbatim. `what`
+/// selects the snapshot kind.
+struct StatsRequest {
+  enum class What : std::uint8_t {
+    Prometheus = 1,  ///< metrics, Prometheus text exposition 0.0.4
+    MetricsJsonl,    ///< metrics, one JSON object per line
+    TraceJsonl,      ///< MAPE decision spans + event log, JSONL
+  };
+  std::uint32_t seq = 0;
+  What what = What::Prometheus;
+};
+
+struct StatsReply {
+  std::uint32_t seq = 0;
+  bool ok = false;
+  std::string text;  ///< snapshot body (empty when !ok)
+};
+
+Frame make_stats_req(const StatsRequest& r);
+std::optional<StatsRequest> parse_stats_req(const Frame& f);
+
+Frame make_stats_rep(const StatsReply& r);
+std::optional<StatsReply> parse_stats_rep(const Frame& f);
 
 // Task payload serialization (the std::any member): empty payloads, strings,
 // doubles, signed/unsigned 64-bit integers, and byte vectors travel; any

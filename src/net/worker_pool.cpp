@@ -262,4 +262,39 @@ void stop_bskd(BskdProcess& p, int sig) {
   p.pid = -1;
 }
 
+std::optional<std::string> pull_bskd_stats(const Endpoint& ep,
+                                           StatsRequest::What what,
+                                           double timeout_wall_s) {
+  auto tp = TcpTransport::connect(ep.host, ep.port);
+  if (!tp) return std::nullopt;
+  Hello h;
+  h.role = 2;  // stats channel: no worker session behind it
+  if (!client_handshake(*tp, h, timeout_wall_s)) {
+    tp->close();
+    return std::nullopt;
+  }
+  StatsRequest req;
+  req.seq = 1;
+  req.what = what;
+  if (!tp->send(make_stats_req(req))) {
+    tp->close();
+    return std::nullopt;
+  }
+  const double deadline = wall_now() + timeout_wall_s;
+  Frame f;
+  std::optional<std::string> out;
+  for (;;) {
+    const double left = deadline - wall_now();
+    if (left <= 0.0) break;
+    if (tp->recv_for(f, left) != RecvStatus::Ok) break;
+    const auto rep = parse_stats_rep(f);
+    if (!rep || rep->seq != req.seq) continue;
+    if (rep->ok) out = rep->text;
+    break;
+  }
+  tp->send(Frame{FrameType::Shutdown, {}});
+  tp->close();
+  return out;
+}
+
 }  // namespace bsk::net

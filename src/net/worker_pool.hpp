@@ -179,4 +179,11 @@ BskdProcess spawn_bskd(const std::string& exe_path, double wait_wall_s = 5.0,
 /// an invalid/already-stopped handle.
 void stop_bskd(BskdProcess& p, int sig);
 
+/// Open a role-2 stats channel to a bskd and pull one obs snapshot (the
+/// bsk::obs trace-pull RPC). Returns nullopt when the daemon is unreachable
+/// or the RPC fails; the connection is closed either way.
+std::optional<std::string> pull_bskd_stats(const Endpoint& ep,
+                                           StatsRequest::What what,
+                                           double timeout_wall_s = 5.0);
+
 }  // namespace bsk::net

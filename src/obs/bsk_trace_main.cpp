@@ -1,0 +1,139 @@
+// bsk-trace — merge and validate per-process observability artifacts.
+//
+//   bsk-trace merge -o OUT FILE...   merge JSONL traces into one time-ordered,
+//                                    causally consistent trace ("-" = stdout)
+//   bsk-trace validate FILE...       strict JSONL check; exits 1 at the first
+//                                    malformed line (file:line reported)
+//   bsk-trace promcheck FILE         validate Prometheus text exposition
+//
+// run_experiments.sh uses `merge` to fold the local process's trace and every
+// bskd's pulled trace into the per-experiment archive, and CI uses `validate`
+// / `promcheck` to keep "our emitters produce valid output" an enforced
+// property instead of a convention.
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: bsk-trace merge -o OUT FILE...\n"
+               "       bsk-trace validate FILE...\n"
+               "       bsk-trace promcheck FILE\n";
+  return 2;
+}
+
+bool read_lines(const std::string& path, std::vector<std::string>& out,
+                std::vector<std::pair<std::string, std::size_t>>* origin) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "bsk-trace: cannot open " << path << "\n";
+    return false;
+  }
+  std::string line;
+  std::size_t n = 0;
+  while (std::getline(in, line)) {
+    ++n;
+    if (line.empty()) continue;
+    out.push_back(line);
+    if (origin) origin->emplace_back(path, n);
+  }
+  return true;
+}
+
+int cmd_merge(const std::vector<std::string>& args) {
+  std::string out_path;
+  std::vector<std::string> files;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "-o") {
+      if (i + 1 >= args.size()) return usage();
+      out_path = args[++i];
+    } else {
+      files.push_back(args[i]);
+    }
+  }
+  if (out_path.empty() || files.empty()) return usage();
+
+  std::vector<std::string> lines;
+  for (const std::string& f : files)
+    if (!read_lines(f, lines, nullptr)) return 1;
+
+  std::vector<std::string> merged;
+  bsk::obs::MergeStats stats;
+  std::string err;
+  if (!bsk::obs::merge_trace_lines(lines, merged, &stats, &err)) {
+    std::cerr << "bsk-trace: merge failed: " << err << "\n";
+    return 1;
+  }
+
+  std::ofstream file_out;
+  std::ostream* os = &std::cout;
+  if (out_path != "-") {
+    file_out.open(out_path);
+    if (!file_out) {
+      std::cerr << "bsk-trace: cannot write " << out_path << "\n";
+      return 1;
+    }
+    os = &file_out;
+  }
+  for (const std::string& line : merged) *os << line << '\n';
+  os->flush();
+  std::cerr << "bsk-trace: merged " << stats.lines << " records from "
+            << files.size() << " file(s), " << stats.causal_moves
+            << " causal reorder(s)\n";
+  return os->good() ? 0 : 1;
+}
+
+int cmd_validate(const std::vector<std::string>& args) {
+  if (args.empty()) return usage();
+  std::size_t total = 0;
+  for (const std::string& f : args) {
+    std::vector<std::string> lines;
+    std::vector<std::pair<std::string, std::size_t>> origin;
+    if (!read_lines(f, lines, &origin)) return 1;
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      std::string err;
+      if (!bsk::obs::validate_trace_line(lines[i], &err)) {
+        std::cerr << "bsk-trace: " << origin[i].first << ":"
+                  << origin[i].second << ": invalid JSONL: " << err << "\n";
+        return 1;
+      }
+    }
+    total += lines.size();
+  }
+  std::cerr << "bsk-trace: " << total << " line(s) valid\n";
+  return 0;
+}
+
+int cmd_promcheck(const std::vector<std::string>& args) {
+  if (args.size() != 1) return usage();
+  std::ifstream in(args[0]);
+  if (!in) {
+    std::cerr << "bsk-trace: cannot open " << args[0] << "\n";
+    return 1;
+  }
+  std::string err;
+  if (!bsk::obs::validate_prometheus_text(in, &err)) {
+    std::cerr << "bsk-trace: " << args[0] << ": " << err << "\n";
+    return 1;
+  }
+  std::cerr << "bsk-trace: " << args[0] << " ok\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+  if (cmd == "merge") return cmd_merge(args);
+  if (cmd == "validate") return cmd_validate(args);
+  if (cmd == "promcheck") return cmd_promcheck(args);
+  return usage();
+}

@@ -1,0 +1,284 @@
+#pragma once
+// bsk::obs — process-wide metrics on sharded, relaxed atomics.
+//
+// The hot paths this instruments (farm dispatch batches, net frame sends,
+// sensor reads feeding the MAPE monitor phase) run millions of times per
+// experiment; a mutex there would show up in E14. So every primitive here is
+// a fixed array of cache-line-padded relaxed atomics, striped per recording
+// thread: writes are one predictable-branch gate check plus one fetch_add on
+// a line no other thread is writing, and readers pay the (cold-path) cost of
+// summing the stripes.
+//
+// A process-wide MetricsRegistry names the instruments and exposes them as
+// Prometheus text or a JSONL snapshot; `bsk::obs::enabled()` is the global
+// kill switch that E14 flips to measure instrumentation overhead honestly —
+// disabled, every record degenerates to a relaxed load and a branch.
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace bsk::obs {
+
+inline constexpr std::size_t kShards = 8;
+
+namespace detail {
+
+extern std::atomic<bool> g_enabled;
+extern std::atomic<std::size_t> g_next_shard;
+
+/// Per-thread stripe, assigned round-robin at first use.
+inline std::size_t thread_shard() noexcept {
+  thread_local const std::size_t idx =
+      g_next_shard.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return idx;
+}
+
+struct alignas(64) PaddedU64 {
+  std::atomic<std::uint64_t> v{0};
+};
+
+struct alignas(64) PaddedDouble {
+  std::atomic<double> v{0.0};
+};
+
+inline void atomic_add(std::atomic<double>& a, double x) noexcept {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + x, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace detail
+
+/// Global instrumentation gate (default on; BSK_OBS=0 in the environment
+/// starts the process disabled). Checked on every record.
+inline bool enabled() noexcept {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+void set_enabled(bool on) noexcept;
+
+/// Monotonic wall seconds (shared epoch across local processes); the stamp
+/// trace records are merged on.
+double mono_now() noexcept;
+
+/// Monotonically increasing counter, striped across kShards cache lines.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) noexcept {
+    if (!enabled()) return;
+    shards_[detail::thread_shard()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  std::uint64_t value() const noexcept {
+    std::uint64_t sum = 0;
+    for (const auto& s : shards_) sum += s.v.load(std::memory_order_relaxed);
+    return sum;
+  }
+
+  void reset() noexcept {
+    for (auto& s : shards_) s.v.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::array<detail::PaddedU64, kShards> shards_{};
+};
+
+/// Last-writer-wins scalar (queue depths, epochs, occupancy).
+class Gauge {
+ public:
+  void set(double v) noexcept {
+    if (!enabled()) return;
+    v_.store(v, std::memory_order_relaxed);
+  }
+
+  void add(double d) noexcept {
+    if (!enabled()) return;
+    detail::atomic_add(v_, d);
+  }
+
+  double value() const noexcept { return v_.load(std::memory_order_relaxed); }
+  void reset() noexcept { v_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Fixed-bin histogram: explicit ascending upper bounds plus an implicit
+/// +Inf bucket. Bucket counts are striped per thread; sums likewise.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double x) noexcept {
+    if (!enabled()) return;
+    const std::size_t shard = detail::thread_shard();
+    cells_[shard * stride_ + bucket_of(x)].fetch_add(
+        1, std::memory_order_relaxed);
+    detail::atomic_add(sums_[shard].v, x);
+  }
+
+  struct Snapshot {
+    std::vector<double> bounds;         ///< upper bounds (excluding +Inf)
+    std::vector<std::uint64_t> counts;  ///< per-bucket, last entry = +Inf
+    std::uint64_t count = 0;            ///< total observations
+    double sum = 0.0;                   ///< total of observed values
+  };
+  Snapshot snapshot() const;
+
+  std::uint64_t count() const noexcept;
+  void reset() noexcept;
+
+ private:
+  std::size_t bucket_of(double x) const noexcept {
+    std::size_t b = 0;
+    while (b < bounds_.size() && x > bounds_[b]) ++b;
+    return b;
+  }
+
+  std::vector<double> bounds_;
+  std::size_t stride_;  // bounds_.size() + 1 (the +Inf bucket)
+  std::vector<std::atomic<std::uint64_t>> cells_;
+  std::array<detail::PaddedDouble, kShards> sums_{};
+};
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+/// Process-wide named-metric registry. Registration takes a mutex once;
+/// returned references stay valid for the process lifetime, so call sites
+/// hoist them into statics/members and record lock-free thereafter.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& global();
+
+  Counter& counter(std::string_view name, std::string_view help = {});
+  Gauge& gauge(std::string_view name, std::string_view help = {});
+  Histogram& histogram(std::string_view name, std::vector<double> upper_bounds,
+                       std::string_view help = {});
+
+  /// Prometheus text exposition format 0.0.4, metrics sorted by name.
+  void write_prometheus(std::ostream& os) const;
+
+  /// One JSON object per metric per line (histograms carry their buckets).
+  void write_jsonl(std::ostream& os) const;
+
+  /// Zero every registered metric's value (names stay registered — returned
+  /// references must survive). Test isolation only.
+  void reset_values();
+
+  std::size_t size() const;
+
+ private:
+  struct Entry {
+    std::string name;
+    std::string help;
+    MetricKind kind;
+    std::unique_ptr<Counter> c;
+    std::unique_ptr<Gauge> g;
+    std::unique_ptr<Histogram> h;
+  };
+
+  Entry& get_or_create(std::string_view name, std::string_view help,
+                       MetricKind kind, std::vector<double> bounds = {});
+  std::vector<const Entry*> sorted_entries() const;
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Entry>> entries_;
+  std::unordered_map<std::string, Entry*> index_;
+};
+
+/// Shorthands for the common "register once, hold the reference" pattern.
+inline Counter& counter(std::string_view name, std::string_view help = {}) {
+  return MetricsRegistry::global().counter(name, help);
+}
+inline Gauge& gauge(std::string_view name, std::string_view help = {}) {
+  return MetricsRegistry::global().gauge(name, help);
+}
+inline Histogram& histogram(std::string_view name,
+                            std::vector<double> upper_bounds,
+                            std::string_view help = {}) {
+  return MetricsRegistry::global().histogram(name, std::move(upper_bounds),
+                                             help);
+}
+
+/// Lock-free sliding-window event-rate estimator over SimTime — the registry
+/// counterpart of support::RateEstimator, used by rt::NodeMetrics so sensor
+/// reads in the monitor phase never contend with dataplane records.
+///
+/// Time is quantized into `buckets` slices of window/buckets seconds; each
+/// slice maps to a cell tagged with its slice index. Recording into a stale
+/// cell rotates it (CAS on the tag); a concurrent record that loses the
+/// rotation race can drop one event at a slice boundary, which is noise at
+/// sensor granularity.
+class AtomicRateWindow {
+ public:
+  explicit AtomicRateWindow(double window_s = 10.0, std::size_t buckets = 64);
+
+  void record(double t) noexcept;
+
+  /// Events/second over the trailing window ending at `now`, at bucket
+  /// granularity.
+  double rate(double now) const noexcept;
+
+  std::uint64_t total() const noexcept;
+
+  /// Not safe against concurrent record(); callers quiesce first.
+  void reset() noexcept;
+
+ private:
+  static constexpr std::uint64_t kEmpty = ~std::uint64_t{0};
+
+  struct alignas(64) Cell {
+    std::atomic<std::uint64_t> slice{kEmpty};
+    std::atomic<std::uint64_t> count{0};
+  };
+
+  double width_;
+  double window_;
+  std::vector<Cell> cells_;
+  std::array<detail::PaddedU64, kShards> totals_{};
+};
+
+/// Lock-free count/sum pair for mean estimates (service time, latency).
+class AtomicMean {
+ public:
+  void add(double x) noexcept {
+    const std::size_t shard = detail::thread_shard();
+    counts_[shard].v.fetch_add(1, std::memory_order_relaxed);
+    detail::atomic_add(sums_[shard].v, x);
+  }
+
+  std::uint64_t count() const noexcept {
+    std::uint64_t n = 0;
+    for (const auto& s : counts_) n += s.v.load(std::memory_order_relaxed);
+    return n;
+  }
+
+  double sum() const noexcept {
+    double s = 0.0;
+    for (const auto& p : sums_) s += p.v.load(std::memory_order_relaxed);
+    return s;
+  }
+
+  double mean() const noexcept {
+    const std::uint64_t n = count();
+    return n ? sum() / static_cast<double>(n) : 0.0;
+  }
+
+  void reset() noexcept {
+    for (auto& s : counts_) s.v.store(0, std::memory_order_relaxed);
+    for (auto& p : sums_) p.v.store(0.0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::array<detail::PaddedU64, kShards> counts_{};
+  std::array<detail::PaddedDouble, kShards> sums_{};
+};
+
+}  // namespace bsk::obs

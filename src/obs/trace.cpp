@@ -1,0 +1,393 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <istream>
+#include <ostream>
+#include <unordered_map>
+
+#include "support/json.hpp"
+
+namespace bsk::obs {
+
+namespace json = support::json;
+
+std::string MapeSpan::to_jsonl() const {
+  std::string s = "{\"type\":\"mape_span\",\"proc\":\"";
+  s += json::escape(proc);
+  s += "\",\"manager\":\"";
+  s += json::escape(manager);
+  s += "\",\"cycle\":";
+  s += std::to_string(cycle);
+  s += ",\"t\":";
+  s += json::number_token(t_begin);
+  s += ",\"t_end\":";
+  s += json::number_token(t_end);
+  s += ",\"tw\":";
+  s += json::number_token(tw_begin);
+  s += ",\"tw_end\":";
+  s += json::number_token(tw_end);
+  s += ",\"beans\":{";
+  for (std::size_t i = 0; i < beans.size(); ++i) {
+    if (i) s += ',';
+    s += '"';
+    s += json::escape(beans[i].first);
+    s += "\":";
+    s += json::number_token(beans[i].second);
+  }
+  s += "},\"rules\":[";
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    if (i) s += ',';
+    s += '"';
+    s += json::escape(rules[i]);
+    s += '"';
+  }
+  s += "],\"actions\":[";
+  for (std::size_t i = 0; i < actions.size(); ++i) {
+    if (i) s += ',';
+    s += "{\"name\":\"";
+    s += json::escape(actions[i].name);
+    s += "\",\"value\":";
+    s += json::number_token(actions[i].value);
+    if (!actions[i].detail.empty()) {
+      s += ",\"detail\":\"";
+      s += json::escape(actions[i].detail);
+      s += '"';
+    }
+    s += '}';
+  }
+  s += "],\"contract\":\"";
+  s += json::escape(contract);
+  s += "\",\"mode\":\"";
+  s += json::escape(mode);
+  s += '"';
+  if (!causes.empty()) {
+    s += ",\"causes\":[";
+    for (std::size_t i = 0; i < causes.size(); ++i) {
+      if (i) s += ',';
+      s += "{\"proc\":\"";
+      s += json::escape(causes[i].proc);
+      s += "\",\"manager\":\"";
+      s += json::escape(causes[i].manager);
+      s += "\",\"cycle\":";
+      s += std::to_string(causes[i].cycle);
+      s += ",\"kind\":\"";
+      s += json::escape(causes[i].kind);
+      s += "\"}";
+    }
+    s += ']';
+  }
+  s += '}';
+  return s;
+}
+
+TraceLog& TraceLog::global() {
+  static TraceLog log;
+  return log;
+}
+
+void TraceLog::set_process_tag(std::string tag) {
+  std::scoped_lock lk(mu_);
+  tag_ = std::move(tag);
+}
+
+std::string TraceLog::process_tag() const {
+  std::scoped_lock lk(mu_);
+  return tag_;
+}
+
+void TraceLog::record(MapeSpan span) {
+  std::scoped_lock lk(mu_);
+  if (span.proc.empty()) span.proc = tag_;
+  lines_.push_back(span.to_jsonl());
+}
+
+void TraceLog::record_line(std::string jsonl) {
+  std::scoped_lock lk(mu_);
+  lines_.push_back(std::move(jsonl));
+}
+
+std::vector<std::string> TraceLog::lines() const {
+  std::scoped_lock lk(mu_);
+  return lines_;
+}
+
+void TraceLog::dump_jsonl(std::ostream& os) const {
+  for (const std::string& line : lines()) os << line << '\n';
+}
+
+void TraceLog::clear() {
+  std::scoped_lock lk(mu_);
+  lines_.clear();
+}
+
+std::size_t TraceLog::size() const {
+  std::scoped_lock lk(mu_);
+  return lines_.size();
+}
+
+// ---------------------------------------------------------------------------
+// Merge
+
+namespace {
+
+std::string span_key(const std::string& proc, const std::string& manager,
+                     std::uint64_t cycle) {
+  std::string k = proc;
+  k += '\x1f';
+  k += manager;
+  k += '\x1f';
+  k += std::to_string(cycle);
+  return k;
+}
+
+struct Rec {
+  const std::string* line = nullptr;
+  std::size_t idx = 0;    // input order, the tie-breaker
+  double time = 0.0;      // tw if present, else t
+  double eff = 0.0;       // causally adjusted sort time
+  bool is_span = false;
+  std::string key;                 // span identity
+  std::vector<std::string> cause_keys;
+};
+
+}  // namespace
+
+bool merge_trace_lines(const std::vector<std::string>& in,
+                       std::vector<std::string>& out, MergeStats* stats,
+                       std::string* err) {
+  std::vector<Rec> recs;
+  recs.reserve(in.size());
+  std::unordered_map<std::string, std::size_t> span_at;
+
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    std::string perr;
+    const auto v = json::parse(in[i], &perr);
+    if (!v || !v->is_object()) {
+      if (err)
+        *err = "line " + std::to_string(i + 1) + ": " +
+               (v ? "not a JSON object" : perr);
+      return false;
+    }
+    Rec r;
+    r.line = &in[i];
+    r.idx = i;
+    r.time = v->number_or("tw", v->number_or("t", 0.0));
+    if (v->string_or("type", "") == "mape_span") {
+      r.is_span = true;
+      r.key = span_key(v->string_or("proc", ""), v->string_or("manager", ""),
+                       static_cast<std::uint64_t>(v->number_or("cycle", 0)));
+      if (const json::Value* causes = v->get("causes");
+          causes && causes->is_array()) {
+        for (const json::Value& c : causes->array) {
+          if (!c.is_object()) continue;
+          r.cause_keys.push_back(span_key(
+              c.string_or("proc", ""), c.string_or("manager", ""),
+              static_cast<std::uint64_t>(c.number_or("cycle", 0))));
+        }
+      }
+    }
+    recs.push_back(std::move(r));
+  }
+  for (std::size_t i = 0; i < recs.size(); ++i)
+    if (recs[i].is_span) span_at.emplace(recs[i].key, i);
+
+  // Effect records must sort after their recorded causes even when clock
+  // granularity stamped them equal or inverted. Propagate to a fixpoint
+  // (cause chains are cycle-id links, so depth is bounded by the hierarchy).
+  for (Rec& r : recs) r.eff = r.time;
+  std::size_t moved = 0;
+  for (std::size_t pass = 0; pass < recs.size() + 1; ++pass) {
+    bool changed = false;
+    for (Rec& r : recs) {
+      for (const std::string& ck : r.cause_keys) {
+        const auto it = span_at.find(ck);
+        if (it == span_at.end()) continue;  // cause not in this merge set
+        const Rec& cause = recs[it->second];
+        if (&cause == &r) continue;
+        const double min_eff = cause.eff + 1e-9;
+        if (r.eff < min_eff) {
+          if (r.eff == r.time) ++moved;
+          r.eff = min_eff;
+          changed = true;
+        }
+      }
+    }
+    if (!changed) break;
+  }
+
+  std::vector<std::size_t> order(recs.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     if (recs[a].eff != recs[b].eff)
+                       return recs[a].eff < recs[b].eff;
+                     return recs[a].idx < recs[b].idx;
+                   });
+
+  out.clear();
+  out.reserve(recs.size());
+  for (const std::size_t i : order) out.push_back(*recs[i].line);
+  if (stats) {
+    stats->lines = recs.size();
+    stats->causal_moves = moved;
+  }
+  return true;
+}
+
+bool validate_trace_line(const std::string& line, std::string* err) {
+  std::string perr;
+  const auto v = json::parse(line, &perr);
+  if (!v) {
+    if (err) *err = perr;
+    return false;
+  }
+  if (!v->is_object()) {
+    if (err) *err = "not a JSON object";
+    return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus text-format validation
+
+namespace {
+
+bool valid_metric_name(std::string_view s) {
+  if (s.empty()) return false;
+  auto head = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+           c == ':';
+  };
+  if (!head(s[0])) return false;
+  for (const char c : s.substr(1))
+    if (!head(c) && !(c >= '0' && c <= '9')) return false;
+  return true;
+}
+
+bool valid_label_name(std::string_view s) {
+  if (s.empty()) return false;
+  auto head = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+  };
+  if (!head(s[0])) return false;
+  for (const char c : s.substr(1))
+    if (!head(c) && !(c >= '0' && c <= '9')) return false;
+  return true;
+}
+
+bool valid_sample_value(std::string_view s) {
+  if (s == "+Inf" || s == "-Inf" || s == "Inf" || s == "NaN") return true;
+  if (s.empty()) return false;
+  double d = 0.0;
+  const auto res = std::from_chars(s.data(), s.data() + s.size(), d);
+  return res.ec == std::errc{} && res.ptr == s.data() + s.size();
+}
+
+// name[{label="value",...}] value [timestamp]
+bool valid_sample_line(std::string_view line) {
+  std::size_t i = 0;
+  while (i < line.size() && line[i] != '{' && line[i] != ' ') ++i;
+  if (!valid_metric_name(line.substr(0, i))) return false;
+  if (i < line.size() && line[i] == '{') {
+    ++i;
+    if (i < line.size() && line[i] == '}') {
+      ++i;  // empty label set
+    } else {
+      for (;;) {
+        const std::size_t eq = line.find('=', i);
+        if (eq == std::string_view::npos) return false;
+        if (!valid_label_name(line.substr(i, eq - i))) return false;
+        i = eq + 1;
+        if (i >= line.size() || line[i] != '"') return false;
+        ++i;
+        while (i < line.size() && line[i] != '"') {
+          if (line[i] == '\\') ++i;  // escaped char inside label value
+          ++i;
+        }
+        if (i >= line.size()) return false;
+        ++i;  // closing quote
+        if (i < line.size() && line[i] == ',') {
+          ++i;
+          continue;
+        }
+        if (i < line.size() && line[i] == '}') {
+          ++i;
+          break;
+        }
+        return false;
+      }
+    }
+  }
+  if (i >= line.size() || line[i] != ' ') return false;
+  ++i;
+  const std::size_t sp = line.find(' ', i);
+  const std::string_view value =
+      line.substr(i, sp == std::string_view::npos ? line.size() - i : sp - i);
+  if (!valid_sample_value(value)) return false;
+  if (sp != std::string_view::npos) {
+    // Optional integer timestamp.
+    const std::string_view ts = line.substr(sp + 1);
+    if (ts.empty()) return false;
+    std::int64_t t = 0;
+    const auto res = std::from_chars(ts.data(), ts.data() + ts.size(), t);
+    if (res.ec != std::errc{} || res.ptr != ts.data() + ts.size())
+      return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool validate_prometheus_text(std::istream& in, std::string* err) {
+  std::string line;
+  std::size_t lineno = 0;
+  std::size_t samples = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      // Only "# HELP name text" and "# TYPE name type" comments are emitted
+      // by the registry; anything else starting '#' is a plain comment and
+      // legal, but a malformed HELP/TYPE header is not.
+      if (line.rfind("# HELP ", 0) == 0 || line.rfind("# TYPE ", 0) == 0) {
+        const std::string rest = line.substr(7);
+        const std::size_t sp = rest.find(' ');
+        const std::string name =
+            sp == std::string::npos ? rest : rest.substr(0, sp);
+        if (!valid_metric_name(name)) {
+          if (err)
+            *err = "line " + std::to_string(lineno) +
+                   ": bad metric name in comment header";
+          return false;
+        }
+        if (line.rfind("# TYPE ", 0) == 0) {
+          const std::string type =
+              sp == std::string::npos ? "" : rest.substr(sp + 1);
+          if (type != "counter" && type != "gauge" && type != "histogram" &&
+              type != "summary" && type != "untyped") {
+            if (err)
+              *err = "line " + std::to_string(lineno) + ": unknown TYPE '" +
+                     type + "'";
+            return false;
+          }
+        }
+      }
+      continue;
+    }
+    if (!valid_sample_line(line)) {
+      if (err)
+        *err = "line " + std::to_string(lineno) + ": malformed sample: " + line;
+      return false;
+    }
+    ++samples;
+  }
+  if (samples == 0) {
+    if (err) *err = "no samples found";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace bsk::obs

@@ -1,0 +1,105 @@
+#pragma once
+// MAPE decision spans and the cross-process trace merge.
+//
+// Each autonomic-manager control cycle emits one MapeSpan: the beans its
+// monitor phase read, the rules that fired, the actuations it executed and
+// their results, the contract state it left behind — plus causal links to the
+// cycles (possibly in other managers or other processes) whose raiseViol it
+// is reacting to. Spans serialize as one JSON line each; bsk-trace merges
+// per-process JSONL files into a single time-ordered trace on the shared
+// monotonic wall stamp ("tw"), then nudges effects after their recorded
+// causes where clock granularity put them out of order.
+
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace bsk::obs {
+
+/// A causal link: "this cycle reacts to `kind` raised by that cycle".
+struct SpanCause {
+  std::string proc;
+  std::string manager;
+  std::uint64_t cycle = 0;
+  std::string kind;  ///< e.g. "perf", "escalation"
+};
+
+/// One actuation (or notable observation) executed during the cycle.
+struct SpanAction {
+  std::string name;  ///< e.g. "addWorker"
+  double value = 0.0;
+  std::string detail;
+};
+
+/// One manager control cycle, the unit of the decision trace.
+struct MapeSpan {
+  std::string proc;     ///< process tag (TraceLog fills if empty)
+  std::string manager;  ///< manager name, e.g. "AM_F"
+  std::uint64_t cycle = 0;
+  double t_begin = 0.0, t_end = 0.0;    ///< SimTime bounds of the cycle
+  double tw_begin = 0.0, tw_end = 0.0;  ///< monotonic wall bounds
+  std::vector<std::pair<std::string, double>> beans;  ///< monitor phase reads
+  std::vector<std::string> rules;                     ///< rules fired
+  std::vector<SpanAction> actions;                    ///< actuations + results
+  std::string contract;  ///< contract state after the cycle
+  std::string mode;      ///< "active" / "passive"
+  std::vector<SpanCause> causes;
+
+  /// One JSON object, no trailing newline. {"type":"mape_span",...}
+  std::string to_jsonl() const;
+};
+
+/// Process-wide span sink. Spans arrive once per control cycle (low rate), so
+/// a single mutex suffices; they are serialized at record time so dumping is
+/// a plain copy.
+class TraceLog {
+ public:
+  static TraceLog& global();
+
+  /// Tag stamped into spans recorded without one ("local", "bskd:9123", ...).
+  void set_process_tag(std::string tag);
+  std::string process_tag() const;
+
+  void record(MapeSpan span);
+
+  /// Append a pre-serialized JSONL record (one object, no newline) — used by
+  /// bskd to fold records pulled from elsewhere into its own dump.
+  void record_line(std::string jsonl);
+
+  std::vector<std::string> lines() const;
+  void dump_jsonl(std::ostream& os) const;
+  void clear();
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::string tag_ = "local";
+  std::vector<std::string> lines_;
+};
+
+struct MergeStats {
+  std::size_t lines = 0;
+  std::size_t causal_moves = 0;  ///< records re-ordered to follow their cause
+};
+
+/// Merge JSONL trace lines (spans and plain events alike) into one
+/// time-ordered, causally consistent sequence. Sort key is "tw" (falling
+/// back to "t"), ties broken by input order; a span whose recorded cause
+/// sorts after it is moved to just after that cause. Returns false and sets
+/// `err` if any line is not a valid JSON object.
+bool merge_trace_lines(const std::vector<std::string>& in,
+                       std::vector<std::string>& out,
+                       MergeStats* stats = nullptr, std::string* err = nullptr);
+
+/// Strictly validate one trace line: exactly one JSON object.
+bool validate_trace_line(const std::string& line, std::string* err = nullptr);
+
+/// Validate Prometheus text exposition format (HELP/TYPE comments + sample
+/// lines). Returns false and sets `err` at the first malformed line.
+bool validate_prometheus_text(std::istream& in, std::string* err = nullptr);
+
+}  // namespace bsk::obs

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "obs/metrics.hpp"
 #include "rt/ordered_window.hpp"
 #include "support/stats.hpp"
 
@@ -17,6 +18,43 @@ constexpr std::size_t kEmitterBatch = 64;
 constexpr std::size_t kWorkerBatch = 8;
 // Results the collector drains per lock acquisition.
 constexpr std::size_t kCollectorBatch = 64;
+
+// Process-wide dataplane instruments. Registered once; every farm in the
+// process records into the same series (per-batch, never per-task, so the
+// E14 overhead budget holds).
+struct FarmObs {
+  obs::Counter& dispatched = obs::counter(
+      "bsk_farm_tasks_dispatched_total", "data tasks dispatched by emitters");
+  obs::Counter& collected = obs::counter(
+      "bsk_farm_tasks_collected_total", "data tasks emitted by collectors");
+  obs::Counter& failures = obs::counter("bsk_farm_worker_failures_total",
+                                        "worker crash recoveries");
+  obs::Histogram& emitter_batch =
+      obs::histogram("bsk_farm_emitter_batch_size", {1, 2, 4, 8, 16, 32, 64},
+                     "data tasks per emitter dispatch batch");
+  obs::Histogram& worker_batch =
+      obs::histogram("bsk_farm_worker_batch_size", {1, 2, 4, 8},
+                     "tasks per worker claim batch");
+  obs::Histogram& collector_batch =
+      obs::histogram("bsk_farm_collector_batch_size", {1, 2, 4, 8, 16, 32, 64},
+                     "results per collector drain batch");
+  obs::Gauge& epoch = obs::gauge("bsk_farm_snapshot_epoch",
+                                 "latest published dispatch-snapshot epoch");
+  obs::Gauge& sched_workers = obs::gauge(
+      "bsk_farm_sched_workers", "schedulable workers in the latest snapshot");
+  obs::Gauge& queued = obs::gauge("bsk_farm_queued_tasks",
+                                  "queued tasks across worker queues "
+                                  "(latest sensor read)");
+  obs::Gauge& reorder_occupancy =
+      obs::gauge("bsk_farm_reorder_occupancy",
+                 "tasks parked in the collector's OrderedWindow");
+};
+
+FarmObs& farm_obs() {
+  static FarmObs o;
+  return o;
+}
+
 }  // namespace
 
 Farm::Farm(std::string name, FarmConfig cfg, NodeFactory worker_factory,
@@ -87,6 +125,7 @@ void Farm::refresh_snapshot_locked() {
     s->active.push_back(w.get());
     if (w->started.load() && !w->failed.load()) s->sched.push_back(w.get());
   }
+  const std::size_t sched_n = s->sched.size();
   {
     std::scoped_lock lk(snap_mu_);
     snap_ = std::move(s);
@@ -94,6 +133,9 @@ void Farm::refresh_snapshot_locked() {
   // Publish the epoch after the snapshot so a dispatcher that observes the
   // new epoch is guaranteed to fetch the new snapshot.
   epoch_.store(e, std::memory_order_release);
+  FarmObs& fo = farm_obs();
+  fo.epoch.set(static_cast<double>(e));
+  fo.sched_workers.set(static_cast<double>(sched_n));
 }
 
 std::shared_ptr<const Farm::Snapshot> Farm::snapshot() const {
@@ -314,9 +356,13 @@ std::vector<std::size_t> Farm::queue_lengths() const {
   // kWorkerBatch-1 tasks per worker from the manager's balance sensors.
   const auto snap = snapshot();
   std::vector<std::size_t> out;
+  std::size_t total = 0;
   for (const Worker* w : snap->all)
-    if (!w->retiring.load())
+    if (!w->retiring.load()) {
       out.push_back(w->in->size() + w->staged.load(std::memory_order_relaxed));
+      total += out.back();
+    }
+  farm_obs().queued.set(static_cast<double>(total));
   return out;
 }
 
@@ -386,6 +432,11 @@ void Farm::emitter_loop() {
       ++n_data;
     }
     if (n_data == 0) continue;
+    {
+      FarmObs& fo = farm_obs();
+      fo.dispatched.inc(n_data);
+      fo.emitter_batch.observe(static_cast<double>(n_data));
+    }
 
     if (cfg_.policy == SchedPolicy::Broadcast) {
       fresh();
@@ -492,6 +543,7 @@ void Farm::worker_loop(Worker* w) {
   while (!poisoned && !crashed) {
     batch.clear();
     if (w->in->pop_n(batch, kWorkerBatch) != support::ChannelStatus::Ok) break;
+    farm_obs().worker_batch.observe(static_cast<double>(batch.size()));
 
     // Stage the whole batch for crash recovery before executing any of it.
     // If the crash already landed, the injector cannot have seen these
@@ -774,6 +826,7 @@ void Farm::recover_worker(Worker* victim) {
   }
 
   failures_.fetch_add(1);
+  farm_obs().failures.inc();
   // The crashed "machine" takes its lease down with it: deliberately not
   // returned to any resource manager.
   victim->lease.reset();
@@ -799,6 +852,7 @@ void Farm::collector_loop() {
 
   auto emit = [&](Task t) {
     metrics_.record_departure();
+    farm_obs().collected.inc();
     if (out_) out_->push(std::move(t));
   };
 
@@ -828,6 +882,11 @@ void Farm::collector_loop() {
     if (st == support::ChannelStatus::TimedOut) {
       if (emitter_done_.load() && done_acks_.load() == spawned_.load()) break;
       continue;
+    }
+    {
+      FarmObs& fo = farm_obs();
+      fo.collector_batch.observe(static_cast<double>(batch.size()));
+      fo.reorder_occupancy.set(static_cast<double>(reorder.pending()));
     }
     for (Task& t : batch) {
       if (t.kind == TaskKind::WorkerDone) {

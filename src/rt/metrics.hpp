@@ -5,11 +5,15 @@
 // departures, and service times, and the manager's monitor phase reads
 // rates over a sliding simulated-time window. This is the C++ counterpart
 // of what the paper's ABC "monitoring" interface exposes to the AM.
+//
+// Records land on every task the dataplane moves, so there is no mutex
+// here: rates come from obs::AtomicRateWindow (lock-free bucketed sliding
+// window) and means from obs::AtomicMean (sharded count/sum pairs). These
+// are sensors feeding the control loop — functional, not optional — so they
+// do not honor the obs::enabled() instrumentation gate.
 
-#include <mutex>
-
+#include "obs/metrics.hpp"
 #include "support/clock.hpp"
-#include "support/stats.hpp"
 
 namespace bsk::rt {
 
@@ -18,71 +22,47 @@ class NodeMetrics {
  public:
   explicit NodeMetrics(support::SimDuration rate_window =
                            support::SimDuration(10.0))
-      : arrivals_(rate_window), departures_(rate_window) {}
+      : arrivals_(rate_window.count()), departures_(rate_window.count()) {}
 
-  void record_arrival() {
-    std::scoped_lock lk(mu_);
-    arrivals_.record(support::Clock::now());
-  }
+  void record_arrival() { arrivals_.record(support::Clock::now()); }
 
-  void record_departure() {
-    std::scoped_lock lk(mu_);
-    departures_.record(support::Clock::now());
-  }
+  void record_departure() { departures_.record(support::Clock::now()); }
 
-  void record_service_time(double s) {
-    std::scoped_lock lk(mu_);
-    service_.add(s);
-  }
+  void record_service_time(double s) { service_.add(s); }
 
-  void record_latency(double s) {
-    std::scoped_lock lk(mu_);
-    latency_.add(s);
-  }
+  void record_latency(double s) { latency_.add(s); }
 
   /// Tasks/second entering the skeleton over the trailing window — the
   /// paper's ArrivalRateBean ("input pressure").
-  double arrival_rate() const {
-    std::scoped_lock lk(mu_);
-    return arrivals_.rate(support::Clock::now());
-  }
+  double arrival_rate() const { return arrivals_.rate(support::Clock::now()); }
 
   /// Tasks/second leaving the skeleton — the paper's DepartureRateBean
   /// (delivered throughput).
   double departure_rate() const {
-    std::scoped_lock lk(mu_);
     return departures_.rate(support::Clock::now());
   }
 
   std::size_t total_arrivals() const {
-    std::scoped_lock lk(mu_);
-    return arrivals_.total();
+    return static_cast<std::size_t>(arrivals_.total());
   }
 
   std::size_t total_departures() const {
-    std::scoped_lock lk(mu_);
-    return departures_.total();
+    return static_cast<std::size_t>(departures_.total());
   }
 
   /// Mean observed per-task service time (seconds).
-  double mean_service_time() const {
-    std::scoped_lock lk(mu_);
-    return service_.mean();
-  }
+  double mean_service_time() const { return service_.mean(); }
 
   /// Mean source-to-sink latency (seconds).
-  double mean_latency() const {
-    std::scoped_lock lk(mu_);
-    return latency_.mean();
+  double mean_latency() const { return latency_.mean(); }
+
+  /// Observation count behind mean_service_time().
+  std::size_t service_count() const {
+    return static_cast<std::size_t>(service_.count());
   }
 
-  support::OnlineStats service_snapshot() const {
-    std::scoped_lock lk(mu_);
-    return service_;
-  }
-
+  /// Callers quiesce recording threads first (reconfiguration barriers do).
   void reset() {
-    std::scoped_lock lk(mu_);
     arrivals_.reset();
     departures_.reset();
     service_.reset();
@@ -90,11 +70,10 @@ class NodeMetrics {
   }
 
  private:
-  mutable std::mutex mu_;
-  support::RateEstimator arrivals_;
-  support::RateEstimator departures_;
-  support::OnlineStats service_;
-  support::OnlineStats latency_;
+  obs::AtomicRateWindow arrivals_;
+  obs::AtomicRateWindow departures_;
+  obs::AtomicMean service_;
+  obs::AtomicMean latency_;
 };
 
 }  // namespace bsk::rt

@@ -2,7 +2,19 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+
 namespace bsk::rules {
+
+namespace {
+
+obs::Counter& firings_counter() {
+  static obs::Counter& c =
+      obs::counter("bsk_rules_fired_total", "rule firings across all engines");
+  return c;
+}
+
+}  // namespace
 
 void Engine::add_rule(Rule r) {
   const auto it =
@@ -72,6 +84,7 @@ std::vector<std::string> Engine::run_cycle(
     RuleContext ctx{wm, consts, sink};
     best->fire(ctx);
     fired.push_back(best->name());
+    firings_counter().inc();
     if (listener_) listener_(best->name());
   }
   return fired;

@@ -37,4 +37,10 @@ void Clock::sleep_until(SimTime t) {
   if (t > n) sleep_for(SimDuration(t - n));
 }
 
+double mono_now() noexcept {
+  return std::chrono::duration_cast<std::chrono::duration<double>>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
 }  // namespace bsk::support

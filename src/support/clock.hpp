@@ -47,6 +47,14 @@ class Clock {
   static const std::chrono::steady_clock::time_point epoch_;
 };
 
+/// Monotonic wall-clock seconds. On Linux std::chrono::steady_clock reads
+/// CLOCK_MONOTONIC, whose epoch (boot) is shared by every process on the
+/// host — so these stamps are directly comparable across a local process and
+/// the bskd daemons it spawns, which is what the cross-process trace merge
+/// sorts on. Unlike SimTime this is unscaled and not relative to process
+/// start.
+double mono_now() noexcept;
+
 /// RAII guard that sets the clock scale and restores the previous value.
 /// Handy in tests that want a fast clock without leaking state.
 class ScopedClockScale {

@@ -3,58 +3,96 @@
 #include <algorithm>
 #include <iomanip>
 
+#include "support/json.hpp"
+
 namespace bsk::support {
+
+namespace {
+
+// Per-thread shard assignment: round-robin at first use. Keeps every
+// recording thread on its own stripe without hashing std::thread::id.
+std::atomic<std::size_t> g_next_shard{0};
+
+std::size_t my_shard() noexcept {
+  thread_local const std::size_t idx =
+      g_next_shard.fetch_add(1, std::memory_order_relaxed) %
+      EventLog::kShards;
+  return idx;
+}
+
+}  // namespace
 
 void EventLog::record(std::string source, std::string name, double value,
                       std::string detail) {
-  Event e{Clock::now(), std::move(source), std::move(name), value,
-          std::move(detail)};
-  std::scoped_lock lk(mu_);
-  events_.push_back(std::move(e));
+  Event e{Clock::now(), std::move(source), std::move(name),
+          value,        std::move(detail), mono_now(),
+          seq_.fetch_add(1, std::memory_order_relaxed)};
+  Shard& s = shards_[my_shard()];
+  std::scoped_lock lk(s.mu);
+  s.events.push_back(std::move(e));
 }
 
-std::vector<Event> EventLog::snapshot() const {
-  std::scoped_lock lk(mu_);
-  return events_;
+std::vector<Event> EventLog::merged_snapshot() const {
+  // Hold every shard lock for the copy so no in-flight record with a lower
+  // seq than an already-copied event can land in a not-yet-copied shard.
+  std::array<std::unique_lock<std::mutex>, kShards> locks;
+  for (std::size_t i = 0; i < kShards; ++i)
+    locks[i] = std::unique_lock(shards_[i].mu);
+  std::vector<Event> out;
+  std::size_t n = 0;
+  for (const Shard& s : shards_) n += s.events.size();
+  out.reserve(n);
+  for (const Shard& s : shards_)
+    out.insert(out.end(), s.events.begin(), s.events.end());
+  for (auto& lk : locks) lk.unlock();
+  std::sort(out.begin(), out.end(),
+            [](const Event& a, const Event& b) { return a.seq < b.seq; });
+  return out;
 }
+
+std::vector<Event> EventLog::snapshot() const { return merged_snapshot(); }
 
 std::vector<Event> EventLog::by_source(const std::string& source) const {
-  std::scoped_lock lk(mu_);
+  std::vector<Event> all = merged_snapshot();
   std::vector<Event> out;
-  std::copy_if(events_.begin(), events_.end(), std::back_inserter(out),
+  std::copy_if(all.begin(), all.end(), std::back_inserter(out),
                [&](const Event& e) { return e.source == source; });
   return out;
 }
 
 std::vector<Event> EventLog::by_name(const std::string& name) const {
-  std::scoped_lock lk(mu_);
+  std::vector<Event> all = merged_snapshot();
   std::vector<Event> out;
-  std::copy_if(events_.begin(), events_.end(), std::back_inserter(out),
+  std::copy_if(all.begin(), all.end(), std::back_inserter(out),
                [&](const Event& e) { return e.name == name; });
   return out;
 }
 
 std::size_t EventLog::count(const std::string& source,
                             const std::string& name) const {
-  std::scoped_lock lk(mu_);
-  return static_cast<std::size_t>(
-      std::count_if(events_.begin(), events_.end(), [&](const Event& e) {
-        return e.source == source && e.name == name;
-      }));
+  std::size_t n = 0;
+  for (const Shard& s : shards_) {
+    std::scoped_lock lk(s.mu);
+    n += static_cast<std::size_t>(
+        std::count_if(s.events.begin(), s.events.end(), [&](const Event& e) {
+          return e.source == source && e.name == name;
+        }));
+  }
+  return n;
 }
 
 SimTime EventLog::first_time(const std::string& source,
                              const std::string& name) const {
-  std::scoped_lock lk(mu_);
-  for (const Event& e : events_)
+  const std::vector<Event> all = merged_snapshot();
+  for (const Event& e : all)
     if (e.source == source && e.name == name) return e.time;
   return -1.0;
 }
 
 SimTime EventLog::last_time(const std::string& source,
                             const std::string& name) const {
-  std::scoped_lock lk(mu_);
-  for (auto it = events_.rbegin(); it != events_.rend(); ++it)
+  const std::vector<Event> all = merged_snapshot();
+  for (auto it = all.rbegin(); it != all.rend(); ++it)
     if (it->source == source && it->name == name) return it->time;
   return -1.0;
 }
@@ -62,71 +100,84 @@ SimTime EventLog::last_time(const std::string& source,
 bool EventLog::happens_before(const std::string& src_a, const std::string& a,
                               const std::string& src_b,
                               const std::string& b) const {
-  const SimTime ta = first_time(src_a, a);
-  const SimTime tb = last_time(src_b, b);
-  return ta >= 0.0 && tb >= 0.0 && ta < tb;
+  // Compare on the append order (seq), not SimTime: concurrent shards can
+  // stamp equal times while the ordering claim is about causal sequence.
+  const std::vector<Event> all = merged_snapshot();
+  std::uint64_t first_a = 0;
+  bool have_a = false;
+  for (const Event& e : all) {
+    if (e.source == src_a && e.name == a) {
+      first_a = e.seq;
+      have_a = true;
+      break;
+    }
+  }
+  if (!have_a) return false;
+  for (auto it = all.rbegin(); it != all.rend(); ++it)
+    if (it->source == src_b && it->name == b) return first_a < it->seq;
+  return false;
 }
 
 void EventLog::clear() {
-  std::scoped_lock lk(mu_);
-  events_.clear();
+  std::array<std::unique_lock<std::mutex>, kShards> locks;
+  for (std::size_t i = 0; i < kShards; ++i)
+    locks[i] = std::unique_lock(shards_[i].mu);
+  for (Shard& s : shards_) s.events.clear();
 }
 
 std::size_t EventLog::size() const {
-  std::scoped_lock lk(mu_);
-  return events_.size();
+  std::size_t n = 0;
+  for (const Shard& s : shards_) {
+    std::scoped_lock lk(s.mu);
+    n += s.events.size();
+  }
+  return n;
 }
 
 void EventLog::dump(std::ostream& os) const {
-  std::scoped_lock lk(mu_);
-  for (const Event& e : events_) {
+  const std::vector<Event> all = merged_snapshot();
+  const auto flags = os.flags();
+  const auto prec = os.precision();
+  const auto fill = os.fill();
+  for (const Event& e : all) {
     os << std::fixed << std::setprecision(2) << std::setw(9) << e.time << "  "
        << std::left << std::setw(12) << e.source << std::setw(16) << e.name
        << std::right << std::setprecision(3) << e.value;
     if (!e.detail.empty()) os << "  # " << e.detail;
     os << '\n';
   }
+  os.flags(flags);
+  os.precision(prec);
+  os.fill(fill);
 }
-
-namespace {
-
-/// Minimal JSON string escaping (quotes, backslash, control characters).
-void json_escape(std::ostream& os, const std::string& s) {
-  for (const char c : s) {
-    switch (c) {
-      case '"': os << "\\\""; break;
-      case '\\': os << "\\\\"; break;
-      case '\n': os << "\\n"; break;
-      case '\r': os << "\\r"; break;
-      case '\t': os << "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          const char* hex = "0123456789abcdef";
-          os << "\\u00" << hex[(c >> 4) & 0xf] << hex[c & 0xf];
-        } else {
-          os << c;
-        }
-    }
-  }
-}
-
-}  // namespace
 
 void EventLog::dump_jsonl(std::ostream& os) const {
-  std::scoped_lock lk(mu_);
-  os << std::defaultfloat << std::setprecision(9);
-  for (const Event& e : events_) {
-    os << "{\"t\":" << e.time << ",\"source\":\"";
-    json_escape(os, e.source);
-    os << "\",\"event\":\"";
-    json_escape(os, e.name);
-    os << "\",\"value\":" << e.value;
+  // Build each row with locale/stream-state-independent token formatting:
+  // nothing here touches the stream's flags, and non-finite values become
+  // null instead of the JSON-invalid "nan"/"inf" tokens operator<< prints.
+  const std::vector<Event> all = merged_snapshot();
+  std::string row;
+  for (const Event& e : all) {
+    row.clear();
+    row += "{\"t\":";
+    row += json::number_token(e.time);
+    row += ",\"tw\":";
+    row += json::number_token(e.wall);
+    row += ",\"seq\":";
+    row += std::to_string(e.seq);
+    row += ",\"source\":\"";
+    row += json::escape(e.source);
+    row += "\",\"event\":\"";
+    row += json::escape(e.name);
+    row += "\",\"value\":";
+    row += json::number_token(e.value);
     if (!e.detail.empty()) {
-      os << ",\"detail\":\"";
-      json_escape(os, e.detail);
-      os << '"';
+      row += ",\"detail\":\"";
+      row += json::escape(e.detail);
+      row += '"';
     }
-    os << "}\n";
+    row += "}\n";
+    os.write(row.data(), static_cast<std::streamsize>(row.size()));
   }
 }
 

@@ -6,7 +6,16 @@
 // component appends to an EventLog; benches dump it as the same series the
 // paper plots, and integration tests assert on event *ordering* (the shape
 // claim) rather than wall-clock values.
+//
+// Recording is sharded: each recording thread appends to one of kShards
+// lock-striped vectors, so managers and net threads hammering the global log
+// do not serialize on a single mutex. A process-wide sequence number stamped
+// at record() time restores the total append order whenever a query or dump
+// merges the shards.
 
+#include <array>
+#include <atomic>
+#include <cstdint>
 #include <mutex>
 #include <ostream>
 #include <string>
@@ -23,11 +32,15 @@ struct Event {
   std::string name;       ///< event name, e.g. "addWorker"
   double value = 0.0;     ///< optional scalar payload (rate, count, ...)
   std::string detail;     ///< optional free-form annotation
+  double wall = 0.0;      ///< monotonic wall stamp (cross-process ordering)
+  std::uint64_t seq = 0;  ///< process-wide record order
 };
 
 /// Thread-safe append-only event trace with simple queries.
 class EventLog {
  public:
+  static constexpr std::size_t kShards = 8;
+
   void record(std::string source, std::string name, double value = 0.0,
               std::string detail = {});
 
@@ -57,17 +70,29 @@ class EventLog {
   std::size_t size() const;
 
   /// Dump as "time source event value detail" rows (gnuplot-friendly).
+  /// Serializes from a snapshot (the log stays recordable while a slow sink
+  /// drains) and leaves the stream's formatting state as it found it.
   void dump(std::ostream& os) const;
 
   /// Dump as JSON lines, one event per row:
-  ///   {"t":1.25,"source":"AM_F","event":"addWorker","value":2,"detail":"..."}
-  /// ("detail" omitted when empty.) The shared machine-readable format of
-  /// manager traces and net-layer traces.
+  ///   {"t":1.25,"tw":98.1,"seq":4,"source":"AM_F","event":"addWorker",
+  ///    "value":2,"detail":"..."}
+  /// ("detail" omitted when empty; non-finite values serialize as null.)
+  /// The shared machine-readable format of manager traces and net-layer
+  /// traces, merged across processes by bsk-trace on the "tw" stamp.
   void dump_jsonl(std::ostream& os) const;
 
  private:
-  mutable std::mutex mu_;
-  std::vector<Event> events_;
+  struct Shard {
+    mutable std::mutex mu;
+    std::vector<Event> events;
+  };
+
+  /// Copy out all shards (all shard locks held together) merged by seq.
+  std::vector<Event> merged_snapshot() const;
+
+  std::atomic<std::uint64_t> seq_{0};
+  mutable std::array<Shard, kShards> shards_;
 };
 
 /// Process-wide default trace used when components are not given their own.

@@ -1,0 +1,68 @@
+#pragma once
+// Minimal JSON utilities shared by every trace/metrics emitter.
+//
+// Two halves:
+//  - emission helpers (escape / write_string / write_number) that never touch
+//    the stream's formatting state and never emit tokens a strict parser
+//    rejects (non-finite doubles become null);
+//  - a strict recursive-descent parser used by the bsk-trace merge tool and
+//    the JSONL validity tests, so "our emitters produce valid JSON" is an
+//    executable claim rather than a hope.
+
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace bsk::support::json {
+
+/// Escape a string body for inclusion between JSON quotes (no quotes added).
+std::string escape(std::string_view s);
+
+/// Write `s` as a quoted, escaped JSON string.
+void write_string(std::ostream& os, std::string_view s);
+
+/// Write a double as a JSON number token, independent of the stream's
+/// formatting state (shortest round-trip form). NaN and +/-Inf are not
+/// representable in JSON and are emitted as `null`.
+void write_number(std::ostream& os, double v);
+
+/// Format a double as the token write_number would emit.
+std::string number_token(double v);
+
+/// One parsed JSON value. Object members preserve source order.
+struct Value {
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<Value> array;
+  std::vector<std::pair<std::string, Value>> object;
+
+  bool is_null() const { return kind == Kind::Null; }
+  bool is_number() const { return kind == Kind::Number; }
+  bool is_string() const { return kind == Kind::String; }
+  bool is_object() const { return kind == Kind::Object; }
+  bool is_array() const { return kind == Kind::Array; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const Value* get(std::string_view key) const;
+
+  /// Convenience: numeric member value, or `fallback` when absent/non-number.
+  double number_or(std::string_view key, double fallback) const;
+
+  /// Convenience: string member value, or `fallback` when absent/non-string.
+  std::string string_or(std::string_view key, std::string_view fallback) const;
+};
+
+/// Strictly parse one complete JSON value (the whole input must be consumed,
+/// modulo surrounding whitespace). Returns nullopt and fills `err` (when
+/// non-null) with a position-tagged message on any deviation from RFC 8259.
+std::optional<Value> parse(std::string_view text, std::string* err = nullptr);
+
+}  // namespace bsk::support::json

@@ -1,0 +1,156 @@
+// MAPE decision spans: every run_cycle_once emits exactly one structured
+// trace record into TraceLog::global(), carrying the cycle's beans, the
+// rules that fired, its actuations, and causal links to the child cycles
+// whose violations it consumed.
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "am/builtin_rules.hpp"
+#include "am/manager.hpp"
+#include "fake_abc.hpp"
+#include "obs/trace.hpp"
+#include "support/clock.hpp"
+#include "support/json.hpp"
+
+namespace bsk::am {
+namespace {
+
+using testing::FakeAbc;
+namespace json = bsk::support::json;
+
+// TraceLog::global() is process-wide; each test clears it and parses only
+// what it produced.
+std::vector<json::Value> spans_after(const std::function<void()>& body) {
+  obs::TraceLog::global().clear();
+  body();
+  std::vector<json::Value> out;
+  for (const std::string& line : obs::TraceLog::global().lines()) {
+    auto v = json::parse(line);
+    EXPECT_TRUE(v.has_value()) << line;
+    if (v && v->string_or("type", "") == "mape_span")
+      out.push_back(std::move(*v));
+  }
+  return out;
+}
+
+TEST(MapeSpanEmission, OneSpanPerCycleWithBeansRulesAndContract) {
+  FakeAbc abc;
+  abc.sensors.arrival_rate = 0.5;   // healthy input, inside the range
+  abc.sensors.departure_rate = 0.1; // under-performing: plan adds workers
+  abc.sensors.nworkers = 2;
+  support::EventLog log;
+  ManagerConfig cfg;
+  cfg.max_workers = 10;
+  AutonomicManager m("AM_F", abc, cfg, &log);
+  m.load_rules(farm_rules());
+  m.set_contract(Contract::throughput_range(0.3, 0.7));
+
+  const auto spans = spans_after([&] {
+    m.run_cycle_once();
+    m.run_cycle_once();
+  });
+  ASSERT_EQ(spans.size(), 2u);
+  const json::Value& s = spans[0];
+  EXPECT_EQ(s.string_or("manager", ""), "AM_F");
+  EXPECT_DOUBLE_EQ(s.number_or("cycle", 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(spans[1].number_or("cycle", 0.0), 2.0);
+  EXPECT_EQ(s.string_or("mode", ""), "active");
+  EXPECT_GE(s.number_or("tw_end", -1.0), s.number_or("tw", 1e300));
+  const json::Value* beans = s.get("beans");
+  ASSERT_NE(beans, nullptr);
+  EXPECT_DOUBLE_EQ(beans->number_or(beans::kArrivalRate, -1.0), 0.5);
+  EXPECT_DOUBLE_EQ(beans->number_or(beans::kNumWorker, -1.0), 2.0);
+  // Under-performing against the contract: the planner fired something.
+  const json::Value* rules = s.get("rules");
+  ASSERT_NE(rules, nullptr);
+  EXPECT_FALSE(rules->array.empty());
+  EXPECT_NE(s.string_or("contract", "").find("0.3"), std::string::npos);
+}
+
+TEST(MapeSpanEmission, SensorBlackoutStillEmitsSpan) {
+  FakeAbc abc;
+  abc.sensors.valid = false;
+  support::EventLog log;
+  AutonomicManager m("AM_F", abc, {}, &log);
+  const auto spans = spans_after([&] { m.run_cycle_once(); });
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].string_or("contract", ""), "(sensor blackout)");
+  EXPECT_EQ(spans[0].get("beans")->object.size(), 0u);
+}
+
+TEST(MapeSpanEmission, ConsumedChildViolationBecomesSpanCause) {
+  FakeAbc abc;
+  abc.sensors.arrival_rate = 0.5;
+  abc.sensors.departure_rate = 0.5;
+  support::EventLog log;
+  AutonomicManager parent("AM_top", abc, {}, &log);
+  parent.set_contract(Contract::bestEffort());
+  parent.notify_child_violation("AM_far", "perf", "bskd:9000", 7);
+  parent.notify_child_violation("AM_far2", "security");  // local, no origin
+
+  const auto spans = spans_after([&] { parent.run_cycle_once(); });
+  ASSERT_EQ(spans.size(), 1u);
+  const json::Value* causes = spans[0].get("causes");
+  ASSERT_NE(causes, nullptr);
+  ASSERT_EQ(causes->array.size(), 2u);
+  EXPECT_EQ(causes->array[0].string_or("proc", ""), "bskd:9000");
+  EXPECT_EQ(causes->array[0].string_or("manager", ""), "AM_far");
+  EXPECT_DOUBLE_EQ(causes->array[0].number_or("cycle", 0.0), 7.0);
+  EXPECT_EQ(causes->array[0].string_or("kind", ""), "perf");
+  // A violation without an origin proc resolves to this process's tag.
+  EXPECT_EQ(causes->array[1].string_or("proc", ""),
+            obs::TraceLog::global().process_tag());
+  EXPECT_DOUBLE_EQ(causes->array[1].number_or("cycle", 0.0), 0.0);
+}
+
+TEST(MapeSpanEmission, RaiseViolationLinksParentSpanToRaisingChildCycle) {
+  // Child raises; parent consumes the violation at the top of its next
+  // cycle. The parent's span must point at the child's *raising* cycle so
+  // bsk-trace can order the pair causally across processes.
+  FakeAbc cabc;
+  cabc.sensors.arrival_rate = 0.1;
+  cabc.sensors.departure_rate = 0.1;
+  FakeAbc pabc;
+  pabc.sensors.arrival_rate = 1.0;
+  pabc.sensors.departure_rate = 1.0;
+  support::EventLog log;
+  AutonomicManager parent("AM_top", pabc, {}, &log);
+  AutonomicManager child("AM_far", cabc, {}, &log);
+  parent.attach_child(child);
+  parent.set_contract(Contract::bestEffort());
+  child.set_contract(Contract::min_throughput(0.9));
+
+  const auto spans = spans_after([&] {
+    child.run_cycle_once();
+    child.run_cycle_once();
+    // Escalate exactly as the built-in op does, from a known cycle.
+    child.fire_operation(ops::kRaiseViolation, "perf");
+    parent.run_cycle_once();
+  });
+
+  EXPECT_EQ(child.mode(), ManagerMode::Passive);
+  const json::Value* parent_span = nullptr;
+  for (const auto& s : spans)
+    if (s.string_or("manager", "") == "AM_top") parent_span = &s;
+  ASSERT_NE(parent_span, nullptr);
+  const json::Value* causes = parent_span->get("causes");
+  ASSERT_NE(causes, nullptr);
+  ASSERT_EQ(causes->array.size(), 1u);
+  EXPECT_EQ(causes->array[0].string_or("manager", ""), "AM_far");
+  EXPECT_EQ(causes->array[0].string_or("kind", ""), "perf");
+  EXPECT_DOUBLE_EQ(causes->array[0].number_or("cycle", 0.0), 2.0);
+  EXPECT_EQ(causes->array[0].string_or("proc", ""),
+            obs::TraceLog::global().process_tag());
+  // The raising child's own span trail must contain the raiseViol action.
+  bool child_raised = false;
+  for (const auto& s : spans)
+    if (s.string_or("manager", "") == "AM_far") child_raised = true;
+  EXPECT_TRUE(child_raised);
+}
+
+}  // namespace
+}  // namespace bsk::am

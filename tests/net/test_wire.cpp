@@ -337,5 +337,56 @@ TEST(Wire, SensorReqRoundTripAndWrongTypeRejected) {
   EXPECT_EQ(parse_hello(make_sensor_req(1)), std::nullopt);
 }
 
+TEST(Wire, StatsRequestRoundTripEveryWhat) {
+  for (const auto what :
+       {StatsRequest::What::Prometheus, StatsRequest::What::MetricsJsonl,
+        StatsRequest::What::TraceJsonl}) {
+    StatsRequest req;
+    req.seq = 77;
+    req.what = what;
+    const auto back = parse_stats_req(make_stats_req(req));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->seq, 77u);
+    EXPECT_EQ(back->what, what);
+  }
+}
+
+TEST(Wire, StatsReplyRoundTripCarriesArbitraryText) {
+  StatsReply rep;
+  rep.seq = 78;
+  rep.ok = true;
+  rep.text =
+      "# TYPE bsk_mape_cycles_total counter\nbsk_mape_cycles_total 3\n"
+      "{\"type\":\"mape_span\",\"proc\":\"bskd:1\"}\n"
+      "binary \x01\x02 and unicode \xc3\xa9";
+  const auto back = parse_stats_rep(make_stats_rep(rep));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->seq, 78u);
+  EXPECT_TRUE(back->ok);
+  EXPECT_EQ(back->text, rep.text);
+
+  StatsReply bad;
+  bad.seq = 79;
+  bad.ok = false;
+  const auto bback = parse_stats_rep(make_stats_rep(bad));
+  ASSERT_TRUE(bback.has_value());
+  EXPECT_FALSE(bback->ok);
+  EXPECT_TRUE(bback->text.empty());
+}
+
+TEST(Wire, StatsParsersRejectWrongTypeAndBadWhat) {
+  EXPECT_EQ(parse_stats_req(make_stats_rep({})), std::nullopt);
+  EXPECT_EQ(parse_stats_rep(make_stats_req({})), std::nullopt);
+  EXPECT_EQ(parse_hello(make_stats_req({})), std::nullopt);
+  // An out-of-range `what` must be rejected, not cast through.
+  wire::Writer w;
+  w.u32(1);
+  w.u8(0);  // not a valid StatsRequest::What
+  Frame f;
+  f.type = FrameType::StatsReq;
+  f.payload = w.data();
+  EXPECT_EQ(parse_stats_req(f), std::nullopt);
+}
+
 }  // namespace
 }  // namespace bsk::net

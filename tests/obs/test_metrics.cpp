@@ -1,0 +1,242 @@
+// bsk::obs metrics primitives: sharded counters/gauges/histograms, the
+// global enable gate, the named registry and its exposition formats, and the
+// lock-free sensor primitives NodeMetrics is built on.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "support/json.hpp"
+
+namespace bsk::obs {
+namespace {
+
+namespace json = support::json;
+
+// Every test runs with the gate forced on and restores the prior state, so
+// suite order (and a BSK_OBS=0 environment) cannot change outcomes.
+class ObsMetrics : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    was_enabled_ = enabled();
+    set_enabled(true);
+  }
+  void TearDown() override { set_enabled(was_enabled_); }
+
+ private:
+  bool was_enabled_ = false;
+};
+
+TEST_F(ObsMetrics, CounterAccumulatesAcrossThreads) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+  {
+    std::vector<std::jthread> threads;
+    for (int t = 0; t < 8; ++t)
+      threads.emplace_back([&c] {
+        for (int i = 0; i < 10000; ++i) c.inc();
+      });
+  }
+  EXPECT_EQ(c.value(), 42u + 8u * 10000u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST_F(ObsMetrics, GaugeSetAndAdd) {
+  Gauge g;
+  g.set(2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+  g.add(-1.0);
+  EXPECT_DOUBLE_EQ(g.value(), 1.5);
+  {
+    std::vector<std::jthread> threads;
+    for (int t = 0; t < 4; ++t)
+      threads.emplace_back([&g] {
+        for (int i = 0; i < 1000; ++i) g.add(1.0);
+      });
+  }
+  EXPECT_DOUBLE_EQ(g.value(), 4001.5);
+}
+
+TEST_F(ObsMetrics, HistogramBucketsAndSum) {
+  Histogram h({1.0, 2.0, 4.0});
+  for (const double x : {0.5, 1.0, 1.5, 3.0, 100.0}) h.observe(x);
+  const auto snap = h.snapshot();
+  ASSERT_EQ(snap.bounds.size(), 3u);
+  ASSERT_EQ(snap.counts.size(), 4u);  // 3 bounds + the +Inf bucket
+  EXPECT_EQ(snap.counts[0], 2u);      // 0.5, 1.0 (le is inclusive)
+  EXPECT_EQ(snap.counts[1], 1u);      // 1.5
+  EXPECT_EQ(snap.counts[2], 1u);      // 3.0
+  EXPECT_EQ(snap.counts[3], 1u);      // 100.0 -> +Inf
+  EXPECT_EQ(snap.count, 5u);
+  EXPECT_DOUBLE_EQ(snap.sum, 106.0);
+  EXPECT_EQ(h.count(), 5u);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+}
+
+TEST_F(ObsMetrics, HistogramConcurrentObserves) {
+  Histogram h({10.0, 100.0});
+  {
+    std::vector<std::jthread> threads;
+    for (int t = 0; t < 8; ++t)
+      threads.emplace_back([&h] {
+        for (int i = 0; i < 5000; ++i) h.observe(static_cast<double>(i % 200));
+      });
+  }
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap.count, 8u * 5000u);
+  EXPECT_EQ(snap.counts[0] + snap.counts[1] + snap.counts[2], snap.count);
+}
+
+TEST_F(ObsMetrics, DisabledGateDropsRecordsButKeepsReads) {
+  Counter c;
+  Gauge g;
+  Histogram h({1.0});
+  c.inc(5);
+  g.set(3.0);
+  h.observe(0.5);
+  set_enabled(false);
+  c.inc(100);
+  g.set(99.0);
+  g.add(99.0);
+  h.observe(0.5);
+  EXPECT_EQ(c.value(), 5u);  // reads still work, writes were dropped
+  EXPECT_DOUBLE_EQ(g.value(), 3.0);
+  EXPECT_EQ(h.count(), 1u);
+  set_enabled(true);
+  c.inc();
+  EXPECT_EQ(c.value(), 6u);
+}
+
+TEST_F(ObsMetrics, RegistryReturnsStableReferences) {
+  auto& reg = MetricsRegistry::global();
+  Counter& a = reg.counter("test_registry_stable_total", "help text");
+  Counter& b = reg.counter("test_registry_stable_total");
+  EXPECT_EQ(&a, &b);
+  Gauge& g1 = reg.gauge("test_registry_stable_gauge");
+  Gauge& g2 = reg.gauge("test_registry_stable_gauge");
+  EXPECT_EQ(&g1, &g2);
+  Histogram& h1 = reg.histogram("test_registry_stable_hist", {1.0, 2.0});
+  Histogram& h2 = reg.histogram("test_registry_stable_hist", {7.0});  // ignored
+  EXPECT_EQ(&h1, &h2);
+}
+
+TEST_F(ObsMetrics, PrometheusExpositionValidates) {
+  auto& reg = MetricsRegistry::global();
+  reg.counter("test_prom_events_total", "events with \"quotes\"\nand newline")
+      .inc(3);
+  reg.gauge("test_prom_queue_depth", "queue depth").set(1.5);
+  reg.histogram("test_prom_latency_seconds", {0.001, 0.01, 0.1}, "latency")
+      .observe(0.005);
+
+  std::ostringstream os;
+  reg.write_prometheus(os);
+  const std::string text = os.str();
+
+  std::istringstream in(text);
+  std::string err;
+  EXPECT_TRUE(validate_prometheus_text(in, &err)) << err;
+
+  EXPECT_NE(text.find("# TYPE test_prom_events_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_prom_events_total 3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE test_prom_queue_depth gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE test_prom_latency_seconds histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_prom_latency_seconds_bucket{le=\"+Inf\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_prom_latency_seconds_sum"), std::string::npos);
+  EXPECT_NE(text.find("test_prom_latency_seconds_count 1"), std::string::npos);
+  // HELP text must be comment-safe: the raw newline cannot survive.
+  EXPECT_EQ(text.find("and newline\ntest_prom"), std::string::npos);
+}
+
+TEST_F(ObsMetrics, JsonlSnapshotIsStrictJsonPerLine) {
+  auto& reg = MetricsRegistry::global();
+  reg.counter("test_jsonl_total").inc(7);
+  reg.histogram("test_jsonl_hist", {1.0}).observe(0.5);
+
+  std::ostringstream os;
+  reg.write_jsonl(os);
+  std::istringstream lines(os.str());
+  std::string line;
+  bool saw_counter = false, saw_hist = false;
+  while (std::getline(lines, line)) {
+    std::string err;
+    const auto v = json::parse(line, &err);
+    ASSERT_TRUE(v.has_value()) << err << ": " << line;
+    ASSERT_TRUE(v->is_object());
+    if (v->string_or("metric", "") == "test_jsonl_total") {
+      saw_counter = true;
+      EXPECT_EQ(v->string_or("type", ""), "counter");
+      EXPECT_DOUBLE_EQ(v->number_or("value", -1.0), 7.0);
+    }
+    if (v->string_or("metric", "") == "test_jsonl_hist") {
+      saw_hist = true;
+      EXPECT_EQ(v->string_or("type", ""), "histogram");
+      EXPECT_DOUBLE_EQ(v->number_or("count", -1.0), 1.0);
+      const json::Value* buckets = v->get("buckets");
+      ASSERT_NE(buckets, nullptr);
+      ASSERT_TRUE(buckets->is_array());
+      ASSERT_EQ(buckets->array.size(), 2u);  // le=1 and the +Inf (null) bucket
+      EXPECT_TRUE(buckets->array[1].get("le")->is_null());
+    }
+  }
+  EXPECT_TRUE(saw_counter);
+  EXPECT_TRUE(saw_hist);
+}
+
+TEST_F(ObsMetrics, RateWindowEstimatesTrailingRate) {
+  AtomicRateWindow w(/*window_s=*/10.0, /*buckets=*/64);
+  // 100 events spread over [0, 10): 10 events/s.
+  for (int i = 0; i < 100; ++i) w.record(i * 0.1);
+  EXPECT_EQ(w.total(), 100u);
+  EXPECT_NEAR(w.rate(10.0), 10.0, 1.5);  // bucket-granularity estimate
+  // Far in the future the window is empty again.
+  EXPECT_DOUBLE_EQ(w.rate(1000.0), 0.0);
+  w.reset();
+  EXPECT_EQ(w.total(), 0u);
+}
+
+TEST_F(ObsMetrics, RateWindowRecordsAreUngatedSensors) {
+  // NodeMetrics sensors feed the MAPE monitor phase: they must keep working
+  // when the observability gate is off (BSK_OBS=0 disables *exposition*
+  // instrumentation, not the control loop's own sensors).
+  set_enabled(false);
+  AtomicRateWindow w(10.0, 64);
+  for (int i = 0; i < 50; ++i) w.record(i * 0.1);
+  EXPECT_EQ(w.total(), 50u);
+  AtomicMean m;
+  m.add(2.0);
+  m.add(4.0);
+  EXPECT_EQ(m.count(), 2u);
+  EXPECT_DOUBLE_EQ(m.mean(), 3.0);
+}
+
+TEST_F(ObsMetrics, AtomicMeanAcrossThreads) {
+  AtomicMean m;
+  {
+    std::vector<std::jthread> threads;
+    for (int t = 0; t < 8; ++t)
+      threads.emplace_back([&m] {
+        for (int i = 0; i < 1000; ++i) m.add(0.5);
+      });
+  }
+  EXPECT_EQ(m.count(), 8000u);
+  EXPECT_DOUBLE_EQ(m.sum(), 4000.0);
+  EXPECT_DOUBLE_EQ(m.mean(), 0.5);
+}
+
+}  // namespace
+}  // namespace bsk::obs

@@ -1,0 +1,250 @@
+// MAPE decision spans, the TraceLog sink, the cross-process merge, and the
+// trace/Prometheus validators behind bsk-trace.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+#include "support/json.hpp"
+
+namespace bsk::obs {
+namespace {
+
+namespace json = support::json;
+
+MapeSpan sample_span() {
+  MapeSpan s;
+  s.proc = "local";
+  s.manager = "AM_F";
+  s.cycle = 12;
+  s.t_begin = 3.5;
+  s.t_end = 3.6;
+  s.tw_begin = 100.0;
+  s.tw_end = 100.1;
+  s.beans = {{"arrival_rate", 8.25}, {"nworkers", 4.0}};
+  s.rules = {"CheckRateLow"};
+  s.actions = {{"addWorker", 5.0, "recruited w5"}};
+  s.contract = "rate >= 8";
+  s.mode = "active";
+  s.causes = {{"bskd:9000", "AM_far", 7, "perf"}};
+  return s;
+}
+
+TEST(MapeSpan, ToJsonlIsStrictJsonWithAllFields) {
+  const std::string line = sample_span().to_jsonl();
+  std::string err;
+  const auto v = json::parse(line, &err);
+  ASSERT_TRUE(v.has_value()) << err << ": " << line;
+  EXPECT_EQ(v->string_or("type", ""), "mape_span");
+  EXPECT_EQ(v->string_or("proc", ""), "local");
+  EXPECT_EQ(v->string_or("manager", ""), "AM_F");
+  EXPECT_DOUBLE_EQ(v->number_or("cycle", 0.0), 12.0);
+  EXPECT_DOUBLE_EQ(v->number_or("tw", 0.0), 100.0);
+  const json::Value* beans = v->get("beans");
+  ASSERT_NE(beans, nullptr);
+  EXPECT_DOUBLE_EQ(beans->number_or("arrival_rate", 0.0), 8.25);
+  const json::Value* actions = v->get("actions");
+  ASSERT_NE(actions, nullptr);
+  ASSERT_EQ(actions->array.size(), 1u);
+  EXPECT_EQ(actions->array[0].string_or("name", ""), "addWorker");
+  EXPECT_EQ(actions->array[0].string_or("detail", ""), "recruited w5");
+  const json::Value* causes = v->get("causes");
+  ASSERT_NE(causes, nullptr);
+  ASSERT_EQ(causes->array.size(), 1u);
+  EXPECT_EQ(causes->array[0].string_or("proc", ""), "bskd:9000");
+  EXPECT_DOUBLE_EQ(causes->array[0].number_or("cycle", 0.0), 7.0);
+  EXPECT_EQ(v->string_or("contract", ""), "rate >= 8");
+  EXPECT_EQ(v->string_or("mode", ""), "active");
+}
+
+TEST(MapeSpan, EmptySpanStillSerializesValidly) {
+  const std::string line = MapeSpan{}.to_jsonl();
+  std::string err;
+  const auto v = json::parse(line, &err);
+  ASSERT_TRUE(v.has_value()) << err;
+  EXPECT_EQ(v->get("causes"), nullptr);  // omitted when empty
+}
+
+TEST(TraceLog, FillsProcessTagOnEmptyProc) {
+  TraceLog log;
+  log.set_process_tag("bskd:7777");
+  EXPECT_EQ(log.process_tag(), "bskd:7777");
+  MapeSpan s = sample_span();
+  s.proc.clear();
+  log.record(s);
+  s.proc = "explicit";
+  log.record(s);
+  const auto lines = log.lines();
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(json::parse(lines[0])->string_or("proc", ""), "bskd:7777");
+  EXPECT_EQ(json::parse(lines[1])->string_or("proc", ""), "explicit");
+}
+
+TEST(TraceLog, RecordLineAndDump) {
+  TraceLog log;
+  log.record_line("{\"type\":\"event\",\"tw\":1}");
+  log.record(sample_span());
+  EXPECT_EQ(log.size(), 2u);
+  std::ostringstream os;
+  log.dump_jsonl(os);
+  std::istringstream lines(os.str());
+  std::string line;
+  std::size_t n = 0;
+  while (std::getline(lines, line)) {
+    ++n;
+    EXPECT_TRUE(validate_trace_line(line));
+  }
+  EXPECT_EQ(n, 2u);
+  log.clear();
+  EXPECT_EQ(log.size(), 0u);
+}
+
+TEST(MergeTrace, OrdersByWallStampWithStableTies) {
+  const std::vector<std::string> in = {
+      "{\"source\":\"b\",\"tw\":2.0}",
+      "{\"source\":\"a\",\"tw\":1.0}",
+      "{\"source\":\"tie1\",\"tw\":1.5}",
+      "{\"source\":\"tie2\",\"tw\":1.5}",
+      "{\"source\":\"t-only\",\"t\":0.5}",  // falls back to "t"
+  };
+  std::vector<std::string> out;
+  MergeStats stats;
+  ASSERT_TRUE(merge_trace_lines(in, out, &stats));
+  ASSERT_EQ(out.size(), 5u);
+  EXPECT_EQ(stats.lines, 5u);
+  EXPECT_EQ(stats.causal_moves, 0u);
+  EXPECT_NE(out[0].find("t-only"), std::string::npos);
+  EXPECT_NE(out[1].find("\"a\""), std::string::npos);
+  EXPECT_NE(out[2].find("tie1"), std::string::npos);  // input order preserved
+  EXPECT_NE(out[3].find("tie2"), std::string::npos);
+  EXPECT_NE(out[4].find("\"b\""), std::string::npos);
+}
+
+// The satellite claim: a raiseViol recorded in a bskd-hosted child and the
+// parent cycle reacting to it merge into cause-before-effect order even when
+// the processes' clock granularity stamped the effect first.
+TEST(MergeTrace, CrossProcessEffectFollowsItsRecordedCause) {
+  MapeSpan child;
+  child.proc = "bskd:9000";
+  child.manager = "AM_far";
+  child.cycle = 7;
+  child.tw_begin = child.tw_end = 50.000001;
+  child.actions = {{"raiseViol", 1.0, "perf"}};
+  child.mode = "passive";
+
+  MapeSpan parent;
+  parent.proc = "local";
+  parent.manager = "AM_top";
+  parent.cycle = 3;
+  // Stamped *before* the child despite reacting to it: the merge must move
+  // it after its recorded cause.
+  parent.tw_begin = parent.tw_end = 50.0;
+  parent.actions = {{"incRate", 0.0, "reaction"}};
+  parent.causes = {{"bskd:9000", "AM_far", 7, "perf"}};
+  parent.mode = "active";
+
+  const std::vector<std::string> in = {parent.to_jsonl(), child.to_jsonl()};
+  std::vector<std::string> out;
+  MergeStats stats;
+  ASSERT_TRUE(merge_trace_lines(in, out, &stats));
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(stats.causal_moves, 1u);
+  const std::size_t viol = out[0].find("raiseViol") != std::string::npos
+                               ? 0u
+                               : out[1].find("raiseViol") != std::string::npos
+                                     ? 1u
+                                     : 99u;
+  ASSERT_EQ(viol, 0u) << "cause did not sort first:\n"
+                      << out[0] << '\n'
+                      << out[1];
+  EXPECT_NE(out[1].find("incRate"), std::string::npos);
+}
+
+TEST(MergeTrace, CauseChainsPropagateTransitively) {
+  // grandchild raises -> child escalates -> parent reacts; all stamped in
+  // reverse order. The fixpoint pass must untangle the whole chain.
+  MapeSpan g, c, p;
+  g.proc = "bskd:1";
+  g.manager = "AM_g";
+  g.cycle = 1;
+  g.tw_begin = g.tw_end = 30.0;
+  c.proc = "bskd:2";
+  c.manager = "AM_c";
+  c.cycle = 2;
+  c.tw_begin = c.tw_end = 20.0;
+  c.causes = {{"bskd:1", "AM_g", 1, "perf"}};
+  p.proc = "local";
+  p.manager = "AM_p";
+  p.cycle = 3;
+  p.tw_begin = p.tw_end = 10.0;
+  p.causes = {{"bskd:2", "AM_c", 2, "escalation"}};
+
+  const std::vector<std::string> in = {p.to_jsonl(), c.to_jsonl(),
+                                       g.to_jsonl()};
+  std::vector<std::string> out;
+  ASSERT_TRUE(merge_trace_lines(in, out));
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_NE(out[0].find("AM_g"), std::string::npos);
+  EXPECT_NE(out[1].find("AM_c"), std::string::npos);
+  EXPECT_NE(out[2].find("AM_p"), std::string::npos);
+}
+
+TEST(MergeTrace, RejectsInvalidLinesWithPosition) {
+  std::vector<std::string> out;
+  std::string err;
+  EXPECT_FALSE(merge_trace_lines({"{\"ok\":1}", "not json"}, out, nullptr,
+                                 &err));
+  EXPECT_NE(err.find("line 2"), std::string::npos) << err;
+  err.clear();
+  EXPECT_FALSE(merge_trace_lines({"[1,2]"}, out, nullptr, &err));
+  EXPECT_NE(err.find("not a JSON object"), std::string::npos) << err;
+}
+
+TEST(ValidateTraceLine, AcceptsObjectsRejectsEverythingElse) {
+  EXPECT_TRUE(validate_trace_line("{\"t\":1}"));
+  std::string err;
+  EXPECT_FALSE(validate_trace_line("42", &err));
+  EXPECT_FALSE(validate_trace_line("{\"t\":nan}", &err));
+  EXPECT_FALSE(validate_trace_line("", &err));
+}
+
+TEST(ValidatePrometheus, AcceptsRegistryStyleExposition) {
+  std::istringstream in(
+      "# HELP bsk_mape_cycles_total control cycles\n"
+      "# TYPE bsk_mape_cycles_total counter\n"
+      "bsk_mape_cycles_total 42\n"
+      "# TYPE bsk_mape_cycle_seconds histogram\n"
+      "bsk_mape_cycle_seconds_bucket{le=\"0.001\"} 40\n"
+      "bsk_mape_cycle_seconds_bucket{le=\"+Inf\"} 42\n"
+      "bsk_mape_cycle_seconds_sum 0.0123\n"
+      "bsk_mape_cycle_seconds_count 42\n"
+      "with_timestamp 1 1700000000\n"
+      "empty_labels{} 0\n");
+  std::string err;
+  EXPECT_TRUE(validate_prometheus_text(in, &err)) << err;
+}
+
+TEST(ValidatePrometheus, RejectsMalformedText) {
+  const char* bad[] = {
+      "",                                  // no samples at all
+      "# TYPE x widget\nx 1\n",            // unknown TYPE
+      "# TYPE 0bad counter\n0bad 1\n",     // bad name in header
+      "9metric 1\n",                       // name starts with digit
+      "metric\n",                          // no value
+      "metric one\n",                      // non-numeric value
+      "metric{le=\"1\" 1\n",               // unterminated label set
+      "metric{2le=\"1\"} 1\n",             // bad label name
+      "metric 1 not_a_ts\n",               // bad timestamp
+  };
+  for (const char* text : bad) {
+    std::istringstream in(text);
+    std::string err;
+    EXPECT_FALSE(validate_prometheus_text(in, &err)) << "accepted:\n" << text;
+  }
+}
+
+}  // namespace
+}  // namespace bsk::obs

@@ -2,12 +2,16 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cmath>
 #include <iomanip>
+#include <limits>
 #include <sstream>
 #include <thread>
 #include <vector>
 
 #include "support/event_log.hpp"
+#include "support/json.hpp"
 
 namespace bsk::support {
 namespace {
@@ -135,6 +139,117 @@ TEST(EventLog, DumpJsonlUnaffectedByPriorStreamFormatting) {
 
 TEST(EventLog, GlobalLogIsSingleton) {
   EXPECT_EQ(&global_event_log(), &global_event_log());
+}
+
+// Regression: dump()/dump_jsonl() used to imprint their own manipulators
+// (fixed/precision/fill) on the caller's stream and leave them behind.
+TEST(EventLog, DumpRestoresCallerStreamFormatting) {
+  EventLog log;
+  log.record("s", "e", 1.23456789);
+  std::ostringstream os;
+  os << std::setprecision(3) << std::scientific << std::setfill('*');
+  const auto flags = os.flags();
+  const auto prec = os.precision();
+  const auto fill = os.fill();
+  log.dump(os);
+  log.dump_jsonl(os);
+  EXPECT_EQ(os.flags(), flags);
+  EXPECT_EQ(os.precision(), prec);
+  EXPECT_EQ(os.fill(), fill);
+  // And the caller's formatting still applies afterwards.
+  std::ostringstream tail;
+  tail.copyfmt(os);
+  tail << 1.23456789;
+  EXPECT_EQ(tail.str(), "1.235e+00");
+}
+
+// Regression: NaN/Inf values used to serialize as bare `nan`/`inf` tokens,
+// which no JSON parser accepts. They must become null.
+TEST(EventLog, DumpJsonlSerializesNonFiniteAsNull) {
+  EventLog log;
+  log.record("s", "nan_ev", std::numeric_limits<double>::quiet_NaN());
+  log.record("s", "inf_ev", std::numeric_limits<double>::infinity());
+  log.record("s", "ninf_ev", -std::numeric_limits<double>::infinity());
+  std::ostringstream os;
+  log.dump_jsonl(os);
+  std::istringstream lines(os.str());
+  std::string line;
+  std::size_t n = 0;
+  while (std::getline(lines, line)) {
+    ++n;
+    EXPECT_NE(line.find("\"value\":null"), std::string::npos) << line;
+    std::string err;
+    const auto v = json::parse(line, &err);
+    ASSERT_TRUE(v.has_value()) << err << " in: " << line;
+    EXPECT_TRUE(v->get("value") != nullptr && v->get("value")->is_null());
+  }
+  EXPECT_EQ(n, 3u);
+}
+
+TEST(EventLog, EveryDumpJsonlLineIsStrictJson) {
+  EventLog log;
+  log.record("AM_F", "addWorker", 2.0, "via \"CheckRateLow\"\n");
+  log.record("farm", "weird\x02name", -0.5);
+  std::ostringstream os;
+  log.dump_jsonl(os);
+  std::istringstream lines(os.str());
+  std::string line;
+  while (std::getline(lines, line)) {
+    std::string err;
+    EXPECT_TRUE(json::parse(line, &err).has_value()) << err << ": " << line;
+  }
+}
+
+TEST(EventLog, RecordsCarryMonotonicSeqAndWallStamp) {
+  EventLog log;
+  log.record("a", "x");
+  log.record("a", "y");
+  const auto evs = log.snapshot();
+  ASSERT_EQ(evs.size(), 2u);
+  EXPECT_LT(evs[0].seq, evs[1].seq);
+  EXPECT_GT(evs[0].wall, 0.0);
+  EXPECT_LE(evs[0].wall, evs[1].wall);
+}
+
+// Sharded log: recording threads must never block behind a slow dump. This
+// is the record-vs-dump stress the TSan job runs; correctness here is "all
+// records land, every dump sees a consistent snapshot".
+TEST(EventLog, ConcurrentRecordAndDumpStress) {
+  EventLog log;
+  std::atomic<bool> stop{false};
+  constexpr int kThreads = 4, kPerThread = 500;
+  {
+    std::vector<std::jthread> writers;
+    for (int t = 0; t < kThreads; ++t)
+      writers.emplace_back([&log, t] {
+        for (int i = 0; i < kPerThread; ++i)
+          log.record("w" + std::to_string(t), "ev", static_cast<double>(i));
+      });
+    std::jthread dumper([&log, &stop] {
+      while (!stop.load()) {
+        std::ostringstream os;
+        log.dump_jsonl(os);
+        std::istringstream lines(os.str());
+        std::string line;
+        std::uint64_t prev_seq = 0;
+        bool first = true;
+        while (std::getline(lines, line)) {
+          std::string err;
+          const auto v = json::parse(line, &err);
+          ASSERT_TRUE(v.has_value()) << err;
+          // Dumps are seq-sorted: a merged snapshot must never interleave.
+          const double seq = v->number_or("seq", -1.0);
+          ASSERT_GE(seq, 0.0);
+          if (!first) ASSERT_GT(seq, static_cast<double>(prev_seq));
+          prev_seq = static_cast<std::uint64_t>(seq);
+          first = false;
+        }
+      }
+    });
+    writers.clear();  // join all writers
+    stop.store(true);
+  }
+  EXPECT_EQ(log.size(), static_cast<std::size_t>(kThreads) * kPerThread);
 }
 
 }  // namespace

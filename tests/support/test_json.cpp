@@ -1,0 +1,220 @@
+// support::json — emission helpers and the strict RFC 8259 parser that the
+// bsk-trace tool and the JSONL validity tests build on.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <iomanip>
+#include <limits>
+#include <random>
+#include <sstream>
+#include <string>
+
+#include "support/json.hpp"
+
+namespace bsk::support::json {
+namespace {
+
+// ---------------------------------------------------------------- emission
+
+TEST(JsonEscape, PassesPlainTextThrough) {
+  EXPECT_EQ(escape("hello world_42"), "hello world_42");
+}
+
+TEST(JsonEscape, EscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(escape("a\nb\tc\rd"), "a\\nb\\tc\\rd");
+  EXPECT_EQ(escape(std::string(1, '\x01')), "\\u0001");
+  EXPECT_EQ(escape(std::string(1, '\x1f')), "\\u001f");
+}
+
+TEST(JsonWriteString, QuotesAndIgnoresStreamState) {
+  std::ostringstream os;
+  os << std::hex << std::uppercase;
+  write_string(os, "x\ty");
+  EXPECT_EQ(os.str(), "\"x\\ty\"");
+}
+
+TEST(JsonNumberToken, FiniteValuesRoundTrip) {
+  for (const double v : {0.0, -0.0, 1.0, -1.5, 0.1, 1e-9, 3.25e17,
+                         123456.789, std::numeric_limits<double>::max(),
+                         std::numeric_limits<double>::min()}) {
+    const std::string tok = number_token(v);
+    std::string err;
+    const auto parsed = parse(tok, &err);
+    ASSERT_TRUE(parsed.has_value()) << tok << ": " << err;
+    ASSERT_TRUE(parsed->is_number()) << tok;
+    EXPECT_EQ(parsed->number, v) << tok;
+  }
+}
+
+TEST(JsonNumberToken, NonFiniteBecomesNull) {
+  EXPECT_EQ(number_token(std::numeric_limits<double>::quiet_NaN()), "null");
+  EXPECT_EQ(number_token(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(number_token(-std::numeric_limits<double>::infinity()), "null");
+}
+
+TEST(JsonWriteNumber, IndependentOfStreamFormatting) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(1);
+  write_number(os, 0.123456789);
+  write_number(os, std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(os.str(), "0.123456789null");
+}
+
+// ----------------------------------------------------------------- parsing
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(parse("null")->is_null());
+  EXPECT_TRUE(parse("true")->boolean);
+  EXPECT_FALSE(parse("false")->boolean);
+  EXPECT_DOUBLE_EQ(parse("-12.5e2")->number, -1250.0);
+  EXPECT_EQ(parse("\"abc\"")->string, "abc");
+  EXPECT_EQ(parse("  0  ")->number, 0.0);
+}
+
+TEST(JsonParse, NestedStructuresPreserveOrder) {
+  const auto v = parse(R"({"b":[1,2,{"c":null}],"a":"x","b2":{}})");
+  ASSERT_TRUE(v.has_value());
+  ASSERT_TRUE(v->is_object());
+  ASSERT_EQ(v->object.size(), 3u);
+  EXPECT_EQ(v->object[0].first, "b");
+  EXPECT_EQ(v->object[1].first, "a");
+  const Value* b = v->get("b");
+  ASSERT_NE(b, nullptr);
+  ASSERT_TRUE(b->is_array());
+  ASSERT_EQ(b->array.size(), 3u);
+  EXPECT_TRUE(b->array[2].get("c")->is_null());
+  EXPECT_EQ(v->string_or("a", "?"), "x");
+  EXPECT_DOUBLE_EQ(v->number_or("missing", -7.0), -7.0);
+}
+
+TEST(JsonParse, StringEscapesAndUnicode) {
+  EXPECT_EQ(parse(R"("\"\\\/\b\f\n\r\t")")->string, "\"\\/\b\f\n\r\t");
+  EXPECT_EQ(parse(R"("\u0041")")->string, "A");
+  EXPECT_EQ(parse(R"("\u00e9")")->string, "\xc3\xa9");     // é
+  EXPECT_EQ(parse(R"("\u20ac")")->string, "\xe2\x82\xac"); // €
+  // Surrogate pair → U+1F600.
+  EXPECT_EQ(parse(R"("\ud83d\ude00")")->string, "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonParse, RejectsNonJson) {
+  const char* bad[] = {
+      "",                      // empty
+      "nul",                   // bad literal
+      "True",                  // wrong case
+      "nan",                   // non-finite token
+      "Infinity",              // non-finite token
+      "01",                    // leading zero
+      "1.",                    // empty fraction
+      ".5",                    // missing integer part
+      "+1",                    // leading plus
+      "1e",                    // empty exponent
+      "'x'",                   // single quotes
+      "\"a",                   // unterminated string
+      "\"\t\"",                // raw control char in string
+      "\"\\x\"",               // invalid escape
+      "\"\\u12\"",             // truncated \u
+      "\"\\ud800\"",           // lone high surrogate
+      "\"\\udc00\"",           // lone low surrogate
+      "[1,]",                  // trailing comma
+      "[1 2]",                 // missing comma
+      "[1",                    // unterminated array
+      "{\"a\":1,}",            // trailing comma in object
+      "{a:1}",                 // unquoted key
+      "{\"a\" 1}",             // missing colon
+      "{\"a\":}",              // missing value
+      "{}{}",                  // trailing data
+      "1 2",                   // trailing data
+      "// comment\n1",         // comments
+  };
+  for (const char* text : bad) {
+    std::string err;
+    EXPECT_FALSE(parse(text, &err).has_value()) << "accepted: " << text;
+    EXPECT_FALSE(err.empty()) << text;
+  }
+}
+
+TEST(JsonParse, RejectsRunawayNesting) {
+  std::string deep(200, '[');
+  deep += std::string(200, ']');
+  EXPECT_FALSE(parse(deep).has_value());
+}
+
+TEST(JsonParse, AcceptsReasonableNesting) {
+  std::string ok(32, '[');
+  ok += std::string(32, ']');
+  EXPECT_TRUE(parse(ok).has_value());
+}
+
+// ------------------------------------------------------------------- fuzz
+
+// Seeded fuzz: random strings through escape() must always parse back to
+// the original, and random doubles through number_token() must round-trip.
+// This is the executable form of "our emitters produce valid JSON".
+TEST(JsonFuzz, EscapedRandomStringsRoundTrip) {
+  std::mt19937 rng(20260807);
+  std::uniform_int_distribution<int> len(0, 64);
+  std::uniform_int_distribution<int> byte(0, 255);
+  for (int iter = 0; iter < 500; ++iter) {
+    std::string raw;
+    const int n = len(rng);
+    for (int i = 0; i < n; ++i) {
+      // Stay within single bytes that are valid UTF-8 on their own (ASCII);
+      // escape() passes multi-byte sequences through untouched, so exercise
+      // the full control/quote/backslash space plus printable ASCII.
+      raw += static_cast<char>(byte(rng) & 0x7f);
+    }
+    const std::string doc = "\"" + escape(raw) + "\"";
+    std::string err;
+    const auto v = parse(doc, &err);
+    ASSERT_TRUE(v.has_value()) << err << " doc=" << doc;
+    ASSERT_TRUE(v->is_string());
+    EXPECT_EQ(v->string, raw);
+  }
+}
+
+TEST(JsonFuzz, RandomDoublesRoundTripThroughNumberToken) {
+  std::mt19937_64 rng(20260807);
+  for (int iter = 0; iter < 2000; ++iter) {
+    const std::uint64_t bits = rng();
+    double v;
+    static_assert(sizeof(v) == sizeof(bits));
+    std::memcpy(&v, &bits, sizeof(v));
+    const std::string tok = number_token(v);
+    const auto parsed = parse(tok);
+    ASSERT_TRUE(parsed.has_value()) << tok;
+    if (!std::isfinite(v)) {
+      EXPECT_TRUE(parsed->is_null()) << tok;
+    } else {
+      ASSERT_TRUE(parsed->is_number()) << tok;
+      EXPECT_EQ(parsed->number, v) << tok;
+    }
+  }
+}
+
+TEST(JsonFuzz, ParserNeverCrashesOnMutatedInput) {
+  // Mutate a valid document at random positions; the parser must either
+  // accept or cleanly reject every variant (no crash, no hang).
+  const std::string base =
+      R"({"t":1.25,"tw":98.1,"seq":4,"source":"AM_F","event":"addWorker",)"
+      R"("value":2,"beans":{"rate":0.5},"causes":[{"proc":"local"}]})";
+  std::mt19937 rng(42);
+  std::uniform_int_distribution<std::size_t> pos(0, base.size() - 1);
+  std::uniform_int_distribution<int> byte(0, 255);
+  for (int iter = 0; iter < 2000; ++iter) {
+    std::string doc = base;
+    const int edits = 1 + (iter % 3);
+    for (int e = 0; e < edits; ++e)
+      doc[pos(rng)] = static_cast<char>(byte(rng));
+    std::string err;
+    (void)parse(doc, &err);  // must terminate without UB either way
+  }
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace bsk::support::json
