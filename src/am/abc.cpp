@@ -126,7 +126,14 @@ bool FarmAbc::remove_worker() {
 
 std::size_t FarmAbc::rebalance() { return farm_.rebalance(); }
 
-std::size_t FarmAbc::secure_links() { return farm_.secure_all_links(); }
+std::size_t FarmAbc::secure_links() {
+  // Securing is itself a configuration change: present it to the gate so
+  // concern managers can observe (or veto) the sweep, like any other commit.
+  Intent intent;
+  intent.action = Intent::Action::SecureLinks;
+  if (!pass_gate(intent)) return 0;
+  return farm_.secure_all_links();
+}
 
 // ------------------------------------------------------------------- SeqAbc
 
@@ -141,11 +148,14 @@ Sensors SeqAbc::sense() {
 }
 
 bool SeqAbc::set_rate(double tasks_per_s) {
-  if (auto* src = stage_.node_as<rt::StreamSource>()) {
-    src->set_rate(tasks_per_s);
-    return true;
-  }
-  return false;
+  auto* src = stage_.node_as<rt::StreamSource>();
+  if (src == nullptr) return false;
+  Intent intent;
+  intent.action = Intent::Action::SetRate;
+  intent.rate = tasks_per_s;
+  if (!pass_gate(intent)) return false;
+  src->set_rate(intent.rate);  // the gate may have adjusted the rate
+  return true;
 }
 
 // -------------------------------------------------------------- PipelineAbc

@@ -1,10 +1,15 @@
 #include "am/manager.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <set>
 #include <condition_variable>
+#include <mutex>
 #include <limits>
+#include <stdexcept>
 
+#include "analysis/analyzer.hpp"
 #include "obs/metrics.hpp"
 
 namespace bsk::am {
@@ -64,7 +69,7 @@ void AutonomicManager::record(const std::string& event, double value,
 
 void AutonomicManager::span_note(const std::string& event, double value,
                                  const std::string& detail) {
-  std::scoped_lock lk(span_mu_);
+  support::MutexLock lk(span_mu_);
   if (active_span_ != nullptr && std::this_thread::get_id() == span_thread_)
     active_span_->actions.push_back(obs::SpanAction{event, value, detail});
 }
@@ -98,7 +103,7 @@ void AutonomicManager::control_loop(const std::stop_token& st) {
 bool AutonomicManager::monitor_phase(Sensors& out) {
   out = abc_.sense();
   {
-    std::scoped_lock lk(state_mu_);
+    support::MutexLock lk(state_mu_);
     last_sensors_ = out;
   }
   if (!out.valid) return false;  // reconfiguration blackout
@@ -117,7 +122,11 @@ bool AutonomicManager::monitor_phase(Sensors& out) {
   wm_.set(beans::kFailedRecruits,
           static_cast<double>(failed_recruits_.load()));
   // Payload constant so FT rules can replace exactly the crashed count.
-  consts_.set("WORKER_FAILURES", static_cast<double>(out.new_failures));
+  // consts_ is shared with set_contract/derive_constants (other threads).
+  {
+    support::MutexLock lk(state_mu_);
+    consts_.set("WORKER_FAILURES", static_cast<double>(out.new_failures));
+  }
   if (out.new_failures > 0)
     record("workerFail", static_cast<double>(out.new_failures));
 
@@ -128,7 +137,7 @@ bool AutonomicManager::monitor_phase(Sensors& out) {
   if (cfg_.observation_events) {
     Contract c;
     {
-      std::scoped_lock lk(state_mu_);
+      support::MutexLock lk(state_mu_);
       c = contract_;
     }
     if (c.throughput) {
@@ -162,12 +171,12 @@ std::vector<std::string> AutonomicManager::run_cycle_once() {
   struct SpanGuard {
     AutonomicManager* m;
     explicit SpanGuard(AutonomicManager* mgr, obs::MapeSpan* s) : m(mgr) {
-      std::scoped_lock lk(m->span_mu_);
+      support::MutexLock lk(m->span_mu_);
       m->active_span_ = s;
       m->span_thread_ = std::this_thread::get_id();
     }
     ~SpanGuard() {
-      std::scoped_lock lk(m->span_mu_);
+      support::MutexLock lk(m->span_mu_);
       m->active_span_ = nullptr;
     }
   };
@@ -211,7 +220,7 @@ std::vector<std::string> AutonomicManager::run_cycle_once() {
   std::deque<ChildViolation> viols;
   std::function<void(const ChildViolation&)> handler;
   {
-    std::scoped_lock lk(state_mu_);
+    support::MutexLock lk(state_mu_);
     viols.swap(pending_violations_);
     handler = violation_handler_;
   }
@@ -245,20 +254,24 @@ std::vector<std::string> AutonomicManager::run_cycle_once() {
   std::vector<std::string> fired;
   Contract c;
   {
-    std::scoped_lock lk(state_mu_);
+    support::MutexLock lk(state_mu_);
     c = contract_;
   }
   const bool suppressed = support::Clock::now() < plan_suppressed_until_;
   if (!suppressed && (c.has_goals() || c.best_effort)) {
     violation_raised_this_cycle_ = false;
-    fired = engine_.run_cycle(wm_, consts_, *this);
+    // Run each agenda pass against a snapshot of the constant table: a
+    // parent's set_contract (another thread) may re-derive constants while
+    // rules evaluate, and the engine must see one coherent valuation.
+    fired = engine_.run_cycle(wm_, constants_snapshot(), *this);
     // Actions change the managed system; a Drools engine would see the
     // updated facts immediately. Re-monitor once and give the remaining
     // rules (cross-pass refraction) a chance to react to the consequences
     // in the same period — e.g. a single multi-concern manager securing the
     // links of the worker it just added.
     if (!fired.empty() && monitor_phase(s)) {
-      const auto follow_up = engine_.run_cycle(wm_, consts_, *this, &fired);
+      const auto follow_up =
+          engine_.run_cycle(wm_, constants_snapshot(), *this, &fired);
       fired.insert(fired.end(), follow_up.begin(), follow_up.end());
     }
   }
@@ -289,7 +302,7 @@ void AutonomicManager::derive_constants_locked() {
 void AutonomicManager::set_contract(const Contract& c) {
   std::function<void(const Contract&)> hook;
   {
-    std::scoped_lock lk(state_mu_);
+    support::MutexLock lk(state_mu_);
     contract_ = c;
     derive_constants_locked();
     hook = on_contract_;
@@ -301,7 +314,7 @@ void AutonomicManager::set_contract(const Contract& c) {
   Splitter sp;
   std::vector<AutonomicManager*> kids;
   {
-    std::scoped_lock lk(state_mu_);
+    support::MutexLock lk(state_mu_);
     sp = splitter_;
     kids = children_;
   }
@@ -314,24 +327,24 @@ void AutonomicManager::set_contract(const Contract& c) {
 }
 
 Contract AutonomicManager::contract() const {
-  std::scoped_lock lk(state_mu_);
+  support::MutexLock lk(state_mu_);
   return contract_;
 }
 
 void AutonomicManager::set_on_contract(
     std::function<void(const Contract&)> fn) {
-  std::scoped_lock lk(state_mu_);
+  support::MutexLock lk(state_mu_);
   on_contract_ = std::move(fn);
 }
 
 void AutonomicManager::attach_child(AutonomicManager& child) {
-  std::scoped_lock lk(state_mu_);
+  support::MutexLock lk(state_mu_);
   children_.push_back(&child);
   child.parent_ = this;  // setup-time wiring, before loops start
 }
 
 void AutonomicManager::set_splitter(Splitter s) {
-  std::scoped_lock lk(state_mu_);
+  support::MutexLock lk(state_mu_);
   splitter_ = std::move(s);
 }
 
@@ -339,32 +352,91 @@ void AutonomicManager::notify_child_violation(const std::string& child,
                                               const std::string& kind,
                                               std::string origin_proc,
                                               std::uint64_t origin_cycle) {
-  std::scoped_lock lk(state_mu_);
+  support::MutexLock lk(state_mu_);
   pending_violations_.push_back(
       ChildViolation{child, kind, std::move(origin_proc), origin_cycle});
 }
 
 void AutonomicManager::set_violation_handler(
     std::function<void(const ChildViolation&)> fn) {
-  std::scoped_lock lk(state_mu_);
+  support::MutexLock lk(state_mu_);
   violation_handler_ = std::move(fn);
 }
 
 Sensors AutonomicManager::last_sensors() const {
-  std::scoped_lock lk(state_mu_);
+  support::MutexLock lk(state_mu_);
   return last_sensors_;
+}
+
+rules::ConstantTable AutonomicManager::constants_snapshot() const {
+  support::MutexLock lk(state_mu_);
+  return consts_;
+}
+
+std::optional<double> AutonomicManager::constant(
+    const std::string& name) const {
+  support::MutexLock lk(state_mu_);
+  return consts_.get(name);
 }
 
 // ----------------------------------------------------------------- policy
 
 void AutonomicManager::load_rules(const std::string& brl_text) {
-  for (rules::Rule& r : rules::parse_rules(brl_text))
-    engine_.add_rule(std::move(r));
+  std::vector<rules::RuleSpec> incoming = rules::parse_rule_specs(brl_text);
+
+  const auto find_spec = [](std::vector<rules::RuleSpec>& v,
+                            const std::string& name) {
+    return std::find_if(v.begin(), v.end(), [&](const rules::RuleSpec& s) {
+      return s.name == name;
+    });
+  };
+
+  // Lint gate (BSK_LINT_ON_LOAD, any value but "0"): statically verify the
+  // union of already-loaded and incoming rules against the manager's live
+  // constant table and refuse provably conflicting or oscillating programs
+  // — the engine and the loaded-spec cache stay untouched on refusal.
+  if (const char* lint = std::getenv("BSK_LINT_ON_LOAD");
+      lint != nullptr && std::string(lint) != "0") {
+    std::vector<rules::RuleSpec> merged = loaded_specs_;
+    for (const rules::RuleSpec& s : incoming) {
+      const auto it = find_spec(merged, s.name);
+      if (it != merged.end())
+        *it = s;
+      else
+        merged.push_back(s);
+    }
+    analysis::AnalysisOptions aopts;
+    {
+      support::MutexLock lk(state_mu_);
+      aopts.consts = consts_;
+    }
+    const std::vector<analysis::Finding> findings =
+        analysis::analyze(merged, analysis::default_registry(), aopts);
+    for (const analysis::Finding& f : findings) {
+      if (f.severity != analysis::Severity::Error) continue;
+      if (f.check != analysis::Check::Conflict &&
+          f.check != analysis::Check::Oscillation)
+        continue;
+      const std::string why = analysis::format_finding(f);
+      record("rulesRefused", 0.0, why);
+      throw std::runtime_error("BSK_LINT_ON_LOAD refused rule program: " +
+                               why);
+    }
+  }
+
+  for (rules::RuleSpec& s : incoming) {
+    engine_.upsert_rule(rules::make_rule(s));
+    const auto it = find_spec(loaded_specs_, s.name);
+    if (it != loaded_specs_.end())
+      *it = std::move(s);
+    else
+      loaded_specs_.push_back(std::move(s));
+  }
 }
 
 void AutonomicManager::register_operation(
     const std::string& op, std::function<void(const std::string&)> fn) {
-  std::scoped_lock lk(state_mu_);
+  support::MutexLock lk(state_mu_);
   operations_[op] = std::move(fn);
 }
 
@@ -372,7 +444,7 @@ void AutonomicManager::fire_operation(const std::string& operation,
                                       const std::string& data) {
   std::function<void(const std::string&)> fn;
   {
-    std::scoped_lock lk(state_mu_);
+    support::MutexLock lk(state_mu_);
     const auto it = operations_.find(operation);
     if (it != operations_.end()) fn = it->second;
   }
@@ -387,7 +459,7 @@ void AutonomicManager::install_default_operations() {
   auto resolve_count = [this](const std::string& data,
                               double fallback) -> double {
     if (data.empty()) return fallback;
-    if (const auto c = consts_.get(data)) return *c;
+    if (const auto c = constant(data)) return *c;
     try {
       return std::stod(data);
     } catch (...) {
@@ -402,7 +474,7 @@ void AutonomicManager::install_default_operations() {
     // requests more (the Fig. 5 guard is `<=`, so it can overshoot by a
     // step without this cap).
     const auto max_w = static_cast<std::size_t>(
-        consts_.get("FARM_MAX_NUM_WORKERS").value_or(1e9));
+        constant("FARM_MAX_NUM_WORKERS").value_or(1e9));
     const std::size_t cur = last_sensors().nworkers;
     n = std::min(n, max_w > cur ? max_w - cur : 0);
     std::size_t added = 0;
@@ -460,7 +532,7 @@ void AutonomicManager::install_default_operations() {
     bool changed = false;
     double floor = 0.0;
     {
-      std::scoped_lock lk(state_mu_);
+      support::MutexLock lk(state_mu_);
       if (contract_.throughput && observed < contract_.throughput->first) {
         contract_.throughput->first = observed;
         derive_constants_locked();

@@ -27,7 +27,6 @@
 #include <map>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -38,6 +37,7 @@
 #include "rules/engine.hpp"
 #include "rules/parser.hpp"
 #include "support/event_log.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace bsk::am {
 
@@ -187,11 +187,30 @@ class AutonomicManager : public rules::OperationSink {
   // --------------------------------------------------------------- policy
 
   rules::Engine& engine() { return engine_; }
+  /// Direct mutable access for setup-time configuration. Once the control
+  /// loop runs, the table is also written by set_contract/monitor from other
+  /// threads — running code should go through constants_snapshot().
   rules::ConstantTable& constants() { return consts_; }
+  /// Thread-safe copy of the constant table (what each rule cycle runs
+  /// against).
+  rules::ConstantTable constants_snapshot() const;
   rules::WorkingMemory& working_memory() { return wm_; }
 
-  /// Load rules from .brl text into this manager's engine.
+  /// Load rules from .brl text into this manager's engine. Same-named rules
+  /// replace earlier ones (policy hot-swap). When the BSK_LINT_ON_LOAD
+  /// environment variable is set (non-empty, not "0"), the static analyzer
+  /// (bsk::analysis) runs over the union of every rule program loaded so far
+  /// against this manager's current constant table, and the load is refused
+  /// (std::runtime_error, engine untouched) if the program provably
+  /// conflicts or oscillates.
   void load_rules(const std::string& brl_text);
+
+  /// Declarative specs of every .brl rule loaded so far (what the on-load
+  /// analyzer checks; programmatic RuleBuilder rules are not introspectable
+  /// and do not appear here).
+  const std::vector<rules::RuleSpec>& loaded_rule_specs() const {
+    return loaded_specs_;
+  }
 
   /// Map an operation name fired by rules onto a handler. Replaces any
   /// previous handler (including the built-ins for the standard ops).
@@ -232,8 +251,13 @@ class AutonomicManager : public rules::OperationSink {
  private:
   void control_loop(const std::stop_token& st);
   void install_default_operations();
-  void derive_constants_locked();  // caller holds state_mu_
+  void derive_constants_locked() BSK_REQUIRES(state_mu_);
   bool monitor_phase(Sensors& out);
+
+  /// One constant's current value, under state_mu_ (operation handlers
+  /// resolve payloads through this — never touch consts_ bare off the
+  /// setup path).
+  std::optional<double> constant(const std::string& name) const;
 
   /// Append an actuation/observation to the active cycle's decision span,
   /// if the caller is the thread running that cycle.
@@ -248,15 +272,18 @@ class AutonomicManager : public rules::OperationSink {
   rules::Engine engine_;
   rules::WorkingMemory wm_;
   rules::ConstantTable consts_;
+  std::vector<rules::RuleSpec> loaded_specs_;
 
-  mutable std::mutex state_mu_;
-  Contract contract_;
-  std::function<void(const Contract&)> on_contract_;
-  std::function<void(const ChildViolation&)> violation_handler_;
-  Splitter splitter_;
-  std::map<std::string, std::function<void(const std::string&)>> operations_;
-  std::deque<ChildViolation> pending_violations_;
-  Sensors last_sensors_{};
+  mutable support::Mutex state_mu_;
+  Contract contract_ BSK_GUARDED_BY(state_mu_);
+  std::function<void(const Contract&)> on_contract_ BSK_GUARDED_BY(state_mu_);
+  std::function<void(const ChildViolation&)> violation_handler_
+      BSK_GUARDED_BY(state_mu_);
+  Splitter splitter_ BSK_GUARDED_BY(state_mu_);
+  std::map<std::string, std::function<void(const std::string&)>> operations_
+      BSK_GUARDED_BY(state_mu_);
+  std::deque<ChildViolation> pending_violations_ BSK_GUARDED_BY(state_mu_);
+  Sensors last_sensors_ BSK_GUARDED_BY(state_mu_){};
 
   AutonomicManager* parent_ = nullptr;
   std::vector<AutonomicManager*> children_;
@@ -266,9 +293,9 @@ class AutonomicManager : public rules::OperationSink {
   // Other threads (a parent calling set_contract mid-cycle, a net thread
   // logging through this manager) must not join the span, hence the thread
   // check under the mutex.
-  std::mutex span_mu_;
-  obs::MapeSpan* active_span_ = nullptr;
-  std::thread::id span_thread_;
+  support::Mutex span_mu_;
+  obs::MapeSpan* active_span_ BSK_GUARDED_BY(span_mu_) = nullptr;
+  std::thread::id span_thread_ BSK_GUARDED_BY(span_mu_);
 
   std::atomic<ManagerMode> mode_{ManagerMode::Passive};
   std::atomic<bool> stream_ended_{false};

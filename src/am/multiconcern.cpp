@@ -10,7 +10,7 @@ GeneralManager::GeneralManager(std::string name, support::EventLog* log)
 
 void GeneralManager::register_participant(ConcernParticipant& p,
                                           int priority) {
-  std::scoped_lock lk(mu_);
+  support::MutexLock lk(mu_);
   participants_.emplace_back(priority, &p);
   std::stable_sort(participants_.begin(), participants_.end(),
                    [](const auto& a, const auto& b) { return a.first > b.first; });
@@ -19,7 +19,7 @@ void GeneralManager::register_participant(ConcernParticipant& p,
 bool GeneralManager::request(Intent& intent, const std::string& proposer) {
   std::vector<std::pair<int, ConcernParticipant*>> ps;
   {
-    std::scoped_lock lk(mu_);
+    support::MutexLock lk(mu_);
     ++requests_;
     ps = participants_;
   }
@@ -28,7 +28,7 @@ bool GeneralManager::request(Intent& intent, const std::string& proposer) {
   for (auto& [prio, p] : ps) {
     if (!p->check(intent)) {
       {
-        std::scoped_lock lk(mu_);
+        support::MutexLock lk(mu_);
         ++vetoes_;
       }
       log_->record(name_, "veto", 0.0, p->concern() + " vetoed " + proposer);
@@ -47,12 +47,12 @@ CommitGate GeneralManager::gate(std::string proposer) {
 }
 
 std::size_t GeneralManager::requests_seen() const {
-  std::scoped_lock lk(mu_);
+  support::MutexLock lk(mu_);
   return requests_;
 }
 
 std::size_t GeneralManager::vetoes_issued() const {
-  std::scoped_lock lk(mu_);
+  support::MutexLock lk(mu_);
   return vetoes_;
 }
 

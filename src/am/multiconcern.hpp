@@ -18,13 +18,13 @@
 // Boolean concerns (security) register with higher priority than
 // quantitative ones (performance), per the paper's priority argument.
 
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "am/abc.hpp"
 #include "am/manager.hpp"
 #include "support/event_log.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace bsk::am {
 
@@ -65,10 +65,11 @@ class GeneralManager {
  private:
   std::string name_;
   support::EventLog* log_;
-  mutable std::mutex mu_;
-  std::vector<std::pair<int, ConcernParticipant*>> participants_;
-  std::size_t requests_ = 0;
-  std::size_t vetoes_ = 0;
+  mutable support::Mutex mu_;
+  std::vector<std::pair<int, ConcernParticipant*>> participants_
+      BSK_GUARDED_BY(mu_);
+  std::size_t requests_ BSK_GUARDED_BY(mu_) = 0;
+  std::size_t vetoes_ BSK_GUARDED_BY(mu_) = 0;
 };
 
 /// The security concern's participant: any AddWorker intent targeting an

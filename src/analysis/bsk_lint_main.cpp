@@ -1,0 +1,236 @@
+// bsk-lint — static verifier for autonomic rule programs (and the two-phase
+// protocol discipline of ABC subclasses).
+//
+//   bsk-lint rules/fig5.brl                 lint .brl files
+//   bsk-lint --builtin all                  lint every am::builtin_rules set
+//   bsk-lint --json rules/*.brl             machine-readable findings
+//   bsk-lint --registry                     dump the manager vocabulary
+//   bsk-lint --const FARM_LOW_PERF_LEVEL=2 rules/fig5.brl
+//   bsk-lint --split-check 4:8:2 --service-time 0.5 rules/fig5.brl
+//   bsk-lint --twophase src                 scan C++ sources for ungated
+//                                           commit actuators
+//
+// Exit status: 0 clean, 1 findings (warning or error), 2 usage/parse error.
+
+#include <filesystem>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "am/builtin_rules.hpp"
+#include "analysis/analyzer.hpp"
+#include "analysis/registry.hpp"
+#include "analysis/twophase.hpp"
+#include "rules/parser.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using namespace bsk;
+
+struct Cli {
+  bool json = false;
+  bool dump_registry = false;
+  std::vector<std::string> brl_files;
+  std::vector<std::pair<std::string, std::string>> builtins;
+  std::vector<std::string> twophase_roots;
+  std::vector<std::pair<std::string, double>> const_overrides;
+  std::optional<analysis::SplitSpec> split;
+};
+
+int usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0
+      << " [--json] [--registry] [--const NAME=VALUE]...\n"
+         "       [--builtin farm|security|fault|latency|degradation|backlog|"
+         "all]...\n"
+         "       [--split-check LO:HI:STAGES [--service-time S] "
+         "[--max-workers N]]\n"
+         "       [--twophase DIR_OR_FILE]... [FILE.brl]...\n";
+  return 2;
+}
+
+std::vector<std::pair<std::string, std::string>> builtin_sets(
+    const std::string& which) {
+  std::vector<std::pair<std::string, std::string>> out;
+  const auto want = [&](const char* n) {
+    return which == "all" || which == n;
+  };
+  if (want("farm")) out.emplace_back("builtin:farm", am::farm_rules());
+  if (want("security"))
+    out.emplace_back("builtin:security", am::security_rules());
+  if (want("fault"))
+    out.emplace_back("builtin:fault", am::fault_tolerance_rules());
+  if (want("latency")) out.emplace_back("builtin:latency", am::latency_rules());
+  if (want("degradation"))
+    out.emplace_back("builtin:degradation", am::degradation_rules());
+  if (want("backlog")) out.emplace_back("builtin:backlog", am::backlog_rules());
+  return out;
+}
+
+void collect_cpp_files(const std::string& root, std::vector<std::string>& out) {
+  std::error_code ec;
+  if (fs::is_directory(root, ec)) {
+    for (auto it = fs::recursive_directory_iterator(root, ec);
+         !ec && it != fs::recursive_directory_iterator(); ++it) {
+      if (!it->is_regular_file(ec)) continue;
+      const std::string ext = it->path().extension().string();
+      if (ext == ".hpp" || ext == ".cpp" || ext == ".h" || ext == ".cc")
+        out.push_back(it->path().string());
+    }
+  } else {
+    out.push_back(root);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli;
+  double service_time = 1.0;
+  std::size_t max_workers = 16;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    const auto next = [&]() -> const char* {
+      return ++i < argc ? argv[i] : nullptr;
+    };
+    if (a == "--json") {
+      cli.json = true;
+    } else if (a == "--registry") {
+      cli.dump_registry = true;
+    } else if (a == "--builtin") {
+      const char* n = next();
+      if (!n) return usage(argv[0]);
+      const auto sets = builtin_sets(n);
+      if (sets.empty()) {
+        std::cerr << "bsk-lint: unknown builtin rule set '" << n << "'\n";
+        return 2;
+      }
+      cli.builtins.insert(cli.builtins.end(), sets.begin(), sets.end());
+    } else if (a == "--twophase") {
+      const char* n = next();
+      if (!n) return usage(argv[0]);
+      cli.twophase_roots.push_back(n);
+    } else if (a == "--const") {
+      const char* n = next();
+      if (!n) return usage(argv[0]);
+      const std::string kv = n;
+      const auto eq = kv.find('=');
+      if (eq == std::string::npos) return usage(argv[0]);
+      try {
+        cli.const_overrides.emplace_back(kv.substr(0, eq),
+                                         std::stod(kv.substr(eq + 1)));
+      } catch (const std::exception&) {
+        return usage(argv[0]);
+      }
+    } else if (a == "--split-check") {
+      const char* n = next();
+      if (!n) return usage(argv[0]);
+      analysis::SplitSpec s;
+      const std::string v = n;
+      const auto c1 = v.find(':');
+      const auto c2 = c1 == std::string::npos ? c1 : v.find(':', c1 + 1);
+      if (c2 == std::string::npos) return usage(argv[0]);
+      try {
+        s.parent_lo = std::stod(v.substr(0, c1));
+        s.parent_hi = std::stod(v.substr(c1 + 1, c2 - c1 - 1));
+        s.stages = static_cast<std::size_t>(std::stoul(v.substr(c2 + 1)));
+      } catch (const std::exception&) {
+        return usage(argv[0]);
+      }
+      cli.split = s;
+    } else if (a == "--service-time") {
+      const char* n = next();
+      if (!n) return usage(argv[0]);
+      service_time = std::stod(n);
+    } else if (a == "--max-workers") {
+      const char* n = next();
+      if (!n) return usage(argv[0]);
+      max_workers = static_cast<std::size_t>(std::stoul(n));
+    } else if (a == "--help" || a == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (!a.empty() && a[0] == '-') {
+      return usage(argv[0]);
+    } else {
+      cli.brl_files.push_back(a);
+    }
+  }
+
+  const analysis::Registry reg = analysis::default_registry();
+
+  if (cli.dump_registry) {
+    std::cout << reg.to_json() << "\n";
+    return 0;
+  }
+  if (cli.brl_files.empty() && cli.builtins.empty() &&
+      cli.twophase_roots.empty() && !cli.split)
+    return usage(argv[0]);
+
+  analysis::AnalysisOptions opts;
+  opts.consts = analysis::model_constants();
+  for (const auto& [name, value] : cli.const_overrides)
+    opts.consts.set(name, value);
+
+  std::vector<analysis::Finding> all;
+
+  // --- rule programs: files then builtins, each analyzed as one program
+  std::vector<std::pair<std::string, std::string>> programs;  // (label, text)
+  for (const std::string& f : cli.brl_files) programs.emplace_back(f, "");
+  programs.insert(programs.end(), cli.builtins.begin(), cli.builtins.end());
+
+  for (const auto& [label, text] : programs) {
+    std::vector<rules::RuleSpec> specs;
+    try {
+      specs = text.empty() ? rules::parse_rule_specs_file(label)
+                           : rules::parse_rule_specs(text);
+    } catch (const rules::ParseError& e) {
+      if (!cli.json)
+        std::cerr << "bsk-lint: " << label << ": " << e.what() << "\n";
+      else
+        std::cout << "{\"findings\":[],\"parse_error\":true}\n";
+      return 2;
+    } catch (const std::exception& e) {
+      std::cerr << "bsk-lint: " << label << ": " << e.what() << "\n";
+      return 2;
+    }
+    std::vector<analysis::Finding> fs = analysis::analyze(specs, reg, opts);
+    for (analysis::Finding& f : fs) {
+      if (f.file.empty()) f.file = label;
+      all.push_back(std::move(f));
+    }
+  }
+
+  // --- contract-split arithmetic
+  if (cli.split) {
+    analysis::SplitSpec s = *cli.split;
+    s.service_time_s = service_time;
+    s.max_workers = max_workers;
+    const auto fs = analysis::check_contract_split(s, opts.consts);
+    all.insert(all.end(), fs.begin(), fs.end());
+  }
+
+  // --- two-phase protocol scan over C++ sources
+  if (!cli.twophase_roots.empty()) {
+    std::vector<std::string> files;
+    for (const std::string& r : cli.twophase_roots)
+      collect_cpp_files(r, files);
+    analysis::TwoPhaseReport rep = analysis::check_two_phase(files);
+    if (!cli.json)
+      std::cerr << "bsk-lint: two-phase scan: " << rep.classes.size()
+                << " ABC subclass(es), " << rep.methods_checked
+                << " actuator bodies\n";
+    all.insert(all.end(), rep.findings.begin(), rep.findings.end());
+  }
+
+  if (cli.json) {
+    std::cout << analysis::findings_to_json(all) << "\n";
+  } else {
+    for (const analysis::Finding& f : all)
+      std::cerr << format_finding(f) << "\n";
+    std::cerr << "bsk-lint: " << all.size() << " finding(s)\n";
+  }
+  return analysis::has_findings(all) ? 1 : 0;
+}

@@ -1,0 +1,145 @@
+#pragma once
+// Interval domain for the rule-program abstract interpreter.
+//
+// Each rule pattern constrains one bean's value with comparisons against
+// (resolved) constants; conjunction of tests intersects intervals. We track
+// open/closed endpoints exactly, because the whole point of the oscillation
+// check is distinguishing "regions that touch at a single point" (zero
+// hysteresis margin) from regions separated by a positive gap.
+
+#include <algorithm>
+#include <limits>
+#include <optional>
+#include <string>
+
+namespace bsk::analysis {
+
+/// A (possibly empty, possibly unbounded) interval over doubles with
+/// open/closed endpoints. Default-constructed: the whole real line.
+struct Interval {
+  double lo = -std::numeric_limits<double>::infinity();
+  double hi = std::numeric_limits<double>::infinity();
+  bool lo_open = false;  ///< true: lo excluded (value > lo)
+  bool hi_open = false;  ///< true: hi excluded (value < hi)
+
+  static Interval all() { return {}; }
+  static Interval lt(double x) {
+    Interval i;
+    i.hi = x;
+    i.hi_open = true;
+    return i;
+  }
+  static Interval le(double x) {
+    Interval i;
+    i.hi = x;
+    return i;
+  }
+  static Interval gt(double x) {
+    Interval i;
+    i.lo = x;
+    i.lo_open = true;
+    return i;
+  }
+  static Interval ge(double x) {
+    Interval i;
+    i.lo = x;
+    return i;
+  }
+  static Interval eq(double x) {
+    Interval i;
+    i.lo = i.hi = x;
+    return i;
+  }
+  static Interval closed(double a, double b) {
+    Interval i;
+    i.lo = a;
+    i.hi = b;
+    return i;
+  }
+
+  bool empty() const {
+    if (lo > hi) return true;
+    if (lo == hi && (lo_open || hi_open)) return true;
+    return false;
+  }
+
+  bool unbounded() const {
+    return lo == -std::numeric_limits<double>::infinity() &&
+           hi == std::numeric_limits<double>::infinity();
+  }
+
+  Interval intersect(const Interval& o) const {
+    Interval r;
+    if (lo > o.lo) {
+      r.lo = lo;
+      r.lo_open = lo_open;
+    } else if (o.lo > lo) {
+      r.lo = o.lo;
+      r.lo_open = o.lo_open;
+    } else {
+      r.lo = lo;
+      r.lo_open = lo_open || o.lo_open;
+    }
+    if (hi < o.hi) {
+      r.hi = hi;
+      r.hi_open = hi_open;
+    } else if (o.hi < hi) {
+      r.hi = o.hi;
+      r.hi_open = o.hi_open;
+    } else {
+      r.hi = hi;
+      r.hi_open = hi_open || o.hi_open;
+    }
+    return r;
+  }
+
+  /// True when this interval contains every point of `o` (superset test).
+  /// An empty `o` is contained in anything.
+  bool contains(const Interval& o) const {
+    if (o.empty()) return true;
+    if (empty()) return false;
+    const bool lo_ok =
+        lo < o.lo || (lo == o.lo && (!lo_open || o.lo_open));
+    const bool hi_ok =
+        hi > o.hi || (hi == o.hi && (!hi_open || o.hi_open));
+    return lo_ok && hi_ok;
+  }
+
+  /// Width of the band separating two disjoint intervals. Returns nullopt
+  /// when they intersect; 0.0 when they abut with no room in between (the
+  /// zero-hysteresis case). Empty intervals are "infinitely separated".
+  static std::optional<double> gap(const Interval& a, const Interval& b) {
+    if (a.empty() || b.empty())
+      return std::numeric_limits<double>::infinity();
+    if (!a.intersect(b).empty()) return std::nullopt;
+    // Disjoint: one lies entirely left of the other.
+    const Interval& left = (a.hi < b.lo || (a.hi == b.lo)) ? a : b;
+    const Interval& right = (&left == &a) ? b : a;
+    double g = right.lo - left.hi;
+    if (g < 0.0) g = 0.0;  // touching endpoints with open sides
+    return g;
+  }
+
+  std::string str() const {
+    if (empty()) return "{}";
+    std::string s = lo_open ? "(" : "[";
+    const auto num = [](double v) {
+      if (v == std::numeric_limits<double>::infinity()) return std::string("+inf");
+      if (v == -std::numeric_limits<double>::infinity()) return std::string("-inf");
+      std::string t = std::to_string(v);
+      // trim trailing zeros for readability
+      const auto dot = t.find('.');
+      if (dot != std::string::npos) {
+        auto last = t.find_last_not_of('0');
+        if (last == dot) last = dot - 1;
+        t.erase(last + 1);
+      }
+      return t;
+    };
+    s += num(lo) + ", " + num(hi);
+    s += hi_open ? ")" : "]";
+    return s;
+  }
+};
+
+}  // namespace bsk::analysis

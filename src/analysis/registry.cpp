@@ -1,0 +1,175 @@
+#include "analysis/registry.hpp"
+
+#include <sstream>
+
+// Header-only dependency on the manager's name tables (inline constexpr
+// strings); bsk_analysis does NOT link bsk_am — the dependency arrow runs the
+// other way (the manager optionally lints rule programs at load time).
+#include "am/manager.hpp"
+#include "support/json.hpp"
+
+namespace bsk::analysis {
+
+void Registry::add_bean(std::string name, Interval domain, std::string doc) {
+  BeanInfo info{name, domain, std::move(doc)};
+  beans_[std::move(name)] = std::move(info);
+}
+
+void Registry::add_bean_prefix(std::string prefix) {
+  bean_prefixes_.push_back(std::move(prefix));
+}
+
+void Registry::add_operation(std::string name) {
+  operations_.insert(std::move(name));
+}
+
+void Registry::add_constant(std::string name) {
+  constants_.insert(std::move(name));
+}
+
+void Registry::add_payload(std::string name) {
+  payloads_.insert(std::move(name));
+}
+
+void Registry::add_ordering(std::string lo_name, std::string hi_name) {
+  orderings_.emplace_back(std::move(lo_name), std::move(hi_name));
+}
+
+void Registry::add_conflicting_ops(std::string a, std::string b) {
+  conflict_ops_.emplace_back(std::move(a), std::move(b));
+}
+
+std::optional<Interval> Registry::bean_domain(const std::string& name) const {
+  const auto it = beans_.find(name);
+  if (it != beans_.end()) return it->second.domain;
+  for (const std::string& p : bean_prefixes_)
+    if (name.size() > p.size() && name.compare(0, p.size(), p) == 0)
+      return Interval::all();
+  return std::nullopt;
+}
+
+bool Registry::known_bean(const std::string& name) const {
+  return bean_domain(name).has_value();
+}
+
+bool Registry::known_operation(const std::string& name) const {
+  return operations_.contains(name);
+}
+
+bool Registry::known_constant(const std::string& name) const {
+  return constants_.contains(name);
+}
+
+bool Registry::known_payload(const std::string& name) const {
+  return payloads_.contains(name);
+}
+
+std::string Registry::to_json() const {
+  namespace json = support::json;
+  std::ostringstream os;
+  os << "{\"beans\":[";
+  bool first = true;
+  for (const auto& [name, info] : beans_) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":";
+    json::write_string(os, name);
+    os << ",\"domain\":";
+    json::write_string(os, info.domain.str());
+    os << ",\"doc\":";
+    json::write_string(os, info.doc);
+    os << "}";
+  }
+  os << "],\"bean_prefixes\":[";
+  first = true;
+  for (const std::string& p : bean_prefixes_) {
+    if (!first) os << ",";
+    first = false;
+    json::write_string(os, p);
+  }
+  os << "],\"operations\":[";
+  first = true;
+  for (const std::string& o : operations_) {
+    if (!first) os << ",";
+    first = false;
+    json::write_string(os, o);
+  }
+  os << "],\"constants\":[";
+  first = true;
+  for (const std::string& c : constants_) {
+    if (!first) os << ",";
+    first = false;
+    json::write_string(os, c);
+  }
+  os << "],\"payloads\":[";
+  first = true;
+  for (const std::string& p : payloads_) {
+    if (!first) os << ",";
+    first = false;
+    json::write_string(os, p);
+  }
+  os << "]}";
+  return os.str();
+}
+
+Registry default_registry() {
+  Registry r;
+  const Interval nonneg = Interval::ge(0.0);
+
+  r.add_bean(am::beans::kArrivalRate, nonneg, "tasks/s entering the skeleton");
+  r.add_bean(am::beans::kDepartureRate, nonneg, "tasks/s leaving the skeleton");
+  r.add_bean(am::beans::kNumWorker, nonneg, "current farm parallelism degree");
+  r.add_bean(am::beans::kQueueVariance, nonneg,
+             "variance of per-worker queue lengths");
+  r.add_bean(am::beans::kQueueVariancePaper, nonneg,
+             "paper-spelled alias of QueueVarianceBean");
+  r.add_bean(am::beans::kServiceTime, nonneg, "mean service time (s)");
+  r.add_bean(am::beans::kLatency, nonneg, "per-task latency (s)");
+  r.add_bean(am::beans::kQueuedTasks, nonneg, "tasks waiting in input queues");
+  r.add_bean(am::beans::kStreamEnd, Interval::closed(0.0, 1.0),
+             "1 when the input stream has ended");
+  r.add_bean(am::beans::kUnsecuredLinks, nonneg,
+             "links still running in the clear");
+  r.add_bean(am::beans::kWorkerFailure, nonneg,
+             "worker failures observed this cycle");
+  r.add_bean(am::beans::kTotalFailures, nonneg,
+             "worker failures since start");
+  r.add_bean(am::beans::kFailedRecruits, nonneg,
+             "consecutive failed replacement recruitments");
+  // One pulse bean per child violation kind (beans::child_violation).
+  r.add_bean_prefix("Violation_");
+
+  r.add_operation(am::ops::kAddExecutor);
+  r.add_operation(am::ops::kRemoveExecutor);
+  r.add_operation(am::ops::kBalanceLoad);
+  r.add_operation(am::ops::kRaiseViolation);
+  r.add_operation(am::ops::kSecureLinks);
+  r.add_operation(am::ops::kDegradeContract);
+
+  // Constants the AutonomicManager constructor seeds / derive_constants
+  // refreshes. FARM_BACKLOG_THRESHOLD has no default — builtin backlog rules
+  // document that the application must set it.
+  r.add_constant("FARM_LOW_PERF_LEVEL");
+  r.add_constant("FARM_HIGH_PERF_LEVEL");
+  r.add_constant("FARM_MIN_NUM_WORKERS");
+  r.add_constant("FARM_MAX_NUM_WORKERS");
+  r.add_constant("FARM_MAX_UNBALANCE");
+  r.add_constant("FARM_ADD_WORKERS");
+  r.add_constant("FARM_BACKLOG_THRESHOLD");
+  r.add_constant("MAX_LATENCY");
+  r.add_constant("FT_MAX_FAILED_RECRUITS");
+  r.add_constant("WORKER_FAILURES");
+
+  // Violation kinds used as symbolic setData payloads.
+  r.add_payload("notEnoughTasks_VIOL");
+  r.add_payload("tooMuchTasks_VIOL");
+  r.add_payload("degradedContract_VIOL");
+
+  r.add_ordering("FARM_LOW_PERF_LEVEL", "FARM_HIGH_PERF_LEVEL");
+  r.add_ordering("FARM_MIN_NUM_WORKERS", "FARM_MAX_NUM_WORKERS");
+
+  r.add_conflicting_ops(am::ops::kAddExecutor, am::ops::kRemoveExecutor);
+  return r;
+}
+
+}  // namespace bsk::analysis

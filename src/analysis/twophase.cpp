@@ -1,0 +1,290 @@
+#include "analysis/twophase.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <optional>
+#include <set>
+#include <sstream>
+
+namespace bsk::analysis {
+
+namespace {
+
+const char* const kCommitMethods[] = {"add_worker", "remove_worker",
+                                      "set_rate", "secure_links"};
+
+/// Replace comments and string/char literals with spaces (newlines kept, so
+/// line numbers survive). Prose mentioning pass_gate must not count.
+std::string strip_comments(const std::string& in) {
+  std::string out = in;
+  enum { Code, Line, Block, Str, Chr } st = Code;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const char c = out[i];
+    const char n = i + 1 < out.size() ? out[i + 1] : '\0';
+    switch (st) {
+      case Code:
+        if (c == '/' && n == '/') st = Line;
+        else if (c == '/' && n == '*') st = Block;
+        else if (c == '"') st = Str;
+        else if (c == '\'') st = Chr;
+        if (st == Line || st == Block) out[i] = ' ';
+        break;
+      case Line:
+        if (c == '\n') st = Code;
+        else out[i] = ' ';
+        break;
+      case Block:
+        if (c == '*' && n == '/') {
+          out[i] = out[i + 1] = ' ';
+          ++i;
+          st = Code;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case Str:
+        if (c == '\\' && n != '\0') {
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c == '"') {
+          st = Code;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case Chr:
+        if (c == '\\' && n != '\0') {
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c == '\'') {
+          st = Code;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Find `needle` as a whole identifier (not a substring of a longer one).
+std::size_t find_ident(const std::string& s, const std::string& needle,
+                       std::size_t from = 0) {
+  for (std::size_t pos = s.find(needle, from); pos != std::string::npos;
+       pos = s.find(needle, pos + 1)) {
+    const bool left_ok = pos == 0 || !ident_char(s[pos - 1]);
+    const std::size_t end = pos + needle.size();
+    const bool right_ok = end >= s.size() || !ident_char(s[end]);
+    if (left_ok && right_ok) return pos;
+  }
+  return std::string::npos;
+}
+
+std::size_t line_of(const std::string& s, std::size_t pos) {
+  return 1 + static_cast<std::size_t>(
+                 std::count(s.begin(), s.begin() + static_cast<long>(pos),
+                            '\n'));
+}
+
+/// Matching close brace for the open brace at `open` (npos if unbalanced).
+std::size_t match_brace(const std::string& s, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < s.size(); ++i) {
+    if (s[i] == '{') ++depth;
+    else if (s[i] == '}' && --depth == 0) return i;
+  }
+  return std::string::npos;
+}
+
+/// Collect names of classes whose base clause names Abc (directly or as
+/// am::Abc / bsk::am::Abc).
+void collect_abc_subclasses(const std::string& text,
+                            std::set<std::string>& out) {
+  for (std::size_t pos = find_ident(text, "class"); pos != std::string::npos;
+       pos = find_ident(text, "class", pos + 1)) {
+    std::size_t i = pos + 5;
+    while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i])))
+      ++i;
+    std::size_t name_end = i;
+    while (name_end < text.size() && ident_char(text[name_end])) ++name_end;
+    if (name_end == i) continue;
+    const std::string name = text.substr(i, name_end - i);
+    // Base clause runs from ':' to '{'; bail at ';' (forward declaration).
+    std::size_t j = name_end;
+    while (j < text.size() && text[j] != ':' && text[j] != '{' &&
+           text[j] != ';')
+      ++j;
+    if (j >= text.size() || text[j] != ':') continue;
+    const std::size_t brace = text.find('{', j);
+    if (brace == std::string::npos) continue;
+    const std::string bases = text.substr(j + 1, brace - j - 1);
+    if (find_ident(bases, "Abc") != std::string::npos && name != "Abc")
+      out.insert(name);
+  }
+}
+
+struct Body {
+  std::size_t begin = 0;  // offset of '{'
+  std::size_t end = 0;    // offset of matching '}'
+  std::size_t line = 0;
+};
+
+/// Out-of-line definition `Class::method (...) ... { ... }` in `text`.
+std::optional<Body> find_method_body(const std::string& text,
+                                     const std::string& cls,
+                                     const std::string& method) {
+  const std::string qual = cls + "::" + method;
+  for (std::size_t pos = text.find(qual); pos != std::string::npos;
+       pos = text.find(qual, pos + 1)) {
+    if (pos > 0 && ident_char(text[pos - 1])) continue;
+    const std::size_t paren = text.find('(', pos + qual.size());
+    if (paren == std::string::npos) continue;
+    // Find the end of the parameter list, then the body brace (a ';' first
+    // means this was only mentioned, not defined).
+    std::size_t i = paren;
+    int depth = 0;
+    for (; i < text.size(); ++i) {
+      if (text[i] == '(') ++depth;
+      else if (text[i] == ')' && --depth == 0) break;
+    }
+    std::size_t k = i + 1;
+    while (k < text.size() && text[k] != '{' && text[k] != ';') ++k;
+    if (k >= text.size() || text[k] != '{') continue;
+    const std::size_t close = match_brace(text, k);
+    if (close == std::string::npos) continue;
+    return Body{k, close, line_of(text, pos)};
+  }
+  return std::nullopt;
+}
+
+/// Inline definition of `method` inside the class body of `cls`.
+std::optional<Body> find_inline_body(const std::string& text,
+                                     const std::string& cls,
+                                     const std::string& method) {
+  // Locate `class cls ... {` and its extent.
+  for (std::size_t pos = find_ident(text, cls); pos != std::string::npos;
+       pos = find_ident(text, cls, pos + 1)) {
+    // Must be preceded by the `class` keyword (possibly with attributes).
+    const std::string before = text.substr(pos > 64 ? pos - 64 : 0,
+                                           pos > 64 ? 64 : pos);
+    if (find_ident(before, "class") == std::string::npos) continue;
+    std::size_t brace = pos;
+    while (brace < text.size() && text[brace] != '{' && text[brace] != ';')
+      ++brace;
+    if (brace >= text.size() || text[brace] != '{') continue;
+    const std::size_t close = match_brace(text, brace);
+    if (close == std::string::npos) continue;
+    const std::string body = text.substr(brace, close - brace);
+    std::size_t m = find_ident(body, method);
+    while (m != std::string::npos) {
+      std::size_t i = m + method.size();
+      while (i < body.size() &&
+             std::isspace(static_cast<unsigned char>(body[i])))
+        ++i;
+      if (i < body.size() && body[i] == '(') {
+        int depth = 0;
+        for (; i < body.size(); ++i) {
+          if (body[i] == '(') ++depth;
+          else if (body[i] == ')' && --depth == 0) break;
+        }
+        std::size_t k = i + 1;
+        while (k < body.size() && body[k] != '{' && body[k] != ';') ++k;
+        if (k < body.size() && body[k] == '{') {
+          const std::size_t mclose = match_brace(body, k);
+          if (mclose != std::string::npos)
+            return Body{brace + k, brace + mclose,
+                        line_of(text, brace + m)};
+        }
+      }
+      m = find_ident(body, method, m + 1);
+    }
+  }
+  return std::nullopt;
+}
+
+/// A body that unconditionally declines (base-class style `return false;` /
+/// `return 0;`) never commits anything, so it needs no gate.
+bool is_pure_decline(const std::string& body) {
+  std::string t;
+  for (const char c : body)
+    if (!std::isspace(static_cast<unsigned char>(c))) t += c;
+  return t == "{returnfalse;}" || t == "{return0;}" || t == "{return{};}" ||
+         t == "{}";
+}
+
+}  // namespace
+
+TwoPhaseReport check_two_phase_sources(
+    const std::vector<std::pair<std::string, std::string>>& files) {
+  TwoPhaseReport rep;
+
+  std::vector<std::pair<std::string, std::string>> stripped;
+  stripped.reserve(files.size());
+  std::set<std::string> classes;
+  for (const auto& [path, content] : files) {
+    stripped.emplace_back(path, strip_comments(content));
+    collect_abc_subclasses(stripped.back().second, classes);
+  }
+  rep.classes.assign(classes.begin(), classes.end());
+
+  for (const std::string& cls : classes) {
+    for (const char* method : kCommitMethods) {
+      // The definition may live in any scanned file (headers declare,
+      // sources define); take the first definition found.
+      for (const auto& [path, text] : stripped) {
+        auto body = find_method_body(text, cls, method);
+        if (!body) body = find_inline_body(text, cls, method);
+        if (!body) continue;
+
+        ++rep.methods_checked;
+        const std::string b = text.substr(body->begin,
+                                          body->end - body->begin + 1);
+        // Consulting the gate directly, routing through GeneralManager
+        // (request), or forwarding the gate to a delegate ABC
+        // (set_commit_gate) all put phase one on the commit path.
+        const bool gated =
+            find_ident(b, "pass_gate") != std::string::npos ||
+            find_ident(b, "request") != std::string::npos ||
+            find_ident(b, "set_commit_gate") != std::string::npos;
+        if (!gated && !is_pure_decline(b))
+          rep.findings.push_back(
+              {Check::TwoPhase, Severity::Error,
+               std::string(cls) + "::" + method +
+                   " commits a reconfiguration without presenting an Intent "
+                   "to the commit gate (no pass_gate/request on the path) — "
+                   "phase one of the two-phase protocol never runs, so "
+                   "concern managers cannot veto or annotate it",
+               cls + std::string("::") + method, "", "", body->line, path});
+        break;  // first definition wins
+      }
+    }
+  }
+  return rep;
+}
+
+TwoPhaseReport check_two_phase(const std::vector<std::string>& paths) {
+  std::vector<std::pair<std::string, std::string>> files;
+  std::vector<Finding> unreadable;
+  for (const std::string& p : paths) {
+    std::ifstream in(p);
+    if (!in) {
+      unreadable.push_back({Check::TwoPhase, Severity::Note,
+                            "cannot read file", "", "", "", 0, p});
+      continue;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    files.emplace_back(p, ss.str());
+  }
+  TwoPhaseReport rep = check_two_phase_sources(files);
+  rep.findings.insert(rep.findings.end(), unreadable.begin(),
+                      unreadable.end());
+  return rep;
+}
+
+}  // namespace bsk::analysis

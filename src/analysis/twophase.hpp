@@ -1,0 +1,39 @@
+#pragma once
+// API-misuse lint for the two-phase commit protocol (paper Sec. 3.2).
+//
+// Every configuration-changing actuator of an am::Abc subclass must present
+// its Intent to the commit gate (pass_gate) before committing the mechanism
+// — that is the hook through which the multi-concern GeneralManager runs
+// phase one (concern managers examine, veto or annotate the intent). An
+// actuator that commits directly is invisible to the protocol: a security
+// manager can no longer require the new worker's links be secured first.
+//
+// This is a lightweight source-level lint (not a compiler plugin): it scans
+// C++ sources for classes deriving from Abc, extracts the bodies of their
+// commit actuators (add_worker / remove_worker / set_rate / secure_links),
+// and flags bodies that neither consult the gate nor are pure declines.
+// Comments and string literals are stripped before matching, so prose about
+// the protocol does not satisfy the check.
+
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer.hpp"
+
+namespace bsk::analysis {
+
+struct TwoPhaseReport {
+  std::vector<Finding> findings;
+  std::vector<std::string> classes;  ///< Abc subclasses discovered
+  std::size_t methods_checked = 0;   ///< actuator bodies examined
+};
+
+/// Scan the given C++ files (headers and sources together — base-class
+/// discovery is cross-file). Unreadable files produce a Note finding.
+TwoPhaseReport check_two_phase(const std::vector<std::string>& paths);
+
+/// Same, over in-memory (path, content) pairs — unit-test entry point.
+TwoPhaseReport check_two_phase_sources(
+    const std::vector<std::pair<std::string, std::string>>& files);
+
+}  // namespace bsk::analysis

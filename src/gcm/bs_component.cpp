@@ -27,7 +27,11 @@ bool GcmFarmAbc::remove_worker() {
 
 std::size_t GcmFarmAbc::rebalance() { return inner_.rebalance(); }
 
-std::size_t GcmFarmAbc::secure_links() { return inner_.secure_links(); }
+std::size_t GcmFarmAbc::secure_links() {
+  // Forward the gate so the inner ABC's SecureLinks intent reaches it.
+  inner_.set_commit_gate(gate_);
+  return inner_.secure_links();
+}
 
 // --------------------------------------------------------- FarmComposite
 

@@ -48,6 +48,7 @@
 #include <thread>
 #include <vector>
 
+#include "support/thread_annotations.hpp"
 #include "net/remote_conduit.hpp"
 #include "net/transport.hpp"
 #include "net/wire.hpp"
@@ -89,7 +90,7 @@ struct Session {
   std::uint64_t id = 0;
   std::string kind;
 
-  std::mutex mu;  // guards everything below
+  bsk::support::Mutex mu;  // guards everything below
   std::uint32_t epoch = 0;
   std::unique_ptr<bsk::rt::Node> node;
   bool secured = false;
@@ -109,7 +110,7 @@ class SessionRegistry {
     s->kind = kind;
     s->node = make_node(kind);
     s->node->on_start();
-    std::scoped_lock lk(mu_);
+    bsk::support::MutexLock lk(mu_);
     s->id = next_++;
     sessions_[s->id] = s;
     return s;
@@ -118,14 +119,14 @@ class SessionRegistry {
   /// Look up a session for resume. The epoch fence rejects reconnects that
   /// present a stale view (a zombie from before an earlier re-attach).
   std::shared_ptr<Session> find_for_resume(std::uint64_t id) {
-    std::scoped_lock lk(mu_);
+    bsk::support::MutexLock lk(mu_);
     auto it = sessions_.find(id);
     return it == sessions_.end() ? nullptr : it->second;
   }
 
   /// Park a dead connection's session (unless a newer epoch stole it).
   void park(const std::shared_ptr<Session>& s, std::uint32_t my_epoch) {
-    std::scoped_lock lk(s->mu);
+    bsk::support::MutexLock lk(s->mu);
     if (s->epoch != my_epoch) return;  // re-attached elsewhere: not ours
     s->active.reset();
     s->parked_at = bsk::net::wall_now();
@@ -134,11 +135,11 @@ class SessionRegistry {
   /// Orderly shutdown: retire the node and forget the session.
   void erase(const std::shared_ptr<Session>& s, std::uint32_t my_epoch) {
     {
-      std::scoped_lock lk(s->mu);
+      bsk::support::MutexLock lk(s->mu);
       if (s->epoch != my_epoch) return;
       if (s->node) s->node->on_stop();
     }
-    std::scoped_lock lk(mu_);
+    bsk::support::MutexLock lk(mu_);
     sessions_.erase(s->id);
   }
 
@@ -147,7 +148,7 @@ class SessionRegistry {
   void reap(double linger_s) {
     std::vector<std::shared_ptr<Session>> dead;
     {
-      std::scoped_lock lk(mu_);
+      bsk::support::MutexLock lk(mu_);
       for (auto it = sessions_.begin(); it != sessions_.end();) {
         const double parked = it->second->parked_at.load();
         if (parked >= 0.0 && bsk::net::wall_now() - parked > linger_s) {
@@ -159,13 +160,13 @@ class SessionRegistry {
       }
     }
     for (auto& s : dead) {
-      std::scoped_lock slk(s->mu);
+      bsk::support::MutexLock slk(s->mu);
       if (s->node) s->node->on_stop();
     }
   }
 
  private:
-  std::mutex mu_;
+  bsk::support::Mutex mu_;
   std::map<std::uint64_t, std::shared_ptr<Session>> sessions_;
   std::uint64_t next_ = 1;
 };
@@ -181,7 +182,7 @@ void handle_task(Session& s, bsk::net::TcpTransport& tp,
   if (!parsed) return;  // malformed (corrupt payload): drop, stream lives
   const std::uint64_t seq = parsed->first;
 
-  std::scoped_lock lk(s.mu);
+  bsk::support::MutexLock lk(s.mu);
   if (seq != 0) {
     if (auto it = s.results.find(seq); it != s.results.end()) {
       // Already executed: a retransmit or wire duplicate. Resend the cached
@@ -288,7 +289,7 @@ void serve_session(std::unique_ptr<bsk::net::TcpTransport> owned) {
   bool resumed = false;
   if (hello->resume_session != 0) {
     if (auto s = g_registry.find_for_resume(hello->resume_session)) {
-      std::scoped_lock lk(s->mu);
+      bsk::support::MutexLock lk(s->mu);
       if (s->epoch == hello->resume_epoch) {
         // Steal the session from whatever connection held it (a half-dead
         // one during an asymmetric partition, or a parked slot). Closing
@@ -312,7 +313,7 @@ void serve_session(std::unique_ptr<bsk::net::TcpTransport> owned) {
   }
   if (!session) {
     session = g_registry.create(hello->node_kind);
-    std::scoped_lock lk(session->mu);
+    bsk::support::MutexLock lk(session->mu);
     my_epoch = ++session->epoch;
     session->active = tp;
   }
@@ -354,7 +355,7 @@ void serve_session(std::unique_ptr<bsk::net::TcpTransport> owned) {
         break;
       case FrameType::SecureReq: {
         tp->mark_secured();
-        std::scoped_lock lk(session->mu);
+        bsk::support::MutexLock lk(session->mu);
         session->secured = true;
         tp->send(Frame{FrameType::SecureAck, {}});
         break;

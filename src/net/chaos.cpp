@@ -148,7 +148,7 @@ bool FaultInjector::kill_if_due() {
   if (!plan_->kill_due()) return killed_.load(std::memory_order_relaxed);
   if (!killed_.exchange(true)) {
     {
-      std::scoped_lock lk(stats_mu_);
+      support::MutexLock lk(stats_mu_);
       ++stats_.kills;
       chaos_obs().kills.inc();
     }
@@ -176,24 +176,24 @@ bool FaultInjector::send_many(const Frame* fs, std::size_t n) {
 
 bool FaultInjector::send_one(const Frame& f) {
   if (kill_if_due()) return false;
-  std::scoped_lock lk(out_mu_);
+  support::MutexLock lk(out_mu_);
   const std::uint64_t idx = out_idx_++;
   const FaultDecision d = plan_->decide(out_id_, idx);
   {
-    std::scoped_lock slk(stats_mu_);
+    support::MutexLock slk(stats_mu_);
     ++stats_.frames_seen;
   }
 
   // An outbound partition is the network eating the frame: the sender sees
   // a successful send, the bytes never arrive.
   if (plan_->partition_elapsed(/*outbound=*/true)) {
-    std::scoped_lock slk(stats_mu_);
+    support::MutexLock slk(stats_mu_);
     ++stats_.blocked_outbound;
     chaos_obs().partition_blocked.inc();
     return true;
   }
   if (d.drop) {
-    std::scoped_lock slk(stats_mu_);
+    support::MutexLock slk(stats_mu_);
     ++stats_.dropped;
     chaos_obs().dropped.inc();
     return true;
@@ -202,13 +202,13 @@ bool FaultInjector::send_one(const Frame& f) {
   Frame out = f;
   if (d.corrupt) {
     corrupt_frame(out, out_id_, idx);
-    std::scoped_lock slk(stats_mu_);
+    support::MutexLock slk(stats_mu_);
     ++stats_.corrupted;
     chaos_obs().corrupted.inc();
   }
   if (d.delay_s > 0.0) {
     {
-      std::scoped_lock slk(stats_mu_);
+      support::MutexLock slk(stats_mu_);
       ++stats_.delayed;
       chaos_obs().delayed.inc();
     }
@@ -218,7 +218,7 @@ bool FaultInjector::send_one(const Frame& f) {
   // Reorder: park this frame; it leaves right after its successor.
   if (d.reorder && !held_) {
     held_ = std::move(out);
-    std::scoped_lock slk(stats_mu_);
+    support::MutexLock slk(stats_mu_);
     ++stats_.reordered;
     chaos_obs().reordered.inc();
     return true;
@@ -227,7 +227,7 @@ bool FaultInjector::send_one(const Frame& f) {
   bool ok = inner_->send(out);
   if (ok && d.dup) {
     {
-      std::scoped_lock slk(stats_mu_);
+      support::MutexLock slk(stats_mu_);
       ++stats_.duplicated;
       chaos_obs().duplicated.inc();
     }
@@ -255,7 +255,7 @@ RecvStatus FaultInjector::recv_for(Frame& out, double wall_seconds) {
     if (kill_if_due()) return RecvStatus::Closed;
 
     {
-      std::scoped_lock lk(in_mu_);
+      support::MutexLock lk(in_mu_);
       if (dup_in_) {
         out = std::move(*dup_in_);
         dup_in_.reset();
@@ -268,7 +268,7 @@ RecvStatus FaultInjector::recv_for(Frame& out, double wall_seconds) {
     // the silence so liveness detection can fire).
     if (plan_->partition_elapsed(/*outbound=*/false)) {
       {
-        std::scoped_lock slk(stats_mu_);
+        support::MutexLock slk(stats_mu_);
         ++stats_.stalled_inbound;
         chaos_obs().partition_blocked.inc();
       }
@@ -286,38 +286,38 @@ RecvStatus FaultInjector::recv_for(Frame& out, double wall_seconds) {
 
     std::uint64_t idx;
     {
-      std::scoped_lock lk(in_mu_);
+      support::MutexLock lk(in_mu_);
       idx = in_idx_++;
     }
     const FaultDecision d = plan_->decide(in_id_, idx);
     {
-      std::scoped_lock slk(stats_mu_);
+      support::MutexLock slk(stats_mu_);
       ++stats_.frames_seen;
     }
     if (d.drop) {
-      std::scoped_lock slk(stats_mu_);
+      support::MutexLock slk(stats_mu_);
       ++stats_.dropped;
       chaos_obs().dropped.inc();
       continue;
     }
     if (d.corrupt) {
       corrupt_frame(f, in_id_, idx);
-      std::scoped_lock slk(stats_mu_);
+      support::MutexLock slk(stats_mu_);
       ++stats_.corrupted;
       chaos_obs().corrupted.inc();
     }
     if (d.delay_s > 0.0) {
       {
-        std::scoped_lock slk(stats_mu_);
+        support::MutexLock slk(stats_mu_);
         ++stats_.delayed;
         chaos_obs().delayed.inc();
       }
       sleep_wall(d.delay_s);
     }
     if (d.dup) {
-      std::scoped_lock lk(in_mu_);
+      support::MutexLock lk(in_mu_);
       dup_in_ = f;
-      std::scoped_lock slk(stats_mu_);
+      support::MutexLock slk(stats_mu_);
       ++stats_.duplicated;
       chaos_obs().duplicated.inc();
     }
@@ -341,7 +341,7 @@ double FaultInjector::idle_seconds() const {
 }
 
 ChaosStats FaultInjector::chaos_stats() const {
-  std::scoped_lock lk(stats_mu_);
+  support::MutexLock lk(stats_mu_);
   return stats_;
 }
 

@@ -28,12 +28,12 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "net/transport.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace bsk::net {
 
@@ -175,18 +175,18 @@ class FaultInjector final : public Transport {
   std::uint64_t out_id_;
   std::uint64_t in_id_;
 
-  std::mutex out_mu_;  ///< serializes fault application on the send path
-  std::optional<Frame> held_;  ///< reorder: parked until the next send
-  std::uint64_t out_idx_ = 0;
+  support::Mutex out_mu_;  ///< serializes fault application on the send path
+  std::optional<Frame> held_ BSK_GUARDED_BY(out_mu_);  ///< reorder: parked until the next send
+  std::uint64_t out_idx_ BSK_GUARDED_BY(out_mu_) = 0;
 
-  std::mutex in_mu_;  ///< recv is single-consumer by contract, but be safe
-  std::optional<Frame> dup_in_;  ///< inbound duplicate awaiting redelivery
-  std::uint64_t in_idx_ = 0;
+  support::Mutex in_mu_;  ///< recv is single-consumer by contract, but be safe
+  std::optional<Frame> dup_in_ BSK_GUARDED_BY(in_mu_);  ///< inbound duplicate awaiting redelivery
+  std::uint64_t in_idx_ BSK_GUARDED_BY(in_mu_) = 0;
 
   std::atomic<bool> killed_{false};
 
-  mutable std::mutex stats_mu_;
-  ChaosStats stats_;
+  mutable support::Mutex stats_mu_;
+  ChaosStats stats_ BSK_GUARDED_BY(stats_mu_);
 };
 
 }  // namespace bsk::net

@@ -8,7 +8,7 @@ am::Sensors RemoteAbc::sense() {
   am::Sensors blackout;
   blackout.valid = false;
 
-  std::scoped_lock lk(rpc_mu_);
+  support::MutexLock lk(rpc_mu_);
   const std::uint32_t seq = next_seq_++;
   if (!tp_->send(make_sensor_req(seq))) return blackout;
 
@@ -30,7 +30,7 @@ am::Sensors RemoteAbc::sense() {
 }
 
 std::optional<ActReply> RemoteAbc::call(ActRequest req) {
-  std::scoped_lock lk(rpc_mu_);
+  support::MutexLock lk(rpc_mu_);
   req.seq = next_seq_++;
   if (!tp_->send(make_act_req(req))) return std::nullopt;
 
@@ -85,14 +85,23 @@ std::size_t RemoteAbc::rebalance() {
 }
 
 bool RemoteAbc::set_rate(double tasks_per_s) {
+  am::Intent intent;
+  intent.action = am::Intent::Action::SetRate;
+  intent.rate = tasks_per_s;
+  if (!pass_gate(intent)) return false;
+
   ActRequest req;
   req.op = ActRequest::Op::SetRate;
-  req.rate = tasks_per_s;
+  req.rate = intent.rate;
   const auto rep = call(req);
   return rep && rep->ok;
 }
 
 std::size_t RemoteAbc::secure_links() {
+  am::Intent intent;
+  intent.action = am::Intent::Action::SecureLinks;
+  if (!pass_gate(intent)) return 0;
+
   ActRequest req;
   req.op = ActRequest::Op::SecureLinks;
   const auto rep = call(req);

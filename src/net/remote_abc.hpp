@@ -24,12 +24,12 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <thread>
 
 #include "am/abc.hpp"
 #include "net/transport.hpp"
 #include "net/wire.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace bsk::net {
 
@@ -67,8 +67,8 @@ class RemoteAbc final : public am::Abc {
 
   std::shared_ptr<Transport> tp_;
   RemoteAbcOptions opts_;
-  std::mutex rpc_mu_;  // one RPC in flight at a time
-  std::uint32_t next_seq_ = 1;
+  support::Mutex rpc_mu_;  // one RPC in flight at a time
+  std::uint32_t next_seq_ BSK_GUARDED_BY(rpc_mu_) = 1;
 };
 
 /// Server half: owns one control-channel transport and executes requests

@@ -77,7 +77,7 @@ void RemoteWorkerNode::mark_hard_failed() const {
   if (hard_failed_.exchange(true)) return;
   conduit_obs().hard_failures.inc();
   {
-    std::scoped_lock lk(tp_mu_);
+    support::MutexLock lk(tp_mu_);
     tp_->close();
   }
   if (opts_.on_hard_fail) opts_.on_hard_fail();
@@ -113,7 +113,7 @@ std::optional<rt::Task> RemoteWorkerNode::process(rt::Task t) {
     // Stage the recovery copy *before* anything can fail: whatever happens
     // from here on — send failure, peer death, a monitor declaring us
     // crashed mid-call — the task is reachable through drain_unacked().
-    std::scoped_lock lk(mu_);
+    support::MutexLock lk(mu_);
     seq = ++next_seq_;
     frame = make_task(t, FrameType::TaskMsg, seq);
     unacked_.push_back(Pending{seq, std::move(t), wall_now()});
@@ -144,7 +144,7 @@ std::optional<rt::Task> RemoteWorkerNode::await_result() {
     // Deliver the oldest task's result if it is already buffered (arrived
     // out of order behind a reordering fault or a resume replay).
     {
-      std::scoped_lock lk(mu_);
+      support::MutexLock lk(mu_);
       if (unacked_.empty()) {
         // A monitor drained the recovery deque and re-offered the tasks
         // elsewhere; whatever arrives now is being re-executed. Discard to
@@ -183,7 +183,7 @@ std::optional<rt::Task> RemoteWorkerNode::await_result() {
         const std::uint64_t seq = parsed->first;
         rt::Task r = std::move(parsed->second);
 
-        std::scoped_lock lk(mu_);
+        support::MutexLock lk(mu_);
         if (unacked_.empty()) {
           mark_hard_failed();
           return std::nullopt;
@@ -231,7 +231,7 @@ std::optional<rt::Task> RemoteWorkerNode::await_result() {
         // Connection healthy but the oldest task is silent: its TaskMsg or
         // ResultMsg was lost. Retransmit (the peer dedups by seq).
         if (opts_.retransmit_timeout_wall_s > 0.0) {
-          std::scoped_lock lk(mu_);
+          support::MutexLock lk(mu_);
           if (!unacked_.empty() &&
               wall_now() - unacked_.front().last_sent >
                   opts_.retransmit_timeout_wall_s) {
@@ -265,7 +265,7 @@ bool RemoteWorkerNode::try_resume() {
       h.resume_epoch = epoch_.load(std::memory_order_relaxed);
       std::vector<Frame> replay;
       {
-        std::scoped_lock lk(mu_);
+        support::MutexLock lk(mu_);
         h.last_acked_seq = last_acked_;
         replay.reserve(unacked_.size());
         for (Pending& p : unacked_) {
@@ -277,7 +277,7 @@ bool RemoteWorkerNode::try_resume() {
       if (client_handshake(*fresh, h, opts_.handshake_timeout_wall_s, &ack)) {
         bool was_secured;
         {
-          std::scoped_lock lk(tp_mu_);
+          support::MutexLock lk(tp_mu_);
           was_secured = tp_->secured();
           tp_->close();
           tp_ = fresh;
@@ -321,7 +321,7 @@ bool RemoteWorkerNode::try_resume() {
 std::optional<rt::Task> RemoteWorkerNode::flush() {
   for (;;) {
     {
-      std::scoped_lock lk(mu_);
+      support::MutexLock lk(mu_);
       if (unacked_.empty()) return std::nullopt;
     }
     if (hard_failed_.load(std::memory_order_relaxed)) return std::nullopt;
@@ -333,7 +333,7 @@ std::optional<rt::Task> RemoteWorkerNode::flush() {
 }
 
 std::vector<rt::Task> RemoteWorkerNode::drain_unacked() {
-  std::scoped_lock lk(mu_);
+  support::MutexLock lk(mu_);
   std::vector<rt::Task> out;
   out.reserve(unacked_.size());
   for (Pending& p : unacked_) out.push_back(std::move(p.task));

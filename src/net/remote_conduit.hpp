@@ -40,12 +40,12 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "net/transport.hpp"
+#include "support/thread_annotations.hpp"
 #include "net/wire.hpp"
 #include "rt/conduit.hpp"
 #include "rt/node.hpp"
@@ -69,7 +69,7 @@ class RemoteLink final : public rt::Link {
   void set_transport(std::shared_ptr<Transport> tp) { tp_ = std::move(tp); }
 
  private:
-  std::shared_ptr<Transport> tp_;
+  std::shared_ptr<Transport> tp_ BSK_GUARDED_BY(tp_mu_);
 };
 
 /// Conduit whose queue is a peer process reached through a Transport.
@@ -140,7 +140,7 @@ class RemoteConduit final : public rt::Conduit {
   std::uint64_t pushed() const { return pushed_.load(); }
 
  private:
-  std::shared_ptr<Transport> tp_;
+  std::shared_ptr<Transport> tp_ BSK_GUARDED_BY(tp_mu_);
   FrameType send_type_;
   FrameType recv_type_;
   RemoteLink link_;
@@ -218,7 +218,7 @@ class RemoteWorkerNode final : public rt::Node {
 
   /// Tasks currently in flight on the wire (sent, no result yet).
   std::size_t in_flight() const {
-    std::scoped_lock lk(mu_);
+    support::MutexLock lk(mu_);
     return unacked_.size();
   }
 
@@ -263,7 +263,7 @@ class RemoteWorkerNode final : public rt::Node {
   bool try_resume();
 
   std::shared_ptr<Transport> transport_ptr() const {
-    std::scoped_lock lk(tp_mu_);
+    support::MutexLock lk(tp_mu_);
     return tp_;
   }
   bool transport_sick(const Transport& tp) const {
@@ -276,8 +276,8 @@ class RemoteWorkerNode final : public rt::Node {
   /// Terminal failure: close, fire on_hard_fail once.
   void mark_hard_failed() const;
 
-  mutable std::mutex tp_mu_;  ///< guards the tp_ swap on resume
-  std::shared_ptr<Transport> tp_;
+  mutable support::Mutex tp_mu_;  ///< guards the tp_ swap on resume
+  std::shared_ptr<Transport> tp_ BSK_GUARDED_BY(tp_mu_);
   RemoteNodeOptions opts_;
   RemoteLink link_;
 
@@ -294,11 +294,11 @@ class RemoteWorkerNode final : public rt::Node {
     rt::Task task;
     double last_sent = 0.0;
   };
-  mutable std::mutex mu_;
-  std::deque<Pending> unacked_;
-  std::map<std::uint64_t, rt::Task> ready_;
-  std::uint64_t next_seq_ = 0;
-  std::uint64_t last_acked_ = 0;
+  mutable support::Mutex mu_;
+  std::deque<Pending> unacked_ BSK_GUARDED_BY(mu_);
+  std::map<std::uint64_t, rt::Task> ready_ BSK_GUARDED_BY(mu_);
+  std::uint64_t next_seq_ BSK_GUARDED_BY(mu_) = 0;
+  std::uint64_t last_acked_ BSK_GUARDED_BY(mu_) = 0;
 
   std::atomic<std::uint64_t> session_{0};
   std::atomic<std::uint32_t> epoch_{0};

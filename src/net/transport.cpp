@@ -227,7 +227,7 @@ bool TcpTransport::send_many(const Frame* fs, std::size_t n) {
     // Encode the whole batch straight into the send buffer: one lock, one
     // wake, one (or few) kernel writes — the wire face of the dataplane's
     // credit-window pipelining.
-    std::scoped_lock lk(out_mu_);
+    support::MutexLock lk(out_mu_);
     if (closed_.load(std::memory_order_acquire)) return false;
     for (std::size_t i = 0; i < n; ++i) encode_frame_into(fs[i], outbuf_);
   }
@@ -247,7 +247,7 @@ void TcpTransport::io_loop() {
   while (!dead) {
     bool want_write;
     {
-      std::scoped_lock lk(out_mu_);
+      support::MutexLock lk(out_mu_);
       if (pending_off >= pending.size() && !outbuf_.empty()) {
         pending.swap(outbuf_);
         outbuf_.clear();

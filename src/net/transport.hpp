@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "support/channel.hpp"
+#include "support/thread_annotations.hpp"
 #include "support/spsc_ring.hpp"
 #include "net/wire.hpp"
 
@@ -186,8 +187,8 @@ class TcpTransport final : public Transport {
   int wake_pipe_[2] = {-1, -1};
   TcpOptions opts_;
 
-  std::mutex out_mu_;
-  std::vector<std::uint8_t> outbuf_;
+  support::Mutex out_mu_;
+  std::vector<std::uint8_t> outbuf_ BSK_GUARDED_BY(out_mu_);
 
   FrameDecoder decoder_;
   support::Channel<Frame> inbound_;

@@ -45,14 +45,14 @@ std::shared_ptr<Transport> WorkerPool::wrap(std::shared_ptr<Transport> tp,
   if (!plan_) return tp;
   auto inj = std::make_shared<FaultInjector>(std::move(tp), plan_, stream);
   {
-    std::scoped_lock lk(mu_);
+    support::MutexLock lk(mu_);
     injectors_.push_back(inj);
   }
   return inj;
 }
 
 bool WorkerPool::quarantined(const Endpoint& ep) const {
-  std::scoped_lock lk(mu_);
+  support::MutexLock lk(mu_);
   auto it = quarantine_.find(endpoint_key(ep));
   return it != quarantine_.end() && it->second.until > wall_now();
 }
@@ -61,7 +61,7 @@ void WorkerPool::note_endpoint_failure(const Endpoint& ep) {
   endpoint_failures_.fetch_add(1, std::memory_order_relaxed);
   if (opts_.quarantine_threshold == 0) return;
   const double now = wall_now();
-  std::scoped_lock lk(mu_);
+  support::MutexLock lk(mu_);
   Quarantine& q = quarantine_[endpoint_key(ep)];
   q.failures.push_back(now);
   while (!q.failures.empty() &&
@@ -73,7 +73,7 @@ void WorkerPool::note_endpoint_failure(const Endpoint& ep) {
 
 std::size_t WorkerPool::quarantined_count() const {
   const double now = wall_now();
-  std::scoped_lock lk(mu_);
+  support::MutexLock lk(mu_);
   std::size_t n = 0;
   for (const auto& [key, q] : quarantine_)
     if (q.until > now) ++n;
@@ -82,7 +82,7 @@ std::size_t WorkerPool::quarantined_count() const {
 
 ChaosStats WorkerPool::chaos_stats() const {
   ChaosStats sum;
-  std::scoped_lock lk(mu_);
+  support::MutexLock lk(mu_);
   for (const auto& inj : injectors_) {
     const ChaosStats s = inj->chaos_stats();
     sum.frames_seen += s.frames_seen;
@@ -104,7 +104,7 @@ std::optional<WorkerPool::Connected> WorkerPool::connect_one() {
     Endpoint ep;
     std::string stream;
     {
-      std::scoped_lock lk(mu_);
+      support::MutexLock lk(mu_);
       ep = endpoints_[rr_ % n];
       rr_ = (rr_ + 1) % n;
       stream = "w" + std::to_string(conn_count_);
@@ -113,7 +113,7 @@ std::optional<WorkerPool::Connected> WorkerPool::connect_one() {
     auto raw = TcpTransport::connect(ep.host, ep.port, opts_.tcp);
     if (!raw) continue;
     {
-      std::scoped_lock lk(mu_);
+      support::MutexLock lk(mu_);
       ++conn_count_;
     }
 

@@ -46,7 +46,6 @@
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
@@ -142,15 +141,15 @@ class WorkerPool {
   WorkerPoolOptions opts_;
   std::shared_ptr<FaultPlan> plan_;
 
-  mutable std::mutex mu_;  // guards rr_, conn_count_, quarantine_, injectors_
-  std::size_t rr_ = 0;
-  std::size_t conn_count_ = 0;  // names chaos streams "w0", "w1", ...
+  mutable support::Mutex mu_;  // guards rr_, conn_count_, quarantine_, injectors_
+  std::size_t rr_ BSK_GUARDED_BY(mu_) = 0;
+  std::size_t conn_count_ BSK_GUARDED_BY(mu_) = 0;  // names chaos streams "w0", "w1", ...
   struct Quarantine {
     std::deque<double> failures;  // wall times of recent hard failures
     double until = -1.0;
   };
-  std::map<std::string, Quarantine> quarantine_;
-  std::vector<std::shared_ptr<FaultInjector>> injectors_;
+  std::map<std::string, Quarantine> quarantine_ BSK_GUARDED_BY(mu_);
+  std::vector<std::shared_ptr<FaultInjector>> injectors_ BSK_GUARDED_BY(mu_);
 
   std::atomic<std::size_t> remote_created_{0};
   std::atomic<std::size_t> fallback_created_{0};

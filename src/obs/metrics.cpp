@@ -114,7 +114,7 @@ MetricsRegistry::Entry& MetricsRegistry::get_or_create(
     std::string_view name, std::string_view help, MetricKind kind,
     std::vector<double> bounds) {
   const std::string key = sanitize_name(name);
-  std::scoped_lock lk(mu_);
+  support::MutexLock lk(mu_);
   if (auto it = index_.find(key); it != index_.end()) return *it->second;
   auto entry = std::make_unique<Entry>();
   entry->name = key;
@@ -152,7 +152,7 @@ Histogram& MetricsRegistry::histogram(std::string_view name,
 
 std::vector<const MetricsRegistry::Entry*> MetricsRegistry::sorted_entries()
     const {
-  std::scoped_lock lk(mu_);
+  support::MutexLock lk(mu_);
   std::vector<const Entry*> out;
   out.reserve(entries_.size());
   for (const auto& e : entries_) out.push_back(e.get());
@@ -236,7 +236,7 @@ void MetricsRegistry::write_jsonl(std::ostream& os) const {
 }
 
 void MetricsRegistry::reset_values() {
-  std::scoped_lock lk(mu_);
+  support::MutexLock lk(mu_);
   for (const auto& e : entries_) {
     switch (e->kind) {
       case MetricKind::kCounter: e->c->reset(); break;
@@ -247,7 +247,7 @@ void MetricsRegistry::reset_values() {
 }
 
 std::size_t MetricsRegistry::size() const {
-  std::scoped_lock lk(mu_);
+  support::MutexLock lk(mu_);
   return entries_.size();
 }
 

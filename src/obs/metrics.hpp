@@ -19,11 +19,12 @@
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
+
+#include "support/thread_annotations.hpp"
 
 namespace bsk::obs {
 
@@ -188,9 +189,9 @@ class MetricsRegistry {
                        MetricKind kind, std::vector<double> bounds = {});
   std::vector<const Entry*> sorted_entries() const;
 
-  mutable std::mutex mu_;
-  std::vector<std::unique_ptr<Entry>> entries_;
-  std::unordered_map<std::string, Entry*> index_;
+  mutable support::Mutex mu_;
+  std::vector<std::unique_ptr<Entry>> entries_ BSK_GUARDED_BY(mu_);
+  std::unordered_map<std::string, Entry*> index_ BSK_GUARDED_BY(mu_);
 };
 
 /// Shorthands for the common "register once, hold the reference" pattern.

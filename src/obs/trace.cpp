@@ -87,28 +87,28 @@ TraceLog& TraceLog::global() {
 }
 
 void TraceLog::set_process_tag(std::string tag) {
-  std::scoped_lock lk(mu_);
+  support::MutexLock lk(mu_);
   tag_ = std::move(tag);
 }
 
 std::string TraceLog::process_tag() const {
-  std::scoped_lock lk(mu_);
+  support::MutexLock lk(mu_);
   return tag_;
 }
 
 void TraceLog::record(MapeSpan span) {
-  std::scoped_lock lk(mu_);
+  support::MutexLock lk(mu_);
   if (span.proc.empty()) span.proc = tag_;
   lines_.push_back(span.to_jsonl());
 }
 
 void TraceLog::record_line(std::string jsonl) {
-  std::scoped_lock lk(mu_);
+  support::MutexLock lk(mu_);
   lines_.push_back(std::move(jsonl));
 }
 
 std::vector<std::string> TraceLog::lines() const {
-  std::scoped_lock lk(mu_);
+  support::MutexLock lk(mu_);
   return lines_;
 }
 
@@ -117,12 +117,12 @@ void TraceLog::dump_jsonl(std::ostream& os) const {
 }
 
 void TraceLog::clear() {
-  std::scoped_lock lk(mu_);
+  support::MutexLock lk(mu_);
   lines_.clear();
 }
 
 std::size_t TraceLog::size() const {
-  std::scoped_lock lk(mu_);
+  support::MutexLock lk(mu_);
   return lines_.size();
 }
 

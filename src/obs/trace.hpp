@@ -12,11 +12,12 @@
 
 #include <cstdint>
 #include <iosfwd>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "support/thread_annotations.hpp"
 
 namespace bsk::obs {
 
@@ -76,9 +77,9 @@ class TraceLog {
   std::size_t size() const;
 
  private:
-  mutable std::mutex mu_;
-  std::string tag_ = "local";
-  std::vector<std::string> lines_;
+  mutable support::Mutex mu_;
+  std::string tag_ BSK_GUARDED_BY(mu_) = "local";
+  std::vector<std::string> lines_ BSK_GUARDED_BY(mu_);
 };
 
 struct MergeStats {

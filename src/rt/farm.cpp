@@ -104,7 +104,7 @@ void Farm::wait() {
   // Snapshot worker threads under the lock, join outside it.
   std::vector<Worker*> ws;
   {
-    std::scoped_lock lk(workers_mu_);
+    support::MutexLock lk(workers_mu_);
     for (auto& w : workers_) ws.push_back(w.get());
   }
   for (Worker* w : ws)
@@ -127,7 +127,7 @@ void Farm::refresh_snapshot_locked() {
   }
   const std::size_t sched_n = s->sched.size();
   {
-    std::scoped_lock lk(snap_mu_);
+    support::MutexLock lk(snap_mu_);
     snap_ = std::move(s);
   }
   // Publish the epoch after the snapshot so a dispatcher that observes the
@@ -139,19 +139,24 @@ void Farm::refresh_snapshot_locked() {
 }
 
 std::shared_ptr<const Farm::Snapshot> Farm::snapshot() const {
-  std::scoped_lock lk(snap_mu_);
+  support::MutexLock lk(snap_mu_);
   return snap_;
 }
 
 std::shared_ptr<const Farm::Snapshot> Farm::dispatch_snapshot() {
-  std::unique_lock lk(workers_mu_);
-  reconfig_cv_.wait(lk, [&] {
-    if (reconfiguring_.load()) return false;
-    for (auto& w : workers_)
-      if (w->started.load() && !w->retiring.load() && !w->failed.load())
-        return true;
-    return false;
-  });
+  support::MutexLock lk(workers_mu_);
+  for (;;) {
+    if (!reconfiguring_.load()) {
+      bool dispatchable = false;
+      for (auto& w : workers_)
+        if (w->started.load() && !w->retiring.load() && !w->failed.load()) {
+          dispatchable = true;
+          break;
+        }
+      if (dispatchable) break;
+    }
+    reconfig_cv_.wait(workers_mu_);
+  }
   refresh_snapshot_locked();
   lk.unlock();
   return snapshot();
@@ -190,7 +195,7 @@ bool Farm::add_worker(Placement place, std::optional<sim::CoreLease> lease,
 
   Worker* raw = w.get();
   {
-    std::scoped_lock lk(workers_mu_);
+    support::MutexLock lk(workers_mu_);
     if (shutting_down_.load()) {
       reconfiguring_.store(false);
       reconfig_cv_.notify_all();
@@ -204,7 +209,7 @@ bool Farm::add_worker(Placement place, std::optional<sim::CoreLease> lease,
   if (started_) {
     raw->thread = std::jthread([this, raw] { worker_loop(raw); });
     raw->started.store(true);
-    std::scoped_lock lk(workers_mu_);
+    support::MutexLock lk(workers_mu_);
     refresh_snapshot_locked();  // now dispatchable
   }
   // A replacement worker inherits tasks recovered while no survivor existed.
@@ -224,7 +229,7 @@ RemoveWorkerResult Farm::remove_worker() {
   RemoveWorkerResult result;
   Worker* victim = nullptr;
   {
-    std::scoped_lock lk(workers_mu_);
+    support::MutexLock lk(workers_mu_);
     std::size_t active = 0;
     for (auto& w : workers_)
       if (!w->retiring.load() && w->started.load()) ++active;
@@ -505,7 +510,7 @@ void Farm::emitter_loop() {
   shutting_down_.store(true);
   std::vector<Worker*> ws;
   {
-    std::scoped_lock lk(workers_mu_);
+    support::MutexLock lk(workers_mu_);
     for (auto& w : workers_) ws.push_back(w.get());
     refresh_snapshot_locked();
   }
@@ -549,7 +554,7 @@ void Farm::worker_loop(Worker* w) {
     // If the crash already landed, the injector cannot have seen these
     // tasks anywhere — re-offer them ourselves, exactly once.
     {
-      std::unique_lock lk(w->inflight_mu);
+      support::MutexLock lk(w->inflight_mu);
       if (w->failed.load()) {
         lk.unlock();
         for (Task& t : batch)
@@ -574,7 +579,7 @@ void Farm::worker_loop(Worker* w) {
       // send; until then a racing injector's drain is compensated by our
       // own post-process drain below.
       {
-        std::scoped_lock lk(w->inflight_mu);
+        support::MutexLock lk(w->inflight_mu);
         if (w->failed.load()) {
           crashed = true;  // injector drained pending, incl. this task
           break;
@@ -593,7 +598,7 @@ void Farm::worker_loop(Worker* w) {
       // Exactly-once handoff, decided under the per-worker recovery lock.
       bool emit = false;
       {
-        std::scoped_lock lk(w->inflight_mu);
+        support::MutexLock lk(w->inflight_mu);
         if (node_recovers) {
           // A returned result's task was acknowledged off the node's
           // recovery deque before any drain could have seen it, so it is
@@ -647,7 +652,7 @@ void Farm::worker_loop(Worker* w) {
     while (auto r = w->node->flush()) stage_result(std::move(*r));
     std::vector<Task> left;
     {
-      std::scoped_lock lk(w->inflight_mu);
+      support::MutexLock lk(w->inflight_mu);
       left = w->node->drain_unacked();
     }
     for (Task& t : left)
@@ -661,7 +666,7 @@ void Farm::worker_loop(Worker* w) {
   if (poisoned) {
     std::deque<Task> leftover;
     {
-      std::scoped_lock lk(w->inflight_mu);
+      support::MutexLock lk(w->inflight_mu);
       leftover.swap(w->pending);
       w->staged.store(0, std::memory_order_relaxed);
     }
@@ -686,11 +691,11 @@ void Farm::worker_loop(Worker* w) {
     if (cfg_.policy != SchedPolicy::Broadcast) {
       for (Task& t : w->in->steal_back(w->in->size() + 8))
         if (t.is_data()) to_recover.push_back(std::move(t));
-      std::scoped_lock lk(w->inflight_mu);
+      support::MutexLock lk(w->inflight_mu);
       for (Task& t : w->node->drain_unacked())
         if (t.is_data()) to_recover.push_back(std::move(t));
     }
-    std::scoped_lock lk(workers_mu_);
+    support::MutexLock lk(workers_mu_);
     refresh_snapshot_locked();  // stop the emitter dispatching to us
   }
   for (Task& t : to_recover)
@@ -727,7 +732,7 @@ void Farm::resubmit(Task t) {
 bool Farm::inject_worker_failure() {
   Worker* victim = nullptr;
   {
-    std::scoped_lock lk(workers_mu_);
+    support::MutexLock lk(workers_mu_);
     std::size_t active = 0;
     for (auto& w : workers_)
       if (!w->retiring.load() && w->started.load()) ++active;
@@ -751,7 +756,7 @@ std::size_t Farm::fail_crashed_workers() {
   // worker process dying takes several workers down at once).
   std::vector<Worker*> victims;
   {
-    std::scoped_lock lk(workers_mu_);
+    support::MutexLock lk(workers_mu_);
     for (auto& w : workers_) {
       if (w->retiring.load() || !w->started.load()) continue;
       if (w->node->failed() || w->failed.load()) {
@@ -781,7 +786,7 @@ void Farm::recover_worker(Worker* victim) {
   // blocked on an empty pop, which the old poison-push did.
   std::deque<Task> orphans;
   {
-    std::scoped_lock lk(victim->inflight_mu);
+    support::MutexLock lk(victim->inflight_mu);
     if (!victim->failed.exchange(true)) {
       if (victim->inflight) {
         orphans.push_front(std::move(*victim->inflight));
@@ -804,7 +809,7 @@ void Farm::recover_worker(Worker* victim) {
   // replacement worker the manager will add.
   std::vector<Worker*> survivors;
   {
-    std::scoped_lock lk(workers_mu_);
+    support::MutexLock lk(workers_mu_);
     for (auto& w : workers_)
       if (!w->retiring.load() && !w->failed.load() && w->started.load())
         survivors.push_back(w.get());
@@ -833,14 +838,14 @@ void Farm::recover_worker(Worker* victim) {
 }
 
 void Farm::stash_orphan(Task t) {
-  std::scoped_lock lk(orphans_mu_);
+  support::MutexLock lk(orphans_mu_);
   orphans_.push_back(std::move(t));
 }
 
 void Farm::flush_orphans_to(Worker* w) {
   std::deque<Task> pending;
   {
-    std::scoped_lock lk(orphans_mu_);
+    support::MutexLock lk(orphans_mu_);
     pending.swap(orphans_);
   }
   for (Task& t : pending) w->in->push(std::move(t));
@@ -905,7 +910,7 @@ void Farm::collector_loop() {
   {
     std::deque<Task> leftovers;
     {
-      std::scoped_lock lk(orphans_mu_);
+      support::MutexLock lk(orphans_mu_);
       leftovers.swap(orphans_);
     }
     for (Task& t : leftovers)

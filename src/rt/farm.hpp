@@ -26,11 +26,9 @@
 // components involved".
 
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <thread>
 #include <vector>
@@ -40,6 +38,7 @@
 #include "rt/metrics.hpp"
 #include "rt/node.hpp"
 #include "rt/runnable.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace bsk::rt {
 
@@ -192,9 +191,9 @@ class Farm final : public Runnable {
     /// Recovery state, all under inflight_mu: the task the worker thread is
     /// executing right now (inflight), plus the batch it popped but has not
     /// started yet (pending). Guards the emit/fail race for exactly-once.
-    std::mutex inflight_mu;
-    std::optional<Task> inflight;
-    std::deque<Task> pending;
+    support::Mutex inflight_mu;
+    std::optional<Task> inflight BSK_GUARDED_BY(inflight_mu);
+    std::deque<Task> pending BSK_GUARDED_BY(inflight_mu);
     /// Lock-free mirror of pending.size() so sensors and rebalance() can
     /// count staged-but-unclaimed tasks without taking inflight_mu.
     std::atomic<std::size_t> staged{0};
@@ -223,7 +222,7 @@ class Farm final : public Runnable {
   void flush_orphans_to(Worker* w); // new worker inherits parked tasks
 
   /// Rebuild and publish the snapshot. Caller holds workers_mu_.
-  void refresh_snapshot_locked();
+  void refresh_snapshot_locked() BSK_REQUIRES(workers_mu_);
   /// Current snapshot (never null after construction).
   std::shared_ptr<const Snapshot> snapshot() const;
   /// Snapshot with at least one dispatchable worker: waits on reconfig_cv_
@@ -236,16 +235,17 @@ class Farm final : public Runnable {
 
   // Worker set: guarded by workers_mu_; actuators mutate under lock and
   // republish snap_. Steady-state dispatch and sensors read snap_ only.
-  mutable std::mutex workers_mu_;
-  std::condition_variable reconfig_cv_;
-  std::vector<std::unique_ptr<Worker>> workers_;
-  std::size_t next_wid_ = 0;
+  mutable support::Mutex workers_mu_;
+  support::CondVar reconfig_cv_;
+  std::vector<std::unique_ptr<Worker>> workers_ BSK_GUARDED_BY(workers_mu_);
+  std::size_t next_wid_ BSK_GUARDED_BY(workers_mu_) = 0;
 
   // Published worker-set snapshot. snap_mu_ only guards the pointer swap;
   // the pointed-to Snapshot is immutable. epoch_ mirrors snap_->epoch so
   // dispatchers can detect staleness with one relaxed atomic load.
-  mutable std::mutex snap_mu_;
-  std::shared_ptr<const Snapshot> snap_ = std::make_shared<Snapshot>();
+  mutable support::Mutex snap_mu_;
+  std::shared_ptr<const Snapshot> snap_ BSK_GUARDED_BY(snap_mu_) =
+      std::make_shared<Snapshot>();
   std::atomic<std::uint64_t> epoch_{0};
 
   // Shared worker→collector channel; per-worker Link charges its cost.
@@ -253,8 +253,8 @@ class Farm final : public Runnable {
 
   // Tasks recovered from crashed workers while no survivor existed; flushed
   // to the next added worker, or delivered unprocessed at shutdown.
-  mutable std::mutex orphans_mu_;
-  std::deque<Task> orphans_;
+  mutable support::Mutex orphans_mu_;
+  std::deque<Task> orphans_ BSK_GUARDED_BY(orphans_mu_);
 
   NodeMetrics metrics_;
   std::jthread emitter_thread_;

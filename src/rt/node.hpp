@@ -15,11 +15,11 @@
 #include <atomic>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <vector>
 
 #include "sim/workload.hpp"
+#include "support/thread_annotations.hpp"
 #include "rt/link.hpp"
 #include "rt/task.hpp"
 
@@ -198,7 +198,7 @@ class StreamSink final : public Node {
     simulate(work_s_);
     t.completed = support::Clock::now();
     {
-      std::scoped_lock lk(mu_);
+      support::MutexLock lk(mu_);
       received_ids_.push_back(t.id);
       latencies_.push_back(t.completed - t.created);
     }
@@ -206,25 +206,25 @@ class StreamSink final : public Node {
   }
 
   std::vector<std::uint64_t> received_ids() const {
-    std::scoped_lock lk(mu_);
+    support::MutexLock lk(mu_);
     return received_ids_;
   }
 
   std::size_t received() const {
-    std::scoped_lock lk(mu_);
+    support::MutexLock lk(mu_);
     return received_ids_.size();
   }
 
   std::vector<double> latencies() const {
-    std::scoped_lock lk(mu_);
+    support::MutexLock lk(mu_);
     return latencies_;
   }
 
  private:
   double work_s_;
-  mutable std::mutex mu_;
-  std::vector<std::uint64_t> received_ids_;
-  std::vector<double> latencies_;
+  mutable support::Mutex mu_;
+  std::vector<std::uint64_t> received_ids_ BSK_GUARDED_BY(mu_);
+  std::vector<double> latencies_ BSK_GUARDED_BY(mu_);
 };
 
 /// Runs a fixed sequence of inner nodes back-to-back inside one replica —

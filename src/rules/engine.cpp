@@ -1,6 +1,7 @@
 #include "rules/engine.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "obs/metrics.hpp"
 
@@ -17,13 +18,22 @@ obs::Counter& firings_counter() {
 }  // namespace
 
 void Engine::add_rule(Rule r) {
+  if (has_rule(r.name()))
+    throw std::invalid_argument("duplicate rule name: \"" + r.name() +
+                                "\" (use upsert_rule to hot-swap policies)");
+  rules_.push_back(std::move(r));
+}
+
+bool Engine::upsert_rule(Rule r) {
   const auto it =
       std::find_if(rules_.begin(), rules_.end(),
                    [&](const Rule& x) { return x.name() == r.name(); });
-  if (it != rules_.end())
+  if (it != rules_.end()) {
     *it = std::move(r);
-  else
-    rules_.push_back(std::move(r));
+    return true;
+  }
+  rules_.push_back(std::move(r));
+  return false;
 }
 
 bool Engine::remove_rule(const std::string& name) {

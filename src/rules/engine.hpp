@@ -22,9 +22,17 @@ using FiringListener = std::function<void(const std::string& rule_name)>;
 /// A rule base plus the agenda algorithm.
 class Engine {
  public:
-  /// Add a rule. Later additions with the same name replace earlier ones
-  /// (managers hot-swap policies this way).
+  /// Add a new rule. Throws std::invalid_argument when a rule with the same
+  /// name is already present — a silently duplicated name is almost always a
+  /// copy-paste bug in a rule program (the engine would fire whichever was
+  /// installed, with nothing pointing at the collision). Use upsert_rule for
+  /// deliberate policy hot-swaps.
   void add_rule(Rule r);
+
+  /// Add or replace by name (managers hot-swap policies this way).
+  /// Replacement keeps the original agenda position. Returns true when an
+  /// existing rule was replaced.
+  bool upsert_rule(Rule r);
 
   /// Remove a rule by name. Returns true if found.
   bool remove_rule(const std::string& name);

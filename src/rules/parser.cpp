@@ -30,6 +30,7 @@ struct Token {
   std::string text;
   double number = 0.0;
   std::size_t line = 1;
+  std::size_t col = 1;
 };
 
 class Lexer {
@@ -47,13 +48,25 @@ class Lexer {
   std::size_t line() const { return line_; }
 
  private:
+  /// 1-based column of the current position.
+  std::size_t col() const { return pos_ - line_start_ + 1; }
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw ParseError(line_, col(), pos_ < src_.size()
+                                       ? std::string(1, src_[pos_])
+                                       : std::string(),
+                     what);
+  }
+
   void advance() {
     skip_ws_and_comments();
     cur_.line = line_;
+    cur_.col = col();
     if (pos_ >= src_.size()) {
-      cur_ = {Tok::End, "", 0.0, line_};
+      cur_ = {Tok::End, "", 0.0, line_, col()};
       return;
     }
+    const std::size_t tok_col = col();
     const char c = src_[pos_];
     if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
       std::string s;
@@ -62,7 +75,7 @@ class Lexer {
               src_[pos_] == '_' || src_[pos_] == '.')) {
         s += src_[pos_++];
       }
-      cur_ = {Tok::Ident, std::move(s), 0.0, line_};
+      cur_ = {Tok::Ident, std::move(s), 0.0, line_, tok_col};
       return;
     }
     if (std::isdigit(static_cast<unsigned char>(c)) ||
@@ -77,7 +90,7 @@ class Lexer {
                (s.back() == 'e' || s.back() == 'E')))) {
         s += src_[pos_++];
       }
-      cur_ = {Tok::Number, s, std::stod(s), line_};
+      cur_ = {Tok::Number, s, std::stod(s), line_, tok_col};
       return;
     }
     switch (c) {
@@ -85,27 +98,31 @@ class Lexer {
         ++pos_;
         std::string s;
         while (pos_ < src_.size() && src_[pos_] != '"') {
-          if (src_[pos_] == '\n') ++line_;
+          if (src_[pos_] == '\n') {
+            ++line_;
+            line_start_ = pos_ + 1;
+          }
           s += src_[pos_++];
         }
-        if (pos_ >= src_.size()) throw ParseError(line_, "unterminated string");
+        if (pos_ >= src_.size())
+          throw ParseError(line_, tok_col, "\"", "unterminated string");
         ++pos_;  // closing quote
-        cur_ = {Tok::String, std::move(s), 0.0, line_};
+        cur_ = {Tok::String, std::move(s), 0.0, line_, tok_col};
         return;
       }
-      case '(': cur_ = {Tok::LParen, "(", 0.0, line_}; ++pos_; return;
-      case ')': cur_ = {Tok::RParen, ")", 0.0, line_}; ++pos_; return;
-      case ',': cur_ = {Tok::Comma, ",", 0.0, line_}; ++pos_; return;
-      case ';': cur_ = {Tok::Semi, ";", 0.0, line_}; ++pos_; return;
-      case ':': cur_ = {Tok::Colon, ":", 0.0, line_}; ++pos_; return;
-      case '$': cur_ = {Tok::Dollar, "$", 0.0, line_}; ++pos_; return;
+      case '(': cur_ = {Tok::LParen, "(", 0.0, line_, tok_col}; ++pos_; return;
+      case ')': cur_ = {Tok::RParen, ")", 0.0, line_, tok_col}; ++pos_; return;
+      case ',': cur_ = {Tok::Comma, ",", 0.0, line_, tok_col}; ++pos_; return;
+      case ';': cur_ = {Tok::Semi, ";", 0.0, line_, tok_col}; ++pos_; return;
+      case ':': cur_ = {Tok::Colon, ":", 0.0, line_, tok_col}; ++pos_; return;
+      case '$': cur_ = {Tok::Dollar, "$", 0.0, line_, tok_col}; ++pos_; return;
       case '&':
         if (pos_ + 1 < src_.size() && src_[pos_ + 1] == '&') {
-          cur_ = {Tok::AndAnd, "&&", 0.0, line_};
+          cur_ = {Tok::AndAnd, "&&", 0.0, line_, tok_col};
           pos_ += 2;
           return;
         }
-        throw ParseError(line_, "stray '&'");
+        fail("stray '&'");
       case '<':
       case '>':
       case '=':
@@ -116,13 +133,13 @@ class Lexer {
           s += '=';
           ++pos_;
         }
-        if (s == "=") throw ParseError(line_, "use '==' for equality");
-        cur_ = {Tok::Op, std::move(s), 0.0, line_};
+        if (s == "=")
+          throw ParseError(line_, tok_col, "=", "use '==' for equality");
+        cur_ = {Tok::Op, std::move(s), 0.0, line_, tok_col};
         return;
       }
       default:
-        throw ParseError(line_, std::string("unexpected character '") + c +
-                                    "'");
+        fail(std::string("unexpected character '") + c + "'");
     }
   }
 
@@ -130,7 +147,10 @@ class Lexer {
     for (;;) {
       while (pos_ < src_.size() &&
              std::isspace(static_cast<unsigned char>(src_[pos_]))) {
-        if (src_[pos_] == '\n') ++line_;
+        if (src_[pos_] == '\n') {
+          ++line_;
+          line_start_ = pos_ + 1;
+        }
         ++pos_;
       }
       if (pos_ + 1 < src_.size() && src_[pos_] == '/' &&
@@ -149,19 +169,21 @@ class Lexer {
   const std::string& src_;
   std::size_t pos_ = 0;
   std::size_t line_ = 1;
+  std::size_t line_start_ = 0;
   Token cur_;
 };
 
 // --------------------------------------------------------------- parser ---
 
-CmpOp to_cmp(const std::string& s, std::size_t line) {
-  if (s == "<") return CmpOp::Lt;
-  if (s == "<=") return CmpOp::Le;
-  if (s == ">") return CmpOp::Gt;
-  if (s == ">=") return CmpOp::Ge;
-  if (s == "==") return CmpOp::Eq;
-  if (s == "!=") return CmpOp::Ne;
-  throw ParseError(line, "bad comparison operator '" + s + "'");
+CmpOp to_cmp(const Token& t) {
+  if (t.text == "<") return CmpOp::Lt;
+  if (t.text == "<=") return CmpOp::Le;
+  if (t.text == ">") return CmpOp::Gt;
+  if (t.text == ">=") return CmpOp::Ge;
+  if (t.text == "==") return CmpOp::Eq;
+  if (t.text == "!=") return CmpOp::Ne;
+  throw ParseError(t.line, t.col, t.text,
+                   "bad comparison operator '" + t.text + "'");
 }
 
 /// Strip a dotted qualifier: "ManagersConstants.FOO" -> "FOO".
@@ -174,24 +196,26 @@ class Parser {
  public:
   explicit Parser(const std::string& src) : lex_(src) {}
 
-  std::vector<Rule> parse() {
-    std::vector<Rule> rules;
+  std::vector<RuleSpec> parse() {
+    std::vector<RuleSpec> rules;
     while (lex_.peek().kind != Tok::End) rules.push_back(parse_rule());
     return rules;
   }
 
  private:
   Token expect(Tok k, const std::string& what) {
-    if (lex_.peek().kind != k)
-      throw ParseError(lex_.peek().line,
-                       "expected " + what + ", got '" + lex_.peek().text + "'");
+    const Token& t = lex_.peek();
+    if (t.kind != k)
+      throw ParseError(t.line, t.col, t.text,
+                       "expected " + what + ", got '" + t.text + "'");
     return lex_.take();
   }
 
   Token expect_kw(const std::string& kw) {
     const Token t = expect(Tok::Ident, "'" + kw + "'");
     if (t.text != kw)
-      throw ParseError(t.line, "expected '" + kw + "', got '" + t.text + "'");
+      throw ParseError(t.line, t.col, t.text,
+                       "expected '" + kw + "', got '" + t.text + "'");
     return t;
   }
 
@@ -199,7 +223,8 @@ class Parser {
     const Token& t = lex_.peek();
     if (t.kind == Tok::Number) return lex_.take().number;
     if (t.kind == Tok::Ident) return last_component(lex_.take().text);
-    throw ParseError(t.line, "expected number or constant name");
+    throw ParseError(t.line, t.col, t.text,
+                     "expected number or constant name");
   }
 
   Pattern parse_pattern() {
@@ -219,12 +244,12 @@ class Parser {
     for (;;) {
       const Token field = expect(Tok::Ident, "'value'");
       if (field.text != "value")
-        throw ParseError(field.line,
+        throw ParseError(field.line, field.col, field.text,
                          "only field 'value' is supported, got '" +
                              field.text + "'");
       const Token op = expect(Tok::Op, "comparison operator");
       PatternTest t;
-      t.op = to_cmp(op.text, op.line);
+      t.op = to_cmp(op);
       t.rhs = parse_operand();
       p.tests.push_back(std::move(t));
       if (lex_.peek().kind == Tok::Comma || lex_.peek().kind == Tok::AndAnd) {
@@ -241,35 +266,35 @@ class Parser {
     std::vector<ActionStmt> stmts;
     while (!(lex_.peek().kind == Tok::Ident && lex_.peek().text == "end")) {
       if (lex_.peek().kind == Tok::End)
-        throw ParseError(lex_.peek().line, "missing 'end'");
+        throw ParseError(lex_.peek().line, lex_.peek().col, "",
+                         "missing 'end'");
       // Optional "$x." receiver prefix.
       if (lex_.peek().kind == Tok::Dollar) {
         lex_.take();
         const Token recv = expect(Tok::Ident, "receiver.method");
         // recv.text is like "departureBean.setData" — method is last part.
-        stmts.push_back(parse_call(last_component(recv.text), recv.line));
+        stmts.push_back(parse_call(last_component(recv.text), recv));
       } else {
         const Token fn = expect(Tok::Ident, "action name");
-        stmts.push_back(parse_call(last_component(fn.text), fn.line));
+        stmts.push_back(parse_call(last_component(fn.text), fn));
       }
       if (lex_.peek().kind == Tok::Semi) lex_.take();
     }
     return stmts;
   }
 
-  ActionStmt parse_call(const std::string& method, std::size_t line) {
+  ActionStmt parse_call(const std::string& method, const Token& at) {
     expect(Tok::LParen, "'('");
     ActionStmt out;
     if (method == "setData") {
       const Token& t = lex_.peek();
-      std::string data;
       if (t.kind == Tok::String)
-        data = lex_.take().text;
+        out = SetData{lex_.take().text, /*symbolic=*/false};
       else if (t.kind == Tok::Ident)
-        data = last_component(lex_.take().text);
+        out = SetData{last_component(lex_.take().text), /*symbolic=*/true};
       else
-        throw ParseError(t.line, "setData expects a string or constant name");
-      out = SetData{std::move(data)};
+        throw ParseError(t.line, t.col, t.text,
+                         "setData expects a string or constant name");
     } else if (method == "fireOperation" || method == "fire") {
       const Token t = expect(Tok::Ident, "operation name");
       out = FireOp{last_component(t.text)};
@@ -279,33 +304,34 @@ class Parser {
       Operand v = parse_operand();
       out = SetFact{bean.text, std::move(v)};
     } else {
-      throw ParseError(line, "unknown action '" + method + "'");
+      throw ParseError(at.line, at.col, at.text,
+                       "unknown action '" + method + "'");
     }
     expect(Tok::RParen, "')'");
     return out;
   }
 
-  Rule parse_rule() {
-    expect_kw("rule");
-    const Token name = expect(Tok::String, "rule name string");
-    int salience = 0;
+  RuleSpec parse_rule() {
+    const Token kw = expect_kw("rule");
+    RuleSpec spec;
+    spec.line = kw.line;
+    spec.name = expect(Tok::String, "rule name string").text;
     if (lex_.peek().kind == Tok::Ident && lex_.peek().text == "salience") {
       lex_.take();
       const Token n = expect(Tok::Number, "salience value");
-      salience = static_cast<int>(n.number);
+      spec.salience = static_cast<int>(n.number);
     }
     expect_kw("when");
-    std::vector<Pattern> patterns;
     while (!(lex_.peek().kind == Tok::Ident && lex_.peek().text == "then")) {
       if (lex_.peek().kind == Tok::End)
-        throw ParseError(lex_.peek().line, "missing 'then'");
-      patterns.push_back(parse_pattern());
+        throw ParseError(lex_.peek().line, lex_.peek().col, "",
+                         "missing 'then'");
+      spec.patterns.push_back(parse_pattern());
     }
     expect_kw("then");
-    std::vector<ActionStmt> actions = parse_actions();
+    spec.actions = parse_actions();
     expect_kw("end");
-    return make_rule(name.text, salience, std::move(patterns),
-                     std::move(actions));
+    return spec;
   }
 
   Lexer lex_;
@@ -313,16 +339,33 @@ class Parser {
 
 }  // namespace
 
-std::vector<Rule> parse_rules(const std::string& text) {
+std::vector<RuleSpec> parse_rule_specs(const std::string& text) {
   return Parser(text).parse();
 }
 
-std::vector<Rule> parse_rules_file(const std::string& path) {
+std::vector<Rule> parse_rules(const std::string& text) {
+  std::vector<Rule> rules;
+  for (const RuleSpec& spec : parse_rule_specs(text))
+    rules.push_back(make_rule(spec));
+  return rules;
+}
+
+namespace {
+std::string read_file(const std::string& path) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error("cannot open rule file: " + path);
   std::ostringstream ss;
   ss << in.rdbuf();
-  return parse_rules(ss.str());
+  return ss.str();
+}
+}  // namespace
+
+std::vector<Rule> parse_rules_file(const std::string& path) {
+  return parse_rules(read_file(path));
+}
+
+std::vector<RuleSpec> parse_rule_specs_file(const std::string& path) {
+  return parse_rule_specs(read_file(path));
 }
 
 }  // namespace bsk::rules

@@ -33,17 +33,46 @@
 
 namespace bsk::rules {
 
-/// Parse error with 1-based line number.
+/// Parse error with 1-based line and column plus the offending token, so a
+/// rule author (or bsk-lint) can point at the exact spot in the .brl text.
 class ParseError : public std::runtime_error {
  public:
   ParseError(std::size_t line, const std::string& what)
-      : std::runtime_error("line " + std::to_string(line) + ": " + what),
-        line_(line) {}
+      : ParseError(line, 0, "", what) {}
+
+  ParseError(std::size_t line, std::size_t column, std::string token,
+             const std::string& what)
+      : std::runtime_error(format(line, column, token, what)),
+        line_(line),
+        column_(column),
+        token_(std::move(token)) {}
+
   std::size_t line() const { return line_; }
+  /// 1-based column of the offending token (0 when unknown).
+  std::size_t column() const { return column_; }
+  /// Offending token text ("" at end of input or when unknown).
+  const std::string& token() const { return token_; }
 
  private:
+  static std::string format(std::size_t line, std::size_t column,
+                            const std::string& token,
+                            const std::string& what) {
+    std::string msg = "line " + std::to_string(line);
+    if (column > 0) msg += ":" + std::to_string(column);
+    msg += ": " + what;
+    if (!token.empty()) msg += " (at '" + token + "')";
+    return msg;
+  }
+
   std::size_t line_;
+  std::size_t column_;
+  std::string token_;
 };
+
+/// Parse rule text into declarative specs (declaration order preserved).
+/// Throws ParseError on malformed input. This is the introspectable form
+/// static analysis consumes; parse_rules compiles the same specs.
+std::vector<RuleSpec> parse_rule_specs(const std::string& text);
 
 /// Parse rule text into Rule objects (declaration order preserved).
 /// Throws ParseError on malformed input.
@@ -51,5 +80,8 @@ std::vector<Rule> parse_rules(const std::string& text);
 
 /// Read and parse a .brl file. Throws std::runtime_error if unreadable.
 std::vector<Rule> parse_rules_file(const std::string& path);
+
+/// Read and parse a .brl file into declarative specs.
+std::vector<RuleSpec> parse_rule_specs_file(const std::string& path);
 
 }  // namespace bsk::rules

@@ -37,6 +37,17 @@ bool Pattern::matches(const WorkingMemory& wm,
   return negated ? !ok : ok;
 }
 
+std::vector<std::string> RuleSpec::fired_operations() const {
+  std::vector<std::string> ops;
+  for (const ActionStmt& s : actions)
+    if (const auto* fo = std::get_if<FireOp>(&s)) ops.push_back(fo->operation);
+  return ops;
+}
+
+Rule make_rule(const RuleSpec& spec) {
+  return make_rule(spec.name, spec.salience, spec.patterns, spec.actions);
+}
+
 Rule make_rule(std::string name, int salience, std::vector<Pattern> patterns,
                std::vector<ActionStmt> actions) {
   auto cond = [patterns = std::move(patterns)](const WorkingMemory& wm,

@@ -51,6 +51,11 @@ struct FireOp {
 };
 struct SetData {
   std::string data;  ///< payload attached to the next fired operation
+  /// True when the payload was written as an identifier/qualified constant
+  /// (ManagersConstants.X) rather than a string literal — static analysis
+  /// checks symbolic payloads against the constant registry, free-text
+  /// string payloads are never flagged.
+  bool symbolic = false;
 };
 struct SetFact {
   std::string bean;
@@ -73,6 +78,22 @@ struct RuleContext {
   WorkingMemory& wm;
   const ConstantTable& consts;
   OperationSink& sink;
+};
+
+/// Declarative form of a parsed rule: everything the .brl text said, before
+/// compilation into a Rule's opaque closures. This is what static analysis
+/// (bsk::analysis) consumes — conditions and actions stay introspectable.
+struct RuleSpec {
+  std::string name;
+  int salience = 0;
+  std::vector<Pattern> patterns;
+  std::vector<ActionStmt> actions;
+  /// 1-based line of the `rule` keyword in the source text (0 = built
+  /// programmatically).
+  std::size_t line = 0;
+
+  /// Operation names fired by this rule's actions, in statement order.
+  std::vector<std::string> fired_operations() const;
 };
 
 /// A complete rule.
@@ -107,6 +128,9 @@ class Rule {
 /// Build a Rule from parsed patterns + action statements.
 Rule make_rule(std::string name, int salience, std::vector<Pattern> patterns,
                std::vector<ActionStmt> actions);
+
+/// Compile a declarative spec into an executable Rule.
+Rule make_rule(const RuleSpec& spec);
 
 /// Fluent builder for programmatic (C++-side) rules.
 class RuleBuilder {

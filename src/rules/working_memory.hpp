@@ -80,6 +80,9 @@ class ConstantTable {
 
   bool has(const std::string& name) const { return table_.contains(name); }
 
+  /// All constants, for introspection (static analysis, diagnostics).
+  const std::map<std::string, double>& all() const { return table_; }
+
  private:
   std::map<std::string, double> table_;
 };

@@ -25,7 +25,7 @@ bool ResourceManager::admissible(MachineId m,
 
 std::optional<CoreLease> ResourceManager::recruit(
     const RecruitConstraints& c) {
-  std::scoped_lock lk(mu_);
+  support::MutexLock lk(mu_);
 
   // Candidate order: preferred, then trusted, then the rest.
   std::vector<MachineId> order = c.preferred;
@@ -51,18 +51,18 @@ std::optional<CoreLease> ResourceManager::recruit(
 }
 
 void ResourceManager::release(const CoreLease& lease) {
-  std::scoped_lock lk(mu_);
+  support::MutexLock lk(mu_);
   leases_.erase(std::remove(leases_.begin(), leases_.end(), lease),
                 leases_.end());
 }
 
 std::size_t ResourceManager::leased() const {
-  std::scoped_lock lk(mu_);
+  support::MutexLock lk(mu_);
   return leases_.size();
 }
 
 std::size_t ResourceManager::available(const RecruitConstraints& c) const {
-  std::scoped_lock lk(mu_);
+  support::MutexLock lk(mu_);
   std::size_t n = 0;
   for (MachineId m : platform_.machine_ids()) {
     if (!admissible(m, c)) continue;

@@ -9,12 +9,12 @@
 // multi-concern experiments rely on it handing out *untrusted* cores once
 // the trusted ones are exhausted — exactly the conflict of Sec. 3.2.
 
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "sim/platform.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace bsk::sim {
 
@@ -58,12 +58,13 @@ class ResourceManager {
   const Platform& platform() const { return platform_; }
 
  private:
-  bool is_free(MachineId m, std::size_t core) const;  // caller holds mu_
+  bool is_free(MachineId m, std::size_t core) const
+      BSK_REQUIRES(mu_);
   bool admissible(MachineId m, const RecruitConstraints& c) const;
 
   const Platform& platform_;
-  mutable std::mutex mu_;
-  std::vector<CoreLease> leases_;
+  mutable support::Mutex mu_;
+  std::vector<CoreLease> leases_ BSK_GUARDED_BY(mu_);
 };
 
 }  // namespace bsk::sim

@@ -3,9 +3,12 @@
 //
 // The general-purpose inter-node link of the skeleton runtime. Follows the
 // Core Guidelines concurrency idioms: a mutex defined together with the data
-// it guards, condition variables always waited on with a predicate, RAII
-// locks only. Close semantics let a producer signal end-of-stream: after
-// close(), pops drain remaining items then report Closed.
+// it guards, condition waits re-checked in a loop, RAII locks only. The lock
+// discipline is machine-checked: the mutex is a support::Mutex capability and
+// every guarded member carries BSK_GUARDED_BY, so the clang CI job
+// (-Werror=thread-safety) rejects any access outside a critical section.
+// Close semantics let a producer signal end-of-stream: after close(), pops
+// drain remaining items then report Closed.
 //
 // The dataplane hot path uses the batched operations: push_n/pop_n move a
 // whole batch under a single lock acquisition and a single notification,
@@ -17,15 +20,15 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
+#include <chrono>
 #include <cstddef>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <utility>
 #include <vector>
 
 #include "support/clock.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace bsk::support {
 
@@ -51,8 +54,8 @@ class Channel {
   /// Block until space is available, then enqueue. Returns false if the
   /// channel was closed (item is dropped).
   bool push(T item) {
-    std::unique_lock lk(mu_);
-    not_full_.wait(lk, [&] { return closed_ || q_.size() < capacity_; });
+    MutexLock lk(mu_);
+    while (!closed_ && q_.size() >= capacity_) not_full_.wait(mu_);
     if (closed_) return false;
     q_.push_back(std::move(item));
     size_.store(q_.size(), std::memory_order_relaxed);
@@ -64,7 +67,7 @@ class Channel {
   /// Non-blocking enqueue. Returns false when full or closed.
   bool try_push(T item) {
     {
-      std::scoped_lock lk(mu_);
+      MutexLock lk(mu_);
       if (closed_ || q_.size() >= capacity_) return false;
       q_.push_back(std::move(item));
       size_.store(q_.size(), std::memory_order_relaxed);
@@ -78,15 +81,19 @@ class Channel {
   /// elsewhere (the farm's on-demand scheduler relies on this to wait for
   /// space without holding any scheduler lock). d <= 0 is a pure try.
   ChannelStatus push_for(T& item, SimDuration d) {
-    std::unique_lock lk(mu_);
-    const bool ready =
-        d.count() <= 0.0
-            ? (closed_ || q_.size() < capacity_)
-            : not_full_.wait_for(lk, Clock::to_wall(d), [&] {
-                return closed_ || q_.size() < capacity_;
-              });
-    if (closed_) return ChannelStatus::Closed;
-    if (!ready) return ChannelStatus::TimedOut;
+    MutexLock lk(mu_);
+    if (d.count() <= 0.0) {
+      if (closed_) return ChannelStatus::Closed;
+      if (q_.size() >= capacity_) return ChannelStatus::TimedOut;
+    } else {
+      const auto deadline = std::chrono::steady_clock::now() + Clock::to_wall(d);
+      while (!closed_ && q_.size() >= capacity_) {
+        if (not_full_.wait_until(mu_, deadline) == std::cv_status::timeout &&
+            !closed_ && q_.size() >= capacity_)
+          return ChannelStatus::TimedOut;
+      }
+      if (closed_) return ChannelStatus::Closed;
+    }
     q_.push_back(std::move(item));
     size_.store(q_.size(), std::memory_order_relaxed);
     lk.unlock();
@@ -101,9 +108,9 @@ class Channel {
   /// are moved-from; the rest are untouched.
   std::size_t push_n(std::vector<T>& items) {
     std::size_t pushed = 0;
-    std::unique_lock lk(mu_);
+    MutexLock lk(mu_);
     while (pushed < items.size()) {
-      not_full_.wait(lk, [&] { return closed_ || q_.size() < capacity_; });
+      while (!closed_ && q_.size() >= capacity_) not_full_.wait(mu_);
       if (closed_) break;
       const std::size_t room = capacity_ - q_.size();
       const std::size_t take = std::min(room, items.size() - pushed);
@@ -122,8 +129,8 @@ class Channel {
 
   /// Block until an item is available or the channel is closed and drained.
   ChannelStatus pop(T& out) {
-    std::unique_lock lk(mu_);
-    not_empty_.wait(lk, [&] { return closed_ || !q_.empty(); });
+    MutexLock lk(mu_);
+    while (!closed_ && q_.empty()) not_empty_.wait(mu_);
     if (q_.empty()) return ChannelStatus::Closed;
     out = std::move(q_.front());
     q_.pop_front();
@@ -135,10 +142,13 @@ class Channel {
 
   /// Pop with a simulated-time timeout.
   ChannelStatus pop_for(T& out, SimDuration d) {
-    std::unique_lock lk(mu_);
-    const bool ready = not_empty_.wait_for(
-        lk, Clock::to_wall(d), [&] { return closed_ || !q_.empty(); });
-    if (!ready) return ChannelStatus::TimedOut;
+    MutexLock lk(mu_);
+    const auto deadline = std::chrono::steady_clock::now() + Clock::to_wall(d);
+    while (!closed_ && q_.empty()) {
+      if (not_empty_.wait_until(mu_, deadline) == std::cv_status::timeout &&
+          !closed_ && q_.empty())
+        return ChannelStatus::TimedOut;
+    }
     if (q_.empty()) return ChannelStatus::Closed;
     out = std::move(q_.front());
     q_.pop_front();
@@ -151,26 +161,37 @@ class Channel {
   /// Batched blocking pop: wait until at least one item is available, then
   /// append up to `max` items to `out` under one lock acquisition.
   ChannelStatus pop_n(std::vector<T>& out, std::size_t max) {
-    std::unique_lock lk(mu_);
-    not_empty_.wait(lk, [&] { return closed_ || !q_.empty(); });
-    return drain_locked(lk, out, max);
+    MutexLock lk(mu_);
+    while (!closed_ && q_.empty()) not_empty_.wait(mu_);
+    if (q_.empty()) return ChannelStatus::Closed;
+    const std::size_t take = drain_locked(out, max);
+    lk.unlock();
+    notify_drained(take);
+    return ChannelStatus::Ok;
   }
 
   /// Batched pop with a simulated-time timeout.
   ChannelStatus pop_n_for(std::vector<T>& out, std::size_t max,
                           SimDuration d) {
-    std::unique_lock lk(mu_);
-    const bool ready = not_empty_.wait_for(
-        lk, Clock::to_wall(d), [&] { return closed_ || !q_.empty(); });
-    if (!ready) return ChannelStatus::TimedOut;
-    return drain_locked(lk, out, max);
+    MutexLock lk(mu_);
+    const auto deadline = std::chrono::steady_clock::now() + Clock::to_wall(d);
+    while (!closed_ && q_.empty()) {
+      if (not_empty_.wait_until(mu_, deadline) == std::cv_status::timeout &&
+          !closed_ && q_.empty())
+        return ChannelStatus::TimedOut;
+    }
+    if (q_.empty()) return ChannelStatus::Closed;
+    const std::size_t take = drain_locked(out, max);
+    lk.unlock();
+    notify_drained(take);
+    return ChannelStatus::Ok;
   }
 
   /// Non-blocking pop.
   std::optional<T> try_pop() {
     std::optional<T> out;
     {
-      std::scoped_lock lk(mu_);
+      MutexLock lk(mu_);
       if (q_.empty()) return std::nullopt;
       out.emplace(std::move(q_.front()));
       q_.pop_front();
@@ -183,7 +204,7 @@ class Channel {
   /// Close the channel: producers fail fast, consumers drain then see Closed.
   void close() {
     {
-      std::scoped_lock lk(mu_);
+      MutexLock lk(mu_);
       closed_ = true;
     }
     not_empty_.notify_all();
@@ -192,11 +213,11 @@ class Channel {
 
   /// Reopen a closed channel (used when re-wiring a reconfigured skeleton).
   /// Wakes every blocked producer and consumer so they re-evaluate their
-  /// predicates against the reopened state instead of sleeping on a
+  /// conditions against the reopened state instead of sleeping on a
   /// notification that close() already consumed.
   void reopen() {
     {
-      std::scoped_lock lk(mu_);
+      MutexLock lk(mu_);
       closed_ = false;
     }
     not_empty_.notify_all();
@@ -204,7 +225,7 @@ class Channel {
   }
 
   bool closed() const {
-    std::scoped_lock lk(mu_);
+    MutexLock lk(mu_);
     return closed_;
   }
 
@@ -223,7 +244,7 @@ class Channel {
   std::deque<T> steal_back(std::size_t n) {
     std::deque<T> out;
     {
-      std::scoped_lock lk(mu_);
+      MutexLock lk(mu_);
       while (n-- > 0 && !q_.empty()) {
         out.push_front(std::move(q_.back()));
         q_.pop_back();
@@ -235,32 +256,33 @@ class Channel {
   }
 
  private:
-  /// Move up to `max` queued items into `out`; caller holds `lk` and has
-  /// established that the queue is non-empty or the channel closed.
-  ChannelStatus drain_locked(std::unique_lock<std::mutex>& lk,
-                             std::vector<T>& out, std::size_t max) {
-    if (q_.empty()) return ChannelStatus::Closed;
+  /// Move up to `max` queued items into `out` (queue known non-empty);
+  /// returns the number taken. Caller unlocks, then notify_drained().
+  std::size_t drain_locked(std::vector<T>& out, std::size_t max)
+      BSK_REQUIRES(mu_) {
     const std::size_t take = std::min(max == 0 ? 1 : max, q_.size());
     for (std::size_t i = 0; i < take; ++i) {
       out.push_back(std::move(q_.front()));
       q_.pop_front();
     }
     size_.store(q_.size(), std::memory_order_relaxed);
-    lk.unlock();
+    return take;
+  }
+
+  void notify_drained(std::size_t take) {
     if (take > 1)
       not_full_.notify_all();
     else
       not_full_.notify_one();
-    return ChannelStatus::Ok;
   }
 
   const std::size_t capacity_;
-  mutable std::mutex mu_;
-  std::condition_variable not_empty_;
-  std::condition_variable not_full_;
-  std::deque<T> q_;
+  mutable Mutex mu_;
+  CondVar not_empty_;
+  CondVar not_full_;
+  std::deque<T> q_ BSK_GUARDED_BY(mu_);
   std::atomic<std::size_t> size_{0};
-  bool closed_ = false;
+  bool closed_ BSK_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace bsk::support

@@ -28,23 +28,21 @@ void EventLog::record(std::string source, std::string name, double value,
           value,        std::move(detail), mono_now(),
           seq_.fetch_add(1, std::memory_order_relaxed)};
   Shard& s = shards_[my_shard()];
-  std::scoped_lock lk(s.mu);
+  MutexLock lk(s.mu);
   s.events.push_back(std::move(e));
 }
 
 std::vector<Event> EventLog::merged_snapshot() const {
   // Hold every shard lock for the copy so no in-flight record with a lower
   // seq than an already-copied event can land in a not-yet-copied shard.
-  std::array<std::unique_lock<std::mutex>, kShards> locks;
-  for (std::size_t i = 0; i < kShards; ++i)
-    locks[i] = std::unique_lock(shards_[i].mu);
+  for (const Shard& s : shards_) s.mu.lock();
   std::vector<Event> out;
   std::size_t n = 0;
   for (const Shard& s : shards_) n += s.events.size();
   out.reserve(n);
   for (const Shard& s : shards_)
     out.insert(out.end(), s.events.begin(), s.events.end());
-  for (auto& lk : locks) lk.unlock();
+  for (const Shard& s : shards_) s.mu.unlock();
   std::sort(out.begin(), out.end(),
             [](const Event& a, const Event& b) { return a.seq < b.seq; });
   return out;
@@ -72,7 +70,7 @@ std::size_t EventLog::count(const std::string& source,
                             const std::string& name) const {
   std::size_t n = 0;
   for (const Shard& s : shards_) {
-    std::scoped_lock lk(s.mu);
+    MutexLock lk(s.mu);
     n += static_cast<std::size_t>(
         std::count_if(s.events.begin(), s.events.end(), [&](const Event& e) {
           return e.source == source && e.name == name;
@@ -119,16 +117,15 @@ bool EventLog::happens_before(const std::string& src_a, const std::string& a,
 }
 
 void EventLog::clear() {
-  std::array<std::unique_lock<std::mutex>, kShards> locks;
-  for (std::size_t i = 0; i < kShards; ++i)
-    locks[i] = std::unique_lock(shards_[i].mu);
+  for (Shard& s : shards_) s.mu.lock();
   for (Shard& s : shards_) s.events.clear();
+  for (Shard& s : shards_) s.mu.unlock();
 }
 
 std::size_t EventLog::size() const {
   std::size_t n = 0;
   for (const Shard& s : shards_) {
-    std::scoped_lock lk(s.mu);
+    MutexLock lk(s.mu);
     n += s.events.size();
   }
   return n;

@@ -1,13 +1,15 @@
 #include "support/log.hpp"
 
 #include <atomic>
+
+#include "support/thread_annotations.hpp"
 #include <iomanip>
 
 namespace bsk::support {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::Warn};
-std::mutex g_mu;
+support::Mutex g_mu;
 
 constexpr std::string_view name_of(LogLevel l) {
   switch (l) {
@@ -28,7 +30,7 @@ void set_log_level(LogLevel lvl) noexcept {
 
 namespace detail {
 void log_write(LogLevel lvl, std::string_view component, std::string_view msg) {
-  std::scoped_lock lk(g_mu);
+  support::MutexLock lk(g_mu);
   std::cerr << std::fixed << std::setprecision(2) << '[' << Clock::now()
             << "] " << name_of(lvl) << ' ' << component << ": " << msg << '\n';
 }

@@ -1,0 +1,154 @@
+#pragma once
+// Clang thread-safety (capability) annotations + annotated lock primitives.
+//
+// libstdc++'s std::mutex carries no capability attributes, so Clang's
+// -Wthread-safety cannot check anything built on it. These wrappers are the
+// annotated equivalents the codebase locks with:
+//
+//   support::Mutex      — a std::mutex declared as a capability;
+//   support::MutexLock  — scoped acquire/release (std::scoped_lock shape,
+//                         plus manual unlock()/lock() for the early-release
+//                         idiom around condition-variable notifies);
+//   support::CondVar    — condition_variable_any waiting on the Mutex
+//                         itself, with REQUIRES on every wait.
+//
+// Under gcc (and any compiler without the attributes) the macros expand to
+// nothing and the wrappers behave exactly like the std types they hold, so
+// the annotations cost nothing outside the clang CI job that enforces them
+// (-Werror=thread-safety).
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__) && (!defined(SWIG))
+#define BSK_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define BSK_THREAD_ANNOTATION__(x)  // no-op outside clang
+#endif
+
+#define BSK_CAPABILITY(x) BSK_THREAD_ANNOTATION__(capability(x))
+#define BSK_SCOPED_CAPABILITY BSK_THREAD_ANNOTATION__(scoped_lockable)
+#define BSK_GUARDED_BY(x) BSK_THREAD_ANNOTATION__(guarded_by(x))
+#define BSK_PT_GUARDED_BY(x) BSK_THREAD_ANNOTATION__(pt_guarded_by(x))
+#define BSK_ACQUIRED_BEFORE(...) \
+  BSK_THREAD_ANNOTATION__(acquired_before(__VA_ARGS__))
+#define BSK_ACQUIRED_AFTER(...) \
+  BSK_THREAD_ANNOTATION__(acquired_after(__VA_ARGS__))
+#define BSK_REQUIRES(...) \
+  BSK_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+#define BSK_ACQUIRE(...) \
+  BSK_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+#define BSK_RELEASE(...) \
+  BSK_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+#define BSK_TRY_ACQUIRE(...) \
+  BSK_THREAD_ANNOTATION__(try_acquire_capability(__VA_ARGS__))
+#define BSK_EXCLUDES(...) BSK_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+#define BSK_RETURN_CAPABILITY(x) BSK_THREAD_ANNOTATION__(lock_returned(x))
+#define BSK_NO_THREAD_SAFETY_ANALYSIS \
+  BSK_THREAD_ANNOTATION__(no_thread_safety_analysis)
+
+namespace bsk::support {
+
+/// std::mutex declared as a capability. Also BasicLockable, so
+/// condition_variable_any can suspend on it directly.
+class BSK_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() BSK_ACQUIRE() { mu_.lock(); }
+  void unlock() BSK_RELEASE() { mu_.unlock(); }
+  bool try_lock() BSK_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// Scoped lock over a Mutex. Construction acquires, destruction releases
+/// (if still held); unlock()/lock() support the early-release idiom used
+/// before condition-variable notifies.
+class BSK_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) BSK_ACQUIRE(mu) : mu_(mu), owned_(true) {
+    mu_.lock();
+  }
+  ~MutexLock() BSK_RELEASE() {
+    if (owned_) mu_.unlock();
+  }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// Release before scope end (then notify without the lock held).
+  void unlock() BSK_RELEASE() {
+    mu_.unlock();
+    owned_ = false;
+  }
+
+  /// Re-acquire after an early unlock().
+  void lock() BSK_ACQUIRE() {
+    mu_.lock();
+    owned_ = true;
+  }
+
+ private:
+  Mutex& mu_;
+  bool owned_;
+};
+
+/// Condition variable paired with a Mutex. Waits take the Mutex itself (the
+/// caller holds it via MutexLock) so REQUIRES can state the contract; the
+/// underlying condition_variable_any unlocks/relocks it around the suspend.
+class CondVar {
+ public:
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+  void wait(Mutex& mu) BSK_REQUIRES(mu) BSK_NO_THREAD_SAFETY_ANALYSIS {
+    cv_.wait(mu);
+  }
+
+  // Non-predicate timed waits. The analysis cannot see into predicate
+  // lambdas (their bodies are checked as capability-free functions), so
+  // annotated callers use while-loops around these instead.
+  template <typename Rep, typename Period>
+  std::cv_status wait_for(Mutex& mu, const std::chrono::duration<Rep, Period>&
+                                         d) BSK_REQUIRES(mu)
+      BSK_NO_THREAD_SAFETY_ANALYSIS {
+    return cv_.wait_for(mu, d);
+  }
+
+  template <typename ClockT, typename Duration>
+  std::cv_status wait_until(Mutex& mu,
+                            const std::chrono::time_point<ClockT, Duration>&
+                                tp) BSK_REQUIRES(mu)
+      BSK_NO_THREAD_SAFETY_ANALYSIS {
+    return cv_.wait_until(mu, tp);
+  }
+
+  template <typename Pred>
+  void wait(Mutex& mu, Pred pred) BSK_REQUIRES(mu)
+      BSK_NO_THREAD_SAFETY_ANALYSIS {
+    cv_.wait(mu, std::move(pred));
+  }
+
+  template <typename Rep, typename Period, typename Pred>
+  bool wait_for(Mutex& mu, const std::chrono::duration<Rep, Period>& d,
+                Pred pred) BSK_REQUIRES(mu) BSK_NO_THREAD_SAFETY_ANALYSIS {
+    return cv_.wait_for(mu, d, std::move(pred));
+  }
+
+  template <typename ClockT, typename Duration, typename Pred>
+  bool wait_until(Mutex& mu,
+                  const std::chrono::time_point<ClockT, Duration>& tp,
+                  Pred pred) BSK_REQUIRES(mu) BSK_NO_THREAD_SAFETY_ANALYSIS {
+    return cv_.wait_until(mu, tp, std::move(pred));
+  }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace bsk::support

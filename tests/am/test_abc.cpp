@@ -3,6 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <thread>
+
 #include "am/abc.hpp"
 #include "rt/builders.hpp"
 #include "support/clock.hpp"
@@ -201,12 +204,21 @@ TEST(CoresInUse, CountsPatternShapes) {
   rt::FarmConfig cfg;
   cfg.initial_workers = 2;
   auto p = rt::pipe(
-      "p", rt::seq("src", std::make_unique<rt::StreamSource>(1, 100.0, 0.0)),
+      "p",
+      rt::seq("src", std::make_unique<rt::StreamSource>(5000, 100.0, 0.0)),
       rt::farm("f", cfg, identity_workers()),
       rt::seq("sink", std::make_unique<rt::StreamSink>()));
   p->start();
   // producer(1) + farm(2 workers + 1) + consumer(1) = 5, the paper's count.
-  EXPECT_EQ(cores_in_use(*p), 5u);
+  // The count reflects *running* worker threads, so poll briefly rather
+  // than sampling the instant after start() (a short stream could even
+  // drain before a single sample).
+  std::size_t cores = 0;
+  for (int i = 0; i < 2000 && cores != 5; ++i) {
+    cores = cores_in_use(*p);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(cores, 5u);
   p->wait();
 }
 

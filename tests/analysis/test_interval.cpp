@@ -1,0 +1,63 @@
+// Interval domain: the abstract values bsk-lint's region proofs run over.
+
+#include <gtest/gtest.h>
+
+#include "analysis/interval.hpp"
+
+namespace bsk::analysis {
+namespace {
+
+TEST(Interval, EmptyDetection) {
+  EXPECT_FALSE(Interval::all().empty());
+  EXPECT_FALSE(Interval::eq(1.0).empty());
+  EXPECT_FALSE(Interval::closed(0.0, 1.0).empty());
+  EXPECT_TRUE(Interval::gt(2.0).intersect(Interval::lt(1.0)).empty());
+  // Same bound, one side open: (1, ...] ∩ [..., 1) style degenerates.
+  EXPECT_TRUE(Interval::gt(1.0).intersect(Interval::le(1.0)).empty());
+  EXPECT_TRUE(Interval::ge(1.0).intersect(Interval::lt(1.0)).empty());
+  // Same bound, both closed: the single point {1}.
+  EXPECT_FALSE(Interval::ge(1.0).intersect(Interval::le(1.0)).empty());
+}
+
+TEST(Interval, IntersectTightensAndTracksOpenness) {
+  const Interval i = Interval::ge(0.0).intersect(Interval::lt(5.0));
+  EXPECT_DOUBLE_EQ(i.lo, 0.0);
+  EXPECT_DOUBLE_EQ(i.hi, 5.0);
+  EXPECT_FALSE(i.lo_open);
+  EXPECT_TRUE(i.hi_open);
+  // Equal bounds: openness wins (the tighter constraint).
+  const Interval j = Interval::gt(0.0).intersect(Interval::ge(0.0));
+  EXPECT_TRUE(j.lo_open);
+}
+
+TEST(Interval, Contains) {
+  EXPECT_TRUE(Interval::all().contains(Interval::closed(1.0, 2.0)));
+  EXPECT_TRUE(Interval::gt(1.0).contains(Interval::gt(5.0)));
+  EXPECT_FALSE(Interval::gt(5.0).contains(Interval::gt(1.0)));
+  // Closed contains its own open version, not vice versa.
+  EXPECT_TRUE(Interval::ge(1.0).contains(Interval::gt(1.0)));
+  EXPECT_FALSE(Interval::gt(1.0).contains(Interval::ge(1.0)));
+  // The empty interval is contained in anything.
+  const Interval empty = Interval::gt(2.0).intersect(Interval::lt(1.0));
+  EXPECT_TRUE(Interval::eq(0.0).contains(empty));
+}
+
+TEST(Interval, GapMeasuresHysteresisMargin) {
+  // Touching open intervals: margin zero (the oscillation signature).
+  const auto zero = Interval::gap(Interval::lt(0.5), Interval::gt(0.5));
+  ASSERT_TRUE(zero.has_value());
+  EXPECT_DOUBLE_EQ(*zero, 0.0);
+  // Separated guards: the paper's FARM_LOW/HIGH hysteresis band.
+  const auto band = Interval::gap(Interval::lt(0.3), Interval::gt(0.7));
+  ASSERT_TRUE(band.has_value());
+  EXPECT_NEAR(*band, 0.4, 1e-12);
+  // Order of arguments must not matter.
+  const auto band2 = Interval::gap(Interval::gt(0.7), Interval::lt(0.3));
+  ASSERT_TRUE(band2.has_value());
+  EXPECT_NEAR(*band2, 0.4, 1e-12);
+  // Overlapping intervals have no gap.
+  EXPECT_FALSE(Interval::gap(Interval::lt(0.6), Interval::gt(0.4)).has_value());
+}
+
+}  // namespace
+}  // namespace bsk::analysis

@@ -1,0 +1,154 @@
+// BSK_LINT_ON_LOAD: the manager statically verifies rule programs at load
+// time and refuses provably conflicting/oscillating ones, leaving the
+// engine untouched.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+#include "../am/fake_abc.hpp"
+#include "am/builtin_rules.hpp"
+#include "am/manager.hpp"
+#include "support/event_log.hpp"
+
+namespace bsk::am {
+namespace {
+
+const char* const kConflicting = R"(
+rule "AddWhenSlow"
+  when
+    $d : DepartureRateBean ( value < 0.6 )
+  then
+    $d.fireOperation(ManagerOperation.ADD_EXECUTOR);
+end
+rule "RemoveWhenFast"
+  when
+    $d : DepartureRateBean ( value > 0.4 )
+  then
+    $d.fireOperation(ManagerOperation.REMOVE_EXECUTOR);
+end
+)";
+
+class LintOnLoad : public ::testing::Test {
+ protected:
+  void SetUp() override { ::setenv("BSK_LINT_ON_LOAD", "1", 1); }
+  void TearDown() override { ::unsetenv("BSK_LINT_ON_LOAD"); }
+
+  support::EventLog log;
+  testing::FakeAbc abc;
+};
+
+TEST_F(LintOnLoad, SoundProgramLoads) {
+  AutonomicManager m("AM", abc, {}, &log);
+  const std::size_t before = m.engine().rule_count();
+  m.load_rules(farm_rules());
+  EXPECT_GT(m.engine().rule_count(), before);
+}
+
+TEST_F(LintOnLoad, ConflictingProgramIsRefusedAtomically) {
+  AutonomicManager m("AM", abc, {}, &log);
+  const std::size_t rules_before = m.engine().rule_count();
+  const std::size_t specs_before = m.loaded_rule_specs().size();
+  EXPECT_THROW(m.load_rules(kConflicting), std::runtime_error);
+  // Refusal leaves both the engine and the spec cache untouched.
+  EXPECT_EQ(m.engine().rule_count(), rules_before);
+  EXPECT_EQ(m.loaded_rule_specs().size(), specs_before);
+  try {
+    m.load_rules(kConflicting);
+    FAIL() << "expected refusal";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("BSK_LINT_ON_LOAD"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST_F(LintOnLoad, RefusalConsidersAlreadyLoadedRules) {
+  // Each half of the conflicting pair is individually fine; the union is
+  // not — the gate must analyze incoming ∪ loaded, not incoming alone.
+  AutonomicManager m("AM", abc, {}, &log);
+  m.load_rules(R"(
+rule "AddWhenSlow"
+  when
+    $d : DepartureRateBean ( value < 0.6 )
+  then
+    $d.fireOperation(ManagerOperation.ADD_EXECUTOR);
+end
+)");
+  const std::size_t after_first = m.engine().rule_count();
+  EXPECT_THROW(m.load_rules(R"(
+rule "RemoveWhenFast"
+  when
+    $d : DepartureRateBean ( value > 0.4 )
+  then
+    $d.fireOperation(ManagerOperation.REMOVE_EXECUTOR);
+end
+)"),
+               std::runtime_error);
+  EXPECT_EQ(m.engine().rule_count(), after_first);
+}
+
+TEST_F(LintOnLoad, ReplacementIsAnalyzedNotUnioned) {
+  // Re-loading a rule by name replaces it, so a fixed replacement of a
+  // previously refused guard must be accepted.
+  AutonomicManager m("AM", abc, {}, &log);
+  m.load_rules(R"(
+rule "Add"
+  when
+    $d : DepartureRateBean ( value < 0.3 )
+  then
+    $d.fireOperation(ManagerOperation.ADD_EXECUTOR);
+end
+rule "Remove"
+  when
+    $d : DepartureRateBean ( value > 0.7 )
+  then
+    $d.fireOperation(ManagerOperation.REMOVE_EXECUTOR);
+end
+)");
+  const std::size_t count = m.engine().rule_count();
+  // Tightening "Add" to overlap "Remove" must be refused...
+  EXPECT_THROW(m.load_rules(R"(
+rule "Add"
+  when
+    $d : DepartureRateBean ( value < 0.9 )
+  then
+    $d.fireOperation(ManagerOperation.ADD_EXECUTOR);
+end
+)"),
+               std::runtime_error);
+  // ...but replacing it with another hysteresis-respecting guard is fine.
+  m.load_rules(R"(
+rule "Add"
+  when
+    $d : DepartureRateBean ( value < 0.2 )
+  then
+    $d.fireOperation(ManagerOperation.ADD_EXECUTOR);
+end
+)");
+  EXPECT_EQ(m.engine().rule_count(), count);
+}
+
+TEST(LintOnLoadDisabled, GateOffLoadsAnything) {
+  ::unsetenv("BSK_LINT_ON_LOAD");
+  support::EventLog log;
+  testing::FakeAbc abc;
+  AutonomicManager m("AM", abc, {}, &log);
+  const std::size_t before = m.engine().rule_count();
+  m.load_rules(kConflicting);  // unsound, but the gate is off
+  EXPECT_EQ(m.engine().rule_count(), before + 2);
+}
+
+TEST(LintOnLoadDisabled, ZeroValueDisablesTheGate) {
+  ::setenv("BSK_LINT_ON_LOAD", "0", 1);
+  support::EventLog log;
+  testing::FakeAbc abc;
+  AutonomicManager m("AM", abc, {}, &log);
+  EXPECT_NO_THROW(m.load_rules(kConflicting));
+  ::unsetenv("BSK_LINT_ON_LOAD");
+}
+
+}  // namespace
+}  // namespace bsk::am

@@ -1,0 +1,152 @@
+// Two-phase protocol lint over in-memory C++ sources: ungated commit
+// actuators are flagged; gated, delegating, and pure-decline bodies pass.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/twophase.hpp"
+
+namespace bsk::analysis {
+namespace {
+
+using Files = std::vector<std::pair<std::string, std::string>>;
+
+TEST(TwoPhase, FlagsUngatedCommit) {
+  const Files files = {{"bad.hpp", R"(
+class BadAbc : public am::Abc {
+ public:
+  bool add_worker() override {
+    workers_.push_back(make_worker());
+    return true;
+  }
+};
+)"}};
+  const TwoPhaseReport rep = check_two_phase_sources(files);
+  ASSERT_EQ(rep.classes, std::vector<std::string>{"BadAbc"});
+  EXPECT_EQ(rep.methods_checked, 1u);
+  ASSERT_EQ(rep.findings.size(), 1u);
+  EXPECT_EQ(rep.findings[0].check, Check::TwoPhase);
+  EXPECT_EQ(rep.findings[0].severity, Severity::Error);
+  EXPECT_EQ(rep.findings[0].rule, "BadAbc::add_worker");
+  EXPECT_EQ(rep.findings[0].file, "bad.hpp");
+  EXPECT_GT(rep.findings[0].line, 0u);
+}
+
+TEST(TwoPhase, AcceptsGateConsultingBodies) {
+  // pass_gate, request (GeneralManager routing), and set_commit_gate
+  // (delegation) each count as putting phase one on the commit path.
+  const Files files = {{"good.hpp", R"(
+class GatedAbc : public bsk::am::Abc {
+ public:
+  bool add_worker() override {
+    Intent it{IntentKind::AddWorker};
+    if (!pass_gate(it)) return false;
+    return commit_add();
+  }
+  bool remove_worker() override {
+    return gm_->request(Intent{IntentKind::RemoveWorker});
+  }
+  bool set_rate(double r) override {
+    inner_->set_commit_gate(gate_);
+    return inner_->set_rate(r);
+  }
+};
+)"}};
+  const TwoPhaseReport rep = check_two_phase_sources(files);
+  EXPECT_EQ(rep.methods_checked, 3u);
+  EXPECT_TRUE(rep.findings.empty());
+}
+
+TEST(TwoPhase, PureDeclineNeedsNoGate) {
+  const Files files = {{"decline.hpp", R"(
+class FixedAbc : public Abc {
+ public:
+  bool add_worker() override { return false; }
+  bool remove_worker() override { return false; }
+};
+)"}};
+  const TwoPhaseReport rep = check_two_phase_sources(files);
+  EXPECT_EQ(rep.methods_checked, 2u);
+  EXPECT_TRUE(rep.findings.empty());
+}
+
+TEST(TwoPhase, CommentsAndStringsDoNotSatisfyTheCheck) {
+  const Files files = {{"sneaky.hpp", R"(
+class SneakyAbc : public am::Abc {
+ public:
+  bool add_worker() override {
+    // We should call pass_gate here someday.
+    log("pass_gate consulted");  /* pass_gate */
+    workers_++;
+    return true;
+  }
+};
+)"}};
+  const TwoPhaseReport rep = check_two_phase_sources(files);
+  ASSERT_EQ(rep.findings.size(), 1u);
+  EXPECT_EQ(rep.findings[0].rule, "SneakyAbc::add_worker");
+}
+
+TEST(TwoPhase, CrossFileDiscoveryAndOutOfLineDefinitions) {
+  // The header declares the subclass; the .cpp defines the actuator.
+  const Files files = {
+      {"split.hpp", R"(
+class SplitAbc : public bsk::am::Abc {
+ public:
+  bool add_worker() override;
+  bool remove_worker() override;
+};
+)"},
+      {"split.cpp", R"(
+bool SplitAbc::add_worker() {
+  spawn();          // no gate: flagged
+  return true;
+}
+bool SplitAbc::remove_worker() {
+  Intent it{IntentKind::RemoveWorker};
+  if (!pass_gate(it)) return false;
+  return retire_one();
+}
+)"}};
+  const TwoPhaseReport rep = check_two_phase_sources(files);
+  EXPECT_EQ(rep.methods_checked, 2u);
+  ASSERT_EQ(rep.findings.size(), 1u);
+  EXPECT_EQ(rep.findings[0].rule, "SplitAbc::add_worker");
+  EXPECT_EQ(rep.findings[0].file, "split.cpp");
+}
+
+TEST(TwoPhase, NonAbcClassesAreIgnored) {
+  const Files files = {{"other.hpp", R"(
+class WorkerPool {
+ public:
+  bool add_worker() { return grow(); }  // not an Abc — out of scope
+};
+)"}};
+  const TwoPhaseReport rep = check_two_phase_sources(files);
+  EXPECT_TRUE(rep.classes.empty());
+  EXPECT_EQ(rep.methods_checked, 0u);
+  EXPECT_TRUE(rep.findings.empty());
+}
+
+TEST(TwoPhase, RepoAbcSubclassesAreClean) {
+  // The real tree must satisfy its own lint (mirrors the CI gate).
+  const std::vector<std::string> paths = {
+      BSK_SOURCE_DIR "/src/am/abc.hpp",
+      BSK_SOURCE_DIR "/src/am/abc.cpp",
+      BSK_SOURCE_DIR "/src/rt/farm.hpp",
+      BSK_SOURCE_DIR "/src/rt/farm.cpp",
+      BSK_SOURCE_DIR "/src/net/remote_abc.hpp",
+      BSK_SOURCE_DIR "/src/net/remote_abc.cpp",
+  };
+  const TwoPhaseReport rep = check_two_phase(paths);
+  EXPECT_FALSE(rep.classes.empty());
+  EXPECT_GT(rep.methods_checked, 0u);
+  for (const Finding& f : rep.findings)
+    EXPECT_EQ(f.severity, Severity::Note) << format_finding(f);
+}
+
+}  // namespace
+}  // namespace bsk::analysis

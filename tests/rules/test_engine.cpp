@@ -25,12 +25,35 @@ TEST(Engine, AddReplaceRemove) {
   e.add_rule(always("b", 0));
   EXPECT_EQ(e.rule_count(), 2u);
   EXPECT_TRUE(e.has_rule("a"));
-  e.add_rule(always("a", 9));  // replace keeps count
+  EXPECT_TRUE(e.upsert_rule(always("a", 9)));  // replace keeps count
   EXPECT_EQ(e.rule_count(), 2u);
   EXPECT_TRUE(e.remove_rule("a"));
   EXPECT_FALSE(e.remove_rule("a"));
   EXPECT_EQ(e.rule_count(), 1u);
   EXPECT_EQ(e.rule_names(), std::vector<std::string>{"b"});
+}
+
+TEST(Engine, AddRuleRejectsDuplicateNames) {
+  Engine e;
+  e.add_rule(always("a", 0));
+  EXPECT_THROW(e.add_rule(always("a", 9)), std::invalid_argument);
+  EXPECT_EQ(e.rule_count(), 1u);  // the original survives untouched
+}
+
+TEST(Engine, UpsertKeepsAgendaPosition) {
+  Engine e;
+  e.add_rule(always("first", 0));
+  e.add_rule(always("second", 0));
+  EXPECT_TRUE(e.upsert_rule(always("first", 0)));  // same salience, same slot
+  EXPECT_FALSE(e.upsert_rule(always("third", 0)));
+  WorkingMemory wm;
+  ConstantTable c;
+  RecordingSink sink;
+  const auto fired = e.run_cycle(wm, c, sink);
+  ASSERT_EQ(fired.size(), 3u);
+  EXPECT_EQ(fired[0], "first");  // replacement did not move it to the back
+  EXPECT_EQ(fired[1], "second");
+  EXPECT_EQ(fired[2], "third");
 }
 
 TEST(Engine, SalienceOrdersFiring) {

@@ -194,6 +194,45 @@ TEST(Parser, ErrorsCarryLineNumbers) {
   }
 }
 
+TEST(Parser, ErrorsCarryColumnAndToken) {
+  // `bogus` sits at line 3, column 9 of this text.
+  try {
+    parse_rules("rule \"r\"\n  when\n    A ( bogus > 1 )\n  then fire(X) end");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 3u);
+    EXPECT_EQ(e.column(), 9u);
+    EXPECT_EQ(e.token(), "bogus");
+    // The formatted message points at the same spot.
+    EXPECT_NE(std::string(e.what()).find("3:9"), std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("'bogus'"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Parser, SingleEqualsErrorPointsAtTheOperator) {
+  try {
+    parse_rules("rule \"r\"\n  when\n    A ( value = 1 )\n  then fire(X) end");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 3u);
+    EXPECT_EQ(e.column(), 15u);
+    EXPECT_EQ(e.token(), "=");
+  }
+}
+
+TEST(Parser, MissingWhenErrorCarriesOffendingToken) {
+  try {
+    parse_rules("rule \"r\"\n  banana\n    A ( value > 1 )\n  then fire(X) end");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 2u);
+    EXPECT_EQ(e.column(), 3u);
+    EXPECT_EQ(e.token(), "banana");
+  }
+}
+
 TEST(Parser, MissingEndThrows) {
   EXPECT_THROW(parse_rules("rule \"r\" when A(value>0) then fire(X)"),
                ParseError);
