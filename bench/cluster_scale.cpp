@@ -1,0 +1,220 @@
+// Experiment E7b (extension) — real-process cluster self-assembly.
+//
+// N bskd daemons on loopback (one seed, N-1 joiners with descending
+// --cores) self-assemble into one membership view; the weighted election
+// ranks them; a farm recruits its workers from the live view through
+// cluster::MembershipClient (argv names no worker); one daemon then leaves
+// gracefully and the fleet deregisters it without a single suspicion
+// eviction. Reported:
+//
+//   assemble[ms]  — cold start to one converged view on every daemon;
+//   recruit       — remote workers recruited from the view (must equal the
+//                   farm size; fallback must be 0: the fleet was live);
+//   uniq/tasks    — exactly-once accounting at the farm output;
+//   leave[ms]     — SIGTERM of the lightest member to every survivor
+//                   agreeing on the shrunken view;
+//   evictions     — summed over survivors (must be 0: the departure was
+//                   announced, not detected).
+//
+// --smoke runs the CI shape (4 daemons, 80 tasks) and exits nonzero on any
+// violated invariant, which is what scripts/run_experiments.sh and the CI
+// cluster-smoke job gate on.
+//
+// The bskd binary path is injected by CMake as BSK_BSKD_PATH.
+
+#include <signal.h>
+
+#include <chrono>
+#include <cstdio>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/args.hpp"
+#include "cluster/client.hpp"
+#include "net/worker_pool.hpp"
+#include "rt/farm.hpp"
+#include "support/clock.hpp"
+
+#ifndef BSK_BSKD_PATH
+#define BSK_BSKD_PATH "bskd"
+#endif
+
+using namespace bsk;
+
+namespace {
+
+std::string key_of(std::uint16_t port) {
+  return "127.0.0.1:" + std::to_string(port);
+}
+
+/// Every daemon reports the same n-member view at the same epoch. Returns
+/// elapsed wall ms, or a negative value on timeout.
+double wait_converged(const std::vector<std::uint16_t>& ports, std::size_t n,
+                      double deadline_wall_s) {
+  const double t0 = net::wall_now();
+  const double deadline = t0 + deadline_wall_s;
+  while (net::wall_now() < deadline) {
+    std::vector<net::MembershipView> views;
+    for (const std::uint16_t p : ports) {
+      auto v = cluster::fetch_membership({"127.0.0.1", p}, 1.0);
+      if (!v || v->members.size() != n) break;
+      views.push_back(std::move(*v));
+    }
+    if (views.size() == ports.size()) {
+      bool same = true;
+      for (const net::MembershipView& v : views)
+        if (v.epoch != views[0].epoch) same = false;
+      if (same) return (net::wall_now() - t0) * 1e3;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  }
+  return -1.0;
+}
+
+std::size_t evictions_of(std::uint16_t port) {
+  const auto text = net::pull_bskd_stats({"127.0.0.1", port},
+                                         net::StatsRequest::What::Prometheus);
+  if (!text) return 0;
+  const auto pos = text->find("bsk_cluster_evictions_total ");
+  if (pos == std::string::npos) return 0;
+  return static_cast<std::size_t>(
+      std::atol(text->c_str() + pos + sizeof("bsk_cluster_evictions_total")));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = benchutil::arg_flag(argc, argv, "--smoke");
+  const long nodes =
+      benchutil::arg_long(argc, argv, "--nodes", smoke ? 4 : 6);
+  const long ntasks =
+      benchutil::arg_long(argc, argv, "--tasks", smoke ? 80 : 240);
+  const long nworkers = std::min<long>(4, nodes);
+  bool ok = true;
+
+  std::printf("== E7b (extension): real-process cluster self-assembly ==\n");
+  std::printf("%ld bskd on loopback, farm of %ld recruited from the live "
+              "view, %ld tasks%s\n\n",
+              nodes, nworkers, ntasks, smoke ? " [smoke]" : "");
+
+  // -------------------------------------------------------------- assemble
+  std::vector<net::BskdProcess> fleet;
+  fleet.push_back(net::spawn_bskd(
+      BSK_BSKD_PATH, 5.0,
+      {"--cluster", "--cores", std::to_string(1 << (nodes - 1))}));
+  if (!fleet.back().valid()) {
+    std::fprintf(stderr, "FATAL: could not spawn seed %s\n", BSK_BSKD_PATH);
+    return 1;
+  }
+  for (long i = 1; i < nodes; ++i) {
+    fleet.push_back(net::spawn_bskd(
+        BSK_BSKD_PATH, 5.0,
+        {"--join", key_of(fleet[0].port), "--cores",
+         std::to_string(1 << (nodes - 1 - i))}));
+    if (!fleet.back().valid()) {
+      std::fprintf(stderr, "FATAL: could not spawn joiner %ld\n", i);
+      return 1;
+    }
+  }
+  std::vector<std::uint16_t> ports;
+  for (const net::BskdProcess& p : fleet) ports.push_back(p.port);
+
+  const double assemble_ms =
+      wait_converged(ports, static_cast<std::size_t>(nodes), 30.0);
+  if (assemble_ms < 0) {
+    std::fprintf(stderr, "FATAL: fleet never converged\n");
+    ok = false;
+  }
+
+  // The weighted election seen from outside: heaviest (the seed) is root.
+  cluster::MembershipClient mc({{"127.0.0.1", fleet[0].port}});
+  std::string root = "?";
+  if (ok) {
+    (void)mc.endpoints();  // prime the client's view from the fleet
+    const cluster::HierarchyView h = cluster::elect(mc.last_view(), 2);
+    root = h.root_key();
+    if (root != key_of(fleet[0].port)) {
+      std::fprintf(stderr, "FATAL: root %s is not the heaviest member\n",
+                   root.c_str());
+      ok = false;
+    }
+  }
+
+  // --------------------------------------------------------------- recruit
+  support::ScopedClockScale fast(100.0);
+  net::WorkerPoolOptions po;
+  po.node_kind = "echo";
+  po.heartbeat_wall_s = 0.05;
+  po.node.liveness_timeout_wall_s = 0.5;
+  po.node.result_poll_wall_s = 0.05;
+  po.tcp.connect_retries = 3;
+  po.endpoint_source = mc.source();
+  net::WorkerPool pool({}, po);
+
+  std::size_t uniq = 0;
+  {
+    rt::FarmConfig fc;
+    fc.initial_workers = static_cast<std::size_t>(nworkers);
+    rt::Farm farm("clusterfarm", fc, pool.factory());
+    farm.start();
+    std::jthread feeder([&] {
+      for (long i = 0; i < ntasks; ++i)
+        farm.input()->push(rt::Task::data(static_cast<std::uint64_t>(i), 0.0,
+                                          std::int64_t{i}));
+      farm.input()->close();
+    });
+    std::set<std::uint64_t> ids;
+    rt::Task t;
+    while (farm.output()->pop(t) == support::ChannelStatus::Ok)
+      ids.insert(t.id);
+    farm.wait();
+    uniq = ids.size();
+  }
+  if (pool.remote_nodes_created() != static_cast<std::size_t>(nworkers) ||
+      pool.fallback_nodes_created() != 0) {
+    std::fprintf(stderr,
+                 "FATAL: recruited %zu remote + %zu fallback, wanted %ld + 0\n",
+                 pool.remote_nodes_created(), pool.fallback_nodes_created(),
+                 nworkers);
+    ok = false;
+  }
+  if (uniq != static_cast<std::size_t>(ntasks)) {
+    std::fprintf(stderr, "FATAL: %zu unique results, wanted %ld\n", uniq,
+                 ntasks);
+    ok = false;
+  }
+
+  // ----------------------------------------------------------------- leave
+  net::stop_bskd(fleet.back(), SIGTERM);  // lightest member, announced
+  ports.pop_back();
+  const double leave_ms =
+      wait_converged(ports, static_cast<std::size_t>(nodes - 1), 15.0);
+  if (leave_ms < 0) {
+    std::fprintf(stderr, "FATAL: survivors never deregistered the leaver\n");
+    ok = false;
+  }
+  std::size_t evictions = 0;
+  for (const std::uint16_t p : ports) evictions += evictions_of(p);
+  if (evictions != 0) {
+    std::fprintf(stderr,
+                 "FATAL: %zu suspicion evictions for an announced leave\n",
+                 evictions);
+    ok = false;
+  }
+
+  for (net::BskdProcess& p : fleet) net::stop_bskd(p, SIGKILL);
+
+  std::printf("# nodes  assemble[ms]  root_is_seed  recruit  fallback  "
+              "uniq/tasks  leave[ms]  evictions    ok\n");
+  std::printf("%7ld  %12.0f  %12s  %7zu  %8zu  %5zu/%-5ld  %9.0f  %9zu  %4s\n",
+              nodes, assemble_ms, root == key_of(fleet[0].port) ? "yes" : "NO",
+              pool.remote_nodes_created(), pool.fallback_nodes_created(), uniq,
+              ntasks, leave_ms, evictions, ok ? "yes" : "NO");
+  std::printf("\n# expected shape: assemble and leave both well under their "
+              "deadlines; recruit == farm size with fallback 0 (every worker "
+              "came from the live view); uniq == tasks (exactly-once); "
+              "evictions 0 (Leave was honored, suspicion never fired).\n");
+  return ok ? 0 : 1;
+}

@@ -25,6 +25,7 @@ EXPECTED=(
   des_renegotiation
   micro_net
   micro_obs
+  cluster_scale
 )
 
 # Only pick a generator for a fresh build dir; re-specifying one on an

@@ -90,6 +90,29 @@ end
 )";
 }
 
+std::string membership_rules() {
+  return R"(
+rule "RebalanceOnMembershipShrink"
+  salience 45
+  when
+    NodesLeftBean ( value > 0 )
+  then
+    fire(BALANCE_LOAD);
+end
+
+rule "DegradeOnClusterCollapse"
+  salience 42
+  when
+    ClusterNodesBean ( value < ManagersConstants.CLUSTER_MIN_NODES )
+    DepartureRateBean ( value < ManagersConstants.FARM_LOW_PERF_LEVEL )
+  then
+    setData(degradedContract_VIOL);
+    fire(RAISE_VIOLATION);
+    fire(DEGRADE_CONTRACT);
+end
+)";
+}
+
 std::string latency_rules() {
   return R"(
 rule "CheckLatencyHigh"

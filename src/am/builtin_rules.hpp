@@ -40,6 +40,15 @@ std::string latency_rules();
 /// successful replace resets the streak before degradation can fire.
 std::string degradation_rules();
 
+/// Membership concern (bsk::cluster integration): when the live membership
+/// view shrinks (NodesLeftBean pulse) the current contract split is stale —
+/// rebalance immediately; when the whole cluster drops below
+/// CLUSTER_MIN_NODES, capacity cannot be restored by recruitment and the
+/// contract is renegotiated down (same escalation as degradation_rules(),
+/// but driven by the membership authority instead of a recruit-failure
+/// streak). Salience sits between replacement (50) and degradation (40).
+std::string membership_rules();
+
 /// Extension to the Fig. 5 performance policy: grow on a deep backlog even
 /// when input pressure has stopped (the Fig. 5 rules are blind to queued
 /// work once arrivals cease — the paper's "unlimited buffering" remark).

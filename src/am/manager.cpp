@@ -54,6 +54,8 @@ AutonomicManager::AutonomicManager(std::string name, Abc& abc,
   consts_.set("MAX_LATENCY", 1e30);
   consts_.set("FT_MAX_FAILED_RECRUITS",
               static_cast<double>(cfg_.max_failed_recruits));
+  consts_.set("CLUSTER_MIN_NODES",
+              static_cast<double>(cfg_.min_cluster_nodes));
   install_default_operations();
 }
 
@@ -250,6 +252,52 @@ std::vector<std::string> AutonomicManager::run_cycle_once() {
     }
   }
 
+  // Consume queued membership changes: the fleet changed shape, so assert
+  // the change as pulse beans, link the span to the membership epoch, and
+  // re-split the contract across the children (P_spl re-applied — the old
+  // split was computed for a tree that no longer exists).
+  std::deque<MembershipEvent> mevents;
+  {
+    support::MutexLock lk(state_mu_);
+    mevents.swap(pending_membership_);
+  }
+  if (!mevents.empty()) {
+    std::size_t joined = 0;
+    std::size_t left = 0;
+    for (const MembershipEvent& e : mevents) {
+      joined += e.joined;
+      left += e.left;
+      span.causes.push_back(obs::SpanCause{
+          e.origin_proc.empty() ? obs::TraceLog::global().process_tag()
+                                : e.origin_proc,
+          "cluster", e.epoch, "membershipChange"});
+    }
+    const MembershipEvent& latest = mevents.back();
+    cluster_nodes_.store(latest.nodes, std::memory_order_relaxed);
+    membership_seen_.store(true, std::memory_order_relaxed);
+    wm_.set(beans::kNodesJoined, static_cast<double>(joined));
+    wm_.set(beans::kNodesLeft, static_cast<double>(left));
+    pulse_beans.push_back(beans::kNodesJoined);
+    pulse_beans.push_back(beans::kNodesLeft);
+    record("membershipChange", static_cast<double>(latest.nodes),
+           "epoch=" + std::to_string(latest.epoch));
+    Contract cur;
+    {
+      support::MutexLock lk(state_mu_);
+      cur = contract_;
+    }
+    if ((cur.has_goals() || cur.best_effort) && !children_.empty()) {
+      resplits_.fetch_add(1, std::memory_order_relaxed);
+      record("resplitContract", static_cast<double>(children_.size()));
+      propagate_contract(cur);
+    }
+  }
+  if (membership_seen_.load(std::memory_order_relaxed)) {
+    const auto nodes = static_cast<double>(cluster_nodes_.load());
+    wm_.set(beans::kClusterNodes, nodes);
+    span.beans.emplace_back(beans::kClusterNodes, nodes);
+  }
+
   // Plan/execute: one agenda cycle, unless within an action cooldown.
   std::vector<std::string> fired;
   Contract c;
@@ -310,7 +358,10 @@ void AutonomicManager::set_contract(const Contract& c) {
   record("newContract", 0.0, c.describe());
   mode_.store(ManagerMode::Active);
   if (hook) hook(c);
+  propagate_contract(c);
+}
 
+void AutonomicManager::propagate_contract(const Contract& c) {
   Splitter sp;
   std::vector<AutonomicManager*> kids;
   {
@@ -318,12 +369,21 @@ void AutonomicManager::set_contract(const Contract& c) {
     sp = splitter_;
     kids = children_;
   }
-  if (!kids.empty()) {
-    const std::vector<Contract> subs =
-        sp ? sp(c, kids.size()) : split_for_pipeline(c, kids.size());
-    for (std::size_t i = 0; i < kids.size() && i < subs.size(); ++i)
-      kids[i]->set_contract(subs[i]);
-  }
+  if (kids.empty()) return;
+  const std::vector<Contract> subs =
+      sp ? sp(c, kids.size()) : split_for_pipeline(c, kids.size());
+  for (std::size_t i = 0; i < kids.size() && i < subs.size(); ++i)
+    kids[i]->set_contract(subs[i]);
+}
+
+void AutonomicManager::notify_membership_change(std::size_t joined,
+                                                std::size_t left,
+                                                std::size_t nodes,
+                                                std::uint64_t epoch,
+                                                std::string origin_proc) {
+  support::MutexLock lk(state_mu_);
+  pending_membership_.push_back(
+      MembershipEvent{joined, left, nodes, epoch, std::move(origin_proc)});
 }
 
 Contract AutonomicManager::contract() const {

@@ -66,8 +66,13 @@ struct ManagerConfig {
   bool observation_events = true;
   /// Consecutive ADD_EXECUTOR failures (no worker could be recruited)
   /// before the degradation policy may fire — derived into the
-  /// FT_MAX_FAILED_RECRUITS rule constant.
+  /// FT_MAX_FAILED_RECRUITS rule constant. With a live membership feed
+  /// (bsk::cluster), a failed recruit means the *cluster* is exhausted,
+  /// not that a static endpoint list was misconfigured.
   std::size_t max_failed_recruits = 3;
+  /// Fleet size below which the membership rules may raise a violation —
+  /// derived into the CLUSTER_MIN_NODES rule constant.
+  std::size_t min_cluster_nodes = 1;
 };
 
 /// A violation reported by a child manager. The origin fields identify the
@@ -78,6 +83,17 @@ struct ChildViolation {
   std::string kind;  ///< e.g. "notEnoughTasks_VIOL"
   std::string origin_proc;       ///< raising process tag ("" = local)
   std::uint64_t origin_cycle = 0;  ///< raising manager's cycle id (0 = unknown)
+};
+
+/// A cluster membership change reported by the discovery layer
+/// (bsk::cluster's on_change hook feeds this through
+/// notify_membership_change). Consumed at the top of the next MAPE cycle.
+struct MembershipEvent {
+  std::size_t joined = 0;
+  std::size_t left = 0;
+  std::size_t nodes = 0;     ///< live members after the change
+  std::uint64_t epoch = 0;   ///< membership epoch after the change
+  std::string origin_proc;   ///< reporting process tag ("" = local)
 };
 
 /// Standard bean names asserted by the monitor phase.
@@ -99,8 +115,15 @@ inline constexpr const char* kWorkerFailure = "WorkerFailureBean";
 inline constexpr const char* kTotalFailures = "TotalFailuresBean";
 /// Consecutive ADD_EXECUTOR calls that recruited nothing (reset on any
 /// successful add) — the capacity-cannot-be-restored signal the
-/// degradation rules watch.
+/// degradation rules watch. When recruitment runs off a live cluster
+/// membership view, this means "cluster exhausted".
 inline constexpr const char* kFailedRecruits = "FailedRecruitsBean";
+/// Cluster membership feed (bsk::cluster): members that joined/left since
+/// the previous cycle (pulse beans, retracted after one cycle) and the
+/// live fleet size (persistent once a membership event has been seen).
+inline constexpr const char* kNodesJoined = "NodesJoinedBean";
+inline constexpr const char* kNodesLeft = "NodesLeftBean";
+inline constexpr const char* kClusterNodes = "ClusterNodesBean";
 /// Pulse bean asserted for one cycle when child `kind` violations arrive:
 /// "Violation_<kind>Bean".
 std::string child_violation(const std::string& kind);
@@ -184,6 +207,21 @@ class AutonomicManager : public rules::OperationSink {
   /// control thread, before the rule cycle).
   void set_violation_handler(std::function<void(const ChildViolation&)> fn);
 
+  /// Report a cluster membership change (any thread; bsk::cluster's
+  /// on_change hook is the canonical caller). Queued and consumed at the
+  /// top of the next cycle: NodesJoined/NodesLeft pulse beans are
+  /// asserted, the span gains a cause link to the membership epoch, and —
+  /// because the fleet changed shape — the current contract is re-split
+  /// across the children (the paper's P_spl reacting to a reconfiguration).
+  void notify_membership_change(std::size_t joined, std::size_t left,
+                                std::size_t nodes, std::uint64_t epoch,
+                                std::string origin_proc = {});
+
+  /// Times a membership change forced a contract re-split.
+  std::size_t resplits() const { return resplits_.load(); }
+  /// Live fleet size as of the last consumed membership event.
+  std::size_t cluster_nodes() const { return cluster_nodes_.load(); }
+
   // --------------------------------------------------------------- policy
 
   rules::Engine& engine() { return engine_; }
@@ -253,6 +291,8 @@ class AutonomicManager : public rules::OperationSink {
   void install_default_operations();
   void derive_constants_locked() BSK_REQUIRES(state_mu_);
   bool monitor_phase(Sensors& out);
+  /// Split the contract across attached children and push the pieces.
+  void propagate_contract(const Contract& c);
 
   /// One constant's current value, under state_mu_ (operation handlers
   /// resolve payloads through this — never touch consts_ bare off the
@@ -283,6 +323,7 @@ class AutonomicManager : public rules::OperationSink {
   std::map<std::string, std::function<void(const std::string&)>> operations_
       BSK_GUARDED_BY(state_mu_);
   std::deque<ChildViolation> pending_violations_ BSK_GUARDED_BY(state_mu_);
+  std::deque<MembershipEvent> pending_membership_ BSK_GUARDED_BY(state_mu_);
   Sensors last_sensors_ BSK_GUARDED_BY(state_mu_){};
 
   AutonomicManager* parent_ = nullptr;
@@ -303,6 +344,9 @@ class AutonomicManager : public rules::OperationSink {
   std::atomic<std::size_t> cycles_{0};
   std::atomic<std::size_t> failed_recruits_{0};
   std::atomic<std::size_t> degradations_{0};
+  std::atomic<std::size_t> resplits_{0};
+  std::atomic<std::size_t> cluster_nodes_{0};
+  std::atomic<bool> membership_seen_{false};
   double plan_suppressed_until_ = 0.0;  // control-thread only
   bool violation_raised_this_cycle_ = false;  // control-thread only
 

@@ -44,7 +44,7 @@ int usage(const char* argv0) {
       << "usage: " << argv0
       << " [--json] [--registry] [--const NAME=VALUE]...\n"
          "       [--builtin farm|security|fault|latency|degradation|backlog|"
-         "all]...\n"
+         "membership|all]...\n"
          "       [--split-check LO:HI:STAGES [--service-time S] "
          "[--max-workers N]]\n"
          "       [--twophase DIR_OR_FILE]... [FILE.brl]...\n";
@@ -66,6 +66,8 @@ std::vector<std::pair<std::string, std::string>> builtin_sets(
   if (want("degradation"))
     out.emplace_back("builtin:degradation", am::degradation_rules());
   if (want("backlog")) out.emplace_back("builtin:backlog", am::backlog_rules());
+  if (want("membership"))
+    out.emplace_back("builtin:membership", am::membership_rules());
   return out;
 }
 

@@ -135,7 +135,16 @@ Registry default_registry() {
   r.add_bean(am::beans::kTotalFailures, nonneg,
              "worker failures since start");
   r.add_bean(am::beans::kFailedRecruits, nonneg,
-             "consecutive failed replacement recruitments");
+             "consecutive failed replacement recruitments; with a live "
+             "membership feed this means the cluster is exhausted, not that "
+             "one static host is down");
+  r.add_bean(am::beans::kNodesJoined, nonneg,
+             "cluster nodes that joined since the last cycle (pulse)");
+  r.add_bean(am::beans::kNodesLeft, nonneg,
+             "cluster nodes that left or were evicted since the last cycle "
+             "(pulse)");
+  r.add_bean(am::beans::kClusterNodes, nonneg,
+             "current live cluster membership size");
   // One pulse bean per child violation kind (beans::child_violation).
   r.add_bean_prefix("Violation_");
 
@@ -159,6 +168,7 @@ Registry default_registry() {
   r.add_constant("MAX_LATENCY");
   r.add_constant("FT_MAX_FAILED_RECRUITS");
   r.add_constant("WORKER_FAILURES");
+  r.add_constant("CLUSTER_MIN_NODES");
 
   // Violation kinds used as symbolic setData payloads.
   r.add_payload("notEnoughTasks_VIOL");

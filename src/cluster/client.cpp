@@ -1,0 +1,116 @@
+#include "cluster/client.hpp"
+
+#include <algorithm>
+
+#include "net/remote_conduit.hpp"
+
+namespace bsk::cluster {
+
+std::optional<net::MembershipView> fetch_membership(const net::Endpoint& ep,
+                                                    double timeout_wall_s) {
+  net::TcpOptions tcp;
+  tcp.connect_timeout_s = std::min(timeout_wall_s, 1.0);
+  tcp.connect_retries = 0;
+  auto tp = net::TcpTransport::connect(ep.host, ep.port, tcp);
+  if (!tp) return std::nullopt;
+
+  net::Hello hello;
+  hello.role = 2;
+  std::optional<net::MembershipView> out;
+  if (net::client_handshake(*tp, hello, timeout_wall_s) &&
+      tp->send(net::make_membership_req(1))) {
+    const double deadline = net::wall_now() + timeout_wall_s;
+    net::Frame f;
+    while (net::wall_now() < deadline) {
+      if (tp->recv_for(f, deadline - net::wall_now()) != net::RecvStatus::Ok)
+        break;
+      if (f.type != net::FrameType::MembershipRep) continue;
+      if (const auto rep = net::parse_membership_rep(f);
+          rep && rep->ok && rep->seq == 1)
+        out = rep->view;
+      break;
+    }
+  }
+  tp->send(net::Frame{net::FrameType::Shutdown, {}});
+  tp->close();
+  return out;
+}
+
+MembershipClient::MembershipClient(std::vector<net::Endpoint> bootstrap,
+                                   MembershipClientOptions opts)
+    : opts_(std::move(opts)), bootstrap_(std::move(bootstrap)) {}
+
+net::MembershipView MembershipClient::last_view() const {
+  support::MutexLock lk(mu_);
+  return view_;
+}
+
+void MembershipClient::set_on_change(
+    std::function<void(std::size_t, std::size_t, const net::MembershipView&)>
+        fn) {
+  support::MutexLock lk(mu_);
+  on_change_ = std::move(fn);
+}
+
+std::vector<net::Endpoint> MembershipClient::endpoints() {
+  // Poll targets: every member of the last view, then the bootstrap list.
+  std::vector<net::Endpoint> targets;
+  {
+    support::MutexLock lk(mu_);
+    for (const net::Member& m : view_.members)
+      targets.push_back({m.host, m.port});
+    targets.insert(targets.end(), bootstrap_.begin(), bootstrap_.end());
+  }
+  std::size_t start;
+  {
+    support::MutexLock lk(mu_);
+    start = rotate_++;
+  }
+  std::size_t joined = 0, left = 0;
+  std::function<void(std::size_t, std::size_t, const net::MembershipView&)>
+      notify;
+  net::MembershipView after;
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    const net::Endpoint& ep = targets[(start + i) % targets.size()];
+    if (auto v = fetch_membership(ep, opts_.timeout_wall_s)) {
+      support::MutexLock lk(mu_);
+      // Never regress to an older epoch (a lagging member's view).
+      if (v->epoch >= view_.epoch) {
+        const auto has = [](const net::MembershipView& view,
+                            const std::string& key) {
+          for (const net::Member& m : view.members)
+            if (m.key() == key) return true;
+          return false;
+        };
+        for (const net::Member& m : v->members)
+          if (!has(view_, m.key())) ++joined;
+        for (const net::Member& m : view_.members)
+          if (!has(*v, m.key())) ++left;
+        view_ = std::move(*v);
+        if ((joined || left) && on_change_) {
+          notify = on_change_;
+          after = view_;
+        }
+      }
+      break;
+    }
+  }
+  if (notify) notify(joined, left, after);
+
+  net::MembershipView v;
+  {
+    support::MutexLock lk(mu_);
+    v = view_;
+  }
+  const HierarchyView h = elect(v, opts_.fanout);
+  std::vector<net::Endpoint> out;
+  for (const net::Member& m : h.by_rank()) {
+    if (std::find(opts_.exclude.begin(), opts_.exclude.end(), m.key()) !=
+        opts_.exclude.end())
+      continue;
+    out.push_back({m.host, m.port});
+  }
+  return out;
+}
+
+}  // namespace bsk::cluster

@@ -1,0 +1,84 @@
+#pragma once
+// Membership consumers: how a farm coordinator sees the fleet.
+//
+// fetch_membership() is the pull RPC — a role-2 (stats) channel to any
+// daemon, a MembershipReq, and the daemon's live MembershipView back. Any
+// member can answer: the view is the gossip-converged one, and the caller
+// does not need to find the root first.
+//
+// MembershipClient turns that into the recruitment feed net::WorkerPool
+// consumes through its endpoint_source seam: endpoints() polls a member
+// (rotating across everything it has seen, so one dead daemon cannot
+// blind it), caches the last good view, and returns the live worker
+// endpoints in hierarchy-rank order — the weighted election decides who
+// gets recruited first, argv decides nothing. An empty return means the
+// cluster is exhausted, which the pool reports through its local-fallback
+// path (FailedRecruitsBean).
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/hierarchy.hpp"
+#include "net/worker_pool.hpp"
+#include "support/thread_annotations.hpp"
+
+namespace bsk::cluster {
+
+/// Pull the live MembershipView from one daemon over a role-2 channel.
+/// nullopt when the daemon is unreachable, not serving membership (runs
+/// without a cluster node), or the RPC times out.
+std::optional<net::MembershipView> fetch_membership(
+    const net::Endpoint& ep, double timeout_wall_s = 2.0);
+
+struct MembershipClientOptions {
+  double timeout_wall_s = 2.0;
+  std::size_t fanout = 2;  ///< rank order for recruitment (matches fleet)
+  /// Keys never handed out as recruits (e.g. the coordinator's own bskd).
+  std::vector<std::string> exclude;
+  net::TcpOptions tcp{.connect_timeout_s = 0.5, .connect_retries = 0};
+};
+
+/// Live recruitment feed over one or more bootstrap members.
+class MembershipClient {
+ public:
+  explicit MembershipClient(std::vector<net::Endpoint> bootstrap,
+                            MembershipClientOptions opts = {});
+
+  /// Refresh from the fleet (rotating over known members + bootstrap) and
+  /// return recruitable endpoints in hierarchy-rank order. Falls back to
+  /// the last good view when every poll target is unreachable; empty only
+  /// when nothing has ever answered or everything is excluded.
+  std::vector<net::Endpoint> endpoints();
+
+  /// The most recent successfully fetched view (epoch 0 before first).
+  net::MembershipView last_view() const;
+
+  /// Plug into net::WorkerPoolOptions::endpoint_source.
+  std::function<std::vector<net::Endpoint>()> source() {
+    return [this] { return endpoints(); };
+  }
+
+  /// Fires when a refresh observes the fleet change relative to the last
+  /// good view: (joined, left, view-after). This is how a coordinator feeds
+  /// am::AutonomicManager::notify_membership_change — the pool's recruit
+  /// path drives endpoints(), so detection costs no extra polling. Runs on
+  /// the caller's thread; must be cheap.
+  void set_on_change(
+      std::function<void(std::size_t, std::size_t, const net::MembershipView&)>
+          fn);
+
+ private:
+  MembershipClientOptions opts_;
+  std::vector<net::Endpoint> bootstrap_;
+
+  mutable support::Mutex mu_;
+  net::MembershipView view_ BSK_GUARDED_BY(mu_);
+  std::size_t rotate_ BSK_GUARDED_BY(mu_) = 0;
+  std::function<void(std::size_t, std::size_t, const net::MembershipView&)>
+      on_change_ BSK_GUARDED_BY(mu_);
+};
+
+}  // namespace bsk::cluster

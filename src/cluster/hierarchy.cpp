@@ -1,0 +1,75 @@
+#include "cluster/hierarchy.hpp"
+
+#include <algorithm>
+
+namespace bsk::cluster {
+
+HierarchyView elect(const net::MembershipView& view, std::size_t fanout) {
+  HierarchyView h;
+  h.epoch_ = view.epoch;
+  h.fanout_ = std::max<std::size_t>(1, fanout);
+  h.by_rank_ = view.members;
+  std::sort(h.by_rank_.begin(), h.by_rank_.end(),
+            [](const net::Member& a, const net::Member& b) {
+              const double wa = a.weight();
+              const double wb = b.weight();
+              if (wa != wb) return wa > wb;
+              return a.key() < b.key();
+            });
+  return h;
+}
+
+std::optional<std::size_t> HierarchyView::rank_of(
+    const std::string& key) const {
+  for (std::size_t i = 0; i < by_rank_.size(); ++i)
+    if (by_rank_[i].key() == key) return i;
+  return std::nullopt;
+}
+
+std::optional<std::string> HierarchyView::parent_of(
+    const std::string& key) const {
+  const auto rank = rank_of(key);
+  if (!rank || *rank == 0) return std::nullopt;
+  return by_rank_[(*rank - 1) / fanout_].key();
+}
+
+std::vector<std::string> HierarchyView::children_of(
+    const std::string& key) const {
+  std::vector<std::string> out;
+  const auto rank = rank_of(key);
+  if (!rank) return out;
+  const std::size_t first = *rank * fanout_ + 1;
+  for (std::size_t i = first; i < first + fanout_ && i < by_rank_.size(); ++i)
+    out.push_back(by_rank_[i].key());
+  return out;
+}
+
+std::size_t HierarchyView::subtree_size(const std::string& key) const {
+  const auto rank = rank_of(key);
+  if (!rank) return 0;
+  // Ranks form a heap layout: walk the implicit tree breadth-first.
+  std::size_t count = 0;
+  std::vector<std::size_t> frontier{*rank};
+  while (!frontier.empty()) {
+    std::vector<std::size_t> next;
+    for (const std::size_t r : frontier) {
+      ++count;
+      const std::size_t first = r * fanout_ + 1;
+      for (std::size_t i = first; i < first + fanout_ && i < by_rank_.size();
+           ++i)
+        next.push_back(i);
+    }
+    frontier.swap(next);
+  }
+  return count;
+}
+
+bool HierarchyView::accepts_parent(const std::string& child,
+                                   const std::string& key,
+                                   std::uint64_t claimed_epoch) const {
+  if (claimed_epoch < epoch_) return false;  // stale tree: fenced off
+  const auto parent = parent_of(child);
+  return parent && *parent == key;
+}
+
+}  // namespace bsk::cluster

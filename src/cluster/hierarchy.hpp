@@ -1,0 +1,75 @@
+#pragma once
+// Hierarchy election: a weighted k-ary tree computed, not negotiated.
+//
+// Every node derives its position in the management tree from the same
+// pure function of the membership view: members are ranked by weight
+// (cores × core speed) descending — key ascending as the tie-break so the
+// order is total — and rank i hangs under rank (i-1)/k. Rank 0, the
+// heaviest node, is the root and acts as membership authority (gossip is
+// biased toward it, so views converge through it fastest).
+//
+// Because the input view is identical once gossip converges, no election
+// messages exist to get lost or reordered: a join/leave changes the view,
+// the view's epoch bumps, and everyone recomputes the same new tree. The
+// epoch is the fence — any parent/authority claim stamped with an older
+// epoch than the local view refers to a tree that no longer exists and is
+// rejected (HierarchyView::accepts_parent).
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/wire.hpp"
+
+namespace bsk::cluster {
+
+class HierarchyView {
+ public:
+  HierarchyView() = default;
+
+  std::uint64_t epoch() const { return epoch_; }
+  std::size_t fanout() const { return fanout_; }
+  std::size_t size() const { return by_rank_.size(); }
+  bool empty() const { return by_rank_.empty(); }
+
+  /// Members in rank order; rank 0 is the root.
+  const std::vector<net::Member>& by_rank() const { return by_rank_; }
+
+  const net::Member& root() const { return by_rank_.front(); }
+  std::string root_key() const {
+    return by_rank_.empty() ? std::string{} : by_rank_.front().key();
+  }
+
+  std::optional<std::size_t> rank_of(const std::string& key) const;
+
+  /// Parent key of `key`, nullopt for the root / unknown keys.
+  std::optional<std::string> parent_of(const std::string& key) const;
+
+  /// Children keys of `key` in rank order (at most `fanout` of them).
+  std::vector<std::string> children_of(const std::string& key) const;
+
+  /// Nodes in the subtree rooted at `key`, itself included (0 if unknown).
+  std::size_t subtree_size(const std::string& key) const;
+
+  /// The epoch fence: is a claim "`key` is your parent, as of `epoch`"
+  /// current? Stale epochs and keys that are not the computed parent of
+  /// `child` are both rejected.
+  bool accepts_parent(const std::string& child, const std::string& key,
+                      std::uint64_t claimed_epoch) const;
+
+  friend HierarchyView elect(const net::MembershipView& view,
+                             std::size_t fanout);
+
+ private:
+  std::uint64_t epoch_ = 0;
+  std::size_t fanout_ = 2;
+  std::vector<net::Member> by_rank_;
+};
+
+/// Compute the tree for `view`. Deterministic: any permutation of
+/// view.members yields the same HierarchyView. `fanout` < 1 is clamped
+/// to 1 (a chain).
+HierarchyView elect(const net::MembershipView& view, std::size_t fanout = 2);
+
+}  // namespace bsk::cluster

@@ -1,0 +1,121 @@
+#include "cluster/membership.hpp"
+
+#include <algorithm>
+
+namespace bsk::cluster {
+
+MembershipTable::MembershipTable(net::Member self) : self_(std::move(self)) {
+  members_[self_.key()] = self_;
+}
+
+net::MembershipView MembershipTable::view() const {
+  net::MembershipView v;
+  v.epoch = epoch_;
+  v.members.reserve(members_.size());
+  for (const auto& [key, m] : members_) v.members.push_back(m);
+  v.departed.reserve(tombstones_.size());
+  for (const auto& [key, born] : tombstones_)
+    v.departed.push_back(net::Departed{key, born});
+  return v;
+}
+
+void MembershipTable::bump_epoch_past(std::uint64_t other) {
+  epoch_ = std::max(epoch_, other) + 1;
+}
+
+MergeDelta MembershipTable::add(const net::Member& m) {
+  MergeDelta d;
+  const std::string key = m.key();
+  if (key == self_.key()) return d;  // we are authoritative for self
+  if (auto t = tombstones_.find(key);
+      t != tombstones_.end() && t->second >= m.born)
+    return d;  // that incarnation is dead; only a newer one may join
+  auto it = members_.find(key);
+  if (it == members_.end()) {
+    members_[key] = m;
+    tombstones_.erase(key);
+    ++d.joined;
+    bump_epoch_past(epoch_);
+  } else if (it->second.born < m.born) {
+    // Restarted peer: the old incarnation is implicitly gone.
+    it->second = m;
+    tombstones_.erase(key);
+    ++d.left;
+    ++d.joined;
+    bump_epoch_past(epoch_);
+  }
+  return d;
+}
+
+MergeDelta MembershipTable::remove(const std::string& key,
+                                   std::uint64_t min_born) {
+  MergeDelta d;
+  if (key == self_.key()) return d;
+  auto it = members_.find(key);
+  if (it == members_.end()) {
+    if (min_born > 0) {
+      std::uint64_t& tomb = tombstones_[key];
+      tomb = std::max(tomb, min_born);
+    }
+    return d;
+  }
+  std::uint64_t& tomb = tombstones_[key];
+  tomb = std::max({tomb, it->second.born, min_born});
+  members_.erase(it);
+  ++d.left;
+  bump_epoch_past(epoch_);
+  return d;
+}
+
+MergeDelta MembershipTable::merge(const net::MembershipView& remote,
+                                  bool self_defend) {
+  MergeDelta d;
+  bool changed = false;
+
+  // Absorb death news first so member records in the same view cannot
+  // resurrect nodes the view itself declares dead.
+  for (const net::Departed& dep : remote.departed) {
+    if (dep.key == self_.key()) {
+      if (!self_defend) continue;  // retiring: that tombstone is ours
+      // Someone evicted us (asymmetric partition). We are alive: out-live
+      // the tombstone by re-incarnating past it.
+      if (self_.born <= dep.born) {
+        self_.born = dep.born + 1;
+        members_[self_.key()] = self_;
+        changed = true;
+      }
+      continue;
+    }
+    std::uint64_t& tomb = tombstones_[dep.key];
+    tomb = std::max(tomb, dep.born);
+    auto it = members_.find(dep.key);
+    if (it != members_.end() && it->second.born <= tomb) {
+      members_.erase(it);
+      ++d.left;
+      changed = true;
+    }
+  }
+
+  for (const net::Member& m : remote.members) {
+    const MergeDelta one = add(m);
+    d.joined += one.joined;
+    d.left += one.left;
+    if (one.changed()) changed = true;
+  }
+
+  if (changed)
+    bump_epoch_past(remote.epoch);
+  else
+    epoch_ = std::max(epoch_, remote.epoch);
+  return d;
+}
+
+bool MembershipTable::converged_with(const net::MembershipView& remote) const {
+  if (remote.epoch != epoch_) return false;
+  if (remote.members.size() != members_.size()) return false;
+  for (const net::Member& m : remote.members)
+    if (!members_.count(m.key())) return false;
+  return true;
+}
+
+}  // namespace bsk::cluster

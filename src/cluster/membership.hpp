@@ -1,0 +1,97 @@
+#pragma once
+// MembershipTable: the convergent membership state one cluster node holds.
+//
+// Pure logic, no locks, no I/O — ClusterNode serializes access and moves
+// views over the wire. The table is a state-based CRDT in the small:
+//
+//   members    key → Member (always includes self)
+//   tombstones key → born   (highest incarnation known dead)
+//   epoch      logical version of this view
+//
+// merge() folds a remote MembershipView in: tombstones win over member
+// records of the same-or-older incarnation (so eviction news cannot be
+// undone by slower gossip still carrying the dead node), while a member
+// record with a *newer* incarnation wins over the tombstone (a restarted
+// daemon re-joins under its fresh `born` stamp without any coordination).
+// Two tables that keep exchanging views therefore converge to the same
+// member set regardless of message order — and once the sets agree, the
+// epochs equalize to the max, which is what the convergence tests (and the
+// root's "membership authority" role) check for.
+//
+// Epoch discipline: any mutation (join, leave, eviction, merge that changed
+// the set) bumps epoch past everything seen so far. A view or parent claim
+// carrying an epoch older than local is stale by definition — the fence
+// hierarchy election uses to reject zombie parents after a re-election.
+//
+// Self-defense: we are authoritative for our own liveness. A merged view
+// claiming we died (a tombstone for our key at our incarnation — e.g. we
+// were evicted during a partition that has now healed) makes the table
+// re-incarnate self past the tombstone instead of accepting the eviction.
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "net/wire.hpp"
+
+namespace bsk::cluster {
+
+/// What a merge/mutation changed (feeds membership metrics and the
+/// manager's NodesJoined/NodesLeft beans).
+struct MergeDelta {
+  std::size_t joined = 0;
+  std::size_t left = 0;
+  bool changed() const { return joined + left > 0; }
+};
+
+class MembershipTable {
+ public:
+  explicit MembershipTable(net::Member self);
+
+  /// Snapshot in canonical (key-sorted) order, tombstones included.
+  net::MembershipView view() const;
+
+  std::uint64_t epoch() const { return epoch_; }
+  std::size_t size() const { return members_.size(); }
+  bool contains(const std::string& key) const {
+    return members_.count(key) != 0;
+  }
+  const net::Member& self() const { return self_; }
+
+  /// Fold a remote view in. Returns what changed locally.
+  ///
+  /// `self_defend` controls the reaction to a tombstone for OUR OWN key:
+  /// normally we out-live it by re-incarnating past it (an asymmetric
+  /// partition evicted a live node). A node that is deliberately leaving
+  /// must pass false — its own Leave tombstone races back to it through
+  /// in-flight gossip, and self-defense would resurrect it into every
+  /// peer's view moments after it announced its departure.
+  MergeDelta merge(const net::MembershipView& remote,
+                   bool self_defend = true);
+
+  /// Direct join (a ClusterHello's sender, a beacon sighting). No-op when
+  /// the member is already present at the same-or-newer incarnation or a
+  /// tombstone outranks it.
+  MergeDelta add(const net::Member& m);
+
+  /// Graceful leave or suspicion eviction: tombstone the member's current
+  /// incarnation (or `min_born`, whichever is higher — a Leave frame
+  /// carries the leaver's own stamp, which may be newer than our record).
+  /// No-op for self; unknown keys still leave a tombstone when min_born
+  /// is given, so a Leave that outruns the join gossip is not lost.
+  MergeDelta remove(const std::string& key, std::uint64_t min_born = 0);
+
+  /// True when `remote` describes the same member set at the same epoch —
+  /// the cluster-wide convergence predicate.
+  bool converged_with(const net::MembershipView& remote) const;
+
+ private:
+  void bump_epoch_past(std::uint64_t other);
+
+  net::Member self_;
+  std::map<std::string, net::Member> members_;
+  std::map<std::string, std::uint64_t> tombstones_;  // key → dead incarnation
+  std::uint64_t epoch_ = 1;
+};
+
+}  // namespace bsk::cluster

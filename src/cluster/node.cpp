@@ -1,0 +1,510 @@
+#include "cluster/node.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+
+#include "net/remote_conduit.hpp"
+#include "obs/metrics.hpp"
+#include "support/event_log.hpp"
+
+namespace bsk::cluster {
+
+namespace {
+
+struct ClusterObs {
+  obs::Counter& joins =
+      obs::counter("bsk_cluster_joins_total", "members joined the view");
+  obs::Counter& leaves =
+      obs::counter("bsk_cluster_leaves_total", "members left the view");
+  obs::Counter& evictions = obs::counter(
+      "bsk_cluster_evictions_total", "members evicted on gossip-dial silence");
+  obs::Counter& gossip = obs::counter("bsk_cluster_gossip_total",
+                                      "gossip exchanges completed");
+  obs::Counter& gossip_failures = obs::counter(
+      "bsk_cluster_gossip_failures_total", "gossip dials/handshakes failed");
+  obs::Counter& stale_epochs = obs::counter(
+      "bsk_cluster_stale_epochs_total",
+      "views/claims rejected or outranked by the epoch fence");
+  obs::Gauge& members =
+      obs::gauge("bsk_cluster_members", "live members in the local view");
+  obs::Gauge& epoch =
+      obs::gauge("bsk_cluster_epoch", "local membership epoch");
+};
+
+ClusterObs& cluster_obs() {
+  static ClusterObs o;
+  return o;
+}
+
+constexpr const char* kBeaconGroup = "239.255.77.77";
+constexpr std::uint32_t kBeaconMagic = 0x42534b42;  // "BSKB"
+
+}  // namespace
+
+std::uint64_t fresh_incarnation() {
+  // System-clock microseconds: strictly increasing across restarts of the
+  // same endpoint as long as the clock does not step backwards, which is
+  // all the tombstone ordering needs.
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+ClusterNode::ClusterNode(net::Member self, ClusterOptions opts)
+    : self_(std::move(self)),
+      opts_(std::move(opts)),
+      table_(net::Member{}) {
+  if (self_.born == 0) self_.born = fresh_incarnation();
+  self_key_ = self_.key();
+  {
+    support::MutexLock lk(mu_);
+    table_ = MembershipTable(self_);
+    cluster_obs().members.set(1.0);
+    cluster_obs().epoch.set(static_cast<double>(table_.epoch()));
+  }
+  if (!opts_.connect_fn) {
+    const net::TcpOptions tcp = opts_.tcp;
+    opts_.connect_fn =
+        [tcp](const net::Endpoint& ep) -> std::shared_ptr<net::Transport> {
+      return net::TcpTransport::connect(ep.host, ep.port, tcp);
+    };
+  }
+  support::global_event_log().record("cluster", "selfStart",
+                                     static_cast<double>(self_.port),
+                                     self_key_);
+}
+
+ClusterNode::~ClusterNode() { stop(false); }
+
+void ClusterNode::rebind_self(std::uint16_t port) {
+  support::MutexLock lk(mu_);
+  self_.port = port;
+  self_key_ = self_.key();
+  table_ = MembershipTable(self_);
+}
+
+void ClusterNode::start() {
+  if (running_.exchange(true)) return;
+  gossip_ = std::jthread([this](std::stop_token st) { gossip_loop(st); });
+  if (opts_.beacon_port)
+    beacon_ = std::jthread([this](std::stop_token st) { beacon_loop(st); });
+}
+
+void ClusterNode::stop(bool broadcast) {
+  if (!running_.exchange(false)) return;
+  if (gossip_.joinable()) {
+    gossip_.request_stop();
+    gossip_.join();
+  }
+  if (beacon_.joinable()) {
+    beacon_.request_stop();
+    beacon_.join();
+  }
+  if (broadcast) broadcast_leave();
+}
+
+// --------------------------------------------------------------- queries
+
+net::MembershipView ClusterNode::view() const {
+  support::MutexLock lk(mu_);
+  return table_.view();
+}
+
+HierarchyView ClusterNode::hierarchy() const {
+  support::MutexLock lk(mu_);
+  return elect(table_.view(), opts_.fanout);
+}
+
+std::uint64_t ClusterNode::epoch() const {
+  support::MutexLock lk(mu_);
+  return table_.epoch();
+}
+
+std::size_t ClusterNode::members() const {
+  support::MutexLock lk(mu_);
+  return table_.size();
+}
+
+bool ClusterNode::accepts_parent(const std::string& key,
+                                 std::uint64_t claimed_epoch) const {
+  HierarchyView h;
+  {
+    support::MutexLock lk(mu_);
+    h = elect(table_.view(), opts_.fanout);
+  }
+  const bool ok = h.accepts_parent(self_key_, key, claimed_epoch);
+  if (!ok) cluster_obs().stale_epochs.inc();
+  return ok;
+}
+
+void ClusterNode::set_on_change(
+    std::function<void(std::size_t, std::size_t, const net::MembershipView&)>
+        fn) {
+  support::MutexLock lk(mu_);
+  on_change_ = std::move(fn);
+}
+
+// ------------------------------------------------------------- mutations
+
+void ClusterNode::apply_delta(const MergeDelta& d) {
+  if (!d.changed()) return;
+  net::MembershipView v;
+  std::function<void(std::size_t, std::size_t, const net::MembershipView&)>
+      cb;
+  {
+    support::MutexLock lk(mu_);
+    v = table_.view();
+    cb = on_change_;
+  }
+  ClusterObs& o = cluster_obs();
+  o.joins.inc(d.joined);
+  o.leaves.inc(d.left);
+  o.members.set(static_cast<double>(v.members.size()));
+  o.epoch.set(static_cast<double>(v.epoch));
+  if (d.joined > 0)
+    support::global_event_log().record(
+        "cluster", "join", static_cast<double>(d.joined), self_key_);
+  if (d.left > 0)
+    support::global_event_log().record(
+        "cluster", "leave", static_cast<double>(d.left), self_key_);
+  if (cb) cb(d.joined, d.left, v);
+}
+
+void ClusterNode::sighted(const net::Member& m) {
+  if (m.key() == self_key_ || m.port == 0) return;
+  MergeDelta d;
+  {
+    support::MutexLock lk(mu_);
+    d = table_.add(m);
+  }
+  apply_delta(d);
+}
+
+void ClusterNode::peer_left(const net::LeaveMsg& msg) {
+  MergeDelta d;
+  {
+    support::MutexLock lk(mu_);
+    d = table_.remove(msg.self.key(), msg.self.born);
+    dial_failures_.erase(msg.self.key());
+  }
+  apply_delta(d);
+}
+
+// ---------------------------------------------------------------- gossip
+
+std::shared_ptr<net::Transport> ClusterNode::dial(const net::Endpoint& ep) {
+  auto tp = opts_.connect_fn(ep);
+  if (!tp) return nullptr;
+  net::Hello hello;
+  hello.role = 3;
+  if (!net::client_handshake(*tp, hello, opts_.handshake_timeout_wall_s)) {
+    tp->close();
+    return nullptr;
+  }
+  return tp;
+}
+
+void ClusterNode::gossip_with(const net::Endpoint& ep,
+                              const std::string& member_key) {
+  auto tp = dial(ep);
+  if (!tp) {
+    cluster_obs().gossip_failures.inc();
+    if (member_key.empty()) return;  // seeds are never evicted
+    bool evict = false;
+    {
+      support::MutexLock lk(mu_);
+      if (++dial_failures_[member_key] >= opts_.suspect_after) {
+        dial_failures_.erase(member_key);
+        evict = true;
+      }
+    }
+    if (evict) {
+      MergeDelta d;
+      {
+        support::MutexLock lk(mu_);
+        d = table_.remove(member_key);
+      }
+      if (d.changed()) {
+        evictions_.fetch_add(1, std::memory_order_relaxed);
+        cluster_obs().evictions.inc();
+        support::global_event_log().record("cluster", "evict", 0.0,
+                                           member_key);
+        apply_delta(d);
+      }
+    }
+    return;
+  }
+
+  net::ClusterHelloMsg hello;
+  hello.self = self_;
+  {
+    support::MutexLock lk(mu_);
+    hello.view = table_.view();
+    dial_failures_.erase(member_key);
+  }
+  bool ok = tp->send(net::make_cluster_hello(hello));
+  if (ok) {
+    net::Frame f;
+    const double deadline =
+        net::wall_now() + opts_.handshake_timeout_wall_s;
+    ok = false;
+    while (net::wall_now() < deadline) {
+      const auto st = tp->recv_for(f, deadline - net::wall_now());
+      if (st != net::RecvStatus::Ok) break;
+      if (f.type != net::FrameType::ClusterWelcome) continue;
+      if (const auto welcome = net::parse_cluster_welcome(f)) {
+        MergeDelta d;
+        {
+          support::MutexLock lk(mu_);
+          if (welcome->epoch < table_.epoch())
+            cluster_obs().stale_epochs.inc();
+          d = table_.merge(*welcome, /*self_defend=*/running_.load());
+        }
+        apply_delta(d);
+        ok = true;
+      }
+      break;
+    }
+  }
+  if (ok) {
+    gossip_rounds_.fetch_add(1, std::memory_order_relaxed);
+    cluster_obs().gossip.inc();
+  } else {
+    cluster_obs().gossip_failures.inc();
+  }
+  tp->send(net::Frame{net::FrameType::Shutdown, {}});
+  tp->close();
+}
+
+void ClusterNode::gossip_loop(const std::stop_token& st) {
+  std::size_t seed_rotate = 0;
+  while (!st.stop_requested()) {
+    // Pick this tick's targets under the lock, talk outside it.
+    std::vector<std::pair<net::Endpoint, std::string>> targets;
+    {
+      support::MutexLock lk(mu_);
+      const net::MembershipView v = table_.view();
+      std::vector<net::Member> others;
+      for (const net::Member& m : v.members)
+        if (m.key() != self_key_) others.push_back(m);
+      if (others.empty()) {
+        if (!opts_.seeds.empty()) {
+          const net::Endpoint& s =
+              opts_.seeds[seed_rotate++ % opts_.seeds.size()];
+          if (!(s.host == self_.host && s.port == self_.port))
+            targets.emplace_back(s, std::string{});
+        }
+      } else {
+        // The root first (membership authority: views converge through
+        // it), then a rotating other member for anti-entropy breadth.
+        const HierarchyView h = elect(v, opts_.fanout);
+        const std::string root = h.root_key();
+        if (root != self_key_) {
+          for (const net::Member& m : others)
+            if (m.key() == root) {
+              targets.emplace_back(net::Endpoint{m.host, m.port}, root);
+              break;
+            }
+        }
+        const net::Member& pick = others[rotate_++ % others.size()];
+        if (pick.key() != root)
+          targets.emplace_back(net::Endpoint{pick.host, pick.port},
+                               pick.key());
+      }
+    }
+    for (const auto& [ep, key] : targets) {
+      if (st.stop_requested()) break;
+      gossip_with(ep, key);
+    }
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(opts_.gossip_period_wall_s));
+  }
+}
+
+// ----------------------------------------------------------------- serve
+
+void ClusterNode::serve(net::Transport& tp) {
+  while (true) {
+    net::Frame f;
+    switch (tp.recv_for(f, 2.0)) {
+      case net::RecvStatus::Closed:
+        return;
+      case net::RecvStatus::TimedOut:
+        return;  // gossip exchanges are short; idle means done
+      case net::RecvStatus::Ok:
+        break;
+    }
+    switch (f.type) {
+      case net::FrameType::ClusterHello: {
+        const auto msg = net::parse_cluster_hello(f);
+        if (!msg) break;
+        sighted(msg->self);
+        MergeDelta d;
+        net::MembershipView reply;
+        {
+          support::MutexLock lk(mu_);
+          if (msg->view.epoch < table_.epoch())
+            cluster_obs().stale_epochs.inc();
+          d = table_.merge(msg->view, /*self_defend=*/running_.load());
+          reply = table_.view();
+        }
+        apply_delta(d);
+        tp.send(net::make_cluster_welcome(reply));
+        break;
+      }
+      case net::FrameType::Leave: {
+        if (const auto msg = net::parse_leave(f)) peer_left(*msg);
+        break;
+      }
+      case net::FrameType::Shutdown:
+        return;
+      default:
+        break;  // not meaningful on a cluster channel
+    }
+  }
+}
+
+void ClusterNode::broadcast_leave() {
+  net::LeaveMsg msg;
+  msg.self = self_;
+  std::vector<net::Endpoint> peers;
+  {
+    support::MutexLock lk(mu_);
+    msg.epoch = table_.epoch() + 1;
+    for (const net::Member& m : table_.view().members)
+      if (m.key() != self_key_) peers.push_back({m.host, m.port});
+  }
+  for (const net::Endpoint& ep : peers) {
+    auto tp = dial(ep);
+    if (!tp) {
+      support::global_event_log().record(
+          "cluster", "leaveDialFail", 0.0,
+          ep.host + ":" + std::to_string(ep.port));
+      continue;
+    }
+    tp->send(net::make_leave(msg));
+    tp->send(net::Frame{net::FrameType::Shutdown, {}});
+    tp->close();
+  }
+  support::global_event_log().record("cluster", "selfLeave", 0.0, self_key_);
+}
+
+// ---------------------------------------------------------------- beacon
+
+void ClusterNode::beacon_loop(const std::stop_token& st) {
+  const std::uint16_t port = *opts_.beacon_port;
+  const int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd < 0) return;
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+#ifdef SO_REUSEPORT
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one));
+#endif
+  sockaddr_in bind_addr{};
+  bind_addr.sin_family = AF_INET;
+  bind_addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  bind_addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&bind_addr),
+             sizeof(bind_addr)) != 0) {
+    ::close(fd);
+    return;
+  }
+  ip_mreq mreq{};
+  ::inet_pton(AF_INET, kBeaconGroup, &mreq.imr_multiaddr);
+  mreq.imr_interface.s_addr = htonl(INADDR_LOOPBACK);
+  // Loopback multicast: members on the same host all receive a copy. If
+  // the environment refuses the group, discovery degrades to the seed
+  // list — the beacon is purely additive.
+  if (::setsockopt(fd, IPPROTO_IP, IP_ADD_MEMBERSHIP, &mreq, sizeof(mreq)) !=
+      0) {
+    ::close(fd);
+    return;
+  }
+  in_addr iface{};
+  iface.s_addr = htonl(INADDR_LOOPBACK);
+  ::setsockopt(fd, IPPROTO_IP, IP_MULTICAST_IF, &iface, sizeof(iface));
+  unsigned char loop = 1;
+  ::setsockopt(fd, IPPROTO_IP, IP_MULTICAST_LOOP, &loop, sizeof(loop));
+
+  sockaddr_in group{};
+  group.sin_family = AF_INET;
+  ::inet_pton(AF_INET, kBeaconGroup, &group.sin_addr);
+  group.sin_port = htons(port);
+
+  net::wire::Writer w;
+  w.u32(kBeaconMagic);
+  net::put_member(w, self_);
+  const std::vector<std::uint8_t> announce = w.take();
+
+  double next_send = 0.0;
+  while (!st.stop_requested()) {
+    if (net::wall_now() >= next_send) {
+      ::sendto(fd, announce.data(), announce.size(), 0,
+               reinterpret_cast<sockaddr*>(&group), sizeof(group));
+      next_send = net::wall_now() + opts_.beacon_period_wall_s;
+    }
+    pollfd pfd{fd, POLLIN, 0};
+    if (::poll(&pfd, 1, 100) > 0 && (pfd.revents & POLLIN)) {
+      std::uint8_t buf[512];
+      const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+      if (n > 0) {
+        net::wire::Reader r(buf, static_cast<std::size_t>(n));
+        net::Member m;
+        if (r.u32() == kBeaconMagic && net::get_member(r, m) &&
+            m.key() != self_key_) {
+          support::global_event_log().record("cluster", "beacon",
+                                             static_cast<double>(m.port),
+                                             m.key());
+          sighted(m);
+        }
+      }
+    }
+  }
+  ::close(fd);
+}
+
+// ----------------------------------------------------------- ClusterHost
+
+ClusterHost::ClusterHost(ClusterNode& node, std::uint16_t port)
+    : node_(node), listener_(port) {
+  if (!listener_.valid()) return;
+  accept_ = std::jthread([this](std::stop_token st) { accept_loop(st); });
+}
+
+ClusterHost::~ClusterHost() { stop(); }
+
+void ClusterHost::stop() {
+  if (accept_.joinable()) {
+    accept_.request_stop();
+    accept_.join();
+  }
+  listener_.close();
+  sessions_.clear();  // joins
+}
+
+void ClusterHost::accept_loop(const std::stop_token& st) {
+  while (!st.stop_requested()) {
+    auto tp = listener_.accept_for(0.1);
+    if (!tp) continue;
+    std::shared_ptr<net::TcpTransport> shared{std::move(tp)};
+    sessions_.emplace_back([this, shared](std::stop_token) {
+      net::Hello hello;
+      if (!net::server_handshake(*shared, 2.0, 0, &hello) ||
+          hello.role != 3) {
+        shared->close();
+        return;
+      }
+      node_.serve(*shared);
+      shared->close();
+    });
+  }
+}
+
+}  // namespace bsk::cluster

@@ -20,7 +20,8 @@
 // worker replacement.
 //
 //   bskd [--port N] [--port-file PATH] [--session-linger S]
-//        [--trace-file PATH]
+//        [--trace-file PATH] [--cluster] [--join HOST:PORT[,HOST:PORT...]]
+//        [--cores N] [--core-speed X] [--fanout K] [--beacon PORT]
 //
 // --port 0 (the default) binds an ephemeral port; --port-file writes the
 // bound port as decimal text once listening — how spawn_bskd() and the
@@ -30,11 +31,21 @@
 // channel* — it gets StatsReq/StatsRep RPC service instead of a worker
 // session, answering with this process's Prometheus exposition, metrics
 // JSONL, or decision-trace JSONL (spans + event log), so a parent process
-// can fold the daemon's half of the story into one merged trace.
-// --trace-file additionally dumps the trace JSONL on orderly shutdown.
+// can fold the daemon's half of the story into one merged trace. A role-2
+// channel also answers MembershipReq with the live cluster view.
+//
+// Clustering (bsk::cluster): --join seeds (or bare --cluster for a
+// seed-less first node, optionally with a --beacon UDP discovery port)
+// starts a ClusterNode gossiping this daemon's membership record —
+// host:port plus the node weight (--cores × --core-speed) the weighted
+// hierarchy election ranks on. Role-3 connections are gossip exchanges
+// served by the cluster node; on orderly shutdown the daemon broadcasts a
+// Leave frame so peers deregister it immediately instead of waiting out
+// the suspicion window.
 
 #include <signal.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
@@ -48,6 +59,7 @@
 #include <thread>
 #include <vector>
 
+#include "cluster/node.hpp"
 #include "support/thread_annotations.hpp"
 #include "net/remote_conduit.hpp"
 #include "net/transport.hpp"
@@ -61,6 +73,9 @@
 namespace {
 
 std::atomic<bool> g_stop{false};
+
+/// The fleet-membership engine; null when clustering is off.
+std::unique_ptr<bsk::cluster::ClusterNode> g_cluster;
 
 void on_signal(int) { g_stop.store(true); }
 
@@ -241,6 +256,18 @@ void serve_stats(bsk::net::TcpTransport& tp) {
         break;
     }
     if (f.type == FrameType::Shutdown) return;
+    if (f.type == FrameType::MembershipReq) {
+      const auto seq = parse_membership_req(f);
+      if (!seq) continue;
+      MembershipReply rep;
+      rep.seq = *seq;
+      if (g_cluster) {
+        rep.ok = true;
+        rep.view = g_cluster->view();
+      }
+      tp.send(make_membership_rep(rep));
+      continue;
+    }
     const auto req = parse_stats_req(f);
     if (!req) continue;  // not meaningful on a stats channel
     StatsReply rep;
@@ -278,6 +305,14 @@ void serve_session(std::unique_ptr<bsk::net::TcpTransport> owned) {
     HelloAck ack;  // no worker session behind a stats channel
     tp->send(make_hello_ack(ack));
     serve_stats(*tp);
+    tp->close();
+    return;
+  }
+  if (hello->role == 3) {
+    HelloAck ack;  // gossip channel: refused when clustering is off
+    ack.ok = g_cluster != nullptr;
+    tp->send(make_hello_ack(ack));
+    if (g_cluster) g_cluster->serve(*tp);
     tp->close();
     return;
   }
@@ -371,6 +406,14 @@ void serve_session(std::unique_ptr<bsk::net::TcpTransport> owned) {
 
   beater.request_stop();
   if (clean_shutdown || g_stop.load()) {
+    if (!clean_shutdown && !tp->closed()) {
+      // The daemon is going down while the client still lives: say goodbye
+      // so the client fails the worker over immediately instead of burning
+      // its reconnect grace window against a corpse.
+      LeaveMsg bye;
+      bye.self.port = 0;  // identity is the connection; port unused here
+      tp->send(make_leave(bye));
+    }
     bsk::support::global_event_log().record(
         "bskd", "sessionEnd", static_cast<double>(session->id));
     g_registry.erase(session, my_epoch);
@@ -387,9 +430,26 @@ void serve_session(std::unique_ptr<bsk::net::TcpTransport> owned) {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--port N] [--port-file PATH] [--session-linger S]"
-               " [--trace-file PATH]\n",
+               " [--trace-file PATH] [--cluster]"
+               " [--join HOST:PORT[,HOST:PORT...]] [--cores N]"
+               " [--core-speed X] [--fanout K] [--beacon PORT]\n",
                argv0);
   return 2;
+}
+
+/// Parse "host:port" (host defaults to loopback when omitted: ":7000").
+std::optional<bsk::net::Endpoint> parse_endpoint(const std::string& s) {
+  const auto colon = s.rfind(':');
+  if (colon == std::string::npos) return std::nullopt;
+  bsk::net::Endpoint ep;
+  if (colon > 0) ep.host = s.substr(0, colon);
+  const std::string port = s.substr(colon + 1);
+  char* end = nullptr;
+  const unsigned long v = std::strtoul(port.c_str(), &end, 10);
+  if (end == port.c_str() || *end != '\0' || v == 0 || v > 65535)
+    return std::nullopt;
+  ep.port = static_cast<std::uint16_t>(v);
+  return ep;
 }
 
 }  // namespace
@@ -399,9 +459,64 @@ int main(int argc, char** argv) {
   std::string port_file;
   std::string trace_file;
   double session_linger_s = 10.0;
+  bool cluster = false;
+  bsk::cluster::ClusterOptions copts;
+  std::uint32_t cores = std::max(1u, std::thread::hardware_concurrency());
+  double core_speed = 1.0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--port" && i + 1 < argc) {
+    if (arg == "--cluster") {
+      cluster = true;
+    } else if (arg == "--join" && i + 1 < argc) {
+      cluster = true;
+      std::stringstream ss(argv[++i]);
+      std::string one;
+      while (std::getline(ss, one, ',')) {
+        const auto ep = parse_endpoint(one);
+        if (!ep) {
+          std::fprintf(stderr, "bskd: invalid seed '%s'\n", one.c_str());
+          return usage(argv[0]);
+        }
+        copts.seeds.push_back(*ep);
+      }
+    } else if (arg == "--cores" && i + 1 < argc) {
+      const char* s = argv[++i];
+      char* end = nullptr;
+      const unsigned long v = std::strtoul(s, &end, 10);
+      if (end == s || *end != '\0' || v == 0) {
+        std::fprintf(stderr, "bskd: invalid cores '%s'\n", s);
+        return usage(argv[0]);
+      }
+      cores = static_cast<std::uint32_t>(v);
+    } else if (arg == "--core-speed" && i + 1 < argc) {
+      const char* s = argv[++i];
+      char* end = nullptr;
+      const double v = std::strtod(s, &end);
+      if (end == s || *end != '\0' || v <= 0.0) {
+        std::fprintf(stderr, "bskd: invalid core speed '%s'\n", s);
+        return usage(argv[0]);
+      }
+      core_speed = v;
+    } else if (arg == "--fanout" && i + 1 < argc) {
+      const char* s = argv[++i];
+      char* end = nullptr;
+      const unsigned long v = std::strtoul(s, &end, 10);
+      if (end == s || *end != '\0' || v == 0) {
+        std::fprintf(stderr, "bskd: invalid fanout '%s'\n", s);
+        return usage(argv[0]);
+      }
+      copts.fanout = static_cast<std::size_t>(v);
+    } else if (arg == "--beacon" && i + 1 < argc) {
+      const char* s = argv[++i];
+      char* end = nullptr;
+      const unsigned long v = std::strtoul(s, &end, 10);
+      if (end == s || *end != '\0' || v == 0 || v > 65535) {
+        std::fprintf(stderr, "bskd: invalid beacon port '%s'\n", s);
+        return usage(argv[0]);
+      }
+      cluster = true;
+      copts.beacon_port = static_cast<std::uint16_t>(v);
+    } else if (arg == "--port" && i + 1 < argc) {
       const char* s = argv[++i];
       char* end = nullptr;
       const unsigned long v = std::strtoul(s, &end, 10);
@@ -442,6 +557,21 @@ int main(int argc, char** argv) {
   std::fprintf(stderr, "bskd: listening on 127.0.0.1:%u\n", listener.port());
   bsk::obs::TraceLog::global().set_process_tag(
       "bskd:" + std::to_string(listener.port()));
+  if (cluster) {
+    bsk::net::Member self;
+    self.host = "127.0.0.1";
+    self.port = listener.port();
+    self.cores = cores;
+    self.core_speed = core_speed;
+    const std::size_t n_seeds = copts.seeds.size();
+    g_cluster =
+        std::make_unique<bsk::cluster::ClusterNode>(self, std::move(copts));
+    g_cluster->start();
+    std::fprintf(stderr, "bskd: cluster node %s (weight %.1f, %zu seeds)\n",
+                 g_cluster->self_key().c_str(),
+                 static_cast<double>(cores) * core_speed, n_seeds);
+  }
+
   if (!port_file.empty()) {
     std::ofstream out(port_file, std::ios::trunc);
     out << listener.port() << '\n';
@@ -457,6 +587,13 @@ int main(int argc, char** argv) {
     }
     listener.close();
   }  // jthreads join; sessions see g_stop and wind down
+
+  if (g_cluster) {
+    // Orderly departure: tell every peer we are going (immediate
+    // deregistration) instead of making them wait out suspicion.
+    g_cluster->stop(/*broadcast_leave=*/true);
+    g_cluster.reset();
+  }
 
   if (!trace_file.empty()) {
     std::ofstream out(trace_file, std::ios::trunc);

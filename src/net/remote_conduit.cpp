@@ -65,7 +65,7 @@ support::ChannelStatus RemoteConduit::pop_wall(rt::Task& out,
       tp_->mark_secured();
       continue;
     }
-    if (f.type == FrameType::Shutdown) {
+    if (f.type == FrameType::Shutdown || f.type == FrameType::Leave) {
       tp_->close();
       return support::ChannelStatus::Closed;
     }
@@ -75,12 +75,16 @@ support::ChannelStatus RemoteConduit::pop_wall(rt::Task& out,
 
 void RemoteWorkerNode::mark_hard_failed() const {
   if (hard_failed_.exchange(true)) return;
-  conduit_obs().hard_failures.inc();
+  // A graceful goodbye (Leave frame) is a departure, not a crash: it must
+  // not feed the endpoint quarantine or the hard-failure counter, or a
+  // daemon draining at end of run would poison its own endpoint.
+  const bool graceful = peer_left_.load(std::memory_order_relaxed);
+  if (!graceful) conduit_obs().hard_failures.inc();
   {
     support::MutexLock lk(tp_mu_);
     tp_->close();
   }
-  if (opts_.on_hard_fail) opts_.on_hard_fail();
+  if (!graceful && opts_.on_hard_fail) opts_.on_hard_fail();
 }
 
 bool RemoteWorkerNode::failed() const {
@@ -175,6 +179,13 @@ std::optional<rt::Task> RemoteWorkerNode::await_result() {
         if (f.type == FrameType::Shutdown) {
           tp->close();
           continue;  // next iteration sees the sick connection
+        }
+        if (f.type == FrameType::Leave) {
+          // Orderly peer departure: fail fast instead of burning the whole
+          // reconnect grace window dialing a daemon that said goodbye.
+          peer_left_.store(true, std::memory_order_relaxed);
+          tp->close();
+          continue;
         }
         if (f.type != FrameType::ResultMsg) continue;
         auto parsed = parse_task_seq(f);

@@ -250,6 +250,11 @@ class RemoteWorkerNode final : public rt::Node {
   std::uint64_t duplicates_suppressed() const { return dups_suppressed_.load(); }
   std::uint64_t session() const { return session_.load(); }
   std::uint32_t epoch() const { return epoch_.load(); }
+  /// True once the peer announced a graceful departure (Leave frame). The
+  /// node then fails fast — no reconnect attempts against a daemon that
+  /// told us it is gone, and no on_hard_fail/quarantine penalty for an
+  /// orderly goodbye.
+  bool peer_left() const { return peer_left_.load(); }
 
  private:
   /// Wait for (and deliver) the result of the oldest in-flight task.
@@ -271,7 +276,8 @@ class RemoteWorkerNode final : public rt::Node {
                            tp.idle_seconds() > opts_.liveness_timeout_wall_s);
   }
   bool resumable() const {
-    return opts_.reconnect && opts_.reconnect_grace_wall_s > 0.0;
+    return opts_.reconnect && opts_.reconnect_grace_wall_s > 0.0 &&
+           !peer_left_.load(std::memory_order_relaxed);
   }
   /// Terminal failure: close, fire on_hard_fail once.
   void mark_hard_failed() const;
@@ -282,6 +288,7 @@ class RemoteWorkerNode final : public rt::Node {
   RemoteLink link_;
 
   mutable std::atomic<bool> hard_failed_{false};
+  mutable std::atomic<bool> peer_left_{false};
   /// Wall time the connection was first seen sick (-1 = healthy). The grace
   /// window is measured from here by both the worker thread (resume loop)
   /// and the farm's failure detector (failed()).

@@ -497,4 +497,131 @@ std::optional<StatsReply> parse_stats_rep(const Frame& f) {
   return rep;
 }
 
+// --------------------------------------------------------------- cluster
+
+void put_member(wire::Writer& w, const Member& m) {
+  w.str(m.host);
+  w.u16(m.port);
+  w.u32(m.cores);
+  w.f64(m.core_speed);
+  w.u64(m.born);
+}
+
+bool get_member(wire::Reader& r, Member& out) {
+  out.host = r.str();
+  out.port = r.u16();
+  out.cores = r.u32();
+  out.core_speed = r.f64();
+  out.born = r.u64();
+  return r.ok();
+}
+
+void put_view(wire::Writer& w, const MembershipView& v) {
+  w.u64(v.epoch);
+  w.u32(static_cast<std::uint32_t>(v.members.size()));
+  for (const Member& m : v.members) put_member(w, m);
+  w.u32(static_cast<std::uint32_t>(v.departed.size()));
+  for (const Departed& d : v.departed) {
+    w.str(d.key);
+    w.u64(d.born);
+  }
+}
+
+bool get_view(wire::Reader& r, MembershipView& out) {
+  out.epoch = r.u64();
+  const std::uint32_t nm = r.u32();
+  // A count the remaining bytes cannot possibly hold is corruption; bail
+  // before resizing (each member is at least 26 encoded bytes).
+  if (!r.ok() || nm > r.remaining()) return false;
+  out.members.resize(nm);
+  for (Member& m : out.members)
+    if (!get_member(r, m)) return false;
+  const std::uint32_t nd = r.u32();
+  if (!r.ok() || nd > r.remaining()) return false;
+  out.departed.resize(nd);
+  for (Departed& d : out.departed) {
+    d.key = r.str();
+    d.born = r.u64();
+  }
+  return r.ok();
+}
+
+Frame make_cluster_hello(const ClusterHelloMsg& m) {
+  wire::Writer w;
+  put_member(w, m.self);
+  put_view(w, m.view);
+  return Frame{FrameType::ClusterHello, w.take()};
+}
+
+std::optional<ClusterHelloMsg> parse_cluster_hello(const Frame& f) {
+  if (f.type != FrameType::ClusterHello) return std::nullopt;
+  wire::Reader r(f.payload);
+  ClusterHelloMsg m;
+  if (!get_member(r, m.self) || !get_view(r, m.view)) return std::nullopt;
+  return m;
+}
+
+Frame make_cluster_welcome(const MembershipView& v) {
+  wire::Writer w;
+  put_view(w, v);
+  return Frame{FrameType::ClusterWelcome, w.take()};
+}
+
+std::optional<MembershipView> parse_cluster_welcome(const Frame& f) {
+  if (f.type != FrameType::ClusterWelcome) return std::nullopt;
+  wire::Reader r(f.payload);
+  MembershipView v;
+  if (!get_view(r, v)) return std::nullopt;
+  return v;
+}
+
+Frame make_leave(const LeaveMsg& m) {
+  wire::Writer w;
+  put_member(w, m.self);
+  w.u64(m.epoch);
+  return Frame{FrameType::Leave, w.take()};
+}
+
+std::optional<LeaveMsg> parse_leave(const Frame& f) {
+  if (f.type != FrameType::Leave) return std::nullopt;
+  wire::Reader r(f.payload);
+  LeaveMsg m;
+  if (!get_member(r, m.self)) return std::nullopt;
+  m.epoch = r.u64();
+  if (!r.ok()) return std::nullopt;
+  return m;
+}
+
+Frame make_membership_req(std::uint32_t seq) {
+  wire::Writer w;
+  w.u32(seq);
+  return Frame{FrameType::MembershipReq, w.take()};
+}
+
+std::optional<std::uint32_t> parse_membership_req(const Frame& f) {
+  if (f.type != FrameType::MembershipReq) return std::nullopt;
+  wire::Reader r(f.payload);
+  const std::uint32_t seq = r.u32();
+  if (!r.ok()) return std::nullopt;
+  return seq;
+}
+
+Frame make_membership_rep(const MembershipReply& rep) {
+  wire::Writer w;
+  w.u32(rep.seq);
+  w.u8(rep.ok ? 1 : 0);
+  put_view(w, rep.view);
+  return Frame{FrameType::MembershipRep, w.take()};
+}
+
+std::optional<MembershipReply> parse_membership_rep(const Frame& f) {
+  if (f.type != FrameType::MembershipRep) return std::nullopt;
+  wire::Reader r(f.payload);
+  MembershipReply rep;
+  rep.seq = r.u32();
+  rep.ok = r.u8() != 0;
+  if (!get_view(r, rep.view)) return std::nullopt;
+  return rep;
+}
+
 }  // namespace bsk::net

@@ -52,6 +52,11 @@ enum class FrameType : std::uint8_t {
   Shutdown,     ///< orderly close of the logical channel
   StatsReq,     ///< observer → daemon: pull metrics/trace (bsk::obs)
   StatsRep,     ///< daemon → observer: the requested snapshot text
+  ClusterHello,    ///< gossiper → peer: sender's member record + view
+  ClusterWelcome,  ///< peer → gossiper: the merged membership view
+  Leave,           ///< departing node → peers: deregister me immediately
+  MembershipReq,   ///< observer → daemon (role 2): pull the live view
+  MembershipRep,   ///< daemon → observer: the serialized MembershipView
 };
 
 /// One decoded frame: type + opaque payload bytes.
@@ -171,7 +176,8 @@ class FrameDecoder {
 struct Hello {
   std::uint32_t magic = kMagic;
   std::uint16_t version = kProtocolVersion;
-  std::uint8_t role = 0;  ///< 0 = worker channel, 1 = ABC control, 2 = stats
+  /// 0 = worker channel, 1 = ABC control, 2 = stats, 3 = cluster gossip.
+  std::uint8_t role = 0;
   std::string node_kind;  ///< worker node to instantiate ("sim", "echo", ...)
   double clock_scale = 1.0;
   double heartbeat_wall_s = 0.25;
@@ -283,6 +289,79 @@ std::optional<StatsRequest> parse_stats_req(const Frame& f);
 
 Frame make_stats_rep(const StatsReply& r);
 std::optional<StatsReply> parse_stats_rep(const Frame& f);
+
+// --------------------------------------------------------------- cluster
+
+/// One bskd fleet member. `born` is an incarnation stamp chosen once by the
+/// owning daemon at startup (strictly increasing across restarts of the
+/// same host:port): departure tombstones record the incarnation they
+/// killed, so a restarted daemon re-joins while stale "it is alive" gossip
+/// about the dead incarnation stays dead.
+struct Member {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;      ///< the member's bskd listener
+  std::uint32_t cores = 1;     ///< node weight: core count
+  double core_speed = 1.0;     ///< node weight: relative per-core speed
+  std::uint64_t born = 0;      ///< incarnation stamp (owner-assigned)
+
+  double weight() const { return cores * core_speed; }
+  std::string key() const { return host + ":" + std::to_string(port); }
+};
+
+/// A departed member: the tombstone that stops gossip from resurrecting it.
+struct Departed {
+  std::string key;           ///< Member::key() of the dead node
+  std::uint64_t born = 0;    ///< incarnation that died
+};
+
+/// The live fleet at one membership epoch. The epoch is a logical version:
+/// every join/leave/eviction bumps it, merges take the max, and any message
+/// carrying an epoch older than the local view is stale by definition
+/// (the fence hierarchy election relies on).
+struct MembershipView {
+  std::uint64_t epoch = 0;
+  std::vector<Member> members;      ///< canonical order: sorted by key()
+  std::vector<Departed> departed;   ///< tombstones (propagate removals)
+};
+
+/// Gossip request: the sender introduces itself and pushes its view.
+struct ClusterHelloMsg {
+  Member self;
+  MembershipView view;
+};
+
+/// Graceful departure: `self` is leaving at (logically) `epoch`.
+struct LeaveMsg {
+  Member self;
+  std::uint64_t epoch = 0;
+};
+
+/// Role-2 membership pull: the live view, served next to StatsReq.
+struct MembershipReply {
+  std::uint32_t seq = 0;
+  bool ok = false;  ///< false when the daemon runs without a cluster node
+  MembershipView view;
+};
+
+Frame make_cluster_hello(const ClusterHelloMsg& m);
+std::optional<ClusterHelloMsg> parse_cluster_hello(const Frame& f);
+
+Frame make_cluster_welcome(const MembershipView& v);
+std::optional<MembershipView> parse_cluster_welcome(const Frame& f);
+
+Frame make_leave(const LeaveMsg& m);
+std::optional<LeaveMsg> parse_leave(const Frame& f);
+
+Frame make_membership_req(std::uint32_t seq);
+std::optional<std::uint32_t> parse_membership_req(const Frame& f);
+
+Frame make_membership_rep(const MembershipReply& r);
+std::optional<MembershipReply> parse_membership_rep(const Frame& f);
+
+void put_member(wire::Writer& w, const Member& m);
+bool get_member(wire::Reader& r, Member& out);
+void put_view(wire::Writer& w, const MembershipView& v);
+bool get_view(wire::Reader& r, MembershipView& out);
 
 // Task payload serialization (the std::any member): empty payloads, strings,
 // doubles, signed/unsigned 64-bit integers, and byte vectors travel; any

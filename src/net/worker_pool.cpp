@@ -22,7 +22,7 @@ std::string endpoint_key(const Endpoint& ep) {
 }  // namespace
 
 WorkerPool::WorkerPool(std::vector<Endpoint> endpoints, WorkerPoolOptions opts)
-    : endpoints_(std::move(endpoints)), opts_(std::move(opts)) {
+    : opts_(std::move(opts)), endpoints_(std::move(endpoints)) {
   if (!opts_.local_fallback)
     opts_.local_fallback = [] { return std::make_unique<rt::SimComputeNode>(); };
   if (opts_.chaos)
@@ -57,11 +57,35 @@ bool WorkerPool::quarantined(const Endpoint& ep) const {
   return it != quarantine_.end() && it->second.until > wall_now();
 }
 
+void WorkerPool::decay_quarantine(double now) {
+  for (auto it = quarantine_.begin(); it != quarantine_.end();) {
+    Quarantine& q = it->second;
+    if (q.until >= 0.0 && q.until <= now) {
+      // Penalty served: clean slate. Forgetting the failure history too is
+      // the point — a re-admitted flapper must fail `threshold` more times
+      // before it is quarantined again, not once.
+      it = quarantine_.erase(it);
+      continue;
+    }
+    if (q.until < 0.0) {
+      while (!q.failures.empty() &&
+             now - q.failures.front() > opts_.quarantine_window_wall_s)
+        q.failures.pop_front();
+      if (q.failures.empty()) {
+        it = quarantine_.erase(it);
+        continue;
+      }
+    }
+    ++it;
+  }
+}
+
 void WorkerPool::note_endpoint_failure(const Endpoint& ep) {
   endpoint_failures_.fetch_add(1, std::memory_order_relaxed);
   if (opts_.quarantine_threshold == 0) return;
   const double now = wall_now();
   support::MutexLock lk(mu_);
+  decay_quarantine(now);
   Quarantine& q = quarantine_[endpoint_key(ep)];
   q.failures.push_back(now);
   while (!q.failures.empty() &&
@@ -98,14 +122,31 @@ ChaosStats WorkerPool::chaos_stats() const {
   return sum;
 }
 
+std::vector<Endpoint> WorkerPool::current_endpoints() const {
+  support::MutexLock lk(mu_);
+  return endpoints_;
+}
+
 std::optional<WorkerPool::Connected> WorkerPool::connect_one() {
-  const std::size_t n = endpoints_.size();
+  if (opts_.endpoint_source) {
+    // Live recruitment: the fleet as of now, not as of construction.
+    std::vector<Endpoint> fresh = opts_.endpoint_source();
+    support::MutexLock lk(mu_);
+    endpoints_ = std::move(fresh);
+  }
+  std::vector<Endpoint> eps;
+  {
+    support::MutexLock lk(mu_);
+    decay_quarantine(wall_now());
+    eps = endpoints_;
+  }
+  const std::size_t n = eps.size();
   for (std::size_t i = 0; i < n; ++i) {
     Endpoint ep;
     std::string stream;
     {
       support::MutexLock lk(mu_);
-      ep = endpoints_[rr_ % n];
+      ep = eps[rr_ % n];
       rr_ = (rr_ + 1) % n;
       stream = "w" + std::to_string(conn_count_);
     }
@@ -130,7 +171,7 @@ std::optional<WorkerPool::Connected> WorkerPool::connect_one() {
 }
 
 std::unique_ptr<rt::Node> WorkerPool::make_node() {
-  if (!endpoints_.empty()) {
+  {
     if (auto c = connect_one()) {
       remote_created_.fetch_add(1, std::memory_order_relaxed);
       RemoteNodeOptions nopts = opts_.node;

@@ -73,10 +73,21 @@ struct WorkerPoolOptions {
   rt::NodeFactory local_fallback;
 
   /// Quarantine: hard failures per endpoint within the window before the
-  /// pool stops re-recruiting it; 0 disables quarantine.
+  /// pool stops re-recruiting it; 0 disables quarantine. A quarantine that
+  /// has served its penalty decays with a clean slate — the failure history
+  /// is forgotten, so a re-admitted endpoint is threshold failures (not
+  /// one) away from being quarantined again.
   std::size_t quarantine_threshold = 3;
   double quarantine_window_wall_s = 10.0;
   double quarantine_wall_s = 30.0;
+
+  /// Live recruitment feed: when set, the pool refreshes its endpoint list
+  /// from this source before every recruit (a cluster::MembershipClient
+  /// plugs in here), so workers come from the live fleet instead of a
+  /// frozen argv list. An empty return means the cluster is exhausted:
+  /// make_node() falls through to the local fallback the manager observes
+  /// as a failed recruit.
+  std::function<std::vector<Endpoint>()> endpoint_source;
 
   /// Fault injection: when set, every connection is wrapped in a
   /// FaultInjector over one shared FaultPlan seeded with chaos_seed.
@@ -115,6 +126,14 @@ class WorkerPool {
   std::size_t quarantined_count() const;
   /// Hard failures recorded against endpoints (quarantine input).
   std::size_t endpoint_failures() const { return endpoint_failures_.load(); }
+  /// Feed the quarantine from an external failure detector (a cluster
+  /// eviction, a watchdog): counts exactly like a node hard failure.
+  void record_endpoint_failure(const Endpoint& ep) {
+    note_endpoint_failure(ep);
+  }
+  /// The endpoints the pool currently recruits from (refreshed from
+  /// endpoint_source when one is set).
+  std::vector<Endpoint> current_endpoints() const;
 
   /// The shared fault plan (null when chaos is off).
   const std::shared_ptr<FaultPlan>& fault_plan() const { return plan_; }
@@ -136,12 +155,15 @@ class WorkerPool {
                                   const std::string& stream);
   void note_endpoint_failure(const Endpoint& ep);
   bool quarantined(const Endpoint& ep) const;
+  /// Drop quarantine entries whose penalty or failure window has lapsed
+  /// (the clean-slate decay); call with mu_ held.
+  void decay_quarantine(double now) BSK_REQUIRES(mu_);
 
-  std::vector<Endpoint> endpoints_;
   WorkerPoolOptions opts_;
   std::shared_ptr<FaultPlan> plan_;
 
-  mutable support::Mutex mu_;  // guards rr_, conn_count_, quarantine_, injectors_
+  mutable support::Mutex mu_;  // guards endpoints_, rr_, conn_count_, ...
+  std::vector<Endpoint> endpoints_ BSK_GUARDED_BY(mu_);
   std::size_t rr_ BSK_GUARDED_BY(mu_) = 0;
   std::size_t conn_count_ BSK_GUARDED_BY(mu_) = 0;  // names chaos streams "w0", "w1", ...
   struct Quarantine {

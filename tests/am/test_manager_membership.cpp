@@ -1,0 +1,153 @@
+// Membership changes feed the MAPE loop: the fleet changing shape becomes
+// NodesJoined/NodesLeft pulse beans and a persistent ClusterNodes bean, the
+// cycle's span links causally to the membership epoch, and the contract is
+// re-split across the children — the old P_spl was computed for a tree that
+// no longer exists.
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "am/builtin_rules.hpp"
+#include "am/manager.hpp"
+#include "fake_abc.hpp"
+#include "obs/trace.hpp"
+#include "support/json.hpp"
+
+namespace bsk::am {
+namespace {
+
+using testing::FakeAbc;
+namespace json = bsk::support::json;
+
+std::vector<json::Value> spans_after(const std::function<void()>& body) {
+  obs::TraceLog::global().clear();
+  body();
+  std::vector<json::Value> out;
+  for (const std::string& line : obs::TraceLog::global().lines()) {
+    auto v = json::parse(line);
+    EXPECT_TRUE(v.has_value()) << line;
+    if (v && v->string_or("type", "") == "mape_span")
+      out.push_back(std::move(*v));
+  }
+  return out;
+}
+
+TEST(ManagerMembership, ChangeAssertsPulseBeansAndResplitsChildren) {
+  FakeAbc pa, ka, kb;
+  pa.sensors.arrival_rate = 0.5;
+  pa.sensors.departure_rate = 0.5;
+  support::EventLog log;
+  AutonomicManager parent("P", pa, {}, &log);
+  AutonomicManager k1("K1", ka, {}, &log);
+  AutonomicManager k2("K2", kb, {}, &log);
+  parent.attach_child(k1);
+  parent.attach_child(k2);
+  parent.set_contract(Contract::throughput_range(0.4, 0.8));
+  const Contract before = k1.contract();
+
+  bool joined_pulse_seen = false;
+  parent.engine().add_rule(
+      rules::RuleBuilder("onJoin")
+          .when(beans::kNodesJoined, rules::CmpOp::Ge, 1.0)
+          .then_do([&](rules::RuleContext&) { joined_pulse_seen = true; })
+          .build());
+
+  parent.notify_membership_change(/*joined=*/1, /*left=*/0, /*nodes=*/3,
+                                  /*epoch=*/7, "bskd:7001");
+  parent.run_cycle_once();
+
+  EXPECT_TRUE(joined_pulse_seen);
+  EXPECT_EQ(parent.resplits(), 1u);
+  EXPECT_EQ(parent.cluster_nodes(), 3u);
+  EXPECT_EQ(log.count("P", "membershipChange"), 1u);
+  EXPECT_EQ(log.count("P", "resplitContract"), 1u);
+  // The children re-received their split of the unchanged contract.
+  EXPECT_DOUBLE_EQ(k1.contract().throughput_lo(), before.throughput_lo());
+  EXPECT_EQ(k1.mode(), ManagerMode::Active);
+  // Pulse beans are retracted after the cycle; the fleet-size bean stays.
+  EXPECT_FALSE(parent.working_memory().has(beans::kNodesJoined));
+  EXPECT_FALSE(parent.working_memory().has(beans::kNodesLeft));
+  ASSERT_TRUE(parent.working_memory().has(beans::kClusterNodes));
+  EXPECT_DOUBLE_EQ(*parent.working_memory().get(beans::kClusterNodes), 3.0);
+
+  // No further changes: no additional re-split churn.
+  parent.run_cycle_once();
+  EXPECT_EQ(parent.resplits(), 1u);
+  EXPECT_EQ(log.count("P", "resplitContract"), 1u);
+}
+
+TEST(ManagerMembership, SpanCarriesMembershipCauseAndFleetBean) {
+  FakeAbc abc;
+  abc.sensors.arrival_rate = 0.5;
+  abc.sensors.departure_rate = 0.5;
+  support::EventLog log;
+  AutonomicManager m("AM_coord", abc, {}, &log);
+  m.set_contract(Contract::bestEffort());
+  m.notify_membership_change(0, 1, 2, /*epoch=*/9, "bskd:7002");
+
+  const auto spans = spans_after([&] { m.run_cycle_once(); });
+  ASSERT_EQ(spans.size(), 1u);
+  const json::Value* causes = spans[0].get("causes");
+  ASSERT_NE(causes, nullptr);
+  ASSERT_EQ(causes->array.size(), 1u);
+  EXPECT_EQ(causes->array[0].string_or("proc", ""), "bskd:7002");
+  EXPECT_EQ(causes->array[0].string_or("manager", ""), "cluster");
+  EXPECT_DOUBLE_EQ(causes->array[0].number_or("cycle", 0.0), 9.0);
+  EXPECT_EQ(causes->array[0].string_or("kind", ""), "membershipChange");
+  const json::Value* beans_obj = spans[0].get("beans");
+  ASSERT_NE(beans_obj, nullptr);
+  EXPECT_DOUBLE_EQ(beans_obj->number_or(beans::kClusterNodes, -1.0), 2.0);
+}
+
+TEST(MembershipRules, NodeLossTriggersRebalance) {
+  FakeAbc abc;
+  abc.sensors.arrival_rate = 0.5;
+  abc.sensors.departure_rate = 0.5;
+  abc.sensors.nworkers = 4;
+  support::EventLog log;
+  AutonomicManager m("AM_mem", abc, {}, &log);
+  m.load_rules(membership_rules());
+  m.set_contract(Contract::bestEffort());
+
+  m.run_cycle_once();
+  EXPECT_EQ(abc.count("rebalance"), 0u);  // quiet fleet: rule is silent
+
+  m.notify_membership_change(0, 1, 3, 5);
+  m.run_cycle_once();
+  EXPECT_EQ(abc.count("rebalance"), 1u);
+
+  m.run_cycle_once();  // pulse retracted: no repeat firing
+  EXPECT_EQ(abc.count("rebalance"), 1u);
+}
+
+TEST(MembershipRules, ClusterCollapseDegradesTheContract) {
+  FakeAbc abc;
+  abc.sensors.arrival_rate = 0.8;
+  abc.sensors.departure_rate = 0.2;  // trailing the contract
+  abc.sensors.nworkers = 2;
+  support::EventLog log;
+  ManagerConfig cfg;
+  cfg.min_cluster_nodes = 3;
+  AutonomicManager m("AM_collapse", abc, cfg, &log);
+  m.load_rules(membership_rules());
+  m.set_contract(Contract::throughput_range(0.5, 1.0));
+
+  // Fleet healthy: no degradation even while trailing.
+  m.notify_membership_change(3, 0, 3, 4);
+  m.run_cycle_once();
+  EXPECT_EQ(m.degradations(), 0u);
+
+  // The fleet collapses below CLUSTER_MIN_NODES: capacity cannot come back
+  // through recruitment, so the contract renegotiates down.
+  m.notify_membership_change(0, 2, 1, 6);
+  m.run_cycle_once();
+  EXPECT_EQ(m.degradations(), 1u);
+  EXPECT_EQ(log.count("AM_collapse", "degradeContract"), 1u);
+  EXPECT_EQ(m.mode(), ManagerMode::Passive);
+}
+
+}  // namespace
+}  // namespace bsk::am

@@ -62,6 +62,7 @@ TEST(Analyzer, AllBuiltinRuleSetsAreClean) {
       {"latency", am::latency_rules()},
       {"degradation", am::degradation_rules()},
       {"backlog", am::backlog_rules()},
+      {"membership", am::membership_rules()},
   };
   for (const auto& [name, text] : sets) {
     const auto fs = analyze_text(text);
@@ -225,8 +226,12 @@ TEST(Registry, MirrorsManagerVocabulary) {
         am::beans::kQueueVariancePaper, am::beans::kServiceTime,
         am::beans::kLatency, am::beans::kQueuedTasks, am::beans::kStreamEnd,
         am::beans::kUnsecuredLinks, am::beans::kWorkerFailure,
-        am::beans::kTotalFailures, am::beans::kFailedRecruits})
+        am::beans::kTotalFailures, am::beans::kFailedRecruits,
+        am::beans::kNodesJoined, am::beans::kNodesLeft,
+        am::beans::kClusterNodes})
     EXPECT_TRUE(reg.known_bean(b)) << b;
+  // The membership escalation threshold seeded by the manager constructor.
+  EXPECT_TRUE(reg.known_constant("CLUSTER_MIN_NODES"));
   // Child-violation pulse beans match by prefix.
   EXPECT_TRUE(reg.known_bean(am::beans::child_violation("notEnoughTasks")));
   // Every operation the default install registers.

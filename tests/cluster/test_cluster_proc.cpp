@@ -1,0 +1,189 @@
+// Real-process fleets: N forked bskd daemons self-assembling over
+// loopback, observed from outside through the role-2 membership pull RPC.
+//
+// These are the wall-clock guarantees the cluster quick-start promises:
+//   * daemons started with --join converge on one membership view;
+//   * the weighted election ranks the fleet by --cores × --core-speed;
+//   * SIGTERM is an announced departure (Leave broadcast, no eviction);
+//   * SIGKILLing the root is a detected crash: suspicion eviction, then
+//     re-election of the next-heaviest on a newer epoch;
+//   * a five-process fleet converges within a hard deadline.
+//
+// The bskd binary path is injected by CMake as BSK_BSKD_PATH.
+
+#include <gtest/gtest.h>
+
+#include <signal.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/client.hpp"
+#include "net/worker_pool.hpp"
+
+#ifndef BSK_BSKD_PATH
+#define BSK_BSKD_PATH "bskd"
+#endif
+
+namespace bsk::cluster {
+namespace {
+
+std::string key_of(std::uint16_t port) {
+  return "127.0.0.1:" + std::to_string(port);
+}
+
+net::BskdProcess spawn_seed(std::uint32_t cores) {
+  return net::spawn_bskd(BSK_BSKD_PATH, 5.0,
+                         {"--cluster", "--cores", std::to_string(cores)});
+}
+
+net::BskdProcess spawn_joiner(std::uint16_t seed_port, std::uint32_t cores) {
+  return net::spawn_bskd(
+      BSK_BSKD_PATH, 5.0,
+      {"--join", key_of(seed_port), "--cores", std::to_string(cores)});
+}
+
+/// Every daemon reports the same n-member view at the same epoch before the
+/// deadline. Returns the converged view (members empty on timeout).
+net::MembershipView wait_converged(const std::vector<std::uint16_t>& ports,
+                                   std::size_t n, double deadline_wall_s) {
+  const double deadline = net::wall_now() + deadline_wall_s;
+  while (net::wall_now() < deadline) {
+    std::vector<net::MembershipView> views;
+    for (const std::uint16_t p : ports) {
+      auto v = fetch_membership({"127.0.0.1", p}, 1.0);
+      if (!v || v->members.size() != n) break;
+      views.push_back(std::move(*v));
+    }
+    if (views.size() == ports.size()) {
+      bool same = true;
+      for (const net::MembershipView& v : views) {
+        if (v.epoch != views[0].epoch) same = false;
+        for (const net::Member& m : v.members) {
+          bool found = false;
+          for (const net::Member& m0 : views[0].members)
+            if (m0.key() == m.key()) found = true;
+          if (!found) same = false;
+        }
+      }
+      if (same) return views[0];
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  return {};
+}
+
+TEST(ClusterProc, ThreeDaemonsConvergeAndRankByWeight) {
+  net::BskdProcess seed = spawn_seed(8);
+  ASSERT_TRUE(seed.valid()) << "could not spawn " << BSK_BSKD_PATH;
+  net::BskdProcess w1 = spawn_joiner(seed.port, 4);
+  net::BskdProcess w2 = spawn_joiner(seed.port, 2);
+  ASSERT_TRUE(w1.valid());
+  ASSERT_TRUE(w2.valid());
+
+  const net::MembershipView v =
+      wait_converged({seed.port, w1.port, w2.port}, 3, 20.0);
+  ASSERT_EQ(v.members.size(), 3u) << "fleet did not converge";
+
+  const HierarchyView h = elect(v, 2);
+  EXPECT_EQ(h.root_key(), key_of(seed.port));
+  EXPECT_EQ(h.parent_of(key_of(w1.port)), key_of(seed.port));
+  EXPECT_EQ(h.parent_of(key_of(w2.port)), key_of(seed.port));
+
+  net::stop_bskd(w2, SIGKILL);
+  net::stop_bskd(w1, SIGKILL);
+  net::stop_bskd(seed, SIGKILL);
+}
+
+TEST(ClusterProc, SigtermBroadcastsLeaveForImmediateDeregistration) {
+  net::BskdProcess seed = spawn_seed(8);
+  ASSERT_TRUE(seed.valid());
+  net::BskdProcess w1 = spawn_joiner(seed.port, 4);
+  net::BskdProcess w2 = spawn_joiner(seed.port, 2);
+  ASSERT_TRUE(w1.valid());
+  ASSERT_TRUE(w2.valid());
+  ASSERT_EQ(wait_converged({seed.port, w1.port, w2.port}, 3, 20.0)
+                .members.size(),
+            3u);
+
+  const std::string gone = key_of(w2.port);
+  net::stop_bskd(w2, SIGTERM);  // orderly: the daemon broadcasts Leave
+
+  const net::MembershipView v =
+      wait_converged({seed.port, w1.port}, 2, 10.0);
+  ASSERT_EQ(v.members.size(), 2u);
+  // The departure is tombstoned, not merely absent.
+  bool tombstoned = false;
+  for (const net::Departed& d : v.departed)
+    if (d.key == gone) tombstoned = true;
+  EXPECT_TRUE(tombstoned);
+  // Announced departures cost no suspicion: the survivors never evicted.
+  for (const std::uint16_t p : {seed.port, w1.port}) {
+    const auto stats = net::pull_bskd_stats(
+        {"127.0.0.1", p}, net::StatsRequest::What::Prometheus);
+    ASSERT_TRUE(stats.has_value());
+    EXPECT_NE(stats->find("bsk_cluster_evictions_total 0"),
+              std::string::npos)
+        << "daemon on port " << p << " evicted instead of honoring Leave:\n"
+        << *stats;
+  }
+
+  net::stop_bskd(w1, SIGKILL);
+  net::stop_bskd(seed, SIGKILL);
+}
+
+TEST(ClusterProc, RootKillReElectsNextHeaviest) {
+  net::BskdProcess root = spawn_seed(8);
+  ASSERT_TRUE(root.valid());
+  net::BskdProcess w1 = spawn_joiner(root.port, 4);
+  net::BskdProcess w2 = spawn_joiner(root.port, 2);
+  ASSERT_TRUE(w1.valid());
+  ASSERT_TRUE(w2.valid());
+  const net::MembershipView before =
+      wait_converged({root.port, w1.port, w2.port}, 3, 20.0);
+  ASSERT_EQ(before.members.size(), 3u);
+  ASSERT_EQ(elect(before, 2).root_key(), key_of(root.port));
+
+  net::stop_bskd(root, SIGKILL);  // a crash: nobody is told
+
+  const net::MembershipView after =
+      wait_converged({w1.port, w2.port}, 2, 20.0);
+  ASSERT_EQ(after.members.size(), 2u) << "survivors never evicted the root";
+  EXPECT_GT(after.epoch, before.epoch);
+  EXPECT_EQ(elect(after, 2).root_key(), key_of(w1.port));
+
+  net::stop_bskd(w2, SIGKILL);
+  net::stop_bskd(w1, SIGKILL);
+}
+
+TEST(ClusterProc, FiveProcessFleetConvergesWithinDeadline) {
+  net::BskdProcess seed = spawn_seed(16);
+  ASSERT_TRUE(seed.valid());
+  std::vector<net::BskdProcess> joiners;
+  for (const std::uint32_t cores : {8u, 4u, 2u, 1u}) {
+    joiners.push_back(spawn_joiner(seed.port, cores));
+    ASSERT_TRUE(joiners.back().valid());
+  }
+
+  std::vector<std::uint16_t> ports{seed.port};
+  for (const net::BskdProcess& j : joiners) ports.push_back(j.port);
+
+  // The headline wall-clock bound: a cold five-process fleet assembles one
+  // converged view inside 30 s (gossip period is 100 ms; in practice this
+  // lands well under a second per join).
+  const net::MembershipView v = wait_converged(ports, 5, 30.0);
+  ASSERT_EQ(v.members.size(), 5u) << "five-process fleet did not converge";
+  const HierarchyView h = elect(v, 2);
+  EXPECT_EQ(h.root_key(), key_of(seed.port));
+  // Weighted ranks follow the --cores gradient.
+  EXPECT_EQ(h.by_rank()[1].key(), key_of(joiners[0].port));
+  EXPECT_EQ(h.by_rank()[4].key(), key_of(joiners[3].port));
+
+  for (net::BskdProcess& j : joiners) net::stop_bskd(j, SIGKILL);
+  net::stop_bskd(seed, SIGKILL);
+}
+
+}  // namespace
+}  // namespace bsk::cluster

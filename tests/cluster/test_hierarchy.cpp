@@ -1,0 +1,137 @@
+// Hierarchy election: deterministic tree shape and the epoch fence.
+//
+// The election is a pure function of the membership view, so these tests
+// pin the exact tree a known fleet produces — any change to the ranking or
+// layout rules is a visible diff here, not a silent topology shift in a
+// live cluster.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+#include "cluster/hierarchy.hpp"
+
+namespace bsk::cluster {
+namespace {
+
+net::Member mem(const std::string& host, std::uint16_t port,
+                std::uint32_t cores, double speed = 1.0) {
+  net::Member m;
+  m.host = host;
+  m.port = port;
+  m.cores = cores;
+  m.core_speed = speed;
+  m.born = 1;
+  return m;
+}
+
+net::MembershipView fleet7() {
+  // Weights: 16, 12, 8, 8, 4, 2, 1 — with one tie (c vs d at 8) broken by
+  // key order.
+  net::MembershipView v;
+  v.epoch = 9;
+  v.members = {mem("a", 1, 16), mem("b", 2, 12),  mem("c", 3, 8),
+               mem("d", 4, 4, 2.0), mem("e", 5, 4), mem("f", 6, 2),
+               mem("g", 7, 1)};
+  return v;
+}
+
+TEST(Hierarchy, DeterministicBinaryTreeShape) {
+  const HierarchyView h = elect(fleet7(), 2);
+  ASSERT_EQ(h.size(), 7u);
+  EXPECT_EQ(h.epoch(), 9u);
+
+  // Rank order: weight desc, key asc on the 8-weight tie (c:3 < d:4).
+  const std::vector<std::string> want = {"a:1", "b:2", "c:3", "d:4",
+                                         "e:5", "f:6", "g:7"};
+  for (std::size_t i = 0; i < want.size(); ++i)
+    EXPECT_EQ(h.by_rank()[i].key(), want[i]) << "rank " << i;
+
+  // Heap layout, k=2: parent(i) = (i-1)/2.
+  EXPECT_EQ(h.root_key(), "a:1");
+  EXPECT_FALSE(h.parent_of("a:1").has_value());
+  EXPECT_EQ(h.parent_of("b:2"), "a:1");
+  EXPECT_EQ(h.parent_of("c:3"), "a:1");
+  EXPECT_EQ(h.parent_of("d:4"), "b:2");
+  EXPECT_EQ(h.parent_of("e:5"), "b:2");
+  EXPECT_EQ(h.parent_of("f:6"), "c:3");
+  EXPECT_EQ(h.parent_of("g:7"), "c:3");
+  EXPECT_EQ(h.children_of("a:1"), (std::vector<std::string>{"b:2", "c:3"}));
+  EXPECT_EQ(h.children_of("d:4"), std::vector<std::string>{});
+  EXPECT_EQ(h.subtree_size("a:1"), 7u);
+  EXPECT_EQ(h.subtree_size("b:2"), 3u);
+  EXPECT_EQ(h.subtree_size("g:7"), 1u);
+  EXPECT_EQ(h.subtree_size("nope"), 0u);
+}
+
+TEST(Hierarchy, TernaryLayout) {
+  const HierarchyView h = elect(fleet7(), 3);
+  EXPECT_EQ(h.children_of("a:1"),
+            (std::vector<std::string>{"b:2", "c:3", "d:4"}));
+  EXPECT_EQ(h.parent_of("e:5"), "b:2");
+  EXPECT_EQ(h.parent_of("g:7"), "b:2");
+}
+
+TEST(Hierarchy, FanoutZeroClampsToChain) {
+  const HierarchyView h = elect(fleet7(), 0);
+  EXPECT_EQ(h.fanout(), 1u);
+  EXPECT_EQ(h.parent_of("c:3"), "b:2");  // a chain: rank i under rank i-1
+  EXPECT_EQ(h.parent_of("g:7"), "f:6");
+}
+
+TEST(Hierarchy, AnyPermutationElectsTheSameTree) {
+  net::MembershipView v = fleet7();
+  const HierarchyView ref = elect(v, 2);
+  std::mt19937 rng(7);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::shuffle(v.members.begin(), v.members.end(), rng);
+    const HierarchyView h = elect(v, 2);
+    ASSERT_EQ(h.size(), ref.size());
+    for (std::size_t i = 0; i < ref.size(); ++i)
+      EXPECT_EQ(h.by_rank()[i].key(), ref.by_rank()[i].key());
+  }
+}
+
+TEST(Hierarchy, EpochFenceRejectsStaleParentClaims) {
+  const HierarchyView h = elect(fleet7(), 2);  // epoch 9
+  // Current epoch + the computed parent: accepted.
+  EXPECT_TRUE(h.accepts_parent("d:4", "b:2", 9));
+  // Same claim stamped with a pre-re-election epoch: a zombie parent.
+  EXPECT_FALSE(h.accepts_parent("d:4", "b:2", 8));
+  // Fresh epoch but the wrong parent for that child.
+  EXPECT_FALSE(h.accepts_parent("d:4", "c:3", 9));
+  // The root accepts no parent at all.
+  EXPECT_FALSE(h.accepts_parent("a:1", "b:2", 9));
+  // Claims from the future (a newer view than ours) are let through — we
+  // are the stale one, and the next gossip merge catches us up.
+  EXPECT_TRUE(h.accepts_parent("d:4", "b:2", 10));
+}
+
+TEST(Hierarchy, ReElectionAfterRootLossMovesTheFence) {
+  net::MembershipView v = fleet7();
+  const HierarchyView before = elect(v, 2);
+  // Root dies; the view that evicted it carries a bumped epoch.
+  v.members.erase(v.members.begin());
+  v.epoch = 10;
+  const HierarchyView after = elect(v, 2);
+  EXPECT_EQ(after.root_key(), "b:2");  // next-heaviest takes over
+  // Anything stamped with the old tree's epoch is now rejected.
+  EXPECT_FALSE(after.accepts_parent("d:4", before.parent_of("d:4").value(),
+                                    before.epoch()));
+  // d's parent in the new tree: ranks shifted up by one.
+  EXPECT_EQ(after.parent_of("d:4"), "b:2");
+  EXPECT_TRUE(after.accepts_parent("d:4", "b:2", 10));
+}
+
+TEST(Hierarchy, EmptyAndUnknown) {
+  const HierarchyView h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.root_key(), "");
+  EXPECT_FALSE(h.rank_of("a:1").has_value());
+  const HierarchyView one = elect(fleet7(), 2);
+  EXPECT_FALSE(one.parent_of("unknown:0").has_value());
+}
+
+}  // namespace
+}  // namespace bsk::cluster

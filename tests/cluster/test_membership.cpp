@@ -1,0 +1,151 @@
+// MembershipTable: the convergence guarantees gossip relies on, proved on
+// the pure state machine — no sockets, no threads.
+
+#include <gtest/gtest.h>
+
+#include "cluster/membership.hpp"
+
+namespace bsk::cluster {
+namespace {
+
+net::Member mem(const std::string& host, std::uint16_t port,
+                std::uint32_t cores = 1, std::uint64_t born = 1) {
+  net::Member m;
+  m.host = host;
+  m.port = port;
+  m.cores = cores;
+  m.born = born;
+  return m;
+}
+
+TEST(MembershipTable, StartsWithSelfAtEpochOne) {
+  MembershipTable t(mem("a", 1));
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_TRUE(t.contains("a:1"));
+  EXPECT_EQ(t.epoch(), 1u);
+}
+
+TEST(MembershipTable, AddJoinsAndBumpsEpoch) {
+  MembershipTable t(mem("a", 1));
+  const auto e0 = t.epoch();
+  const MergeDelta d = t.add(mem("b", 2));
+  EXPECT_EQ(d.joined, 1u);
+  EXPECT_EQ(d.left, 0u);
+  EXPECT_TRUE(t.contains("b:2"));
+  EXPECT_GT(t.epoch(), e0);
+  // Re-adding the same incarnation is a no-op — no epoch churn.
+  const auto e1 = t.epoch();
+  EXPECT_FALSE(t.add(mem("b", 2)).changed());
+  EXPECT_EQ(t.epoch(), e1);
+}
+
+TEST(MembershipTable, RemoveTombstonesAndTombstoneWinsOverStaleGossip) {
+  MembershipTable t(mem("a", 1));
+  t.add(mem("b", 2, 1, /*born=*/5));
+  ASSERT_TRUE(t.remove("b:2").changed());
+  EXPECT_FALSE(t.contains("b:2"));
+
+  // Slow gossip still carrying the dead incarnation cannot resurrect it.
+  net::MembershipView stale;
+  stale.epoch = 1;
+  stale.members = {mem("b", 2, 1, 5)};
+  EXPECT_FALSE(t.merge(stale).changed());
+  EXPECT_FALSE(t.contains("b:2"));
+}
+
+TEST(MembershipTable, NewerIncarnationRejoinsThroughTombstone) {
+  MembershipTable t(mem("a", 1));
+  t.add(mem("b", 2, 1, 5));
+  t.remove("b:2");
+  // The restarted daemon carries a fresh born stamp: it re-joins.
+  const MergeDelta d = t.add(mem("b", 2, 1, 6));
+  EXPECT_EQ(d.joined, 1u);
+  EXPECT_TRUE(t.contains("b:2"));
+}
+
+TEST(MembershipTable, LeaveOutrunningJoinGossipStillSticks) {
+  MembershipTable t(mem("a", 1));
+  // A Leave for a node we never heard joined: the tombstone must be kept so
+  // the join gossip arriving late does not add a dead member.
+  EXPECT_FALSE(t.contains("c:3"));
+  t.remove("c:3", /*min_born=*/7);
+  net::MembershipView late;
+  late.epoch = 1;
+  late.members = {mem("c", 3, 1, 7)};
+  EXPECT_FALSE(t.merge(late).changed());
+  EXPECT_FALSE(t.contains("c:3"));
+}
+
+TEST(MembershipTable, SelfDefenseReincarnatesPastOwnTombstone) {
+  MembershipTable t(mem("a", 1, 1, /*born=*/3));
+  // A healed partition delivers the news that we were evicted. We are
+  // authoritative for our own liveness: re-incarnate instead of dying.
+  net::MembershipView v;
+  v.epoch = 10;
+  v.departed = {{"a:1", 3}};
+  t.merge(v);
+  EXPECT_TRUE(t.contains("a:1"));
+  EXPECT_GT(t.self().born, 3u);
+  // And the re-incarnated record survives another copy of the same news.
+  t.merge(v);
+  EXPECT_TRUE(t.contains("a:1"));
+}
+
+TEST(MembershipTable, RetiringNodeDoesNotSelfDefend) {
+  MembershipTable t(mem("a", 1, 1, /*born=*/3));
+  // Our own Leave tombstone races back through in-flight gossip while we
+  // are shutting down. Re-incarnating here would resurrect us into every
+  // peer's view right after we announced our departure.
+  net::MembershipView v;
+  v.epoch = 10;
+  v.departed = {{"a:1", 3}};
+  const MergeDelta d = t.merge(v, /*self_defend=*/false);
+  EXPECT_EQ(t.self().born, 3u);  // incarnation untouched
+  EXPECT_EQ(d.joined, 0u);
+  EXPECT_EQ(d.left, 0u);
+}
+
+TEST(MembershipTable, TwoTablesConvergeRegardlessOfExchangeOrder) {
+  MembershipTable a(mem("a", 1, 4));
+  MembershipTable b(mem("b", 2, 2));
+  a.add(mem("c", 3));
+  b.add(mem("d", 4));
+  b.remove("d:4");  // b already knows d is dead
+
+  // A full anti-entropy exchange in each direction, twice (the second round
+  // carries the epoch news of the first).
+  for (int round = 0; round < 3; ++round) {
+    b.merge(a.view());
+    a.merge(b.view());
+  }
+  EXPECT_TRUE(a.converged_with(b.view()));
+  EXPECT_TRUE(b.converged_with(a.view()));
+  EXPECT_EQ(a.epoch(), b.epoch());
+  EXPECT_EQ(a.size(), 3u);  // a, b, c — d stays tombstoned
+  EXPECT_FALSE(a.contains("d:4"));
+  EXPECT_FALSE(b.contains("d:4"));
+}
+
+TEST(MembershipTable, MergeWithoutChangeTakesMaxEpochNotBump) {
+  MembershipTable a(mem("a", 1));
+  a.add(mem("b", 2));
+  net::MembershipView same = a.view();
+  same.epoch = 40;  // a lagging peer catching up to a newer epoch
+  EXPECT_FALSE(a.merge(same).changed());
+  EXPECT_EQ(a.epoch(), 40u);  // equalized, not bumped past — convergence
+}
+
+TEST(MembershipTable, ConvergedWithRequiresSameSetAndEpoch) {
+  MembershipTable a(mem("a", 1));
+  a.add(mem("b", 2));
+  net::MembershipView v = a.view();
+  EXPECT_TRUE(a.converged_with(v));
+  v.epoch += 1;
+  EXPECT_FALSE(a.converged_with(v));
+  v.epoch -= 1;
+  v.members.pop_back();
+  EXPECT_FALSE(a.converged_with(v));
+}
+
+}  // namespace
+}  // namespace bsk::cluster

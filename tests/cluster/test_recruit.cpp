@@ -1,0 +1,206 @@
+// Live membership recruitment: net::WorkerPool fed by a
+// cluster::MembershipClient instead of a frozen argv endpoint list.
+//
+// Also covers the quarantine clean-slate decay (a flapping daemon is
+// re-admitted after its penalty with its failure history forgotten) and the
+// MembershipClient → AutonomicManager glue (a fleet change observed by the
+// recruitment feed becomes NodesJoined/NodesLeft beans in the MAPE cycle).
+//
+// The bskd binary path is injected by CMake as BSK_BSKD_PATH.
+
+#include <gtest/gtest.h>
+
+#include <signal.h>
+
+#include <chrono>
+#include <set>
+#include <string>
+#include <thread>
+
+#include "am/manager.hpp"
+#include "cluster/client.hpp"
+#include "net/worker_pool.hpp"
+#include "rt/farm.hpp"
+#include "support/clock.hpp"
+
+#ifndef BSK_BSKD_PATH
+#define BSK_BSKD_PATH "bskd"
+#endif
+
+namespace bsk::cluster {
+namespace {
+
+net::WorkerPoolOptions fast_pool_opts(const std::string& kind) {
+  net::WorkerPoolOptions o;
+  o.node_kind = kind;
+  o.heartbeat_wall_s = 0.05;
+  o.node.liveness_timeout_wall_s = 0.5;
+  o.node.result_poll_wall_s = 0.05;
+  o.tcp.connect_retries = 3;
+  return o;
+}
+
+/// Poll the client until its feed reports `n` recruitable endpoints.
+bool wait_feed(MembershipClient& mc, std::size_t n, double deadline_wall_s) {
+  const double deadline = net::wall_now() + deadline_wall_s;
+  while (net::wall_now() < deadline) {
+    if (mc.endpoints().size() == n) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  return false;
+}
+
+TEST(LiveRecruit, FarmRecruitsFromMembershipViewNotArgv) {
+  support::ScopedClockScale fast(100.0);
+  net::BskdProcess seed =
+      net::spawn_bskd(BSK_BSKD_PATH, 5.0, {"--cluster", "--cores", "4"});
+  ASSERT_TRUE(seed.valid()) << "could not spawn " << BSK_BSKD_PATH;
+  net::BskdProcess w1 = net::spawn_bskd(
+      BSK_BSKD_PATH, 5.0,
+      {"--join", "127.0.0.1:" + std::to_string(seed.port), "--cores", "2"});
+  ASSERT_TRUE(w1.valid());
+
+  MembershipClient mc({{"127.0.0.1", seed.port}});
+  ASSERT_TRUE(wait_feed(mc, 2, 15.0)) << "fleet never became recruitable";
+
+  // The pool starts with NO endpoints: every recruit comes from the live
+  // view through the endpoint_source seam.
+  net::WorkerPoolOptions opts = fast_pool_opts("echo");
+  opts.endpoint_source = mc.source();
+  net::WorkerPool pool({}, opts);
+
+  rt::FarmConfig fc;
+  fc.initial_workers = 2;
+  rt::Farm farm("livefarm", fc, pool.factory());
+  farm.start();
+
+  std::jthread feeder([&farm] {
+    for (int i = 0; i < 100; ++i)
+      farm.input()->push(rt::Task::data(i, 0.0, std::int64_t{i}));
+    farm.input()->close();
+  });
+  std::multiset<std::uint64_t> ids;
+  std::jthread drainer([&farm, &ids] {
+    rt::Task t;
+    while (farm.output()->pop(t) == support::ChannelStatus::Ok)
+      ids.insert(t.id);
+  });
+  feeder.join();
+  farm.wait();
+  drainer.join();
+
+  EXPECT_EQ(pool.remote_nodes_created(), 2u);
+  EXPECT_EQ(pool.fallback_nodes_created(), 0u);
+  EXPECT_EQ(pool.current_endpoints().size(), 2u);  // refreshed from the view
+  ASSERT_EQ(ids.size(), 100u);
+  for (int i = 0; i < 100; ++i)
+    EXPECT_EQ(ids.count(static_cast<std::uint64_t>(i)), 1u) << "id " << i;
+
+  net::stop_bskd(w1, SIGKILL);
+  net::stop_bskd(seed, SIGKILL);
+}
+
+TEST(LiveRecruit, ExhaustedClusterFallsBackLocally) {
+  // A feed with nothing alive behind it: the pool must degrade to the
+  // local-fallback path the manager observes as a failed recruitment —
+  // "cluster exhausted", not a crash.
+  MembershipClient mc({{"127.0.0.1", 1}});  // nobody listens on port 1
+  net::WorkerPoolOptions opts = fast_pool_opts("echo");
+  opts.tcp.connect_retries = 0;
+  opts.endpoint_source = mc.source();
+  net::WorkerPool pool({}, opts);
+
+  auto node = pool.make_node();
+  ASSERT_NE(node, nullptr);
+  EXPECT_EQ(pool.remote_nodes_created(), 0u);
+  EXPECT_EQ(pool.fallback_nodes_created(), 1u);
+}
+
+TEST(LiveRecruit, QuarantineDecayReadmitsFlapperWithCleanSlate) {
+  support::ScopedClockScale fast(100.0);
+  net::BskdProcess daemon = net::spawn_bskd(BSK_BSKD_PATH);
+  ASSERT_TRUE(daemon.valid());
+
+  net::WorkerPoolOptions opts = fast_pool_opts("echo");
+  opts.quarantine_threshold = 2;
+  opts.quarantine_window_wall_s = 5.0;
+  opts.quarantine_wall_s = 0.4;
+  net::WorkerPool pool({{"127.0.0.1", daemon.port}}, opts);
+
+  // Two failures inside the window: the endpoint is benched and recruits
+  // fall back locally.
+  pool.record_endpoint_failure({"127.0.0.1", daemon.port});
+  pool.record_endpoint_failure({"127.0.0.1", daemon.port});
+  EXPECT_EQ(pool.quarantined_count(), 1u);
+  (void)pool.make_node();
+  EXPECT_EQ(pool.fallback_nodes_created(), 1u);
+
+  // Penalty served: the endpoint is re-admitted and actually re-recruited.
+  std::this_thread::sleep_for(std::chrono::milliseconds(600));
+  EXPECT_EQ(pool.quarantined_count(), 0u);
+  (void)pool.make_node();
+  EXPECT_EQ(pool.remote_nodes_created(), 1u);
+
+  // Clean slate: the pre-quarantine failure history was forgotten, so one
+  // fresh failure is below threshold...
+  pool.record_endpoint_failure({"127.0.0.1", daemon.port});
+  EXPECT_EQ(pool.quarantined_count(), 0u);
+  // ...and the second trips it again.
+  pool.record_endpoint_failure({"127.0.0.1", daemon.port});
+  EXPECT_EQ(pool.quarantined_count(), 1u);
+
+  net::stop_bskd(daemon, SIGKILL);
+}
+
+struct IdleAbc final : am::Abc {
+  am::Sensors sense() override {
+    am::Sensors s;
+    s.arrival_rate = 0.5;
+    s.departure_rate = 0.5;
+    s.nworkers = 2;
+    return s;
+  }
+};
+
+TEST(LiveRecruit, MembershipChangeReachesTheManagerThroughTheFeed) {
+  net::BskdProcess seed =
+      net::spawn_bskd(BSK_BSKD_PATH, 5.0, {"--cluster", "--cores", "4"});
+  ASSERT_TRUE(seed.valid());
+  net::BskdProcess w1 = net::spawn_bskd(
+      BSK_BSKD_PATH, 5.0,
+      {"--join", "127.0.0.1:" + std::to_string(seed.port), "--cores", "2"});
+  ASSERT_TRUE(w1.valid());
+
+  IdleAbc abc;
+  support::EventLog log;
+  am::AutonomicManager m("AM_fleet", abc, {}, &log);
+  m.set_contract(am::Contract::bestEffort());
+
+  MembershipClient mc({{"127.0.0.1", seed.port}});
+  mc.set_on_change([&m](std::size_t joined, std::size_t left,
+                        const net::MembershipView& v) {
+    m.notify_membership_change(joined, left, v.members.size(), v.epoch);
+  });
+
+  // First successful refresh: the whole fleet "joins" relative to the empty
+  // initial view.
+  ASSERT_TRUE(wait_feed(mc, 2, 15.0));
+  m.run_cycle_once();
+  EXPECT_EQ(m.cluster_nodes(), 2u);
+  EXPECT_EQ(log.count("AM_fleet", "membershipChange"), 1u);
+
+  // An orderly departure shrinks the view; the next refresh feeds the loss
+  // into the MAPE cycle.
+  net::stop_bskd(w1, SIGTERM);
+  ASSERT_TRUE(wait_feed(mc, 1, 10.0));
+  m.run_cycle_once();
+  EXPECT_EQ(m.cluster_nodes(), 1u);
+  ASSERT_TRUE(m.working_memory().has(am::beans::kClusterNodes));
+  EXPECT_DOUBLE_EQ(*m.working_memory().get(am::beans::kClusterNodes), 1.0);
+  EXPECT_GE(log.count("AM_fleet", "membershipChange"), 2u);
+
+  net::stop_bskd(seed, SIGKILL);
+}
+
+}  // namespace
+}  // namespace bsk::cluster
