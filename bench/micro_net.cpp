@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "net/remote_conduit.hpp"
+#include "net/shm.hpp"
 #include "net/transport.hpp"
 #include "net/wire.hpp"
 #include "rt/task.hpp"
@@ -65,9 +66,9 @@ void round_trip_loop(benchmark::State& state, net::Transport& near,
     }
   });
   const net::Frame req = net::make_task(payload_task(256));
+  net::Frame rep;  // hoisted: reuse the payload buffer across iterations
   for (auto _ : state) {
     near.send(req);
-    net::Frame rep;
     if (near.recv(rep) != net::RecvStatus::Ok) {
       state.SkipWithError("transport closed mid-benchmark");
       break;
@@ -99,6 +100,19 @@ void BM_TcpLoopbackRoundTrip(benchmark::State& state) {
   round_trip_loop(state, *client, *server);
 }
 BENCHMARK(BM_TcpLoopbackRoundTrip)->Unit(benchmark::kMicrosecond);
+
+// The colocated fast path: the same round-trip over the shared-memory ring
+// pair. The gap to BM_TcpLoopbackRoundTrip is what the shm negotiation buys
+// a WorkerPool whose endpoint resolves to the local machine.
+void BM_ShmRoundTrip(benchmark::State& state) {
+  auto pair = net::ShmTransport::make_pair();
+  if (!pair.a || !pair.b) {
+    state.SkipWithError("shm pair setup failed");
+    return;
+  }
+  round_trip_loop(state, *pair.a, *pair.b);
+}
+BENCHMARK(BM_ShmRoundTrip)->Unit(benchmark::kMicrosecond);
 
 // Remote-worker throughput as a function of the credit window. window=1 is
 // the strict round-trip-per-task protocol the dataplane used to pay; larger
@@ -156,6 +170,16 @@ void BM_TcpCreditThroughput(benchmark::State& state) {
   credit_window_loop(state, std::move(client), std::move(server));
 }
 BENCHMARK(BM_TcpCreditThroughput)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_ShmCreditThroughput(benchmark::State& state) {
+  auto pair = net::ShmTransport::make_pair();
+  if (!pair.a || !pair.b) {
+    state.SkipWithError("shm pair setup failed");
+    return;
+  }
+  credit_window_loop(state, pair.a, pair.b);
+}
+BENCHMARK(BM_ShmCreditThroughput)->Arg(1)->Arg(4)->Arg(16);
 
 }  // namespace
 

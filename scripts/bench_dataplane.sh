@@ -4,9 +4,17 @@
 # google-benchmark JSON into a single machine-readable BENCH_dataplane.json
 # keyed by benchmark name -> {ns_per_op, items_per_second}.
 #
-# Usage: scripts/bench_dataplane.sh [build-dir] [out-json] [min-time]
-#   build-dir  cmake build directory holding bench/ binaries (default: build)
-#   out-json   output path (default: BENCH_dataplane.json in the repo root)
+# Usage: scripts/bench_dataplane.sh [--release] [build-dir] [out-json] [min-time]
+#   --release  configure+build an optimized tree (build-release/,
+#              CMAKE_BUILD_TYPE=Release) first and benchmark that; output
+#              defaults to BENCH_dataplane_release.json. Release numbers are
+#              the ones the shm-RTT acceptance thresholds are judged on — a
+#              debug build understates the dataplane by an order of
+#              magnitude.
+#   build-dir  cmake build directory holding bench/ binaries (default: build,
+#              or build-release with --release)
+#   out-json   output path (default: BENCH_dataplane.json in the repo root,
+#              or BENCH_dataplane_release.json with --release)
 #   min-time   --benchmark_min_time per benchmark, e.g. 0.05s for a CI smoke
 #              run (default: benchmark's own default)
 #
@@ -16,9 +24,27 @@
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
-BUILD="${1:-$ROOT/build}"
-OUT="${2:-$ROOT/BENCH_dataplane.json}"
+
+RELEASE=0
+if [ "${1:-}" = "--release" ]; then
+  RELEASE=1
+  shift
+fi
+
+if [ "$RELEASE" = 1 ]; then
+  BUILD="${1:-$ROOT/build-release}"
+  OUT="${2:-$ROOT/BENCH_dataplane_release.json}"
+else
+  BUILD="${1:-$ROOT/build}"
+  OUT="${2:-$ROOT/BENCH_dataplane.json}"
+fi
 MIN_TIME="${3:-}"
+
+if [ "$RELEASE" = 1 ]; then
+  cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release >/dev/null
+  cmake --build "$BUILD" --target micro_runtime micro_net -j "$(nproc)" \
+    >/dev/null
+fi
 # Older google-benchmark releases only accept a plain double for
 # --benchmark_min_time; newer ones also take an "s" suffix. Strip the suffix
 # so either form of the argument works against either library version.
@@ -49,12 +75,23 @@ fi
   --benchmark_format=json "${EXTRA[@]}" \
   > "$TMPDIR_BENCH/runtime.json"
 "$NET_BIN" \
-  --benchmark_filter='BM_InprocRoundTrip|BM_TcpLoopbackRoundTrip|BM_InprocCreditThroughput|BM_TcpCreditThroughput' \
+  --benchmark_filter='BM_InprocRoundTrip|BM_TcpLoopbackRoundTrip|BM_ShmRoundTrip|BM_InprocCreditThroughput|BM_TcpCreditThroughput|BM_ShmCreditThroughput' \
   --benchmark_format=json "${EXTRA[@]}" \
   > "$TMPDIR_BENCH/net.json"
 
+# CPU model for the context block: RTT thresholds only mean something
+# pinned to the silicon that produced them.
+CPU_MODEL="$(awk -F: '/model name/{gsub(/^ /,"",$2); print $2; exit}' /proc/cpuinfo 2>/dev/null || true)"
+export BSK_BENCH_CPU_MODEL="${CPU_MODEL:-unknown}"
+export BSK_BENCH_NPROC="$(nproc 2>/dev/null || echo 0)"
+if [ "$RELEASE" = 1 ]; then
+  export BSK_BENCH_BUILD_TYPE="Release"
+else
+  export BSK_BENCH_BUILD_TYPE="${BSK_BENCH_BUILD_TYPE:-default}"
+fi
+
 python3 - "$TMPDIR_BENCH/runtime.json" "$TMPDIR_BENCH/net.json" "$OUT" <<'PY'
-import json, sys
+import json, os, sys
 
 runtime_path, net_path, out_path = sys.argv[1], sys.argv[2], sys.argv[3]
 
@@ -69,6 +106,9 @@ for path in (runtime_path, net_path):
             "date": ctx.get("date"),
             "num_cpus": ctx.get("num_cpus"),
             "library_build_type": ctx.get("library_build_type"),
+            "build_type": os.environ.get("BSK_BENCH_BUILD_TYPE", "default"),
+            "cpu_model": os.environ.get("BSK_BENCH_CPU_MODEL", "unknown"),
+            "nproc": int(os.environ.get("BSK_BENCH_NPROC", "0") or 0),
         }
     for b in doc.get("benchmarks", []):
         if b.get("run_type") != "iteration":
@@ -96,6 +136,10 @@ required = [
     "BM_InprocCreditThroughput/4",
     "BM_TcpCreditThroughput/1",
     "BM_TcpCreditThroughput/4",
+    "BM_TcpLoopbackRoundTrip",
+    "BM_ShmRoundTrip",
+    "BM_ShmCreditThroughput/1",
+    "BM_ShmCreditThroughput/4",
 ]
 missing = [k for k in required if k not in benches]
 if missing:
@@ -105,6 +149,9 @@ if missing:
 
 def ips(name):
     return benches[name].get("items_per_second", 0.0)
+
+def us(name):
+    return benches[name]["ns_per_op"] / 1e3
 
 summary = {
     "batched_transfer_speedup_vs_per_item":
@@ -116,6 +163,11 @@ summary = {
     "tcp_credit4_speedup_vs_window1":
         round(ips("BM_TcpCreditThroughput/4") /
               max(ips("BM_TcpCreditThroughput/1"), 1e-9), 2),
+    "tcp_loopback_rtt_us": round(us("BM_TcpLoopbackRoundTrip"), 3),
+    "shm_rtt_us": round(us("BM_ShmRoundTrip"), 3),
+    "shm_vs_tcp_rtt_speedup":
+        round(us("BM_TcpLoopbackRoundTrip") /
+              max(us("BM_ShmRoundTrip"), 1e-9), 2),
 }
 
 with open(out_path, "w") as f:
@@ -125,5 +177,6 @@ with open(out_path, "w") as f:
 
 print(f"wrote {out_path}")
 for k, v in summary.items():
-    print(f"  {k}: {v}x")
+    unit = "us" if k.endswith("_us") else "x"
+    print(f"  {k}: {v}{unit}")
 PY

@@ -330,6 +330,37 @@ void ClusterNode::gossip_loop(const std::stop_token& st) {
 
 // ----------------------------------------------------------------- serve
 
+bool ClusterNode::handle_frame(const net::Frame& f,
+                               std::optional<net::Frame>& reply) {
+  switch (f.type) {
+    case net::FrameType::ClusterHello: {
+      const auto msg = net::parse_cluster_hello(f);
+      if (!msg) return true;
+      sighted(msg->self);
+      MergeDelta d;
+      net::MembershipView merged;
+      {
+        support::MutexLock lk(mu_);
+        if (msg->view.epoch < table_.epoch())
+          cluster_obs().stale_epochs.inc();
+        d = table_.merge(msg->view, /*self_defend=*/running_.load());
+        merged = table_.view();
+      }
+      apply_delta(d);
+      reply = net::make_cluster_welcome(merged);
+      return true;
+    }
+    case net::FrameType::Leave: {
+      if (const auto msg = net::parse_leave(f)) peer_left(*msg);
+      return true;
+    }
+    case net::FrameType::Shutdown:
+      return false;
+    default:
+      return true;  // not meaningful on a cluster channel
+  }
+}
+
 void ClusterNode::serve(net::Transport& tp) {
   while (true) {
     net::Frame f;
@@ -341,33 +372,10 @@ void ClusterNode::serve(net::Transport& tp) {
       case net::RecvStatus::Ok:
         break;
     }
-    switch (f.type) {
-      case net::FrameType::ClusterHello: {
-        const auto msg = net::parse_cluster_hello(f);
-        if (!msg) break;
-        sighted(msg->self);
-        MergeDelta d;
-        net::MembershipView reply;
-        {
-          support::MutexLock lk(mu_);
-          if (msg->view.epoch < table_.epoch())
-            cluster_obs().stale_epochs.inc();
-          d = table_.merge(msg->view, /*self_defend=*/running_.load());
-          reply = table_.view();
-        }
-        apply_delta(d);
-        tp.send(net::make_cluster_welcome(reply));
-        break;
-      }
-      case net::FrameType::Leave: {
-        if (const auto msg = net::parse_leave(f)) peer_left(*msg);
-        break;
-      }
-      case net::FrameType::Shutdown:
-        return;
-      default:
-        break;  // not meaningful on a cluster channel
-    }
+    std::optional<net::Frame> reply;
+    const bool keep = handle_frame(f, reply);
+    if (reply) tp.send(*reply);
+    if (!keep) return;
   }
 }
 
@@ -472,39 +480,37 @@ void ClusterNode::beacon_loop(const std::stop_token& st) {
 
 // ----------------------------------------------------------- ClusterHost
 
-ClusterHost::ClusterHost(ClusterNode& node, std::uint16_t port)
-    : node_(node), listener_(port) {
-  if (!listener_.valid()) return;
-  accept_ = std::jthread([this](std::stop_token st) { accept_loop(st); });
+ClusterHost::ClusterHost(ClusterNode& node, std::uint16_t port) : node_(node) {
+  net::EpollOptions opts;
+  opts.port = port;
+  server_ = std::make_unique<net::EpollServer>(
+      static_cast<net::EpollServer::Handler&>(*this), opts);
+  server_->start();
 }
 
 ClusterHost::~ClusterHost() { stop(); }
 
 void ClusterHost::stop() {
-  if (accept_.joinable()) {
-    accept_.request_stop();
-    accept_.join();
-  }
-  listener_.close();
-  sessions_.clear();  // joins
+  if (server_) server_->stop();
 }
 
-void ClusterHost::accept_loop(const std::stop_token& st) {
-  while (!st.stop_requested()) {
-    auto tp = listener_.accept_for(0.1);
-    if (!tp) continue;
-    std::shared_ptr<net::TcpTransport> shared{std::move(tp)};
-    sessions_.emplace_back([this, shared](std::stop_token) {
-      net::Hello hello;
-      if (!net::server_handshake(*shared, 2.0, 0, &hello) ||
-          hello.role != 3) {
-        shared->close();
-        return;
-      }
-      node_.serve(*shared);
-      shared->close();
-    });
-  }
+void ClusterHost::on_hello(net::EpollServer::ConnId c, const net::Hello& h) {
+  net::HelloAck ack;
+  ack.ok = h.magic == net::kMagic && h.version == net::kProtocolVersion &&
+           h.role == 3;
+  server_->send(c, net::make_hello_ack(ack));
+  if (!ack.ok) server_->close_conn(c);
 }
+
+void ClusterHost::on_frame(net::EpollServer::ConnId c, net::Frame&& f) {
+  // Gossip frames are cheap (one table merge under the node's mutex), so
+  // they are handled inline on the loop thread.
+  std::optional<net::Frame> reply;
+  const bool keep = node_.handle_frame(f, reply);
+  if (reply) server_->send(c, *reply);
+  if (!keep) server_->close_conn(c);
+}
+
+void ClusterHost::on_closed(net::EpollServer::ConnId) {}
 
 }  // namespace bsk::cluster

@@ -40,6 +40,7 @@
 
 #include "cluster/hierarchy.hpp"
 #include "cluster/membership.hpp"
+#include "net/epoll_server.hpp"
 #include "net/transport.hpp"
 #include "net/wire.hpp"
 #include "net/worker_pool.hpp"  // net::Endpoint
@@ -90,6 +91,12 @@ class ClusterNode {
   /// Hello/HelloAck exchange). Handles ClusterHello gossip exchanges and
   /// Leave notifications until the peer closes.
   void serve(net::Transport& tp);
+
+  /// Transport-free core of serve(): process one role-3 frame, filling
+  /// `reply` when the frame warrants an answer (the ClusterWelcome of a
+  /// gossip exchange). Returns false once the exchange is over (Shutdown).
+  /// Cheap and non-blocking — safe to call from an event-loop thread.
+  bool handle_frame(const net::Frame& f, std::optional<net::Frame>& reply);
 
   /// Handle a Leave that arrived on a non-cluster channel (a worker
   /// session's goodbye can carry one too).
@@ -150,25 +157,26 @@ class ClusterNode {
 std::uint64_t fresh_incarnation();
 
 /// ClusterHost: a minimal role-3 listener for embedding a ClusterNode
-/// without the full daemon — in-process tests and tools. Accepts
-/// connections, performs the server handshake, refuses every role but 3,
-/// and hands the session to node.serve().
-class ClusterHost {
+/// without the full daemon — in-process tests and tools. One EpollServer
+/// loop serves every gossip exchange (no thread per connection): the
+/// handshake is answered on the loop, every role but 3 is refused, and
+/// frames go straight to node.handle_frame().
+class ClusterHost final : private net::EpollServer::Handler {
  public:
   explicit ClusterHost(ClusterNode& node, std::uint16_t port = 0);
   ~ClusterHost();
 
-  bool valid() const { return listener_.valid(); }
-  std::uint16_t port() const { return listener_.port(); }
+  bool valid() const { return server_ && server_->valid(); }
+  std::uint16_t port() const { return server_ ? server_->port() : 0; }
   void stop();
 
  private:
-  void accept_loop(const std::stop_token& st);
+  void on_hello(net::EpollServer::ConnId c, const net::Hello& h) override;
+  void on_frame(net::EpollServer::ConnId c, net::Frame&& f) override;
+  void on_closed(net::EpollServer::ConnId c) override;
 
   ClusterNode& node_;
-  net::TcpListener listener_;
-  std::vector<std::jthread> sessions_;
-  std::jthread accept_;
+  std::unique_ptr<net::EpollServer> server_;
 };
 
 }  // namespace bsk::cluster

@@ -5,9 +5,24 @@
 // RemoteWorkerNode connects, handshakes (Hello/HelloAck), then streams
 // TaskMsg frames; bskd runs each task through the node kind the handshake
 // requested and replies with a ResultMsg (a WorkerDone-kind reply marks a
-// filtered task). Each session thread also beats a heartbeat every
-// `heartbeat_wall_s` (from the Hello) so the parent's failure detector can
-// tell a long-running task from a dead peer.
+// filtered task). The daemon beats a heartbeat every `heartbeat_wall_s`
+// (from the Hello) on each worker connection so the parent's failure
+// detector can tell a long-running task from a dead peer.
+//
+// Architecture: one edge-triggered epoll loop (EpollServer) owns every
+// connection — accept, framing, heartbeats, and flow control all happen on
+// that single thread, so the daemon holds thousands of connections with a
+// bounded thread count. Work that can block (task execution holds the
+// session lock for the task's duration) runs on a lazily-grown executor
+// pool capped by --workers: each connection owns an ordered inbox of work
+// items (handshake, frames, close) that at most one executor drains at a
+// time, preserving per-connection ordering without a thread per connection.
+//
+// Colocated fast path: a Hello carrying want_shm makes bskd create a named
+// shared-memory segment (ShmTransport::create_named) and advertise it in
+// the HelloAck; the client attaches and task/result frames then bypass the
+// kernel entirely. The TCP connection stays open as the anchor — heartbeats
+// and Leave still travel over it, and its death closes the shm session.
 //
 // Reliability: tasks carry sequence numbers; bskd executes each sequence at
 // most once and keeps a bounded cache of recent results, so a retransmitted
@@ -19,7 +34,7 @@
 // state, so a transient partition costs a replay of unacked tasks, not a
 // worker replacement.
 //
-//   bskd [--port N] [--port-file PATH] [--session-linger S]
+//   bskd [--port N] [--port-file PATH] [--session-linger S] [--workers N]
 //        [--trace-file PATH] [--cluster] [--join HOST:PORT[,HOST:PORT...]]
 //        [--cores N] [--core-speed X] [--fanout K] [--beacon PORT]
 //
@@ -39,7 +54,7 @@
 // starts a ClusterNode gossiping this daemon's membership record —
 // host:port plus the node weight (--cores × --core-speed) the weighted
 // hierarchy election ranks on. Role-3 connections are gossip exchanges
-// served by the cluster node; on orderly shutdown the daemon broadcasts a
+// answered inline on the loop; on orderly shutdown the daemon broadcasts a
 // Leave frame so peers deregister it immediately instead of waiting out
 // the suspicion window.
 
@@ -52,16 +67,19 @@
 #include <cstring>
 #include <deque>
 #include <fstream>
+#include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "cluster/node.hpp"
-#include "support/thread_annotations.hpp"
+#include "net/epoll_server.hpp"
 #include "net/remote_conduit.hpp"
+#include "net/shm.hpp"
 #include "net/transport.hpp"
 #include "net/wire.hpp"
 #include "obs/metrics.hpp"
@@ -69,6 +87,7 @@
 #include "rt/node.hpp"
 #include "support/clock.hpp"
 #include "support/event_log.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace {
 
@@ -76,6 +95,10 @@ std::atomic<bool> g_stop{false};
 
 /// The fleet-membership engine; null when clustering is off.
 std::unique_ptr<bsk::cluster::ClusterNode> g_cluster;
+
+/// The epoll loop serving every connection; set once before serving starts,
+/// cleared at shutdown (the reply seam for sessions and stats channels).
+bsk::net::EpollServer* g_server = nullptr;
 
 void on_signal(int) { g_stop.store(true); }
 
@@ -105,26 +128,43 @@ struct Session {
   std::uint64_t id = 0;
   std::string kind;
 
-  bsk::support::Mutex mu;  // guards everything below
-  std::uint32_t epoch = 0;
-  std::unique_ptr<bsk::rt::Node> node;
-  bool secured = false;
-  std::map<std::uint64_t, bsk::net::Frame> results;  // seq → cached reply
-  std::deque<std::uint64_t> result_order;            // eviction FIFO
-  std::uint64_t dups_suppressed = 0;
-  std::shared_ptr<bsk::net::TcpTransport> active;  // null while parked
+  bsk::support::Mutex mu;
+  std::uint32_t epoch BSK_GUARDED_BY(mu) = 0;
+  std::unique_ptr<bsk::rt::Node> node BSK_GUARDED_BY(mu);
+  bool secured BSK_GUARDED_BY(mu) = false;
+  std::map<std::uint64_t, bsk::net::Frame> results
+      BSK_GUARDED_BY(mu);  // seq → cached reply
+  std::deque<std::uint64_t> result_order BSK_GUARDED_BY(mu);  // eviction FIFO
+  std::uint64_t dups_suppressed BSK_GUARDED_BY(mu) = 0;
+  /// The epoll connection owning this session (0 while parked).
+  bsk::net::EpollServer::ConnId conn BSK_GUARDED_BY(mu) = 0;
+  /// Colocated fast path, if negotiated; replies prefer it once attached.
+  std::shared_ptr<bsk::net::ShmTransport> shm BSK_GUARDED_BY(mu);
   /// Atomic so the reaper can scan without the session lock (which task
   /// execution holds for the duration of a task).
   std::atomic<double> parked_at{-1.0};
 };
+
+/// Send a frame back to the session's client: over the shm ring when the
+/// client has attached one (bypassing the kernel), else over the epoll
+/// connection. A never-attached segment is skipped — writing into a ring
+/// nobody drains would just fill it.
+bool reply_to(Session& s, const bsk::net::Frame& f) BSK_REQUIRES(s.mu) {
+  if (s.shm && s.shm->peer_attached() && !s.shm->closed())
+    return s.shm->send(f);
+  return s.conn != 0 && g_server != nullptr && g_server->send(s.conn, f);
+}
 
 class SessionRegistry {
  public:
   std::shared_ptr<Session> create(const std::string& kind) {
     auto s = std::make_shared<Session>();
     s->kind = kind;
-    s->node = make_node(kind);
-    s->node->on_start();
+    {
+      bsk::support::MutexLock slk(s->mu);
+      s->node = make_node(kind);
+      s->node->on_start();
+    }
     bsk::support::MutexLock lk(mu_);
     s->id = next_++;
     sessions_[s->id] = s;
@@ -143,7 +183,11 @@ class SessionRegistry {
   void park(const std::shared_ptr<Session>& s, std::uint32_t my_epoch) {
     bsk::support::MutexLock lk(s->mu);
     if (s->epoch != my_epoch) return;  // re-attached elsewhere: not ours
-    s->active.reset();
+    s->conn = 0;
+    if (s->shm) {
+      s->shm->close();  // a resume renegotiates a fresh segment
+      s->shm.reset();
+    }
     s->parked_at = bsk::net::wall_now();
   }
 
@@ -152,6 +196,10 @@ class SessionRegistry {
     {
       bsk::support::MutexLock lk(s->mu);
       if (s->epoch != my_epoch) return;
+      if (s->shm) {
+        s->shm->close();
+        s->shm.reset();
+      }
       if (s->node) s->node->on_stop();
     }
     bsk::support::MutexLock lk(mu_);
@@ -180,18 +228,43 @@ class SessionRegistry {
     }
   }
 
+  std::vector<std::shared_ptr<Session>> snapshot() {
+    bsk::support::MutexLock lk(mu_);
+    std::vector<std::shared_ptr<Session>> out;
+    out.reserve(sessions_.size());
+    for (auto& [id, s] : sessions_) out.push_back(s);
+    return out;
+  }
+
+  /// Daemon shutdown: retire every node.
+  void stop_all() {
+    std::map<std::uint64_t, std::shared_ptr<Session>> all;
+    {
+      bsk::support::MutexLock lk(mu_);
+      all.swap(sessions_);
+    }
+    for (auto& [id, s] : all) {
+      bsk::support::MutexLock slk(s->mu);
+      if (s->shm) {
+        s->shm->close();
+        s->shm.reset();
+      }
+      if (s->node) s->node->on_stop();
+    }
+  }
+
  private:
   bsk::support::Mutex mu_;
-  std::map<std::uint64_t, std::shared_ptr<Session>> sessions_;
-  std::uint64_t next_ = 1;
+  std::map<std::uint64_t, std::shared_ptr<Session>> sessions_
+      BSK_GUARDED_BY(mu_);
+  std::uint64_t next_ BSK_GUARDED_BY(mu_) = 1;
 };
 
 SessionRegistry g_registry;
 
 /// Execute (or dedup) one sequenced task and send the reply. Caller holds
 /// nothing; the session lock serializes execution across connections.
-void handle_task(Session& s, bsk::net::TcpTransport& tp,
-                 const bsk::net::Frame& f) {
+void handle_task(Session& s, const bsk::net::Frame& f) {
   using namespace bsk::net;
   auto parsed = parse_task_seq(f);
   if (!parsed) return;  // malformed (corrupt payload): drop, stream lives
@@ -203,7 +276,7 @@ void handle_task(Session& s, bsk::net::TcpTransport& tp,
       // Already executed: a retransmit or wire duplicate. Resend the cached
       // result — never re-execute (at-most-once execution per seq).
       ++s.dups_suppressed;
-      tp.send(it->second);
+      reply_to(s, it->second);
       return;
     }
   }
@@ -219,7 +292,7 @@ void handle_task(Session& s, bsk::net::TcpTransport& tp,
       s.result_order.pop_front();
     }
   }
-  tp.send(reply);
+  reply_to(s, reply);
 }
 
 /// Render one obs snapshot as text for a StatsRep.
@@ -242,195 +315,500 @@ std::string stats_text(bsk::net::StatsRequest::What what) {
   return os.str();
 }
 
-/// Role-2 channel: answer StatsReq pulls until the peer goes away.
-void serve_stats(bsk::net::TcpTransport& tp) {
-  using namespace bsk::net;
-  while (!g_stop.load()) {
-    Frame f;
-    switch (tp.recv_for(f, 0.25)) {
-      case RecvStatus::Closed:
-        return;
-      case RecvStatus::TimedOut:
-        continue;
-      case RecvStatus::Ok:
-        break;
+/// Bounded, lazily-grown worker pool. The epoll loop hands every step that
+/// can block here (task execution holds the session lock for the task's
+/// duration), so the daemon's thread count is bounded by --workers instead
+/// of by connection count. Threads spawn only when work outruns the idle
+/// set, so a quiet daemon stays tiny.
+class ExecutorPool {
+ public:
+  explicit ExecutorPool(std::size_t cap)
+      : cap_(std::max<std::size_t>(1, cap)) {}
+  ~ExecutorPool() { stop(); }
+
+  void submit(std::function<void()> fn) {
+    {
+      bsk::support::MutexLock lk(mu_);
+      if (stopping_) return;
+      queue_.push_back(std::move(fn));
+      if (idle_ == 0 && threads_.size() < cap_)
+        threads_.emplace_back(
+            [this](const std::stop_token& st) { run(st); });
     }
-    if (f.type == FrameType::Shutdown) return;
+    cv_.notify_one();
+  }
+
+  /// Drain the queue, then join every worker. Idempotent.
+  void stop() {
+    std::vector<std::jthread> workers;
+    {
+      bsk::support::MutexLock lk(mu_);
+      stopping_ = true;
+      workers.swap(threads_);
+    }
+    cv_.notify_all();
+    workers.clear();  // joins (each worker drains, then exits)
+  }
+
+ private:
+  void run(const std::stop_token& st) {
+    for (;;) {
+      std::function<void()> fn;
+      {
+        bsk::support::MutexLock lk(mu_);
+        while (queue_.empty()) {
+          if (stopping_ || st.stop_requested()) return;
+          ++idle_;
+          cv_.wait_for(mu_, std::chrono::milliseconds(100));
+          --idle_;
+        }
+        fn = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      fn();
+    }
+  }
+
+  const std::size_t cap_;
+  mutable bsk::support::Mutex mu_;
+  bsk::support::CondVar cv_;
+  std::deque<std::function<void()>> queue_ BSK_GUARDED_BY(mu_);
+  std::vector<std::jthread> threads_ BSK_GUARDED_BY(mu_);
+  std::size_t idle_ BSK_GUARDED_BY(mu_) = 0;
+  bool stopping_ BSK_GUARDED_BY(mu_) = false;
+};
+
+/// The daemon's connection brain: EpollServer handler callbacks append
+/// typed work items (handshake, frame, close) to a per-connection inbox,
+/// and at most one executor at a time drains each inbox in order — the
+/// loop thread never touches a session lock, and per-connection frame
+/// ordering is preserved without a thread per connection.
+class Daemon final : public bsk::net::EpollServer::Handler {
+ public:
+  using ConnId = bsk::net::EpollServer::ConnId;
+
+  Daemon(double session_linger_s, std::size_t workers)
+      : linger_(session_linger_s), pool_(workers) {}
+
+  bool start(std::uint16_t port) {
+    bsk::net::EpollOptions opts;
+    opts.port = port;
+    server_ = std::make_unique<bsk::net::EpollServer>(*this, opts);
+    if (!server_->valid()) return false;
+    g_server = server_.get();
+    // Launch only after server_/g_server are published: the loop thread can
+    // fire on_hello immediately, and handle_hello reads both.
+    server_->start();
+    return true;
+  }
+
+  std::uint16_t port() const { return server_->port(); }
+  double linger() const { return linger_; }
+
+  /// Orderly stop: say goodbye to live sessions (immediate failover on the
+  /// client, no grace-window burn), then wind everything down.
+  void shutdown() {
+    using namespace bsk::net;
+    for (auto& s : g_registry.snapshot()) {
+      bsk::support::MutexLock lk(s->mu);
+      if (s->conn != 0) {
+        LeaveMsg bye;
+        bye.self.port = 0;  // identity is the connection; port unused here
+        server_->send(s->conn, make_leave(bye));
+      }
+      if (s->shm) s->shm->close();
+    }
+    server_->stop();  // no callbacks past this point
+    pool_.stop();     // queued work drains; replies to dead conns no-op
+    {
+      bsk::support::MutexLock lk(shm_mu_);
+      shm_threads_.clear();  // joins; g_stop and closed segments end them
+    }
+    g_registry.stop_all();
+    g_server = nullptr;
+  }
+
+ private:
+  struct Item {
+    enum class Kind { Hello, Frame, Closed } kind = Kind::Frame;
+    bsk::net::Hello hello;  // Kind::Hello
+    bsk::net::Frame frame;  // Kind::Frame
+  };
+
+  struct ConnState {
+    explicit ConnState(ConnId id_in) : id(id_in) {}
+    const ConnId id;
+
+    bsk::support::Mutex inbox_mu;  // light: push/pop only, never held long
+    std::deque<Item> inbox BSK_GUARDED_BY(inbox_mu);
+    bool scheduled BSK_GUARDED_BY(inbox_mu) = false;
+
+    // Pump-only state (one pump runs per connection at a time).
+    int role = 0;  // 0 = pre-handshake, -1 = refused/done
+    std::shared_ptr<Session> session;
+    std::uint32_t epoch = 0;
+  };
+
+  // Loop-thread callbacks: enqueue and get out of the way.
+  void on_hello(ConnId c, const bsk::net::Hello& h) override {
+    auto cs = std::make_shared<ConnState>(c);
+    {
+      bsk::support::MutexLock lk(conns_mu_);
+      conns_[c] = cs;
+    }
+    {
+      bsk::support::MutexLock lk(cs->inbox_mu);
+      cs->inbox.push_back(Item{Item::Kind::Hello, h, {}});
+    }
+    schedule(cs);
+  }
+
+  void on_frame(ConnId c, bsk::net::Frame&& f) override {
+    auto cs = find(c);
+    if (!cs) return;
+    {
+      bsk::support::MutexLock lk(cs->inbox_mu);
+      cs->inbox.push_back(Item{Item::Kind::Frame, {}, std::move(f)});
+    }
+    schedule(cs);
+  }
+
+  void on_closed(ConnId c) override {
+    std::shared_ptr<ConnState> cs;
+    {
+      bsk::support::MutexLock lk(conns_mu_);
+      auto it = conns_.find(c);
+      if (it == conns_.end()) return;
+      cs = it->second;
+      conns_.erase(it);
+    }
+    {
+      bsk::support::MutexLock lk(cs->inbox_mu);
+      cs->inbox.push_back(Item{Item::Kind::Closed, {}, {}});
+    }
+    schedule(cs);
+  }
+
+  std::shared_ptr<ConnState> find(ConnId c) {
+    bsk::support::MutexLock lk(conns_mu_);
+    auto it = conns_.find(c);
+    return it == conns_.end() ? nullptr : it->second;
+  }
+
+  void schedule(const std::shared_ptr<ConnState>& cs) {
+    bool spawn = false;
+    {
+      bsk::support::MutexLock lk(cs->inbox_mu);
+      if (!cs->scheduled && !cs->inbox.empty()) {
+        cs->scheduled = true;
+        spawn = true;
+      }
+    }
+    if (spawn)
+      pool_.submit([this, cs] { pump(cs); });
+  }
+
+  void pump(const std::shared_ptr<ConnState>& cs) {
+    for (;;) {
+      Item it;
+      {
+        bsk::support::MutexLock lk(cs->inbox_mu);
+        if (cs->inbox.empty()) {
+          cs->scheduled = false;
+          return;
+        }
+        it = std::move(cs->inbox.front());
+        cs->inbox.pop_front();
+      }
+      process(*cs, it);
+    }
+  }
+
+  void process(ConnState& cs, Item& it) {
+    using namespace bsk::net;
+    switch (it.kind) {
+      case Item::Kind::Hello:
+        handle_hello(cs, it.hello);
+        return;
+      case Item::Kind::Frame:
+        switch (cs.role) {
+          case 1:
+            role1_frame(cs, it.frame);
+            return;
+          case 2:
+            role2_frame(cs, it.frame);
+            return;
+          case 3:
+            role3_frame(cs, it.frame);
+            return;
+          default:
+            return;  // refused connection still draining
+        }
+      case Item::Kind::Closed:
+        if (cs.role == 1 && cs.session) {
+          if (g_stop.load()) {
+            bsk::support::global_event_log().record(
+                "bskd", "sessionEnd", static_cast<double>(cs.session->id));
+            g_registry.erase(cs.session, cs.epoch);
+          } else {
+            // Connection died without a goodbye: park the session so a
+            // client riding out a transient partition can resume it.
+            bsk::support::global_event_log().record(
+                "bskd", "sessionPark", static_cast<double>(cs.session->id));
+            g_registry.park(cs.session, cs.epoch);
+          }
+          cs.session.reset();
+        }
+        cs.role = -1;
+        return;
+    }
+  }
+
+  // ---------------------------------------------------------- handshake
+
+  void handle_hello(ConnState& cs, const bsk::net::Hello& hello) {
+    using namespace bsk::net;
+    if (hello.magic != kMagic || hello.version != kProtocolVersion) {
+      HelloAck nak;
+      nak.ok = false;
+      server_->send(cs.id, make_hello_ack(nak));
+      server_->close_conn(cs.id);
+      cs.role = -1;
+      return;
+    }
+    if (hello.clock_scale > 0.0)
+      bsk::support::Clock::set_scale(hello.clock_scale);
+    if (hello.role == 2) {
+      cs.role = 2;
+      HelloAck ack;  // no worker session behind a stats channel
+      server_->send(cs.id, make_hello_ack(ack));
+      return;
+    }
+    if (hello.role == 3) {
+      cs.role = 3;
+      HelloAck ack;  // gossip channel: refused when clustering is off
+      ack.ok = g_cluster != nullptr;
+      server_->send(cs.id, make_hello_ack(ack));
+      if (!g_cluster) {
+        server_->close_conn(cs.id);
+        cs.role = -1;
+      }
+      return;
+    }
+
+    cs.role = 1;
+    const double hb =
+        hello.heartbeat_wall_s > 0.0 ? hello.heartbeat_wall_s : 0.25;
+
+    std::shared_ptr<Session> session;
+    std::uint32_t my_epoch = 0;
+    bool resumed = false;
+    if (hello.resume_session != 0) {
+      if (auto s = g_registry.find_for_resume(hello.resume_session)) {
+        bsk::support::MutexLock lk(s->mu);
+        if (s->epoch == hello.resume_epoch) {
+          // Steal the session from whatever connection held it (a half-dead
+          // one during an asymmetric partition, or a parked slot). Closing
+          // the old connection fires its Closed item, where the epoch bump
+          // makes the park a no-op.
+          if (s->conn != 0) server_->close_conn(s->conn);
+          if (s->shm) {
+            s->shm->close();  // the new connection renegotiates below
+            s->shm.reset();
+          }
+          my_epoch = ++s->epoch;
+          s->conn = cs.id;
+          s->parked_at = -1.0;
+          // Everything the client has acknowledged is gone for good.
+          while (!s->result_order.empty() &&
+                 s->result_order.front() <= hello.last_acked_seq) {
+            s->results.erase(s->result_order.front());
+            s->result_order.pop_front();
+          }
+          session = s;
+          resumed = true;
+        }
+      }
+    }
+    if (!session) {
+      session = g_registry.create(hello.node_kind);
+      bsk::support::MutexLock lk(session->mu);
+      my_epoch = ++session->epoch;
+      session->conn = cs.id;
+    }
+    cs.session = session;
+    cs.epoch = my_epoch;
+
+    HelloAck ack;
+    ack.session = session->id;
+    ack.epoch = my_epoch;
+    ack.resumed = resumed;
+
+    // Colocated fast path: the client asked for shm, so create a named
+    // segment and advertise it in the ack. Failure is silent — the ack
+    // simply carries no name and the session stays on TCP, which is served
+    // identically.
+    std::shared_ptr<ShmTransport> shm;
+    if (hello.want_shm != 0) {
+      ShmOptions so;
+      const std::size_t want =
+          hello.shm_ring_bytes != 0 ? hello.shm_ring_bytes : (1u << 20);
+      so.ring_bytes = std::clamp<std::size_t>(want, 64u << 10, 8u << 20);
+      std::string name;
+      shm = ShmTransport::create_named(name, so);
+      if (shm) {
+        ack.shm_name = name;
+        ack.shm_ring_bytes = static_cast<std::uint32_t>(shm->ring_bytes());
+        bsk::support::MutexLock lk(session->mu);
+        session->shm = shm;
+      }
+    }
+
+    server_->send(cs.id, make_hello_ack(ack));
+    if (shm) serve_shm_async(session, shm, my_epoch, cs.id);
+    bsk::support::global_event_log().record(
+        "bskd", resumed ? "sessionResume" : "sessionStart",
+        static_cast<double>(session->id), session->kind);
+    server_->set_heartbeat(cs.id, hb);
+  }
+
+  // --------------------------------------------------------- role frames
+
+  void role1_frame(ConnState& cs, const bsk::net::Frame& f) {
+    using namespace bsk::net;
+    switch (f.type) {
+      case FrameType::TaskMsg:
+        handle_task(*cs.session, f);
+        return;
+      case FrameType::SecureReq: {
+        bsk::support::MutexLock lk(cs.session->mu);
+        cs.session->secured = true;
+        reply_to(*cs.session, Frame{FrameType::SecureAck, {}});
+        return;
+      }
+      case FrameType::Shutdown:
+        bsk::support::global_event_log().record(
+            "bskd", "sessionEnd", static_cast<double>(cs.session->id));
+        g_registry.erase(cs.session, cs.epoch);
+        server_->close_conn(cs.id);
+        cs.session.reset();
+        cs.role = -1;
+        return;
+      default:
+        return;  // not meaningful on a worker channel
+    }
+  }
+
+  void role2_frame(ConnState& cs, const bsk::net::Frame& f) {
+    using namespace bsk::net;
+    if (f.type == FrameType::Shutdown) {
+      server_->close_conn(cs.id);
+      cs.role = -1;
+      return;
+    }
     if (f.type == FrameType::MembershipReq) {
       const auto seq = parse_membership_req(f);
-      if (!seq) continue;
+      if (!seq) return;
       MembershipReply rep;
       rep.seq = *seq;
       if (g_cluster) {
         rep.ok = true;
         rep.view = g_cluster->view();
       }
-      tp.send(make_membership_rep(rep));
-      continue;
+      server_->send(cs.id, make_membership_rep(rep));
+      return;
     }
     const auto req = parse_stats_req(f);
-    if (!req) continue;  // not meaningful on a stats channel
+    if (!req) return;  // not meaningful on a stats channel
     StatsReply rep;
     rep.seq = req->seq;
     rep.ok = true;
     rep.text = stats_text(req->what);
-    tp.send(make_stats_rep(rep));
+    server_->send(cs.id, make_stats_rep(rep));
   }
-}
 
-void serve_session(std::unique_ptr<bsk::net::TcpTransport> owned) {
-  using namespace bsk::net;
-  std::shared_ptr<TcpTransport> tp{std::move(owned)};
+  void role3_frame(ConnState& cs, const bsk::net::Frame& f) {
+    std::optional<bsk::net::Frame> reply;
+    const bool keep = g_cluster && g_cluster->handle_frame(f, reply);
+    if (reply) server_->send(cs.id, *reply);
+    if (!keep) {
+      server_->close_conn(cs.id);
+      cs.role = -1;
+    }
+  }
 
-  // Handshake (resume-aware; server_handshake() covers only the fresh
-  // path, so it is inlined here).
-  Frame hf;
-  if (tp->recv_for(hf, 5.0) != RecvStatus::Ok ||
-      hf.type != FrameType::Hello) {
-    tp->close();
-    return;
-  }
-  const auto hello = parse_hello(hf);
-  if (!hello || hello->magic != kMagic ||
-      hello->version != kProtocolVersion) {
-    HelloAck nak;
-    nak.ok = false;
-    tp->send(make_hello_ack(nak));
-    tp->close();
-    return;
-  }
-  if (hello->clock_scale > 0.0)
-    bsk::support::Clock::set_scale(hello->clock_scale);
-  if (hello->role == 2) {
-    HelloAck ack;  // no worker session behind a stats channel
-    tp->send(make_hello_ack(ack));
-    serve_stats(*tp);
-    tp->close();
-    return;
-  }
-  if (hello->role == 3) {
-    HelloAck ack;  // gossip channel: refused when clustering is off
-    ack.ok = g_cluster != nullptr;
-    tp->send(make_hello_ack(ack));
-    if (g_cluster) g_cluster->serve(*tp);
-    tp->close();
-    return;
-  }
-  const double hb =
-      hello->heartbeat_wall_s > 0.0 ? hello->heartbeat_wall_s : 0.25;
+  // ----------------------------------------------------------- shm serve
 
-  std::shared_ptr<Session> session;
-  std::uint32_t my_epoch = 0;
-  bool resumed = false;
-  if (hello->resume_session != 0) {
-    if (auto s = g_registry.find_for_resume(hello->resume_session)) {
-      bsk::support::MutexLock lk(s->mu);
-      if (s->epoch == hello->resume_epoch) {
-        // Steal the session from whatever connection held it (a half-dead
-        // one during an asymmetric partition, or a parked slot). Closing
-        // the old transport sends its serve thread to park(), where the
-        // epoch bump makes it a no-op.
-        if (s->active) s->active->close();
-        my_epoch = ++s->epoch;
-        s->active = tp;
-        s->parked_at = -1.0;
-        // Everything the client has acknowledged is gone for good.
-        while (!s->result_order.empty() &&
-               s->result_order.front() <= hello->last_acked_seq) {
-          s->results.erase(s->result_order.front());
-          s->result_order.pop_front();
+  /// One blocking drain thread per negotiated segment: shm recv uses the
+  /// spin→yield→futex ladder, so a dedicated thread is what keeps the
+  /// colocated round-trip in the microsecond range (an epoll loop cannot
+  /// wait on a futex in shared memory). Bounded by the number of colocated
+  /// clients that negotiated shm, not by connection count.
+  void serve_shm_async(std::shared_ptr<Session> s,
+                       std::shared_ptr<bsk::net::ShmTransport> shm,
+                       std::uint32_t my_epoch, ConnId conn) {
+    bsk::support::MutexLock lk(shm_mu_);
+    shm_threads_.emplace_back([this, s = std::move(s), shm = std::move(shm),
+                               my_epoch, conn](const std::stop_token& st) {
+      serve_shm(st, s, shm, my_epoch, conn);
+    });
+  }
+
+  void serve_shm(const std::stop_token& st,
+                 const std::shared_ptr<Session>& s,
+                 const std::shared_ptr<bsk::net::ShmTransport>& shm,
+                 std::uint32_t my_epoch, ConnId conn) {
+    using namespace bsk::net;
+    while (!g_stop.load() && !st.stop_requested() && !shm->closed()) {
+      Frame f;
+      switch (shm->recv_for(f, 0.25)) {
+        case RecvStatus::Closed:
+          return;  // anchor close parks the session via its Closed item
+        case RecvStatus::TimedOut:
+          continue;
+        case RecvStatus::Ok:
+          break;
+      }
+      switch (f.type) {
+        case FrameType::TaskMsg:
+          handle_task(*s, f);
+          break;
+        case FrameType::SecureReq: {
+          bsk::support::MutexLock lk(s->mu);
+          s->secured = true;
+          reply_to(*s, Frame{FrameType::SecureAck, {}});
+          break;
         }
-        if (s->secured) tp->mark_secured();
-        session = s;
-        resumed = true;
+        case FrameType::Shutdown:
+          // Clean goodbye over the fast path: retire the session; closing
+          // the anchor fires the conn's Closed item, fenced by the epoch.
+          bsk::support::global_event_log().record(
+              "bskd", "sessionEnd", static_cast<double>(s->id));
+          g_registry.erase(s, my_epoch);
+          server_->close_conn(conn);
+          return;
+        default:
+          break;  // not meaningful on a worker channel
       }
     }
   }
-  if (!session) {
-    session = g_registry.create(hello->node_kind);
-    bsk::support::MutexLock lk(session->mu);
-    my_epoch = ++session->epoch;
-    session->active = tp;
-  }
 
-  HelloAck ack;
-  ack.session = session->id;
-  ack.epoch = my_epoch;
-  ack.resumed = resumed;
-  tp->send(make_hello_ack(ack));
-  bsk::support::global_event_log().record(
-      "bskd", resumed ? "sessionResume" : "sessionStart",
-      static_cast<double>(session->id), session->kind);
+  const double linger_;
+  ExecutorPool pool_;
+  std::unique_ptr<bsk::net::EpollServer> server_;
 
-  // Heartbeats on their own thread: a long task must not silence them.
-  std::jthread beater([tp, hb](std::stop_token st) {
-    std::uint64_t seq = 0;
-    while (!st.stop_requested() && !tp->closed()) {
-      tp->send(make_heartbeat({seq++, wall_now()}));
-      std::this_thread::sleep_for(std::chrono::duration<double>(hb));
-    }
-  });
+  mutable bsk::support::Mutex conns_mu_;
+  std::map<ConnId, std::shared_ptr<ConnState>> conns_
+      BSK_GUARDED_BY(conns_mu_);
 
-  bool clean_shutdown = false;
-  bool running = true;
-  while (running && !g_stop.load()) {
-    Frame f;
-    switch (tp->recv_for(f, 0.25)) {
-      case RecvStatus::Closed:
-        running = false;
-        continue;
-      case RecvStatus::TimedOut:
-        continue;
-      case RecvStatus::Ok:
-        break;
-    }
-    switch (f.type) {
-      case FrameType::TaskMsg:
-        handle_task(*session, *tp, f);
-        break;
-      case FrameType::SecureReq: {
-        tp->mark_secured();
-        bsk::support::MutexLock lk(session->mu);
-        session->secured = true;
-        tp->send(Frame{FrameType::SecureAck, {}});
-        break;
-      }
-      case FrameType::Shutdown:
-        clean_shutdown = true;
-        running = false;
-        break;
-      default:
-        break;  // not meaningful on a worker channel
-    }
-  }
-
-  beater.request_stop();
-  if (clean_shutdown || g_stop.load()) {
-    if (!clean_shutdown && !tp->closed()) {
-      // The daemon is going down while the client still lives: say goodbye
-      // so the client fails the worker over immediately instead of burning
-      // its reconnect grace window against a corpse.
-      LeaveMsg bye;
-      bye.self.port = 0;  // identity is the connection; port unused here
-      tp->send(make_leave(bye));
-    }
-    bsk::support::global_event_log().record(
-        "bskd", "sessionEnd", static_cast<double>(session->id));
-    g_registry.erase(session, my_epoch);
-  } else {
-    // Connection died without a goodbye: park the session so a client
-    // riding out a transient partition can resume it.
-    bsk::support::global_event_log().record(
-        "bskd", "sessionPark", static_cast<double>(session->id));
-    g_registry.park(session, my_epoch);
-  }
-  tp->close();
-}
+  bsk::support::Mutex shm_mu_;
+  std::vector<std::jthread> shm_threads_ BSK_GUARDED_BY(shm_mu_);
+};
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--port N] [--port-file PATH] [--session-linger S]"
-               " [--trace-file PATH] [--cluster]"
+               " [--workers N] [--trace-file PATH] [--cluster]"
                " [--join HOST:PORT[,HOST:PORT...]] [--cores N]"
                " [--core-speed X] [--fanout K] [--beacon PORT]\n",
                argv0);
@@ -459,6 +837,7 @@ int main(int argc, char** argv) {
   std::string port_file;
   std::string trace_file;
   double session_linger_s = 10.0;
+  std::size_t workers = 64;
   bool cluster = false;
   bsk::cluster::ClusterOptions copts;
   std::uint32_t cores = std::max(1u, std::thread::hardware_concurrency());
@@ -529,6 +908,15 @@ int main(int argc, char** argv) {
       port_file = argv[++i];
     } else if (arg == "--trace-file" && i + 1 < argc) {
       trace_file = argv[++i];
+    } else if (arg == "--workers" && i + 1 < argc) {
+      const char* s = argv[++i];
+      char* end = nullptr;
+      const unsigned long v = std::strtoul(s, &end, 10);
+      if (end == s || *end != '\0' || v == 0) {
+        std::fprintf(stderr, "bskd: invalid workers '%s'\n", s);
+        return usage(argv[0]);
+      }
+      workers = static_cast<std::size_t>(v);
     } else if (arg == "--session-linger" && i + 1 < argc) {
       const char* s = argv[++i];
       char* end = nullptr;
@@ -549,18 +937,18 @@ int main(int argc, char** argv) {
   ::sigaction(SIGINT, &sa, nullptr);
   ::signal(SIGPIPE, SIG_IGN);
 
-  bsk::net::TcpListener listener(port);
-  if (!listener.valid()) {
+  Daemon daemon(session_linger_s, workers);
+  if (!daemon.start(port)) {
     std::fprintf(stderr, "bskd: cannot listen on port %u\n", port);
     return 1;
   }
-  std::fprintf(stderr, "bskd: listening on 127.0.0.1:%u\n", listener.port());
+  std::fprintf(stderr, "bskd: listening on 127.0.0.1:%u\n", daemon.port());
   bsk::obs::TraceLog::global().set_process_tag(
-      "bskd:" + std::to_string(listener.port()));
+      "bskd:" + std::to_string(daemon.port()));
   if (cluster) {
     bsk::net::Member self;
     self.host = "127.0.0.1";
-    self.port = listener.port();
+    self.port = daemon.port();
     self.cores = cores;
     self.core_speed = core_speed;
     const std::size_t n_seeds = copts.seeds.size();
@@ -574,19 +962,14 @@ int main(int argc, char** argv) {
 
   if (!port_file.empty()) {
     std::ofstream out(port_file, std::ios::trunc);
-    out << listener.port() << '\n';
+    out << daemon.port() << '\n';
   }
 
-  {
-    std::vector<std::jthread> sessions;
-    while (!g_stop.load()) {
-      auto tp = listener.accept_for(0.25);
-      g_registry.reap(session_linger_s);
-      if (!tp) continue;
-      sessions.emplace_back(serve_session, std::move(tp));
-    }
-    listener.close();
-  }  // jthreads join; sessions see g_stop and wind down
+  while (!g_stop.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(250));
+    g_registry.reap(daemon.linger());
+  }
+  daemon.shutdown();
 
   if (g_cluster) {
     // Orderly departure: tell every peer we are going (immediate

@@ -110,21 +110,34 @@ bool RemoteWorkerNode::failed() const {
 
 std::optional<rt::Task> RemoteWorkerNode::process(rt::Task t) {
   link_.charge(t);
-  std::uint64_t seq;
   std::size_t in_flight;
-  Frame frame;
   {
     // Stage the recovery copy *before* anything can fail: whatever happens
     // from here on — send failure, peer death, a monitor declaring us
     // crashed mid-call — the task is reachable through drain_unacked().
     support::MutexLock lk(mu_);
-    seq = ++next_seq_;
-    frame = make_task(t, FrameType::TaskMsg, seq);
+    const std::uint64_t seq = ++next_seq_;
     unacked_.push_back(Pending{seq, std::move(t), wall_now()});
     in_flight = unacked_.size();
   }
   if (hard_failed_.load(std::memory_order_relaxed)) return std::nullopt;
-  if (!transport_ptr()->send(frame)) {
+  bool sent = true;
+  {
+    // Zero-copy send straight from the staged recovery copy: the lock
+    // keeps the entry alive under the serializer (the retransmit path
+    // already sends under mu_, so there is no new lock-ordering edge).
+    const auto tp = transport_ptr();
+    support::MutexLock lk(mu_);
+    if (!unacked_.empty()) {
+      const Pending& p = unacked_.back();
+      sent = tp->send_serialized(FrameType::TaskMsg, 1,
+                                 [&p](std::size_t, wire::Writer& w) {
+                                   w.u64(p.seq);
+                                   put_task(w, p.task);
+                                 });
+    }
+  }
+  if (!sent) {
     // Send failure is a sick connection, not yet a crash: a successful
     // resume replays the staged task along with everything else unacked.
     if (!try_resume()) {
@@ -248,7 +261,11 @@ std::optional<rt::Task> RemoteWorkerNode::await_result() {
                   opts_.retransmit_timeout_wall_s) {
             Pending& front = unacked_.front();
             front.last_sent = wall_now();
-            tp->send(make_task(front.task, FrameType::TaskMsg, front.seq));
+            tp->send_serialized(FrameType::TaskMsg, 1,
+                                [&front](std::size_t, wire::Writer& w) {
+                                  w.u64(front.seq);
+                                  put_task(w, front.task);
+                                });
             retransmits_.fetch_add(1, std::memory_order_relaxed);
             conduit_obs().retransmits.inc();
           }
@@ -274,18 +291,18 @@ bool RemoteWorkerNode::try_resume() {
       Hello h = opts_.hello;
       h.resume_session = session_.load(std::memory_order_relaxed);
       h.resume_epoch = epoch_.load(std::memory_order_relaxed);
-      std::vector<Frame> replay;
       {
         support::MutexLock lk(mu_);
         h.last_acked_seq = last_acked_;
-        replay.reserve(unacked_.size());
-        for (Pending& p : unacked_) {
-          p.last_sent = wall_now();
-          replay.push_back(make_task(p.task, FrameType::TaskMsg, p.seq));
-        }
       }
       HelloAck ack;
       if (client_handshake(*fresh, h, opts_.handshake_timeout_wall_s, &ack)) {
+        // Post-handshake upgrade (e.g. the pool's colocated shm attach)
+        // happens before the swap and before the replay, so replayed tasks
+        // ride the upgraded path from the first frame.
+        if (opts_.upgrade) {
+          if (auto up = opts_.upgrade(fresh, ack)) fresh = std::move(up);
+        }
         bool was_secured;
         {
           support::MutexLock lk(tp_mu_);
@@ -309,13 +326,24 @@ bool RemoteWorkerNode::try_resume() {
           fresh->send(Frame{FrameType::SecureReq, {}});
           fresh->mark_secured();
         }
-        // Replay everything unacked. The peer's seq dedup turns replays of
-        // already-executed tasks into cached-result resends, so this is
-        // safe whether the session resumed or restarted from scratch.
-        if (!replay.empty()) {
-          fresh->send_many(replay.data(), replay.size());
-          retransmits_.fetch_add(replay.size(), std::memory_order_relaxed);
-          conduit_obs().retransmits.inc(replay.size());
+        // Replay everything unacked, serialized straight out of the pending
+        // deque in one scatter/gather batch. The peer's seq dedup turns
+        // replays of already-executed tasks into cached-result resends, so
+        // this is safe whether the session resumed or restarted from scratch.
+        {
+          support::MutexLock lk(mu_);
+          if (!unacked_.empty()) {
+            const double now = wall_now();
+            fresh->send_serialized(FrameType::TaskMsg, unacked_.size(),
+                                   [this](std::size_t i, wire::Writer& w) {
+                                     w.u64(unacked_[i].seq);
+                                     put_task(w, unacked_[i].task);
+                                   });
+            for (Pending& p : unacked_) p.last_sent = now;
+            retransmits_.fetch_add(unacked_.size(),
+                                   std::memory_order_relaxed);
+            conduit_obs().retransmits.inc(unacked_.size());
+          }
         }
         down_since_.store(-1.0, std::memory_order_relaxed);
         return true;

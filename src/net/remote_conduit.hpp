@@ -86,24 +86,31 @@ class RemoteConduit final : public rt::Conduit {
   bool push(rt::Task t) override {
     link_.charge(t);
     pushed_.fetch_add(1, std::memory_order_relaxed);
-    return tp_->send(make_task(t, send_type_));
+    // Zero-copy: serialize straight into the transport's send buffer (the
+    // TCP/shm backends skip the intermediate Frame entirely; decorators
+    // fall back to a materialized frame via the base default).
+    return tp_->send_serialized(send_type_, 1,
+                                [&t](std::size_t, wire::Writer& w) {
+                                  w.u64(0);  // unsequenced
+                                  put_task(w, t);
+                                });
   }
 
   bool try_push(rt::Task t) override { return push(std::move(t)); }
 
-  /// Batched push: encode the whole batch and hand it to the transport as
-  /// one send_many (the TCP backend coalesces it into a single buffered
-  /// write and one I/O wakeup).
+  /// Batched push: serialize the whole batch into the transport's send
+  /// buffer under one lock and one I/O wakeup, so the frames leave in as
+  /// few segments as the kernel allows.
   std::size_t push_n(std::vector<rt::Task>& ts) override {
     if (ts.empty()) return 0;
-    std::vector<Frame> frames;
-    frames.reserve(ts.size());
-    for (rt::Task& t : ts) {
-      link_.charge(t);
-      frames.push_back(make_task(t, send_type_));
-    }
+    for (rt::Task& t : ts) link_.charge(t);
     pushed_.fetch_add(ts.size(), std::memory_order_relaxed);
-    return tp_->send_many(frames.data(), frames.size()) ? ts.size() : 0;
+    const bool ok = tp_->send_serialized(
+        send_type_, ts.size(), [&ts](std::size_t i, wire::Writer& w) {
+          w.u64(0);  // unsequenced
+          put_task(w, ts[i]);
+        });
+    return ok ? ts.size() : 0;
   }
 
   support::ChannelStatus pop(rt::Task& out) override {
@@ -177,6 +184,14 @@ struct RemoteNodeOptions {
   /// nullptr means "still unreachable" (the node backs off and retries
   /// until the grace window closes).
   std::function<std::shared_ptr<Transport>()> reconnect;
+  /// Post-handshake transport upgrade (the pool's colocated shm attach):
+  /// given the fresh connection and the ack it handshook, return the
+  /// transport the session should continue on — possibly the input
+  /// unchanged. Runs before the replay, so replayed tasks ride the
+  /// upgraded path.
+  std::function<std::shared_ptr<Transport>(std::shared_ptr<Transport>,
+                                           const HelloAck&)>
+      upgrade;
   /// Handshake template for resume attempts (node kind, clock, heartbeat).
   Hello hello;
   /// Session identity from the initial HelloAck (resume presents it).

@@ -6,6 +6,7 @@
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -49,6 +50,99 @@ double wall_now() {
   return std::chrono::duration_cast<std::chrono::duration<double>>(
              std::chrono::steady_clock::now() - epoch)
       .count();
+}
+
+// --------------------------------------------------------------- sendqueue
+
+std::vector<std::uint8_t>& SendQueue::back_slab() {
+  if (slabs_.empty() || slabs_.back().data.size() >= kSlabBytes) {
+    Slab s;
+    if (!spares_.empty()) {
+      s.data = std::move(spares_.back());
+      spares_.pop_back();
+      s.data.clear();
+    } else {
+      s.data.reserve(kSlabBytes);
+    }
+    slabs_.push_back(std::move(s));
+  }
+  return slabs_.back().data;
+}
+
+void SendQueue::append_frame(const Frame& f) {
+  auto& slab = back_slab();
+  const std::size_t before = slab.size();
+  encode_frame_into(f, slab);
+  bytes_ += slab.size() - before;
+}
+
+void SendQueue::take_all(SendQueue& from) {
+  while (!from.slabs_.empty()) {
+    slabs_.push_back(std::move(from.slabs_.front()));
+    from.slabs_.pop_front();
+  }
+  bytes_ += from.bytes_;
+  from.bytes_ = 0;
+}
+
+void SendQueue::give_spares(SendQueue& to) {
+  while (!spares_.empty() && to.spares_.size() < kMaxSpares) {
+    to.spares_.push_back(std::move(spares_.back()));
+    spares_.pop_back();
+  }
+  spares_.clear();
+}
+
+std::size_t SendQueue::gather(iovec* iov, std::size_t max) const {
+  std::size_t n = 0;
+  for (const Slab& s : slabs_) {
+    if (n == max) break;
+    const std::size_t len = s.data.size() - s.off;
+    if (len == 0) continue;
+    iov[n].iov_base = const_cast<std::uint8_t*>(s.data.data() + s.off);
+    iov[n].iov_len = len;
+    ++n;
+  }
+  return n;
+}
+
+void SendQueue::consume(std::size_t n) {
+  bytes_ -= n;
+  while (n > 0) {
+    Slab& s = slabs_.front();
+    const std::size_t len = s.data.size() - s.off;
+    if (n < len) {
+      s.off += n;
+      return;
+    }
+    n -= len;
+    if (spares_.size() < kMaxSpares) spares_.push_back(std::move(s.data));
+    slabs_.pop_front();
+  }
+}
+
+void SendQueue::clear() {
+  slabs_.clear();
+  spares_.clear();
+  bytes_ = 0;
+}
+
+// --------------------------------------------------------------- transport
+
+bool Transport::send_serialized(FrameType type, std::size_t n,
+                                const SerializeFn& emit) {
+  if (n == 0) return !closed();
+  // Default path: materialize Frames and defer to send_many. Decorators
+  // (chaos FaultInjector) inherit this, so zero-copy call sites still pass
+  // through fault injection frame by frame.
+  std::vector<Frame> fs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    fs[i].type = type;
+    wire::Writer w;
+    emit(i, w);
+    fs[i].payload = w.take();
+  }
+  return send_many(fs.data(), n);
 }
 
 // ------------------------------------------------------------------ inproc
@@ -224,12 +318,30 @@ bool TcpTransport::send_many(const Frame* fs, std::size_t n) {
   if (n == 0) return !closed_.load(std::memory_order_acquire);
   if (closed_.load(std::memory_order_acquire)) return false;
   {
-    // Encode the whole batch straight into the send buffer: one lock, one
-    // wake, one (or few) kernel writes — the wire face of the dataplane's
-    // credit-window pipelining.
+    // Encode the whole batch straight into the send-queue slabs: one lock,
+    // one wake, one (or few) kernel writes — the wire face of the
+    // dataplane's credit-window pipelining.
     support::MutexLock lk(out_mu_);
     if (closed_.load(std::memory_order_acquire)) return false;
-    for (std::size_t i = 0; i < n; ++i) encode_frame_into(fs[i], outbuf_);
+    for (std::size_t i = 0; i < n; ++i) outq_.append_frame(fs[i]);
+  }
+  frames_sent_.fetch_add(n, std::memory_order_relaxed);
+  net_obs().frames_sent.inc(n);
+  wake();
+  return true;
+}
+
+bool TcpTransport::send_serialized(FrameType type, std::size_t n,
+                                   const SerializeFn& emit) {
+  if (n == 0) return !closed_.load(std::memory_order_acquire);
+  if (closed_.load(std::memory_order_acquire)) return false;
+  {
+    // Zero-copy path: serializers write straight into the send slabs — no
+    // Frame, no payload vector, no per-frame allocation once slabs warm up.
+    support::MutexLock lk(out_mu_);
+    if (closed_.load(std::memory_order_acquire)) return false;
+    for (std::size_t i = 0; i < n; ++i)
+      outq_.build_frame(type, [&](wire::Writer& w) { emit(i, w); });
   }
   frames_sent_.fetch_add(n, std::memory_order_relaxed);
   net_obs().frames_sent.inc(n);
@@ -238,8 +350,10 @@ bool TcpTransport::send_many(const Frame* fs, std::size_t n) {
 }
 
 void TcpTransport::io_loop() {
-  std::vector<std::uint8_t> pending;
-  std::size_t pending_off = 0;
+  // Private send queue: slabs are swapped out of outq_ under the lock, the
+  // gather-write below runs lock-free, and drained slab storage is donated
+  // back so steady-state sending allocates nothing.
+  SendQueue pending;
   std::uint8_t rbuf[64 * 1024];
   double closing_since = -1.0;
   bool dead = false;
@@ -248,12 +362,11 @@ void TcpTransport::io_loop() {
     bool want_write;
     {
       support::MutexLock lk(out_mu_);
-      if (pending_off >= pending.size() && !outbuf_.empty()) {
-        pending.swap(outbuf_);
-        outbuf_.clear();
-        pending_off = 0;
+      if (pending.empty()) {
+        pending.give_spares(outq_);
+        if (!outq_.empty()) pending.take_all(outq_);
       }
-      want_write = pending_off < pending.size();
+      want_write = !pending.empty();
     }
 
     if (closed_.load(std::memory_order_acquire)) {
@@ -323,18 +436,34 @@ void TcpTransport::io_loop() {
     }
 
     if (!dead && want_write && (fds[0].revents & POLLOUT)) {
-      // MSG_NOSIGNAL: a peer that vanished mid-write must surface as EPIPE
-      // on this call, never as a process-killing SIGPIPE.
-      const ssize_t n = ::send(fd_, pending.data() + pending_off,
-                               pending.size() - pending_off, MSG_NOSIGNAL);
-      if (n > 0) {
-        pending_off += static_cast<std::size_t>(n);
-        bytes_sent_.fetch_add(static_cast<std::uint64_t>(n),
-                              std::memory_order_relaxed);
-        net_obs().bytes_sent.inc(static_cast<std::uint64_t>(n));
-      } else if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
-                 errno != EINTR) {
-        dead = true;
+      // Scatter/gather flush: one sendmsg over every queued slab span.
+      // (sendmsg, not writev — only sendmsg takes MSG_NOSIGNAL, and a peer
+      // that vanished mid-write must surface as EPIPE here, never as a
+      // process-killing SIGPIPE.) A short write consumes exactly what the
+      // kernel accepted and the next POLLOUT resumes mid-span; EINTR
+      // retries on the spot.
+      for (;;) {
+        iovec iov[SendQueue::kMaxIov];
+        const std::size_t cnt = pending.gather(iov, SendQueue::kMaxIov);
+        if (cnt == 0) break;
+        std::size_t gathered = 0;
+        for (std::size_t i = 0; i < cnt; ++i) gathered += iov[i].iov_len;
+        msghdr msg{};
+        msg.msg_iov = iov;
+        msg.msg_iovlen = cnt;
+        const ssize_t n = ::sendmsg(fd_, &msg, MSG_NOSIGNAL);
+        if (n > 0) {
+          pending.consume(static_cast<std::size_t>(n));
+          bytes_sent_.fetch_add(static_cast<std::uint64_t>(n),
+                                std::memory_order_relaxed);
+          net_obs().bytes_sent.inc(static_cast<std::uint64_t>(n));
+          if (static_cast<std::size_t>(n) < gathered)
+            break;   // short write: wait for the next POLLOUT
+          continue;  // more slabs than iovecs: keep flushing
+        }
+        if (n < 0 && errno == EINTR) continue;
+        if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK) dead = true;
+        break;
       }
     }
   }

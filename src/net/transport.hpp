@@ -25,6 +25,8 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
+#include <functional>
 #include <memory>
 #include <string>
 #include <thread>
@@ -35,9 +37,77 @@
 #include "support/spsc_ring.hpp"
 #include "net/wire.hpp"
 
+struct iovec;  // <sys/uio.h>; SendQueue::gather fills these
+
 namespace bsk::net {
 
 enum class RecvStatus { Ok, Closed, TimedOut };
+
+// --------------------------------------------------------------- sendqueue
+
+/// Slab-chained send buffer shared by the scatter/gather senders (the TCP
+/// transport's I/O thread, the epoll server's per-connection state).
+/// Writers serialize frames *directly* into the back slab — zero
+/// intermediate Frame, zero per-frame heap traffic once the slab pool is
+/// warm — and the flusher gathers the front slabs into an iovec array for
+/// one sendmsg(), consuming exactly what the kernel accepted so short
+/// writes resume where they stopped.
+///
+/// Not internally synchronized: the owner serializes access with its own
+/// send mutex (TcpTransport::out_mu_, EpollServer's per-conn mutex). The
+/// take_all/give_spares pair supports the swap pattern: the I/O thread
+/// moves every queued slab into a private queue under the lock, writes to
+/// the socket lock-free, then donates the drained slab storage back.
+class SendQueue {
+ public:
+  static constexpr std::size_t kSlabBytes = 64 * 1024;
+  static constexpr std::size_t kMaxIov = 16;
+  static constexpr std::size_t kMaxSpares = 4;
+
+  bool empty() const { return bytes_ == 0; }
+  std::size_t bytes() const { return bytes_; }
+
+  /// Serialize one frame into the back slab via build_frame_into. Returns
+  /// the encoded size.
+  template <typename EmitFn>
+  std::size_t build_frame(FrameType type, EmitFn&& emit) {
+    const std::size_t n =
+        build_frame_into(back_slab(), type, std::forward<EmitFn>(emit));
+    bytes_ += n;
+    return n;
+  }
+
+  /// Append an already-materialized frame's wire bytes.
+  void append_frame(const Frame& f);
+
+  /// Move every queued slab from `from` onto the back of this queue.
+  void take_all(SendQueue& from);
+
+  /// Donate this queue's spare slab storage to `to` (recycle drained slabs
+  /// back to the writer side).
+  void give_spares(SendQueue& to);
+
+  /// Fill up to `max` iovecs with the unconsumed front spans. Returns the
+  /// count. The spans stay valid until the next mutating call.
+  std::size_t gather(iovec* iov, std::size_t max) const;
+
+  /// Drop `n` bytes from the front (what the kernel accepted).
+  void consume(std::size_t n);
+
+  void clear();
+
+ private:
+  struct Slab {
+    std::vector<std::uint8_t> data;
+    std::size_t off = 0;  // consumed prefix
+  };
+
+  std::vector<std::uint8_t>& back_slab();
+
+  std::deque<Slab> slabs_;
+  std::vector<std::vector<std::uint8_t>> spares_;
+  std::size_t bytes_ = 0;
+};
 
 struct TransportStats {
   std::uint64_t frames_sent = 0;
@@ -66,6 +136,16 @@ class Transport {
       if (!send(fs[i])) return false;
     return true;
   }
+
+  /// Zero-copy batch send: serialize `n` frames of `type` straight into
+  /// the transport's send buffer, `emit(i, w)` appending frame i's payload
+  /// bytes through the Writer. The default materializes Frames and defers
+  /// to send_many — which keeps decorators (chaos FaultInjector) and simple
+  /// transports correct without overriding; the TCP/shm/epoll backends
+  /// override to eliminate the per-frame heap allocation entirely.
+  using SerializeFn = std::function<void(std::size_t, wire::Writer&)>;
+  virtual bool send_serialized(FrameType type, std::size_t n,
+                               const SerializeFn& emit);
 
   /// Block until a frame arrives or the connection closes and drains.
   virtual RecvStatus recv(Frame& out) = 0;
@@ -165,6 +245,8 @@ class TcpTransport final : public Transport {
 
   bool send(const Frame& f) override;
   bool send_many(const Frame* fs, std::size_t n) override;
+  bool send_serialized(FrameType type, std::size_t n,
+                       const SerializeFn& emit) override;
   RecvStatus recv(Frame& out) override;
   RecvStatus recv_for(Frame& out, double wall_seconds) override;
   void close() override;
@@ -188,7 +270,7 @@ class TcpTransport final : public Transport {
   TcpOptions opts_;
 
   support::Mutex out_mu_;
-  std::vector<std::uint8_t> outbuf_ BSK_GUARDED_BY(out_mu_);
+  SendQueue outq_ BSK_GUARDED_BY(out_mu_);
 
   FrameDecoder decoder_;
   support::Channel<Frame> inbound_;

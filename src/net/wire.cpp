@@ -9,18 +9,18 @@ namespace bsk::net {
 namespace wire {
 
 void Writer::u16(std::uint16_t v) {
-  buf_.push_back(static_cast<std::uint8_t>(v));
-  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+  buf_->push_back(static_cast<std::uint8_t>(v));
+  buf_->push_back(static_cast<std::uint8_t>(v >> 8));
 }
 
 void Writer::u32(std::uint32_t v) {
   for (int i = 0; i < 4; ++i)
-    buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    buf_->push_back(static_cast<std::uint8_t>(v >> (8 * i)));
 }
 
 void Writer::u64(std::uint64_t v) {
   for (int i = 0; i < 8; ++i)
-    buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    buf_->push_back(static_cast<std::uint8_t>(v >> (8 * i)));
 }
 
 void Writer::f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
@@ -31,7 +31,7 @@ void Writer::str(const std::string& s) {
 }
 
 void Writer::bytes(const std::uint8_t* p, std::size_t n) {
-  buf_.insert(buf_.end(), p, p + n);
+  buf_->insert(buf_->end(), p, p + n);
 }
 
 std::uint8_t Reader::u8() {
@@ -76,28 +76,55 @@ std::string Reader::str() {
 
 namespace {
 
-// CRC-32 lookup table (IEEE 802.3 reflected polynomial 0xEDB88320),
-// generated once at first use.
-const std::uint32_t* crc32_table() {
-  static const auto table = [] {
-    std::array<std::uint32_t, 256> t{};
+// CRC-32 lookup tables (IEEE 802.3 reflected polynomial 0xEDB88320),
+// generated once at first use. Eight tables for the slice-by-8 kernel:
+// every frame is CRC'd once per hop on each side, so this sits squarely on
+// the dataplane hot path.
+struct Crc32Tables {
+  std::array<std::array<std::uint32_t, 256>, 8> t{};
+};
+
+const Crc32Tables& crc32_tables() {
+  static const auto tables = [] {
+    Crc32Tables tb;
     for (std::uint32_t i = 0; i < 256; ++i) {
       std::uint32_t c = i;
       for (int k = 0; k < 8; ++k)
         c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : (c >> 1);
-      t[i] = c;
+      tb.t[0][i] = c;
     }
-    return t;
+    for (std::uint32_t i = 0; i < 256; ++i)
+      for (int k = 1; k < 8; ++k)
+        tb.t[k][i] = tb.t[0][tb.t[k - 1][i] & 0xFF] ^ (tb.t[k - 1][i] >> 8);
+    return tb;
   }();
-  return table.data();
+  return tables;
 }
 
 }  // namespace
 
 std::uint32_t crc32(const std::uint8_t* p, std::size_t n, std::uint32_t seed) {
-  const std::uint32_t* t = crc32_table();
+  const auto& tb = crc32_tables();
   std::uint32_t c = seed ^ 0xFFFFFFFFu;
-  for (std::size_t i = 0; i < n; ++i) c = t[(c ^ p[i]) & 0xFF] ^ (c >> 8);
+  // Slice-by-8 main loop: fold eight input bytes per step through the eight
+  // tables. The word-fold below assumes little-endian loads; big-endian
+  // targets take the bytewise tail loop for everything.
+  if constexpr (std::endian::native == std::endian::little) {
+    while (n >= 8) {
+      std::uint32_t lo, hi;
+      std::memcpy(&lo, p, 4);
+      std::memcpy(&hi, p + 4, 4);
+      c ^= lo;
+      c = tb.t[7][c & 0xFF] ^ tb.t[6][(c >> 8) & 0xFF] ^
+          tb.t[5][(c >> 16) & 0xFF] ^ tb.t[4][c >> 24] ^ tb.t[3][hi & 0xFF] ^
+          tb.t[2][(hi >> 8) & 0xFF] ^ tb.t[1][(hi >> 16) & 0xFF] ^
+          tb.t[0][hi >> 24];
+      p += 8;
+      n -= 8;
+    }
+  }
+  const auto& t0 = tb.t[0];
+  for (std::size_t i = 0; i < n; ++i) c = t0[(c ^ p[i]) & 0xFF] ^ (c >> 8);
   return c ^ 0xFFFFFFFFu;
 }
 
@@ -304,6 +331,8 @@ Frame make_hello(const Hello& h) {
   w.u64(h.resume_session);
   w.u32(h.resume_epoch);
   w.u64(h.last_acked_seq);
+  w.u8(h.want_shm);
+  w.u32(h.shm_ring_bytes);
   return Frame{FrameType::Hello, w.take()};
 }
 
@@ -320,6 +349,11 @@ std::optional<Hello> parse_hello(const Frame& f) {
   h.resume_session = r.u64();
   h.resume_epoch = r.u32();
   h.last_acked_seq = r.u64();
+  // Trailing shm-negotiation fields: absent on frames from older peers.
+  if (r.remaining() >= 5) {
+    h.want_shm = r.u8();
+    h.shm_ring_bytes = r.u32();
+  }
   if (!r.ok() || h.magic != kMagic) return std::nullopt;
   return h;
 }
@@ -331,6 +365,8 @@ Frame make_hello_ack(const HelloAck& a) {
   w.u8(a.ok ? 1 : 0);
   w.u32(a.epoch);
   w.u8(a.resumed ? 1 : 0);
+  w.str(a.shm_name);
+  w.u32(a.shm_ring_bytes);
   return Frame{FrameType::HelloAck, w.take()};
 }
 
@@ -343,6 +379,11 @@ std::optional<HelloAck> parse_hello_ack(const Frame& f) {
   a.ok = r.u8() != 0;
   a.epoch = r.u32();
   a.resumed = r.u8() != 0;
+  // Trailing shm-grant fields: absent on frames from older peers.
+  if (r.remaining() >= 8) {
+    a.shm_name = r.str();
+    a.shm_ring_bytes = r.u32();
+  }
   if (!r.ok()) return std::nullopt;
   return a;
 }

@@ -67,10 +67,18 @@ struct Frame {
 
 namespace wire {
 
-/// Append-only little-endian byte writer.
+/// Append-only little-endian byte writer. Two modes: owning (default
+/// constructor; take() hands the buffer out) and external — bound to a
+/// caller-provided buffer so serializers append straight into a transport
+/// send slab with no intermediate copy (the zero-copy send path).
 class Writer {
  public:
-  void u8(std::uint8_t v) { buf_.push_back(v); }
+  Writer() : buf_(&owned_) {}
+  explicit Writer(std::vector<std::uint8_t>& external) : buf_(&external) {}
+  Writer(const Writer&) = delete;
+  Writer& operator=(const Writer&) = delete;
+
+  void u8(std::uint8_t v) { buf_->push_back(v); }
   void u16(std::uint16_t v);
   void u32(std::uint32_t v);
   void u64(std::uint64_t v);
@@ -78,11 +86,13 @@ class Writer {
   void str(const std::string& s);                   // u32 length + bytes
   void bytes(const std::uint8_t* p, std::size_t n);  // raw append
 
-  std::vector<std::uint8_t> take() { return std::move(buf_); }
-  const std::vector<std::uint8_t>& data() const { return buf_; }
+  /// Owning mode only: external-mode writers do not own their bytes.
+  std::vector<std::uint8_t> take() { return std::move(owned_); }
+  const std::vector<std::uint8_t>& data() const { return *buf_; }
 
  private:
-  std::vector<std::uint8_t> buf_;
+  std::vector<std::uint8_t> owned_;
+  std::vector<std::uint8_t>* buf_;
 };
 
 /// Bounds-checked little-endian byte reader. After any underflow ok() is
@@ -130,6 +140,31 @@ std::vector<std::uint8_t> encode_frame(const Frame& f);
 /// buffer — the coalescing send path encodes a whole batch of frames into
 /// one buffer this way.
 void encode_frame_into(const Frame& f, std::vector<std::uint8_t>& out);
+
+/// Serialize one frame straight into `out` with no intermediate Frame or
+/// payload vector: reserves the 8-byte `[len][crc]` header, writes the type
+/// byte, lets `emit` append the payload through a Writer bound to `out`,
+/// then patches length and CRC in place. Returns the bytes appended. This
+/// is the zero-copy send primitive — transports expose it per-frame via
+/// Transport::send_serialized, building frames directly in send slabs.
+template <typename EmitFn>
+std::size_t build_frame_into(std::vector<std::uint8_t>& out, FrameType type,
+                             EmitFn&& emit) {
+  const std::size_t start = out.size();
+  out.resize(start + 8);  // length + crc placeholders, patched below
+  out.push_back(static_cast<std::uint8_t>(type));
+  {
+    wire::Writer w(out);
+    emit(w);
+  }
+  const std::uint32_t len = static_cast<std::uint32_t>(out.size() - start - 8);
+  const std::uint32_t crc = crc32(out.data() + start + 8, len);
+  for (int i = 0; i < 4; ++i) {
+    out[start + i] = static_cast<std::uint8_t>(len >> (8 * i));
+    out[start + 4 + i] = static_cast<std::uint8_t>(crc >> (8 * i));
+  }
+  return out.size() - start;
+}
 
 /// Why a byte stream stopped decoding. A non-None error is terminal: once
 /// framing is untrustworthy the connection must die (gracefully — the
@@ -188,6 +223,13 @@ struct Hello {
   std::uint64_t resume_session = 0;
   std::uint32_t resume_epoch = 0;
   std::uint64_t last_acked_seq = 0;
+  /// Shared-memory negotiation (trailing fields — absent on frames from
+  /// older peers, parsed as defaults). A client that resolved the endpoint
+  /// to the local machine asks for the shm fast path; the server answers
+  /// with a segment name in the HelloAck and the session's data frames move
+  /// onto the rings while this TCP connection stays as the liveness anchor.
+  std::uint8_t want_shm = 0;
+  std::uint32_t shm_ring_bytes = 0;  ///< requested ring size (0 = server default)
 };
 
 struct HelloAck {
@@ -202,6 +244,11 @@ struct HelloAck {
   /// false means the server started a fresh session (client must replay
   /// every unacked task).
   bool resumed = false;
+  /// Shared-memory grant (trailing fields): nonempty when the server
+  /// created a segment for this session — the client shm_open()s it, maps
+  /// the rings, and the segment name is unlinked after attach.
+  std::string shm_name;
+  std::uint32_t shm_ring_bytes = 0;  ///< granted per-direction ring size
 };
 
 struct HeartbeatMsg {

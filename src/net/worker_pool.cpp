@@ -9,6 +9,7 @@
 #include <cstdlib>
 #include <fstream>
 
+#include "net/shm.hpp"
 #include "support/clock.hpp"
 
 namespace bsk::net {
@@ -17,6 +18,12 @@ namespace {
 
 std::string endpoint_key(const Endpoint& ep) {
   return ep.host + ":" + std::to_string(ep.port);
+}
+
+// Only loopback endpoints can share memory with the daemon.
+bool is_local(const Endpoint& ep) {
+  return ep.host == "127.0.0.1" || ep.host == "localhost" ||
+         ep.host == "::1";
 }
 
 }  // namespace
@@ -161,13 +168,36 @@ std::optional<WorkerPool::Connected> WorkerPool::connect_one() {
     // Wrap before the handshake: once chaos is on, *every* frame of the
     // session — Hello included — crosses the injector.
     std::shared_ptr<Transport> tp = wrap(std::move(raw), stream);
+    Hello h = hello_template();
+    if (opts_.allow_shm && is_local(ep)) {
+      h.want_shm = 1;
+      h.shm_ring_bytes = static_cast<std::uint32_t>(opts_.shm_ring_bytes);
+    }
     HelloAck ack;
-    if (client_handshake(*tp, hello_template(),
-                         opts_.handshake_timeout_wall_s, &ack))
+    if (client_handshake(*tp, h, opts_.handshake_timeout_wall_s, &ack)) {
+      tp = maybe_attach_shm(std::move(tp), ack, stream);
       return Connected{std::move(tp), ack, ep, stream};
+    }
     tp->close();
   }
   return std::nullopt;
+}
+
+std::shared_ptr<Transport> WorkerPool::maybe_attach_shm(
+    std::shared_ptr<Transport> tp, const HelloAck& ack,
+    const std::string& stream) {
+  if (ack.shm_name.empty()) return tp;
+  ShmOptions so;
+  if (ack.shm_ring_bytes != 0) so.ring_bytes = ack.shm_ring_bytes;
+  // The session transport — chaos-wrapped or raw — is the anchor: its
+  // heartbeats keep liveness detection working and control frames sent
+  // over TCP still surface through the shm transport's anchor polling.
+  auto shm = ShmTransport::attach_named(ack.shm_name, tp, so);
+  if (!shm) return tp;  // stay on TCP; the daemon serves both identically
+  shm_attached_.fetch_add(1, std::memory_order_relaxed);
+  // Distinct chaos stream: the shm path draws its own fault schedule so a
+  // plan written against "w0" keeps its meaning on the anchor.
+  return wrap(std::move(shm), stream + "s");
 }
 
 std::unique_ptr<rt::Node> WorkerPool::make_node() {
@@ -180,6 +210,19 @@ std::unique_ptr<rt::Node> WorkerPool::make_node() {
       nopts.epoch = c->ack.epoch;
       nopts.handshake_timeout_wall_s = opts_.handshake_timeout_wall_s;
       const Endpoint ep = c->ep;
+      if (opts_.allow_shm && is_local(ep)) {
+        // Resume handshakes re-negotiate the fast path too, and the
+        // post-handshake upgrade re-attaches the fresh segment before the
+        // unacked replay rides it.
+        nopts.hello.want_shm = 1;
+        nopts.hello.shm_ring_bytes =
+            static_cast<std::uint32_t>(opts_.shm_ring_bytes);
+        const std::string stream = c->stream;
+        nopts.upgrade = [this, stream](std::shared_ptr<Transport> tp,
+                                       const HelloAck& ack) {
+          return maybe_attach_shm(std::move(tp), ack, stream + "r");
+        };
+      }
       nopts.on_hard_fail = [this, ep] { note_endpoint_failure(ep); };
       if (nopts.reconnect_grace_wall_s > 0.0) {
         // Resume stays pinned to the endpoint that owns the session. One

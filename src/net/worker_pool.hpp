@@ -93,6 +93,15 @@ struct WorkerPoolOptions {
   /// FaultInjector over one shared FaultPlan seeded with chaos_seed.
   std::optional<ChaosSpec> chaos;
   std::uint64_t chaos_seed = 1;
+
+  /// Colocated fast path: when the endpoint is loopback, ask bskd for a
+  /// shared-memory ring pair and attach it if granted (ShmTransport). The
+  /// TCP connection stays alive underneath as the liveness anchor, so
+  /// heartbeats, chaos injection and failure detection are unchanged. A
+  /// failed attach silently stays on TCP — the daemon serves both paths
+  /// identically.
+  bool allow_shm = true;
+  std::size_t shm_ring_bytes = 1u << 20;  ///< requested per-direction ring
 };
 
 class WorkerPool {
@@ -135,6 +144,9 @@ class WorkerPool {
   /// endpoint_source when one is set).
   std::vector<Endpoint> current_endpoints() const;
 
+  /// Connections that negotiated + attached the colocated shm fast path.
+  std::size_t shm_attached() const { return shm_attached_.load(); }
+
   /// The shared fault plan (null when chaos is off).
   const std::shared_ptr<FaultPlan>& fault_plan() const { return plan_; }
   /// Aggregate of what every injector did (zeroes when chaos is off).
@@ -150,6 +162,12 @@ class WorkerPool {
 
   std::optional<Connected> connect_one();
   Hello hello_template() const;
+  /// Attach the shm segment named in `ack` (if any) over anchor `tp`; on
+  /// success returns the (chaos-wrapped) shm transport, on failure or no
+  /// grant returns `tp` unchanged.
+  std::shared_ptr<Transport> maybe_attach_shm(std::shared_ptr<Transport> tp,
+                                              const HelloAck& ack,
+                                              const std::string& stream);
   /// Wrap a raw transport in this pool's FaultInjector (no-op sans chaos).
   std::shared_ptr<Transport> wrap(std::shared_ptr<Transport> tp,
                                   const std::string& stream);
@@ -175,6 +193,7 @@ class WorkerPool {
 
   std::atomic<std::size_t> remote_created_{0};
   std::atomic<std::size_t> fallback_created_{0};
+  std::atomic<std::size_t> shm_attached_{0};
   std::atomic<std::size_t> crashes_{0};
   std::atomic<std::size_t> endpoint_failures_{0};
   std::jthread watch_;

@@ -10,9 +10,12 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <pthread.h>
+#include <signal.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <thread>
@@ -295,6 +298,99 @@ TEST(TcpTransport, PeerDestructionReadsAsClosed) {
   Frame f;
   EXPECT_EQ(server->recv_for(f, 5.0), RecvStatus::Closed);
   EXPECT_TRUE(server->closed());
+}
+
+// The scatter/gather write path under maximum partial-progress pressure:
+// a socket whose send buffer holds only a sliver of each batch forces
+// sendmsg to return short on nearly every call, and a SIGUSR1 storm aimed
+// at the sending thread (handler installed *without* SA_RESTART) forces
+// EINTR mid-write. send_many must resume precisely where the short write
+// stopped — any slip corrupts the stream and the CRC on the far side
+// would kill the connection.
+TEST(TcpTransport, SendManySurvivesShortWritesAndEintrStorm) {
+  int sv[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  const int tiny = 4096;
+  ASSERT_EQ(::setsockopt(sv[0], SOL_SOCKET, SO_SNDBUF, &tiny, sizeof(tiny)),
+            0);
+  auto writer = std::make_shared<TcpTransport>(sv[0]);
+  auto reader = std::make_shared<TcpTransport>(sv[1]);
+
+  // No-op handler, no SA_RESTART: every signal interrupts the syscall.
+  struct sigaction sa{}, old{};
+  sa.sa_handler = [](int) {};
+  sa.sa_flags = 0;
+  ASSERT_EQ(::sigaction(SIGUSR1, &sa, &old), 0);
+
+  const int kBatches = 20, kPerBatch = 16;
+  std::atomic<bool> sending{true};
+  std::thread sender([&] {
+    for (int b = 0; b < kBatches; ++b) {
+      std::vector<Frame> batch(kPerBatch);
+      for (int i = 0; i < kPerBatch; ++i) {
+        batch[static_cast<std::size_t>(i)].type = FrameType::TaskMsg;
+        batch[static_cast<std::size_t>(i)].payload.assign(
+            2048, static_cast<std::uint8_t>(b * kPerBatch + i));
+      }
+      ASSERT_TRUE(writer->send_many(batch.data(), batch.size()))
+          << "batch " << b;
+    }
+    sending.store(false);
+  });
+  const pthread_t victim = sender.native_handle();
+  std::thread storm([&] {
+    while (sending.load()) {
+      ::pthread_kill(victim, SIGUSR1);
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+
+  Frame f;
+  for (int i = 0; i < kBatches * kPerBatch; ++i) {
+    ASSERT_EQ(reader->recv_for(f, 20.0), RecvStatus::Ok) << "frame " << i;
+    ASSERT_EQ(f.payload.size(), 2048u);
+    EXPECT_EQ(f.payload[0], static_cast<std::uint8_t>(i));
+    EXPECT_EQ(f.payload[2047], static_cast<std::uint8_t>(i));
+  }
+  sender.join();
+  storm.join();
+  ::sigaction(SIGUSR1, &old, nullptr);
+  writer->close();
+  reader->close();
+}
+
+// Same storm through the zero-copy path: send_serialized writes straight
+// from the serializer into the send slabs and out through the same gather
+// loop, so short-write resume must hold there too.
+TEST(TcpTransport, SendSerializedSurvivesShortWriteResume) {
+  int sv[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  const int tiny = 4096;
+  ASSERT_EQ(::setsockopt(sv[0], SOL_SOCKET, SO_SNDBUF, &tiny, sizeof(tiny)),
+            0);
+  auto writer = std::make_shared<TcpTransport>(sv[0]);
+  auto reader = std::make_shared<TcpTransport>(sv[1]);
+
+  const std::size_t kFrames = 64;
+  std::thread sender([&] {
+    ASSERT_TRUE(writer->send_serialized(
+        FrameType::TaskMsg, kFrames, [](std::size_t i, wire::Writer& w) {
+          w.u64(i);
+          for (int k = 0; k < 512; ++k)
+            w.u32(static_cast<std::uint32_t>(i * 1000 + k));
+        }));
+  });
+  Frame f;
+  for (std::size_t i = 0; i < kFrames; ++i) {
+    ASSERT_EQ(reader->recv_for(f, 20.0), RecvStatus::Ok) << "frame " << i;
+    wire::Reader r(f.payload);
+    EXPECT_EQ(r.u64(), i);
+    EXPECT_EQ(r.u32(), static_cast<std::uint32_t>(i * 1000));
+    EXPECT_TRUE(r.ok());
+  }
+  sender.join();
+  writer->close();
+  reader->close();
 }
 
 }  // namespace

@@ -160,6 +160,48 @@ TEST(Wire, HelloResumeFieldsRoundTrip) {
   EXPECT_EQ(back->last_acked_seq, 41u);
 }
 
+TEST(Wire, HelloShmNegotiationFieldsRoundTrip) {
+  Hello h;
+  h.want_shm = 1;
+  h.shm_ring_bytes = 1u << 20;
+  const auto back = parse_hello(make_hello(h));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->want_shm, 1);
+  EXPECT_EQ(back->shm_ring_bytes, 1u << 20);
+
+  HelloAck a;
+  a.ok = true;
+  a.shm_name = "/bsk-shm-42";
+  a.shm_ring_bytes = 1u << 19;
+  const auto ack = parse_hello_ack(make_hello_ack(a));
+  ASSERT_TRUE(ack.has_value());
+  EXPECT_EQ(ack->shm_name, "/bsk-shm-42");
+  EXPECT_EQ(ack->shm_ring_bytes, 1u << 19);
+}
+
+TEST(Wire, HelloParsersTolerateMissingShmFields) {
+  // Wire compatibility both ways: a v2 peer that predates the shm fields
+  // sends shorter Hello/HelloAck payloads; the parsers must accept them
+  // with the fields defaulted off.
+  Hello h;
+  h.role = 1;
+  Frame f = make_hello(h);
+  f.payload.resize(f.payload.size() - 5);  // strip want_shm + ring size
+  const auto back = parse_hello(f);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->want_shm, 0);
+  EXPECT_EQ(back->shm_ring_bytes, 0u);
+
+  HelloAck a;
+  a.ok = true;
+  Frame af = make_hello_ack(a);
+  af.payload.resize(af.payload.size() - (4 + 0 + 4));  // strip name + ring
+  const auto ack = parse_hello_ack(af);
+  ASSERT_TRUE(ack.has_value());
+  EXPECT_TRUE(ack->shm_name.empty());
+  EXPECT_EQ(ack->shm_ring_bytes, 0u);
+}
+
 TEST(Wire, HelloAckAndHeartbeatRoundTrip) {
   HelloAck a;
   a.session = 77;
