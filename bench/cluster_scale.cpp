@@ -20,12 +20,22 @@
 // violated invariant, which is what scripts/run_experiments.sh and the CI
 // cluster-smoke job gate on.
 //
+// --n "8,32,128" switches to the E7c scale sweep: at each N it boots a real
+// fleet, measures assembly time, late-joiner recruitment latency, and
+// steady-state gossip bytes per node per second (delta gossip on; --full-at
+// N0 adds one full-table fleet for the before/after), runs the E7 DES
+// flat-vs-k-ary prediction at the same N in-process, and writes everything
+// to --json (default BENCH_cluster_scale.json). Exit is nonzero if any
+// fleet misses its convergence bound or bytes/node fails to stay sublinear
+// in N. scripts/fleet.sh is the thin launcher.
+//
 // The bskd binary path is injected by CMake as BSK_BSKD_PATH.
 
 #include <signal.h>
 
 #include <chrono>
 #include <cstdio>
+#include <ctime>
 #include <set>
 #include <string>
 #include <thread>
@@ -33,6 +43,7 @@
 
 #include "bench/args.hpp"
 #include "cluster/client.hpp"
+#include "des/hierarchy.hpp"
 #include "net/worker_pool.hpp"
 #include "rt/farm.hpp"
 #include "support/clock.hpp"
@@ -83,9 +94,347 @@ std::size_t evictions_of(std::uint16_t port) {
       std::atol(text->c_str() + pos + sizeof("bsk_cluster_evictions_total")));
 }
 
+// ------------------------------------------------------ E7c scale sweep
+
+/// First value of a prometheus line "`name` <value>".
+double prom_value(const std::string& text, const char* name) {
+  const std::string needle = std::string(name) + " ";
+  std::size_t pos = 0;
+  while ((pos = text.find(needle, pos)) != std::string::npos) {
+    if (pos == 0 || text[pos - 1] == '\n')
+      return std::atof(text.c_str() + pos + needle.size());
+    pos += needle.size();
+  }
+  return 0.0;
+}
+
+struct GossipSample {
+  double tx_bytes = 0, rx_bytes = 0, full = 0, delta = 0;
+};
+
+GossipSample sample_fleet(const std::vector<std::uint16_t>& ports) {
+  GossipSample s;
+  for (const std::uint16_t p : ports) {
+    const auto text = net::pull_bskd_stats(
+        {"127.0.0.1", p}, net::StatsRequest::What::Prometheus, 2.0);
+    if (!text) continue;
+    s.tx_bytes += prom_value(*text, "bsk_cluster_gossip_tx_bytes_total");
+    s.rx_bytes += prom_value(*text, "bsk_cluster_gossip_rx_bytes_total");
+    s.full += prom_value(*text, "bsk_cluster_gossip_full_total");
+    s.delta += prom_value(*text, "bsk_cluster_gossip_delta_total");
+  }
+  return s;
+}
+
+/// wait_converged with a polling cadence that scales with fleet size —
+/// hammering 128 daemons every 25 ms would burn the bench's ephemeral
+/// ports on TIME_WAIT before the fleet converges. Stage 1 watches only the
+/// seed until it has seen everyone; stage 2 checks the whole fleet.
+double wait_converged_at_scale(const std::vector<std::uint16_t>& ports,
+                               std::size_t n, double deadline_wall_s) {
+  const double t0 = net::wall_now();
+  const double deadline = t0 + deadline_wall_s;
+  const auto poll = std::chrono::milliseconds(
+      50 + 5 * static_cast<long>(ports.size()));
+  while (net::wall_now() < deadline) {
+    const auto v = cluster::fetch_membership({"127.0.0.1", ports[0]}, 2.0);
+    if (v && v->members.size() == n) break;
+    std::this_thread::sleep_for(poll);
+  }
+  while (net::wall_now() < deadline) {
+    std::vector<net::MembershipView> views;
+    for (const std::uint16_t p : ports) {
+      auto v = cluster::fetch_membership({"127.0.0.1", p}, 2.0);
+      if (!v || v->members.size() != n) break;
+      views.push_back(std::move(*v));
+    }
+    if (views.size() == ports.size()) {
+      bool same = true;
+      for (const net::MembershipView& v : views)
+        if (v.epoch != views[0].epoch) same = false;
+      if (same) return (net::wall_now() - t0) * 1e3;
+    }
+    std::this_thread::sleep_for(poll);
+  }
+  return -1.0;
+}
+
+struct ScaleRun {
+  long n = 0;
+  double gossip_period_s = 0;
+  bool delta_gossip = true;
+  double assemble_ms = -1;
+  double recruit_ms = -1;
+  double tx_bytes_per_node_s = 0;
+  double rx_bytes_per_node_s = 0;
+  double full_fraction = 0;  ///< full / (full + delta) inside the window
+  bool ok = false;
+};
+
+/// Boot one fleet of `n` real bskd, measure, tear down.
+ScaleRun run_fleet(long n, double period_s, bool delta, double window_s) {
+  ScaleRun r;
+  r.n = n;
+  r.gossip_period_s = period_s;
+  r.delta_gossip = delta;
+
+  std::vector<std::string> common = {"--gossip-period",
+                                     std::to_string(period_s)};
+  if (!delta) common.push_back("--gossip-full");
+
+  std::vector<net::BskdProcess> fleet;
+  const auto cleanup = [&] {
+    for (net::BskdProcess& p : fleet) net::stop_bskd(p, SIGKILL);
+  };
+
+  std::vector<std::string> seed_args = {"--cluster", "--cores", "64"};
+  seed_args.insert(seed_args.end(), common.begin(), common.end());
+  fleet.push_back(net::spawn_bskd(BSK_BSKD_PATH, 10.0, seed_args));
+  if (!fleet.back().valid()) {
+    std::fprintf(stderr, "FATAL: could not spawn seed at n=%ld\n", n);
+    cleanup();
+    return r;
+  }
+
+  // The boot storm proper: every joiner pointed at the one seed, spawned
+  // back to back. assemble_ms counts from here — spawn cost is part of
+  // what a launcher experiences.
+  const double t_boot = net::wall_now();
+  for (long i = 1; i < n; ++i) {
+    std::vector<std::string> args = {"--join", key_of(fleet[0].port),
+                                     "--cores",
+                                     std::to_string(1 + (i % 4))};
+    args.insert(args.end(), common.begin(), common.end());
+    fleet.push_back(net::spawn_bskd(BSK_BSKD_PATH, 10.0, args));
+    if (!fleet.back().valid()) {
+      std::fprintf(stderr, "FATAL: could not spawn joiner %ld at n=%ld\n", i,
+                   n);
+      cleanup();
+      return r;
+    }
+  }
+  std::vector<std::uint16_t> ports;
+  for (const net::BskdProcess& p : fleet) ports.push_back(p.port);
+
+  const double assemble_deadline = 30.0 + 0.75 * static_cast<double>(n);
+  if (wait_converged_at_scale(ports, static_cast<std::size_t>(n),
+                              assemble_deadline) < 0) {
+    std::fprintf(stderr, "FATAL: fleet n=%ld never converged (%.0fs)\n", n,
+                 assemble_deadline);
+    cleanup();
+    return r;
+  }
+  r.assemble_ms = (net::wall_now() - t_boot) * 1e3;
+
+  // Steady state: no membership changes, only anti-entropy ticks. The
+  // bytes this window moves are what delta gossip exists to shrink.
+  const GossipSample s0 = sample_fleet(ports);
+  const double w0 = net::wall_now();
+  std::this_thread::sleep_for(
+      std::chrono::milliseconds(static_cast<long>(window_s * 1e3)));
+  const GossipSample s1 = sample_fleet(ports);
+  const double w = net::wall_now() - w0;
+  r.tx_bytes_per_node_s =
+      (s1.tx_bytes - s0.tx_bytes) / static_cast<double>(n) / w;
+  r.rx_bytes_per_node_s =
+      (s1.rx_bytes - s0.rx_bytes) / static_cast<double>(n) / w;
+  const double payloads = (s1.full - s0.full) + (s1.delta - s0.delta);
+  r.full_fraction = payloads > 0 ? (s1.full - s0.full) / payloads : 0.0;
+
+  // Recruitment: one late joiner, timed until every daemon has it.
+  const double t_rec = net::wall_now();
+  std::vector<std::string> rec_args = {"--join", key_of(fleet[0].port),
+                                       "--cores", "2"};
+  rec_args.insert(rec_args.end(), common.begin(), common.end());
+  fleet.push_back(net::spawn_bskd(BSK_BSKD_PATH, 10.0, rec_args));
+  if (fleet.back().valid()) {
+    ports.push_back(fleet.back().port);
+    const double rec_deadline = 15.0 + 0.25 * static_cast<double>(n);
+    if (wait_converged_at_scale(ports, static_cast<std::size_t>(n) + 1,
+                                rec_deadline) >= 0)
+      r.recruit_ms = (net::wall_now() - t_rec) * 1e3;
+  }
+  if (r.recruit_ms < 0)
+    std::fprintf(stderr, "FATAL: recruit at n=%ld never became visible\n", n);
+
+  cleanup();
+  r.ok = r.assemble_ms >= 0 && r.recruit_ms >= 0;
+  return r;
+}
+
+struct DesPred {
+  long n = 0;
+  std::size_t kary_groups = 0;
+  double flat_converge_s = -1;
+  double kary_converge_s = -1;
+};
+
+/// The E7 DES model at matching scale: one flat manager vs a k-ary split,
+/// same offered load and SLA shape as bench/des_scale.
+DesPred des_predict(long n) {
+  DesPred p;
+  p.n = n;
+  p.kary_groups = static_cast<std::size_t>(n) / 8 < 2
+                      ? 2
+                      : static_cast<std::size_t>(n) / 8;
+  for (const bool flat : {true, false}) {
+    bsk::des::HierConfig c;
+    c.groups = flat ? 1 : p.kary_groups;
+    c.max_workers = static_cast<std::size_t>(n);
+    c.service_s = 1.0;
+    c.arrival_rate = 0.75 * static_cast<double>(n);
+    c.contract_lo = 0.70 * static_cast<double>(n);
+    c.tasks = static_cast<std::uint64_t>(
+        c.arrival_rate * (60.0 + 6.0 * static_cast<double>(n)));
+    const bsk::des::HierResult r = bsk::des::run_hierarchy(c);
+    (flat ? p.flat_converge_s : p.kary_converge_s) = r.converged_at;
+  }
+  return p;
+}
+
+int run_sweep(int argc, char** argv) {
+  const std::string n_list =
+      benchutil::arg_string(argc, argv, "--n", "8,32,128");
+  const std::string json_path = benchutil::arg_string(
+      argc, argv, "--json", "BENCH_cluster_scale.json");
+  const double window_s =
+      benchutil::arg_double(argc, argv, "--window", 5.0);
+  const long full_at = benchutil::arg_long(argc, argv, "--full-at", 0);
+  const double forced_period =
+      benchutil::arg_double(argc, argv, "--gossip-period", 0.0);
+
+  std::vector<long> scales;
+  for (std::size_t at = 0; at < n_list.size();) {
+    const long v = std::atol(n_list.c_str() + at);
+    if (v > 1) scales.push_back(v);
+    const std::size_t comma = n_list.find(',', at);
+    if (comma == std::string::npos) break;
+    at = comma + 1;
+  }
+  if (scales.empty()) {
+    std::fprintf(stderr, "FATAL: --n parsed to an empty scale list\n");
+    return 1;
+  }
+
+  // Longer periods at scale: the point is sublinear *per-tick* cost, not
+  // saturating one loopback with 128 daemons ticking at test cadence.
+  const auto period_for = [&](long n) {
+    if (forced_period > 0) return forced_period;
+    return n <= 16 ? 0.1 : n <= 64 ? 0.15 : 0.25;
+  };
+
+  std::printf("== E7c: real-fleet scale sweep vs DES prediction ==\n");
+  std::printf("%5s %6s %10s %13s %13s %16s %10s\n", "n", "mode",
+              "period[s]", "assemble[ms]", "recruit[ms]", "tx B/node/s",
+              "full%");
+
+  std::vector<ScaleRun> runs;
+  std::vector<DesPred> preds;
+  bool ok = true;
+  for (const long n : scales) {
+    ScaleRun r = run_fleet(n, period_for(n), /*delta=*/true, window_s);
+    std::printf("%5ld %6s %10.2f %13.0f %13.0f %16.1f %9.1f%%\n", n, "delta",
+                r.gossip_period_s, r.assemble_ms, r.recruit_ms,
+                r.tx_bytes_per_node_s, 100.0 * r.full_fraction);
+    ok = ok && r.ok;
+    runs.push_back(r);
+    if (n == full_at) {
+      ScaleRun f = run_fleet(n, period_for(n), /*delta=*/false, window_s);
+      std::printf("%5ld %6s %10.2f %13.0f %13.0f %16.1f %9.1f%%\n", n, "full",
+                  f.gossip_period_s, f.assemble_ms, f.recruit_ms,
+                  f.tx_bytes_per_node_s, 100.0 * f.full_fraction);
+      ok = ok && f.ok;
+      runs.push_back(f);
+    }
+    preds.push_back(des_predict(n));
+  }
+
+  // Sublinear gossip bytes/node: between the smallest and largest delta
+  // fleet, bytes/node/s must grow strictly slower than N. (Period scaling
+  // is normalized out: compare bytes per node per *tick*.)
+  const ScaleRun* lo = nullptr;
+  const ScaleRun* hi = nullptr;
+  for (const ScaleRun& r : runs) {
+    if (!r.delta_gossip || !r.ok) continue;
+    if (lo == nullptr || r.n < lo->n) lo = &r;
+    if (hi == nullptr || r.n > hi->n) hi = &r;
+  }
+  double bytes_factor = 0, n_factor = 0;
+  bool sublinear = false;
+  if (lo != nullptr && hi != nullptr && hi != lo) {
+    const double lo_tick = lo->tx_bytes_per_node_s * lo->gossip_period_s;
+    const double hi_tick = hi->tx_bytes_per_node_s * hi->gossip_period_s;
+    bytes_factor = lo_tick > 0 ? hi_tick / lo_tick : 0;
+    n_factor = static_cast<double>(hi->n) / static_cast<double>(lo->n);
+    sublinear = bytes_factor > 0 && bytes_factor < n_factor;
+    if (!sublinear) {
+      std::fprintf(stderr,
+                   "FATAL: bytes/node grew %.2fx over a %.0fx fleet — delta "
+                   "gossip is not paying for itself\n",
+                   bytes_factor, n_factor);
+      ok = false;
+    }
+  }
+
+  FILE* out = std::fopen(json_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "FATAL: cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"schema_version\": 1,\n");
+  std::fprintf(out, "  \"experiment\": \"E7c\",\n");
+  std::fprintf(out,
+               "  \"context\": {\"nproc\": %u, \"generated_unix\": %lld, "
+               "\"window_s\": %.1f},\n",
+               std::thread::hardware_concurrency(),
+               static_cast<long long>(std::time(nullptr)), window_s);
+  std::fprintf(out, "  \"runs\": [\n");
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const ScaleRun& r = runs[i];
+    std::fprintf(
+        out,
+        "    {\"n\": %ld, \"gossip_period_s\": %.3f, \"delta_gossip\": %s, "
+        "\"assemble_ms\": %.0f, \"recruit_ms\": %.0f, "
+        "\"gossip_tx_bytes_per_node_s\": %.1f, "
+        "\"gossip_rx_bytes_per_node_s\": %.1f, \"full_fraction\": %.4f, "
+        "\"ok\": %s}%s\n",
+        r.n, r.gossip_period_s, r.delta_gossip ? "true" : "false",
+        r.assemble_ms, r.recruit_ms, r.tx_bytes_per_node_s,
+        r.rx_bytes_per_node_s, r.full_fraction, r.ok ? "true" : "false",
+        i + 1 < runs.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n  \"des_prediction\": [\n");
+  for (std::size_t i = 0; i < preds.size(); ++i) {
+    const DesPred& p = preds[i];
+    std::fprintf(out,
+                 "    {\"n\": %ld, \"flat_converge_s\": %.1f, "
+                 "\"kary_groups\": %zu, \"kary_converge_s\": %.1f}%s\n",
+                 p.n, p.flat_converge_s, p.kary_groups, p.kary_converge_s,
+                 i + 1 < preds.size() ? "," : "");
+  }
+  std::fprintf(out,
+               "  ],\n  \"summary\": {\"bytes_per_node_sublinear\": %s, "
+               "\"bytes_factor\": %.2f, \"n_factor\": %.2f, \"ok\": %s}\n}\n",
+               sublinear ? "true" : "false", bytes_factor, n_factor,
+               ok ? "true" : "false");
+  std::fclose(out);
+
+  std::printf("\n# DES prediction (flat vs k-ary converge[s]):\n");
+  for (const DesPred& p : preds)
+    std::printf("#   n=%-4ld flat=%-8.1f k-ary(g=%zu)=%.1f\n", p.n,
+                p.flat_converge_s, p.kary_groups, p.kary_converge_s);
+  std::printf("# wrote %s (sublinear=%s, bytes x%.2f over fleet x%.0f)\n",
+              json_path.c_str(), sublinear ? "yes" : "NO", bytes_factor,
+              n_factor);
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (benchutil::arg_raw(argc, argv, "--n") != nullptr ||
+      benchutil::arg_flag(argc, argv, "--sweep"))
+    return run_sweep(argc, argv);
   const bool smoke = benchutil::arg_flag(argc, argv, "--smoke");
   const long nodes =
       benchutil::arg_long(argc, argv, "--nodes", smoke ? 4 : 6);

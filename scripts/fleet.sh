@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# E7c fleet launcher: build the scale bench + worker daemon and run the
+# real-process sweep (N real bskd on loopback per rung) into the
+# machine-readable BENCH_cluster_scale.json.
+#
+# Usage: scripts/fleet.sh [build-dir] [out-json] [n-list]
+#   build-dir  cmake build directory (default: build; configured if absent)
+#   out-json   output path (default: BENCH_cluster_scale.json in repo root)
+#   n-list     comma-separated fleet sizes (default: 8,32,128; the 32-rung
+#              is additionally re-run with --gossip-full for the
+#              delta-vs-full before/after)
+#
+# Each rung boots one seed plus N-1 joiners back to back (the boot storm),
+# measures assembly time, late-joiner recruitment latency, and steady-state
+# gossip bytes per node, and compares against the E7 DES flat-vs-k-ary
+# prediction. Exit is nonzero if any fleet misses its convergence bound or
+# bytes/node fails to stay sublinear in N.
+#
+# At N=128 the fleet holds ~260 sockets plus a dial burst; a tight
+# RLIMIT_NOFILE makes the run exercise the EMFILE backoff path instead of
+# the happy path, so warn early rather than fail late.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${1:-$ROOT/build}"
+OUT="${2:-$ROOT/BENCH_cluster_scale.json}"
+NLIST="${3:-8,32,128}"
+
+NOFILE="$(ulimit -n)"
+if [ "$NOFILE" != "unlimited" ] && [ "$NOFILE" -lt 4096 ]; then
+  echo "fleet.sh: RLIMIT_NOFILE is $NOFILE; raising to 4096 for the sweep" >&2
+  ulimit -n 4096 || echo "fleet.sh: could not raise fd limit" \
+    "(bskd raises its own, but the bench process may hit EMFILE)" >&2
+fi
+
+if [ ! -f "$BUILD/CMakeCache.txt" ]; then
+  cmake -B "$BUILD" -S "$ROOT" > /dev/null
+fi
+cmake --build "$BUILD" -j --target cluster_scale bskd > /dev/null
+
+# Full-table comparison at the middle rung when the default ladder runs.
+FULL_AT=0
+case ",$NLIST," in *,32,*) FULL_AT=32 ;; esac
+
+exec "$BUILD/bench/cluster_scale" \
+  --n "$NLIST" --full-at "$FULL_AT" --json "$OUT"

@@ -4,8 +4,32 @@
 
 namespace bsk::cluster {
 
+namespace {
+
+/// FNV-1a 64-bit, the digest building block. Sequential over the sorted
+/// maps, so both ends of an exchange hash identical content identically.
+inline std::uint64_t fnv1a(std::uint64_t h, const void* p, std::size_t n) {
+  const auto* b = static_cast<const unsigned char*>(p);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= b[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+inline std::uint64_t fnv1a_u64(std::uint64_t h, std::uint64_t v) {
+  return fnv1a(h, &v, sizeof v);
+}
+
+inline std::uint64_t fnv1a_str(std::uint64_t h, const std::string& s) {
+  return fnv1a(h, s.data(), s.size());
+}
+
+}  // namespace
+
 MembershipTable::MembershipTable(net::Member self) : self_(std::move(self)) {
   members_[self_.key()] = self_;
+  stamp_member(self_.key());
 }
 
 net::MembershipView MembershipTable::view() const {
@@ -17,6 +41,38 @@ net::MembershipView MembershipTable::view() const {
   for (const auto& [key, born] : tombstones_)
     v.departed.push_back(net::Departed{key, born});
   return v;
+}
+
+net::MembershipView MembershipTable::delta_since(std::uint64_t since) const {
+  net::MembershipView v;
+  v.epoch = epoch_;
+  for (const auto& [key, m] : members_) {
+    const auto st = member_stamps_.find(key);
+    if (st == member_stamps_.end() || st->second >= since)
+      v.members.push_back(m);
+  }
+  for (const auto& [key, born] : tombstones_) {
+    const auto st = tomb_stamps_.find(key);
+    if (st == tomb_stamps_.end() || st->second >= since)
+      v.departed.push_back(net::Departed{key, born});
+  }
+  return v;
+}
+
+std::uint64_t MembershipTable::digest() const {
+  std::uint64_t h = 0xcbf29ce484222325ull;  // FNV offset basis
+  for (const auto& [key, m] : members_) {
+    h = fnv1a_str(h, key);
+    h = fnv1a_u64(h, m.born);
+    h = fnv1a_u64(h, m.cores);
+    h = fnv1a(h, &m.core_speed, sizeof m.core_speed);
+  }
+  h = fnv1a_u64(h, 0x5eedu);  // separator: members vs tombstones
+  for (const auto& [key, born] : tombstones_) {
+    h = fnv1a_str(h, key);
+    h = fnv1a_u64(h, born);
+  }
+  return h;
 }
 
 void MembershipTable::bump_epoch_past(std::uint64_t other) {
@@ -34,15 +90,19 @@ MergeDelta MembershipTable::add(const net::Member& m) {
   if (it == members_.end()) {
     members_[key] = m;
     tombstones_.erase(key);
+    tomb_stamps_.erase(key);
     ++d.joined;
     bump_epoch_past(epoch_);
+    stamp_member(key);
   } else if (it->second.born < m.born) {
     // Restarted peer: the old incarnation is implicitly gone.
     it->second = m;
     tombstones_.erase(key);
+    tomb_stamps_.erase(key);
     ++d.left;
     ++d.joined;
     bump_epoch_past(epoch_);
+    stamp_member(key);
   }
   return d;
 }
@@ -55,15 +115,20 @@ MergeDelta MembershipTable::remove(const std::string& key,
   if (it == members_.end()) {
     if (min_born > 0) {
       std::uint64_t& tomb = tombstones_[key];
-      tomb = std::max(tomb, min_born);
+      if (min_born > tomb) {
+        tomb = min_born;
+        stamp_tomb(key);
+      }
     }
     return d;
   }
   std::uint64_t& tomb = tombstones_[key];
   tomb = std::max({tomb, it->second.born, min_born});
   members_.erase(it);
+  member_stamps_.erase(key);
   ++d.left;
   bump_epoch_past(epoch_);
+  stamp_tomb(key);
   return d;
 }
 
@@ -83,14 +148,19 @@ MergeDelta MembershipTable::merge(const net::MembershipView& remote,
         self_.born = dep.born + 1;
         members_[self_.key()] = self_;
         changed = true;
+        stamp_member(self_.key());
       }
       continue;
     }
     std::uint64_t& tomb = tombstones_[dep.key];
-    tomb = std::max(tomb, dep.born);
+    if (dep.born > tomb) {
+      tomb = dep.born;
+      stamp_tomb(dep.key);
+    }
     auto it = members_.find(dep.key);
     if (it != members_.end() && it->second.born <= tomb) {
       members_.erase(it);
+      member_stamps_.erase(dep.key);
       ++d.left;
       changed = true;
     }

@@ -51,6 +51,21 @@ class MembershipTable {
   /// Snapshot in canonical (key-sorted) order, tombstones included.
   net::MembershipView view() const;
 
+  /// Delta snapshot: only the members/tombstones whose record changed at an
+  /// epoch >= `since` (inclusive — a record stamped exactly at the last
+  /// acknowledged epoch is resent rather than risk a boundary miss; merge is
+  /// idempotent, so the cost is a handful of duplicate records, not
+  /// correctness). `delta_since(0)` is the full view. The view's epoch is
+  /// the table's true epoch, so merging a delta advances the peer's epoch
+  /// exactly as a full view would.
+  net::MembershipView delta_since(std::uint64_t since) const;
+
+  /// Order-independent 64-bit digest of the full member+tombstone content
+  /// (epoch excluded: two tables with identical sets but momentarily
+  /// different epochs still agree). Equal digests mean delta gossip may
+  /// skip the table; a mismatch after a merge forces a full-table repair.
+  std::uint64_t digest() const;
+
   std::uint64_t epoch() const { return epoch_; }
   std::size_t size() const { return members_.size(); }
   bool contains(const std::string& key) const {
@@ -87,10 +102,16 @@ class MembershipTable {
 
  private:
   void bump_epoch_past(std::uint64_t other);
+  /// Record that `key`'s member record changed at the current epoch.
+  void stamp_member(const std::string& key) { member_stamps_[key] = epoch_; }
+  void stamp_tomb(const std::string& key) { tomb_stamps_[key] = epoch_; }
 
   net::Member self_;
   std::map<std::string, net::Member> members_;
   std::map<std::string, std::uint64_t> tombstones_;  // key → dead incarnation
+  // Delta-gossip stamps: the epoch at which each record last changed here.
+  std::map<std::string, std::uint64_t> member_stamps_;
+  std::map<std::string, std::uint64_t> tomb_stamps_;
   std::uint64_t epoch_ = 1;
 };
 

@@ -6,6 +6,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstring>
 
@@ -28,6 +29,16 @@ struct ClusterObs {
                                       "gossip exchanges completed");
   obs::Counter& gossip_failures = obs::counter(
       "bsk_cluster_gossip_failures_total", "gossip dials/handshakes failed");
+  obs::Counter& gossip_tx_bytes =
+      obs::counter("bsk_cluster_gossip_tx_bytes_total",
+                   "gossip payload bytes sent (hellos dialed + welcomes)");
+  obs::Counter& gossip_rx_bytes =
+      obs::counter("bsk_cluster_gossip_rx_bytes_total",
+                   "gossip payload bytes received");
+  obs::Counter& gossip_full = obs::counter(
+      "bsk_cluster_gossip_full_total", "full-table gossip payloads sent");
+  obs::Counter& gossip_delta = obs::counter(
+      "bsk_cluster_gossip_delta_total", "delta gossip payloads sent");
   obs::Counter& stale_epochs = obs::counter(
       "bsk_cluster_stale_epochs_total",
       "views/claims rejected or outranked by the epoch fence");
@@ -44,6 +55,18 @@ ClusterObs& cluster_obs() {
 
 constexpr const char* kBeaconGroup = "239.255.77.77";
 constexpr std::uint32_t kBeaconMagic = 0x42534b42;  // "BSKB"
+
+/// After sending Shutdown, wait for the peer to close first: the side that
+/// initiates the TCP close eats the TIME_WAIT, and a dialer that
+/// active-closes hundreds of gossip exchanges per second across a large
+/// fleet exhausts its ephemeral port range long before the fleet converges.
+void drain_until_closed(net::Transport& tp, double timeout_s) {
+  net::Frame f;
+  const double deadline = net::wall_now() + timeout_s;
+  while (net::wall_now() < deadline &&
+         tp.recv_for(f, deadline - net::wall_now()) == net::RecvStatus::Ok) {
+  }
+}
 
 }  // namespace
 
@@ -76,6 +99,14 @@ ClusterNode::ClusterNode(net::Member self, ClusterOptions opts)
       return net::TcpTransport::connect(ep.host, ep.port, tcp);
     };
   }
+  // Per-node seed: incarnation stamp alone is not enough — an in-process
+  // fleet constructs many nodes within the same microsecond.
+  rng_seed_ = self_.born ^ (static_cast<std::uint64_t>(self_.port) << 48) ^
+              reinterpret_cast<std::uintptr_t>(this);
+  if (opts_.jitter > 0.0) {
+    support::Rng boot(rng_seed_ ^ 0xb007ull);
+    boot_phase_s_ = boot.uniform(0.0, opts_.gossip_period_wall_s);
+  }
   support::global_event_log().record("cluster", "selfStart",
                                      static_cast<double>(self_.port),
                                      self_key_);
@@ -88,6 +119,9 @@ void ClusterNode::rebind_self(std::uint16_t port) {
   self_.port = port;
   self_key_ = self_.key();
   table_ = MembershipTable(self_);
+  peer_sync_.clear();
+  dial_failures_.clear();
+  suspects_.clear();
 }
 
 void ClusterNode::start() {
@@ -192,7 +226,7 @@ void ClusterNode::peer_left(const net::LeaveMsg& msg) {
   {
     support::MutexLock lk(mu_);
     d = table_.remove(msg.self.key(), msg.self.born);
-    dial_failures_.erase(msg.self.key());
+    forget_peer(msg.self.key());
   }
   apply_delta(d);
 }
@@ -211,45 +245,105 @@ std::shared_ptr<net::Transport> ClusterNode::dial(const net::Endpoint& ep) {
   return tp;
 }
 
+void ClusterNode::note_dial_failed(const std::string& member_key) {
+  cluster_obs().gossip_failures.inc();
+  if (member_key.empty()) return;  // seeds are never evicted
+  bool evict = false;
+  {
+    support::MutexLock lk(mu_);
+    if (++dial_failures_[member_key] >= opts_.suspect_after) {
+      evict = true;
+    } else if (opts_.suspect_queue > 0 &&
+               suspects_.size() < opts_.suspect_queue &&
+               std::find(suspects_.begin(), suspects_.end(), member_key) ==
+                   suspects_.end()) {
+      suspects_.push_back(member_key);
+    }
+  }
+  if (evict) {
+    MergeDelta d;
+    {
+      support::MutexLock lk(mu_);
+      d = table_.remove(member_key);
+      forget_peer(member_key);
+    }
+    if (d.changed()) {
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+      cluster_obs().evictions.inc();
+      support::global_event_log().record("cluster", "evict", 0.0,
+                                         member_key);
+      apply_delta(d);
+    }
+  }
+}
+
+void ClusterNode::forget_peer(const std::string& key) {
+  dial_failures_.erase(key);
+  peer_sync_.erase(key);
+  const auto it = std::find(suspects_.begin(), suspects_.end(), key);
+  if (it != suspects_.end()) suspects_.erase(it);
+}
+
+double ClusterNode::jittered(double period_s, support::Rng& rng) const {
+  if (opts_.jitter <= 0.0) return period_s;
+  return period_s * (1.0 + opts_.jitter * rng.uniform(-1.0, 1.0));
+}
+
+void ClusterNode::interruptible_sleep(const std::stop_token& st, double s) {
+  double remaining = s;
+  while (remaining > 0.0 && !st.stop_requested()) {
+    const double slice = std::min(remaining, 0.05);
+    std::this_thread::sleep_for(std::chrono::duration<double>(slice));
+    remaining -= slice;
+  }
+}
+
 void ClusterNode::gossip_with(const net::Endpoint& ep,
                               const std::string& member_key) {
   auto tp = dial(ep);
   if (!tp) {
-    cluster_obs().gossip_failures.inc();
-    if (member_key.empty()) return;  // seeds are never evicted
-    bool evict = false;
-    {
-      support::MutexLock lk(mu_);
-      if (++dial_failures_[member_key] >= opts_.suspect_after) {
-        dial_failures_.erase(member_key);
-        evict = true;
-      }
-    }
-    if (evict) {
-      MergeDelta d;
-      {
-        support::MutexLock lk(mu_);
-        d = table_.remove(member_key);
-      }
-      if (d.changed()) {
-        evictions_.fetch_add(1, std::memory_order_relaxed);
-        cluster_obs().evictions.inc();
-        support::global_event_log().record("cluster", "evict", 0.0,
-                                           member_key);
-        apply_delta(d);
-      }
-    }
+    note_dial_failed(member_key);
     return;
   }
 
+  ClusterObs& o = cluster_obs();
   net::ClusterHelloMsg hello;
   hello.self = self_;
+  std::uint64_t sent_epoch = 0;
   {
     support::MutexLock lk(mu_);
-    hello.view = table_.view();
+    hello.digest = table_.digest();
+    sent_epoch = table_.epoch();
+    bool full = true;
+    if (!member_key.empty() && opts_.delta_gossip) {
+      const PeerSync& ps = peer_sync_[member_key];
+      full = ps.force_full;
+      // First contact probes instead of pushing the table: `since` past our
+      // epoch selects no records, the digest tells the peer whether that
+      // was enough, and the mismatch repair resends everything next tick.
+      // Pairwise warm-up is O(1) bytes this way — at N nodes there are N^2
+      // first contacts, and full tables on each is what made gossip bytes
+      // grow with fleet size.
+      if (!full)
+        hello.since =
+            ps.sent_up_to == 0 ? table_.epoch() + 1 : ps.sent_up_to;
+    }
+    hello.full = full ? 1 : 0;
+    hello.view = full ? table_.view() : table_.delta_since(hello.since);
     dial_failures_.erase(member_key);
+    const auto it = std::find(suspects_.begin(), suspects_.end(), member_key);
+    if (it != suspects_.end()) suspects_.erase(it);
   }
-  bool ok = tp->send(net::make_cluster_hello(hello));
+  const net::Frame hf = net::make_cluster_hello(hello);
+  o.gossip_tx_bytes.inc(hf.payload.size());
+  if (hello.full) {
+    o.gossip_full.inc();
+    full_exchanges_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    o.gossip_delta.inc();
+    delta_exchanges_.fetch_add(1, std::memory_order_relaxed);
+  }
+  bool ok = tp->send(hf);
   if (ok) {
     net::Frame f;
     const double deadline =
@@ -260,12 +354,24 @@ void ClusterNode::gossip_with(const net::Endpoint& ep,
       if (st != net::RecvStatus::Ok) break;
       if (f.type != net::FrameType::ClusterWelcome) continue;
       if (const auto welcome = net::parse_cluster_welcome(f)) {
+        o.gossip_rx_bytes.inc(f.payload.size());
         MergeDelta d;
         {
           support::MutexLock lk(mu_);
-          if (welcome->epoch < table_.epoch())
+          if (welcome->view.epoch < table_.epoch())
             cluster_obs().stale_epochs.inc();
-          d = table_.merge(*welcome, /*self_defend=*/running_.load());
+          d = table_.merge(welcome->view, /*self_defend=*/running_.load());
+          if (!member_key.empty()) {
+            PeerSync& ps = peer_sync_[member_key];
+            ps.sent_up_to = sent_epoch;
+            // Digest agreement after folding the peer's reply in means both
+            // tables now hold the same sets, so deltas are safe. A mismatch
+            // (or a pre-digest peer sending 0) forces the whole table next
+            // time — the repair path that keeps delta gossip exactly as
+            // convergent as the full-table protocol.
+            ps.force_full =
+                welcome->digest == 0 || welcome->digest != table_.digest();
+          }
         }
         apply_delta(d);
         ok = true;
@@ -280,14 +386,24 @@ void ClusterNode::gossip_with(const net::Endpoint& ep,
     cluster_obs().gossip_failures.inc();
   }
   tp->send(net::Frame{net::FrameType::Shutdown, {}});
+  drain_until_closed(*tp, 0.25);
   tp->close();
 }
 
 void ClusterNode::gossip_loop(const std::stop_token& st) {
+  support::Rng rng(rng_seed_ ^ 0x605517ull);
+  // Random initial phase: a launcher that forks the whole fleet in one
+  // loop must not have every daemon dial the seed on the same tick.
+  if (boot_phase_s_ > 0.0) interruptible_sleep(st, boot_phase_s_);
   std::size_t seed_rotate = 0;
   while (!st.stop_requested()) {
     // Pick this tick's targets under the lock, talk outside it.
     std::vector<std::pair<net::Endpoint, std::string>> targets;
+    const auto want = [&targets](const std::string& key) {
+      for (const auto& [ep, k] : targets)
+        if (k == key) return false;
+      return true;
+    };
     {
       support::MutexLock lk(mu_);
       const net::MembershipView v = table_.view();
@@ -302,19 +418,41 @@ void ClusterNode::gossip_loop(const std::stop_token& st) {
             targets.emplace_back(s, std::string{});
         }
       } else {
-        // The root first (membership authority: views converge through
-        // it), then a rotating other member for anti-entropy breadth.
-        const HierarchyView h = elect(v, opts_.fanout);
-        const std::string root = h.root_key();
-        if (root != self_key_) {
+        // A queued suspect first: eviction latency must stay
+        // ~suspect_after ticks, not wait for the rotation to come back
+        // around the whole fleet.
+        if (!suspects_.empty()) {
+          const std::string sk = suspects_.front();
+          suspects_.pop_front();
           for (const net::Member& m : others)
-            if (m.key() == root) {
-              targets.emplace_back(net::Endpoint{m.host, m.port}, root);
+            if (m.key() == sk) {
+              targets.emplace_back(net::Endpoint{m.host, m.port}, sk);
               break;
             }
         }
+        // The root next (membership authority: views converge through it)
+        // — but probabilistically at scale, so its expected inbound load
+        // stays ~root_fanout dials per period regardless of fleet size.
+        // The whole fleet hammering the root every tick is the other half
+        // of the boot storm.
+        const HierarchyView h = elect(v, opts_.fanout);
+        const std::string root = h.root_key();
+        if (root != self_key_ && want(root)) {
+          const bool dial_root =
+              others.size() <= opts_.root_fanout ||
+              rng.chance(static_cast<double>(opts_.root_fanout) /
+                         static_cast<double>(others.size()));
+          if (dial_root) {
+            for (const net::Member& m : others)
+              if (m.key() == root) {
+                targets.emplace_back(net::Endpoint{m.host, m.port}, root);
+                break;
+              }
+          }
+        }
+        // And a rotating other member for anti-entropy breadth.
         const net::Member& pick = others[rotate_++ % others.size()];
-        if (pick.key() != root)
+        if (pick.key() != root && want(pick.key()))
           targets.emplace_back(net::Endpoint{pick.host, pick.port},
                                pick.key());
       }
@@ -323,8 +461,7 @@ void ClusterNode::gossip_loop(const std::stop_token& st) {
       if (st.stop_requested()) break;
       gossip_with(ep, key);
     }
-    std::this_thread::sleep_for(
-        std::chrono::duration<double>(opts_.gossip_period_wall_s));
+    interruptible_sleep(st, jittered(opts_.gossip_period_wall_s, rng));
   }
 }
 
@@ -336,18 +473,51 @@ bool ClusterNode::handle_frame(const net::Frame& f,
     case net::FrameType::ClusterHello: {
       const auto msg = net::parse_cluster_hello(f);
       if (!msg) return true;
+      ClusterObs& o = cluster_obs();
+      o.gossip_rx_bytes.inc(f.payload.size());
       sighted(msg->self);
       MergeDelta d;
-      net::MembershipView merged;
+      net::ClusterWelcomeMsg wel;
       {
         support::MutexLock lk(mu_);
-        if (msg->view.epoch < table_.epoch())
-          cluster_obs().stale_epochs.inc();
+        if (msg->view.epoch < table_.epoch()) o.stale_epochs.inc();
         d = table_.merge(msg->view, /*self_defend=*/running_.load());
-        merged = table_.view();
+        const std::uint64_t my_digest = table_.digest();
+        // After folding the sender's news in, equal digests mean the
+        // sender already holds everything we do — the welcome is an
+        // epoch-stamped ack even on first contact. Disagreement gets a
+        // delta when we know what the sender has seen from us, and the
+        // whole table when we do not (first contact / prior mismatch).
+        const bool agree = msg->digest != 0 && msg->digest == my_digest;
+        const std::string sender = msg->self.key();
+        bool full = true;
+        if (opts_.delta_gossip && msg->self.port != 0 &&
+            sender != self_key_) {
+          PeerSync& ps = peer_sync_[sender];
+          if (agree) {
+            full = false;
+            wel.view = table_.delta_since(table_.epoch() + 1);
+          } else {
+            full = ps.force_full || ps.sent_up_to == 0;
+            if (!full) wel.view = table_.delta_since(ps.sent_up_to);
+          }
+          ps.sent_up_to = table_.epoch();
+          ps.force_full = !agree;
+        }
+        if (full) wel.view = table_.view();
+        wel.full = full ? 1 : 0;
+        wel.digest = my_digest;
       }
       apply_delta(d);
-      reply = net::make_cluster_welcome(merged);
+      reply = net::make_cluster_welcome(wel);
+      o.gossip_tx_bytes.inc(reply->payload.size());
+      if (wel.full) {
+        o.gossip_full.inc();
+        full_exchanges_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        o.gossip_delta.inc();
+        delta_exchanges_.fetch_add(1, std::memory_order_relaxed);
+      }
       return true;
     }
     case net::FrameType::Leave: {
@@ -399,6 +569,7 @@ void ClusterNode::broadcast_leave() {
     }
     tp->send(net::make_leave(msg));
     tp->send(net::Frame{net::FrameType::Shutdown, {}});
+    drain_until_closed(*tp, 0.1);
     tp->close();
   }
   support::global_event_log().record("cluster", "selfLeave", 0.0, self_key_);
@@ -451,12 +622,17 @@ void ClusterNode::beacon_loop(const std::stop_token& st) {
   net::put_member(w, self_);
   const std::vector<std::uint8_t> announce = w.take();
 
+  // Random initial phase + jittered period: N daemons forked together must
+  // not all announce (and trigger each other's gossip) on the same tick.
+  support::Rng rng(rng_seed_ ^ 0xbeac0ull);
   double next_send = 0.0;
+  if (opts_.jitter > 0.0)
+    next_send = net::wall_now() + rng.uniform(0.0, opts_.beacon_period_wall_s);
   while (!st.stop_requested()) {
     if (net::wall_now() >= next_send) {
       ::sendto(fd, announce.data(), announce.size(), 0,
                reinterpret_cast<sockaddr*>(&group), sizeof(group));
-      next_send = net::wall_now() + opts_.beacon_period_wall_s;
+      next_send = net::wall_now() + jittered(opts_.beacon_period_wall_s, rng);
     }
     pollfd pfd{fd, POLLIN, 0};
     if (::poll(&pfd, 1, 100) > 0 && (pfd.revents & POLLIN)) {

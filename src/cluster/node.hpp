@@ -38,12 +38,15 @@
 #include <thread>
 #include <vector>
 
+#include <deque>
+
 #include "cluster/hierarchy.hpp"
 #include "cluster/membership.hpp"
 #include "net/epoll_server.hpp"
 #include "net/transport.hpp"
 #include "net/wire.hpp"
 #include "net/worker_pool.hpp"  // net::Endpoint
+#include "support/rng.hpp"
 #include "support/thread_annotations.hpp"
 
 namespace bsk::cluster {
@@ -52,8 +55,29 @@ struct ClusterOptions {
   std::vector<net::Endpoint> seeds;
   std::size_t fanout = 2;  ///< k of the elected k-ary hierarchy
   double gossip_period_wall_s = 0.1;
+  /// Fractional ± jitter on every gossip/beacon period, plus a random
+  /// initial phase in [0, period): N daemons started by one launcher must
+  /// not beacon, dial the seed, and gossip in lockstep — at fleet scale a
+  /// synchronized boot self-DoSes the seed node. 0 disables (tests that
+  /// assert exact timing).
+  double jitter = 0.25;
+  /// Bound on how hard the fleet leans on the elected root: each tick the
+  /// root is dialed with probability min(1, root_fanout/(members-1)), so
+  /// the root absorbs ~root_fanout dials per period regardless of fleet
+  /// size while convergence still biases through it.
+  std::size_t root_fanout = 4;
+  /// Delta gossip (digest + changed-records exchange) on by default. Off =
+  /// the PR-6 full-table exchange on every dial — the equivalence tests and
+  /// the E7c before/after comparison run both.
+  bool delta_gossip = true;
   /// Consecutive failed dials to a member before it is evicted.
   std::size_t suspect_after = 3;
+  /// Bound on the re-probe queue: members whose dial failed are re-dialed
+  /// ahead of the rotation (at most one per tick) so suspicion eviction
+  /// latency stays ~suspect_after ticks instead of scaling with fleet
+  /// size. The queue is bounded — a partition that kills half the fleet
+  /// queues at most this many concurrent suspects per node. 0 disables.
+  std::size_t suspect_queue = 8;
   double handshake_timeout_wall_s = 2.0;
   net::TcpOptions tcp{.connect_timeout_s = 0.5, .connect_retries = 0};
   /// UDP beacon discovery; nullopt disables.
@@ -121,8 +145,29 @@ class ClusterNode {
 
   std::uint64_t gossip_rounds() const { return gossip_rounds_.load(); }
   std::uint64_t evictions() const { return evictions_.load(); }
+  /// Exchanges this node sent as full tables vs as deltas (both directions:
+  /// hellos it dialed out and welcomes it replied with).
+  std::uint64_t full_exchanges() const { return full_exchanges_.load(); }
+  std::uint64_t delta_exchanges() const { return delta_exchanges_.load(); }
+  /// The random initial gossip phase drawn at construction, in seconds —
+  /// 0 when opts.jitter == 0 (the boot-storm regression asserts spread).
+  double boot_phase_s() const { return boot_phase_s_; }
 
  private:
+  /// Per-peer delta-gossip bookkeeping: `sent_up_to` is OUR epoch whose
+  /// records the peer provably holds (a digest-agreed exchange, or a delta
+  /// we sent on top of one); the next delta resends everything stamped
+  /// >= it. First contact (`sent_up_to == 0`) is an optimistic *probe* —
+  /// self + digest, no records — because at fleet scale nearly every pair
+  /// meets for the first time inside a converged view where the peer
+  /// already has everything. `force_full`, set on digest mismatch,
+  /// upgrades the next exchange to the whole table — the repair path that
+  /// makes delta gossip converge exactly like the full-table protocol.
+  struct PeerSync {
+    std::uint64_t sent_up_to = 0;
+    bool force_full = false;
+  };
+
   void gossip_loop(const std::stop_token& st);
   void beacon_loop(const std::stop_token& st);
   void gossip_with(const net::Endpoint& ep, const std::string& member_key);
@@ -131,6 +176,12 @@ class ClusterNode {
   void broadcast_leave();
   /// Record a beacon sighting / gossip sender introduction.
   void sighted(const net::Member& m);
+  void note_dial_failed(const std::string& member_key);
+  void forget_peer(const std::string& key) BSK_REQUIRES(mu_);
+  /// One period scaled by ± opts.jitter.
+  double jittered(double period_s, support::Rng& rng) const;
+  /// sleep_for in small slices so stop() does not wait out a full period.
+  static void interruptible_sleep(const std::stop_token& st, double s);
 
   net::Member self_;
   std::string self_key_;
@@ -139,13 +190,21 @@ class ClusterNode {
   mutable support::Mutex mu_;
   MembershipTable table_ BSK_GUARDED_BY(mu_);
   std::map<std::string, std::size_t> dial_failures_ BSK_GUARDED_BY(mu_);
+  std::map<std::string, PeerSync> peer_sync_ BSK_GUARDED_BY(mu_);
+  /// Members with a recent failed dial, re-probed ahead of the rotation
+  /// (bounded by opts.suspect_queue).
+  std::deque<std::string> suspects_ BSK_GUARDED_BY(mu_);
   std::size_t rotate_ BSK_GUARDED_BY(mu_) = 0;
   std::function<void(std::size_t, std::size_t, const net::MembershipView&)>
       on_change_ BSK_GUARDED_BY(mu_);
 
   std::atomic<std::uint64_t> gossip_rounds_{0};
   std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::uint64_t> full_exchanges_{0};
+  std::atomic<std::uint64_t> delta_exchanges_{0};
   std::atomic<bool> running_{false};
+  std::uint64_t rng_seed_ = 0;
+  double boot_phase_s_ = 0.0;
 
   int beacon_fd_ = -1;
   std::jthread gossip_;

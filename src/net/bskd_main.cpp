@@ -59,6 +59,7 @@
 // the suspicion window.
 
 #include <signal.h>
+#include <sys/resource.h>
 
 #include <algorithm>
 #include <atomic>
@@ -810,9 +811,22 @@ int usage(const char* argv0) {
                "usage: %s [--port N] [--port-file PATH] [--session-linger S]"
                " [--workers N] [--trace-file PATH] [--cluster]"
                " [--join HOST:PORT[,HOST:PORT...]] [--cores N]"
-               " [--core-speed X] [--fanout K] [--beacon PORT]\n",
+               " [--core-speed X] [--fanout K] [--beacon PORT]"
+               " [--gossip-period S] [--gossip-full]\n",
                argv0);
   return 2;
+}
+
+/// Raise RLIMIT_NOFILE to the hard cap. A fleet node holds one fd per
+/// gossip peer plus worker/stats connections; the common soft default of
+/// 1024 strangles a 128-daemon fleet long before memory does. Best-effort —
+/// on failure the epoll accept backoff is the safety net.
+void raise_nofile_limit() {
+  rlimit rl{};
+  if (::getrlimit(RLIMIT_NOFILE, &rl) != 0) return;
+  if (rl.rlim_cur >= rl.rlim_max) return;
+  rl.rlim_cur = rl.rlim_max;
+  ::setrlimit(RLIMIT_NOFILE, &rl);
 }
 
 /// Parse "host:port" (host defaults to loopback when omitted: ":7000").
@@ -895,6 +909,19 @@ int main(int argc, char** argv) {
       }
       cluster = true;
       copts.beacon_port = static_cast<std::uint16_t>(v);
+    } else if (arg == "--gossip-period" && i + 1 < argc) {
+      const char* s = argv[++i];
+      char* end = nullptr;
+      const double v = std::strtod(s, &end);
+      if (end == s || *end != '\0' || v <= 0.0) {
+        std::fprintf(stderr, "bskd: invalid gossip period '%s'\n", s);
+        return usage(argv[0]);
+      }
+      copts.gossip_period_wall_s = v;
+    } else if (arg == "--gossip-full") {
+      // Full-table exchange on every dial (pre-delta behavior); used by the
+      // E7c before/after comparison.
+      copts.delta_gossip = false;
     } else if (arg == "--port" && i + 1 < argc) {
       const char* s = argv[++i];
       char* end = nullptr;
@@ -936,6 +963,11 @@ int main(int argc, char** argv) {
   ::sigaction(SIGTERM, &sa, nullptr);
   ::sigaction(SIGINT, &sa, nullptr);
   ::signal(SIGPIPE, SIG_IGN);
+
+  raise_nofile_limit();
+  if (const std::size_t reaped = bsk::net::reap_stale_shm_segments();
+      reaped > 0)
+    std::fprintf(stderr, "bskd: reaped %zu stale shm segment(s)\n", reaped);
 
   Daemon daemon(session_linger_s, workers);
   if (!daemon.start(port)) {

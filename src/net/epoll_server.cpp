@@ -10,6 +10,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
 #include <vector>
 
@@ -39,6 +40,9 @@ struct EpollObs {
       "connections killed by an unrecoverable framing error");
   obs::Counter& crc_errors = obs::counter(
       "bsk_net_crc_errors_total", "frames dropped for checksum mismatch");
+  obs::Counter& accept_backoffs = obs::counter(
+      "bsk_net_epoll_accept_backoffs_total",
+      "accepts deferred because the process ran out of file descriptors");
 };
 
 EpollObs& epoll_obs() {
@@ -230,11 +234,34 @@ void EpollServer::set_heartbeat(ConnId c, double period_wall_s) {
 // -------------------------------------------------------------------- loop
 
 void EpollServer::accept_ready() {
+  if (accept_backoff_until_ > 0.0 && wall_now() < accept_backoff_until_)
+    return;  // still inside the fd-exhaustion backoff window
+  accept_backoff_until_ = 0.0;
   for (;;) {
     const int cfd =
         ::accept4(lfd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (cfd < 0) {
       if (errno == EINTR) continue;
+      if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+          errno == ENOMEM) {
+        // Out of fds. An edge-triggered listener that just returns here
+        // never gets another edge for the backlog it failed to drain, and
+        // one that keeps looping spins at 100% CPU accepting nothing —
+        // park the listener and let the timer pass retry once the window
+        // (or a connection slot) opens.
+        accept_backoff_until_ = wall_now() + opts_.accept_backoff_wall_s;
+        accept_backoffs_.fetch_add(1, std::memory_order_relaxed);
+        epoll_obs().accept_backoffs.inc();
+        if (!accept_backoff_logged_) {
+          accept_backoff_logged_ = true;
+          std::fprintf(stderr,
+                       "bsk.epoll: accept failed (%s); backing off %.0f ms "
+                       "between retries (raise RLIMIT_NOFILE?)\n",
+                       std::strerror(errno),
+                       opts_.accept_backoff_wall_s * 1e3);
+        }
+        return;
+      }
       return;  // EAGAIN or transient accept failure: wait for the next edge
     }
     int one = 1;
@@ -329,6 +356,10 @@ void EpollServer::write_ready(const std::shared_ptr<Conn>& conn) {
 }
 
 void EpollServer::timer_pass(double now) {
+  if (accept_backoff_until_ > 0.0 && now >= accept_backoff_until_) {
+    accept_backoff_until_ = 0.0;
+    accept_ready();  // retry the backlog the exhausted accept left queued
+  }
   std::vector<std::shared_ptr<Conn>> snapshot;
   {
     support::MutexLock lk(conns_mu_);
@@ -393,6 +424,7 @@ void EpollServer::loop(const std::stop_token& st) {
         if (c->want_close) timeout_ms = std::min(timeout_ms, 10);
       }
     }
+    if (accept_backoff_until_ > 0.0) timeout_ms = std::min(timeout_ms, 10);
 
     const int rc = ::epoll_wait(epfd_, evs, 128, timeout_ms);
     if (rc < 0) {

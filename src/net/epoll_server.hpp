@@ -45,6 +45,10 @@ struct EpollOptions {
   std::size_t max_frame = kDefaultMaxFrame;
   double handshake_timeout_wall_s = 5.0;  ///< close conns that never Hello
   int backlog = 1024;
+  /// Pause before retrying accept after fd exhaustion (EMFILE/ENFILE).
+  /// An edge-triggered listener gets no further edge for the backlog it
+  /// failed to drain, so the retry must come from the timer pass.
+  double accept_backoff_wall_s = 0.05;
 };
 
 class EpollServer {
@@ -101,6 +105,11 @@ class EpollServer {
   std::uint64_t accepted() const {
     return accepted_.load(std::memory_order_relaxed);
   }
+  /// Times the accept path hit fd exhaustion and armed the retry timer
+  /// (the EMFILE regression test asserts this moves and recovery happens).
+  std::uint64_t accept_backoffs() const {
+    return accept_backoffs_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct Conn {
@@ -144,7 +153,12 @@ class EpollServer {
   ConnId next_id_ = 2;  ///< ids 0/1 tag the listener/wake fds in epoll data
 
   std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> accept_backoffs_{0};
   std::atomic<bool> stopping_{false};
+  // Loop-thread only: accept retry deadline after fd exhaustion (0 = none)
+  // and the log-once latch for the condition.
+  double accept_backoff_until_ = 0.0;
+  bool accept_backoff_logged_ = false;
 
   std::jthread loop_;
 };

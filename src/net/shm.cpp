@@ -1,7 +1,9 @@
 #include "net/shm.hpp"
 
+#include <dirent.h>
 #include <fcntl.h>
 #include <linux/futex.h>
+#include <signal.h>
 #include <sys/mman.h>
 #include <sys/stat.h>
 #include <sys/syscall.h>
@@ -9,9 +11,12 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <climits>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <string>
 #include <thread>
 
 #include "obs/metrics.hpp"
@@ -205,10 +210,19 @@ std::shared_ptr<ShmTransport> ShmTransport::create_named(std::string& name_out,
   opts.ring_bytes = round_pow2(opts.ring_bytes);
   const std::size_t total = sizeof(SegmentHdr) + 2 * opts.ring_bytes;
 
+  // Name layout: /bsk.shm.<pid>.<epoch>.<counter>. The per-process epoch
+  // stamp (wall microseconds at first use) makes the name unique even when
+  // the kernel recycles a dead owner's pid before its leak is reaped, and
+  // the embedded pid is what reap_stale_shm_segments() probes for life.
   static std::atomic<std::uint64_t> counter{0};
-  char name[64];
-  std::snprintf(name, sizeof name, "/bsk-shm-%d-%llu",
+  static const std::uint64_t epoch = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+  char name[96];
+  std::snprintf(name, sizeof name, "/bsk.shm.%d.%llu.%llu",
                 static_cast<int>(::getpid()),
+                static_cast<unsigned long long>(epoch),
                 static_cast<unsigned long long>(
                     counter.fetch_add(1, std::memory_order_relaxed)));
 
@@ -699,6 +713,35 @@ TransportStats ShmTransport::stats() const {
   s.bytes_received = bytes_received_.load();
   s.heartbeats_seen = heartbeats_.load();
   return s;
+}
+
+// ----------------------------------------------------------------- reaping
+
+std::size_t reap_stale_shm_segments() {
+  DIR* d = ::opendir("/dev/shm");
+  if (d == nullptr) return 0;
+  std::size_t reaped = 0;
+  const pid_t self = ::getpid();
+  while (dirent* e = ::readdir(d)) {
+    const char* n = e->d_name;
+    // Current "bsk.shm.<pid>..." layout plus the pre-reaper
+    // "bsk-shm-<pid>-..." one, both with the owner pid right after the
+    // prefix.
+    long pid = 0;
+    if (std::strncmp(n, "bsk.shm.", 8) == 0 ||
+        std::strncmp(n, "bsk-shm-", 8) == 0)
+      pid = std::strtol(n + 8, nullptr, 10);
+    else
+      continue;
+    if (pid <= 0 || static_cast<pid_t>(pid) == self) continue;
+    if (::kill(static_cast<pid_t>(pid), 0) == 0 || errno != ESRCH)
+      continue;  // owner alive (or not ours to probe): leave it be
+    std::string path = "/";
+    path += n;
+    if (::shm_unlink(path.c_str()) == 0) ++reaped;
+  }
+  ::closedir(d);
+  return reaped;
 }
 
 }  // namespace bsk::net

@@ -73,8 +73,11 @@ class ShmTransport final : public Transport {
   static Pair make_pair(ShmOptions opts = {});
 
   /// Server side of the negotiation: create a named segment and return the
-  /// transport plus its name (for the HelloAck). Nullptr on failure — the
-  /// caller falls back to plain TCP.
+  /// transport plus its name (for the HelloAck). The name embeds the owner
+  /// pid and a per-process epoch stamp ("/bsk.shm.<pid>.<epoch>.<n>") so a
+  /// recycled pid can never collide with a dead owner's leftovers, and so
+  /// reap_stale_shm_segments() can tell live segments from orphans.
+  /// Nullptr on failure — the caller falls back to plain TCP.
   static std::shared_ptr<ShmTransport> create_named(std::string& name_out,
                                                     ShmOptions opts = {});
 
@@ -152,5 +155,14 @@ class ShmTransport final : public Transport {
   std::atomic<std::uint64_t> bytes_received_{0};
   std::atomic<std::uint64_t> heartbeats_{0};
 };
+
+/// Unlink every bsk shm segment in /dev/shm whose embedded owner pid is
+/// dead (kill(pid, 0) == ESRCH). Normal lifecycle unlinks the name at
+/// attach (or in the creator's destructor), but a SIGKILLed daemon leaks
+/// whatever was mid-negotiation — run this at daemon startup so a fleet
+/// that is killed and relaunched in a loop cannot slowly fill /dev/shm.
+/// Segments owned by live processes (or by pids we cannot probe) are left
+/// alone. Returns the number of segments removed.
+std::size_t reap_stale_shm_segments();
 
 }  // namespace bsk::net

@@ -591,6 +591,9 @@ Frame make_cluster_hello(const ClusterHelloMsg& m) {
   wire::Writer w;
   put_member(w, m.self);
   put_view(w, m.view);
+  w.u64(m.digest);
+  w.u8(m.full);
+  w.u64(m.since);
   return Frame{FrameType::ClusterHello, w.take()};
 }
 
@@ -599,21 +602,35 @@ std::optional<ClusterHelloMsg> parse_cluster_hello(const Frame& f) {
   wire::Reader r(f.payload);
   ClusterHelloMsg m;
   if (!get_member(r, m.self) || !get_view(r, m.view)) return std::nullopt;
+  if (r.remaining() > 0) {
+    // Delta-gossip trailer; an older encoder's frame is a full exchange.
+    m.digest = r.u64();
+    m.full = r.u8();
+    m.since = r.u64();
+    if (!r.ok()) return std::nullopt;
+  }
   return m;
 }
 
-Frame make_cluster_welcome(const MembershipView& v) {
+Frame make_cluster_welcome(const ClusterWelcomeMsg& m) {
   wire::Writer w;
-  put_view(w, v);
+  put_view(w, m.view);
+  w.u64(m.digest);
+  w.u8(m.full);
   return Frame{FrameType::ClusterWelcome, w.take()};
 }
 
-std::optional<MembershipView> parse_cluster_welcome(const Frame& f) {
+std::optional<ClusterWelcomeMsg> parse_cluster_welcome(const Frame& f) {
   if (f.type != FrameType::ClusterWelcome) return std::nullopt;
   wire::Reader r(f.payload);
-  MembershipView v;
-  if (!get_view(r, v)) return std::nullopt;
-  return v;
+  ClusterWelcomeMsg m;
+  if (!get_view(r, m.view)) return std::nullopt;
+  if (r.remaining() > 0) {
+    m.digest = r.u64();
+    m.full = r.u8();
+    if (!r.ok()) return std::nullopt;
+  }
+  return m;
 }
 
 Frame make_leave(const LeaveMsg& m) {

@@ -371,10 +371,32 @@ struct MembershipView {
   std::vector<Departed> departed;   ///< tombstones (propagate removals)
 };
 
-/// Gossip request: the sender introduces itself and pushes its view.
+/// Gossip request: the sender introduces itself and pushes membership news.
+///
+/// Delta gossip (vs the PR-6 full-table exchange): `view` carries either the
+/// sender's whole table (`full` != 0) or only the records whose stamp is at
+/// least `since` — the sender's epoch at the last exchange this peer
+/// acknowledged. `digest` is an order-independent hash of the sender's
+/// *entire* member+tombstone set; the receiver compares it against its own
+/// digest after merging, and a mismatch forces the next exchange back to a
+/// full table. Deltas are therefore a pure bytes optimization: any
+/// divergence the delta cannot express is detected by the digest and
+/// repaired by the full-table fallback, so convergence is exactly the
+/// full-table protocol's. Trailing fields — absent on frames from older
+/// encoders, parsed as a full-view exchange.
 struct ClusterHelloMsg {
   Member self;
+  MembershipView view;       ///< full table, or the delta described below
+  std::uint64_t digest = 0;  ///< digest of the sender's full table
+  std::uint8_t full = 1;     ///< nonzero: `view` is the whole table
+  std::uint64_t since = 0;   ///< delta base: records stamped >= this epoch
+};
+
+/// Gossip reply: the peer's membership news back (same delta semantics).
+struct ClusterWelcomeMsg {
   MembershipView view;
+  std::uint64_t digest = 0;  ///< digest of the replier's full table
+  std::uint8_t full = 1;
 };
 
 /// Graceful departure: `self` is leaving at (logically) `epoch`.
@@ -393,8 +415,8 @@ struct MembershipReply {
 Frame make_cluster_hello(const ClusterHelloMsg& m);
 std::optional<ClusterHelloMsg> parse_cluster_hello(const Frame& f);
 
-Frame make_cluster_welcome(const MembershipView& v);
-std::optional<MembershipView> parse_cluster_welcome(const Frame& f);
+Frame make_cluster_welcome(const ClusterWelcomeMsg& m);
+std::optional<ClusterWelcomeMsg> parse_cluster_welcome(const Frame& f);
 
 Frame make_leave(const LeaveMsg& m);
 std::optional<LeaveMsg> parse_leave(const Frame& f);

@@ -3,6 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+#include <string>
+
 #include "cluster/membership.hpp"
 
 namespace bsk::cluster {
@@ -145,6 +148,125 @@ TEST(MembershipTable, ConvergedWithRequiresSameSetAndEpoch) {
   v.epoch -= 1;
   v.members.pop_back();
   EXPECT_FALSE(a.converged_with(v));
+}
+
+// ------------------------------------------------------- delta gossip core
+
+TEST(MembershipTable, DigestEqualIffSameContentEpochExcluded) {
+  MembershipTable a(mem("a", 1));
+  MembershipTable b(mem("b", 2));
+  EXPECT_NE(a.digest(), b.digest());  // different member sets
+
+  // Converge the two tables: digests agree even though epochs may have
+  // stepped through different sequences along the way.
+  for (int round = 0; round < 3; ++round) {
+    b.merge(a.view());
+    a.merge(b.view());
+  }
+  EXPECT_EQ(a.digest(), b.digest());
+
+  // Any content change — member or tombstone — moves the digest.
+  const std::uint64_t before = a.digest();
+  a.add(mem("c", 3));
+  EXPECT_NE(a.digest(), before);
+  const std::uint64_t with_c = a.digest();
+  a.remove("c:3");
+  EXPECT_NE(a.digest(), with_c);
+  EXPECT_NE(a.digest(), before);  // tombstone for c is content too
+}
+
+TEST(MembershipTable, DeltaSinceCarriesOnlyRecentRecords) {
+  MembershipTable t(mem("a", 1));
+  t.add(mem("b", 2));
+  const std::uint64_t cut = t.epoch() + 1;  // strictly after b's stamp
+  t.add(mem("c", 3));
+  t.remove("b:2");
+
+  const net::MembershipView d = t.delta_since(cut);
+  EXPECT_EQ(d.epoch, t.epoch());  // the table's true epoch rides along
+  // c joined and b died after the cut; a and b's join predate it.
+  bool has_c = false, has_a = false;
+  for (const net::Member& m : d.members) {
+    if (m.key() == "c:3") has_c = true;
+    if (m.key() == "a:1") has_a = true;
+  }
+  EXPECT_TRUE(has_c);
+  EXPECT_FALSE(has_a);
+  ASSERT_EQ(d.departed.size(), 1u);
+  EXPECT_EQ(d.departed[0].key, "b:2");
+
+  // since=0 is the full view.
+  const net::MembershipView full = t.delta_since(0);
+  EXPECT_EQ(full.members.size(), t.view().members.size());
+  EXPECT_EQ(full.departed.size(), t.view().departed.size());
+}
+
+TEST(MembershipTable, IncrementalDeltasConvergeLikeFullViews) {
+  // The protocol invariant delta gossip rests on: a peer that receives the
+  // full view once and then every delta_since(last-conveyed-epoch) ends up
+  // with the same table as one receiving full views throughout.
+  MembershipTable src(mem("s", 1));
+  MembershipTable via_full(mem("f", 2));
+  MembershipTable via_delta(mem("d", 3));
+
+  via_full.merge(src.view());
+  via_delta.merge(src.view());
+  std::uint64_t conveyed = src.epoch();
+
+  const auto step = [&](int i) {
+    switch (i % 4) {
+      case 0:
+        src.add(mem("m", static_cast<std::uint16_t>(100 + i), 1,
+                    static_cast<std::uint64_t>(10 + i)));
+        break;
+      case 1:
+        src.remove("m:" + std::to_string(100 + i - 1));
+        break;
+      case 2:  // restart: same endpoint, newer incarnation
+        src.add(mem("r", 50, 1, static_cast<std::uint64_t>(10 + i)));
+        break;
+      default:
+        break;  // idle round: empty delta
+    }
+  };
+
+  for (int i = 0; i < 24; ++i) {
+    step(i);
+    via_full.merge(src.view());
+    via_delta.merge(src.delta_since(conveyed));
+    conveyed = src.epoch();
+  }
+
+  // The two observers carry different self records (f:2 vs d:3), so whole
+  // -table digests differ by construction; the replicated content — every
+  // key learned from src, plus the tombstones — must be identical.
+  const auto learned = [](const MembershipTable& t) {
+    std::set<std::string> k;
+    for (const net::Member& m : t.view().members) k.insert(m.key());
+    k.erase(t.self().key());
+    return k;
+  };
+  const auto tombs = [](const MembershipTable& t) {
+    std::set<std::string> k;
+    for (const net::Departed& d : t.view().departed) k.insert(d.key);
+    return k;
+  };
+  EXPECT_EQ(learned(via_full), learned(via_delta));
+  EXPECT_EQ(tombs(via_full), tombs(via_delta));
+  for (const net::Member& m : src.view().members)
+    EXPECT_TRUE(via_delta.contains(m.key())) << m.key();
+}
+
+TEST(MembershipTable, DeltaSinceIsInclusiveAtTheBoundary) {
+  MembershipTable t(mem("a", 1));
+  t.add(mem("b", 2));
+  // A record stamped exactly at the cut must be included — the boundary
+  // case where an exclusive filter would silently drop an update.
+  const net::MembershipView d = t.delta_since(t.epoch());
+  bool has_b = false;
+  for (const net::Member& m : d.members)
+    if (m.key() == "b:2") has_b = true;
+  EXPECT_TRUE(has_b);
 }
 
 }  // namespace

@@ -13,6 +13,7 @@
 #include <dirent.h>
 #include <netinet/in.h>
 #include <poll.h>
+#include <sys/resource.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -445,6 +446,69 @@ TEST(BskdSoak, ShmOptOutStaysOnTcp) {
 
   node.reset();
   stop_bskd(daemon, SIGTERM);
+}
+
+TEST(EpollServer, FdExhaustionBacksOffAndRecovers) {
+  // Regression for the fleet-scale boot failure: accept4 failing with
+  // EMFILE on an edge-triggered listener either spun the loop at 100% CPU
+  // or (with a bare return) parked the queued backlog forever, since no
+  // further edge fires for connections that already arrived. The fix backs
+  // off on the loop timer and retries.
+  //
+  // Setup: clients connect while the loop is NOT yet running (the TCP
+  // handshake completes into the listener backlog), then every free fd
+  // slot is plugged and the loop started — so the very first accept hits
+  // EMFILE deterministically.
+  EchoHandler h;
+  EpollServer server(h);
+  h.server = &server;
+  ASSERT_TRUE(server.valid());
+
+  constexpr int kClients = 4;
+  std::vector<std::shared_ptr<Transport>> clients;
+  for (int i = 0; i < kClients; ++i) {
+    auto tp = TcpTransport::connect("127.0.0.1", server.port());
+    ASSERT_NE(tp, nullptr);
+    clients.push_back(std::move(tp));
+  }
+
+  rlimit saved{};
+  ASSERT_EQ(::getrlimit(RLIMIT_NOFILE, &saved), 0);
+  rlimit low = saved;
+  low.rlim_cur = 256;
+  ASSERT_EQ(::setrlimit(RLIMIT_NOFILE, &low), 0);
+  std::vector<int> plugs;  // fill every slot below the lowered limit
+  for (;;) {
+    const int fd = ::dup(0);
+    if (fd < 0) break;
+    plugs.push_back(fd);
+  }
+
+  server.start();
+  const double bo_deadline = wall_now() + 5.0;
+  while (server.accept_backoffs() == 0 && wall_now() < bo_deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_GT(server.accept_backoffs(), 0u);
+  EXPECT_EQ(server.accepted(), 0u);
+
+  // Free the descriptors: the timer-driven retry must now drain the
+  // backlog without any new connection supplying an edge.
+  for (int fd : plugs) ::close(fd);
+  ::setrlimit(RLIMIT_NOFILE, &saved);
+  const double acc_deadline = wall_now() + 5.0;
+  while (server.accepted() < static_cast<std::uint64_t>(kClients) &&
+         wall_now() < acc_deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_EQ(server.accepted(), static_cast<std::uint64_t>(kClients));
+
+  // And the recovered connections are fully functional.
+  for (auto& tp : clients) {
+    HelloAck ack;
+    ASSERT_TRUE(client_handshake(*tp, Hello{}, 5.0, &ack));
+    EXPECT_TRUE(ack.ok);
+  }
+  for (auto& tp : clients) tp->close();
+  server.stop();
 }
 
 }  // namespace

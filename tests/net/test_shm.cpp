@@ -8,7 +8,13 @@
 
 #include <gtest/gtest.h>
 
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <atomic>
+#include <cstdio>
 #include <cstring>
 #include <memory>
 #include <string>
@@ -274,6 +280,57 @@ TEST(ShmTransport, ChaosInjectorWrapsShmLikeAnyTransport) {
   EXPECT_GT(st.dropped + st.duplicated, 0u);
   chaotic->close();
   pair.b->close();
+}
+
+TEST(ShmTransport, NamedSegmentsEmbedOwnerPid) {
+  std::string name;
+  auto t = ShmTransport::create_named(name);
+  ASSERT_NE(t, nullptr);
+  char prefix[32];
+  std::snprintf(prefix, sizeof prefix, "/bsk.shm.%d.",
+                static_cast<int>(::getpid()));
+  EXPECT_EQ(name.rfind(prefix, 0), 0u) << name;
+  // A reap sweep must leave a live owner's segment alone.
+  reap_stale_shm_segments();
+  const int fd = ::shm_open(name.c_str(), O_RDWR, 0600);
+  EXPECT_GE(fd, 0);
+  if (fd >= 0) ::close(fd);
+}
+
+TEST(ShmTransport, ReapRemovesDeadOwnersSegmentsOnly) {
+  // Regression for the stale-segment leak: a SIGKILLed daemon leaves its
+  // mid-negotiation segments in /dev/shm forever. Plant one under a pid
+  // that is genuinely dead (a forked child that already exited) and one
+  // under our own; the sweep must remove exactly the orphan.
+  const pid_t child = ::fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) ::_exit(0);
+  int status = 0;
+  ASSERT_EQ(::waitpid(child, &status, 0), child);
+
+  char stale[96];
+  std::snprintf(stale, sizeof stale, "/bsk.shm.%d.1.0",
+                static_cast<int>(child));
+  int fd = ::shm_open(stale, O_CREAT | O_RDWR, 0600);
+  ASSERT_GE(fd, 0);
+  ::close(fd);
+
+  char live[96];
+  std::snprintf(live, sizeof live, "/bsk.shm.%d.1.424242",
+                static_cast<int>(::getpid()));
+  fd = ::shm_open(live, O_CREAT | O_RDWR, 0600);
+  ASSERT_GE(fd, 0);
+  ::close(fd);
+
+  EXPECT_GE(reap_stale_shm_segments(), 1u);
+
+  errno = 0;
+  EXPECT_LT(::shm_open(stale, O_RDWR, 0600), 0);  // orphan: reaped
+  EXPECT_EQ(errno, ENOENT);
+  fd = ::shm_open(live, O_RDWR, 0600);  // live owner: kept
+  EXPECT_GE(fd, 0);
+  if (fd >= 0) ::close(fd);
+  ::shm_unlink(live);
 }
 
 }  // namespace
