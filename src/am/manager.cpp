@@ -56,6 +56,14 @@ AutonomicManager::AutonomicManager(std::string name, Abc& abc,
               static_cast<double>(cfg_.max_failed_recruits));
   consts_.set("CLUSTER_MIN_NODES",
               static_cast<double>(cfg_.min_cluster_nodes));
+  // Gossip-protocol defaults, literal mirrors of cluster::ClusterOptions
+  // (the am layer must not link bsk_cluster — the dependency arrow runs
+  // the other way). The registry cross-check test asserts these literals
+  // against the real defaults, so drift fails CI.
+  consts_.set("CLUSTER_ROOT_FANOUT", 4.0);
+  consts_.set("CLUSTER_SUSPECT_AFTER", 3.0);
+  consts_.set("CLUSTER_SUSPECT_QUEUE", 8.0);
+  consts_.set("CLUSTER_DELTA_GOSSIP", 1.0);
   install_default_operations();
 }
 

@@ -314,7 +314,7 @@ class AutonomicManager : public rules::OperationSink {
   rules::ConstantTable consts_;
   std::vector<rules::RuleSpec> loaded_specs_;
 
-  mutable support::Mutex state_mu_;
+  mutable support::Mutex state_mu_{"Manager.state"};
   Contract contract_ BSK_GUARDED_BY(state_mu_);
   std::function<void(const Contract&)> on_contract_ BSK_GUARDED_BY(state_mu_);
   std::function<void(const ChildViolation&)> violation_handler_
@@ -334,7 +334,7 @@ class AutonomicManager : public rules::OperationSink {
   // Other threads (a parent calling set_contract mid-cycle, a net thread
   // logging through this manager) must not join the span, hence the thread
   // check under the mutex.
-  support::Mutex span_mu_;
+  support::Mutex span_mu_{"Manager.span"};
   obs::MapeSpan* active_span_ BSK_GUARDED_BY(span_mu_) = nullptr;
   std::thread::id span_thread_ BSK_GUARDED_BY(span_mu_);
 

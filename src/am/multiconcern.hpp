@@ -65,7 +65,7 @@ class GeneralManager {
  private:
   std::string name_;
   support::EventLog* log_;
-  mutable support::Mutex mu_;
+  mutable support::Mutex mu_{"GeneralManager"};
   std::vector<std::pair<int, ConcernParticipant*>> participants_
       BSK_GUARDED_BY(mu_);
   std::size_t requests_ BSK_GUARDED_BY(mu_) = 0;

@@ -112,6 +112,16 @@ rules::ConstantTable model_constants() {
   c.set("FT_MAX_FAILED_RECRUITS", 3.0);
   c.set("WORKER_FAILURES", 0.0);
   c.set("FARM_BACKLOG_THRESHOLD", 100.0);
+  // CLUSTER_MIN_NODES stays unvalued here: it is deployment policy (the
+  // manager seeds it from ManagerOptions::min_cluster_nodes), and any
+  // static value would make the collapse guard vacuously unreachable or
+  // anchor it to one deployment.
+  // Gossip tuning, mirroring the ClusterOptions defaults (cross-checked
+  // against the source of truth by the registry tests).
+  c.set("CLUSTER_ROOT_FANOUT", 4.0);
+  c.set("CLUSTER_SUSPECT_AFTER", 3.0);
+  c.set("CLUSTER_SUSPECT_QUEUE", 8.0);
+  c.set("CLUSTER_DELTA_GOSSIP", 1.0);
   // ...refined by a representative throughput/latency contract (the
   // constructor's open-ended defaults would make low-rate guards vacuous).
   c.set("FARM_LOW_PERF_LEVEL", 0.3);

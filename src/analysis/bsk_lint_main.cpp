@@ -9,6 +9,8 @@
 //   bsk-lint --split-check 4:8:2 --service-time 0.5 rules/fig5.brl
 //   bsk-lint --twophase src                 scan C++ sources for ungated
 //                                           commit actuators
+//   bsk-lint --wire                         wire-format compatibility checks
+//                                           (delta-gossip trailing fields)
 //
 // Exit status: 0 clean, 1 findings (warning or error), 2 usage/parse error.
 
@@ -22,6 +24,7 @@
 #include "analysis/analyzer.hpp"
 #include "analysis/registry.hpp"
 #include "analysis/twophase.hpp"
+#include "analysis/wirecheck.hpp"
 #include "rules/parser.hpp"
 
 namespace {
@@ -32,6 +35,7 @@ using namespace bsk;
 struct Cli {
   bool json = false;
   bool dump_registry = false;
+  bool wire = false;
   std::vector<std::string> brl_files;
   std::vector<std::pair<std::string, std::string>> builtins;
   std::vector<std::string> twophase_roots;
@@ -47,7 +51,7 @@ int usage(const char* argv0) {
          "membership|all]...\n"
          "       [--split-check LO:HI:STAGES [--service-time S] "
          "[--max-workers N]]\n"
-         "       [--twophase DIR_OR_FILE]... [FILE.brl]...\n";
+         "       [--twophase DIR_OR_FILE]... [--wire] [FILE.brl]...\n";
   return 2;
 }
 
@@ -102,6 +106,8 @@ int main(int argc, char** argv) {
       cli.json = true;
     } else if (a == "--registry") {
       cli.dump_registry = true;
+    } else if (a == "--wire") {
+      cli.wire = true;
     } else if (a == "--builtin") {
       const char* n = next();
       if (!n) return usage(argv[0]);
@@ -168,7 +174,7 @@ int main(int argc, char** argv) {
     return 0;
   }
   if (cli.brl_files.empty() && cli.builtins.empty() &&
-      cli.twophase_roots.empty() && !cli.split)
+      cli.twophase_roots.empty() && !cli.split && !cli.wire)
     return usage(argv[0]);
 
   analysis::AnalysisOptions opts;
@@ -227,6 +233,17 @@ int main(int argc, char** argv) {
     all.insert(all.end(), rep.findings.begin(), rep.findings.end());
   }
 
+  // --- wire-format compatibility contracts (delta-gossip trailers)
+  bool wire_broken = false;
+  if (cli.wire) {
+    const std::vector<analysis::WireFinding> wf = analysis::check_wire_compat();
+    wire_broken = !wf.empty();
+    for (const analysis::WireFinding& f : wf)
+      std::cerr << "bsk-lint: wire: [" << f.check << "] " << f.detail << "\n";
+    if (!cli.json)
+      std::cerr << "bsk-lint: wire compat: " << wf.size() << " finding(s)\n";
+  }
+
   if (cli.json) {
     std::cout << analysis::findings_to_json(all) << "\n";
   } else {
@@ -234,5 +251,5 @@ int main(int argc, char** argv) {
       std::cerr << format_finding(f) << "\n";
     std::cerr << "bsk-lint: " << all.size() << " finding(s)\n";
   }
-  return analysis::has_findings(all) ? 1 : 0;
+  return analysis::has_findings(all) || wire_broken ? 1 : 0;
 }

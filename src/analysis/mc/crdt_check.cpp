@@ -1,0 +1,213 @@
+// crdt_check: see crdt_check.hpp.
+
+#include "analysis/mc/crdt_check.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cluster/membership.hpp"
+#include "support/rng.hpp"
+
+namespace bsk::analysis::mc {
+
+namespace {
+
+net::Member mk(std::size_t i, std::uint64_t born) {
+  net::Member m;
+  m.host = "crdt";
+  m.port = static_cast<std::uint16_t>(100 + i);
+  m.cores = 1;
+  m.core_speed = 1.0;
+  m.born = born;
+  return m;
+}
+
+/// The live-member projection: key -> born. The algebraic laws quantify
+/// over this (and self's incarnation), not over retained tombstone records
+/// — see the header for why.
+std::map<std::string, std::uint64_t> alive(const cluster::MembershipTable& t) {
+  std::map<std::string, std::uint64_t> out;
+  for (const net::Member& m : t.view().members) out[m.key()] = m.born;
+  return out;
+}
+
+std::string show(const std::map<std::string, std::uint64_t>& s) {
+  std::ostringstream os;
+  for (const auto& [k, b] : s) os << k << "@" << b << " ";
+  return os.str();
+}
+
+/// Canonical record set of a view (members + tombstones, epoch excluded).
+std::vector<std::string> view_records(const net::MembershipView& v) {
+  std::vector<std::string> out;
+  for (const net::Member& m : v.members)
+    out.push_back("M|" + m.key() + "|" + std::to_string(m.born));
+  for (const net::Departed& d : v.departed)
+    out.push_back("T|" + d.key + "|" + std::to_string(d.born));
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+struct Gen {
+  support::Rng rng;
+  std::vector<net::MembershipView> views;
+  net::Member self;
+
+  explicit Gen(std::uint64_t seed, std::size_t nviews) : rng(seed) {
+    self = mk(0, 3);
+    for (std::size_t v = 0; v < nviews; ++v) {
+      net::MembershipView mv;
+      mv.epoch = static_cast<std::uint64_t>(rng.uniform_int(1, 9));
+      const std::size_t nm = static_cast<std::size_t>(rng.uniform_int(0, 3));
+      const std::size_t nt = static_cast<std::size_t>(rng.uniform_int(0, 3));
+      for (std::size_t i = 0; i < nm; ++i)
+        mv.members.push_back(
+            mk(static_cast<std::size_t>(rng.uniform_int(1, 4)),
+               static_cast<std::uint64_t>(rng.uniform_int(1, 6))));
+      for (std::size_t i = 0; i < nt; ++i) {
+        // Key 0 is self: occasionally tombstone it to exercise
+        // self-defense re-incarnation.
+        const std::size_t who =
+            rng.chance(0.15) ? 0
+                             : static_cast<std::size_t>(rng.uniform_int(1, 4));
+        mv.departed.push_back(net::Departed{
+            mk(who, 0).key(),
+            static_cast<std::uint64_t>(rng.uniform_int(1, 6))});
+      }
+      views.push_back(std::move(mv));
+    }
+  }
+};
+
+/// The expected per-key join over self + a set of views: best member born
+/// vs best tombstone born per key, member survives iff born > tomb; self
+/// re-incarnates past the highest self-tombstone.
+std::map<std::string, std::uint64_t> expected_join(
+    const net::Member& self, const std::vector<net::MembershipView>& views) {
+  std::map<std::string, std::uint64_t> best_m, best_t;
+  for (const net::MembershipView& v : views) {
+    for (const net::Member& m : v.members)
+      best_m[m.key()] = std::max(best_m[m.key()], m.born);
+    for (const net::Departed& d : v.departed)
+      best_t[d.key] = std::max(best_t[d.key], d.born);
+  }
+  std::map<std::string, std::uint64_t> out;
+  for (const auto& [k, b] : best_m) {
+    if (k == self.key()) continue;  // the table is authoritative for self
+    const auto t = best_t.find(k);
+    if (t == best_t.end() || b > t->second) out[k] = b;
+  }
+  std::uint64_t self_born = self.born;
+  if (const auto t = best_t.find(self.key());
+      t != best_t.end() && t->second >= self_born)
+    self_born = t->second + 1;
+  out[self.key()] = self_born;
+  return out;
+}
+
+}  // namespace
+
+CrdtResult run_crdt_check(const CrdtOptions& opt) {
+  CrdtResult res;
+  const auto fail = [&](const char* law, const std::string& detail) {
+    res.ok = false;
+    res.violation = Violation{law, detail};
+    return res;
+  };
+
+  for (std::size_t c = 0; c < opt.cases; ++c) {
+    Gen g(opt.seed + c, 3);
+
+    // Law: join — fold all views, compare the live set with the computed
+    // per-key join.
+    cluster::MembershipTable t(g.self);
+    for (const net::MembershipView& v : g.views) t.merge(v);
+    const auto got = alive(t);
+    const auto want = expected_join(g.self, g.views);
+    ++res.checks;
+    if (got != want)
+      return fail("crdt-join", "case " + std::to_string(c) + ": live set " +
+                                   show(got) + "!= join " + show(want));
+
+    // Law: idempotence — re-merging the last view is a no-op on the live
+    // set and the epoch.
+    const std::uint64_t e0 = t.epoch();
+    t.merge(g.views.back());
+    ++res.checks;
+    if (alive(t) != got || t.epoch() != e0)
+      return fail("crdt-idempotence",
+                  "case " + std::to_string(c) +
+                      ": re-merge changed the live set or epoch");
+
+    // Law: order-independence — reverse fold order, same live set (and the
+    // epochs converge after one mutual exchange).
+    cluster::MembershipTable t2(g.self);
+    for (auto it = g.views.rbegin(); it != g.views.rend(); ++it)
+      t2.merge(*it);
+    ++res.checks;
+    if (alive(t2) != got)
+      return fail("crdt-order", "case " + std::to_string(c) +
+                                    ": reversed fold gave " + show(alive(t2)) +
+                                    "!= " + show(got));
+
+    // Law: ping-pong convergence — mutual full-view exchanges drive two
+    // same-self tables to identical member sets and equal digests.
+    for (int round = 0; round < 3; ++round) {
+      t.merge(t2.view());
+      t2.merge(t.view());
+    }
+    ++res.checks;
+    if (alive(t) != alive(t2) || t.digest() != t2.digest() ||
+        t.epoch() != t2.epoch())
+      return fail("crdt-convergence",
+                  "case " + std::to_string(c) +
+                      ": ping-pong did not converge (sets " + show(alive(t)) +
+                      "vs " + show(alive(t2)) + ")");
+
+    // Law: delta-monotonicity — delta_since(0) is the full view, and a
+    // higher watermark never surfaces a record the lower one misses.
+    const auto full = view_records(t.view());
+    const auto d0 = view_records(t.delta_since(0));
+    ++res.checks;
+    if (full != d0)
+      return fail("crdt-delta-full",
+                  "case " + std::to_string(c) + ": delta_since(0) != view()");
+    std::vector<std::string> prev = d0;
+    for (std::uint64_t since = 1; since <= t.epoch() + 1; ++since) {
+      const auto dv = view_records(t.delta_since(since));
+      ++res.checks;
+      if (!std::includes(prev.begin(), prev.end(), dv.begin(), dv.end()))
+        return fail("crdt-delta-monotone",
+                    "case " + std::to_string(c) + ": delta_since(" +
+                        std::to_string(since) +
+                        ") carries a record delta_since(" +
+                        std::to_string(since - 1) + ") misses");
+      prev = dv;
+    }
+  }
+
+  // Law: tombstone-wins, the three scripted resolutions.
+  cluster::MembershipTable t(mk(0, 1));
+  const net::Member peer = mk(1, 4);
+  t.add(peer);
+  net::MembershipView death;
+  death.epoch = 1;
+  death.departed.push_back(net::Departed{peer.key(), peer.born});
+  t.merge(death);
+  ++res.checks;
+  if (t.contains(peer.key()))
+    return fail("crdt-tombstone", "equal-born tombstone failed to kill");
+  ++res.checks;
+  if (t.add(peer).changed() || t.contains(peer.key()))
+    return fail("crdt-tombstone", "dead incarnation re-joined");
+  ++res.checks;
+  if (!t.add(mk(1, 5)).changed() || !t.contains(peer.key()))
+    return fail("crdt-tombstone", "newer incarnation was refused");
+
+  return res;
+}
+
+}  // namespace bsk::analysis::mc

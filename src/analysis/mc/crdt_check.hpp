@@ -1,0 +1,50 @@
+#pragma once
+// crdt_check: randomized-but-deterministic law checking of the
+// MembershipTable CRDT.
+//
+// The explorer (gossip_model) proves protocol properties over small fleets;
+// this pass hammers the merge lattice itself with hundreds of generated
+// view sequences and checks the algebraic laws the protocol leans on:
+//
+//   join      — after folding any sequence of views, the live-member set is
+//               exactly the per-key join: a member survives iff its best
+//               incarnation out-lives the best tombstone (born > tomb), and
+//               self re-incarnates past the highest self-tombstone
+//   idempotence — re-merging a view changes neither the live set nor the
+//               epoch
+//   order-independence — any permutation of the same views folds to the
+//               same live set (the convergence guarantee). Tombstone
+//               *records* are deliberately excluded: a dominated tombstone
+//               re-absorbed after its member was superseded is retained or
+//               erased depending on arrival order — harmless for liveness,
+//               and exactly what the digest-mismatch repair path exists for
+//   tombstone-wins — a tombstone kills the same-or-older incarnation; only
+//               a strictly newer incarnation rejoins
+//   ping-pong convergence — two tables that keep exchanging full views
+//               reach identical member sets and equal digests
+//   delta-monotonicity — delta_since(0) is the full view, and a later
+//               watermark never yields records a smaller one misses
+//
+// All cases derive from one seed: failures replay exactly.
+
+#include <cstdint>
+#include <optional>
+
+#include "analysis/mc/explorer.hpp"
+
+namespace bsk::analysis::mc {
+
+struct CrdtOptions {
+  std::size_t cases = 200;
+  std::uint64_t seed = 0xb5c0ffeeull;
+};
+
+struct CrdtResult {
+  bool ok = true;
+  Violation violation;       ///< set when !ok
+  std::uint64_t checks = 0;  ///< individual law instances verified
+};
+
+CrdtResult run_crdt_check(const CrdtOptions& opt);
+
+}  // namespace bsk::analysis::mc

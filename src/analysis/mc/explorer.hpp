@@ -1,0 +1,182 @@
+#pragma once
+// explorer: bounded exhaustive state-space search over a protocol model.
+//
+// The model supplies value-type states and actions plus the transition
+// function; the explorer owns the search: iterative depth-first
+// enumeration of every delivery interleaving up to a depth bound, with
+//
+//   - visited-state dedup on a canonical fingerprint (two interleavings
+//     that commute into the same global state are expanded once), and
+//   - DPOR-style sleep sets: an action already explored from a state is
+//     not re-explored from sibling branches whose first step is
+//     independent of it (the model declares independence; disjoint
+//     touched-node sets is the usual conservative answer).
+//
+// Sleep sets and state caching are only sound together when a cached
+// state is re-expanded if it is reached with *fewer* restrictions than
+// before, so the visited table keeps the sleep sets each fingerprint was
+// explored under and prunes only when a stored set is a subset of the
+// current one.
+//
+// Model concept (duck-typed; see gossip_model.hpp / resume_model.hpp):
+//
+//   struct M {
+//     struct State;                       // copyable
+//     struct Action;                      // copyable, small
+//     std::vector<Action> enabled(const State&) const;
+//     // Mutate in place; nullopt = fine, a Violation ends the search.
+//     std::optional<Violation> apply(State&, const Action&) const;
+//     // Global property check, run once per newly visited state.
+//     std::optional<Violation> check(const State&) const;
+//     std::string fingerprint(const State&) const;
+//     std::uint64_t action_key(const Action&) const;  // stable identity
+//     bool independent(const Action&, const Action&) const;
+//     std::string describe(const Action&) const;
+//   };
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace bsk::analysis::mc {
+
+struct Violation {
+  std::string property;  ///< which invariant broke
+  std::string detail;    ///< the concrete counterexample evidence
+};
+
+struct Stats {
+  std::uint64_t states_explored = 0;  ///< unique states expanded
+  std::uint64_t transitions = 0;      ///< apply() calls
+  std::uint64_t deduped = 0;          ///< arrivals pruned by the visited set
+  std::uint64_t sleep_pruned = 0;     ///< actions skipped by sleep sets
+  std::size_t max_depth = 0;
+  bool truncated = false;  ///< some branch hit the depth bound
+};
+
+struct ExploreResult {
+  bool ok = true;
+  Violation violation;              ///< set when !ok
+  std::vector<std::string> trace;   ///< action path root -> violation
+  Stats stats;
+};
+
+struct ExploreOptions {
+  std::size_t max_depth = 24;
+  bool sleep_sets = true;
+};
+
+template <typename Model>
+ExploreResult explore(const Model& model, const typename Model::State& init,
+                      const ExploreOptions& opt = {}) {
+  using Action = typename Model::Action;
+
+  struct Node {
+    typename Model::State state;
+    std::vector<Action> actions;
+    std::size_t next = 0;
+    /// Actions this node must not explore (inherited, DPOR sleep set).
+    std::map<std::uint64_t, Action> sleep;
+    /// Actions already explored from this node.
+    std::map<std::uint64_t, Action> done;
+    std::string via;  ///< incoming action description (trace building)
+  };
+
+  ExploreResult out;
+  // fingerprint -> sleep-set keys it was explored under. Prune a revisit
+  // only when a stored set is a subset of the current one (the earlier
+  // expansion explored a superset of what we would now).
+  std::map<std::string, std::vector<std::set<std::uint64_t>>> visited;
+
+  const auto fail = [&](std::vector<Node>& stack, const std::string& via,
+                        Violation v) {
+    out.ok = false;
+    out.violation = std::move(v);
+    for (const Node& n : stack)
+      if (!n.via.empty()) out.trace.push_back(n.via);
+    if (!via.empty()) out.trace.push_back(via);
+  };
+
+  std::vector<Node> stack;
+  if (auto v = model.check(init)) {
+    fail(stack, "", *std::move(v));
+    return out;
+  }
+  visited[model.fingerprint(init)].push_back({});
+  stack.push_back(Node{init, model.enabled(init), 0, {}, {}, ""});
+  ++out.stats.states_explored;
+
+  while (!stack.empty()) {
+    Node& n = stack.back();
+    if (n.next >= n.actions.size()) {
+      stack.pop_back();
+      continue;
+    }
+    const Action a = n.actions[n.next++];
+    const std::uint64_t key = model.action_key(a);
+    if (opt.sleep_sets && n.sleep.count(key) != 0) {
+      ++out.stats.sleep_pruned;
+      continue;
+    }
+
+    typename Model::State child = n.state;
+    ++out.stats.transitions;
+    if (auto v = model.apply(child, a)) {
+      fail(stack, model.describe(a), *std::move(v));
+      return out;
+    }
+    if (auto v = model.check(child)) {
+      fail(stack, model.describe(a), *std::move(v));
+      return out;
+    }
+
+    // Child sleep set: everything explored or slept here that commutes
+    // with the step we just took would reproduce an already-covered
+    // interleaving over there.
+    std::map<std::uint64_t, Action> child_sleep;
+    if (opt.sleep_sets) {
+      for (const auto& [k, b] : n.sleep)
+        if (model.independent(b, a)) child_sleep.emplace(k, b);
+      for (const auto& [k, b] : n.done)
+        if (model.independent(b, a)) child_sleep.emplace(k, b);
+    }
+    n.done.emplace(key, a);
+
+    if (stack.size() > opt.max_depth) {
+      out.stats.truncated = true;
+      continue;
+    }
+
+    std::set<std::uint64_t> sleep_keys;
+    for (const auto& [k, b] : child_sleep) sleep_keys.insert(k);
+    const std::string fp = model.fingerprint(child);
+    auto& stored = visited[fp];
+    bool skip = false;
+    for (const auto& s : stored) {
+      if (std::includes(sleep_keys.begin(), sleep_keys.end(), s.begin(),
+                        s.end())) {
+        skip = true;
+        break;
+      }
+    }
+    if (skip) {
+      ++out.stats.deduped;
+      continue;
+    }
+    stored.push_back(sleep_keys);
+
+    ++out.stats.states_explored;
+    out.stats.max_depth = std::max(out.stats.max_depth, stack.size());
+    std::vector<Action> child_actions = model.enabled(child);
+    stack.push_back(Node{std::move(child), std::move(child_actions), 0,
+                         std::move(child_sleep), {}, model.describe(a)});
+  }
+  return out;
+}
+
+}  // namespace bsk::analysis::mc

@@ -1,0 +1,142 @@
+#pragma once
+// gossip_model: the anti-entropy gossip protocol under the explorer.
+//
+// Drives the *real* protocol code — gossip_build_hello / gossip_handle_hello
+// / gossip_apply_welcome / gossip_dial_failed over real MembershipTables —
+// across every bounded interleaving of exchange starts, message deliveries,
+// drops, duplicates and member crashes. Each model node carries twin
+// GossipStates: one running delta gossip, one running the PR-6 full-table
+// protocol; both see the same schedule, so any observable difference
+// between the two is a delta-gossip bug, not scheduling noise.
+//
+// Properties:
+//   1. epoch monotonicity      — a node's table epoch never decreases
+//   2. no tombstone resurrection — once a node held a tombstone (key,born),
+//      no member record at born <= that ever reappears in its table
+//   3. delta sufficiency (fault-free schedules only) — every non-probe,
+//      non-full delta payload carries every record the receiver does not
+//      already dominate; this is the inclusive-boundary property that
+//      makes delta gossip lossless without the repair path
+//   4. convergence — from every quiescent state, a bounded fault-free
+//      closure of exchanges brings all live nodes to identical
+//      member+tombstone sets, with every crashed member dead in all of them
+//   5. delta ≡ full observational equivalence — the delta twin's closure
+//      fixpoint equals the full-table twin's
+//
+// `GossipOptions::defect` forwards a cluster::GossipDefect into the pure
+// core, so the seeded-defect fixtures can assert the verifier catches each
+// historical bug class. run_gossip_laws() additionally scripts the three
+// defect scenarios deterministically (the exact-boundary stamp needs a
+// 4-node relay the default explorer budget does not reach).
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/mc/explorer.hpp"
+#include "cluster/gossip_core.hpp"
+
+namespace bsk::analysis::mc {
+
+struct GossipOptions {
+  std::size_t n = 3;        ///< fleet size (model-checked, keep <= 4)
+  /// Gossip dials per node. 1 is exhaustive in under a second with every
+  /// fault budget armed; 2 is minutes per armed fault dimension (the
+  /// nightly CI job runs those) — the state space is exponential in
+  /// concurrent exchanges.
+  std::size_t rounds = 1;
+  std::size_t drops = 1;    ///< total message-drop budget
+  std::size_t dups = 1;     ///< total duplicate-delivery budget
+  std::size_t departs = 1;  ///< crash budget (highest-id node only)
+  std::size_t suspect_after = 1;  ///< failed dials before eviction
+  std::size_t depth = 28;
+  bool sleep_sets = true;
+  cluster::GossipDefect defect = cluster::GossipDefect::None;
+};
+
+class GossipModel {
+ public:
+  /// One outstanding exchange of the (synchronous) dialer: hello out, then
+  /// welcome back. Twin payloads travel together — both twins see the same
+  /// delivery schedule.
+  struct Exchange {
+    int replier = -1;
+    enum Stage : std::uint8_t { HelloInFlight, WelcomeInFlight } stage =
+        HelloInFlight;
+    net::ClusterHelloMsg hello_d, hello_f;
+    std::uint64_t sent_epoch_d = 0, sent_epoch_f = 0;
+    net::ClusterWelcomeMsg welcome_d, welcome_f;
+  };
+
+  struct NodeS {
+    cluster::GossipState delta;  ///< delta-gossip twin
+    cluster::GossipState full;   ///< full-table twin
+    bool departed = false;
+    std::size_t dials = 0;
+    std::optional<Exchange> ex;  ///< the dialer side holds the exchange
+    /// Ghosts: highest tombstone born ever held per key (resurrection),
+    /// last seen table epoch (monotonicity). Per twin.
+    std::map<std::string, std::uint64_t> max_tomb_d, max_tomb_f;
+    std::uint64_t last_epoch_d = 0, last_epoch_f = 0;
+
+    NodeS(net::Member self)
+        : delta(self), full(self) {}
+  };
+
+  struct State {
+    std::vector<NodeS> nodes;
+    std::size_t drops_left = 0, dups_left = 0, departs_left = 0;
+  };
+
+  struct Action {
+    enum Kind : std::uint8_t {
+      Start,           ///< node a dials node b (live: exchange; dead: fail)
+      DeliverHello,    ///< exchange of dialer a: replier processes hello
+      DupHello,        ///< replier processes the hello a second time
+      DropHello,       ///< hello lost; exchange dies silently
+      DeliverWelcome,  ///< dialer a applies the welcome
+      DropWelcome,     ///< welcome lost after the replier updated
+      Abort,           ///< replier crashed mid-exchange; free drop
+      Depart,          ///< node a crashes
+    } kind = Start;
+    int a = -1, b = -1;
+  };
+
+  explicit GossipModel(GossipOptions opt);
+
+  State initial() const;
+  std::vector<Action> enabled(const State& s) const;
+  std::optional<Violation> apply(State& s, const Action& a) const;
+  std::optional<Violation> check(const State& s) const;
+  std::string fingerprint(const State& s) const;
+  std::uint64_t action_key(const Action& a) const;
+  bool independent(const Action& x, const Action& y) const;
+  std::string describe(const Action& a) const;
+
+  static net::Member member_for(std::size_t i);
+
+ private:
+  std::optional<Violation> step_ghosts(State& s, int node) const;
+  std::optional<Violation> delta_sufficiency(
+      const cluster::GossipState& sender, const cluster::GossipState& receiver,
+      const net::MembershipView& payload, const net::Member* hello_self,
+      std::uint64_t pre_sent_up_to, bool full, const char* dir) const;
+
+  GossipOptions opt_;
+  cluster::GossipConfig cfg_delta_;  ///< delta_gossip = true, opt.defect
+  cluster::GossipConfig cfg_full_;   ///< delta_gossip = false, opt.defect
+};
+
+/// Run both explorer passes: fault-free (sufficiency armed) and faulty
+/// (drops/dups/crashes with closure checks). First violation wins.
+ExploreResult run_gossip_explore(const GossipOptions& opt);
+
+/// Deterministic scripted scenarios, one per defect class: the inclusive
+/// delta boundary (a record stamped exactly at the acknowledged epoch),
+/// tombstone propagation, and the digest-mismatch full-table repair. All
+/// three drive the pure core; nullopt when the protocol behaves.
+std::optional<Violation> run_gossip_laws(cluster::GossipDefect defect);
+
+}  // namespace bsk::analysis::mc

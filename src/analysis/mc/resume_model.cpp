@@ -1,0 +1,418 @@
+// resume_model: see resume_model.hpp. Every transition funnels through the
+// real reliability code — SessionCore::admit/cache/try_resume, ResumeFence,
+// classify_result, make_task/parse_task_seq — the model only owns the wire
+// (frames in flight, connection generations) and the ghost variables.
+
+#include "analysis/mc/resume_model.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+namespace bsk::analysis::mc {
+
+namespace {
+
+rt::Task task_for(std::uint64_t seq) {
+  rt::Task t;
+  t.kind = rt::TaskKind::Data;
+  t.id = seq;  // id == seq keeps classify_result's poison check honest
+  return t;
+}
+
+std::vector<ResumeModel::Wire>::iterator find_wire(
+    std::vector<ResumeModel::Wire>& v, std::int64_t id) {
+  return std::find_if(v.begin(), v.end(), [&](const ResumeModel::Wire& w) {
+    return w.id == static_cast<std::uint64_t>(id);
+  });
+}
+
+}  // namespace
+
+ResumeModel::State ResumeModel::initial() const {
+  State s;
+  s.drops_left = opt_.drops;
+  s.dups_left = opt_.dups;
+  s.kills_left = opt_.kills;
+  // The first attach: a fresh session, epoch 1, one live connection.
+  const std::uint32_t e = s.server.fresh_attach();
+  s.fence.session = 7;
+  s.fence.epoch = e;
+  s.attach_epochs.push_back(e);
+  s.connected = true;
+  s.gen_counter = 1;
+  s.server_gen = 1;
+  s.client_gen = 1;
+  return s;
+}
+
+void ResumeModel::send_next(State& s) const {
+  const std::uint64_t seq = s.next_seq++;
+  const rt::Task t = task_for(seq);
+  s.unacked.push_back(net::PendingTask{seq, t, 0.0});
+  s.tasks_fly.push_back(Wire{net::make_task(t, net::FrameType::TaskMsg, seq),
+                             s.client_gen, s.wire_counter++});
+}
+
+void ResumeModel::retransmit_front(State& s) const {
+  const net::PendingTask& p = s.unacked.front();
+  s.tasks_fly.push_back(
+      Wire{net::make_task(p.task, net::FrameType::TaskMsg, p.seq),
+           s.client_gen, s.wire_counter++});
+}
+
+std::optional<Violation> ResumeModel::deliver_task_frame(State& s,
+                                                         const Wire& w) const {
+  const auto p = net::parse_task_seq(w.frame);
+  if (!p)
+    return Violation{"wire-decode", "in-flight task frame failed to parse"};
+  const std::uint64_t seq = p->first;
+  if (const net::Frame* cached = s.server.admit(seq)) {
+    // Duplicate or retransmit of an executed task: resend, never re-run.
+    s.results_fly.push_back(Wire{*cached, s.server_gen, s.wire_counter++});
+    return std::nullopt;
+  }
+  int& n = s.exec_count[seq];
+  if (++n > 1) {
+    std::ostringstream os;
+    os << "seq " << seq << " executed " << n
+       << " times (dedup cache failed to suppress a replay)";
+    return Violation{"at-most-once", os.str()};
+  }
+  net::Frame reply =
+      net::make_task(p->second, net::FrameType::ResultMsg, seq);
+  s.server.cache(seq, reply);
+  s.results_fly.push_back(Wire{std::move(reply), s.server_gen,
+                               s.wire_counter++});
+  return std::nullopt;
+}
+
+std::optional<Violation> ResumeModel::deliver_result_frame(
+    State& s, const Wire& w) const {
+  const auto p = net::parse_task_seq(w.frame);
+  if (!p)
+    return Violation{"wire-decode", "in-flight result frame failed to parse"};
+  const std::uint64_t seq = p->first;
+  if (s.unacked.empty()) return std::nullopt;  // late duplicate, all acked
+  switch (net::classify_result(s.unacked, seq, p->second)) {
+    case net::ResultClass::DeliverFront: {
+      std::uint64_t deliver = seq;
+      for (;;) {
+        const std::uint64_t expect =
+            s.delivered.empty() ? 1 : s.delivered.back() + 1;
+        if (deliver != expect) {
+          std::ostringstream os;
+          os << "delivered seq " << deliver << " when " << expect
+             << " was due (gap, duplicate or inversion)";
+          return Violation{"in-order-delivery", os.str()};
+        }
+        s.delivered.push_back(deliver);
+        s.last_acked = deliver;
+        s.unacked.pop_front();
+        if (s.unacked.empty()) break;
+        const auto it = s.buffered.find(s.unacked.front().seq);
+        if (it == s.buffered.end()) break;
+        deliver = it->first;
+        s.buffered.erase(it);
+      }
+      return std::nullopt;
+    }
+    case net::ResultClass::BufferAhead:
+      s.buffered.emplace(seq, p->second);
+      return std::nullopt;
+    case net::ResultClass::DuplicateBehind:
+      return std::nullopt;
+    case net::ResultClass::Poison: {
+      std::ostringstream os;
+      os << "result seq " << seq << " classified Poison (task id mismatch)";
+      return Violation{"result-poison", os.str()};
+    }
+    case net::ResultClass::Orphan: {
+      std::ostringstream os;
+      os << "result seq " << seq
+         << " classified Orphan (unacked window should be contiguous)";
+      return Violation{"result-orphan", os.str()};
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Violation> ResumeModel::do_resume(State& s) const {
+  const int new_gen = ++s.gen_counter;
+  net::Hello h;
+  s.fence.stamp(h, s.last_acked);
+  std::uint32_t my_epoch = 0;
+  if (!s.server.try_resume(h.resume_epoch, h.last_acked_seq, my_epoch)) {
+    std::ostringstream os;
+    os << "live client presenting epoch " << h.resume_epoch
+       << " was fenced out";
+    return Violation{"resume-refused", os.str()};
+  }
+  net::HelloAck ack;
+  ack.session = s.fence.session;
+  ack.epoch = my_epoch;
+  ack.resumed = true;
+  s.fence.commit(ack);
+  if (!s.attach_epochs.empty() && my_epoch <= s.attach_epochs.back()) {
+    std::ostringstream os;
+    os << "attach epoch " << my_epoch << " not above previous "
+       << s.attach_epochs.back();
+    return Violation{"epoch-monotonicity", os.str()};
+  }
+  s.attach_epochs.push_back(my_epoch);
+  s.server_gen = new_gen;
+  s.client_gen = new_gen;
+  s.connected = true;
+  // Replay the unacked tail on the fresh connection, exactly as
+  // RemoteWorkerNode's reconnect path does. Executed-but-unacked tasks hit
+  // the dedup cache server-side; genuinely lost ones run once.
+  for (const net::PendingTask& p : s.unacked)
+    s.tasks_fly.push_back(
+        Wire{net::make_task(p.task, net::FrameType::TaskMsg, p.seq), new_gen,
+             s.wire_counter++});
+  return std::nullopt;
+}
+
+std::vector<ResumeModel::Action> ResumeModel::enabled(const State& s) const {
+  std::vector<Action> out;
+  if (s.connected && s.next_seq <= opt_.tasks &&
+      s.unacked.size() < opt_.window)
+    out.push_back(Action{Action::SendTask, -1});
+  for (const Wire& w : s.tasks_fly) {
+    const auto id = static_cast<std::int64_t>(w.id);
+    out.push_back(Action{Action::DeliverTask, id});
+    if (s.drops_left > 0) out.push_back(Action{Action::DropTask, id});
+    if (s.dups_left > 0) out.push_back(Action{Action::DupTask, id});
+  }
+  for (const Wire& w : s.results_fly) {
+    const auto id = static_cast<std::int64_t>(w.id);
+    out.push_back(Action{Action::DeliverResult, id});
+    if (s.drops_left > 0) out.push_back(Action{Action::DropResult, id});
+    if (s.dups_left > 0) out.push_back(Action{Action::DupResult, id});
+  }
+  if (s.connected && !s.unacked.empty() && s.retransmits_left > 0)
+    out.push_back(Action{Action::Retransmit, -1});
+  if (s.connected && s.kills_left > 0)
+    out.push_back(Action{Action::KillConn, -1});
+  if (!s.connected) out.push_back(Action{Action::Resume, -1});
+  return out;
+}
+
+std::optional<Violation> ResumeModel::apply(State& s, const Action& a) const {
+  switch (a.kind) {
+    case Action::SendTask:
+      send_next(s);
+      return std::nullopt;
+    case Action::DeliverTask: {
+      const auto it = find_wire(s.tasks_fly, a.a);
+      const Wire w = *it;
+      s.tasks_fly.erase(it);
+      // A frame from a killed connection dies with its socket: the server
+      // reads EOF, never this payload.
+      if (w.gen != s.server_gen) return std::nullopt;
+      return deliver_task_frame(s, w);
+    }
+    case Action::DropTask:
+      s.tasks_fly.erase(find_wire(s.tasks_fly, a.a));
+      --s.drops_left;
+      return std::nullopt;
+    case Action::DupTask: {
+      const auto it = find_wire(s.tasks_fly, a.a);
+      Wire copy = *it;
+      copy.id = s.wire_counter++;
+      s.tasks_fly.push_back(std::move(copy));
+      --s.dups_left;
+      return std::nullopt;
+    }
+    case Action::DeliverResult: {
+      const auto it = find_wire(s.results_fly, a.a);
+      const Wire w = *it;
+      s.results_fly.erase(it);
+      if (w.gen != s.client_gen || !s.connected) return std::nullopt;
+      return deliver_result_frame(s, w);
+    }
+    case Action::DropResult:
+      s.results_fly.erase(find_wire(s.results_fly, a.a));
+      --s.drops_left;
+      return std::nullopt;
+    case Action::DupResult: {
+      const auto it = find_wire(s.results_fly, a.a);
+      Wire copy = *it;
+      copy.id = s.wire_counter++;
+      s.results_fly.push_back(std::move(copy));
+      --s.dups_left;
+      return std::nullopt;
+    }
+    case Action::Retransmit:
+      retransmit_front(s);
+      --s.retransmits_left;
+      return std::nullopt;
+    case Action::KillConn:
+      s.connected = false;
+      --s.kills_left;
+      return std::nullopt;
+    case Action::Resume:
+      return do_resume(s);
+  }
+  return std::nullopt;
+}
+
+std::optional<Violation> ResumeModel::check(const State& s) const {
+  // Zombie probe, every state: a connection from any earlier attach that
+  // wakes up and presents its stale epoch must bounce off the fence. Run
+  // against a copy — refusal must also not disturb the session.
+  for (std::size_t i = 0; i + 1 < s.attach_epochs.size(); ++i) {
+    net::SessionCore probe = s.server;
+    std::uint32_t me = 0;
+    if (probe.try_resume(s.attach_epochs[i], 0, me)) {
+      std::ostringstream os;
+      os << "stale epoch " << s.attach_epochs[i]
+         << " resumed past the fence (current " << s.server.epoch() << ")";
+      return Violation{"zombie-fence", os.str()};
+    }
+  }
+
+  // Delivery-completeness closure, quiescent states only: with the wire
+  // empty, a bounded fault-free continuation (reconnect if needed, send the
+  // rest, retransmit-and-deliver) must hand the client every task in order.
+  if (!s.tasks_fly.empty() || !s.results_fly.empty()) return std::nullopt;
+  State c = s;
+  const std::size_t bound = 16 * (opt_.tasks + 2);
+  for (std::size_t iter = 0; iter < bound; ++iter) {
+    if (!c.connected) {
+      if (auto v = do_resume(c)) return v;
+      continue;
+    }
+    if (c.next_seq <= opt_.tasks && c.unacked.size() < opt_.window) {
+      send_next(c);
+    } else if (!c.tasks_fly.empty()) {
+      const Wire w = c.tasks_fly.front();
+      c.tasks_fly.erase(c.tasks_fly.begin());
+      if (w.gen == c.server_gen)
+        if (auto v = deliver_task_frame(c, w)) return v;
+    } else if (!c.results_fly.empty()) {
+      const Wire w = c.results_fly.front();
+      c.results_fly.erase(c.results_fly.begin());
+      if (w.gen == c.client_gen)
+        if (auto v = deliver_result_frame(c, w)) return v;
+    } else if (!c.unacked.empty()) {
+      retransmit_front(c);  // the closure ignores the retransmit budget
+    } else if (c.next_seq > opt_.tasks) {
+      break;
+    }
+  }
+  if (c.delivered.size() != opt_.tasks) {
+    std::ostringstream os;
+    os << "closure delivered " << c.delivered.size() << "/" << opt_.tasks
+       << " tasks (a sent task was lost for good)";
+    return Violation{"closure-delivery", os.str()};
+  }
+  return std::nullopt;
+}
+
+std::string ResumeModel::fingerprint(const State& s) const {
+  std::ostringstream os;
+  // In-flight frames as canonical (kind, seq, fresh) triples — sorted, since
+  // the vectors are multisets; absolute generations and wire ids are history
+  // labels, only freshness against the current connection matters.
+  const auto frames = [&](const std::vector<Wire>& v, int cur_gen,
+                          const char* tag) {
+    std::vector<std::string> fs;
+    for (const Wire& w : v) {
+      const auto p = net::parse_task_seq(w.frame);
+      std::ostringstream f;
+      f << tag << (p ? p->first : 0) << (w.gen == cur_gen ? "+" : "-");
+      fs.push_back(f.str());
+    }
+    std::sort(fs.begin(), fs.end());
+    for (const std::string& f : fs) os << f << ",";
+  };
+  frames(s.tasks_fly, s.server_gen, "t");
+  frames(s.results_fly, s.client_gen, "r");
+  os << "|srv:" << s.server.epoch() << ":";
+  for (const std::uint64_t q : s.server.cached_seqs()) os << q << ",";
+  os << "|cli:" << s.fence.session << ":" << s.fence.epoch << ":"
+     << s.next_seq << ":" << s.last_acked << ":" << (s.connected ? 1 : 0)
+     << ":u";
+  for (const net::PendingTask& p : s.unacked) os << p.seq << ",";
+  os << ":b";
+  for (const auto& [q, t] : s.buffered) os << q << ",";
+  os << "|g:x";
+  for (const auto& [q, n] : s.exec_count) os << q << "=" << n << ",";
+  os << ":d" << s.delivered.size() << ":a";
+  for (const std::uint32_t e : s.attach_epochs) os << e << ",";
+  os << "|b:" << s.drops_left << ":" << s.dups_left << ":" << s.kills_left
+     << ":" << s.retransmits_left;
+  return os.str();
+}
+
+std::uint64_t ResumeModel::action_key(const Action& a) const {
+  return (static_cast<std::uint64_t>(a.kind + 1) << 40) |
+         static_cast<std::uint64_t>(a.a + 1);
+}
+
+namespace {
+
+/// What an action touches: the client's protocol state, the server's, one
+/// specific frame, one shared budget counter. Disjoint footprints commute.
+struct Footprint {
+  bool client = false, server = false;
+  std::int64_t frame = -1;
+  int budget = -1;  // 0 drops, 1 dups, 2 retransmits, 3 kills
+};
+
+Footprint footprint(const ResumeModel::Action& a) {
+  using A = ResumeModel::Action;
+  Footprint f;
+  switch (a.kind) {
+    case A::SendTask: f.client = true; break;
+    case A::DeliverTask: f.server = true; f.frame = a.a; break;
+    case A::DropTask: f.frame = a.a; f.budget = 0; break;
+    case A::DupTask: f.frame = a.a; f.budget = 1; break;
+    case A::DeliverResult: f.client = true; f.frame = a.a; break;
+    case A::DropResult: f.frame = a.a; f.budget = 0; break;
+    case A::DupResult: f.frame = a.a; f.budget = 1; break;
+    case A::Retransmit: f.client = true; f.budget = 2; break;
+    case A::KillConn: f.client = true; f.budget = 3; break;
+    case A::Resume: f.client = true; f.server = true; break;
+  }
+  return f;
+}
+
+}  // namespace
+
+bool ResumeModel::independent(const Action& x, const Action& y) const {
+  const Footprint a = footprint(x), b = footprint(y);
+  if (a.client && b.client) return false;
+  if (a.server && b.server) return false;
+  if (a.frame >= 0 && a.frame == b.frame) return false;
+  if (a.budget >= 0 && a.budget == b.budget) return false;
+  return true;
+}
+
+std::string ResumeModel::describe(const Action& a) const {
+  std::ostringstream os;
+  switch (a.kind) {
+    case Action::SendTask: os << "send-task"; break;
+    case Action::DeliverTask: os << "deliver-task #" << a.a; break;
+    case Action::DropTask: os << "drop-task #" << a.a; break;
+    case Action::DupTask: os << "dup-task #" << a.a; break;
+    case Action::DeliverResult: os << "deliver-result #" << a.a; break;
+    case Action::DropResult: os << "drop-result #" << a.a; break;
+    case Action::DupResult: os << "dup-result #" << a.a; break;
+    case Action::Retransmit: os << "retransmit-front"; break;
+    case Action::KillConn: os << "kill-connection"; break;
+    case Action::Resume: os << "resume"; break;
+  }
+  return os.str();
+}
+
+ExploreResult run_resume_explore(const ResumeOptions& opt) {
+  ResumeModel model(opt);
+  ExploreOptions eo;
+  eo.max_depth = opt.depth;
+  eo.sleep_sets = opt.sleep_sets;
+  return explore(model, model.initial(), eo);
+}
+
+}  // namespace bsk::analysis::mc

@@ -1,0 +1,126 @@
+#pragma once
+// resume_model: the epoch-fenced session-resume protocol under the
+// explorer.
+//
+// Drives the *real* reliability code — net::SessionCore (the daemon's
+// execute-or-resend-cached dedup window and epoch fence), net::ResumeFence
+// (the client's resume identity) and net::classify_result (where an
+// incoming result lands against the unacked deque) — plus the real task
+// framing (make_task / parse_task_seq), across every bounded interleaving
+// of sends, deliveries, reorders, drops, duplicates, connection kills,
+// retransmits and resumes.
+//
+// Properties:
+//   1. at-most-once execution — no sequence number ever executes twice,
+//      whatever is dropped, duplicated or replayed
+//   2. in-order exactly-once delivery — the client's delivered stream is
+//      exactly 1, 2, 3, ... with no gap, duplicate or inversion, and a
+//      bounded fault-free closure from every quiescent state delivers
+//      every task that was ever sent
+//   3. epoch-fence monotonicity — each successful attach observes a
+//      strictly larger epoch than every earlier one
+//   4. zombie fencing — at every reachable state, a resume presenting any
+//      stale attach epoch is refused (probed in check(), so the property
+//      holds against every interleaving, not just scripted ones)
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/mc/explorer.hpp"
+#include "net/resume_core.hpp"
+
+namespace bsk::analysis::mc {
+
+struct ResumeOptions {
+  std::size_t tasks = 3;   ///< total tasks the client will send
+  std::size_t window = 2;  ///< max unacked tasks in flight
+  std::size_t drops = 1;   ///< frame-drop budget
+  std::size_t dups = 1;    ///< frame-duplicate budget
+  std::size_t kills = 1;   ///< connection-kill budget (each forces resume)
+  std::size_t depth = 26;
+  bool sleep_sets = true;
+};
+
+class ResumeModel {
+ public:
+  /// A frame in flight, tagged with the connection generation that sent
+  /// it: frames from a killed connection are stale on arrival, exactly as
+  /// a closed socket discards its buffers.
+  struct Wire {
+    net::Frame frame;
+    int gen = 0;
+    /// Stable identity for sleep-set action keys: vector indices shift as
+    /// frames deliver, ids never do. Path-stable, excluded from the state
+    /// fingerprint (histories with different ids still dedup).
+    std::uint64_t id = 0;
+  };
+
+  struct State {
+    net::SessionCore server{8};
+    int server_gen = 0;  ///< connection generation the server serves
+
+    net::ResumeFence fence;
+    std::deque<net::PendingTask> unacked;
+    std::map<std::uint64_t, rt::Task> buffered;  ///< results ahead of front
+    std::uint64_t next_seq = 1;
+    std::uint64_t last_acked = 0;
+    bool connected = false;
+    int client_gen = 0;
+
+    std::vector<Wire> tasks_fly;    ///< client -> server
+    std::vector<Wire> results_fly;  ///< server -> client
+
+    // Ghosts.
+    std::map<std::uint64_t, int> exec_count;
+    std::vector<std::uint64_t> delivered;
+    std::vector<std::uint32_t> attach_epochs;
+
+    std::size_t drops_left = 0, dups_left = 0, kills_left = 0;
+    std::size_t retransmits_left = 1;
+    int gen_counter = 0;
+    std::uint64_t wire_counter = 0;  ///< next Wire::id
+  };
+
+  struct Action {
+    enum Kind : std::uint8_t {
+      SendTask,       ///< client emits the next sequenced task
+      DeliverTask,    ///< server receives tasks_fly[a]
+      DropTask,       ///< tasks_fly[a] lost
+      DupTask,        ///< tasks_fly[a] duplicated
+      DeliverResult,  ///< client receives results_fly[a]
+      DropResult,
+      DupResult,
+      Retransmit,  ///< client resends its oldest unacked task
+      KillConn,    ///< the connection dies; in-flight frames go stale
+      Resume,      ///< client reconnects through the epoch fence
+    } kind = SendTask;
+    /// Wire::id of the frame acted on (frame actions); -1 otherwise.
+    std::int64_t a = -1;
+  };
+
+  explicit ResumeModel(ResumeOptions opt) : opt_(opt) {}
+
+  State initial() const;
+  std::vector<Action> enabled(const State& s) const;
+  std::optional<Violation> apply(State& s, const Action& a) const;
+  std::optional<Violation> check(const State& s) const;
+  std::string fingerprint(const State& s) const;
+  std::uint64_t action_key(const Action& a) const;
+  bool independent(const Action& x, const Action& y) const;
+  std::string describe(const Action& a) const;
+
+ private:
+  std::optional<Violation> deliver_task_frame(State& s, const Wire& w) const;
+  std::optional<Violation> deliver_result_frame(State& s, const Wire& w) const;
+  std::optional<Violation> do_resume(State& s) const;
+  void send_next(State& s) const;
+  void retransmit_front(State& s) const;
+
+  ResumeOptions opt_;
+};
+
+ExploreResult run_resume_explore(const ResumeOptions& opt);
+
+}  // namespace bsk::analysis::mc

@@ -169,6 +169,13 @@ Registry default_registry() {
   r.add_constant("FT_MAX_FAILED_RECRUITS");
   r.add_constant("WORKER_FAILURES");
   r.add_constant("CLUSTER_MIN_NODES");
+  // Gossip-protocol tuning (PR 9), mirrored from the ClusterOptions
+  // defaults so rule programs can reason about fleet behavior; the
+  // registry<->source cross-check test keeps the literals honest.
+  r.add_constant("CLUSTER_ROOT_FANOUT");
+  r.add_constant("CLUSTER_SUSPECT_AFTER");
+  r.add_constant("CLUSTER_SUSPECT_QUEUE");
+  r.add_constant("CLUSTER_DELTA_GOSSIP");
 
   // Violation kinds used as symbolic setData payloads.
   r.add_payload("notEnoughTasks_VIOL");

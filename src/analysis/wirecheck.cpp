@@ -1,0 +1,175 @@
+// wirecheck: see wirecheck.hpp.
+
+#include "analysis/wirecheck.hpp"
+
+#include <cstdint>
+#include <sstream>
+
+#include "net/wire.hpp"
+
+namespace bsk::analysis {
+
+namespace {
+
+// The trailing-field layouts (bytes past the legacy end of each payload).
+// Fixed-width on purpose — a rolling upgrade must be able to cut a frame at
+// the legacy boundary; if these sizes drift, the boundary sweep below fails
+// and the constant must be revisited together with the decoder.
+constexpr std::size_t kHelloTrailer = 8 + 1 + 8;  // digest u64, full u8, since u64
+constexpr std::size_t kWelcomeTrailer = 8 + 1;    // digest u64, full u8
+
+net::Member mk_member(std::uint16_t port, std::uint64_t born) {
+  net::Member m;
+  m.host = "wirecheck";
+  m.port = port;
+  m.cores = 4;
+  m.core_speed = 1.5;
+  m.born = born;
+  return m;
+}
+
+net::MembershipView mk_view() {
+  net::MembershipView v;
+  v.epoch = 42;
+  v.members.push_back(mk_member(9001, 7));
+  v.members.push_back(mk_member(9002, 9));
+  v.departed.push_back(net::Departed{"wirecheck:9003", 3});
+  return v;
+}
+
+net::Frame truncated(const net::Frame& f, std::size_t len) {
+  net::Frame t;
+  t.type = f.type;
+  t.payload.assign(f.payload.begin(), f.payload.begin() + len);
+  return t;
+}
+
+bool views_equal(const net::MembershipView& a, const net::MembershipView& b) {
+  if (a.epoch != b.epoch || a.members.size() != b.members.size() ||
+      a.departed.size() != b.departed.size())
+    return false;
+  for (std::size_t i = 0; i < a.members.size(); ++i) {
+    const net::Member &x = a.members[i], &y = b.members[i];
+    if (x.key() != y.key() || x.born != y.born || x.cores != y.cores)
+      return false;
+  }
+  for (std::size_t i = 0; i < a.departed.size(); ++i)
+    if (a.departed[i].key != b.departed[i].key ||
+        a.departed[i].born != b.departed[i].born)
+      return false;
+  return true;
+}
+
+}  // namespace
+
+std::vector<WireFinding> check_wire_compat() {
+  std::vector<WireFinding> out;
+  const auto fail = [&](const char* check, const std::string& detail) {
+    out.push_back(WireFinding{check, detail});
+  };
+
+  // ---- ClusterHello: round-trip with a non-default trailer.
+  net::ClusterHelloMsg hello;
+  hello.self = mk_member(9000, 5);
+  hello.view = mk_view();
+  hello.digest = 0xdeadbeefcafe1234ull;
+  hello.full = 0;
+  hello.since = 17;
+  const net::Frame hf = net::make_cluster_hello(hello);
+  if (const auto p = net::parse_cluster_hello(hf); !p) {
+    fail("wire-roundtrip", "ClusterHello failed to decode its own encoding");
+  } else if (p->self.key() != hello.self.key() ||
+             p->self.born != hello.self.born ||
+             !views_equal(p->view, hello.view) ||
+             p->digest != hello.digest || p->full != hello.full ||
+             p->since != hello.since) {
+    fail("wire-roundtrip", "ClusterHello round-trip altered a field");
+  }
+
+  // Legacy decode: a pre-trailer frame is a full exchange with no digest.
+  if (hf.payload.size() <= kHelloTrailer) {
+    fail("wire-legacy", "ClusterHello payload smaller than its trailer");
+  } else {
+    const net::Frame legacy =
+        truncated(hf, hf.payload.size() - kHelloTrailer);
+    const auto p = net::parse_cluster_hello(legacy);
+    if (!p) {
+      fail("wire-legacy",
+           "ClusterHello truncated at the legacy boundary failed to parse — "
+           "old-encoder frames would be dropped");
+    } else if (p->digest != 0 || p->full != 1 || p->since != 0) {
+      std::ostringstream os;
+      os << "legacy ClusterHello decoded digest=" << p->digest
+         << " full=" << int(p->full) << " since=" << p->since
+         << " (want 0/1/0: a full exchange)";
+      fail("wire-legacy", os.str());
+    } else if (!views_equal(p->view, hello.view)) {
+      fail("wire-legacy", "legacy ClusterHello lost view content");
+    }
+  }
+
+  // Truncation sweep: every prefix other than the legacy boundary and the
+  // full frame must be rejected outright.
+  const std::size_t hello_legacy = hf.payload.size() - kHelloTrailer;
+  for (std::size_t len = 0; len < hf.payload.size(); ++len) {
+    if (len == hello_legacy) continue;
+    if (net::parse_cluster_hello(truncated(hf, len))) {
+      std::ostringstream os;
+      os << "ClusterHello prefix of " << len << "/" << hf.payload.size()
+         << " bytes decoded as a valid message";
+      fail("wire-truncation", os.str());
+      break;
+    }
+  }
+
+  // ---- ClusterWelcome: same three contracts.
+  net::ClusterWelcomeMsg wel;
+  wel.view = mk_view();
+  wel.digest = 0x1122334455667788ull;
+  wel.full = 0;
+  const net::Frame wf = net::make_cluster_welcome(wel);
+  if (const auto p = net::parse_cluster_welcome(wf); !p) {
+    fail("wire-roundtrip", "ClusterWelcome failed to decode its own encoding");
+  } else if (!views_equal(p->view, wel.view) || p->digest != wel.digest ||
+             p->full != wel.full) {
+    fail("wire-roundtrip", "ClusterWelcome round-trip altered a field");
+  }
+
+  if (wf.payload.size() <= kWelcomeTrailer) {
+    fail("wire-legacy", "ClusterWelcome payload smaller than its trailer");
+  } else {
+    const net::Frame legacy =
+        truncated(wf, wf.payload.size() - kWelcomeTrailer);
+    const auto p = net::parse_cluster_welcome(legacy);
+    if (!p) {
+      fail("wire-legacy",
+           "ClusterWelcome truncated at the legacy boundary failed to parse");
+    } else if (p->digest != 0 || p->full != 1) {
+      fail("wire-legacy",
+           "legacy ClusterWelcome did not default to a digest-less full "
+           "exchange");
+    }
+  }
+
+  const std::size_t wel_legacy = wf.payload.size() - kWelcomeTrailer;
+  for (std::size_t len = 0; len < wf.payload.size(); ++len) {
+    if (len == wel_legacy) continue;
+    if (net::parse_cluster_welcome(truncated(wf, len))) {
+      std::ostringstream os;
+      os << "ClusterWelcome prefix of " << len << "/" << wf.payload.size()
+         << " bytes decoded as a valid message";
+      fail("wire-truncation", os.str());
+      break;
+    }
+  }
+
+  // Wrong frame type must be refused regardless of payload.
+  net::Frame wrong = hf;
+  wrong.type = net::FrameType::ClusterWelcome;
+  if (net::parse_cluster_hello(wrong))
+    fail("wire-type", "parse_cluster_hello accepted a ClusterWelcome frame");
+
+  return out;
+}
+
+}  // namespace bsk::analysis

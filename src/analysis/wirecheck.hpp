@@ -1,0 +1,32 @@
+#pragma once
+// wirecheck: wire-format compatibility lint for the delta-gossip trailers.
+//
+// PR 9 extended ClusterHello (digest, full, since) and ClusterWelcome
+// (digest, full) with *trailing* fields: an old decoder ignores them, and a
+// new decoder reading an old frame must see the full-exchange defaults —
+// that boundary is what keeps a mixed-version fleet gossiping during a
+// rolling upgrade. `bsk-lint --wire` re-proves the contract against the
+// shipped codecs:
+//
+//   round-trip   — encode/decode preserves every field, trailer included
+//   legacy decode — a frame truncated at exactly the pre-trailer boundary
+//                  parses with digest=0, full=1, since=0 (a full exchange)
+//   truncation   — every other prefix of the payload is rejected (nullopt),
+//                  never misparsed into a plausible message or crashed on
+//
+// Pure functions over in-memory frames: no sockets, safe in CI.
+
+#include <string>
+#include <vector>
+
+namespace bsk::analysis {
+
+struct WireFinding {
+  std::string check;   ///< which contract broke ("wire-roundtrip", ...)
+  std::string detail;  ///< what decoded wrong, at which prefix length
+};
+
+/// Empty = every compatibility contract holds.
+std::vector<WireFinding> check_wire_compat();
+
+}  // namespace bsk::analysis

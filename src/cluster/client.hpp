@@ -74,7 +74,7 @@ class MembershipClient {
   MembershipClientOptions opts_;
   std::vector<net::Endpoint> bootstrap_;
 
-  mutable support::Mutex mu_;
+  mutable support::Mutex mu_{"MembershipClient"};
   net::MembershipView view_ BSK_GUARDED_BY(mu_);
   std::size_t rotate_ BSK_GUARDED_BY(mu_) = 0;
   std::function<void(std::size_t, std::size_t, const net::MembershipView&)>

@@ -1,0 +1,133 @@
+#include "cluster/gossip_core.hpp"
+
+namespace bsk::cluster {
+
+namespace {
+
+/// Apply the DropTombstones defect to an outgoing payload.
+void maybe_drop_tombstones(net::MembershipView& v, const GossipConfig& cfg) {
+  if (cfg.defect == GossipDefect::DropTombstones) v.departed.clear();
+}
+
+/// The DeltaBoundary defect: pretend `delta_since` is exclusive.
+std::uint64_t delta_base(std::uint64_t since, const GossipConfig& cfg) {
+  return cfg.defect == GossipDefect::DeltaBoundary ? since + 1 : since;
+}
+
+}  // namespace
+
+HelloBuild gossip_build_hello(GossipState& st, const std::string& peer_key,
+                              const GossipConfig& cfg) {
+  HelloBuild out;
+  out.msg.self = st.table.self();
+  out.msg.digest = st.table.digest();
+  out.sent_epoch = st.table.epoch();
+  bool full = true;
+  if (!peer_key.empty() && cfg.delta_gossip) {
+    const PeerSync& ps = st.peer_sync[peer_key];
+    full = ps.force_full;
+    // First contact probes instead of pushing the table: `since` past our
+    // epoch selects no records, the digest tells the peer whether that
+    // was enough, and the mismatch repair resends everything next tick.
+    // Pairwise warm-up is O(1) bytes this way — at N nodes there are N^2
+    // first contacts, and full tables on each is what made gossip bytes
+    // grow with fleet size.
+    if (!full)
+      out.msg.since =
+          ps.sent_up_to == 0 ? st.table.epoch() + 1 : ps.sent_up_to;
+  }
+  out.msg.full = full ? 1 : 0;
+  out.msg.view = full ? st.table.view()
+                      : st.table.delta_since(delta_base(out.msg.since, cfg));
+  maybe_drop_tombstones(out.msg.view, cfg);
+  st.dial_failures.erase(peer_key);
+  return out;
+}
+
+WelcomeBuild gossip_handle_hello(GossipState& st,
+                                 const net::ClusterHelloMsg& hello,
+                                 bool self_defend, const GossipConfig& cfg) {
+  WelcomeBuild out;
+  const std::string self_key = st.table.self().key();
+  const std::string sender = hello.self.key();
+  // The sender's own record first (its view may probe with no records at
+  // all), then the view merge.
+  if (hello.self.port != 0 && sender != self_key) {
+    const MergeDelta d = st.table.add(hello.self);
+    out.delta.joined += d.joined;
+    out.delta.left += d.left;
+  }
+  out.stale_epoch = hello.view.epoch < st.table.epoch();
+  const MergeDelta d = st.table.merge(hello.view, self_defend);
+  out.delta.joined += d.joined;
+  out.delta.left += d.left;
+  const std::uint64_t my_digest = st.table.digest();
+  // After folding the sender's news in, equal digests mean the sender
+  // already holds everything we do — the welcome is an epoch-stamped ack
+  // even on first contact. Disagreement gets a delta when we know what
+  // the sender has seen from us, and the whole table when we do not
+  // (first contact / prior mismatch).
+  const bool agree = hello.digest != 0 && hello.digest == my_digest;
+  bool full = true;
+  if (cfg.delta_gossip && hello.self.port != 0 && sender != self_key) {
+    PeerSync& ps = st.peer_sync[sender];
+    if (agree) {
+      full = false;
+      out.msg.view = st.table.delta_since(st.table.epoch() + 1);
+    } else {
+      full = ps.force_full || ps.sent_up_to == 0;
+      if (!full)
+        out.msg.view = st.table.delta_since(delta_base(ps.sent_up_to, cfg));
+    }
+    ps.sent_up_to = st.table.epoch();
+    ps.force_full = cfg.defect == GossipDefect::SkipRepair ? false : !agree;
+  }
+  if (full) out.msg.view = st.table.view();
+  out.msg.full = full ? 1 : 0;
+  out.msg.digest = my_digest;
+  maybe_drop_tombstones(out.msg.view, cfg);
+  return out;
+}
+
+WelcomeApply gossip_apply_welcome(GossipState& st, const std::string& peer_key,
+                                  std::uint64_t sent_epoch,
+                                  const net::ClusterWelcomeMsg& welcome,
+                                  bool self_defend, const GossipConfig& cfg) {
+  WelcomeApply out;
+  out.stale_epoch = welcome.view.epoch < st.table.epoch();
+  out.delta = st.table.merge(welcome.view, self_defend);
+  if (!peer_key.empty()) {
+    PeerSync& ps = st.peer_sync[peer_key];
+    ps.sent_up_to = sent_epoch;
+    // Digest agreement after folding the peer's reply in means both
+    // tables now hold the same sets, so deltas are safe. A mismatch
+    // (or a pre-digest peer sending 0) forces the whole table next
+    // time — the repair path that keeps delta gossip exactly as
+    // convergent as the full-table protocol.
+    const bool mismatch =
+        welcome.digest == 0 || welcome.digest != st.table.digest();
+    ps.force_full = cfg.defect == GossipDefect::SkipRepair ? false : mismatch;
+  }
+  return out;
+}
+
+DialFailure gossip_dial_failed(GossipState& st, const std::string& member_key,
+                               std::size_t suspect_after) {
+  DialFailure out;
+  if (member_key.empty()) return out;  // seeds are never evicted
+  if (++st.dial_failures[member_key] >= suspect_after) {
+    out.evicted = true;
+    out.delta = st.table.remove(member_key);
+    gossip_forget_peer(st, member_key);
+  } else {
+    out.suspect = true;
+  }
+  return out;
+}
+
+void gossip_forget_peer(GossipState& st, const std::string& key) {
+  st.dial_failures.erase(key);
+  st.peer_sync.erase(key);
+}
+
+}  // namespace bsk::cluster

@@ -83,14 +83,14 @@ std::uint64_t fresh_incarnation() {
 ClusterNode::ClusterNode(net::Member self, ClusterOptions opts)
     : self_(std::move(self)),
       opts_(std::move(opts)),
-      table_(net::Member{}) {
+      gs_(net::Member{}) {
   if (self_.born == 0) self_.born = fresh_incarnation();
   self_key_ = self_.key();
   {
     support::MutexLock lk(mu_);
-    table_ = MembershipTable(self_);
+    gs_ = GossipState(self_);
     cluster_obs().members.set(1.0);
-    cluster_obs().epoch.set(static_cast<double>(table_.epoch()));
+    cluster_obs().epoch.set(static_cast<double>(gs_.table.epoch()));
   }
   if (!opts_.connect_fn) {
     const net::TcpOptions tcp = opts_.tcp;
@@ -118,9 +118,7 @@ void ClusterNode::rebind_self(std::uint16_t port) {
   support::MutexLock lk(mu_);
   self_.port = port;
   self_key_ = self_.key();
-  table_ = MembershipTable(self_);
-  peer_sync_.clear();
-  dial_failures_.clear();
+  gs_ = GossipState(self_);
   suspects_.clear();
 }
 
@@ -148,22 +146,22 @@ void ClusterNode::stop(bool broadcast) {
 
 net::MembershipView ClusterNode::view() const {
   support::MutexLock lk(mu_);
-  return table_.view();
+  return gs_.table.view();
 }
 
 HierarchyView ClusterNode::hierarchy() const {
   support::MutexLock lk(mu_);
-  return elect(table_.view(), opts_.fanout);
+  return elect(gs_.table.view(), opts_.fanout);
 }
 
 std::uint64_t ClusterNode::epoch() const {
   support::MutexLock lk(mu_);
-  return table_.epoch();
+  return gs_.table.epoch();
 }
 
 std::size_t ClusterNode::members() const {
   support::MutexLock lk(mu_);
-  return table_.size();
+  return gs_.table.size();
 }
 
 bool ClusterNode::accepts_parent(const std::string& key,
@@ -171,7 +169,7 @@ bool ClusterNode::accepts_parent(const std::string& key,
   HierarchyView h;
   {
     support::MutexLock lk(mu_);
-    h = elect(table_.view(), opts_.fanout);
+    h = elect(gs_.table.view(), opts_.fanout);
   }
   const bool ok = h.accepts_parent(self_key_, key, claimed_epoch);
   if (!ok) cluster_obs().stale_epochs.inc();
@@ -194,7 +192,7 @@ void ClusterNode::apply_delta(const MergeDelta& d) {
       cb;
   {
     support::MutexLock lk(mu_);
-    v = table_.view();
+    v = gs_.table.view();
     cb = on_change_;
   }
   ClusterObs& o = cluster_obs();
@@ -216,7 +214,7 @@ void ClusterNode::sighted(const net::Member& m) {
   MergeDelta d;
   {
     support::MutexLock lk(mu_);
-    d = table_.add(m);
+    d = gs_.table.add(m);
   }
   apply_delta(d);
 }
@@ -225,7 +223,7 @@ void ClusterNode::peer_left(const net::LeaveMsg& msg) {
   MergeDelta d;
   {
     support::MutexLock lk(mu_);
-    d = table_.remove(msg.self.key(), msg.self.born);
+    d = gs_.table.remove(msg.self.key(), msg.self.born);
     forget_peer(msg.self.key());
   }
   apply_delta(d);
@@ -248,38 +246,32 @@ std::shared_ptr<net::Transport> ClusterNode::dial(const net::Endpoint& ep) {
 void ClusterNode::note_dial_failed(const std::string& member_key) {
   cluster_obs().gossip_failures.inc();
   if (member_key.empty()) return;  // seeds are never evicted
-  bool evict = false;
+  DialFailure df;
   {
     support::MutexLock lk(mu_);
-    if (++dial_failures_[member_key] >= opts_.suspect_after) {
-      evict = true;
-    } else if (opts_.suspect_queue > 0 &&
-               suspects_.size() < opts_.suspect_queue &&
-               std::find(suspects_.begin(), suspects_.end(), member_key) ==
-                   suspects_.end()) {
+    df = gossip_dial_failed(gs_, member_key, opts_.suspect_after);
+    if (df.suspect && opts_.suspect_queue > 0 &&
+        suspects_.size() < opts_.suspect_queue &&
+        std::find(suspects_.begin(), suspects_.end(), member_key) ==
+            suspects_.end()) {
       suspects_.push_back(member_key);
     }
+    if (df.evicted) {
+      const auto it = std::find(suspects_.begin(), suspects_.end(),
+                                member_key);
+      if (it != suspects_.end()) suspects_.erase(it);
+    }
   }
-  if (evict) {
-    MergeDelta d;
-    {
-      support::MutexLock lk(mu_);
-      d = table_.remove(member_key);
-      forget_peer(member_key);
-    }
-    if (d.changed()) {
-      evictions_.fetch_add(1, std::memory_order_relaxed);
-      cluster_obs().evictions.inc();
-      support::global_event_log().record("cluster", "evict", 0.0,
-                                         member_key);
-      apply_delta(d);
-    }
+  if (df.evicted && df.delta.changed()) {
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    cluster_obs().evictions.inc();
+    support::global_event_log().record("cluster", "evict", 0.0, member_key);
+    apply_delta(df.delta);
   }
 }
 
 void ClusterNode::forget_peer(const std::string& key) {
-  dial_failures_.erase(key);
-  peer_sync_.erase(key);
+  gossip_forget_peer(gs_, key);
   const auto it = std::find(suspects_.begin(), suspects_.end(), key);
   if (it != suspects_.end()) suspects_.erase(it);
 }
@@ -307,33 +299,15 @@ void ClusterNode::gossip_with(const net::Endpoint& ep,
   }
 
   ClusterObs& o = cluster_obs();
-  net::ClusterHelloMsg hello;
-  hello.self = self_;
-  std::uint64_t sent_epoch = 0;
+  const GossipConfig cfg{.delta_gossip = opts_.delta_gossip};
+  HelloBuild hb;
   {
     support::MutexLock lk(mu_);
-    hello.digest = table_.digest();
-    sent_epoch = table_.epoch();
-    bool full = true;
-    if (!member_key.empty() && opts_.delta_gossip) {
-      const PeerSync& ps = peer_sync_[member_key];
-      full = ps.force_full;
-      // First contact probes instead of pushing the table: `since` past our
-      // epoch selects no records, the digest tells the peer whether that
-      // was enough, and the mismatch repair resends everything next tick.
-      // Pairwise warm-up is O(1) bytes this way — at N nodes there are N^2
-      // first contacts, and full tables on each is what made gossip bytes
-      // grow with fleet size.
-      if (!full)
-        hello.since =
-            ps.sent_up_to == 0 ? table_.epoch() + 1 : ps.sent_up_to;
-    }
-    hello.full = full ? 1 : 0;
-    hello.view = full ? table_.view() : table_.delta_since(hello.since);
-    dial_failures_.erase(member_key);
+    hb = gossip_build_hello(gs_, member_key, cfg);
     const auto it = std::find(suspects_.begin(), suspects_.end(), member_key);
     if (it != suspects_.end()) suspects_.erase(it);
   }
+  const net::ClusterHelloMsg& hello = hb.msg;
   const net::Frame hf = net::make_cluster_hello(hello);
   o.gossip_tx_bytes.inc(hf.payload.size());
   if (hello.full) {
@@ -355,25 +329,14 @@ void ClusterNode::gossip_with(const net::Endpoint& ep,
       if (f.type != net::FrameType::ClusterWelcome) continue;
       if (const auto welcome = net::parse_cluster_welcome(f)) {
         o.gossip_rx_bytes.inc(f.payload.size());
-        MergeDelta d;
+        WelcomeApply wa;
         {
           support::MutexLock lk(mu_);
-          if (welcome->view.epoch < table_.epoch())
-            cluster_obs().stale_epochs.inc();
-          d = table_.merge(welcome->view, /*self_defend=*/running_.load());
-          if (!member_key.empty()) {
-            PeerSync& ps = peer_sync_[member_key];
-            ps.sent_up_to = sent_epoch;
-            // Digest agreement after folding the peer's reply in means both
-            // tables now hold the same sets, so deltas are safe. A mismatch
-            // (or a pre-digest peer sending 0) forces the whole table next
-            // time — the repair path that keeps delta gossip exactly as
-            // convergent as the full-table protocol.
-            ps.force_full =
-                welcome->digest == 0 || welcome->digest != table_.digest();
-          }
+          wa = gossip_apply_welcome(gs_, member_key, hb.sent_epoch, *welcome,
+                                    /*self_defend=*/running_.load(), cfg);
         }
-        apply_delta(d);
+        if (wa.stale_epoch) cluster_obs().stale_epochs.inc();
+        apply_delta(wa.delta);
         ok = true;
       }
       break;
@@ -406,7 +369,7 @@ void ClusterNode::gossip_loop(const std::stop_token& st) {
     };
     {
       support::MutexLock lk(mu_);
-      const net::MembershipView v = table_.view();
+      const net::MembershipView v = gs_.table.view();
       std::vector<net::Member> others;
       for (const net::Member& m : v.members)
         if (m.key() != self_key_) others.push_back(m);
@@ -475,40 +438,16 @@ bool ClusterNode::handle_frame(const net::Frame& f,
       if (!msg) return true;
       ClusterObs& o = cluster_obs();
       o.gossip_rx_bytes.inc(f.payload.size());
-      sighted(msg->self);
-      MergeDelta d;
-      net::ClusterWelcomeMsg wel;
+      const GossipConfig cfg{.delta_gossip = opts_.delta_gossip};
+      WelcomeBuild wb;
       {
         support::MutexLock lk(mu_);
-        if (msg->view.epoch < table_.epoch()) o.stale_epochs.inc();
-        d = table_.merge(msg->view, /*self_defend=*/running_.load());
-        const std::uint64_t my_digest = table_.digest();
-        // After folding the sender's news in, equal digests mean the
-        // sender already holds everything we do — the welcome is an
-        // epoch-stamped ack even on first contact. Disagreement gets a
-        // delta when we know what the sender has seen from us, and the
-        // whole table when we do not (first contact / prior mismatch).
-        const bool agree = msg->digest != 0 && msg->digest == my_digest;
-        const std::string sender = msg->self.key();
-        bool full = true;
-        if (opts_.delta_gossip && msg->self.port != 0 &&
-            sender != self_key_) {
-          PeerSync& ps = peer_sync_[sender];
-          if (agree) {
-            full = false;
-            wel.view = table_.delta_since(table_.epoch() + 1);
-          } else {
-            full = ps.force_full || ps.sent_up_to == 0;
-            if (!full) wel.view = table_.delta_since(ps.sent_up_to);
-          }
-          ps.sent_up_to = table_.epoch();
-          ps.force_full = !agree;
-        }
-        if (full) wel.view = table_.view();
-        wel.full = full ? 1 : 0;
-        wel.digest = my_digest;
+        wb = gossip_handle_hello(gs_, *msg, /*self_defend=*/running_.load(),
+                                 cfg);
       }
-      apply_delta(d);
+      if (wb.stale_epoch) o.stale_epochs.inc();
+      apply_delta(wb.delta);
+      const net::ClusterWelcomeMsg& wel = wb.msg;
       reply = net::make_cluster_welcome(wel);
       o.gossip_tx_bytes.inc(reply->payload.size());
       if (wel.full) {
@@ -555,8 +494,8 @@ void ClusterNode::broadcast_leave() {
   std::vector<net::Endpoint> peers;
   {
     support::MutexLock lk(mu_);
-    msg.epoch = table_.epoch() + 1;
-    for (const net::Member& m : table_.view().members)
+    msg.epoch = gs_.table.epoch() + 1;
+    for (const net::Member& m : gs_.table.view().members)
       if (m.key() != self_key_) peers.push_back({m.host, m.port});
   }
   for (const net::Endpoint& ep : peers) {

@@ -40,6 +40,7 @@
 
 #include <deque>
 
+#include "cluster/gossip_core.hpp"
 #include "cluster/hierarchy.hpp"
 #include "cluster/membership.hpp"
 #include "net/epoll_server.hpp"
@@ -154,20 +155,6 @@ class ClusterNode {
   double boot_phase_s() const { return boot_phase_s_; }
 
  private:
-  /// Per-peer delta-gossip bookkeeping: `sent_up_to` is OUR epoch whose
-  /// records the peer provably holds (a digest-agreed exchange, or a delta
-  /// we sent on top of one); the next delta resends everything stamped
-  /// >= it. First contact (`sent_up_to == 0`) is an optimistic *probe* —
-  /// self + digest, no records — because at fleet scale nearly every pair
-  /// meets for the first time inside a converged view where the peer
-  /// already has everything. `force_full`, set on digest mismatch,
-  /// upgrades the next exchange to the whole table — the repair path that
-  /// makes delta gossip converge exactly like the full-table protocol.
-  struct PeerSync {
-    std::uint64_t sent_up_to = 0;
-    bool force_full = false;
-  };
-
   void gossip_loop(const std::stop_token& st);
   void beacon_loop(const std::stop_token& st);
   void gossip_with(const net::Endpoint& ep, const std::string& member_key);
@@ -187,10 +174,11 @@ class ClusterNode {
   std::string self_key_;
   ClusterOptions opts_;
 
-  mutable support::Mutex mu_;
-  MembershipTable table_ BSK_GUARDED_BY(mu_);
-  std::map<std::string, std::size_t> dial_failures_ BSK_GUARDED_BY(mu_);
-  std::map<std::string, PeerSync> peer_sync_ BSK_GUARDED_BY(mu_);
+  mutable support::Mutex mu_{"ClusterNode"};
+  /// The pure protocol state (table + per-peer delta sync + dial-failure
+  /// streaks); every protocol decision goes through gossip_core so the
+  /// model checker (analysis/mc) explores exactly the shipped logic.
+  GossipState gs_ BSK_GUARDED_BY(mu_);
   /// Members with a recent failed dial, re-probed ahead of the rotation
   /// (bounded by opts.suspect_queue).
   std::deque<std::string> suspects_ BSK_GUARDED_BY(mu_);

@@ -80,6 +80,7 @@
 #include "cluster/node.hpp"
 #include "net/epoll_server.hpp"
 #include "net/remote_conduit.hpp"
+#include "net/resume_core.hpp"
 #include "net/shm.hpp"
 #include "net/transport.hpp"
 #include "net/wire.hpp"
@@ -125,18 +126,16 @@ constexpr std::size_t kResultCacheCap = 256;
 
 /// One hosted worker: the node, its dedup state, and whichever connection
 /// currently owns it. Survives connection death (parked) until reaped.
+/// The epoch fence and the dedup cache live in net::SessionCore — the pure
+/// protocol state the model checker (analysis/mc) drives directly.
 struct Session {
   std::uint64_t id = 0;
   std::string kind;
 
-  bsk::support::Mutex mu;
-  std::uint32_t epoch BSK_GUARDED_BY(mu) = 0;
+  bsk::support::Mutex mu{"bskd.Session"};
+  bsk::net::SessionCore core BSK_GUARDED_BY(mu){kResultCacheCap};
   std::unique_ptr<bsk::rt::Node> node BSK_GUARDED_BY(mu);
   bool secured BSK_GUARDED_BY(mu) = false;
-  std::map<std::uint64_t, bsk::net::Frame> results
-      BSK_GUARDED_BY(mu);  // seq → cached reply
-  std::deque<std::uint64_t> result_order BSK_GUARDED_BY(mu);  // eviction FIFO
-  std::uint64_t dups_suppressed BSK_GUARDED_BY(mu) = 0;
   /// The epoll connection owning this session (0 while parked).
   bsk::net::EpollServer::ConnId conn BSK_GUARDED_BY(mu) = 0;
   /// Colocated fast path, if negotiated; replies prefer it once attached.
@@ -183,7 +182,7 @@ class SessionRegistry {
   /// Park a dead connection's session (unless a newer epoch stole it).
   void park(const std::shared_ptr<Session>& s, std::uint32_t my_epoch) {
     bsk::support::MutexLock lk(s->mu);
-    if (s->epoch != my_epoch) return;  // re-attached elsewhere: not ours
+    if (s->core.epoch() != my_epoch) return;  // re-attached elsewhere
     s->conn = 0;
     if (s->shm) {
       s->shm->close();  // a resume renegotiates a fresh segment
@@ -196,7 +195,7 @@ class SessionRegistry {
   void erase(const std::shared_ptr<Session>& s, std::uint32_t my_epoch) {
     {
       bsk::support::MutexLock lk(s->mu);
-      if (s->epoch != my_epoch) return;
+      if (s->core.epoch() != my_epoch) return;
       if (s->shm) {
         s->shm->close();
         s->shm.reset();
@@ -255,7 +254,7 @@ class SessionRegistry {
   }
 
  private:
-  bsk::support::Mutex mu_;
+  bsk::support::Mutex mu_{"bskd.SessionRegistry"};
   std::map<std::uint64_t, std::shared_ptr<Session>> sessions_
       BSK_GUARDED_BY(mu_);
   std::uint64_t next_ BSK_GUARDED_BY(mu_) = 1;
@@ -272,27 +271,17 @@ void handle_task(Session& s, const bsk::net::Frame& f) {
   const std::uint64_t seq = parsed->first;
 
   bsk::support::MutexLock lk(s.mu);
-  if (seq != 0) {
-    if (auto it = s.results.find(seq); it != s.results.end()) {
-      // Already executed: a retransmit or wire duplicate. Resend the cached
-      // result — never re-execute (at-most-once execution per seq).
-      ++s.dups_suppressed;
-      reply_to(s, it->second);
-      return;
-    }
+  if (const Frame* cached = s.core.admit(seq)) {
+    // Already executed: a retransmit or wire duplicate. Resend the cached
+    // result — never re-execute (at-most-once execution per seq).
+    reply_to(s, *cached);
+    return;
   }
   auto r = s.node->process(std::move(parsed->second));
   const Frame reply = r ? make_task(*r, FrameType::ResultMsg, seq)
                         : make_task(bsk::rt::Task::worker_done(),
                                     FrameType::ResultMsg, seq);
-  if (seq != 0) {
-    s.results.emplace(seq, reply);
-    s.result_order.push_back(seq);
-    while (s.result_order.size() > kResultCacheCap) {
-      s.results.erase(s.result_order.front());
-      s.result_order.pop_front();
-    }
-  }
+  s.core.cache(seq, reply);
   reply_to(s, reply);
 }
 
@@ -371,7 +360,7 @@ class ExecutorPool {
   }
 
   const std::size_t cap_;
-  mutable bsk::support::Mutex mu_;
+  mutable bsk::support::Mutex mu_{"bskd.ExecutorPool"};
   bsk::support::CondVar cv_;
   std::deque<std::function<void()>> queue_ BSK_GUARDED_BY(mu_);
   std::vector<std::jthread> threads_ BSK_GUARDED_BY(mu_);
@@ -440,7 +429,7 @@ class Daemon final : public bsk::net::EpollServer::Handler {
     explicit ConnState(ConnId id_in) : id(id_in) {}
     const ConnId id;
 
-    bsk::support::Mutex inbox_mu;  // light: push/pop only, never held long
+    bsk::support::Mutex inbox_mu{"bskd.ConnState.inbox"};  // light: push/pop only, never held long
     std::deque<Item> inbox BSK_GUARDED_BY(inbox_mu);
     bool scheduled BSK_GUARDED_BY(inbox_mu) = false;
 
@@ -607,25 +596,21 @@ class Daemon final : public bsk::net::EpollServer::Handler {
     if (hello.resume_session != 0) {
       if (auto s = g_registry.find_for_resume(hello.resume_session)) {
         bsk::support::MutexLock lk(s->mu);
-        if (s->epoch == hello.resume_epoch) {
-          // Steal the session from whatever connection held it (a half-dead
-          // one during an asymmetric partition, or a parked slot). Closing
-          // the old connection fires its Closed item, where the epoch bump
-          // makes the park a no-op.
+        // The epoch fence + acked-result pruning is SessionCore's decision
+        // (the model checker drives the same call); what follows is epoll
+        // bookkeeping: steal the session from whatever connection held it
+        // (a half-dead one during an asymmetric partition, or a parked
+        // slot). Closing the old connection fires its Closed item, where
+        // the epoch bump makes the park a no-op.
+        if (s->core.try_resume(hello.resume_epoch, hello.last_acked_seq,
+                               my_epoch)) {
           if (s->conn != 0) server_->close_conn(s->conn);
           if (s->shm) {
             s->shm->close();  // the new connection renegotiates below
             s->shm.reset();
           }
-          my_epoch = ++s->epoch;
           s->conn = cs.id;
           s->parked_at = -1.0;
-          // Everything the client has acknowledged is gone for good.
-          while (!s->result_order.empty() &&
-                 s->result_order.front() <= hello.last_acked_seq) {
-            s->results.erase(s->result_order.front());
-            s->result_order.pop_front();
-          }
           session = s;
           resumed = true;
         }
@@ -634,7 +619,7 @@ class Daemon final : public bsk::net::EpollServer::Handler {
     if (!session) {
       session = g_registry.create(hello.node_kind);
       bsk::support::MutexLock lk(session->mu);
-      my_epoch = ++session->epoch;
+      my_epoch = session->core.fresh_attach();
       session->conn = cs.id;
     }
     cs.session = session;
@@ -798,11 +783,11 @@ class Daemon final : public bsk::net::EpollServer::Handler {
   ExecutorPool pool_;
   std::unique_ptr<bsk::net::EpollServer> server_;
 
-  mutable bsk::support::Mutex conns_mu_;
+  mutable bsk::support::Mutex conns_mu_{"bskd.conns"};
   std::map<ConnId, std::shared_ptr<ConnState>> conns_
       BSK_GUARDED_BY(conns_mu_);
 
-  bsk::support::Mutex shm_mu_;
+  bsk::support::Mutex shm_mu_{"bskd.shm"};
   std::vector<std::jthread> shm_threads_ BSK_GUARDED_BY(shm_mu_);
 };
 

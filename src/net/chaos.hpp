@@ -175,17 +175,17 @@ class FaultInjector final : public Transport {
   std::uint64_t out_id_;
   std::uint64_t in_id_;
 
-  support::Mutex out_mu_;  ///< serializes fault application on the send path
+  support::Mutex out_mu_{"FaultInjector.send"};  ///< serializes send faults
   std::optional<Frame> held_ BSK_GUARDED_BY(out_mu_);  ///< reorder: parked until the next send
   std::uint64_t out_idx_ BSK_GUARDED_BY(out_mu_) = 0;
 
-  support::Mutex in_mu_;  ///< recv is single-consumer by contract, but be safe
+  support::Mutex in_mu_{"FaultInjector.recv"};  ///< single-consumer, but be safe
   std::optional<Frame> dup_in_ BSK_GUARDED_BY(in_mu_);  ///< inbound duplicate awaiting redelivery
   std::uint64_t in_idx_ BSK_GUARDED_BY(in_mu_) = 0;
 
   std::atomic<bool> killed_{false};
 
-  mutable support::Mutex stats_mu_;
+  mutable support::Mutex stats_mu_{"FaultInjector.stats"};
   ChaosStats stats_ BSK_GUARDED_BY(stats_mu_);
 };
 

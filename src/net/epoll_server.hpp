@@ -119,7 +119,7 @@ class EpollServer {
     bool got_hello = false;    // loop thread only
     double opened_at = 0.0;    // loop thread only
 
-    support::Mutex mu;
+    support::Mutex mu{"EpollServer.Conn"};
     SendQueue out BSK_GUARDED_BY(mu);
     int fd BSK_GUARDED_BY(mu) = -1;  ///< -1 once reaped
     bool want_close BSK_GUARDED_BY(mu) = false;
@@ -148,7 +148,7 @@ class EpollServer {
   int wakefd_ = -1;
   std::uint16_t port_ = 0;
 
-  mutable support::Mutex conns_mu_;
+  mutable support::Mutex conns_mu_{"EpollServer.conns"};
   std::map<ConnId, std::shared_ptr<Conn>> conns_ BSK_GUARDED_BY(conns_mu_);
   ConnId next_id_ = 2;  ///< ids 0/1 tag the listener/wake fds in epoll data
 

@@ -67,7 +67,7 @@ class RemoteAbc final : public am::Abc {
 
   std::shared_ptr<Transport> tp_;
   RemoteAbcOptions opts_;
-  support::Mutex rpc_mu_;  // one RPC in flight at a time
+  support::Mutex rpc_mu_{"RemoteAbc.rpc"};  // one RPC in flight at a time
   std::uint32_t next_seq_ BSK_GUARDED_BY(rpc_mu_) = 1;
 };
 

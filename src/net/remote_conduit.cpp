@@ -117,7 +117,7 @@ std::optional<rt::Task> RemoteWorkerNode::process(rt::Task t) {
     // crashed mid-call — the task is reachable through drain_unacked().
     support::MutexLock lk(mu_);
     const std::uint64_t seq = ++next_seq_;
-    unacked_.push_back(Pending{seq, std::move(t), wall_now()});
+    unacked_.push_back(PendingTask{seq, std::move(t), wall_now()});
     in_flight = unacked_.size();
   }
   if (hard_failed_.load(std::memory_order_relaxed)) return std::nullopt;
@@ -129,7 +129,7 @@ std::optional<rt::Task> RemoteWorkerNode::process(rt::Task t) {
     const auto tp = transport_ptr();
     support::MutexLock lk(mu_);
     if (!unacked_.empty()) {
-      const Pending& p = unacked_.back();
+      const PendingTask& p = unacked_.back();
       sent = tp->send_serialized(FrameType::TaskMsg, 1,
                                  [&p](std::size_t, wire::Writer& w) {
                                    w.u64(p.seq);
@@ -212,30 +212,23 @@ std::optional<rt::Task> RemoteWorkerNode::await_result() {
           mark_hard_failed();
           return std::nullopt;
         }
-        const Pending& front = unacked_.front();
-        if (seq == front.seq) {
-          // Corruption can garble a parseable frame; a result whose task id
-          // does not match the task we sent is poison, not an ack.
-          if (r.kind != rt::TaskKind::WorkerDone && r.id != front.task.id)
-            continue;
-          last_acked_ = seq;
-          unacked_.pop_front();
-          if (r.kind == rt::TaskKind::WorkerDone) return std::nullopt;
-          return r;
-        }
-        if (seq > front.seq) {
-          // Ahead of the oldest: buffer it against its own pending entry.
-          for (const Pending& p : unacked_) {
-            if (p.seq != seq) continue;
-            if (r.kind != rt::TaskKind::WorkerDone && r.id != p.task.id)
-              break;  // corrupt masquerade
+        switch (classify_result(unacked_, seq, r)) {
+          case ResultClass::DeliverFront:
+            last_acked_ = seq;
+            unacked_.pop_front();
+            if (r.kind == rt::TaskKind::WorkerDone) return std::nullopt;
+            return r;
+          case ResultClass::BufferAhead:
             ready_.emplace(seq, std::move(r));
-            break;
-          }
-          continue;
+            continue;
+          case ResultClass::DuplicateBehind:
+            // Behind the oldest: already delivered once. Suppress.
+            dups_suppressed_.fetch_add(1, std::memory_order_relaxed);
+            continue;
+          case ResultClass::Poison:   // corrupt masquerade: not an ack
+          case ResultClass::Orphan:   // matches nothing we sent
+            continue;
         }
-        // Behind the oldest: already delivered once. Suppress.
-        dups_suppressed_.fetch_add(1, std::memory_order_relaxed);
         continue;
       }
       case RecvStatus::Closed:
@@ -259,7 +252,7 @@ std::optional<rt::Task> RemoteWorkerNode::await_result() {
           if (!unacked_.empty() &&
               wall_now() - unacked_.front().last_sent >
                   opts_.retransmit_timeout_wall_s) {
-            Pending& front = unacked_.front();
+            PendingTask& front = unacked_.front();
             front.last_sent = wall_now();
             tp->send_serialized(FrameType::TaskMsg, 1,
                                 [&front](std::size_t, wire::Writer& w) {
@@ -289,11 +282,11 @@ bool RemoteWorkerNode::try_resume() {
 
     if (auto fresh = opts_.reconnect(); fresh && !fresh->closed()) {
       Hello h = opts_.hello;
-      h.resume_session = session_.load(std::memory_order_relaxed);
-      h.resume_epoch = epoch_.load(std::memory_order_relaxed);
+      ResumeFence fence{session_.load(std::memory_order_relaxed),
+                        epoch_.load(std::memory_order_relaxed)};
       {
         support::MutexLock lk(mu_);
-        h.last_acked_seq = last_acked_;
+        fence.stamp(h, last_acked_);
       }
       HelloAck ack;
       if (client_handshake(*fresh, h, opts_.handshake_timeout_wall_s, &ack)) {
@@ -311,8 +304,9 @@ bool RemoteWorkerNode::try_resume() {
           tp_ = fresh;
           link_.set_transport(fresh);
         }
-        session_.store(ack.session, std::memory_order_relaxed);
-        epoch_.store(ack.epoch, std::memory_order_relaxed);
+        fence.commit(ack);
+        session_.store(fence.session, std::memory_order_relaxed);
+        epoch_.store(fence.epoch, std::memory_order_relaxed);
         conduit_obs().reconnects.inc();
         if (ack.resumed) {
           resumes_.fetch_add(1, std::memory_order_relaxed);
@@ -339,7 +333,7 @@ bool RemoteWorkerNode::try_resume() {
                                      w.u64(unacked_[i].seq);
                                      put_task(w, unacked_[i].task);
                                    });
-            for (Pending& p : unacked_) p.last_sent = now;
+            for (PendingTask& p : unacked_) p.last_sent = now;
             retransmits_.fetch_add(unacked_.size(),
                                    std::memory_order_relaxed);
             conduit_obs().retransmits.inc(unacked_.size());
@@ -375,7 +369,7 @@ std::vector<rt::Task> RemoteWorkerNode::drain_unacked() {
   support::MutexLock lk(mu_);
   std::vector<rt::Task> out;
   out.reserve(unacked_.size());
-  for (Pending& p : unacked_) out.push_back(std::move(p.task));
+  for (PendingTask& p : unacked_) out.push_back(std::move(p.task));
   unacked_.clear();
   ready_.clear();  // buffered results belong to tasks now re-offered elsewhere
   return out;

@@ -44,6 +44,7 @@
 #include <string>
 #include <vector>
 
+#include "net/resume_core.hpp"
 #include "net/transport.hpp"
 #include "support/thread_annotations.hpp"
 #include "net/wire.hpp"
@@ -297,7 +298,7 @@ class RemoteWorkerNode final : public rt::Node {
   /// Terminal failure: close, fire on_hard_fail once.
   void mark_hard_failed() const;
 
-  mutable support::Mutex tp_mu_;  ///< guards the tp_ swap on resume
+  mutable support::Mutex tp_mu_{"RemoteWorkerNode.transport"};  ///< tp_ swap on resume
   std::shared_ptr<Transport> tp_ BSK_GUARDED_BY(tp_mu_);
   RemoteNodeOptions opts_;
   RemoteLink link_;
@@ -311,13 +312,10 @@ class RemoteWorkerNode final : public rt::Node {
 
   /// Recovery copies of sent-but-unanswered tasks, oldest first, plus
   /// results that arrived ahead of the oldest (reordered or replayed).
-  struct Pending {
-    std::uint64_t seq = 0;
-    rt::Task task;
-    double last_sent = 0.0;
-  };
-  mutable support::Mutex mu_;
-  std::deque<Pending> unacked_ BSK_GUARDED_BY(mu_);
+  /// Incoming results are placed by resume_core's classify_result — the
+  /// same pure function the model checker drives.
+  mutable support::Mutex mu_{"RemoteWorkerNode.pending"};
+  std::deque<PendingTask> unacked_ BSK_GUARDED_BY(mu_);
   std::map<std::uint64_t, rt::Task> ready_ BSK_GUARDED_BY(mu_);
   std::uint64_t next_seq_ BSK_GUARDED_BY(mu_) = 0;
   std::uint64_t last_acked_ BSK_GUARDED_BY(mu_) = 0;

@@ -1,0 +1,163 @@
+#pragma once
+// resume_core: the pure decision logic of the epoch-fenced session resume.
+//
+// The reliability protocol between RemoteWorkerNode (client) and bskd's
+// Session (server) — sequence-numbered tasks, at-most-once execution via a
+// cached-result dedup window, epoch-fenced reconnects that replay the
+// unacked tail — was spread across remote_conduit.cpp and bskd_main.cpp,
+// interleaved with sockets, locks and epoll bookkeeping. This header
+// extracts the decisions into pure value types, so the code the daemon and
+// the client actually run is the code `bsk-verify` (analysis/mc) explores
+// exhaustively across every delivery interleaving:
+//
+//   SessionCore      — server: epoch fence, execute-or-resend-cached
+//   ResumeFence      — client: what a resume Hello presents, what an ack
+//                      commits
+//   classify_result  — client: where an incoming ResultMsg lands against
+//                      the pending (unacked) deque
+//
+// No I/O, no clocks, no locks: callers serialize access (bskd under the
+// session mutex, RemoteWorkerNode under mu_, the model checker on copied
+// states).
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "net/wire.hpp"
+#include "rt/task.hpp"
+
+namespace bsk::net {
+
+/// Server-side protocol state of one hosted worker session: the attach
+/// epoch fence plus the duplicate-suppression result cache. bskd's Session
+/// owns one (under the session mutex); the model checker owns copies.
+class SessionCore {
+ public:
+  explicit SessionCore(std::size_t result_cache_cap = 256)
+      : cap_(result_cache_cap) {}
+
+  std::uint32_t epoch() const { return epoch_; }
+  std::uint64_t dups_suppressed() const { return dups_; }
+  std::size_t cached_results() const { return results_.size(); }
+
+  /// The cached sequence numbers, ascending — the model checker's state
+  /// fingerprint needs the exact dedup-window contents, not just a count.
+  std::vector<std::uint64_t> cached_seqs() const {
+    std::vector<std::uint64_t> out;
+    out.reserve(results_.size());
+    for (const auto& [seq, f] : results_) out.push_back(seq);
+    return out;
+  }
+
+  /// A fresh (non-resume) attach bumps the epoch like any other: a later
+  /// zombie resume presenting the pre-attach epoch must hit the fence.
+  std::uint32_t fresh_attach() { return ++epoch_; }
+
+  /// Epoch-fenced resume. Only a client presenting the *current* epoch may
+  /// take the session over — anything older is a zombie from before an
+  /// earlier re-attach. On success the epoch bumps (fencing the previous
+  /// holder) and every result the client has acknowledged is dropped for
+  /// good; the new epoch is stored in `my_epoch`.
+  bool try_resume(std::uint32_t presented_epoch, std::uint64_t last_acked_seq,
+                  std::uint32_t& my_epoch) {
+    if (epoch_ != presented_epoch) return false;
+    my_epoch = ++epoch_;
+    while (!order_.empty() && order_.front() <= last_acked_seq) {
+      results_.erase(order_.front());
+      order_.pop_front();
+    }
+    return true;
+  }
+
+  /// Should `seq` be executed? Returns the cached reply when this sequence
+  /// number already ran (a retransmit or wire duplicate — resend, never
+  /// re-execute), nullptr when the caller must execute and then cache().
+  /// seq 0 is the unsequenced fast path: always execute, never cached.
+  const Frame* admit(std::uint64_t seq) {
+    if (seq == 0) return nullptr;
+    const auto it = results_.find(seq);
+    if (it == results_.end()) return nullptr;
+    ++dups_;
+    return &it->second;
+  }
+
+  /// Record the reply for `seq`, evicting the oldest past the cap. The cap
+  /// is far larger than any client credit window, so a still-wanted result
+  /// is never evicted.
+  void cache(std::uint64_t seq, Frame reply) {
+    if (seq == 0) return;
+    results_.emplace(seq, std::move(reply));
+    order_.push_back(seq);
+    while (order_.size() > cap_) {
+      results_.erase(order_.front());
+      order_.pop_front();
+    }
+  }
+
+ private:
+  std::size_t cap_;
+  std::uint32_t epoch_ = 0;
+  std::map<std::uint64_t, Frame> results_;  // seq → cached reply
+  std::deque<std::uint64_t> order_;         // eviction FIFO
+  std::uint64_t dups_ = 0;
+};
+
+/// Client-side fence state: the (session, epoch) identity a resume Hello
+/// presents and a successful HelloAck commits.
+struct ResumeFence {
+  std::uint64_t session = 0;
+  std::uint32_t epoch = 0;
+
+  void stamp(Hello& h, std::uint64_t last_acked_seq) const {
+    h.resume_session = session;
+    h.resume_epoch = epoch;
+    h.last_acked_seq = last_acked_seq;
+  }
+  void commit(const HelloAck& ack) {
+    session = ack.session;
+    epoch = ack.epoch;
+  }
+};
+
+/// One sent-but-unanswered task (the client's crash-recovery copy).
+struct PendingTask {
+  std::uint64_t seq = 0;
+  rt::Task task;
+  double last_sent = 0.0;
+};
+
+/// Where an incoming ResultMsg lands against the pending deque.
+enum class ResultClass {
+  DeliverFront,     ///< the oldest task's result: pop and deliver
+  BufferAhead,      ///< a later pending task's result: buffer until oldest
+  DuplicateBehind,  ///< already delivered once (seq < oldest): suppress
+  Poison,           ///< parseable but the task id mismatches: corrupt, drop
+  Orphan,           ///< ahead of the oldest but matches nothing: drop
+};
+
+/// Classify result `seq`/`r` against the oldest-first unacked deque.
+/// Corruption can garble a parseable frame; a result whose task id does
+/// not match the task we sent is poison, not an ack (WorkerDone markers
+/// carry no id and are exempt). Precondition: `unacked` is non-empty.
+inline ResultClass classify_result(const std::deque<PendingTask>& unacked,
+                                   std::uint64_t seq, const rt::Task& r) {
+  const PendingTask& front = unacked.front();
+  if (seq == front.seq) {
+    if (r.kind != rt::TaskKind::WorkerDone && r.id != front.task.id)
+      return ResultClass::Poison;
+    return ResultClass::DeliverFront;
+  }
+  if (seq < front.seq) return ResultClass::DuplicateBehind;
+  for (const PendingTask& p : unacked) {
+    if (p.seq != seq) continue;
+    if (r.kind != rt::TaskKind::WorkerDone && r.id != p.task.id)
+      return ResultClass::Poison;
+    return ResultClass::BufferAhead;
+  }
+  return ResultClass::Orphan;
+}
+
+}  // namespace bsk::net

@@ -144,7 +144,7 @@ class ShmTransport final : public Transport {
   ShmOptions opts_;
   std::shared_ptr<Transport> anchor_;
 
-  support::Mutex send_mu_;  ///< serializes producers on the tx ring
+  support::Mutex send_mu_{"ShmTransport.send"};  ///< serializes tx producers
 
   std::atomic<DecodeError> decode_error_{DecodeError::None};
   mutable std::atomic<double> last_rx_wall_{0.0};

@@ -269,7 +269,7 @@ class TcpTransport final : public Transport {
   int wake_pipe_[2] = {-1, -1};
   TcpOptions opts_;
 
-  support::Mutex out_mu_;
+  support::Mutex out_mu_{"TcpTransport.send"};
   SendQueue outq_ BSK_GUARDED_BY(out_mu_);
 
   FrameDecoder decoder_;

@@ -180,7 +180,7 @@ class WorkerPool {
   WorkerPoolOptions opts_;
   std::shared_ptr<FaultPlan> plan_;
 
-  mutable support::Mutex mu_;  // guards endpoints_, rr_, conn_count_, ...
+  mutable support::Mutex mu_{"WorkerPool"};  // endpoints_, rr_, conn_count_
   std::vector<Endpoint> endpoints_ BSK_GUARDED_BY(mu_);
   std::size_t rr_ BSK_GUARDED_BY(mu_) = 0;
   std::size_t conn_count_ BSK_GUARDED_BY(mu_) = 0;  // names chaos streams "w0", "w1", ...

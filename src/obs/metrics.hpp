@@ -189,7 +189,7 @@ class MetricsRegistry {
                        MetricKind kind, std::vector<double> bounds = {});
   std::vector<const Entry*> sorted_entries() const;
 
-  mutable support::Mutex mu_;
+  mutable support::Mutex mu_{"MetricsRegistry"};
   std::vector<std::unique_ptr<Entry>> entries_ BSK_GUARDED_BY(mu_);
   std::unordered_map<std::string, Entry*> index_ BSK_GUARDED_BY(mu_);
 };

@@ -77,7 +77,7 @@ class TraceLog {
   std::size_t size() const;
 
  private:
-  mutable support::Mutex mu_;
+  mutable support::Mutex mu_{"TraceLog"};
   std::string tag_ BSK_GUARDED_BY(mu_) = "local";
   std::vector<std::string> lines_ BSK_GUARDED_BY(mu_);
 };

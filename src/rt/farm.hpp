@@ -191,7 +191,7 @@ class Farm final : public Runnable {
     /// Recovery state, all under inflight_mu: the task the worker thread is
     /// executing right now (inflight), plus the batch it popped but has not
     /// started yet (pending). Guards the emit/fail race for exactly-once.
-    support::Mutex inflight_mu;
+    support::Mutex inflight_mu{"Farm.Worker.inflight"};
     std::optional<Task> inflight BSK_GUARDED_BY(inflight_mu);
     std::deque<Task> pending BSK_GUARDED_BY(inflight_mu);
     /// Lock-free mirror of pending.size() so sensors and rebalance() can
@@ -235,7 +235,7 @@ class Farm final : public Runnable {
 
   // Worker set: guarded by workers_mu_; actuators mutate under lock and
   // republish snap_. Steady-state dispatch and sensors read snap_ only.
-  mutable support::Mutex workers_mu_;
+  mutable support::Mutex workers_mu_{"Farm.workers"};
   support::CondVar reconfig_cv_;
   std::vector<std::unique_ptr<Worker>> workers_ BSK_GUARDED_BY(workers_mu_);
   std::size_t next_wid_ BSK_GUARDED_BY(workers_mu_) = 0;
@@ -243,7 +243,7 @@ class Farm final : public Runnable {
   // Published worker-set snapshot. snap_mu_ only guards the pointer swap;
   // the pointed-to Snapshot is immutable. epoch_ mirrors snap_->epoch so
   // dispatchers can detect staleness with one relaxed atomic load.
-  mutable support::Mutex snap_mu_;
+  mutable support::Mutex snap_mu_{"Farm.snapshot"};
   std::shared_ptr<const Snapshot> snap_ BSK_GUARDED_BY(snap_mu_) =
       std::make_shared<Snapshot>();
   std::atomic<std::uint64_t> epoch_{0};
@@ -253,7 +253,7 @@ class Farm final : public Runnable {
 
   // Tasks recovered from crashed workers while no survivor existed; flushed
   // to the next added worker, or delivered unprocessed at shutdown.
-  mutable support::Mutex orphans_mu_;
+  mutable support::Mutex orphans_mu_{"Farm.orphans"};
   std::deque<Task> orphans_ BSK_GUARDED_BY(orphans_mu_);
 
   NodeMetrics metrics_;

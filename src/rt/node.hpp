@@ -222,7 +222,7 @@ class StreamSink final : public Node {
 
  private:
   double work_s_;
-  mutable support::Mutex mu_;
+  mutable support::Mutex mu_{"StreamSink"};
   std::vector<std::uint64_t> received_ids_ BSK_GUARDED_BY(mu_);
   std::vector<double> latencies_ BSK_GUARDED_BY(mu_);
 };

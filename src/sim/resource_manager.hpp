@@ -63,7 +63,7 @@ class ResourceManager {
   bool admissible(MachineId m, const RecruitConstraints& c) const;
 
   const Platform& platform_;
-  mutable support::Mutex mu_;
+  mutable support::Mutex mu_{"ResourceManager"};
   std::vector<CoreLease> leases_ BSK_GUARDED_BY(mu_);
 };
 

@@ -277,7 +277,7 @@ class Channel {
   }
 
   const std::size_t capacity_;
-  mutable Mutex mu_;
+  mutable Mutex mu_{"Channel"};
   CondVar not_empty_;
   CondVar not_full_;
   std::deque<T> q_ BSK_GUARDED_BY(mu_);

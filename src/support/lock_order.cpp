@@ -1,0 +1,179 @@
+#include "support/lock_order.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <set>
+#include <tuple>
+#include <utility>
+
+#include "support/thread_annotations.hpp"
+
+namespace bsk::support::lock_order {
+
+std::atomic<bool> g_enabled{false};
+
+namespace {
+
+/// Global recorder state. Raw std::mutex on purpose: the hooks run inside
+/// support::Mutex::lock/unlock, and locking a support::Mutex here would
+/// recurse into the hook.
+struct Recorder {
+  std::mutex mu;
+  /// (held-name, acquired-name) → times observed. Same-name pairs are
+  /// tracked per instance in `same_name_orders` instead.
+  std::map<std::pair<std::string, std::string>, std::uint64_t> edges;
+  /// name → ordered (held-instance, acquired-instance) pairs observed.
+  std::map<std::string, std::set<std::pair<const void*, const void*>>>
+      same_name_orders;
+  std::uint64_t acquisitions = 0;
+  std::uint64_t unnamed = 0;
+};
+
+Recorder& rec() {
+  static Recorder r;
+  return r;
+}
+
+/// Per-thread stack of currently-held mutexes (instance, class name).
+thread_local std::vector<std::pair<const void*, const char*>> t_held;
+
+}  // namespace
+
+void enable() { g_enabled.store(true, std::memory_order_relaxed); }
+void disable() { g_enabled.store(false, std::memory_order_relaxed); }
+
+void reset() {
+  Recorder& r = rec();
+  std::lock_guard<std::mutex> lk(r.mu);
+  r.edges.clear();
+  r.same_name_orders.clear();
+  r.acquisitions = 0;
+  r.unnamed = 0;
+}
+
+void on_acquire(const void* m, const char* name) {
+  {
+    Recorder& r = rec();
+    std::lock_guard<std::mutex> lk(r.mu);
+    if (name == nullptr) {
+      ++r.unnamed;
+    } else {
+      ++r.acquisitions;
+      for (const auto& [held_ptr, held_name] : t_held) {
+        if (held_name == nullptr) continue;
+        if (std::strcmp(held_name, name) == 0)
+          r.same_name_orders[name].insert({held_ptr, m});
+        else
+          ++r.edges[{held_name, name}];
+      }
+    }
+  }
+  t_held.emplace_back(m, name);
+}
+
+void on_release(const void* m) {
+  // LIFO is the common case but early-release idioms unlock out of order;
+  // scan from the top. A mutex locked before enable() is simply absent.
+  for (auto it = t_held.rbegin(); it != t_held.rend(); ++it) {
+    if (it->first == m) {
+      t_held.erase(std::next(it).base());
+      return;
+    }
+  }
+}
+
+namespace {
+
+/// Tarjan SCC over the class-name graph; every SCC with more than one node
+/// (or a node with a genuine self-loop) is a potential deadlock cycle.
+struct Tarjan {
+  const std::map<std::string, std::vector<std::string>>& adj;
+  std::map<std::string, int> index, low;
+  std::map<std::string, bool> on_stack;
+  std::vector<std::string> stack;
+  int next_index = 0;
+  std::vector<std::vector<std::string>> sccs;
+
+  void run(const std::string& v) {
+    index[v] = low[v] = next_index++;
+    stack.push_back(v);
+    on_stack[v] = true;
+    const auto it = adj.find(v);
+    if (it != adj.end()) {
+      for (const std::string& w : it->second) {
+        if (index.find(w) == index.end()) {
+          run(w);
+          low[v] = std::min(low[v], low[w]);
+        } else if (on_stack[w]) {
+          low[v] = std::min(low[v], index[w]);
+        }
+      }
+    }
+    if (low[v] == index[v]) {
+      std::vector<std::string> scc;
+      for (;;) {
+        const std::string w = stack.back();
+        stack.pop_back();
+        on_stack[w] = false;
+        scc.push_back(w);
+        if (w == v) break;
+      }
+      if (scc.size() > 1) {
+        std::sort(scc.begin(), scc.end());
+        sccs.push_back(std::move(scc));
+      }
+    }
+  }
+};
+
+}  // namespace
+
+Report report() {
+  Report out;
+  std::map<std::pair<std::string, std::string>, std::uint64_t> edges;
+  std::map<std::string, std::set<std::pair<const void*, const void*>>> same;
+  {
+    Recorder& r = rec();
+    std::lock_guard<std::mutex> lk(r.mu);
+    edges = r.edges;
+    same = r.same_name_orders;
+    out.acquisitions = r.acquisitions;
+    out.unnamed_acquisitions = r.unnamed;
+  }
+
+  std::map<std::string, std::vector<std::string>> adj;
+  for (const auto& [key, count] : edges) {
+    out.edges.push_back(Edge{key.first, key.second, count, false});
+    adj[key.first].push_back(key.second);
+    adj[key.second];  // ensure the sink exists as a vertex
+  }
+  // Same-class nesting: a self-edge, flagged as a (length-1) cycle only
+  // when both instance orders were observed.
+  for (const auto& [name, orders] : same) {
+    bool both = false;
+    for (const auto& [a, b] : orders) {
+      if (orders.count({b, a}) != 0) {
+        both = true;
+        break;
+      }
+    }
+    out.edges.push_back(Edge{name, name,
+                             static_cast<std::uint64_t>(orders.size()), both});
+    if (both) out.cycles.push_back({name});
+  }
+
+  Tarjan t{adj, {}, {}, {}, {}, 0, {}};
+  for (const auto& [v, _] : adj)
+    if (t.index.find(v) == t.index.end()) t.run(v);
+  for (auto& scc : t.sccs) out.cycles.push_back(std::move(scc));
+
+  std::sort(out.edges.begin(), out.edges.end(),
+            [](const Edge& a, const Edge& b) {
+              return std::tie(a.from, a.to) < std::tie(b.from, b.to);
+            });
+  return out;
+}
+
+}  // namespace bsk::support::lock_order

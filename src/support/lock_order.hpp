@@ -1,0 +1,61 @@
+#pragma once
+// lock_order: a runtime lock-acquisition-order recorder over the annotated
+// support::Mutex primitives.
+//
+// Clang's -Wthread-safety proves each class locks its own mutex correctly,
+// but says nothing about the *order* different classes' mutexes nest in —
+// the whole-program property whose violation is a deadlock. This recorder
+// closes that gap at runtime: while enabled, every Mutex acquisition that
+// happens with other mutexes held adds a directed edge
+//
+//   name(held) -> name(acquired)
+//
+// to a class-level graph (mutexes are named at construction; see the
+// Mutex(const char*) constructor). A cycle in the graph is a potential
+// deadlock: two threads can interleave the cyclic orders and block each
+// other forever. `bsk-verify --locks` runs a full in-process fleet
+// scenario under the recorder and fails on any cycle.
+//
+// Same-name edges are special: two instances of the same class locked in
+// sequence (e.g. per-session mutexes) only deadlock if BOTH instance
+// orders are observed somewhere, so a self-edge is flagged only then.
+//
+// The recorder itself uses a raw std::mutex + thread_local stack — it must
+// never lock a support::Mutex (that would recurse into its own hook). The
+// disabled fast path is one relaxed atomic load per lock/unlock.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bsk::support::lock_order {
+
+/// Start recording (reset() first for a clean run) / stop recording.
+void enable();
+void disable();
+
+/// Drop every recorded edge and counter.
+void reset();
+
+struct Edge {
+  std::string from, to;
+  std::uint64_t count = 0;
+  /// Only meaningful when from == to: both instance orders were observed,
+  /// i.e. this self-edge really is a potential deadlock.
+  bool both_instance_orders = false;
+};
+
+struct Report {
+  std::vector<Edge> edges;  ///< every observed nesting, lexicographic
+  /// Each potential deadlock as the list of mutex names on the cycle
+  /// (single-element = a both-orders self-edge).
+  std::vector<std::vector<std::string>> cycles;
+  std::uint64_t acquisitions = 0;          ///< named acquisitions observed
+  std::uint64_t unnamed_acquisitions = 0;  ///< seen but not in the graph
+  bool ok() const { return cycles.empty(); }
+};
+
+/// Snapshot the graph and run cycle detection (callable while enabled).
+Report report();
+
+}  // namespace bsk::support::lock_order

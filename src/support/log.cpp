@@ -9,7 +9,7 @@ namespace bsk::support {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::Warn};
-support::Mutex g_mu;
+support::Mutex g_mu{"log"};
 
 constexpr std::string_view name_of(LogLevel l) {
   switch (l) {

@@ -17,6 +17,7 @@
 // the annotations cost nothing outside the clang CI job that enforces them
 // (-Werror=thread-safety).
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <mutex>
@@ -50,20 +51,49 @@
 
 namespace bsk::support {
 
+namespace lock_order {
+/// Lock-order recording switch + hooks (see support/lock_order.hpp). The
+/// disabled fast path is one relaxed load; bsk-verify --locks enables it
+/// around a full in-process fleet scenario and fails on ordering cycles.
+extern std::atomic<bool> g_enabled;
+void on_acquire(const void* m, const char* name);
+void on_release(const void* m);
+inline bool active() { return g_enabled.load(std::memory_order_relaxed); }
+}  // namespace lock_order
+
 /// std::mutex declared as a capability. Also BasicLockable, so
 /// condition_variable_any can suspend on it directly.
+///
+/// The optional name is the mutex's *class-level* identity for the
+/// lock-order deadlock analysis: every instance guarding the same kind of
+/// state shares one name (e.g. "Farm.workers", "bskd.Session"), and the
+/// recorder aggregates acquisition-order edges between names.
 class BSK_CAPABILITY("mutex") Mutex {
  public:
   Mutex() = default;
+  explicit Mutex(const char* name) : name_(name) {}
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void lock() BSK_ACQUIRE() { mu_.lock(); }
-  void unlock() BSK_RELEASE() { mu_.unlock(); }
-  bool try_lock() BSK_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void lock() BSK_ACQUIRE() {
+    mu_.lock();
+    if (lock_order::active()) lock_order::on_acquire(this, name_);
+  }
+  void unlock() BSK_RELEASE() {
+    if (lock_order::active()) lock_order::on_release(this);
+    mu_.unlock();
+  }
+  bool try_lock() BSK_TRY_ACQUIRE(true) {
+    if (!mu_.try_lock()) return false;
+    if (lock_order::active()) lock_order::on_acquire(this, name_);
+    return true;
+  }
+
+  const char* name() const { return name_; }
 
  private:
   std::mutex mu_;
+  const char* name_ = nullptr;
 };
 
 /// Scoped lock over a Mutex. Construction acquires, destruction releases
